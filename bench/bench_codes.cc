@@ -1,0 +1,66 @@
+// E10 — §4.2 code-choice ablation: total bits to encode the corpus's
+// delta lengths under Elias gamma, Elias delta, and Golomb (several
+// divisors), against the entropy bound. The paper picks gamma because
+// the delta distribution is a power law (EQ 1): codes tuned for
+// geometric tails (Golomb) pay heavily for the long tail.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "compress/codes.h"
+
+using qbism::bench::BuildRegionCorpus;
+using qbism::bench::CorpusRegion;
+
+int main() {
+  std::printf("QBISM reproduction E10: integer-code ablation on deltas.\n");
+  std::printf("Building corpus (structures + PET bands, 128^3)...\n");
+  std::vector<CorpusRegion> corpus = BuildRegionCorpus({3, 7}, 42, 5, 0);
+
+  std::vector<uint64_t> deltas;
+  for (const CorpusRegion& c : corpus) {
+    auto d = c.region.DeltaLengths();
+    deltas.insert(deltas.end(), d.begin(), d.end());
+  }
+  std::printf("total delta symbols: %zu\n", deltas.size());
+
+  double entropy_bits = qbism::compress::EntropyBoundBits(deltas);
+
+  struct CodeRow {
+    std::string name;
+    double bits;
+  };
+  std::vector<CodeRow> rows;
+  {
+    int64_t gamma = 0, delta_code = 0;
+    for (uint64_t d : deltas) {
+      gamma += qbism::compress::EliasGammaLength(d);
+      delta_code += qbism::compress::EliasDeltaLength(d);
+    }
+    rows.push_back({"elias gamma", static_cast<double>(gamma)});
+    rows.push_back({"elias delta", static_cast<double>(delta_code)});
+    for (uint64_t m : {1ull, 4ull, 16ull, 64ull, 256ull}) {
+      int64_t golomb = 0;
+      for (uint64_t d : deltas) {
+        golomb += qbism::compress::GolombLength(d, m);
+      }
+      rows.push_back({"golomb m=" + std::to_string(m),
+                      static_cast<double>(golomb)});
+    }
+    rows.push_back({"fixed 32-bit", 32.0 * static_cast<double>(deltas.size())});
+  }
+
+  qbism::bench::PrintHeading("Total encoded size of all delta lengths");
+  std::printf("%-16s %16s %14s\n", "code", "bits", "vs entropy");
+  std::printf("%-16s %16.0f %14s\n", "entropy bound", entropy_bits, "1.00x");
+  for (const CodeRow& row : rows) {
+    std::printf("%-16s %16.0f %13.2fx\n", row.name.c_str(), row.bits,
+                row.bits / entropy_bits);
+  }
+  std::printf(
+      "\npaper: the gamma-coded runs land ~1.17x the entropy bound; codes\n"
+      "optimal for geometric distributions were ruled out a priori.\n");
+  return 0;
+}

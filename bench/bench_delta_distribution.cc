@@ -1,0 +1,56 @@
+// E4 — EQ 1: the distribution of REGION delta (run/gap) lengths follows
+// a power law count = c * length^(-a) with a ~ 1.5-1.7, which is why
+// the Elias gamma code (and not a geometric-optimal code) fits.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+#include "region/stats.h"
+
+using qbism::LinearFit;
+using qbism::bench::BuildRegionCorpus;
+using qbism::bench::CorpusRegion;
+using qbism::region::FitDeltaPowerLaw;
+
+int main() {
+  std::printf("QBISM reproduction E4 (EQ 1): delta-length power law.\n");
+  std::printf("Building corpus (11 structures + PET/MRI bands, 128^3)...\n");
+  std::vector<CorpusRegion> corpus = BuildRegionCorpus();
+
+  qbism::bench::PrintHeading(
+      "Power-law fit per region: count = c * length^(-a)");
+  std::printf("%-22s %-10s %10s %10s %10s\n", "region", "category", "deltas",
+              "a", "corr r");
+
+  double sum_a = 0;
+  int fitted = 0;
+  std::vector<uint64_t> pooled;
+  for (const CorpusRegion& c : corpus) {
+    auto deltas = c.region.DeltaLengths();
+    if (deltas.size() < 20) continue;  // too few points for a stable fit
+    pooled.insert(pooled.end(), deltas.begin(), deltas.end());
+    LinearFit fit = FitDeltaPowerLaw(c.region);
+    double a = -fit.slope;
+    std::printf("%-22s %-10s %10zu %10.2f %10.3f\n", c.name.c_str(),
+                c.category.c_str(), deltas.size(), a, fit.r);
+    sum_a += a;
+    ++fitted;
+  }
+
+  // Pooled fit across all regions' delta lengths.
+  LinearFit pooled_fit = qbism::region::FitPowerLaw(pooled);
+
+  qbism::bench::PrintHeading("Summary");
+  std::printf("mean exponent a over %d regions: %.2f\n", fitted,
+              sum_a / fitted);
+  std::printf("pooled-histogram exponent a:     %.2f (r = %.3f)\n",
+              -pooled_fit.slope, pooled_fit.r);
+  std::printf("paper: a ~ 1.5 - 1.7 for the structures and bands tried\n");
+  std::printf(
+      "\nA power law (not geometric) tail justifies the Elias gamma code\n"
+      "over Golomb / infinite-Huffman codes (see bench_codes for E10).\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// E12 — §7 future work, implemented: "spatial indexing and query
+// optimization techniques for efficiently locating spatial objects in
+// large populations of studies". The paper's prototype created no
+// indexes (§6.1), so every catalog lookup scanned; with a B+-tree on
+// intensityBand.studyId the cost of locating one study's bands stops
+// growing with the population.
+
+#include <cstdio>
+#include <string>
+
+#include "common/macros.h"
+#include "sql/database.h"
+
+using qbism::sql::Database;
+using qbism::sql::DatabaseOptions;
+using qbism::sql::Value;
+
+namespace {
+
+/// Simulates the catalog rows of a population of N studies x 8 bands
+/// (metadata only: long fields are not needed to measure catalog I/O).
+void Populate(Database* db, int num_studies) {
+  QBISM_CHECK_OK(db->Execute("create table intensityBand (studyId int,"
+                             " atlasId int, lo int, hi int, region int)")
+                     .status());
+  for (int s = 0; s < num_studies; ++s) {
+    for (int b = 0; b < 8; ++b) {
+      QBISM_CHECK_OK(db->Insert(
+          "intensityBand",
+          {Value::Int(s), Value::Int(1), Value::Int(b * 32),
+           Value::Int(b * 32 + 31), Value::Int(s * 8 + b)}));
+    }
+  }
+}
+
+struct Probe {
+  uint64_t pages_read;
+  double seconds;
+};
+
+Probe MeasureLookup(Database* db, int study) {
+  db->relational_device()->ResetStats();
+  std::string sql = "select lo, hi, region from intensityBand where"
+                    " studyId = " +
+                    std::to_string(study);
+  auto result = db->Execute(sql);
+  QBISM_CHECK(result.ok());
+  QBISM_CHECK(result->rows.size() == 8);
+  return Probe{db->relational_device()->stats().pages_read,
+               db->relational_device()->stats().simulated_seconds};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "QBISM reproduction E12: catalog lookups in growing populations,\n"
+      "with and without a B+-tree index on intensityBand.studyId.\n\n");
+  std::printf("%-10s %14s %14s %14s %14s %7s\n", "N studies", "scan pages",
+              "scan model-s", "index pages", "index model-s", "speedup");
+  std::printf("%s\n", std::string(80, '-').c_str());
+
+  for (int n : {100, 400, 1600, 6400}) {
+    DatabaseOptions options;
+    options.relational_pages = 1 << 18;  // room for the largest population
+    options.buffer_pool_pages = 32;      // small pool: scans hit the disk
+    Database scan_db(options);
+    Populate(&scan_db, n);
+    Probe scan = MeasureLookup(&scan_db, n / 2);
+
+    Database index_db(options);
+    Populate(&index_db, n);
+    QBISM_CHECK_OK(
+        index_db.Execute("create index bands_by_study on intensityBand"
+                         " (studyId)")
+            .status());
+    // Warm nothing: the pool was just churned by the backfill.
+    Probe indexed = MeasureLookup(&index_db, n / 2);
+
+    std::printf("%-10d %14llu %14.3f %14llu %14.3f %6.1fx\n", n,
+                static_cast<unsigned long long>(scan.pages_read),
+                scan.seconds,
+                static_cast<unsigned long long>(indexed.pages_read),
+                indexed.seconds,
+                scan.seconds / (indexed.seconds > 0 ? indexed.seconds : 1e-9));
+  }
+  std::printf("%s\n", std::string(80, '-').c_str());
+  std::printf(
+      "expected shape: scan cost grows linearly with the population while\n"
+      "the B+-tree path stays at ~tree-height pages — the premise of the\n"
+      "\"1,000 PET studies\" queries of §6.4.\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// E11 — google-benchmark micro-benchmarks backing the paper's cost
+// remarks: O(bits) curve conversions ("Both curves require O(n)
+// complexity to convert", §4), cheap merge-scan spatial operators ("the
+// computational cost of managing REGIONs ... is low", §6.4), and the
+// contiguous-copy extraction path.
+
+#include <benchmark/benchmark.h>
+
+#include "compress/codes.h"
+#include "curve/curve.h"
+#include "geometry/shapes.h"
+#include "region/encoding.h"
+#include "region/region.h"
+#include "volume/volume.h"
+
+namespace {
+
+using qbism::curve::CurveKind;
+using qbism::region::GridSpec;
+using qbism::region::Region;
+using qbism::region::RegionEncoding;
+
+void BM_HilbertIndex3D(benchmark::State& state) {
+  int bits = static_cast<int>(state.range(0));
+  uint32_t axes[3] = {5, 17, 9};
+  for (auto _ : state) {
+    axes[0] = (axes[0] + 1) & ((1u << bits) - 1);
+    benchmark::DoNotOptimize(qbism::curve::HilbertIndex(axes, 3, bits));
+  }
+}
+BENCHMARK(BM_HilbertIndex3D)->Arg(7)->Arg(9);
+
+void BM_HilbertAxes3D(benchmark::State& state) {
+  int bits = static_cast<int>(state.range(0));
+  uint64_t id = 0;
+  uint32_t axes[3];
+  uint64_t n = uint64_t{1} << (3 * bits);
+  for (auto _ : state) {
+    id = (id + 12345) % n;
+    qbism::curve::HilbertAxes(id, 3, bits, axes);
+    benchmark::DoNotOptimize(axes[0]);
+  }
+}
+BENCHMARK(BM_HilbertAxes3D)->Arg(7)->Arg(9);
+
+void BM_MortonIndex3D(benchmark::State& state) {
+  int bits = static_cast<int>(state.range(0));
+  uint32_t axes[3] = {5, 17, 9};
+  for (auto _ : state) {
+    axes[0] = (axes[0] + 1) & ((1u << bits) - 1);
+    benchmark::DoNotOptimize(qbism::curve::MortonIndex(axes, 3, bits));
+  }
+}
+BENCHMARK(BM_MortonIndex3D)->Arg(7)->Arg(9);
+
+Region BlobRegion(double scale) {
+  const GridSpec grid{3, 7};
+  qbism::geometry::Ellipsoid blob({64, 60, 62},
+                                  {30 * scale, 26 * scale, 24 * scale});
+  return Region::FromShape(grid, CurveKind::kHilbert, blob);
+}
+
+void BM_RegionIntersection(benchmark::State& state) {
+  Region a = BlobRegion(1.0);
+  Region b = BlobRegion(0.7);
+  for (auto _ : state) {
+    auto result = a.IntersectWith(b);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["runs_a"] = static_cast<double>(a.RunCount());
+  state.counters["runs_b"] = static_cast<double>(b.RunCount());
+}
+BENCHMARK(BM_RegionIntersection);
+
+void BM_RegionUnion(benchmark::State& state) {
+  Region a = BlobRegion(1.0);
+  Region b = BlobRegion(0.7);
+  for (auto _ : state) {
+    auto result = a.UnionWith(b);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RegionUnion);
+
+void BM_RegionEncodeElias(benchmark::State& state) {
+  Region a = BlobRegion(1.0);
+  for (auto _ : state) {
+    auto bytes = qbism::region::EncodeRegion(a, RegionEncoding::kEliasDeltas);
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_RegionEncodeElias);
+
+void BM_RegionDecodeElias(benchmark::State& state) {
+  Region a = BlobRegion(1.0);
+  auto bytes =
+      qbism::region::EncodeRegion(a, RegionEncoding::kEliasDeltas).MoveValue();
+  for (auto _ : state) {
+    auto region = qbism::region::DecodeRegion(a.grid(), a.curve_kind(),
+                                              RegionEncoding::kEliasDeltas,
+                                              bytes);
+    benchmark::DoNotOptimize(region);
+  }
+}
+BENCHMARK(BM_RegionDecodeElias);
+
+void BM_VolumeExtract(benchmark::State& state) {
+  const GridSpec grid{3, 7};
+  auto volume = qbism::volume::Volume::FromFunction(
+      grid, CurveKind::kHilbert, [](const qbism::geometry::Vec3i& p) {
+        return static_cast<uint8_t>(p.x + p.y);
+      });
+  Region r = BlobRegion(1.0);
+  for (auto _ : state) {
+    auto data = volume.Extract(r);
+    benchmark::DoNotOptimize(data);
+  }
+  state.counters["voxels"] = static_cast<double>(r.VoxelCount());
+}
+BENCHMARK(BM_VolumeExtract);
+
+void BM_VolumeBanding(benchmark::State& state) {
+  const GridSpec grid{3, 6};  // 64^3 keeps iterations fast
+  auto volume = qbism::volume::Volume::FromFunction(
+      grid, CurveKind::kHilbert, [](const qbism::geometry::Vec3i& p) {
+        return static_cast<uint8_t>((p.x * 7 + p.y * 3 + p.z) & 0xFF);
+      });
+  for (auto _ : state) {
+    auto band = volume.BandRegion(224, 255);
+    benchmark::DoNotOptimize(band);
+  }
+}
+BENCHMARK(BM_VolumeBanding);
+
+void BM_EliasGammaCodec(benchmark::State& state) {
+  for (auto _ : state) {
+    qbism::BitWriter writer;
+    for (uint64_t x = 1; x <= 1000; ++x) {
+      qbism::compress::EliasGammaEncode(x, &writer);
+    }
+    auto bytes = writer.Finish();
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_EliasGammaCodec);
+
+}  // namespace
+
+BENCHMARK_MAIN();

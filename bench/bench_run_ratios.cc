@@ -1,0 +1,77 @@
+// E2 — §4.2 piece-count study: for every corpus REGION, the number of
+// h-runs, z-runs, oblong octants, and octants, the linear fits of each
+// against h-runs, and the headline ratio the paper reports as
+//   (#h-runs):(#z-runs):(#oblong octants):(#octants) = 1 : 1.27 : 1.61 : 2.42
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/linear_fit.h"
+#include "region/stats.h"
+
+using qbism::FitLine;
+using qbism::LinearFit;
+using qbism::bench::BuildRegionCorpus;
+using qbism::bench::CorpusRegion;
+using qbism::region::ComputeRegionStats;
+using qbism::region::RegionStats;
+
+int main() {
+  std::printf("QBISM reproduction E2: run/octant counts per REGION.\n");
+  std::printf("Building corpus (11 structures + PET/MRI bands, 128^3)...\n");
+  std::vector<CorpusRegion> corpus = BuildRegionCorpus();
+
+  qbism::bench::PrintHeading("Piece counts per region");
+  std::printf("%-22s %-10s %9s %9s %9s %9s %9s\n", "region", "category",
+              "voxels", "h-runs", "z-runs", "oblong", "octants");
+
+  std::vector<double> h, z, oblong, octant;
+  for (const CorpusRegion& c : corpus) {
+    RegionStats stats = ComputeRegionStats(c.region);
+    std::printf("%-22s %-10s %9llu %9llu %9llu %9llu %9llu\n", c.name.c_str(),
+                c.category.c_str(),
+                static_cast<unsigned long long>(stats.voxels),
+                static_cast<unsigned long long>(stats.h_runs),
+                static_cast<unsigned long long>(stats.z_runs),
+                static_cast<unsigned long long>(stats.h_oblong_octants),
+                static_cast<unsigned long long>(stats.h_octants));
+    if (stats.h_runs == 0) continue;
+    h.push_back(static_cast<double>(stats.h_runs));
+    z.push_back(static_cast<double>(stats.z_runs));
+    oblong.push_back(static_cast<double>(stats.h_oblong_octants));
+    octant.push_back(static_cast<double>(stats.h_octants));
+  }
+
+  // Scatter-plot linear fits against #h-runs (the paper reports r =
+  // 0.998 / 0.974 / 0.991 for z-runs / octants / oblong octants).
+  LinearFit fit_z = FitLine(h, z);
+  LinearFit fit_oblong = FitLine(h, oblong);
+  LinearFit fit_octant = FitLine(h, octant);
+
+  // Aggregate ratios over the whole corpus.
+  double sum_h = 0, sum_z = 0, sum_oblong = 0, sum_octant = 0;
+  for (size_t i = 0; i < h.size(); ++i) {
+    sum_h += h[i];
+    sum_z += z[i];
+    sum_oblong += oblong[i];
+    sum_octant += octant[i];
+  }
+
+  qbism::bench::PrintHeading("Linear fits vs #h-runs (slope ~ ratio)");
+  std::printf("%-16s %10s %10s\n", "method", "slope", "corr r");
+  std::printf("%-16s %10.3f %10.4f\n", "z-runs", fit_z.slope, fit_z.r);
+  std::printf("%-16s %10.3f %10.4f\n", "oblong octants", fit_oblong.slope,
+              fit_oblong.r);
+  std::printf("%-16s %10.3f %10.4f\n", "octants", fit_octant.slope,
+              fit_octant.r);
+  std::printf("paper: r = 0.998 (z-runs), 0.991 (oblong), 0.974 (octants)\n");
+
+  qbism::bench::PrintHeading("Aggregate piece-count ratios");
+  std::printf("(#h-runs) : (#z-runs) : (#oblong octants) : (#octants)\n");
+  std::printf("measured: 1 : %.2f : %.2f : %.2f\n", sum_z / sum_h,
+              sum_oblong / sum_h, sum_octant / sum_h);
+  std::printf("paper:    1 : 1.27 : 1.61 : 2.42\n");
+  std::printf("(paper, all 3-d rectangles [9]: h-runs : z-runs = 1 : 1.20)\n");
+  return 0;
+}

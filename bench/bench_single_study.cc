@@ -1,0 +1,160 @@
+// E5 — Table 3: full-system run-time measurements for single-study
+// queries Q1-Q6. Columns mirror the paper: result size (h-runs,
+// voxels), LFM disk I/Os (4 KB pages), Starburst/MedicalServer cpu and
+// real time, network messages and time, DX ImportVolume and rendering
+// time, "other", and the total. Real-time columns combine measured CPU
+// with the deterministic 1993-calibrated I/O and network models, so the
+// paper's *shape* (Q1 dominates; early filtering wins) is reproducible
+// on any machine.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "med/loader.h"
+#include "med/schema.h"
+#include "qbism/medical_server.h"
+
+using qbism::MedicalServer;
+using qbism::QuerySpec;
+using qbism::SpatialConfig;
+using qbism::SpatialExtension;
+using qbism::StudyQueryResult;
+
+namespace {
+
+void PrintRow(const char* id, const char* label,
+              const StudyQueryResult& r) {
+  const qbism::TimingBreakdown& t = r.timing;
+  std::printf(
+      "%-3s %-28s %8llu %9llu %6llu %7.2f %7.2f %7llu %8.2f %8.3f %8.3f "
+      "%7.2f %7.2f\n",
+      id, label, static_cast<unsigned long long>(r.result_runs),
+      static_cast<unsigned long long>(r.result_voxels),
+      static_cast<unsigned long long>(t.lfm_pages), t.db_cpu_seconds,
+      t.db_real_seconds, static_cast<unsigned long long>(t.network_messages),
+      t.network_seconds, t.import_cpu_seconds, t.render_seconds,
+      t.other_seconds, t.total_seconds);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("QBISM reproduction E5 (Table 3): single-study queries.\n");
+  std::printf("Loading database (5 PET studies, atlas, bands)...\n");
+
+  qbism::sql::Database db;
+  auto ext = SpatialExtension::Install(&db, SpatialConfig{}).MoveValue();
+  QBISM_CHECK_OK(qbism::med::BootstrapSchema(&db));
+  qbism::med::LoadOptions options;
+  options.num_mri_studies = 0;  // Table 3 queries PET study data
+  options.build_meshes = false;
+  auto dataset = qbism::med::PopulateDatabase(ext.get(), options);
+  QBISM_CHECK(dataset.ok());
+
+  MedicalServer server(ext.get());
+
+  struct QueryCase {
+    const char* id;
+    const char* label;
+    QuerySpec spec;
+  };
+  std::vector<QueryCase> cases;
+  {
+    QuerySpec q1;
+    q1.study_id = 53;
+    cases.push_back({"Q1", "entire study (simple)", q1});
+    QuerySpec q2 = q1;
+    q2.box = qbism::geometry::Box3i{{30, 30, 30}, {100, 100, 100}};
+    cases.push_back({"Q2", "71x71x71 rectangular solid", q2});
+    QuerySpec q3 = q1;
+    q3.structure_name = "ntal";
+    cases.push_back({"Q3", "ntal (spatial)", q3});
+    QuerySpec q4 = q1;
+    q4.structure_name = "ntal1";
+    cases.push_back({"Q4", "ntal1 (spatial)", q4});
+    QuerySpec q5 = q1;
+    q5.intensity_range = {224, 255};
+    cases.push_back({"Q5", "band 224-255 (attribute)", q5});
+    QuerySpec q6 = q4;
+    q6.intensity_range = {224, 255};
+    cases.push_back({"Q6", "band 224-255 in ntal1 (mixed)", q6});
+  }
+
+  std::printf(
+      "\n%-3s %-28s %8s %9s %6s %7s %7s %7s %8s %8s %8s %7s %7s\n", "id",
+      "query: display study-53 data", "h-runs", "voxels", "I/Os", "db-cpu",
+      "db-real", "msgs", "net-s", "import", "render", "other", "total");
+  std::printf("%s\n", std::string(132, '-').c_str());
+
+  std::vector<std::pair<std::string, StudyQueryResult>> results;
+  for (const QueryCase& c : cases) {
+    server.dx()->FlushCache();  // the paper flushes the DX cache per run
+    // Issue 4 times, report the last 3 averaged (as §6.1 does). Our
+    // system is deterministic in the modeled columns; averaging smooths
+    // the measured-CPU columns.
+    StudyQueryResult last;
+    qbism::TimingBreakdown sum;
+    for (int run = 0; run < 4; ++run) {
+      auto result = server.RunStudyQuery(c.spec, /*render=*/true);
+      QBISM_CHECK(result.ok());
+      if (run == 0) continue;
+      const qbism::TimingBreakdown& t = result->timing;
+      sum.db_cpu_seconds += t.db_cpu_seconds;
+      sum.db_real_seconds += t.db_real_seconds;
+      sum.lfm_pages = t.lfm_pages;
+      sum.network_messages = t.network_messages;
+      sum.network_seconds += t.network_seconds;
+      sum.import_cpu_seconds += t.import_cpu_seconds;
+      sum.render_seconds += t.render_seconds;
+      sum.other_seconds += t.other_seconds;
+      sum.total_seconds += t.total_seconds;
+      last = result.MoveValue();
+    }
+    last.timing.db_cpu_seconds = sum.db_cpu_seconds / 3;
+    last.timing.db_real_seconds = sum.db_real_seconds / 3;
+    last.timing.network_seconds = sum.network_seconds / 3;
+    last.timing.import_cpu_seconds = sum.import_cpu_seconds / 3;
+    last.timing.render_seconds = sum.render_seconds / 3;
+    last.timing.other_seconds = sum.other_seconds / 3;
+    last.timing.total_seconds = sum.total_seconds / 3;
+    PrintRow(c.id, c.label, last);
+    results.emplace_back(c.id, std::move(last));
+  }
+
+  std::printf("%s\n", std::string(132, '-').c_str());
+  std::printf(
+      "Paper reference (voxels / LFM I/Os / total-s): Q1 2097152/513/69  "
+      "Q2 357911/450/28  Q3 16016/29/15\n"
+      "                                               Q4 162628/265/24  "
+      "Q5 2383/32/17    Q6 683/72/16\n");
+
+  // §6.4 conclusions, checked mechanically.
+  const auto& q1 = results[0].second;
+  bool early_filtering_pays = true;
+  for (size_t i = 1; i < results.size(); ++i) {
+    if (results[i].second.timing.total_seconds >= q1.timing.total_seconds) {
+      early_filtering_pays = false;
+    }
+  }
+  std::printf("\nearly filtering pays off (every Qi total < Q1 total): %s\n",
+              early_filtering_pays ? "YES" : "NO");
+  const auto& q4 = results[3].second;
+  const auto& q5 = results[4].second;
+  const auto& q6 = results[5].second;
+  std::printf(
+      "Q6 I/Os (%llu) < Q4 I/Os + Q5 I/Os (%llu): %s (paper: 72 < 297)\n",
+      static_cast<unsigned long long>(q6.timing.lfm_pages),
+      static_cast<unsigned long long>(q4.timing.lfm_pages +
+                                      q5.timing.lfm_pages),
+      q6.timing.lfm_pages < q4.timing.lfm_pages + q5.timing.lfm_pages
+          ? "YES"
+          : "NO");
+  std::printf("db real >> db cpu (I/O bound): Q1 %.2f vs %.2f  Q4 %.2f vs "
+              "%.2f\n",
+              q1.timing.db_real_seconds, q1.timing.db_cpu_seconds,
+              q4.timing.db_real_seconds, q4.timing.db_cpu_seconds);
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+#include "med/phantom.h"
+#include "volume/volume.h"
+#include "warp/warp.h"
+
+namespace qbism::bench {
+
+using curve::CurveKind;
+using region::GridSpec;
+using region::Region;
+
+std::vector<CorpusRegion> BuildRegionCorpus(GridSpec grid, uint64_t seed,
+                                            int num_pet, int num_mri) {
+  std::vector<CorpusRegion> corpus;
+
+  for (const auto& s : med::StandardAtlasStructures()) {
+    corpus.push_back({s.name, "structure",
+                      Region::FromShape(grid, CurveKind::kHilbert, *s.shape)});
+  }
+
+  auto add_bands = [&](const warp::RawVolume& raw, uint64_t warp_seed,
+                       const std::string& label, const char* category) {
+    volume::Volume warped = warp::WarpToAtlas(
+        raw, med::StudyWarp(warp_seed, raw.nx(), raw.ny(), raw.nz()), grid,
+        CurveKind::kHilbert);
+    int lo = 0;
+    for (const Region& band : warped.UniformBands(32)) {
+      if (!band.Empty()) {
+        corpus.push_back({label + " band " + std::to_string(lo) + "-" +
+                              std::to_string(lo + 31),
+                          category, band});
+      }
+      lo += 32;
+    }
+  };
+
+  for (int i = 0; i < num_pet; ++i) {
+    add_bands(med::GeneratePetStudy(seed + i), seed + i,
+              "PET" + std::to_string(i), "pet-band");
+  }
+  for (int i = 0; i < num_mri; ++i) {
+    add_bands(med::GenerateMriStudy(seed + 100 + i), seed + 100 + i,
+              "MRI" + std::to_string(i), "mri-band");
+  }
+  return corpus;
+}
+
+void PrintHeading(const std::string& title) {
+  std::printf("\n%s\n", std::string(78, '=').c_str());
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", std::string(78, '=').c_str());
+}
+
+}  // namespace qbism::bench

@@ -1,0 +1,34 @@
+#ifndef QBISM_BENCH_BENCH_UTIL_H_
+#define QBISM_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "region/region.h"
+
+namespace qbism::bench {
+
+/// One region of the measurement corpus (§4): an anatomic structure or
+/// an intensity band of a PET/MRI study, rasterized on the 128^3 atlas
+/// grid in Hilbert order.
+struct CorpusRegion {
+  std::string name;
+  std::string category;  // "structure" | "pet-band" | "mri-band"
+  region::Region region;
+};
+
+/// Builds the §4 measurement corpus: 11 atlas structures plus the
+/// intensity bands (width 32) of `num_pet` synthetic PET studies and
+/// `num_mri` synthetic MRI studies, all warped to `grid`. Empty bands
+/// are dropped. Deterministic in `seed`. The defaults reproduce the
+/// paper's data sizes (5 PET, 3 MRI, 128^3).
+std::vector<CorpusRegion> BuildRegionCorpus(region::GridSpec grid = {3, 7},
+                                            uint64_t seed = 42,
+                                            int num_pet = 5, int num_mri = 3);
+
+/// Prints an 80-column rule and a heading for a bench section.
+void PrintHeading(const std::string& title);
+
+}  // namespace qbism::bench
+
+#endif  // QBISM_BENCH_BENCH_UTIL_H_

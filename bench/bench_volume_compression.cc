@@ -1,0 +1,80 @@
+// E13 — §4.1's rejected design, quantified: "The first requirement
+// [efficient random access] makes compression methods unattractive."
+// Compares raw (implied-position) VOLUME storage against run-length
+// compressed storage on space and on random spatial-probe cost. The
+// compressed layout wins space on smooth studies but every probe pays
+// a run-directory search, and extraction loses the runs-to-byte-ranges
+// mapping the whole early-filtering design rests on.
+
+#include <cstdio>
+#include <string>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "med/phantom.h"
+#include "volume/compressed_volume.h"
+#include "warp/warp.h"
+
+using qbism::curve::CurveKind;
+using qbism::region::GridSpec;
+using qbism::volume::CompressedVolume;
+using qbism::volume::Volume;
+
+int main() {
+  std::printf(
+      "QBISM reproduction E13 (§4.1 ablation): raw vs compressed VOLUMEs.\n");
+  const GridSpec grid{3, 7};
+  auto raw = qbism::med::GeneratePetStudy(42);
+  Volume pet = qbism::warp::WarpToAtlas(
+      raw, qbism::med::StudyWarp(42, raw.nx(), raw.ny(), raw.nz()), grid,
+      CurveKind::kHilbert);
+  auto mri_raw = qbism::med::GenerateMriStudy(142);
+  Volume mri = qbism::warp::WarpToAtlas(
+      mri_raw, qbism::med::StudyWarp(142, mri_raw.nx(), mri_raw.ny(),
+                                     mri_raw.nz()),
+      grid, CurveKind::kHilbert);
+
+  std::printf("\n%-8s %12s %12s %8s %14s %14s %9s\n", "study", "raw bytes",
+              "rle bytes", "ratio", "raw probe ns", "rle probe ns",
+              "slowdown");
+  std::printf("%s\n", std::string(84, '-').c_str());
+  for (const auto& [name, volume] : {std::pair<const char*, const Volume*>{
+                                         "PET", &pet},
+                                     {"MRI", &mri}}) {
+    CompressedVolume compressed = CompressedVolume::FromVolume(*volume);
+    // Correctness first: both layouts must agree everywhere.
+    Volume back = compressed.Decompress();
+    QBISM_CHECK(back.data() == volume->data());
+
+    const int probes = 2000000;
+    qbism::Rng rng(7);
+    std::vector<uint64_t> ids(probes);
+    for (auto& id : ids) id = rng.NextBounded(grid.NumCells());
+
+    qbism::WallTimer raw_timer;
+    uint64_t sink = 0;
+    for (uint64_t id : ids) sink += volume->ValueAtId(id);
+    double raw_ns = raw_timer.Seconds() * 1e9 / probes;
+
+    qbism::WallTimer rle_timer;
+    for (uint64_t id : ids) sink += compressed.ValueAtId(id);
+    double rle_ns = rle_timer.Seconds() * 1e9 / probes;
+    QBISM_CHECK(sink != 0);
+
+    std::printf("%-8s %12llu %12llu %7.2fx %14.1f %14.1f %8.1fx\n", name,
+                static_cast<unsigned long long>(compressed.RawBytes()),
+                static_cast<unsigned long long>(compressed.CompressedBytes()),
+                static_cast<double>(compressed.RawBytes()) /
+                    static_cast<double>(compressed.CompressedBytes()),
+                raw_ns, rle_ns, rle_ns / raw_ns);
+  }
+  std::printf("%s\n", std::string(84, '-').c_str());
+  std::printf(
+      "expected shape: compression saves space but every probe pays a\n"
+      "directory search instead of one implied-position byte access --\n"
+      "and on disk the compressed field no longer lets EXTRACT_DATA map\n"
+      "region runs to byte ranges. This is why §4.1 stores VOLUMEs raw\n"
+      "in Hilbert order and reserves compression for REGIONs (§4.2).\n");
+  return 0;
+}

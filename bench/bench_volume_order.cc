@@ -1,0 +1,117 @@
+// E8 — §4.1 volume storage-order ablation: storing VOLUMEs in Hilbert
+// order versus Z order. The paper reports the Z ordering "gives
+// inferior clustering (yielding about 27% more runs for each of the
+// REGIONs we tried)", which translates directly into more LFM pages
+// touched per extraction.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "med/phantom.h"
+#include "qbism/spatial_extension.h"
+#include "warp/warp.h"
+
+using qbism::SpatialConfig;
+using qbism::SpatialExtension;
+using qbism::curve::CurveKind;
+using qbism::region::GridSpec;
+using qbism::region::Region;
+
+int main() {
+  std::printf(
+      "QBISM reproduction E8 (§4.1): Hilbert vs Z volume storage order.\n");
+  const GridSpec grid{3, 7};
+
+  // One warped PET study stored both ways.
+  auto raw = qbism::med::GeneratePetStudy(42);
+  auto warp_tx = qbism::med::StudyWarp(42, raw.nx(), raw.ny(), raw.nz());
+
+  qbism::sql::Database db_h, db_z;
+  SpatialConfig config_h;
+  SpatialConfig config_z;
+  config_z.curve = CurveKind::kZ;
+  auto ext_h = SpatialExtension::Install(&db_h, config_h).MoveValue();
+  auto ext_z = SpatialExtension::Install(&db_z, config_z).MoveValue();
+
+  auto vol_h = qbism::warp::WarpToAtlas(raw, warp_tx, grid, CurveKind::kHilbert);
+  auto vol_z = vol_h.ConvertTo(CurveKind::kZ);
+  auto field_h = ext_h->StoreVolume(vol_h).MoveValue();
+  auto field_z = ext_z->StoreVolume(vol_z).MoveValue();
+
+  std::printf("\n%-22s %9s %9s %8s %9s %9s %8s\n", "query region", "h-runs",
+              "z-runs", "runs+%", "h-pages", "z-pages", "pages+%");
+  std::printf("%s\n", std::string(80, '-').c_str());
+
+  double sum_run_ratio = 0, sum_page_ratio = 0;
+  int count = 0;
+  for (const auto& s : qbism::med::StandardAtlasStructures()) {
+    Region r_h = Region::FromShape(grid, CurveKind::kHilbert, *s.shape);
+    Region r_z = r_h.ConvertTo(CurveKind::kZ);
+    uint64_t pages_h = ext_h->ExtractionPages(field_h, r_h).MoveValue();
+    uint64_t pages_z = ext_z->ExtractionPages(field_z, r_z).MoveValue();
+    double run_ratio =
+        static_cast<double>(r_z.RunCount()) / static_cast<double>(r_h.RunCount());
+    double page_ratio =
+        static_cast<double>(pages_z) / static_cast<double>(pages_h);
+    std::printf("%-22s %9zu %9zu %+7.0f%% %9llu %9llu %+7.0f%%\n",
+                s.name.c_str(), r_h.RunCount(), r_z.RunCount(),
+                (run_ratio - 1) * 100, static_cast<unsigned long long>(pages_h),
+                static_cast<unsigned long long>(pages_z),
+                (page_ratio - 1) * 100);
+    sum_run_ratio += run_ratio;
+    sum_page_ratio += page_ratio;
+    ++count;
+  }
+  std::printf("%s\n", std::string(80, '-').c_str());
+  std::printf("mean extra z-runs:  %+.0f%%   (paper: about +27%%)\n",
+              (sum_run_ratio / count - 1) * 100);
+  std::printf("mean extra z-pages: %+.0f%%\n",
+              (sum_page_ratio / count - 1) * 100);
+
+  // Clustering granularity: at the full 4 KB page size, compact regions
+  // cover whole pages under either order, so the curves tie; the win
+  // appears at finer transfer units (and in the REGION long fields of
+  // Table 4, whose sizes scale with run counts). Count distinct blocks
+  // touched per block size, aggregated over all structures.
+  std::printf("\nblocks touched by all structure extractions, by block "
+              "size:\n%-12s %12s %12s %9s\n", "block bytes", "hilbert",
+              "z-order", "z extra");
+  for (uint64_t block : {64ull, 256ull, 1024ull, 4096ull}) {
+    uint64_t blocks_h = 0, blocks_z = 0;
+    for (const auto& s : qbism::med::StandardAtlasStructures()) {
+      Region r_h = Region::FromShape(grid, CurveKind::kHilbert, *s.shape);
+      Region r_z = r_h.ConvertTo(CurveKind::kZ);
+      auto count_blocks = [block](const Region& r) {
+        uint64_t count = 0, last = UINT64_MAX;
+        for (const auto& run : r.runs()) {
+          uint64_t first_block = run.start / block;
+          uint64_t last_block = run.end / block;
+          count += last_block - first_block + 1;
+          if (first_block == last) --count;  // shared with previous run
+          last = last_block;
+        }
+        return count;
+      };
+      blocks_h += count_blocks(r_h);
+      blocks_z += count_blocks(r_z);
+    }
+    std::printf("%-12llu %12llu %12llu %+8.0f%%\n",
+                static_cast<unsigned long long>(block),
+                static_cast<unsigned long long>(blocks_h),
+                static_cast<unsigned long long>(blocks_z),
+                100.0 * (static_cast<double>(blocks_z) / blocks_h - 1));
+  }
+
+  // Also verify both extractions return identical voxel data.
+  Region probe_h = Region::FromShape(
+      grid, CurveKind::kHilbert, *qbism::med::StandardAtlasStructures()[1].shape);
+  Region probe_z = probe_h.ConvertTo(CurveKind::kZ);
+  auto data_h = ext_h->ExtractFromLongField(field_h, probe_h).MoveValue();
+  auto data_z = ext_z->ExtractFromLongField(field_z, probe_z).MoveValue();
+  QBISM_CHECK(data_h.VoxelCount() == data_z.VoxelCount());
+  QBISM_CHECK(data_h.MeanIntensity() == data_z.MeanIntensity());
+  std::printf("\nextraction answers identical under both orders: YES\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Brain mapping session: walks the §2.1 scenario end to end on the
+// synthetic corpus — select atlas structures, view a patient's PET data
+// inside them, texture-map the data onto the structure surface
+// (Figure 6), histogram-segment an intensity range, and compare
+// regions across studies. Writes PPM images next to the binary.
+//
+// Build & run:  ./build/examples/brain_mapping
+
+#include <cstdio>
+
+#include "common/macros.h"
+#include "med/loader.h"
+#include "med/schema.h"
+#include "qbism/medical_server.h"
+
+using qbism::MedicalServer;
+using qbism::QuerySpec;
+using qbism::SpatialConfig;
+using qbism::SpatialExtension;
+
+namespace {
+
+void SaveImage(const qbism::viz::Image& image, const char* path) {
+  QBISM_CHECK_OK(image.WritePpm(path));
+  std::printf("  wrote %s (%dx%d, %.1f%% lit)\n", path, image.width(),
+              image.height(), 100 * image.NonBlackFraction());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("QBISM brain-mapping session (the §2.1 scenario).\n");
+  std::printf("Loading the medical database (atlas + 3 PET studies)...\n");
+
+  qbism::sql::Database db;
+  auto ext = SpatialExtension::Install(&db, SpatialConfig{}).MoveValue();
+  QBISM_CHECK_OK(qbism::med::BootstrapSchema(&db));
+  qbism::med::LoadOptions options;
+  options.num_pet_studies = 3;
+  options.num_mri_studies = 0;
+  auto dataset = qbism::med::PopulateDatabase(ext.get(), options);
+  QBISM_CHECK(dataset.ok());
+  MedicalServer server(ext.get());
+  qbism::viz::Camera camera{0.5, 0.35, 384};
+
+  // --- Step 1: select a structure from the standard atlas and render
+  //     it (Figure 6a: "the atlas structure ntal1").
+  std::printf("\n[1] Render atlas structure ntal1 (one hemisphere):\n");
+  auto mesh_rows = db.Execute(
+      "select ast.mesh, ast.region from atlasStructure ast,"
+      " neuralStructure ns where ast.structureId = ns.structureId"
+      " and ns.structureName = 'ntal1'");
+  QBISM_CHECK(mesh_rows.ok());
+  auto mesh_bytes =
+      db.lfm()->Read(mesh_rows->rows[0][0].AsLongField().MoveValue());
+  auto mesh =
+      qbism::viz::TriangleMesh::Deserialize(mesh_bytes.MoveValue()).MoveValue();
+  std::printf("  surface mesh: %zu vertices, %zu triangles\n",
+              mesh.VertexCount(), mesh.TriangleCount());
+  SaveImage(server.dx()
+                ->RenderSurface(mesh, camera, ext->config().grid)
+                .image,
+            "brain_structure.ppm");
+
+  // --- Step 2: the patient's PET data inside the structure
+  //     (Figure 6b), via the MedicalServer query path.
+  std::printf("\n[2] PET study 53 inside ntal1 (spatial query):\n");
+  QuerySpec spec;
+  spec.study_id = 53;
+  spec.structure_name = "ntal1";
+  auto result = server.RunStudyQuery(spec, /*render=*/true, camera);
+  QBISM_CHECK(result.ok());
+  std::printf("  generated SQL: %s\n", result->data_sql.c_str());
+  std::printf("  %llu voxels in %llu h-runs; %llu LFM pages; "
+              "mean intensity %.1f\n",
+              static_cast<unsigned long long>(result->result_voxels),
+              static_cast<unsigned long long>(result->result_runs),
+              static_cast<unsigned long long>(result->timing.lfm_pages),
+              result->data.MeanIntensity());
+  SaveImage(result->image, "brain_pet_in_structure.ppm");
+
+  // --- Step 3: texture-map the PET data onto the structure surface
+  //     (Figure 6c).
+  std::printf("\n[3] PET data mapped onto the structure surface:\n");
+  auto imported = server.dx()->ImportVolume(result->data);
+  SaveImage(server.dx()
+                ->RenderSurface(mesh, camera, ext->config().grid,
+                                &imported.dense)
+                .image,
+            "brain_textured_surface.ppm");
+
+  // --- Step 4: histogram-segment an intensity range and find other
+  //     regions of the study in that range (attribute query).
+  std::printf("\n[4] High-activity regions (band 224-255) anywhere:\n");
+  QuerySpec band;
+  band.study_id = 53;
+  band.intensity_range = {224, 255};
+  auto band_result = server.RunStudyQuery(band, /*render=*/true, camera);
+  QBISM_CHECK(band_result.ok());
+  std::printf("  %llu voxels of peak activity in %llu runs\n",
+              static_cast<unsigned long long>(band_result->result_voxels),
+              static_cast<unsigned long long>(band_result->result_runs));
+  SaveImage(band_result->image, "brain_high_activity.ppm");
+
+  // --- Step 5: compare a region across two studies of different
+  //     patients, both warped to the same atlas (§2.2's payoff).
+  std::printf("\n[5] Same structure in another patient's study:\n");
+  QuerySpec other = spec;
+  other.study_id = 54;
+  auto other_result = server.RunStudyQuery(other, /*render=*/false);
+  QBISM_CHECK(other_result.ok());
+  std::printf("  study 53 mean %.1f vs study 54 mean %.1f inside ntal1\n",
+              result->data.MeanIntensity(),
+              other_result->data.MeanIntensity());
+
+  // --- Step 6: target a radiation beam and list the anatomical
+  //     structures it intersects (the §2.1 scenario's targeting step).
+  std::printf("\n[6] Beam from (20,20,110) to (100,100,30), radius 3:\n");
+  auto beam_shape = qbism::geometry::MakeTube(
+      {{20, 20, 110}, {100, 100, 30}}, 3.0);
+  auto beam = qbism::region::Region::FromShape(
+      ext->config().grid, ext->config().curve, *beam_shape);
+  auto structures = db.Execute(
+      "select ns.structureName, ast.region from atlasStructure ast,"
+      " neuralStructure ns where ast.structureId = ns.structureId");
+  QBISM_CHECK(structures.ok());
+  for (const auto& row : structures->rows) {
+    auto region =
+        ext->LoadRegion(row[1].AsLongField().MoveValue()).MoveValue();
+    auto hit = beam.IntersectWith(region).MoveValue();
+    if (!hit.Empty()) {
+      std::printf("  beam crosses %-14s (%llu voxels)\n",
+                  row[0].AsString().value().c_str(),
+                  static_cast<unsigned long long>(hit.VoxelCount()));
+    }
+  }
+
+  // --- Step 7: review a cached result with no database reaccess.
+  std::printf("\n[7] DX cache holds %zu recent query results; re-viewing "
+              "'%s' needs no DB access.\n",
+              server.dx()->CacheSize(), spec.Describe().c_str());
+  QBISM_CHECK(server.dx()->CacheGet(spec.Describe()) != nullptr);
+
+  std::printf("\nDone. View the .ppm files with any image viewer.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Data mining: the §2.1 "data mining queries" class and the §7 future
+// directions, implemented — similarity search over study feature
+// vectors ("find the PET studies ... similar to Ms. Smith's latest PET
+// study") and association-rule mining over per-study activity patterns
+// ("find PET study intensity patterns that are associated with any
+// neurological condition in any subpopulation").
+//
+// Build & run:  ./build/examples/data_mining
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "med/loader.h"
+#include "med/schema.h"
+#include "mining/apriori.h"
+#include "qbism/medical_server.h"
+
+using qbism::MedicalServer;
+using qbism::SpatialConfig;
+using qbism::SpatialExtension;
+
+int main() {
+  std::printf("QBISM data-mining session.\n");
+  std::printf("Loading the medical database (8 PET studies)...\n");
+
+  qbism::sql::Database db;
+  auto ext = SpatialExtension::Install(&db, SpatialConfig{}).MoveValue();
+  QBISM_CHECK_OK(qbism::med::BootstrapSchema(&db));
+  qbism::med::LoadOptions options;
+  options.num_pet_studies = 8;  // a slightly larger population
+  options.num_mri_studies = 0;
+  options.build_meshes = false;
+  auto dataset = qbism::med::PopulateDatabase(ext.get(), options);
+  QBISM_CHECK(dataset.ok());
+  MedicalServer server(ext.get());
+  const std::vector<int>& studies = dataset->pet_study_ids;
+
+  // --- 1. Feature vectors: mean intensity per atlas structure. --------
+  std::printf("\n[1] Study feature vectors (mean intensity per structure):\n");
+  std::map<int, std::vector<double>> features;
+  for (int study : studies) {
+    features[study] = server.StudyFeatureVector(study).MoveValue();
+    std::printf("  study %d: [", study);
+    for (size_t i = 0; i < features[study].size(); ++i) {
+      std::printf("%s%.0f", i ? " " : "", features[study][i]);
+    }
+    std::printf("]\n");
+  }
+
+  // --- 2. Similarity search: who resembles study 53? ------------------
+  std::printf("\n[2] 3 studies most similar to study 53 (kd-tree kNN):\n");
+  auto neighbors = server.FindSimilarStudies(53, studies, 3).MoveValue();
+  for (const auto& n : neighbors) {
+    std::printf("  study %lld at feature distance %.2f\n",
+                static_cast<long long>(n.id), n.distance);
+  }
+
+  // --- 3. Association rules over activity patterns. -------------------
+  // Items: "high activity in structure S" (feature > population mean),
+  // one item id per structure, plus a synthetic "condition" flag for
+  // patients whose hippocampus activity tops the population (the kind
+  // of label a clinical archive would join in).
+  std::printf("\n[3] Association rules over high-activity patterns:\n");
+  size_t dims = features.begin()->second.size();
+  std::vector<double> mean(dims, 0.0);
+  for (const auto& [study, f] : features) {
+    for (size_t i = 0; i < dims; ++i) mean[i] += f[i];
+  }
+  for (double& m : mean) m /= static_cast<double>(features.size());
+
+  auto structure_names =
+      db.Execute("select structureName from neuralStructure"
+                 " order by structureName")
+          .MoveValue();
+  auto item_name = [&](uint32_t item) -> std::string {
+    if (item < dims) {
+      return "high(" +
+             structure_names.rows[item][0].AsString().value() + ")";
+    }
+    return "condition";
+  };
+
+  std::vector<qbism::mining::Transaction> transactions;
+  for (const auto& [study, f] : features) {
+    qbism::mining::Transaction t;
+    for (size_t i = 0; i < dims; ++i) {
+      if (f[i] > mean[i]) t.push_back(static_cast<uint32_t>(i));
+    }
+    // Synthetic condition label correlated with hippocampal activity
+    // (structure index found by name).
+    for (size_t i = 0; i < dims; ++i) {
+      if (structure_names.rows[i][0].AsString().value() == "hippocampus" &&
+          f[i] > mean[i] * 1.02) {
+        t.push_back(static_cast<uint32_t>(dims));  // the condition item
+      }
+    }
+    transactions.push_back(std::move(t));
+  }
+  auto rules =
+      qbism::mining::MineAssociationRules(transactions, 0.3, 0.8).MoveValue();
+  int shown = 0;
+  for (const auto& rule : rules) {
+    if (shown++ >= 10) break;
+    std::string lhs, rhs;
+    for (uint32_t item : rule.lhs) lhs += item_name(item) + " ";
+    for (uint32_t item : rule.rhs) rhs += item_name(item) + " ";
+    std::printf("  %s=> %s (support %.2f, confidence %.2f)\n", lhs.c_str(),
+                rhs.c_str(), rule.support, rule.confidence);
+  }
+  if (rules.empty()) {
+    std::printf("  (no rules at support>=0.3, confidence>=0.8)\n");
+  }
+  std::printf("\n%zu rules mined from %zu studies.\n", rules.size(),
+              transactions.size());
+  return 0;
+}

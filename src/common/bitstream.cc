@@ -1,0 +1,63 @@
+#include "common/bitstream.h"
+
+#include "common/macros.h"
+
+namespace qbism {
+
+void BitWriter::PutBit(int bit) {
+  size_t byte_index = bit_count_ / 8;
+  if (byte_index >= bytes_.size()) bytes_.push_back(0);
+  if (bit) bytes_[byte_index] |= static_cast<uint8_t>(0x80u >> (bit_count_ % 8));
+  ++bit_count_;
+}
+
+void BitWriter::PutBits(uint64_t value, int nbits) {
+  QBISM_CHECK(nbits >= 0 && nbits <= 64);
+  for (int i = nbits - 1; i >= 0; --i) {
+    PutBit(static_cast<int>((value >> i) & 1u));
+  }
+}
+
+void BitWriter::PutUnary(uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) PutBit(0);
+  PutBit(1);
+}
+
+std::vector<uint8_t> BitWriter::Finish() {
+  std::vector<uint8_t> out = std::move(bytes_);
+  bytes_.clear();
+  bit_count_ = 0;
+  return out;
+}
+
+Result<int> BitReader::GetBit() {
+  if (pos_ >= size_bits_) {
+    return Status::OutOfRange("BitReader: read past end of stream");
+  }
+  int bit = (data_[pos_ / 8] >> (7 - pos_ % 8)) & 1;
+  ++pos_;
+  return bit;
+}
+
+Result<uint64_t> BitReader::GetBits(int nbits) {
+  if (nbits < 0 || nbits > 64) {
+    return Status::InvalidArgument("BitReader: nbits out of [0,64]");
+  }
+  uint64_t value = 0;
+  for (int i = 0; i < nbits; ++i) {
+    QBISM_ASSIGN_OR_RETURN(int bit, GetBit());
+    value = (value << 1) | static_cast<uint64_t>(bit);
+  }
+  return value;
+}
+
+Result<uint64_t> BitReader::GetUnary() {
+  uint64_t count = 0;
+  while (true) {
+    QBISM_ASSIGN_OR_RETURN(int bit, GetBit());
+    if (bit) return count;
+    ++count;
+  }
+}
+
+}  // namespace qbism

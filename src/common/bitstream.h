@@ -1,0 +1,73 @@
+#ifndef QBISM_COMMON_BITSTREAM_H_
+#define QBISM_COMMON_BITSTREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace qbism {
+
+/// Append-only MSB-first bit writer backed by a byte vector. Used by the
+/// REGION compression codecs (Elias gamma/delta, Golomb).
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the single bit `bit` (0 or 1).
+  void PutBit(int bit);
+
+  /// Appends the `nbits` low-order bits of `value`, most significant
+  /// first. `nbits` must be in [0, 64].
+  void PutBits(uint64_t value, int nbits);
+
+  /// Appends `count` zero bits followed by a one bit (unary coding of
+  /// `count`), the primitive used by the Elias codes.
+  void PutUnary(uint64_t count);
+
+  /// Number of bits written so far.
+  size_t bit_count() const { return bit_count_; }
+
+  /// Finishes the stream (zero-pads the last byte) and returns the bytes.
+  /// The writer is left empty and reusable.
+  std::vector<uint8_t> Finish();
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t bit_count_ = 0;
+};
+
+/// MSB-first bit reader over a byte span. Reads past the end fail with
+/// Status::OutOfRange rather than returning garbage.
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size_bytes)
+      : data_(data), size_bits_(size_bytes * 8) {}
+  explicit BitReader(const std::vector<uint8_t>& bytes)
+      : BitReader(bytes.data(), bytes.size()) {}
+
+  /// Reads one bit.
+  Result<int> GetBit();
+
+  /// Reads `nbits` bits (0..64), most significant first.
+  Result<uint64_t> GetBits(int nbits);
+
+  /// Reads a unary-coded count: the number of zero bits before the next
+  /// one bit (the terminating one bit is consumed).
+  Result<uint64_t> GetUnary();
+
+  size_t position() const { return pos_; }
+  size_t size_bits() const { return size_bits_; }
+  bool exhausted() const { return pos_ >= size_bits_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_bits_;
+  size_t pos_ = 0;
+};
+
+}  // namespace qbism
+
+#endif  // QBISM_COMMON_BITSTREAM_H_

@@ -1,0 +1,45 @@
+#ifndef QBISM_COMMON_LINEAR_FIT_H_
+#define QBISM_COMMON_LINEAR_FIT_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace qbism {
+
+/// Ordinary least-squares line fit y = slope*x + intercept with the
+/// Pearson correlation coefficient r. Used to reproduce the paper's
+/// scatter-plot linear fits (§4.2) and the EQ 1 power-law exponent.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r = 0.0;  // Pearson correlation coefficient
+};
+
+inline LinearFit FitLine(const std::vector<double>& xs,
+                         const std::vector<double>& ys) {
+  LinearFit fit;
+  size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return fit;
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    syy += ys[i] * ys[i];
+    sxy += xs[i] * ys[i];
+  }
+  double dn = static_cast<double>(n);
+  double cov = sxy - sx * sy / dn;
+  double varx = sxx - sx * sx / dn;
+  double vary = syy - sy * sy / dn;
+  if (varx <= 0) return fit;
+  fit.slope = cov / varx;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+  fit.r = vary > 0 ? cov / std::sqrt(varx * vary) : 0.0;
+  return fit;
+}
+
+}  // namespace qbism
+
+#endif  // QBISM_COMMON_LINEAR_FIT_H_

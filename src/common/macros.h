@@ -1,0 +1,51 @@
+#ifndef QBISM_COMMON_MACROS_H_
+#define QBISM_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+/// Propagates a non-OK Status to the caller.
+#define QBISM_RETURN_NOT_OK(expr)                \
+  do {                                           \
+    ::qbism::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#define QBISM_CONCAT_IMPL(x, y) x##y
+#define QBISM_CONCAT(x, y) QBISM_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the Status,
+/// otherwise move-assigns the value into `lhs` (which may be a
+/// declaration, e.g. `QBISM_ASSIGN_OR_RETURN(auto v, MakeV());`).
+#define QBISM_ASSIGN_OR_RETURN(lhs, expr)                     \
+  QBISM_ASSIGN_OR_RETURN_IMPL(QBISM_CONCAT(_res_, __LINE__), lhs, expr)
+
+#define QBISM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+/// Hard invariant check: aborts with a message when violated. Used for
+/// programming errors, never for recoverable conditions.
+#define QBISM_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "QBISM_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define QBISM_CHECK_OK(expr)                                                 \
+  do {                                                                       \
+    ::qbism::Status _st = (expr);                                            \
+    if (!_st.ok()) {                                                         \
+      std::fprintf(stderr, "QBISM_CHECK_OK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, _st.ToString().c_str());                        \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // QBISM_COMMON_MACROS_H_

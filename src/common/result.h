@@ -1,0 +1,69 @@
+#ifndef QBISM_COMMON_RESULT_H_
+#define QBISM_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace qbism {
+
+/// Either a value of type T or a non-OK Status. Used as the return type
+/// of any fallible function that produces a value.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value so `return value;` works in Result functions.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit from a (non-OK) Status so `return status;` works.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      // Constructing a Result from an OK status is a programming error;
+      // there is no value to hold.
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok(). Aborts otherwise.
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Moves the value out. Precondition: ok().
+  T MoveValue() {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) std::abort();
+  }
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace qbism
+
+#endif  // QBISM_COMMON_RESULT_H_

@@ -1,0 +1,46 @@
+#ifndef QBISM_COMMON_RNG_H_
+#define QBISM_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace qbism {
+
+/// Deterministic 64-bit PRNG (splitmix64). Every data generator in this
+/// repository takes an explicit seed so all experiments are reproducible
+/// bit-for-bit; we avoid std::mt19937 to keep streams identical across
+/// standard-library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform in [lo, hi).
+  double NextDoubleIn(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box-Muller (one draw per call, second discarded
+  /// for simplicity and stream stability).
+  double NextGaussian();
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace qbism
+
+#endif  // QBISM_COMMON_RNG_H_

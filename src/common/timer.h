@@ -1,0 +1,43 @@
+#ifndef QBISM_COMMON_TIMER_H_
+#define QBISM_COMMON_TIMER_H_
+
+#include <chrono>
+#include <ctime>
+
+namespace qbism {
+
+/// Wall-clock stopwatch with microsecond resolution.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  /// Seconds elapsed since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Process CPU-time stopwatch. Mirrors the paper's cpu/real split in
+/// Tables 3 and 4.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(Now()) {}
+  void Reset() { start_ = Now(); }
+  double Seconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+  double start_;
+};
+
+}  // namespace qbism
+
+#endif  // QBISM_COMMON_TIMER_H_

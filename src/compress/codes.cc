@@ -1,0 +1,120 @@
+#include "compress/codes.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace qbism::compress {
+
+namespace {
+
+/// floor(log2(x)) for x >= 1.
+int FloorLog2(uint64_t x) {
+  QBISM_CHECK(x >= 1);
+  return 63 - __builtin_clzll(x);
+}
+
+}  // namespace
+
+void EliasGammaEncode(uint64_t x, BitWriter* writer) {
+  QBISM_CHECK(x >= 1);
+  int n = FloorLog2(x);
+  // n zeros, a one, then the n low-order bits of x.
+  writer->PutUnary(static_cast<uint64_t>(n));
+  writer->PutBits(x, n);  // drops the implicit leading 1 bit
+}
+
+Result<uint64_t> EliasGammaDecode(BitReader* reader) {
+  QBISM_ASSIGN_OR_RETURN(uint64_t n, reader->GetUnary());
+  if (n > 63) return Status::Corruption("EliasGamma: length prefix too large");
+  QBISM_ASSIGN_OR_RETURN(uint64_t low, reader->GetBits(static_cast<int>(n)));
+  return (uint64_t{1} << n) | low;
+}
+
+void EliasDeltaEncode(uint64_t x, BitWriter* writer) {
+  QBISM_CHECK(x >= 1);
+  int n = FloorLog2(x);
+  EliasGammaEncode(static_cast<uint64_t>(n) + 1, writer);
+  writer->PutBits(x, n);
+}
+
+Result<uint64_t> EliasDeltaDecode(BitReader* reader) {
+  QBISM_ASSIGN_OR_RETURN(uint64_t np1, EliasGammaDecode(reader));
+  uint64_t n = np1 - 1;
+  if (n > 63) return Status::Corruption("EliasDelta: length prefix too large");
+  QBISM_ASSIGN_OR_RETURN(uint64_t low, reader->GetBits(static_cast<int>(n)));
+  return (uint64_t{1} << n) | low;
+}
+
+void GolombEncode(uint64_t x, uint64_t m, BitWriter* writer) {
+  QBISM_CHECK(x >= 1);
+  QBISM_CHECK(m >= 1);
+  uint64_t v = x - 1;
+  uint64_t q = v / m;
+  uint64_t r = v % m;
+  writer->PutUnary(q);
+  // Truncated binary for the remainder in [0, m).
+  int b = FloorLog2(m);
+  uint64_t cutoff = (uint64_t{1} << (b + 1)) - m;
+  if (r < cutoff) {
+    writer->PutBits(r, b);
+  } else {
+    writer->PutBits(r + cutoff, b + 1);
+  }
+}
+
+Result<uint64_t> GolombDecode(uint64_t m, BitReader* reader) {
+  if (m < 1) return Status::InvalidArgument("Golomb: m must be >= 1");
+  QBISM_ASSIGN_OR_RETURN(uint64_t q, reader->GetUnary());
+  int b = FloorLog2(m);
+  uint64_t cutoff = (uint64_t{1} << (b + 1)) - m;
+  QBISM_ASSIGN_OR_RETURN(uint64_t r, reader->GetBits(b));
+  if (r >= cutoff) {
+    QBISM_ASSIGN_OR_RETURN(uint64_t extra, reader->GetBits(1));
+    r = (r << 1) + extra - cutoff;
+  }
+  return q * m + r + 1;
+}
+
+int EliasGammaLength(uint64_t x) {
+  QBISM_CHECK(x >= 1);
+  return 2 * FloorLog2(x) + 1;
+}
+
+int EliasDeltaLength(uint64_t x) {
+  QBISM_CHECK(x >= 1);
+  int n = FloorLog2(x);
+  return EliasGammaLength(static_cast<uint64_t>(n) + 1) + n;
+}
+
+int64_t GolombLength(uint64_t x, uint64_t m) {
+  QBISM_CHECK(x >= 1 && m >= 1);
+  uint64_t v = x - 1;
+  uint64_t q = v / m;
+  uint64_t r = v % m;
+  int b = FloorLog2(m);
+  uint64_t cutoff = (uint64_t{1} << (b + 1)) - m;
+  return static_cast<int64_t>(q) + 1 + (r < cutoff ? b : b + 1);
+}
+
+double EmpiricalEntropyBitsPerSymbol(const std::vector<uint64_t>& symbols) {
+  if (symbols.empty()) return 0.0;
+  std::unordered_map<uint64_t, uint64_t> counts;
+  for (uint64_t s : symbols) ++counts[s];
+  double n = static_cast<double>(symbols.size());
+  double h = 0.0;
+  for (const auto& [value, count] : counts) {
+    (void)value;
+    double p = static_cast<double>(count) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double EntropyBoundBits(const std::vector<uint64_t>& symbols) {
+  return EmpiricalEntropyBitsPerSymbol(symbols) *
+         static_cast<double>(symbols.size());
+}
+
+}  // namespace qbism::compress

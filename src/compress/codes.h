@@ -1,0 +1,53 @@
+#ifndef QBISM_COMPRESS_CODES_H_
+#define QBISM_COMPRESS_CODES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitstream.h"
+#include "common/result.h"
+
+namespace qbism::compress {
+
+/// --- Universal integer codes ------------------------------------------
+///
+/// The paper (§4.2) encodes REGION run/gap ("delta") lengths with the
+/// Elias gamma code because measured delta lengths follow a power law
+/// (EQ 1), which rules out codes tailored to geometric distributions
+/// (Golomb, infinite Huffman). We implement gamma, delta, and Golomb so
+/// the choice can be benchmarked (bench_codes).
+
+/// Elias gamma code of x >= 1: floor(log2 x) zeros, then x in binary.
+void EliasGammaEncode(uint64_t x, BitWriter* writer);
+Result<uint64_t> EliasGammaDecode(BitReader* reader);
+
+/// Elias delta code of x >= 1: gamma(1 + floor(log2 x)) then the
+/// floor(log2 x) low bits of x. Asymptotically shorter than gamma.
+void EliasDeltaEncode(uint64_t x, BitWriter* writer);
+Result<uint64_t> EliasDeltaDecode(BitReader* reader);
+
+/// Golomb code of x >= 1 with divisor m >= 1 (optimal for geometric
+/// distributions): quotient (x-1)/m in unary, remainder in truncated
+/// binary.
+void GolombEncode(uint64_t x, uint64_t m, BitWriter* writer);
+Result<uint64_t> GolombDecode(uint64_t m, BitReader* reader);
+
+/// Number of bits each code spends on x (without encoding). Golomb's
+/// length is 64-bit because its unary quotient grows linearly in x/m.
+int EliasGammaLength(uint64_t x);
+int EliasDeltaLength(uint64_t x);
+int64_t GolombLength(uint64_t x, uint64_t m);
+
+/// --- Entropy ------------------------------------------------------------
+
+/// Empirical zeroth-order entropy of a symbol sequence in bits/symbol:
+/// -sum_l p_l log2 p_l over the distinct values in `symbols` (EQ 2).
+/// Returns 0 for empty or single-symbol-alphabet input.
+double EmpiricalEntropyBitsPerSymbol(const std::vector<uint64_t>& symbols);
+
+/// Entropy lower bound in bits for coding the whole sequence.
+double EntropyBoundBits(const std::vector<uint64_t>& symbols);
+
+}  // namespace qbism::compress
+
+#endif  // QBISM_COMPRESS_CODES_H_

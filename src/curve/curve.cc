@@ -1,0 +1,132 @@
+#include "curve/curve.h"
+
+#include "common/macros.h"
+
+namespace qbism::curve {
+
+std::string_view CurveKindToString(CurveKind kind) {
+  switch (kind) {
+    case CurveKind::kHilbert:
+      return "hilbert";
+    case CurveKind::kZ:
+      return "z";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Skilling's transpose-form Hilbert transforms. The "transpose" of a
+// Hilbert index distributes its bits across the dims coordinates:
+// bit (dims*bits - 1 - k) of the index is bit (bits - 1 - k/dims) of
+// X[k % dims].
+
+void AxesToTranspose(uint32_t* x, int dims, int bits) {
+  uint32_t m = 1u << (bits - 1);
+  // Inverse undo.
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    uint32_t p = q - 1;
+    for (int i = 0; i < dims; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert
+      } else {
+        uint32_t t = (x[0] ^ x[i]) & p;  // exchange
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < dims; ++i) x[i] ^= x[i - 1];
+  uint32_t t = 0;
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    if (x[dims - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < dims; ++i) x[i] ^= t;
+}
+
+void TransposeToAxes(uint32_t* x, int dims, int bits) {
+  uint32_t n = 2u << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  uint32_t t = x[dims - 1] >> 1;
+  for (int i = dims - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (uint32_t q = 2; q != n; q <<= 1) {
+    uint32_t p = q - 1;
+    for (int i = dims - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        uint32_t tt = (x[0] ^ x[i]) & p;
+        x[0] ^= tt;
+        x[i] ^= tt;
+      }
+    }
+  }
+}
+
+void CheckDimsBits(int dims, int bits) {
+  QBISM_CHECK(dims >= 1 && dims <= kMaxDims);
+  QBISM_CHECK(bits >= 1 && bits <= 32);
+  QBISM_CHECK(dims * bits <= 64);
+}
+
+}  // namespace
+
+uint64_t HilbertIndex(const uint32_t* axes, int dims, int bits) {
+  CheckDimsBits(dims, bits);
+  uint32_t x[kMaxDims];
+  for (int i = 0; i < dims; ++i) {
+    QBISM_CHECK(bits == 32 || axes[i] < (1u << bits));
+    x[i] = axes[i];
+  }
+  AxesToTranspose(x, dims, bits);
+  uint64_t index = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < dims; ++i) {
+      index = (index << 1) | ((x[i] >> b) & 1u);
+    }
+  }
+  return index;
+}
+
+void HilbertAxes(uint64_t index, int dims, int bits, uint32_t* axes) {
+  CheckDimsBits(dims, bits);
+  uint32_t x[kMaxDims] = {0};
+  int shift = dims * bits;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < dims; ++i) {
+      --shift;
+      x[i] |= static_cast<uint32_t>((index >> shift) & 1u) << b;
+    }
+  }
+  TransposeToAxes(x, dims, bits);
+  for (int i = 0; i < dims; ++i) axes[i] = x[i];
+}
+
+uint64_t MortonIndex(const uint32_t* axes, int dims, int bits) {
+  CheckDimsBits(dims, bits);
+  uint64_t index = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < dims; ++i) {
+      QBISM_CHECK(bits == 32 || axes[i] < (1u << bits));
+      index = (index << 1) | ((axes[i] >> b) & 1u);
+    }
+  }
+  return index;
+}
+
+void MortonAxes(uint64_t index, int dims, int bits, uint32_t* axes) {
+  CheckDimsBits(dims, bits);
+  for (int i = 0; i < dims; ++i) axes[i] = 0;
+  int shift = dims * bits;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < dims; ++i) {
+      --shift;
+      axes[i] |= static_cast<uint32_t>((index >> shift) & 1u) << b;
+    }
+  }
+}
+
+}  // namespace qbism::curve

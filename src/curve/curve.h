@@ -1,0 +1,94 @@
+#ifndef QBISM_CURVE_CURVE_H_
+#define QBISM_CURVE_CURVE_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace qbism::curve {
+
+/// Which space-filling curve linearizes the grid. The paper (§4) studies
+/// both and selects Hilbert for its superior spatial clustering.
+enum class CurveKind {
+  kHilbert,
+  kZ,  // Z / Morton / bit-shuffling / Peano order
+};
+
+std::string_view CurveKindToString(CurveKind kind);
+
+/// Maximum number of dimensions supported by the generic routines.
+inline constexpr int kMaxDims = 8;
+
+/// --- Generic n-dimensional mappings -----------------------------------
+///
+/// `axes` are the Cartesian coordinates, each in [0, 2^bits). The curve
+/// index occupies dims*bits <= 64 bits. Both mappings are O(dims*bits),
+/// matching the paper's "O(n) conversion" remark.
+
+/// Hilbert-curve index of a point (John Skilling's transpose algorithm,
+/// AIP Conf. Proc. 707, 2004), oriented to match the curve pictured in
+/// the paper's Figure 3 for 2-D.
+uint64_t HilbertIndex(const uint32_t* axes, int dims, int bits);
+
+/// Inverse of HilbertIndex.
+void HilbertAxes(uint64_t index, int dims, int bits, uint32_t* axes);
+
+/// Z-curve (Morton) index: bits of the axes are interleaved with axis 0
+/// most significant within each level, matching the paper's
+/// z-id = x1 y1 x0 y0 convention (axis 0 = x).
+uint64_t MortonIndex(const uint32_t* axes, int dims, int bits);
+
+/// Inverse of MortonIndex.
+void MortonAxes(uint64_t index, int dims, int bits, uint32_t* axes);
+
+/// --- 3-D conveniences used by REGION / VOLUME --------------------------
+
+inline uint64_t HilbertId3(uint32_t x, uint32_t y, uint32_t z, int bits) {
+  const uint32_t axes[3] = {x, y, z};
+  return HilbertIndex(axes, 3, bits);
+}
+
+inline std::array<uint32_t, 3> HilbertPoint3(uint64_t id, int bits) {
+  std::array<uint32_t, 3> axes{};
+  HilbertAxes(id, 3, bits, axes.data());
+  return axes;
+}
+
+inline uint64_t MortonId3(uint32_t x, uint32_t y, uint32_t z, int bits) {
+  const uint32_t axes[3] = {x, y, z};
+  return MortonIndex(axes, 3, bits);
+}
+
+inline std::array<uint32_t, 3> MortonPoint3(uint64_t id, int bits) {
+  std::array<uint32_t, 3> axes{};
+  MortonAxes(id, 3, bits, axes.data());
+  return axes;
+}
+
+/// Curve id of (x, y, z) under `kind`.
+inline uint64_t CurveId3(CurveKind kind, uint32_t x, uint32_t y, uint32_t z,
+                         int bits) {
+  return kind == CurveKind::kHilbert ? HilbertId3(x, y, z, bits)
+                                     : MortonId3(x, y, z, bits);
+}
+
+/// Point for a curve id under `kind`.
+inline std::array<uint32_t, 3> CurvePoint3(CurveKind kind, uint64_t id,
+                                           int bits) {
+  return kind == CurveKind::kHilbert ? HilbertPoint3(id, bits)
+                                     : MortonPoint3(id, bits);
+}
+
+/// 2-D conveniences (used by the paper's worked example and tests).
+inline uint64_t HilbertId2(uint32_t x, uint32_t y, int bits) {
+  const uint32_t axes[2] = {x, y};
+  return HilbertIndex(axes, 2, bits);
+}
+inline uint64_t MortonId2(uint32_t x, uint32_t y, int bits) {
+  const uint32_t axes[2] = {x, y};
+  return MortonIndex(axes, 2, bits);
+}
+
+}  // namespace qbism::curve
+
+#endif  // QBISM_CURVE_CURVE_H_

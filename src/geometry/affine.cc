@@ -1,0 +1,84 @@
+#include "geometry/affine.h"
+
+#include <cmath>
+
+namespace qbism::geometry {
+
+Affine3::Affine3() : m_{1, 0, 0, 0, 1, 0, 0, 0, 1}, t_{} {}
+
+Affine3::Affine3(const std::array<double, 9>& linear, const Vec3d& translation)
+    : m_(linear), t_(translation) {}
+
+Affine3 Affine3::Translation(const Vec3d& t) {
+  Affine3 a;
+  a.t_ = t;
+  return a;
+}
+
+Affine3 Affine3::Scaling(double sx, double sy, double sz) {
+  return Affine3({sx, 0, 0, 0, sy, 0, 0, 0, sz}, {});
+}
+
+Affine3 Affine3::RotationAboutAxis(int axis, double radians) {
+  double c = std::cos(radians);
+  double s = std::sin(radians);
+  switch (axis) {
+    case 0:
+      return Affine3({1, 0, 0, 0, c, -s, 0, s, c}, {});
+    case 1:
+      return Affine3({c, 0, s, 0, 1, 0, -s, 0, c}, {});
+    default:
+      return Affine3({c, -s, 0, s, c, 0, 0, 0, 1}, {});
+  }
+}
+
+Vec3d Affine3::Apply(const Vec3d& p) const {
+  return {m_[0] * p.x + m_[1] * p.y + m_[2] * p.z + t_.x,
+          m_[3] * p.x + m_[4] * p.y + m_[5] * p.z + t_.y,
+          m_[6] * p.x + m_[7] * p.y + m_[8] * p.z + t_.z};
+}
+
+Affine3 Affine3::Compose(const Affine3& first) const {
+  std::array<double, 9> m{};
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      double sum = 0;
+      for (int k = 0; k < 3; ++k) sum += m_[r * 3 + k] * first.m_[k * 3 + c];
+      m[r * 3 + c] = sum;
+    }
+  }
+  Vec3d t = Apply(first.t_);
+  // Apply adds t_ to M*first.t_, which is exactly the composed translation.
+  return Affine3(m, t);
+}
+
+double Affine3::Determinant() const {
+  return m_[0] * (m_[4] * m_[8] - m_[5] * m_[7]) -
+         m_[1] * (m_[3] * m_[8] - m_[5] * m_[6]) +
+         m_[2] * (m_[3] * m_[7] - m_[4] * m_[6]);
+}
+
+Result<Affine3> Affine3::Inverse() const {
+  double det = Determinant();
+  if (std::fabs(det) < 1e-12) {
+    return Status::InvalidArgument("Affine3::Inverse: singular linear part");
+  }
+  double inv = 1.0 / det;
+  std::array<double, 9> a{};
+  a[0] = (m_[4] * m_[8] - m_[5] * m_[7]) * inv;
+  a[1] = (m_[2] * m_[7] - m_[1] * m_[8]) * inv;
+  a[2] = (m_[1] * m_[5] - m_[2] * m_[4]) * inv;
+  a[3] = (m_[5] * m_[6] - m_[3] * m_[8]) * inv;
+  a[4] = (m_[0] * m_[8] - m_[2] * m_[6]) * inv;
+  a[5] = (m_[2] * m_[3] - m_[0] * m_[5]) * inv;
+  a[6] = (m_[3] * m_[7] - m_[4] * m_[6]) * inv;
+  a[7] = (m_[1] * m_[6] - m_[0] * m_[7]) * inv;
+  a[8] = (m_[0] * m_[4] - m_[1] * m_[3]) * inv;
+  Affine3 result(a, {});
+  // y = Mx + t  =>  x = M^-1 y - M^-1 t.
+  Vec3d mt = result.Apply(t_);
+  result.t_ = Vec3d{} - mt;
+  return result;
+}
+
+}  // namespace qbism::geometry

@@ -1,0 +1,50 @@
+#ifndef QBISM_GEOMETRY_AFFINE_H_
+#define QBISM_GEOMETRY_AFFINE_H_
+
+#include <array>
+
+#include "common/result.h"
+#include "geometry/vec3.h"
+
+namespace qbism::geometry {
+
+/// 3-D affine transform y = M x + t. Used for the patient-space to
+/// atlas-space warps stored in the Warped Volume entity (§2.2): the
+/// paper derives affine registrations with warping algorithms whose
+/// details are out of scope; we parameterize the transform directly.
+class Affine3 {
+ public:
+  /// Identity transform.
+  Affine3();
+
+  /// From a row-major 3x3 linear part and a translation.
+  Affine3(const std::array<double, 9>& linear, const Vec3d& translation);
+
+  static Affine3 Identity() { return Affine3(); }
+  static Affine3 Translation(const Vec3d& t);
+  static Affine3 Scaling(double sx, double sy, double sz);
+  /// Rotation by `radians` about the given axis (0=x, 1=y, 2=z).
+  static Affine3 RotationAboutAxis(int axis, double radians);
+
+  Vec3d Apply(const Vec3d& p) const;
+
+  /// Composition: (*this) after `first`, i.e. Apply(p) of the result
+  /// equals this->Apply(first.Apply(p)).
+  Affine3 Compose(const Affine3& first) const;
+
+  /// Inverse transform; fails if the linear part is singular.
+  Result<Affine3> Inverse() const;
+
+  double Determinant() const;
+
+  const std::array<double, 9>& linear() const { return m_; }
+  const Vec3d& translation() const { return t_; }
+
+ private:
+  std::array<double, 9> m_;  // row-major
+  Vec3d t_;
+};
+
+}  // namespace qbism::geometry
+
+#endif  // QBISM_GEOMETRY_AFFINE_H_

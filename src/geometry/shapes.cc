@@ -1,0 +1,173 @@
+#include "geometry/shapes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace qbism::geometry {
+
+namespace {
+
+constexpr double kHuge = 1e30;
+
+Box3d UnionBounds(const Box3d& a, const Box3d& b) {
+  return {{std::min(a.min.x, b.min.x), std::min(a.min.y, b.min.y),
+           std::min(a.min.z, b.min.z)},
+          {std::max(a.max.x, b.max.x), std::max(a.max.y, b.max.y),
+           std::max(a.max.z, b.max.z)}};
+}
+
+Box3d IntersectBounds(const Box3d& a, const Box3d& b) {
+  return {{std::max(a.min.x, b.min.x), std::max(a.min.y, b.min.y),
+           std::max(a.min.z, b.min.z)},
+          {std::min(a.max.x, b.max.x), std::min(a.max.y, b.max.y),
+           std::min(a.max.z, b.max.z)}};
+}
+
+class UnionShape final : public Shape {
+ public:
+  UnionShape(ShapePtr a, ShapePtr b) : a_(std::move(a)), b_(std::move(b)) {}
+  bool Contains(const Vec3d& p) const override {
+    return a_->Contains(p) || b_->Contains(p);
+  }
+  Box3d Bounds() const override {
+    return UnionBounds(a_->Bounds(), b_->Bounds());
+  }
+
+ private:
+  ShapePtr a_, b_;
+};
+
+class IntersectShape final : public Shape {
+ public:
+  IntersectShape(ShapePtr a, ShapePtr b) : a_(std::move(a)), b_(std::move(b)) {}
+  bool Contains(const Vec3d& p) const override {
+    return a_->Contains(p) && b_->Contains(p);
+  }
+  Box3d Bounds() const override {
+    return IntersectBounds(a_->Bounds(), b_->Bounds());
+  }
+
+ private:
+  ShapePtr a_, b_;
+};
+
+class DifferenceShape final : public Shape {
+ public:
+  DifferenceShape(ShapePtr a, ShapePtr b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+  bool Contains(const Vec3d& p) const override {
+    return a_->Contains(p) && !b_->Contains(p);
+  }
+  Box3d Bounds() const override { return a_->Bounds(); }
+
+ private:
+  ShapePtr a_, b_;
+};
+
+double DistanceToSegment(const Vec3d& p, const Vec3d& a, const Vec3d& b) {
+  Vec3d ab = b - a;
+  double len2 = ab.Dot(ab);
+  if (len2 <= 0) return (p - a).Norm();
+  double t = std::clamp((p - a).Dot(ab) / len2, 0.0, 1.0);
+  return (p - (a + ab * t)).Norm();
+}
+
+}  // namespace
+
+Ellipsoid::Ellipsoid(const Vec3d& center, const Vec3d& radii,
+                     const Affine3& rotation)
+    : center_(center), radii_(radii) {
+  QBISM_CHECK(radii.x > 0 && radii.y > 0 && radii.z > 0);
+  auto inv = rotation.Inverse();
+  QBISM_CHECK(inv.ok());
+  world_to_local_ = inv.MoveValue();
+  bound_radius_ = std::max({radii.x, radii.y, radii.z});
+}
+
+bool Ellipsoid::Contains(const Vec3d& p) const {
+  Vec3d local = world_to_local_.Apply(p - center_);
+  double u = local.x / radii_.x;
+  double v = local.y / radii_.y;
+  double w = local.z / radii_.z;
+  return u * u + v * v + w * w <= 1.0;
+}
+
+Box3d Ellipsoid::Bounds() const {
+  Vec3d r{bound_radius_, bound_radius_, bound_radius_};
+  return {center_ - r, center_ + r};
+}
+
+HalfSpace::HalfSpace(const Vec3d& normal, double offset)
+    : normal_(normal.Normalized()), offset_(offset) {}
+
+bool HalfSpace::Contains(const Vec3d& p) const {
+  return normal_.Dot(p) <= offset_;
+}
+
+Box3d HalfSpace::Bounds() const {
+  Box3d box{{-kHuge, -kHuge, -kHuge}, {kHuge, kHuge, kHuge}};
+  // Axis-aligned normals admit a tight bound on one side, which lets
+  // CSG intersections (hemispheres!) rasterize over half the volume.
+  constexpr double kEps = 1e-12;
+  if (std::fabs(normal_.y) < kEps && std::fabs(normal_.z) < kEps) {
+    (normal_.x > 0 ? box.max.x : box.min.x) = offset_ / normal_.x;
+  } else if (std::fabs(normal_.x) < kEps && std::fabs(normal_.z) < kEps) {
+    (normal_.y > 0 ? box.max.y : box.min.y) = offset_ / normal_.y;
+  } else if (std::fabs(normal_.x) < kEps && std::fabs(normal_.y) < kEps) {
+    (normal_.z > 0 ? box.max.z : box.min.z) = offset_ / normal_.z;
+  }
+  return box;
+}
+
+Tube::Tube(std::vector<Vec3d> polyline, double radius)
+    : polyline_(std::move(polyline)), radius_(radius) {
+  QBISM_CHECK(polyline_.size() >= 2);
+  QBISM_CHECK(radius_ > 0);
+}
+
+bool Tube::Contains(const Vec3d& p) const {
+  for (size_t i = 0; i + 1 < polyline_.size(); ++i) {
+    if (DistanceToSegment(p, polyline_[i], polyline_[i + 1]) <= radius_) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Box3d Tube::Bounds() const {
+  Box3d box{{kHuge, kHuge, kHuge}, {-kHuge, -kHuge, -kHuge}};
+  for (const Vec3d& p : polyline_) {
+    box.min.x = std::min(box.min.x, p.x - radius_);
+    box.min.y = std::min(box.min.y, p.y - radius_);
+    box.min.z = std::min(box.min.z, p.z - radius_);
+    box.max.x = std::max(box.max.x, p.x + radius_);
+    box.max.y = std::max(box.max.y, p.y + radius_);
+    box.max.z = std::max(box.max.z, p.z + radius_);
+  }
+  return box;
+}
+
+ShapePtr Union(ShapePtr a, ShapePtr b) {
+  return std::make_shared<UnionShape>(std::move(a), std::move(b));
+}
+ShapePtr Intersect(ShapePtr a, ShapePtr b) {
+  return std::make_shared<IntersectShape>(std::move(a), std::move(b));
+}
+ShapePtr Difference(ShapePtr a, ShapePtr b) {
+  return std::make_shared<DifferenceShape>(std::move(a), std::move(b));
+}
+ShapePtr MakeEllipsoid(const Vec3d& center, const Vec3d& radii,
+                       const Affine3& rotation) {
+  return std::make_shared<Ellipsoid>(center, radii, rotation);
+}
+ShapePtr MakeHalfSpace(const Vec3d& normal, double offset) {
+  return std::make_shared<HalfSpace>(normal, offset);
+}
+ShapePtr MakeTube(std::vector<Vec3d> polyline, double radius) {
+  return std::make_shared<Tube>(std::move(polyline), radius);
+}
+
+}  // namespace qbism::geometry

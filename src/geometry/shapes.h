@@ -1,0 +1,84 @@
+#ifndef QBISM_GEOMETRY_SHAPES_H_
+#define QBISM_GEOMETRY_SHAPES_H_
+
+#include <memory>
+#include <vector>
+
+#include "geometry/affine.h"
+#include "geometry/vec3.h"
+
+namespace qbism::geometry {
+
+/// Solid-shape predicate used to rasterize synthetic anatomic structures
+/// into REGIONs. The paper digitized 11 structures from the Talairach &
+/// Tournoux atlas; we substitute parametric solids with comparable
+/// shapes (see DESIGN.md, substitutions table).
+class Shape {
+ public:
+  virtual ~Shape() = default;
+
+  /// True when point `p` (in atlas/world coordinates) is inside.
+  virtual bool Contains(const Vec3d& p) const = 0;
+
+  /// A conservative bounding box: every inside point lies within it.
+  virtual Box3d Bounds() const = 0;
+};
+
+using ShapePtr = std::shared_ptr<const Shape>;
+
+/// Axis-rotated ellipsoid.
+class Ellipsoid final : public Shape {
+ public:
+  /// `world_to_local` maps world points into the frame where the solid is
+  /// the unit ball scaled by `radii` at `center`.
+  Ellipsoid(const Vec3d& center, const Vec3d& radii,
+            const Affine3& rotation = Affine3::Identity());
+
+  bool Contains(const Vec3d& p) const override;
+  Box3d Bounds() const override;
+
+ private:
+  Vec3d center_;
+  Vec3d radii_;
+  Affine3 world_to_local_;
+  double bound_radius_;
+};
+
+/// Half space n . p <= d.
+class HalfSpace final : public Shape {
+ public:
+  HalfSpace(const Vec3d& normal, double offset);
+  bool Contains(const Vec3d& p) const override;
+  Box3d Bounds() const override;
+
+ private:
+  Vec3d normal_;
+  double offset_;
+};
+
+/// Capsule sweep along a polyline: points within `radius` of any segment.
+/// Used for elongated curved structures (hippocampus-like).
+class Tube final : public Shape {
+ public:
+  Tube(std::vector<Vec3d> polyline, double radius);
+  bool Contains(const Vec3d& p) const override;
+  Box3d Bounds() const override;
+
+ private:
+  std::vector<Vec3d> polyline_;
+  double radius_;
+};
+
+/// CSG combinators.
+ShapePtr Union(ShapePtr a, ShapePtr b);
+ShapePtr Intersect(ShapePtr a, ShapePtr b);
+ShapePtr Difference(ShapePtr a, ShapePtr b);
+
+ShapePtr MakeEllipsoid(const Vec3d& center, const Vec3d& radii,
+                       const Affine3& rotation = Affine3::Identity());
+ShapePtr MakeHalfSpace(const Vec3d& normal, double offset);
+ShapePtr MakeTube(std::vector<Vec3d> polyline, double radius);
+
+}  // namespace qbism::geometry
+
+#endif  // QBISM_GEOMETRY_SHAPES_H_

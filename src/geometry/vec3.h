@@ -1,0 +1,86 @@
+#ifndef QBISM_GEOMETRY_VEC3_H_
+#define QBISM_GEOMETRY_VEC3_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace qbism::geometry {
+
+/// Integer grid coordinate.
+struct Vec3i {
+  int32_t x = 0;
+  int32_t y = 0;
+  int32_t z = 0;
+
+  friend bool operator==(const Vec3i&, const Vec3i&) = default;
+};
+
+/// Real-valued point/vector in atlas or patient space.
+struct Vec3d {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3d operator+(const Vec3d& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3d operator-(const Vec3d& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3d operator*(double s) const { return {x * s, y * s, z * s}; }
+  Vec3d operator/(double s) const { return {x / s, y / s, z / s}; }
+
+  double Dot(const Vec3d& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3d Cross(const Vec3d& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double Norm() const { return std::sqrt(Dot(*this)); }
+  Vec3d Normalized() const {
+    double n = Norm();
+    return n > 0 ? *this / n : Vec3d{};
+  }
+
+  friend bool operator==(const Vec3d&, const Vec3d&) = default;
+};
+
+inline Vec3d ToVec3d(const Vec3i& v) {
+  return {static_cast<double>(v.x), static_cast<double>(v.y),
+          static_cast<double>(v.z)};
+}
+
+/// Axis-aligned integer box with inclusive bounds.
+struct Box3i {
+  Vec3i min;
+  Vec3i max;
+
+  bool Contains(const Vec3i& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y &&
+           p.z >= min.z && p.z <= max.z;
+  }
+  bool Empty() const { return min.x > max.x || min.y > max.y || min.z > max.z; }
+  int64_t VoxelCount() const {
+    if (Empty()) return 0;
+    return static_cast<int64_t>(max.x - min.x + 1) * (max.y - min.y + 1) *
+           (max.z - min.z + 1);
+  }
+  /// Clamps this box to another box (intersection).
+  Box3i ClippedTo(const Box3i& other) const {
+    return {{std::max(min.x, other.min.x), std::max(min.y, other.min.y),
+             std::max(min.z, other.min.z)},
+            {std::min(max.x, other.max.x), std::min(max.y, other.max.y),
+             std::min(max.z, other.max.z)}};
+  }
+
+  friend bool operator==(const Box3i&, const Box3i&) = default;
+};
+
+/// Axis-aligned real box.
+struct Box3d {
+  Vec3d min;
+  Vec3d max;
+
+  bool Contains(const Vec3d& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y &&
+           p.z >= min.z && p.z <= max.z;
+  }
+};
+
+}  // namespace qbism::geometry
+
+#endif  // QBISM_GEOMETRY_VEC3_H_

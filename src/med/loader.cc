@@ -1,0 +1,217 @@
+#include "med/loader.h"
+
+#include <array>
+
+#include "common/macros.h"
+#include "med/phantom.h"
+#include "viz/mesh.h"
+#include "warp/warp.h"
+
+namespace qbism::med {
+
+using geometry::Affine3;
+using region::Region;
+using sql::Row;
+using sql::Value;
+using storage::LongFieldId;
+using volume::Volume;
+
+namespace {
+
+/// Loads one raw study end to end: raw long field, warp, warped VOLUME,
+/// intensity bands.
+Status LoadStudy(SpatialExtension* ext, const LoadOptions& options,
+                 int study_id, int patient_id, const std::string& modality,
+                 const warp::RawVolume& raw, uint64_t warp_seed,
+                 int atlas_id) {
+  sql::Database* db = ext->db();
+
+  LongFieldId raw_field;
+  if (options.store_raw_volumes) {
+    QBISM_ASSIGN_OR_RETURN(raw_field, db->lfm()->Create(raw.data()));
+  }
+  QBISM_RETURN_NOT_OK(db->Insert(
+      "rawVolume",
+      Row{Value::Int(study_id), Value::Int(patient_id),
+          Value::String("1993-07-0" + std::to_string(1 + study_id % 9)),
+          Value::String(modality), Value::Int(raw.nx()), Value::Int(raw.ny()),
+          Value::Int(raw.nz()), Value::LongField(raw_field)}));
+
+  // Warp to atlas space at load time (the computation is expensive, so
+  // the paper stores the result rather than warping per query).
+  Affine3 warp_tx = StudyWarp(warp_seed, raw.nx(), raw.ny(), raw.nz());
+  Volume warped = warp::WarpToAtlas(raw, warp_tx, ext->config().grid,
+                                    ext->config().curve);
+  QBISM_ASSIGN_OR_RETURN(LongFieldId volume_field, ext->StoreVolume(warped));
+  const auto& m = warp_tx.linear();
+  const auto& t = warp_tx.translation();
+  QBISM_RETURN_NOT_OK(db->Insert(
+      "warpedVolume",
+      Row{Value::Int(study_id), Value::Int(atlas_id),
+          Value::LongField(volume_field), Value::Double(m[0]),
+          Value::Double(m[1]), Value::Double(m[2]), Value::Double(m[3]),
+          Value::Double(m[4]), Value::Double(m[5]), Value::Double(m[6]),
+          Value::Double(m[7]), Value::Double(m[8]), Value::Double(t.x),
+          Value::Double(t.y), Value::Double(t.z)}));
+
+  // Redundant intensity-band index (§3.3).
+  std::vector<Region> bands = warped.UniformBands(options.band_width);
+  int lo = 0;
+  for (const Region& band : bands) {
+    int hi = std::min(lo + options.band_width - 1, 255);
+    QBISM_ASSIGN_OR_RETURN(LongFieldId band_field, ext->StoreRegion(band));
+    QBISM_RETURN_NOT_OK(db->Insert(
+        "intensityBand",
+        Row{Value::Int(study_id), Value::Int(atlas_id), Value::Int(lo),
+            Value::Int(hi), Value::LongField(band_field)}));
+    lo += options.band_width;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<LoadedDataset> PopulateDatabase(SpatialExtension* ext,
+                                       const LoadOptions& options) {
+  sql::Database* db = ext->db();
+  LoadedDataset dataset;
+
+  // Atlas row: 128^3 grid over a 20 x 15 x 30 cm real-world field (§3.1),
+  // voxel sizes in millimetres.
+  double side = static_cast<double>(ext->config().grid.SideLength());
+  QBISM_RETURN_NOT_OK(db->Insert(
+      "atlas", Row{Value::Int(dataset.atlas_id), Value::String("Talairach"),
+                   Value::Int(static_cast<int64_t>(side)), Value::Double(0),
+                   Value::Double(0), Value::Double(0),
+                   Value::Double(200.0 / side), Value::Double(150.0 / side),
+                   Value::Double(300.0 / side)}));
+
+  // Neural systems and structures.
+  std::vector<std::string> systems = StandardNeuralSystems();
+  for (size_t i = 0; i < systems.size(); ++i) {
+    QBISM_RETURN_NOT_OK(db->Insert(
+        "neuralSystem", Row{Value::Int(static_cast<int64_t>(i + 1)),
+                            Value::String(systems[i])}));
+  }
+  auto system_id = [&](const std::string& name) -> int64_t {
+    for (size_t i = 0; i < systems.size(); ++i) {
+      if (systems[i] == name) return static_cast<int64_t>(i + 1);
+    }
+    return 0;
+  };
+
+  std::vector<PhantomStructure> structures = StandardAtlasStructures();
+  for (size_t i = 0; i < structures.size(); ++i) {
+    int64_t structure_id = static_cast<int64_t>(i + 1);
+    QBISM_RETURN_NOT_OK(
+        db->Insert("neuralStructure",
+                   Row{Value::Int(structure_id),
+                       Value::String(structures[i].name),
+                       Value::Int(system_id(structures[i].system))}));
+
+    Region region = Region::FromShape(ext->config().grid, ext->config().curve,
+                                      *structures[i].shape);
+    QBISM_ASSIGN_OR_RETURN(LongFieldId region_field, ext->StoreRegion(region));
+    LongFieldId mesh_field;
+    if (options.build_meshes) {
+      viz::TriangleMesh mesh = viz::ExtractSurface(region);
+      QBISM_ASSIGN_OR_RETURN(mesh_field, db->lfm()->Create(mesh.Serialize()));
+    }
+    QBISM_RETURN_NOT_OK(db->Insert(
+        "atlasStructure",
+        Row{Value::Int(dataset.atlas_id), Value::Int(structure_id),
+            Value::LongField(region_field), Value::LongField(mesh_field)}));
+    dataset.structure_names.push_back(structures[i].name);
+  }
+
+  // Patients and studies.
+  static const char* kNames[] = {"Ada",  "Boris", "Chen", "Dora",
+                                 "Egon", "Fay",   "Gus",  "Hana"};
+  int patient_id = 1;
+  for (int i = 0; i < options.num_pet_studies; ++i, ++patient_id) {
+    QBISM_RETURN_NOT_OK(db->Insert(
+        "patient", Row{Value::Int(patient_id),
+                       Value::String(kNames[(patient_id - 1) % 8]),
+                       Value::Int(30 + 3 * patient_id),
+                       Value::String(patient_id % 2 ? "F" : "M")}));
+    int study_id = options.first_pet_study_id + i;
+    warp::RawVolume raw = GeneratePetStudy(options.seed + i);
+    QBISM_RETURN_NOT_OK(LoadStudy(ext, options, study_id, patient_id, "PET",
+                                  raw, options.seed + i, dataset.atlas_id));
+    dataset.pet_study_ids.push_back(study_id);
+  }
+  for (int i = 0; i < options.num_mri_studies; ++i, ++patient_id) {
+    QBISM_RETURN_NOT_OK(db->Insert(
+        "patient", Row{Value::Int(patient_id),
+                       Value::String(kNames[(patient_id - 1) % 8]),
+                       Value::Int(30 + 3 * patient_id),
+                       Value::String(patient_id % 2 ? "F" : "M")}));
+    int study_id = options.first_mri_study_id + i;
+    warp::RawVolume raw = GenerateMriStudy(options.seed + 100 + i);
+    QBISM_RETURN_NOT_OK(LoadStudy(ext, options, study_id, patient_id, "MRI",
+                                  raw, options.seed + 100 + i,
+                                  dataset.atlas_id));
+    dataset.mri_study_ids.push_back(study_id);
+  }
+
+  return dataset;
+}
+
+Result<warp::RawVolume> LoadRawVolume(SpatialExtension* ext, int study_id) {
+  sql::Database* db = ext->db();
+  QBISM_ASSIGN_OR_RETURN(
+      sql::ResultSet rows,
+      db->Execute("select nx, ny, nz, data from rawVolume where studyId = " +
+                  std::to_string(study_id)));
+  if (rows.rows.empty()) {
+    return Status::NotFound("no raw volume for study " +
+                            std::to_string(study_id));
+  }
+  const sql::Row& row = rows.rows.front();
+  QBISM_ASSIGN_OR_RETURN(LongFieldId field, row[3].AsLongField());
+  if (field.IsNull()) {
+    return Status::NotFound("raw data for study " + std::to_string(study_id) +
+                            " was not stored (store_raw_volumes = false)");
+  }
+  QBISM_ASSIGN_OR_RETURN(std::vector<uint8_t> data, db->lfm()->Read(field));
+  return warp::RawVolume::Create(
+      static_cast<int>(row[0].AsInt().value()),
+      static_cast<int>(row[1].AsInt().value()),
+      static_cast<int>(row[2].AsInt().value()), std::move(data));
+}
+
+Result<volume::Volume> RewarpFromRaw(SpatialExtension* ext, int study_id) {
+  QBISM_ASSIGN_OR_RETURN(warp::RawVolume raw, LoadRawVolume(ext, study_id));
+  sql::Database* db = ext->db();
+  QBISM_ASSIGN_OR_RETURN(
+      sql::ResultSet rows,
+      db->Execute("select m00, m01, m02, m10, m11, m12, m20, m21, m22,"
+                  " tx, ty, tz, data from warpedVolume where studyId = " +
+                  std::to_string(study_id)));
+  if (rows.rows.empty()) {
+    return Status::NotFound("no warped volume for study " +
+                            std::to_string(study_id));
+  }
+  const sql::Row& row = rows.rows.front();
+  std::array<double, 9> m{};
+  for (int i = 0; i < 9; ++i) {
+    QBISM_ASSIGN_OR_RETURN(m[static_cast<size_t>(i)], row[i].AsDouble());
+  }
+  QBISM_ASSIGN_OR_RETURN(double tx, row[9].AsDouble());
+  QBISM_ASSIGN_OR_RETURN(double ty, row[10].AsDouble());
+  QBISM_ASSIGN_OR_RETURN(double tz, row[11].AsDouble());
+  geometry::Affine3 warp_tx(m, {tx, ty, tz});
+  volume::Volume rewarped = warp::WarpToAtlas(raw, warp_tx, ext->config().grid,
+                                              ext->config().curve);
+  // Verify against the stored warped VOLUME.
+  QBISM_ASSIGN_OR_RETURN(LongFieldId volume_field, row[12].AsLongField());
+  QBISM_ASSIGN_OR_RETURN(volume::Volume stored,
+                         ext->LoadVolume(volume_field));
+  if (stored.data() != rewarped.data()) {
+    return Status::Corruption("re-warped study " + std::to_string(study_id) +
+                              " differs from the stored warped VOLUME");
+  }
+  return rewarped;
+}
+
+}  // namespace qbism::med

@@ -1,0 +1,58 @@
+#ifndef QBISM_MED_LOADER_H_
+#define QBISM_MED_LOADER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "qbism/spatial_extension.h"
+#include "warp/warp.h"
+
+namespace qbism::med {
+
+/// Dataset sizing. Defaults reproduce the paper's corpus (§4): 5 PET
+/// studies (128x128x51), 3 MRI studies (512x512x44), one atlas with 11
+/// structures, every study warped to the 128^3 atlas space and banded
+/// into 8 intensity bands of width 32.
+struct LoadOptions {
+  int num_pet_studies = 5;
+  int num_mri_studies = 3;
+  uint64_t seed = 42;
+  int band_width = 32;
+  bool build_meshes = true;
+  bool store_raw_volumes = true;
+  int first_pet_study_id = 53;  // the paper's example queries study 53
+  int first_mri_study_id = 80;
+};
+
+/// Handles to what the loader created.
+struct LoadedDataset {
+  int atlas_id = 1;
+  std::vector<int> pet_study_ids;
+  std::vector<int> mri_study_ids;
+  std::vector<std::string> structure_names;
+};
+
+/// Populates the schema (BootstrapSchema must have been called) with the
+/// synthetic corpus: atlas row, neural systems/structures, rasterized
+/// structure REGIONs and surface meshes, patients, raw studies, warped
+/// VOLUMEs (warp computed and applied at load time, as §3.3 prescribes),
+/// and intensity-band REGIONs.
+Result<LoadedDataset> PopulateDatabase(SpatialExtension* ext,
+                                       const LoadOptions& options);
+
+/// Reads a study's original patient-space data back out of the Raw
+/// Volume entity (scanline-order long field + extent columns). Fails
+/// when the study does not exist or its raw data was not stored.
+Result<warp::RawVolume> LoadRawVolume(SpatialExtension* ext, int study_id);
+
+/// Reconstructs the study's warped VOLUME from the stored raw data and
+/// warp parameters (the m00..m22/tx..tz columns of Warped Volume) and
+/// verifies nothing was lost at load time: the result must equal the
+/// stored warped VOLUME voxel-for-voxel.
+Result<volume::Volume> RewarpFromRaw(SpatialExtension* ext, int study_id);
+
+}  // namespace qbism::med
+
+#endif  // QBISM_MED_LOADER_H_

@@ -1,0 +1,207 @@
+#include "med/phantom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace qbism::med {
+
+using geometry::Affine3;
+using geometry::MakeEllipsoid;
+using geometry::MakeHalfSpace;
+using geometry::MakeTube;
+using geometry::ShapePtr;
+using geometry::Vec3d;
+
+std::vector<std::string> StandardNeuralSystems() {
+  return {"whole_brain", "limbic", "basal_ganglia", "visual", "motor"};
+}
+
+std::vector<PhantomStructure> StandardAtlasStructures() {
+  std::vector<PhantomStructure> structures;
+  const Vec3d center{64, 64, 64};
+
+  // Whole-brain envelope (shared by several structures).
+  ShapePtr brain = MakeEllipsoid(center, {52, 42, 38});
+
+  // ntal1: one hemisphere of the brain (Figure 6a), ~half the envelope.
+  structures.push_back(
+      {"ntal1", "whole_brain",
+       geometry::Intersect(brain, MakeHalfSpace({1, 0, 0}, 64.0))});
+
+  // ntal: thalamus-sized central structure (~16k voxels).
+  structures.push_back(
+      {"ntal", "whole_brain", MakeEllipsoid({64, 60, 60}, {18, 15, 13})});
+
+  // putamen: the structure named in the §3.4 example query.
+  structures.push_back(
+      {"putamen", "basal_ganglia", MakeEllipsoid({44, 62, 60}, {8, 12, 9})});
+
+  structures.push_back(
+      {"caudate", "basal_ganglia",
+       MakeTube({{50, 50, 70}, {54, 60, 74}, {58, 72, 70}}, 5.0)});
+
+  structures.push_back(
+      {"hippocampus", "limbic",
+       MakeTube({{40, 78, 52}, {46, 86, 50}, {56, 92, 48}, {66, 94, 46}},
+                5.5)});
+
+  structures.push_back({"ventricle_l", "whole_brain",
+                        MakeEllipsoid({54, 66, 66}, {6, 16, 10})});
+  structures.push_back({"ventricle_r", "whole_brain",
+                        MakeEllipsoid({74, 66, 66}, {6, 16, 10})});
+
+  structures.push_back(
+      {"cerebellum", "motor", MakeEllipsoid({64, 94, 38}, {24, 16, 14})});
+
+  structures.push_back(
+      {"brainstem", "motor",
+       MakeTube({{64, 80, 44}, {64, 86, 30}, {64, 90, 16}}, 6.0)});
+
+  structures.push_back(
+      {"visual_cortex", "visual",
+       geometry::Intersect(brain, MakeHalfSpace({0, -1, 0}, -96.0))});
+
+  // cortex_shell: thin outer rind of the brain — many small runs, the
+  // speckled end of the region-statistics spectrum.
+  structures.push_back(
+      {"cortex_shell", "whole_brain",
+       geometry::Difference(brain, MakeEllipsoid(center, {46, 36, 32}))});
+
+  QBISM_CHECK(structures.size() == 11);
+  return structures;
+}
+
+namespace {
+
+/// Adds a Gaussian blob to a float field over its 3-sigma bounding box.
+void AddBlob(std::vector<float>* field, int nx, int ny, int nz, double cx,
+             double cy, double cz, double sigma, double amplitude) {
+  int x0 = std::max(0, static_cast<int>(cx - 3 * sigma));
+  int x1 = std::min(nx - 1, static_cast<int>(cx + 3 * sigma));
+  int y0 = std::max(0, static_cast<int>(cy - 3 * sigma));
+  int y1 = std::min(ny - 1, static_cast<int>(cy + 3 * sigma));
+  int z0 = std::max(0, static_cast<int>(cz - 3 * sigma));
+  int z1 = std::min(nz - 1, static_cast<int>(cz + 3 * sigma));
+  double inv = 1.0 / (2.0 * sigma * sigma);
+  for (int z = z0; z <= z1; ++z) {
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        double d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy) +
+                    (z - cz) * (z - cz);
+        (*field)[(static_cast<size_t>(z) * ny + y) * nx + x] +=
+            static_cast<float>(amplitude * std::exp(-d2 * inv));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+warp::RawVolume GeneratePetStudy(uint64_t seed) {
+  const int nx = 128, ny = 128, nz = 51;
+  Rng rng(seed * 0x9e37u + 17);
+  std::vector<float> field(static_cast<size_t>(nx) * ny * nz, 0.0f);
+
+  // Brain envelope in patient space.
+  const double cx = 64, cy = 64, cz = 25.5;
+  const double rx = 50, ry = 42, rz = 22;
+  auto inside = [&](double x, double y, double z) {
+    double u = (x - cx) / rx, v = (y - cy) / ry, w = (z - cz) / rz;
+    return u * u + v * v + w * w <= 1.0;
+  };
+
+  // Localized activity blobs ("localized, non-uniform intensity
+  // distributions involving sections or layers of brain structures").
+  const int blobs = 28;
+  for (int k = 0; k < blobs; ++k) {
+    double bx, by, bz;
+    do {
+      bx = rng.NextDoubleIn(cx - rx, cx + rx);
+      by = rng.NextDoubleIn(cy - ry, cy + ry);
+      bz = rng.NextDoubleIn(cz - rz, cz + rz);
+    } while (!inside(bx, by, bz));
+    double sigma = rng.NextDoubleIn(2.5, 9.0);
+    double amplitude = rng.NextDoubleIn(50.0, 190.0);
+    AddBlob(&field, nx, ny, nz, bx, by, bz, sigma, amplitude);
+  }
+
+  std::vector<uint8_t> data(field.size(), 0);
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        size_t i = (static_cast<size_t>(z) * ny + y) * nx + x;
+        if (!inside(x, y, z)) continue;  // no signal outside the head
+        double base = 36.0;              // resting metabolic background
+        double value = base + field[i] + rng.NextGaussian() * 5.0;
+        data[i] = static_cast<uint8_t>(std::clamp(value, 0.0, 255.0));
+      }
+    }
+  }
+  auto raw = warp::RawVolume::Create(nx, ny, nz, std::move(data));
+  QBISM_CHECK(raw.ok());
+  return raw.MoveValue();
+}
+
+warp::RawVolume GenerateMriStudy(uint64_t seed) {
+  const int nx = 512, ny = 512, nz = 44;
+  Rng rng(seed * 0x85ebu + 3);
+  std::vector<uint8_t> data(static_cast<size_t>(nx) * ny * nz, 0);
+  const double cx = 256, cy = 256, cz = 22;
+  const double rx = 210, ry = 180, rz = 20;
+  // Ventricle offsets scaled to this grid.
+  const double vx = 40, vy = 10;
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        double u = (x - cx) / rx, v = (y - cy) / ry, w = (z - cz) / rz;
+        double rho = std::sqrt(u * u + v * v + w * w);
+        if (rho > 1.0) continue;
+        double value;
+        if (rho > 0.94) {
+          value = 215.0;  // skull rim, bright on this synthetic protocol
+        } else if (rho > 0.62) {
+          value = 150.0;  // gray matter
+        } else {
+          value = 105.0;  // white matter
+        }
+        // Dark CSF in two ventricle-like pockets.
+        double dl = std::hypot((x - (cx - vx)) / 28.0, (y - (cy + vy)) / 60.0) +
+                    std::fabs(z - cz) / 11.0;
+        double dr = std::hypot((x - (cx + vx)) / 28.0, (y - (cy + vy)) / 60.0) +
+                    std::fabs(z - cz) / 11.0;
+        if (dl < 1.0 || dr < 1.0) value = 38.0;
+        // Slow spatial modulation plus acquisition noise.
+        value += 10.0 * std::sin(x * 0.021) * std::cos(y * 0.017);
+        value += rng.NextGaussian() * 4.0;
+        data[(static_cast<size_t>(z) * ny + y) * nx + x] =
+            static_cast<uint8_t>(std::clamp(value, 0.0, 255.0));
+      }
+    }
+  }
+  auto raw = warp::RawVolume::Create(nx, ny, nz, std::move(data));
+  QBISM_CHECK(raw.ok());
+  return raw.MoveValue();
+}
+
+Affine3 StudyWarp(uint64_t seed, int nx, int ny, int nz) {
+  Rng rng(seed * 0xc2b2u + 29);
+  const double atlas_side = 128.0;
+  Vec3d atlas_center{atlas_side / 2, atlas_side / 2, atlas_side / 2};
+  Vec3d patient_center{nx / 2.0, ny / 2.0, nz / 2.0};
+  double angle = rng.NextDoubleIn(-0.06, 0.06);  // small head tilt
+  Vec3d jitter{rng.NextDoubleIn(-2, 2), rng.NextDoubleIn(-2, 2),
+               rng.NextDoubleIn(-1, 1)};
+  Affine3 scale = Affine3::Scaling(nx / atlas_side, ny / atlas_side,
+                                   nz / atlas_side);
+  Affine3 rotate = Affine3::RotationAboutAxis(2, angle);
+  // atlas -> centered -> rotate -> scale -> patient center (+ jitter).
+  return Affine3::Translation(patient_center + jitter)
+      .Compose(scale)
+      .Compose(rotate)
+      .Compose(Affine3::Translation(Vec3d{} - atlas_center));
+}
+
+}  // namespace qbism::med

@@ -1,0 +1,51 @@
+#ifndef QBISM_MED_PHANTOM_H_
+#define QBISM_MED_PHANTOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/affine.h"
+#include "geometry/shapes.h"
+#include "warp/warp.h"
+
+namespace qbism::med {
+
+/// One synthetic anatomic structure: name, owning neural system, and the
+/// parametric solid that rasterizes to its REGION.
+struct PhantomStructure {
+  std::string name;
+  std::string system;
+  geometry::ShapePtr shape;
+};
+
+/// The substitute Talairach atlas: 11 parametric structures in the
+/// 128^3 atlas space (the paper digitized 11 structures from the
+/// Talairach & Tournoux atlas). "ntal" and "ntal1" match the query
+/// regions of Table 3 — ntal1 is one brain hemisphere (Figure 6a) and
+/// ntal a thalamus-sized interior structure — with voxel counts close
+/// to the paper's 162,628 and 16,016.
+std::vector<PhantomStructure> StandardAtlasStructures();
+
+/// Names of the neural systems the structures belong to.
+std::vector<std::string> StandardNeuralSystems();
+
+/// Synthetic PET-like study in patient space at the paper's native PET
+/// resolution (128 x 128 x 51, 8-bit): localized blobs of physiological
+/// activity inside a brain envelope over a smooth background plus noise.
+/// Deterministic in `seed`.
+warp::RawVolume GeneratePetStudy(uint64_t seed);
+
+/// Synthetic MRI-like study (512 x 512 x 44, 8-bit): concentric
+/// tissue shells (white/gray matter, CSF, skull rim) plus noise.
+warp::RawVolume GenerateMriStudy(uint64_t seed);
+
+/// The affine atlas -> patient registration for a study: anisotropic
+/// scale from the 128^3 atlas grid to the study grid composed with a
+/// small per-study rotation and translation jitter (the misalignment
+/// the paper's warping step corrects).
+geometry::Affine3 StudyWarp(uint64_t seed, int nx, int ny, int nz);
+
+}  // namespace qbism::med
+
+#endif  // QBISM_MED_PHANTOM_H_

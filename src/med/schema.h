@@ -1,0 +1,31 @@
+#ifndef QBISM_MED_SCHEMA_H_
+#define QBISM_MED_SCHEMA_H_
+
+#include "common/status.h"
+#include "sql/database.h"
+
+namespace qbism::med {
+
+/// Creates the medical-database tables of Figure 1:
+///
+///   atlas(atlasId, atlasName, n, x0, y0, z0, dx, dy, dz)
+///     — coordinate-space description: grid side n, origin, voxel size
+///       in real-world mm (§3.3 "resolution and voxel size").
+///   neuralSystem(systemId, systemName)
+///   neuralStructure(structureId, structureName, systemId)
+///   atlasStructure(atlasId, structureId, region, mesh)
+///     — REGION long field (interior) + triangular surface mesh.
+///   patient(patientId, name, age, sex)
+///   rawVolume(studyId, patientId, date, modality, nx, ny, nz, data)
+///     — original study in scanline order.
+///   warpedVolume(studyId, atlasId, data,
+///                m00..m22, tx, ty, tz)
+///     — warped VOLUME long field plus the affine warping parameters
+///       (atlas -> patient), stored at load time (§3.3).
+///   intensityBand(studyId, atlasId, lo, hi, region)
+///     — redundant banding index over warpedVolume (§3.3).
+Status BootstrapSchema(sql::Database* db);
+
+}  // namespace qbism::med
+
+#endif  // QBISM_MED_SCHEMA_H_

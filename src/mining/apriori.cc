@@ -1,0 +1,163 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "common/macros.h"
+
+namespace qbism::mining {
+
+namespace {
+
+/// True when `subset` (sorted) is contained in `transaction` (sorted).
+bool ContainsAll(const Transaction& transaction,
+                 const std::vector<uint32_t>& subset) {
+  return std::includes(transaction.begin(), transaction.end(),
+                       subset.begin(), subset.end());
+}
+
+Status ValidateTransactions(const std::vector<Transaction>& transactions) {
+  for (const Transaction& t : transactions) {
+    for (size_t i = 1; i < t.size(); ++i) {
+      if (t[i] <= t[i - 1]) {
+        return Status::InvalidArgument(
+            "Apriori: transactions must hold sorted unique item ids");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Joins two size-k itemsets sharing a (k-1)-prefix into a candidate of
+/// size k+1 (the classic Apriori-gen join step).
+bool JoinCandidates(const std::vector<uint32_t>& a,
+                    const std::vector<uint32_t>& b,
+                    std::vector<uint32_t>* out) {
+  for (size_t i = 0; i + 1 < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  if (a.back() >= b.back()) return false;
+  *out = a;
+  out->push_back(b.back());
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<Itemset>> MineFrequentItemsets(
+    const std::vector<Transaction>& transactions, double min_support) {
+  if (min_support <= 0.0 || min_support > 1.0) {
+    return Status::InvalidArgument("Apriori: min_support must be in (0, 1]");
+  }
+  QBISM_RETURN_NOT_OK(ValidateTransactions(transactions));
+  std::vector<Itemset> result;
+  if (transactions.empty()) return result;
+  uint64_t threshold = static_cast<uint64_t>(std::ceil(
+      min_support * static_cast<double>(transactions.size())));
+  if (threshold == 0) threshold = 1;
+
+  // L1: frequent single items.
+  std::map<uint32_t, uint64_t> singles;
+  for (const Transaction& t : transactions) {
+    for (uint32_t item : t) ++singles[item];
+  }
+  std::vector<Itemset> frontier;
+  for (const auto& [item, count] : singles) {
+    if (count >= threshold) frontier.push_back({{item}, count});
+  }
+  result.insert(result.end(), frontier.begin(), frontier.end());
+
+  // Lk -> Lk+1 by join + prune + count.
+  while (frontier.size() >= 2) {
+    std::vector<Itemset> next;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      for (size_t j = i + 1; j < frontier.size(); ++j) {
+        std::vector<uint32_t> candidate;
+        if (!JoinCandidates(frontier[i].items, frontier[j].items,
+                            &candidate)) {
+          continue;
+        }
+        // Prune: every k-subset must itself be frequent (it suffices to
+        // check the subsets missing one of the first k-1 elements; the
+        // two join parents cover the rest).
+        bool pruned = false;
+        for (size_t drop = 0; drop + 2 < candidate.size() && !pruned;
+             ++drop) {
+          std::vector<uint32_t> subset;
+          for (size_t m = 0; m < candidate.size(); ++m) {
+            if (m != drop) subset.push_back(candidate[m]);
+          }
+          pruned = !std::binary_search(
+              frontier.begin(), frontier.end(), Itemset{subset, 0},
+              [](const Itemset& a, const Itemset& b) {
+                return a.items < b.items;
+              });
+        }
+        if (pruned) continue;
+        uint64_t count = 0;
+        for (const Transaction& t : transactions) {
+          if (ContainsAll(t, candidate)) ++count;
+        }
+        if (count >= threshold) next.push_back({std::move(candidate), count});
+      }
+    }
+    std::sort(next.begin(), next.end(),
+              [](const Itemset& a, const Itemset& b) {
+                return a.items < b.items;
+              });
+    result.insert(result.end(), next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+Result<std::vector<AssociationRule>> MineAssociationRules(
+    const std::vector<Transaction>& transactions, double min_support,
+    double min_confidence) {
+  if (min_confidence < 0.0 || min_confidence > 1.0) {
+    return Status::InvalidArgument("Apriori: min_confidence out of [0, 1]");
+  }
+  QBISM_ASSIGN_OR_RETURN(std::vector<Itemset> frequent,
+                         MineFrequentItemsets(transactions, min_support));
+  // Support lookup by itemset.
+  std::map<std::vector<uint32_t>, uint64_t> support;
+  for (const Itemset& itemset : frequent) {
+    support[itemset.items] = itemset.support;
+  }
+  double n = static_cast<double>(transactions.size());
+  std::vector<AssociationRule> rules;
+  for (const Itemset& itemset : frequent) {
+    size_t k = itemset.items.size();
+    if (k < 2) continue;
+    // Enumerate non-empty proper subsets as antecedents via bitmask.
+    for (uint32_t mask = 1; mask + 1 < (1u << k); ++mask) {
+      AssociationRule rule;
+      for (size_t i = 0; i < k; ++i) {
+        if (mask & (1u << i)) {
+          rule.lhs.push_back(itemset.items[i]);
+        } else {
+          rule.rhs.push_back(itemset.items[i]);
+        }
+      }
+      auto lhs_support = support.find(rule.lhs);
+      if (lhs_support == support.end()) continue;  // cannot happen, defensive
+      rule.support = static_cast<double>(itemset.support) / n;
+      rule.confidence = static_cast<double>(itemset.support) /
+                        static_cast<double>(lhs_support->second);
+      if (rule.confidence >= min_confidence) rules.push_back(std::move(rule));
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.support != b.support) return a.support > b.support;
+              return std::tie(a.lhs, a.rhs) < std::tie(b.lhs, b.rhs);
+            });
+  return rules;
+}
+
+}  // namespace qbism::mining

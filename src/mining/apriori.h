@@ -1,0 +1,50 @@
+#ifndef QBISM_MINING_APRIORI_H_
+#define QBISM_MINING_APRIORI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace qbism::mining {
+
+/// One transaction: the set of items (by id) present in one record —
+/// for the medical application, per-study facts like "high activity in
+/// the hippocampus" or "patient is female". The paper's §2.1 "data
+/// mining queries" class and §7 future work point to association-rule
+/// mining over exactly such subpopulation patterns (its reference [1]
+/// is the Agrawal-Imielinski-Swami algorithm this implements).
+using Transaction = std::vector<uint32_t>;  // sorted, unique item ids
+
+/// A frequent itemset with its absolute support count.
+struct Itemset {
+  std::vector<uint32_t> items;  // sorted
+  uint64_t support = 0;
+};
+
+/// An association rule lhs => rhs with its measures.
+struct AssociationRule {
+  std::vector<uint32_t> lhs;
+  std::vector<uint32_t> rhs;
+  double support = 0.0;     // fraction of transactions containing lhs ∪ rhs
+  double confidence = 0.0;  // support(lhs ∪ rhs) / support(lhs)
+};
+
+/// Apriori frequent-itemset mining. Transactions must contain sorted,
+/// duplicate-free item ids. Returns all itemsets (size >= 1) whose
+/// support is at least ceil(min_support * |transactions|), ordered by
+/// size then lexicographically.
+Result<std::vector<Itemset>> MineFrequentItemsets(
+    const std::vector<Transaction>& transactions, double min_support);
+
+/// Derives association rules from the frequent itemsets (every way of
+/// splitting each itemset of size >= 2 into non-empty lhs/rhs) keeping
+/// those with confidence >= min_confidence.
+Result<std::vector<AssociationRule>> MineAssociationRules(
+    const std::vector<Transaction>& transactions, double min_support,
+    double min_confidence);
+
+}  // namespace qbism::mining
+
+#endif  // QBISM_MINING_APRIORI_H_

@@ -1,0 +1,144 @@
+#include "mining/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace qbism::mining {
+
+Result<double> SquaredDistance(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("feature vectors differ in dimension");
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+namespace {
+
+bool NeighborWorse(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+/// Keeps the k best neighbours in a max-heap keyed by distance.
+void Offer(std::vector<Neighbor>* heap, size_t k, Neighbor candidate) {
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return NeighborWorse(a, b);  // max-heap: "largest" distance on top
+  };
+  if (heap->size() < k) {
+    heap->push_back(candidate);
+    std::push_heap(heap->begin(), heap->end(), cmp);
+    return;
+  }
+  if (NeighborWorse(candidate, heap->front())) {
+    std::pop_heap(heap->begin(), heap->end(), cmp);
+    heap->back() = candidate;
+    std::push_heap(heap->begin(), heap->end(), cmp);
+  }
+}
+
+std::vector<Neighbor> SortedResult(std::vector<Neighbor> heap) {
+  std::sort(heap.begin(), heap.end(), NeighborWorse);
+  return heap;
+}
+
+}  // namespace
+
+Result<std::vector<Neighbor>> BruteForceKnn(
+    const std::vector<double>& query,
+    const std::vector<FeatureVector>& candidates, size_t k) {
+  std::vector<Neighbor> heap;
+  for (const FeatureVector& c : candidates) {
+    QBISM_ASSIGN_OR_RETURN(double d2, SquaredDistance(query, c.values));
+    Offer(&heap, k, Neighbor{c.id, std::sqrt(d2)});
+  }
+  return SortedResult(std::move(heap));
+}
+
+Result<KdTree> KdTree::Build(std::vector<FeatureVector> vectors) {
+  if (vectors.empty()) {
+    return Status::InvalidArgument("KdTree: no vectors");
+  }
+  size_t dims = vectors.front().values.size();
+  if (dims == 0) return Status::InvalidArgument("KdTree: zero dimensions");
+  for (const FeatureVector& v : vectors) {
+    if (v.values.size() != dims) {
+      return Status::InvalidArgument("KdTree: inconsistent dimensions");
+    }
+  }
+  KdTree tree;
+  tree.dims_ = dims;
+  tree.points_ = std::move(vectors);
+  std::vector<int> order(tree.points_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  tree.nodes_.reserve(order.size());
+  tree.root_ = tree.BuildRecursive(&order, 0,
+                                   static_cast<int>(order.size()), 0);
+  return tree;
+}
+
+int KdTree::BuildRecursive(std::vector<int>* order, int lo, int hi,
+                           int depth) {
+  if (lo >= hi) return -1;
+  int axis = depth % static_cast<int>(dims_);
+  int mid = lo + (hi - lo) / 2;
+  std::nth_element(order->begin() + lo, order->begin() + mid,
+                   order->begin() + hi, [&](int a, int b) {
+                     return points_[static_cast<size_t>(a)].values[axis] <
+                            points_[static_cast<size_t>(b)].values[axis];
+                   });
+  Node node;
+  node.point = (*order)[mid];
+  node.axis = axis;
+  int index = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  int left = BuildRecursive(order, lo, mid, depth + 1);
+  int right = BuildRecursive(order, mid + 1, hi, depth + 1);
+  nodes_[index].left = left;
+  nodes_[index].right = right;
+  return index;
+}
+
+void KdTree::Search(int node_index, const std::vector<double>& query,
+                    size_t k, std::vector<Neighbor>* heap) const {
+  if (node_index < 0) return;
+  const Node& node = nodes_[static_cast<size_t>(node_index)];
+  const FeatureVector& point = points_[static_cast<size_t>(node.point)];
+  double d2 = 0;
+  for (size_t i = 0; i < dims_; ++i) {
+    double d = query[i] - point.values[i];
+    d2 += d * d;
+  }
+  Offer(heap, k, Neighbor{point.id, std::sqrt(d2)});
+
+  double plane_delta = query[node.axis] - point.values[node.axis];
+  int near = plane_delta <= 0 ? node.left : node.right;
+  int far = plane_delta <= 0 ? node.right : node.left;
+  Search(near, query, k, heap);
+  // Visit the far side only when the splitting plane is closer than the
+  // current k-th best.
+  double worst =
+      heap->size() < k ? std::numeric_limits<double>::infinity()
+                       : heap->front().distance;
+  if (std::fabs(plane_delta) < worst) Search(far, query, k, heap);
+}
+
+Result<std::vector<Neighbor>> KdTree::Knn(const std::vector<double>& query,
+                                          size_t k) const {
+  if (query.size() != dims_) {
+    return Status::InvalidArgument("KdTree::Knn: query dimension mismatch");
+  }
+  std::vector<Neighbor> heap;
+  Search(root_, query, k, &heap);
+  return SortedResult(std::move(heap));
+}
+
+}  // namespace qbism::mining

@@ -1,0 +1,73 @@
+#ifndef QBISM_MINING_KNN_H_
+#define QBISM_MINING_KNN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+
+namespace qbism::mining {
+
+/// A study's image feature vector (§7 future work: "the determination
+/// of image feature vectors and the study of multi-dimensional indexing
+/// methods ... to enable similarity searching"). The MedicalServer
+/// builds one per study from per-structure intensity statistics.
+struct FeatureVector {
+  int64_t id = 0;               // e.g. study id
+  std::vector<double> values;
+};
+
+/// Squared Euclidean distance; vectors must have equal dimension.
+Result<double> SquaredDistance(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+/// A neighbour with its (non-squared) distance.
+struct Neighbor {
+  int64_t id = 0;
+  double distance = 0.0;
+};
+
+/// Exact k-nearest-neighbour search by linear scan. Ties broken by id.
+Result<std::vector<Neighbor>> BruteForceKnn(
+    const std::vector<double>& query,
+    const std::vector<FeatureVector>& candidates, size_t k);
+
+/// Static kd-tree over feature vectors: the multi-dimensional index the
+/// paper points to (its citations suggest R*-trees; a kd-tree provides
+/// the same exact-kNN contract for in-memory populations). Build is
+/// O(n log n); queries prune subtrees by splitting-plane distance.
+class KdTree {
+ public:
+  /// Builds from vectors that all share one dimension (>= 1).
+  static Result<KdTree> Build(std::vector<FeatureVector> vectors);
+
+  /// Exact k nearest neighbours of `query`, nearest first.
+  Result<std::vector<Neighbor>> Knn(const std::vector<double>& query,
+                                    size_t k) const;
+
+  size_t size() const { return points_.size(); }
+  size_t dimensions() const { return dims_; }
+
+ private:
+  struct Node {
+    int point = -1;      // index into points_
+    int axis = 0;
+    int left = -1;       // node indices
+    int right = -1;
+  };
+
+  KdTree() = default;
+  int BuildRecursive(std::vector<int>* order, int lo, int hi, int depth);
+  void Search(int node_index, const std::vector<double>& query, size_t k,
+              std::vector<Neighbor>* heap) const;
+
+  size_t dims_ = 0;
+  std::vector<FeatureVector> points_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace qbism::mining
+
+#endif  // QBISM_MINING_KNN_H_

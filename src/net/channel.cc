@@ -1,0 +1,27 @@
+#include "net/channel.h"
+
+namespace qbism::net {
+
+void SimulatedChannel::SendControl(uint64_t bytes) {
+  ++stats_.messages;
+  stats_.bytes += bytes;
+  stats_.simulated_seconds +=
+      model_.per_message_seconds +
+      static_cast<double>(bytes) / model_.bandwidth_bytes_per_second;
+}
+
+void SimulatedChannel::SendBulk(uint64_t bytes) {
+  uint64_t chunks = (bytes + model_.chunk_bytes - 1) / model_.chunk_bytes;
+  if (bytes == 0) chunks = 0;
+  stats_.messages += chunks;
+  stats_.bytes += bytes;
+  stats_.simulated_seconds +=
+      static_cast<double>(chunks) * model_.per_message_seconds +
+      static_cast<double>(bytes) / model_.bandwidth_bytes_per_second;
+}
+
+void SimulatedChannel::RoundTrip() {
+  stats_.simulated_seconds += model_.rtt_seconds;
+}
+
+}  // namespace qbism::net

@@ -1,0 +1,62 @@
+#ifndef QBISM_NET_CHANNEL_H_
+#define QBISM_NET_CHANNEL_H_
+
+#include <cstdint>
+
+namespace qbism::net {
+
+/// Deterministic cost model for the RPC link between the MedicalServer
+/// and the DX executive (§5.2/§6.1): machine 1 on a 16 Mb/s Token Ring
+/// routed to machine 2 on 10 Mb/s Ethernet, ping RTT 4 ms. Large
+/// results are shipped in ~1 KB RPC chunks, which is why the paper's
+/// full-study query sends 2103 messages for 2 MB of voxels; per-message
+/// software overhead (RPC marshalling on 1993 CPUs) dominates the wire
+/// time.
+struct NetworkCostModel {
+  uint64_t chunk_bytes = 1024;          // RPC payload per data message
+  double per_message_seconds = 0.0105;  // software (RPC) overhead
+  double bandwidth_bytes_per_second = 10.0e6 / 8.0;  // slower hop wins
+  double rtt_seconds = 0.004;           // per round trip (query/answer)
+};
+
+/// Traffic accounting for one side of the channel.
+struct ChannelStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  double simulated_seconds = 0.0;
+
+  ChannelStats operator-(const ChannelStats& o) const {
+    return {messages - o.messages, bytes - o.bytes,
+            simulated_seconds - o.simulated_seconds};
+  }
+};
+
+/// Simulated RPC channel: records messages/bytes and accumulates model
+/// time; no real sockets are involved (both "processes" live in this
+/// address space, but all shipped bytes are charged).
+class SimulatedChannel {
+ public:
+  explicit SimulatedChannel(NetworkCostModel model = NetworkCostModel{})
+      : model_(model) {}
+
+  /// Sends one control message (query string, acknowledgement, ...).
+  void SendControl(uint64_t bytes);
+
+  /// Ships a bulk payload, chunked into data messages.
+  void SendBulk(uint64_t bytes);
+
+  /// Charges one request/response round trip.
+  void RoundTrip();
+
+  const ChannelStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ChannelStats{}; }
+  const NetworkCostModel& model() const { return model_; }
+
+ private:
+  NetworkCostModel model_;
+  ChannelStats stats_;
+};
+
+}  // namespace qbism::net
+
+#endif  // QBISM_NET_CHANNEL_H_

@@ -1,0 +1,346 @@
+#include "qbism/spatial_extension.h"
+
+#include "common/macros.h"
+
+namespace qbism {
+
+using region::Region;
+using region::RegionEncoding;
+using sql::UdfContext;
+using sql::Value;
+using storage::ByteRange;
+using storage::LongFieldId;
+using volume::DataRegion;
+using volume::Volume;
+
+namespace {
+
+SpatialExtension* Ext(UdfContext& ctx) {
+  QBISM_CHECK(ctx.extension_state != nullptr);
+  return static_cast<SpatialExtension*>(ctx.extension_state);
+}
+
+Status CheckArity(const std::vector<Value>& args, size_t n,
+                  std::string_view name) {
+  if (args.size() != n) {
+    return Status::InvalidArgument(std::string(name) + " expects " +
+                                   std::to_string(n) + " argument(s)");
+  }
+  return Status::OK();
+}
+
+Value RegionValue(Region r) {
+  return Value::Object(std::make_shared<Region>(std::move(r)),
+                       std::string(sql::kRegionTypeName));
+}
+
+Value DataRegionValue(DataRegion dr) {
+  return Value::Object(std::make_shared<DataRegion>(std::move(dr)),
+                       std::string(sql::kDataRegionTypeName));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SpatialExtension>> SpatialExtension::Install(
+    sql::Database* db, SpatialConfig config) {
+  std::unique_ptr<SpatialExtension> ext(new SpatialExtension(db, config));
+  QBISM_RETURN_NOT_OK(ext->RegisterUdfs());
+  db->set_extension_state(ext.get());
+  return ext;
+}
+
+Result<LongFieldId> SpatialExtension::StoreRegion(const Region& r) const {
+  return StoreRegionAs(r, config_.region_encoding);
+}
+
+Result<LongFieldId> SpatialExtension::StoreRegionAs(
+    const Region& r, RegionEncoding encoding) const {
+  QBISM_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                         region::EncodeRegion(r, encoding));
+  std::vector<uint8_t> bytes;
+  bytes.reserve(payload.size() + 1);
+  bytes.push_back(static_cast<uint8_t>(encoding));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return db_->lfm()->Create(bytes);
+}
+
+Result<Region> SpatialExtension::LoadRegion(LongFieldId id) const {
+  QBISM_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, db_->lfm()->Read(id));
+  if (bytes.empty()) {
+    return Status::Corruption("region long field is empty");
+  }
+  auto encoding = static_cast<RegionEncoding>(bytes[0]);
+  std::vector<uint8_t> payload(bytes.begin() + 1, bytes.end());
+  return region::DecodeRegion(config_.grid, config_.curve, encoding, payload);
+}
+
+Result<LongFieldId> SpatialExtension::StoreDataRegion(
+    const DataRegion& dr) const {
+  if (!(dr.region().grid() == config_.grid) ||
+      dr.region().curve_kind() != config_.curve) {
+    return Status::InvalidArgument(
+        "StoreDataRegion: grid/curve differs from extension config");
+  }
+  QBISM_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> region_payload,
+      region::EncodeRegion(dr.region(), config_.region_encoding));
+  std::vector<uint8_t> bytes;
+  bytes.reserve(1 + 4 + region_payload.size() + dr.values().size());
+  bytes.push_back(static_cast<uint8_t>(config_.region_encoding));
+  uint32_t len = static_cast<uint32_t>(region_payload.size());
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<uint8_t>(len >> (8 * i)));
+  }
+  bytes.insert(bytes.end(), region_payload.begin(), region_payload.end());
+  bytes.insert(bytes.end(), dr.values().begin(), dr.values().end());
+  return db_->lfm()->Create(bytes);
+}
+
+Result<DataRegion> SpatialExtension::LoadDataRegion(LongFieldId id) const {
+  QBISM_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, db_->lfm()->Read(id));
+  if (bytes.size() < 5) {
+    return Status::Corruption("data-region long field too short");
+  }
+  auto encoding = static_cast<region::RegionEncoding>(bytes[0]);
+  uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) len = (len << 8) | bytes[1 + i];
+  if (5 + static_cast<size_t>(len) > bytes.size()) {
+    return Status::Corruption("data-region long field truncated");
+  }
+  std::vector<uint8_t> region_payload(bytes.begin() + 5,
+                                      bytes.begin() + 5 + len);
+  QBISM_ASSIGN_OR_RETURN(
+      Region r, region::DecodeRegion(config_.grid, config_.curve, encoding,
+                                     region_payload));
+  std::vector<uint8_t> values(bytes.begin() + 5 + len, bytes.end());
+  if (values.size() != r.VoxelCount()) {
+    return Status::Corruption("data-region value count mismatch");
+  }
+  return DataRegion(std::move(r), std::move(values));
+}
+
+Result<LongFieldId> SpatialExtension::StoreVolume(const Volume& v) const {
+  if (!(v.grid() == config_.grid) || v.curve_kind() != config_.curve) {
+    return Status::InvalidArgument(
+        "StoreVolume: volume grid/curve differs from extension config");
+  }
+  return db_->lfm()->Create(v.data());
+}
+
+Result<Volume> SpatialExtension::LoadVolume(LongFieldId id) const {
+  QBISM_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, db_->lfm()->Read(id));
+  return Volume::FromCurveOrderedData(config_.grid, config_.curve,
+                                      std::move(bytes));
+}
+
+Result<DataRegion> SpatialExtension::ExtractFromLongField(
+    LongFieldId volume_field, const Region& r) const {
+  if (!(r.grid() == config_.grid) || r.curve_kind() != config_.curve) {
+    return Status::InvalidArgument(
+        "EXTRACT_DATA: region grid/curve differs from extension config");
+  }
+  // One byte per voxel, laid out in curve order: each run is one byte
+  // range, and the LFM touches only the pages those ranges cover.
+  std::vector<ByteRange> ranges;
+  ranges.reserve(r.RunCount());
+  for (const region::Run& run : r.runs()) {
+    ranges.push_back(ByteRange{run.start, run.Length()});
+  }
+  QBISM_ASSIGN_OR_RETURN(auto buffers,
+                         db_->lfm()->ReadRanges(volume_field, ranges));
+  std::vector<uint8_t> values;
+  values.reserve(static_cast<size_t>(r.VoxelCount()));
+  for (const auto& buffer : buffers) {
+    values.insert(values.end(), buffer.begin(), buffer.end());
+  }
+  return DataRegion(r, std::move(values));
+}
+
+Result<uint64_t> SpatialExtension::ExtractionPages(LongFieldId volume_field,
+                                                   const Region& r) const {
+  std::vector<ByteRange> ranges;
+  ranges.reserve(r.RunCount());
+  for (const region::Run& run : r.runs()) {
+    ranges.push_back(ByteRange{run.start, run.Length()});
+  }
+  return db_->lfm()->PagesTouched(volume_field, ranges);
+}
+
+Result<std::shared_ptr<const Region>> SpatialExtension::RegionArg(
+    const Value& value) const {
+  if (value.kind() == Value::Kind::kObject) {
+    return value.AsObject<Region>(sql::kRegionTypeName);
+  }
+  QBISM_ASSIGN_OR_RETURN(LongFieldId id, value.AsLongField());
+  QBISM_ASSIGN_OR_RETURN(Region r, LoadRegion(id));
+  return std::make_shared<const Region>(std::move(r));
+}
+
+Status SpatialExtension::RegisterUdfs() {
+  sql::UdfRegistry* registry = db_->udfs();
+
+  QBISM_RETURN_NOT_OK(registry->Register(
+      "intersection",
+      [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        QBISM_RETURN_NOT_OK(CheckArity(args, 2, "intersection"));
+        QBISM_ASSIGN_OR_RETURN(auto r1, Ext(ctx)->RegionArg(args[0]));
+        QBISM_ASSIGN_OR_RETURN(auto r2, Ext(ctx)->RegionArg(args[1]));
+        QBISM_ASSIGN_OR_RETURN(Region out, r1->IntersectWith(*r2));
+        return RegionValue(std::move(out));
+      }));
+
+  QBISM_RETURN_NOT_OK(registry->Register(
+      "regionunion",
+      [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        QBISM_RETURN_NOT_OK(CheckArity(args, 2, "regionunion"));
+        QBISM_ASSIGN_OR_RETURN(auto r1, Ext(ctx)->RegionArg(args[0]));
+        QBISM_ASSIGN_OR_RETURN(auto r2, Ext(ctx)->RegionArg(args[1]));
+        QBISM_ASSIGN_OR_RETURN(Region out, r1->UnionWith(*r2));
+        return RegionValue(std::move(out));
+      }));
+
+  QBISM_RETURN_NOT_OK(registry->Register(
+      "regiondifference",
+      [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        QBISM_RETURN_NOT_OK(CheckArity(args, 2, "regiondifference"));
+        QBISM_ASSIGN_OR_RETURN(auto r1, Ext(ctx)->RegionArg(args[0]));
+        QBISM_ASSIGN_OR_RETURN(auto r2, Ext(ctx)->RegionArg(args[1]));
+        QBISM_ASSIGN_OR_RETURN(Region out, r1->DifferenceWith(*r2));
+        return RegionValue(std::move(out));
+      }));
+
+  QBISM_RETURN_NOT_OK(registry->Register(
+      "contains",
+      [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        QBISM_RETURN_NOT_OK(CheckArity(args, 2, "contains"));
+        QBISM_ASSIGN_OR_RETURN(auto r1, Ext(ctx)->RegionArg(args[0]));
+        QBISM_ASSIGN_OR_RETURN(auto r2, Ext(ctx)->RegionArg(args[1]));
+        QBISM_ASSIGN_OR_RETURN(bool contains, r1->Contains(*r2));
+        return Value::Int(contains ? 1 : 0);
+      }));
+
+  QBISM_RETURN_NOT_OK(registry->Register(
+      "extractvoxels",
+      [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        QBISM_RETURN_NOT_OK(CheckArity(args, 2, "extractvoxels"));
+        QBISM_ASSIGN_OR_RETURN(LongFieldId volume_field,
+                               args[0].AsLongField());
+        QBISM_ASSIGN_OR_RETURN(auto r, Ext(ctx)->RegionArg(args[1]));
+        QBISM_ASSIGN_OR_RETURN(
+            DataRegion dr, Ext(ctx)->ExtractFromLongField(volume_field, *r));
+        return DataRegionValue(std::move(dr));
+      }));
+
+  QBISM_RETURN_NOT_OK(registry->Register(
+      "bandregion",
+      [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        QBISM_RETURN_NOT_OK(CheckArity(args, 3, "bandregion"));
+        QBISM_ASSIGN_OR_RETURN(LongFieldId volume_field,
+                               args[0].AsLongField());
+        QBISM_ASSIGN_OR_RETURN(int64_t lo, args[1].AsInt());
+        QBISM_ASSIGN_OR_RETURN(int64_t hi, args[2].AsInt());
+        if (lo < 0 || hi > 255 || lo > hi) {
+          return Status::InvalidArgument("bandregion: bad intensity range");
+        }
+        QBISM_ASSIGN_OR_RETURN(Volume v, Ext(ctx)->LoadVolume(volume_field));
+        return RegionValue(v.BandRegion(static_cast<uint8_t>(lo),
+                                        static_cast<uint8_t>(hi)));
+      }));
+
+  QBISM_RETURN_NOT_OK(registry->Register(
+      "voxelcount",
+      [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        QBISM_RETURN_NOT_OK(CheckArity(args, 1, "voxelcount"));
+        QBISM_ASSIGN_OR_RETURN(auto r, Ext(ctx)->RegionArg(args[0]));
+        return Value::Int(static_cast<int64_t>(r->VoxelCount()));
+      }));
+
+  QBISM_RETURN_NOT_OK(registry->Register(
+      "runcount",
+      [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        QBISM_RETURN_NOT_OK(CheckArity(args, 1, "runcount"));
+        QBISM_ASSIGN_OR_RETURN(auto r, Ext(ctx)->RegionArg(args[0]));
+        return Value::Int(static_cast<int64_t>(r->RunCount()));
+      }));
+
+  QBISM_RETURN_NOT_OK(registry->Register(
+      "fullregion",
+      [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        QBISM_RETURN_NOT_OK(CheckArity(args, 0, "fullregion"));
+        const SpatialConfig& config = Ext(ctx)->config();
+        return RegionValue(Region::Full(config.grid, config.curve));
+      }));
+
+  QBISM_RETURN_NOT_OK(registry->Register(
+      "boxregion",
+      [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        QBISM_RETURN_NOT_OK(CheckArity(args, 6, "boxregion"));
+        int64_t c[6];
+        for (int i = 0; i < 6; ++i) {
+          QBISM_ASSIGN_OR_RETURN(c[i], args[i].AsInt());
+        }
+        const SpatialConfig& config = Ext(ctx)->config();
+        geometry::Box3i box{{static_cast<int32_t>(c[0]),
+                             static_cast<int32_t>(c[1]),
+                             static_cast<int32_t>(c[2])},
+                            {static_cast<int32_t>(c[3]),
+                             static_cast<int32_t>(c[4]),
+                             static_cast<int32_t>(c[5])}};
+        return RegionValue(Region::FromBox(config.grid, config.curve, box));
+      }));
+
+  QBISM_RETURN_NOT_OK(registry->Register(
+      "mingapregion",
+      [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        QBISM_RETURN_NOT_OK(CheckArity(args, 2, "mingapregion"));
+        QBISM_ASSIGN_OR_RETURN(auto r, Ext(ctx)->RegionArg(args[0]));
+        QBISM_ASSIGN_OR_RETURN(int64_t gap, args[1].AsInt());
+        if (gap < 1) {
+          return Status::InvalidArgument("mingapregion: gap must be >= 1");
+        }
+        return RegionValue(r->WithMinGap(static_cast<uint64_t>(gap)));
+      }));
+
+  QBISM_RETURN_NOT_OK(registry->Register(
+      "minoctantregion",
+      [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        QBISM_RETURN_NOT_OK(CheckArity(args, 2, "minoctantregion"));
+        QBISM_ASSIGN_OR_RETURN(auto r, Ext(ctx)->RegionArg(args[0]));
+        QBISM_ASSIGN_OR_RETURN(int64_t g_log2, args[1].AsInt());
+        if (g_log2 < 0 || g_log2 > 9) {
+          return Status::InvalidArgument(
+              "minoctantregion: g_log2 out of [0, 9]");
+        }
+        return RegionValue(r->WithMinOctant(static_cast<int>(g_log2)));
+      }));
+
+  QBISM_RETURN_NOT_OK(registry->Register(
+      "octantcount",
+      [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        QBISM_RETURN_NOT_OK(CheckArity(args, 1, "octantcount"));
+        QBISM_ASSIGN_OR_RETURN(auto r, Ext(ctx)->RegionArg(args[0]));
+        return Value::Int(static_cast<int64_t>(r->ToOctants().size()));
+      }));
+
+  QBISM_RETURN_NOT_OK(registry->Register(
+      "oblongoctantcount",
+      [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        QBISM_RETURN_NOT_OK(CheckArity(args, 1, "oblongoctantcount"));
+        QBISM_ASSIGN_OR_RETURN(auto r, Ext(ctx)->RegionArg(args[0]));
+        return Value::Int(static_cast<int64_t>(r->ToOblongOctants().size()));
+      }));
+
+  QBISM_RETURN_NOT_OK(registry->Register(
+      "meanintensity",
+      [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        (void)ctx;
+        QBISM_RETURN_NOT_OK(CheckArity(args, 1, "meanintensity"));
+        QBISM_ASSIGN_OR_RETURN(
+            auto dr, args[0].AsObject<DataRegion>(sql::kDataRegionTypeName));
+        return Value::Double(dr->MeanIntensity());
+      }));
+
+  return Status::OK();
+}
+
+}  // namespace qbism

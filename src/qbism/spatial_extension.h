@@ -1,0 +1,111 @@
+#ifndef QBISM_QBISM_SPATIAL_EXTENSION_H_
+#define QBISM_QBISM_SPATIAL_EXTENSION_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "region/encoding.h"
+#include "region/region.h"
+#include "sql/database.h"
+#include "volume/volume.h"
+
+namespace qbism {
+
+/// Configuration of the spatial extension: the atlas grid every stored
+/// REGION/VOLUME lives on, the linearization curve, and the on-disk
+/// REGION encoding. The paper's defaults: 128^3 grid, Hilbert order,
+/// naive 8-bytes-per-run encoding for the timing experiments (§6.1).
+struct SpatialConfig {
+  region::GridSpec grid{3, 7};
+  curve::CurveKind curve = curve::CurveKind::kHilbert;
+  region::RegionEncoding region_encoding =
+      region::RegionEncoding::kNaiveRuns;
+};
+
+/// The QBISM extension to the DBMS (§5.1): registers the spatial
+/// operators as user-defined SQL functions and provides the helpers that
+/// move REGIONs and VOLUMEs between long fields and their in-memory
+/// types.
+///
+/// Registered SQL functions (names are case-insensitive):
+///   intersection(r1, r2)        -> REGION        (§3.2)
+///   regionunion(r1, r2)         -> REGION
+///   regiondifference(r1, r2)    -> REGION
+///   contains(r1, r2)            -> int (0/1)     (§3.2)
+///   extractvoxels(volume, r)    -> DATA_REGION   (§3.2 EXTRACT_DATA)
+///   bandregion(volume, lo, hi)  -> REGION        (ad-hoc banding)
+///   voxelcount(r)               -> int
+///   runcount(r)                 -> int
+///   meanintensity(dr)           -> double
+///   fullregion()                -> REGION (the whole grid)
+///   boxregion(x0,y0,z0,x1,y1,z1)-> REGION (rectangular solid)
+///   mingapregion(r, gap)        -> REGION (§4.2 mingap approximation)
+///   minoctantregion(r, glog2)   -> REGION (§4.2 GxGxG approximation)
+///   octantcount(r)              -> int (cubic octants)
+///   oblongoctantcount(r)        -> int
+///
+/// REGION arguments accept either a long-field handle (decoded through
+/// the LFM, charging I/O) or a transient REGION object produced by a
+/// nested call; VOLUME arguments are long-field handles.
+class SpatialExtension {
+ public:
+  /// Registers the UDFs on `db` and installs this object as the
+  /// database's extension state. `db` must outlive the extension.
+  static Result<std::unique_ptr<SpatialExtension>> Install(
+      sql::Database* db, SpatialConfig config);
+
+  const SpatialConfig& config() const { return config_; }
+  sql::Database* db() const { return db_; }
+
+  /// --- Long-field marshalling -----------------------------------------
+
+  /// Encodes a region (1-byte encoding tag + payload) into a long field.
+  Result<storage::LongFieldId> StoreRegion(const region::Region& r) const;
+  /// Stores with an explicit encoding (Table 4 mixes encodings).
+  Result<storage::LongFieldId> StoreRegionAs(
+      const region::Region& r, region::RegionEncoding encoding) const;
+
+  /// Decodes a region long field.
+  Result<region::Region> LoadRegion(storage::LongFieldId id) const;
+
+  /// Serializes a DATA_REGION (footnote 6: the storable return type of
+  /// EXTRACT_DATA) — region encoding + per-voxel values — so derived
+  /// extraction results can be kept as first-class long fields.
+  Result<storage::LongFieldId> StoreDataRegion(
+      const volume::DataRegion& dr) const;
+
+  /// Inverse of StoreDataRegion.
+  Result<volume::DataRegion> LoadDataRegion(storage::LongFieldId id) const;
+
+  /// Stores a volume's curve-ordered intensities as a long field.
+  Result<storage::LongFieldId> StoreVolume(const volume::Volume& v) const;
+
+  /// Reads a whole volume back.
+  Result<volume::Volume> LoadVolume(storage::LongFieldId id) const;
+
+  /// EXTRACT_DATA against a volume long field: reads only the 4 KB pages
+  /// covering the region's runs (the early-filtering I/O path).
+  Result<volume::DataRegion> ExtractFromLongField(
+      storage::LongFieldId volume_field, const region::Region& r) const;
+
+  /// Number of LFM pages the extraction of `r` would touch.
+  Result<uint64_t> ExtractionPages(storage::LongFieldId volume_field,
+                                   const region::Region& r) const;
+
+  /// Coerces a SQL value (long field or transient object) to a REGION.
+  Result<std::shared_ptr<const region::Region>> RegionArg(
+      const sql::Value& value) const;
+
+ private:
+  SpatialExtension(sql::Database* db, SpatialConfig config)
+      : db_(db), config_(config) {}
+
+  Status RegisterUdfs();
+
+  sql::Database* db_;
+  SpatialConfig config_;
+};
+
+}  // namespace qbism
+
+#endif  // QBISM_QBISM_SPATIAL_EXTENSION_H_

@@ -1,0 +1,222 @@
+#include "region/encoding.h"
+
+#include <cstring>
+
+#include "common/bitstream.h"
+#include "common/macros.h"
+#include "compress/codes.h"
+
+namespace qbism::region {
+
+namespace {
+
+constexpr int kOctantRankBits = 5;
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v >> 24));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+Result<uint32_t> GetU32(const std::vector<uint8_t>& bytes, size_t* pos) {
+  if (*pos + 4 > bytes.size()) {
+    return Status::Corruption("region decode: truncated u32");
+  }
+  uint32_t v = (static_cast<uint32_t>(bytes[*pos]) << 24) |
+               (static_cast<uint32_t>(bytes[*pos + 1]) << 16) |
+               (static_cast<uint32_t>(bytes[*pos + 2]) << 8) |
+               static_cast<uint32_t>(bytes[*pos + 3]);
+  *pos += 4;
+  return v;
+}
+
+Status CheckOctantPackable(const Region& region) {
+  int id_bits = region.grid().dims * region.grid().bits;
+  if (id_bits + kOctantRankBits > 32) {
+    return Status::InvalidArgument(
+        "octant encoding supports grids up to 512^3 (id + rank in 4 bytes)");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> EncodeOctantList(const Region& region,
+                                              bool oblong) {
+  QBISM_RETURN_NOT_OK(CheckOctantPackable(region));
+  std::vector<Octant> octants =
+      oblong ? region.ToOblongOctants() : region.ToOctants();
+  std::vector<uint8_t> out;
+  out.reserve(4 + 4 * octants.size());
+  PutU32(&out, static_cast<uint32_t>(octants.size()));
+  for (const Octant& o : octants) {
+    uint32_t packed = (static_cast<uint32_t>(o.id) << kOctantRankBits) |
+                      static_cast<uint32_t>(o.rank);
+    PutU32(&out, packed);
+  }
+  return out;
+}
+
+Result<Region> DecodeOctantList(const GridSpec& grid, curve::CurveKind kind,
+                                const std::vector<uint8_t>& bytes) {
+  size_t pos = 0;
+  QBISM_ASSIGN_OR_RETURN(uint32_t count, GetU32(bytes, &pos));
+  // Never trust a stored count: each octant occupies exactly 4 bytes.
+  if (bytes.size() - pos != static_cast<size_t>(count) * 4) {
+    return Status::Corruption("octant decode: count does not match payload");
+  }
+  std::vector<Run> runs;
+  runs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    QBISM_ASSIGN_OR_RETURN(uint32_t packed, GetU32(bytes, &pos));
+    uint64_t id = packed >> kOctantRankBits;
+    int rank = static_cast<int>(packed & ((1u << kOctantRankBits) - 1));
+    if (rank > 63) return Status::Corruption("octant decode: bad rank");
+    runs.push_back(Run{id, id + (uint64_t{1} << rank) - 1});
+  }
+  return Region::FromRuns(grid, kind, std::move(runs));
+}
+
+}  // namespace
+
+std::string_view RegionEncodingToString(RegionEncoding encoding) {
+  switch (encoding) {
+    case RegionEncoding::kNaiveRuns:
+      return "naive-runs";
+    case RegionEncoding::kEliasDeltas:
+      return "elias-deltas";
+    case RegionEncoding::kOctants:
+      return "octants";
+    case RegionEncoding::kOblongOctants:
+      return "oblong-octants";
+  }
+  return "unknown";
+}
+
+Result<std::vector<uint8_t>> EncodeRegion(const Region& region,
+                                          RegionEncoding encoding) {
+  switch (encoding) {
+    case RegionEncoding::kNaiveRuns: {
+      if (region.grid().dims * region.grid().bits > 32) {
+        return Status::InvalidArgument("naive runs need ids to fit 4 bytes");
+      }
+      std::vector<uint8_t> out;
+      out.reserve(4 + 8 * region.RunCount());
+      PutU32(&out, static_cast<uint32_t>(region.RunCount()));
+      for (const Run& r : region.runs()) {
+        PutU32(&out, static_cast<uint32_t>(r.start));
+        PutU32(&out, static_cast<uint32_t>(r.end));
+      }
+      return out;
+    }
+    case RegionEncoding::kEliasDeltas: {
+      BitWriter writer;
+      // Layout: gamma(#runs + 1), then gamma(leading_gap + 1), then for
+      // each run gamma(length) followed (except after the last run) by
+      // gamma(gap to the next run). Trailing gap is implied by the grid.
+      const auto& runs = region.runs();
+      compress::EliasGammaEncode(runs.size() + 1, &writer);
+      uint64_t leading_gap = runs.empty() ? 0 : runs.front().start;
+      compress::EliasGammaEncode(leading_gap + 1, &writer);
+      for (size_t i = 0; i < runs.size(); ++i) {
+        compress::EliasGammaEncode(runs[i].Length(), &writer);
+        if (i + 1 < runs.size()) {
+          uint64_t gap = runs[i + 1].start - runs[i].end - 1;
+          compress::EliasGammaEncode(gap, &writer);
+        }
+      }
+      return writer.Finish();
+    }
+    case RegionEncoding::kOctants:
+      return EncodeOctantList(region, /*oblong=*/false);
+    case RegionEncoding::kOblongOctants:
+      return EncodeOctantList(region, /*oblong=*/true);
+  }
+  return Status::InvalidArgument("unknown region encoding");
+}
+
+Result<Region> DecodeRegion(const GridSpec& grid, curve::CurveKind kind,
+                            RegionEncoding encoding,
+                            const std::vector<uint8_t>& bytes) {
+  switch (encoding) {
+    case RegionEncoding::kNaiveRuns: {
+      size_t pos = 0;
+      QBISM_ASSIGN_OR_RETURN(uint32_t count, GetU32(bytes, &pos));
+      // Never trust a stored count: each run occupies exactly 8 bytes.
+      if (bytes.size() - pos != static_cast<size_t>(count) * 8) {
+        return Status::Corruption("naive-run decode: count/payload mismatch");
+      }
+      std::vector<Run> runs;
+      runs.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        QBISM_ASSIGN_OR_RETURN(uint32_t start, GetU32(bytes, &pos));
+        QBISM_ASSIGN_OR_RETURN(uint32_t end, GetU32(bytes, &pos));
+        runs.push_back(Run{start, end});
+      }
+      return Region::FromRuns(grid, kind, std::move(runs));
+    }
+    case RegionEncoding::kEliasDeltas: {
+      BitReader reader(bytes);
+      QBISM_ASSIGN_OR_RETURN(uint64_t count_p1,
+                             compress::EliasGammaDecode(&reader));
+      uint64_t count = count_p1 - 1;
+      // A canonical region cannot hold more runs than half the grid's
+      // cells (runs are separated by gaps), and each run costs at least
+      // one bit in the stream — both bound a corrupt count.
+      if (count > (grid.NumCells() + 1) / 2 || count > bytes.size() * 8) {
+        return Status::Corruption("elias decode: implausible run count");
+      }
+      QBISM_ASSIGN_OR_RETURN(uint64_t gap_p1,
+                             compress::EliasGammaDecode(&reader));
+      uint64_t cursor = gap_p1 - 1;
+      std::vector<Run> runs;
+      runs.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        QBISM_ASSIGN_OR_RETURN(uint64_t len,
+                               compress::EliasGammaDecode(&reader));
+        runs.push_back(Run{cursor, cursor + len - 1});
+        cursor += len;
+        if (i + 1 < count) {
+          QBISM_ASSIGN_OR_RETURN(uint64_t gap,
+                                 compress::EliasGammaDecode(&reader));
+          cursor += gap;
+        }
+      }
+      return Region::FromRuns(grid, kind, std::move(runs));
+    }
+    case RegionEncoding::kOctants:
+    case RegionEncoding::kOblongOctants:
+      return DecodeOctantList(grid, kind, bytes);
+  }
+  return Status::InvalidArgument("unknown region encoding");
+}
+
+Result<uint64_t> EncodedSizeBytes(const Region& region,
+                                  RegionEncoding encoding) {
+  switch (encoding) {
+    case RegionEncoding::kNaiveRuns:
+      return uint64_t{4} + 8 * region.RunCount();
+    case RegionEncoding::kEliasDeltas: {
+      const auto& runs = region.runs();
+      uint64_t bits = compress::EliasGammaLength(runs.size() + 1);
+      uint64_t leading_gap = runs.empty() ? 0 : runs.front().start;
+      bits += compress::EliasGammaLength(leading_gap + 1);
+      for (size_t i = 0; i < runs.size(); ++i) {
+        bits += compress::EliasGammaLength(runs[i].Length());
+        if (i + 1 < runs.size()) {
+          // Canonical runs are separated by a gap of at least one id.
+          bits += compress::EliasGammaLength(runs[i + 1].start - runs[i].end - 1);
+        }
+      }
+      return (bits + 7) / 8;
+    }
+    case RegionEncoding::kOctants:
+      QBISM_RETURN_NOT_OK(CheckOctantPackable(region));
+      return uint64_t{4} + 4 * region.ToOctants().size();
+    case RegionEncoding::kOblongOctants:
+      QBISM_RETURN_NOT_OK(CheckOctantPackable(region));
+      return uint64_t{4} + 4 * region.ToOblongOctants().size();
+  }
+  return Status::InvalidArgument("unknown region encoding");
+}
+
+}  // namespace qbism::region

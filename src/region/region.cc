@@ -1,0 +1,398 @@
+#include "region/region.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace qbism::region {
+
+using geometry::Box3i;
+using geometry::Vec3i;
+
+namespace {
+
+/// Merges a sorted run list into canonical form (disjoint, non-adjacent).
+std::vector<Run> Canonicalize(std::vector<Run> runs) {
+  std::sort(runs.begin(), runs.end(),
+            [](const Run& a, const Run& b) { return a.start < b.start; });
+  std::vector<Run> out;
+  out.reserve(runs.size());
+  for (const Run& r : runs) {
+    if (!out.empty() && r.start <= out.back().end + 1) {
+      out.back().end = std::max(out.back().end, r.end);
+    } else {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+uint64_t PointToId(const GridSpec& grid, curve::CurveKind kind,
+                   const Vec3i& p) {
+  uint32_t axes[3] = {static_cast<uint32_t>(p.x), static_cast<uint32_t>(p.y),
+                      static_cast<uint32_t>(p.z)};
+  if (kind == curve::CurveKind::kHilbert) {
+    return curve::HilbertIndex(axes, grid.dims, grid.bits);
+  }
+  return curve::MortonIndex(axes, grid.dims, grid.bits);
+}
+
+Vec3i IdToPoint(const GridSpec& grid, curve::CurveKind kind, uint64_t id) {
+  uint32_t axes[3] = {0, 0, 0};
+  if (kind == curve::CurveKind::kHilbert) {
+    curve::HilbertAxes(id, grid.dims, grid.bits, axes);
+  } else {
+    curve::MortonAxes(id, grid.dims, grid.bits, axes);
+  }
+  return {static_cast<int32_t>(axes[0]), static_cast<int32_t>(axes[1]),
+          grid.dims == 3 ? static_cast<int32_t>(axes[2]) : 0};
+}
+
+/// Largest rank r such that `start` is aligned to 2^r and 2^r <= len.
+int MaxAlignedRank(uint64_t start, uint64_t len) {
+  int align = start == 0 ? 63 : __builtin_ctzll(start);
+  int size = 63 - __builtin_clzll(len);
+  return std::min(align, size);
+}
+
+}  // namespace
+
+Result<Region> Region::FromRuns(GridSpec grid, curve::CurveKind kind,
+                                std::vector<Run> runs) {
+  for (const Run& r : runs) {
+    if (r.start > r.end) {
+      return Status::InvalidArgument("Region::FromRuns: run start > end");
+    }
+    if (r.end >= grid.NumCells()) {
+      return Status::OutOfRange("Region::FromRuns: run exceeds grid");
+    }
+  }
+  Region region(grid, kind);
+  region.runs_ = Canonicalize(std::move(runs));
+  return region;
+}
+
+Result<Region> Region::FromIds(GridSpec grid, curve::CurveKind kind,
+                               std::vector<uint64_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (!ids.empty() && ids.back() >= grid.NumCells()) {
+    return Status::OutOfRange("Region::FromIds: id exceeds grid");
+  }
+  RegionBuilder builder(grid, kind);
+  for (uint64_t id : ids) builder.AppendId(id);
+  return builder.Build();
+}
+
+Region Region::FromPredicate(
+    GridSpec grid, curve::CurveKind kind,
+    const std::function<bool(const Vec3i&)>& inside) {
+  RegionBuilder builder(grid, kind);
+  uint64_t n = grid.NumCells();
+  for (uint64_t id = 0; id < n; ++id) {
+    if (inside(IdToPoint(grid, kind, id))) builder.AppendId(id);
+  }
+  return builder.Build();
+}
+
+Region Region::FromShape(GridSpec grid, curve::CurveKind kind,
+                         const geometry::Shape& shape) {
+  geometry::Box3d b = shape.Bounds();
+  int64_t side = static_cast<int64_t>(grid.SideLength());
+  auto clampi = [&](double v) {
+    return std::clamp<int64_t>(static_cast<int64_t>(std::floor(v)), 0, side - 1);
+  };
+  Box3i box{{static_cast<int32_t>(clampi(b.min.x)),
+             static_cast<int32_t>(clampi(b.min.y)),
+             static_cast<int32_t>(clampi(b.min.z))},
+            {static_cast<int32_t>(clampi(std::ceil(b.max.x))),
+             static_cast<int32_t>(clampi(std::ceil(b.max.y))),
+             static_cast<int32_t>(clampi(std::ceil(b.max.z)))}};
+  if (grid.dims == 2) {
+    box.min.z = 0;
+    box.max.z = 0;
+  }
+  std::vector<uint64_t> ids;
+  for (int32_t z = box.min.z; z <= box.max.z; ++z) {
+    for (int32_t y = box.min.y; y <= box.max.y; ++y) {
+      for (int32_t x = box.min.x; x <= box.max.x; ++x) {
+        // Voxel centers at half-integer offsets.
+        geometry::Vec3d center{x + 0.5, y + 0.5, z + 0.5};
+        if (grid.dims == 2) center.z = 0.0;
+        if (shape.Contains(center)) {
+          ids.push_back(PointToId(grid, kind, {x, y, z}));
+        }
+      }
+    }
+  }
+  auto result = FromIds(grid, kind, std::move(ids));
+  QBISM_CHECK(result.ok());
+  return result.MoveValue();
+}
+
+Region Region::FromBox(GridSpec grid, curve::CurveKind kind,
+                       const Box3i& box) {
+  int32_t side = static_cast<int32_t>(grid.SideLength());
+  Box3i grid_box{{0, 0, 0}, {side - 1, side - 1, side - 1}};
+  if (grid.dims == 2) grid_box.max.z = 0;
+  Box3i clipped = box.ClippedTo(grid_box);
+  if (clipped.Empty()) return Region(grid, kind);
+  std::vector<uint64_t> ids;
+  ids.reserve(static_cast<size_t>(clipped.VoxelCount()));
+  for (int32_t z = clipped.min.z; z <= clipped.max.z; ++z) {
+    for (int32_t y = clipped.min.y; y <= clipped.max.y; ++y) {
+      for (int32_t x = clipped.min.x; x <= clipped.max.x; ++x) {
+        ids.push_back(PointToId(grid, kind, {x, y, z}));
+      }
+    }
+  }
+  auto result = FromIds(grid, kind, std::move(ids));
+  QBISM_CHECK(result.ok());
+  return result.MoveValue();
+}
+
+Region Region::Full(GridSpec grid, curve::CurveKind kind) {
+  Region region(grid, kind);
+  region.runs_.push_back(Run{0, grid.NumCells() - 1});
+  return region;
+}
+
+uint64_t Region::VoxelCount() const {
+  uint64_t total = 0;
+  for (const Run& r : runs_) total += r.Length();
+  return total;
+}
+
+bool Region::ContainsId(uint64_t id) const {
+  auto it = std::upper_bound(
+      runs_.begin(), runs_.end(), id,
+      [](uint64_t value, const Run& r) { return value < r.start; });
+  if (it == runs_.begin()) return false;
+  --it;
+  return id <= it->end;
+}
+
+bool Region::ContainsPoint(const Vec3i& p) const {
+  if (!grid_.ContainsPoint(p)) return false;
+  return ContainsId(PointToId(grid_, kind_, p));
+}
+
+namespace {
+
+Status CheckCompatible(const Region& a, const Region& b,
+                       std::string_view op) {
+  if (!(a.grid() == b.grid()) || a.curve_kind() != b.curve_kind()) {
+    return Status::InvalidArgument(std::string(op) +
+                                   ": regions on different grids or curves");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Region> Region::IntersectWith(const Region& other) const {
+  QBISM_RETURN_NOT_OK(CheckCompatible(*this, other, "INTERSECTION"));
+  // Linear merge of the two sorted run lists — the "spatial join" scan
+  // the paper adopts from Orenstein & Manola.
+  Region out(grid_, kind_);
+  size_t i = 0, j = 0;
+  while (i < runs_.size() && j < other.runs_.size()) {
+    const Run& a = runs_[i];
+    const Run& b = other.runs_[j];
+    uint64_t lo = std::max(a.start, b.start);
+    uint64_t hi = std::min(a.end, b.end);
+    if (lo <= hi) out.runs_.push_back(Run{lo, hi});
+    if (a.end < b.end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+Result<Region> Region::UnionWith(const Region& other) const {
+  QBISM_RETURN_NOT_OK(CheckCompatible(*this, other, "UNION"));
+  std::vector<Run> merged;
+  merged.reserve(runs_.size() + other.runs_.size());
+  merged.insert(merged.end(), runs_.begin(), runs_.end());
+  merged.insert(merged.end(), other.runs_.begin(), other.runs_.end());
+  Region out(grid_, kind_);
+  out.runs_ = Canonicalize(std::move(merged));
+  return out;
+}
+
+Result<Region> Region::DifferenceWith(const Region& other) const {
+  QBISM_RETURN_NOT_OK(CheckCompatible(*this, other, "DIFFERENCE"));
+  Region out(grid_, kind_);
+  size_t j = 0;
+  for (const Run& a : runs_) {
+    uint64_t cursor = a.start;
+    while (j < other.runs_.size() && other.runs_[j].end < cursor) ++j;
+    size_t k = j;
+    while (cursor <= a.end) {
+      if (k >= other.runs_.size() || other.runs_[k].start > a.end) {
+        out.runs_.push_back(Run{cursor, a.end});
+        break;
+      }
+      const Run& b = other.runs_[k];
+      if (b.start > cursor) {
+        out.runs_.push_back(Run{cursor, b.start - 1});
+      }
+      if (b.end >= a.end) break;
+      cursor = b.end + 1;
+      ++k;
+    }
+  }
+  return out;
+}
+
+Result<bool> Region::Contains(const Region& other) const {
+  QBISM_RETURN_NOT_OK(CheckCompatible(*this, other, "CONTAINS"));
+  // Every run of `other` must be covered by a single run of *this
+  // (canonical runs are maximal, so coverage cannot straddle a gap).
+  for (const Run& b : other.runs_) {
+    auto it = std::upper_bound(
+        runs_.begin(), runs_.end(), b.start,
+        [](uint64_t value, const Run& r) { return value < r.start; });
+    if (it == runs_.begin()) return false;
+    --it;
+    if (b.start > it->end || b.end > it->end) return false;
+  }
+  return true;
+}
+
+Region Region::Complement() const {
+  Region out(grid_, kind_);
+  uint64_t cursor = 0;
+  for (const Run& r : runs_) {
+    if (r.start > cursor) out.runs_.push_back(Run{cursor, r.start - 1});
+    cursor = r.end + 1;
+  }
+  uint64_t n = grid_.NumCells();
+  if (cursor < n) out.runs_.push_back(Run{cursor, n - 1});
+  return out;
+}
+
+Region Region::ConvertTo(curve::CurveKind kind) const {
+  if (kind == kind_) return *this;
+  std::vector<uint64_t> ids;
+  ids.reserve(static_cast<size_t>(VoxelCount()));
+  for (const Run& r : runs_) {
+    for (uint64_t id = r.start; id <= r.end; ++id) {
+      ids.push_back(PointToId(grid_, kind, IdToPoint(grid_, kind_, id)));
+    }
+  }
+  auto result = FromIds(grid_, kind, std::move(ids));
+  QBISM_CHECK(result.ok());
+  return result.MoveValue();
+}
+
+std::vector<Octant> Region::ToOblongOctants() const {
+  std::vector<Octant> out;
+  for (const Run& r : runs_) {
+    uint64_t start = r.start;
+    uint64_t remaining = r.Length();
+    while (remaining > 0) {
+      int rank = MaxAlignedRank(start, remaining);
+      out.push_back(Octant{start, rank});
+      start += uint64_t{1} << rank;
+      remaining -= uint64_t{1} << rank;
+    }
+  }
+  return out;
+}
+
+std::vector<Octant> Region::ToOctants() const {
+  std::vector<Octant> out;
+  for (const Run& r : runs_) {
+    uint64_t start = r.start;
+    uint64_t remaining = r.Length();
+    while (remaining > 0) {
+      int rank = MaxAlignedRank(start, remaining);
+      rank -= rank % grid_.dims;  // cubic octants: rank multiple of dims
+      out.push_back(Octant{start, rank});
+      start += uint64_t{1} << rank;
+      remaining -= uint64_t{1} << rank;
+    }
+  }
+  return out;
+}
+
+Region Region::WithMinGap(uint64_t mingap) const {
+  Region out(grid_, kind_);
+  for (const Run& r : runs_) {
+    if (!out.runs_.empty() &&
+        r.start - out.runs_.back().end - 1 < mingap) {
+      out.runs_.back().end = r.end;
+    } else {
+      out.runs_.push_back(r);
+    }
+  }
+  return out;
+}
+
+Region Region::WithMinOctant(int g_log2) const {
+  QBISM_CHECK(g_log2 >= 0);
+  int shift = grid_.dims * g_log2;
+  uint64_t n = grid_.NumCells();
+  std::vector<Run> rounded;
+  rounded.reserve(runs_.size());
+  for (const Run& r : runs_) {
+    uint64_t lo = (r.start >> shift) << shift;
+    uint64_t hi = std::min(n - 1, (((r.end >> shift) + 1) << shift) - 1);
+    rounded.push_back(Run{lo, hi});
+  }
+  Region out(grid_, kind_);
+  out.runs_ = Canonicalize(std::move(rounded));
+  return out;
+}
+
+std::vector<uint64_t> Region::DeltaLengths() const {
+  std::vector<uint64_t> deltas;
+  uint64_t cursor = 0;
+  for (const Run& r : runs_) {
+    if (r.start > cursor) deltas.push_back(r.start - cursor);  // gap
+    deltas.push_back(r.Length());                              // run
+    cursor = r.end + 1;
+  }
+  uint64_t n = grid_.NumCells();
+  if (cursor < n) deltas.push_back(n - cursor);  // trailing gap
+  return deltas;
+}
+
+std::vector<Vec3i> Region::ToPoints() const {
+  std::vector<Vec3i> points;
+  points.reserve(static_cast<size_t>(VoxelCount()));
+  for (const Run& r : runs_) {
+    for (uint64_t id = r.start; id <= r.end; ++id) {
+      points.push_back(IdToPoint(grid_, kind_, id));
+    }
+  }
+  return points;
+}
+
+void RegionBuilder::AppendId(uint64_t id) { AppendRun(id, id); }
+
+void RegionBuilder::AppendRun(uint64_t start, uint64_t end) {
+  QBISM_CHECK(start <= end);
+  QBISM_CHECK(end < grid_.NumCells());
+  if (!runs_.empty()) {
+    QBISM_CHECK(start + 1 >= runs_.back().start);  // non-decreasing order
+    if (start <= runs_.back().end + 1) {
+      runs_.back().end = std::max(runs_.back().end, end);
+      return;
+    }
+  }
+  runs_.push_back(Run{start, end});
+}
+
+Region RegionBuilder::Build() {
+  auto result = Region::FromRuns(grid_, kind_, std::move(runs_));
+  QBISM_CHECK(result.ok());
+  runs_.clear();
+  return result.MoveValue();
+}
+
+}  // namespace qbism::region

@@ -1,0 +1,64 @@
+#include "region/stats.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/macros.h"
+#include "compress/codes.h"
+#include "region/encoding.h"
+
+namespace qbism::region {
+
+RegionStats ComputeRegionStats(const Region& hilbert_region) {
+  QBISM_CHECK(hilbert_region.curve_kind() == curve::CurveKind::kHilbert);
+  RegionStats stats;
+  stats.voxels = hilbert_region.VoxelCount();
+  stats.h_runs = hilbert_region.RunCount();
+  stats.h_oblong_octants = hilbert_region.ToOblongOctants().size();
+  stats.h_octants = hilbert_region.ToOctants().size();
+
+  Region z = hilbert_region.ConvertTo(curve::CurveKind::kZ);
+  stats.z_runs = z.RunCount();
+  stats.z_oblong_octants = z.ToOblongOctants().size();
+  stats.z_octants = z.ToOctants().size();
+
+  auto size_of = [&](RegionEncoding enc) -> uint64_t {
+    auto r = EncodedSizeBytes(hilbert_region, enc);
+    QBISM_CHECK(r.ok());
+    return r.value();
+  };
+  stats.naive_bytes = size_of(RegionEncoding::kNaiveRuns);
+  stats.elias_bytes = size_of(RegionEncoding::kEliasDeltas);
+  stats.oblong_octant_bytes = size_of(RegionEncoding::kOblongOctants);
+  stats.octant_bytes = size_of(RegionEncoding::kOctants);
+
+  stats.entropy_bytes =
+      compress::EntropyBoundBits(hilbert_region.DeltaLengths()) / 8.0;
+  return stats;
+}
+
+LinearFit FitDeltaPowerLaw(const Region& region) {
+  return FitPowerLaw(region.DeltaLengths());
+}
+
+LinearFit FitPowerLaw(const std::vector<uint64_t>& lengths) {
+  // Logarithmic binning: lengths are pooled into power-of-two bins and
+  // the count is normalized by bin width (a density estimate). A naive
+  // per-length fit underestimates the exponent badly because the long
+  // tail consists of many singleton counts.
+  std::map<int, uint64_t> bins;  // floor(log2(length)) -> count
+  for (uint64_t len : lengths) {
+    if (len == 0) continue;
+    bins[63 - __builtin_clzll(len)] += 1;
+  }
+  std::vector<double> xs, ys;
+  for (const auto& [bin, count] : bins) {
+    double width = static_cast<double>(uint64_t{1} << bin);  // [2^b, 2^{b+1})
+    double center = width * 1.5;
+    xs.push_back(std::log(center));
+    ys.push_back(std::log(static_cast<double>(count) / width));
+  }
+  return FitLine(xs, ys);
+}
+
+}  // namespace qbism::region

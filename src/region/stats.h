@@ -1,0 +1,46 @@
+#ifndef QBISM_REGION_STATS_H_
+#define QBISM_REGION_STATS_H_
+
+#include <cstdint>
+
+#include "common/linear_fit.h"
+#include "region/region.h"
+
+namespace qbism::region {
+
+/// Per-region representation statistics: the quantities compared across
+/// methods in §4.2 (run-count ratios, Figure 4 size ratios, EQ 1/EQ 2).
+struct RegionStats {
+  uint64_t voxels = 0;
+
+  // Piece counts per representation.
+  uint64_t h_runs = 0;
+  uint64_t z_runs = 0;
+  uint64_t h_oblong_octants = 0;
+  uint64_t h_octants = 0;
+  uint64_t z_oblong_octants = 0;
+  uint64_t z_octants = 0;
+
+  // On-disk sizes in bytes (Hilbert-run based, as in Figure 4).
+  uint64_t naive_bytes = 0;
+  uint64_t elias_bytes = 0;
+  uint64_t oblong_octant_bytes = 0;
+  uint64_t octant_bytes = 0;
+  double entropy_bytes = 0.0;  // EQ 2 lower bound over h-delta lengths
+};
+
+/// Computes all statistics; `hilbert_region` must be Hilbert-ordered.
+/// Performs a curve conversion internally for the Z-order counts.
+RegionStats ComputeRegionStats(const Region& hilbert_region);
+
+/// Fits the power law of EQ 1, count = c * length^(-a), to the delta
+/// lengths of a region by least squares on the log-binned log-log
+/// histogram. Returns {slope = -a, intercept = log(c), r}.
+LinearFit FitDeltaPowerLaw(const Region& region);
+
+/// Same fit over an arbitrary pooled multiset of delta lengths.
+LinearFit FitPowerLaw(const std::vector<uint64_t>& lengths);
+
+}  // namespace qbism::region
+
+#endif  // QBISM_REGION_STATS_H_

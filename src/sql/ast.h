@@ -1,0 +1,141 @@
+#ifndef QBISM_SQL_AST_H_
+#define QBISM_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sql/schema.h"
+#include "sql/value.h"
+
+namespace qbism::sql {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression tree node. A single struct with a kind tag keeps the
+/// parser and evaluator compact.
+struct Expr {
+  enum class Kind {
+    kLiteral,
+    kColumnRef,
+    kFunctionCall,
+    kBinary,
+    kUnary,
+  };
+
+  enum class BinOp {
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kAnd,
+    kOr,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+  };
+
+  enum class UnOp {
+    kNot,
+    kNeg,
+  };
+
+  Kind kind = Kind::kLiteral;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef: optional table/alias qualifier plus column name.
+  std::string table;
+  std::string column;
+
+  // kFunctionCall
+  std::string function;
+  std::vector<ExprPtr> args;
+
+  // kBinary
+  BinOp bin_op = BinOp::kEq;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  // kUnary
+  UnOp un_op = UnOp::kNot;
+  ExprPtr operand;
+
+  static ExprPtr Literal(Value v);
+  static ExprPtr ColumnRef(std::string table, std::string column);
+  static ExprPtr Call(std::string function, std::vector<ExprPtr> args);
+  static ExprPtr Binary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Unary(UnOp op, ExprPtr operand);
+};
+
+/// One item of a SELECT list.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty = derive from the expression
+};
+
+/// A table in the FROM clause with its optional alias.
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty = use table name
+};
+
+/// ORDER BY key: an output column named by alias/column name or by
+/// 1-based position.
+struct OrderItem {
+  std::string column;   // empty when position is used
+  int64_t position = 0; // 1-based; 0 when column is used
+  bool descending = false;
+};
+
+struct SelectStmt {
+  bool star = false;  // SELECT *
+  std::vector<SelectItem> items;
+  std::vector<TableRef> tables;
+  ExprPtr where;  // may be null
+  std::vector<ExprPtr> group_by;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<Column> columns;
+};
+
+struct CreateIndexStmt {
+  std::string index_name;
+  std::string table;
+  std::string column;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  // null = delete all rows
+};
+
+struct UpdateStmt {
+  std::string table;
+  /// SET column = expr assignments, applied left to right. Expressions
+  /// see the row's pre-update values.
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // null = update all rows
+};
+
+using Statement = std::variant<SelectStmt, InsertStmt, CreateTableStmt,
+                               CreateIndexStmt, DeleteStmt, UpdateStmt>;
+
+}  // namespace qbism::sql
+
+#endif  // QBISM_SQL_AST_H_

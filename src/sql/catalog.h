@@ -1,0 +1,54 @@
+#ifndef QBISM_SQL_CATALOG_H_
+#define QBISM_SQL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/schema.h"
+#include "storage/bptree.h"
+#include "storage/heap_file.h"
+
+namespace qbism::sql {
+
+/// Table metadata plus its backing heap file and secondary indexes
+/// (B+-trees over integer columns, keyed by column name).
+struct TableInfo {
+  TableSchema schema;
+  std::unique_ptr<storage::HeapFile> file;
+  std::map<std::string, std::unique_ptr<storage::BPlusTree>> indexes;
+};
+
+/// In-memory catalog mapping table names to schemas and heap files.
+class Catalog {
+ public:
+  /// `pool` and `allocator` address the relational device and must
+  /// outlive the catalog.
+  Catalog(storage::BufferPool* pool, storage::PageAllocator* allocator)
+      : pool_(pool), allocator_(allocator) {}
+
+  Status CreateTable(TableSchema schema);
+  Result<TableInfo*> GetTable(const std::string& name);
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// Creates a B+-tree index over an integer column and backfills it
+  /// from the existing rows. NULL values get no index entry, so an
+  /// index lookup never returns NULL-keyed rows (equality with NULL is
+  /// never true in this dialect anyway).
+  Status CreateIndex(const std::string& table, const std::string& column);
+
+  /// Serializes and inserts a row, maintaining every index.
+  Result<storage::RecordId> InsertRow(TableInfo* table, const Row& row);
+
+ private:
+  storage::BufferPool* pool_;
+  storage::PageAllocator* allocator_;
+  std::map<std::string, TableInfo> tables_;
+};
+
+}  // namespace qbism::sql
+
+#endif  // QBISM_SQL_CATALOG_H_

@@ -1,0 +1,48 @@
+#include "sql/database.h"
+
+#include "common/macros.h"
+#include "sql/parser.h"
+
+namespace qbism::sql {
+
+Database::Database(DatabaseOptions options)
+    : relational_device_(options.relational_pages, options.disk_cost_model),
+      long_field_device_(options.long_field_pages, options.disk_cost_model),
+      pool_(&relational_device_, options.buffer_pool_pages),
+      page_allocator_(options.relational_pages),
+      lfm_(&long_field_device_),
+      catalog_(&pool_, &page_allocator_) {}
+
+Result<ResultSet> Database::Execute(const std::string& sql) {
+  QBISM_ASSIGN_OR_RETURN(Statement statement, ParseStatement(sql));
+  UdfContext context;
+  context.lfm = &lfm_;
+  context.extension_state = extension_state_;
+  Executor executor(&catalog_, &udfs_, context);
+  return executor.Execute(statement);
+}
+
+Status Database::CreateTable(TableSchema schema) {
+  return catalog_.CreateTable(std::move(schema));
+}
+
+Status Database::Insert(const std::string& table, const Row& row) {
+  QBISM_ASSIGN_OR_RETURN(TableInfo * info, catalog_.GetTable(table));
+  QBISM_ASSIGN_OR_RETURN(storage::RecordId rid, catalog_.InsertRow(info, row));
+  (void)rid;
+  return Status::OK();
+}
+
+storage::IoStats Database::TotalIoStats() const {
+  storage::IoStats a = relational_device_.stats();
+  storage::IoStats b = long_field_device_.stats();
+  return {a.pages_read + b.pages_read, a.pages_written + b.pages_written,
+          a.seeks + b.seeks, a.simulated_seconds + b.simulated_seconds};
+}
+
+void Database::ResetIoStats() {
+  relational_device_.ResetStats();
+  long_field_device_.ResetStats();
+}
+
+}  // namespace qbism::sql

@@ -1,0 +1,72 @@
+#ifndef QBISM_SQL_DATABASE_H_
+#define QBISM_SQL_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "sql/catalog.h"
+#include "sql/executor.h"
+#include "sql/udf.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_device.h"
+#include "storage/long_field.h"
+
+namespace qbism::sql {
+
+/// Sizing of the two simulated devices. Mirroring the paper's setup
+/// (§6.1), relational data lives on a buffered device (the "AIX file
+/// system") and long fields on an unbuffered device managed by the LFM
+/// (the "AIX logical volume").
+struct DatabaseOptions {
+  uint64_t relational_pages = 1 << 14;          // 64 MB
+  uint64_t long_field_pages = 1 << 15;          // 128 MB
+  size_t buffer_pool_pages = 256;               // 1 MB of buffered pages
+  storage::DiskCostModel disk_cost_model = {};  // shared by both devices
+};
+
+/// The extensible DBMS facade: devices, buffer pool, catalog, UDF
+/// registry, SQL front end. This is the Starburst substitute — it
+/// provides exactly the extension hooks QBISM relied on: long fields,
+/// user-defined SQL functions, and select-project-join query processing.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = DatabaseOptions{});
+
+  /// Parses and executes one SQL statement.
+  Result<ResultSet> Execute(const std::string& sql);
+
+  /// Direct (non-SQL) APIs used by loaders and tests.
+  Status CreateTable(TableSchema schema);
+  Status Insert(const std::string& table, const Row& row);
+
+  Catalog* catalog() { return &catalog_; }
+  UdfRegistry* udfs() { return &udfs_; }
+  storage::LongFieldManager* lfm() { return &lfm_; }
+  storage::DiskDevice* relational_device() { return &relational_device_; }
+  storage::DiskDevice* long_field_device() { return &long_field_device_; }
+  storage::BufferPool* buffer_pool() { return &pool_; }
+
+  /// Opaque extension state passed to every UDF invocation (the spatial
+  /// extension stores its grid/curve configuration here).
+  void set_extension_state(void* state) { extension_state_ = state; }
+  void* extension_state() const { return extension_state_; }
+
+  /// Combined I/O statistics across both devices.
+  storage::IoStats TotalIoStats() const;
+  void ResetIoStats();
+
+ private:
+  storage::DiskDevice relational_device_;
+  storage::DiskDevice long_field_device_;
+  storage::BufferPool pool_;
+  storage::PageAllocator page_allocator_;
+  storage::LongFieldManager lfm_;
+  Catalog catalog_;
+  UdfRegistry udfs_;
+  void* extension_state_ = nullptr;
+};
+
+}  // namespace qbism::sql
+
+#endif  // QBISM_SQL_DATABASE_H_

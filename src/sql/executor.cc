@@ -1,0 +1,881 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace qbism::sql {
+
+Result<bool> ValueIsTrue(const Value& value) {
+  if (value.is_null()) return false;
+  if (value.kind() == Value::Kind::kInt) {
+    return value.AsInt().value() != 0;
+  }
+  if (value.kind() == Value::Kind::kDouble) {
+    return value.AsDouble().value() != 0.0;
+  }
+  return Status::InvalidArgument("predicate did not evaluate to a number");
+}
+
+std::string ResultSet::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    out << (i ? " | " : "") << columns[i];
+  }
+  out << "\n";
+  for (const Row& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << (i ? " | " : "") << row[i].ToString();
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<ResultSet> Executor::Execute(const Statement& statement) {
+  if (const auto* select = std::get_if<SelectStmt>(&statement)) {
+    return ExecuteSelect(*select);
+  }
+  if (const auto* insert = std::get_if<InsertStmt>(&statement)) {
+    return ExecuteInsert(*insert);
+  }
+  if (const auto* create = std::get_if<CreateTableStmt>(&statement)) {
+    return ExecuteCreate(*create);
+  }
+  if (const auto* index = std::get_if<CreateIndexStmt>(&statement)) {
+    QBISM_RETURN_NOT_OK(catalog_->CreateIndex(index->table, index->column));
+    return ResultSet{};
+  }
+  if (const auto* del = std::get_if<DeleteStmt>(&statement)) {
+    return ExecuteDelete(*del);
+  }
+  if (const auto* update = std::get_if<UpdateStmt>(&statement)) {
+    return ExecuteUpdate(*update);
+  }
+  return Status::Internal("unknown statement variant");
+}
+
+Result<ResultSet> Executor::ExecuteUpdate(const UpdateStmt& stmt) {
+  QBISM_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(stmt.table));
+  // Resolve assignment targets up front.
+  std::vector<size_t> target_columns;
+  for (const auto& [column, expr] : stmt.assignments) {
+    (void)expr;
+    QBISM_ASSIGN_OR_RETURN(size_t index, table->schema.ColumnIndex(column));
+    target_columns.push_back(index);
+  }
+  // Phase 1: collect matching rows with their new images (assignment
+  // expressions see the pre-update values).
+  std::vector<BoundTable> env(1);
+  env[0].alias = stmt.table;
+  env[0].schema = &table->schema;
+  env[0].rows.resize(1);
+  std::vector<size_t> cursor{0};
+  std::vector<std::pair<storage::RecordId, Row>> updates;
+  Status scan_status = Status::OK();
+  QBISM_RETURN_NOT_OK(table->file->Scan(
+      [&](const storage::RecordId& rid, const std::vector<uint8_t>& bytes) {
+        auto row = DeserializeRow(table->schema, bytes);
+        if (!row.ok()) {
+          scan_status = row.status();
+          return false;
+        }
+        env[0].rows[0] = std::move(row).MoveValue();
+        bool matches = true;
+        if (stmt.where) {
+          auto value = Eval(*stmt.where, env, cursor);
+          if (value.ok()) {
+            auto truth = ValueIsTrue(value.value());
+            if (truth.ok()) {
+              matches = truth.value();
+            } else {
+              scan_status = truth.status();
+            }
+          } else {
+            scan_status = value.status();
+          }
+          if (!scan_status.ok()) return false;
+        }
+        if (!matches) return true;
+        Row updated = env[0].rows[0];
+        for (size_t i = 0; i < stmt.assignments.size(); ++i) {
+          auto value = Eval(*stmt.assignments[i].second, env, cursor);
+          if (!value.ok()) {
+            scan_status = value.status();
+            return false;
+          }
+          updated[target_columns[i]] = std::move(value).MoveValue();
+        }
+        updates.emplace_back(rid, std::move(updated));
+        return true;
+      }));
+  QBISM_RETURN_NOT_OK(scan_status);
+  // Validate every new image before touching anything, so a type error
+  // cannot leave the table partially updated.
+  for (const auto& [rid, row] : updates) {
+    (void)rid;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (!ValueMatchesType(row[i], table->schema.columns()[i].type)) {
+        return Status::InvalidArgument(
+            "UPDATE: value " + row[i].ToString() +
+            " does not match column '" + table->schema.columns()[i].name +
+            "'");
+      }
+    }
+  }
+  // Phase 2: tombstone the old image, append the new one (indexes are
+  // maintained through the insert path; stale entries for the old image
+  // are skipped at probe time).
+  ResultSet result;
+  for (auto& [rid, row] : updates) {
+    QBISM_RETURN_NOT_OK(table->file->Delete(rid));
+    QBISM_ASSIGN_OR_RETURN(storage::RecordId new_rid,
+                           catalog_->InsertRow(table, row));
+    (void)new_rid;
+    ++result.rows_affected;
+  }
+  return result;
+}
+
+Result<ResultSet> Executor::ExecuteDelete(const DeleteStmt& stmt) {
+  QBISM_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(stmt.table));
+  // Evaluate the predicate per row against a single-table environment,
+  // collect matching record ids, then tombstone them. Stale index
+  // entries are tolerated: the index access path skips records whose
+  // heap read reports NotFound.
+  std::vector<BoundTable> env(1);
+  env[0].alias = stmt.table;
+  env[0].schema = &table->schema;
+  env[0].rows.resize(1);
+  std::vector<size_t> cursor{0};
+  std::vector<storage::RecordId> victims;
+  Status scan_status = Status::OK();
+  QBISM_RETURN_NOT_OK(table->file->Scan(
+      [&](const storage::RecordId& rid, const std::vector<uint8_t>& bytes) {
+        auto row = DeserializeRow(table->schema, bytes);
+        if (!row.ok()) {
+          scan_status = row.status();
+          return false;
+        }
+        env[0].rows[0] = std::move(row).MoveValue();
+        bool matches = true;
+        if (stmt.where) {
+          auto value = Eval(*stmt.where, env, cursor);
+          if (!value.ok()) {
+            scan_status = value.status();
+            return false;
+          }
+          auto truth = ValueIsTrue(value.value());
+          if (!truth.ok()) {
+            scan_status = truth.status();
+            return false;
+          }
+          matches = truth.value();
+        }
+        if (matches) victims.push_back(rid);
+        return true;
+      }));
+  QBISM_RETURN_NOT_OK(scan_status);
+  ResultSet result;
+  for (const storage::RecordId& rid : victims) {
+    QBISM_RETURN_NOT_OK(table->file->Delete(rid));
+    ++result.rows_affected;
+  }
+  return result;
+}
+
+Result<ResultSet> Executor::ExecuteCreate(const CreateTableStmt& stmt) {
+  QBISM_RETURN_NOT_OK(
+      catalog_->CreateTable(TableSchema(stmt.table, stmt.columns)));
+  return ResultSet{};
+}
+
+Result<ResultSet> Executor::ExecuteInsert(const InsertStmt& stmt) {
+  QBISM_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(stmt.table));
+  ResultSet result;
+  std::vector<BoundTable> no_tables;
+  std::vector<size_t> no_cursor;
+  for (const auto& row_exprs : stmt.rows) {
+    Row row;
+    row.reserve(row_exprs.size());
+    for (const ExprPtr& expr : row_exprs) {
+      QBISM_ASSIGN_OR_RETURN(Value v, Eval(*expr, no_tables, no_cursor));
+      row.push_back(std::move(v));
+    }
+    QBISM_ASSIGN_OR_RETURN(storage::RecordId rid,
+                           catalog_->InsertRow(table, row));
+    (void)rid;
+    ++result.rows_affected;
+  }
+  return result;
+}
+
+namespace {
+
+/// Flattens the AND tree of a WHERE clause into conjuncts.
+void CollectConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
+  if (expr->kind == Expr::Kind::kBinary &&
+      expr->bin_op == Expr::BinOp::kAnd) {
+    CollectConjuncts(expr->lhs.get(), out);
+    CollectConjuncts(expr->rhs.get(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+constexpr int kNoTable = -1;
+constexpr int kMultiTable = -2;
+
+/// True when `expr` is a call to one of the aggregate functions. These
+/// names are reserved for aggregation and never dispatch to the UDF
+/// registry.
+bool IsAggregateCall(const Expr& expr) {
+  if (expr.kind != Expr::Kind::kFunctionCall) return false;
+  if (expr.function == "count") return expr.args.size() <= 1;
+  if (expr.function == "sum" || expr.function == "avg" ||
+      expr.function == "min" || expr.function == "max") {
+    return expr.args.size() == 1;
+  }
+  return false;
+}
+
+bool ContainsAggregateCall(const Expr& expr) {
+  if (IsAggregateCall(expr)) return true;
+  switch (expr.kind) {
+    case Expr::Kind::kFunctionCall:
+      for (const ExprPtr& arg : expr.args) {
+        if (ContainsAggregateCall(*arg)) return true;
+      }
+      return false;
+    case Expr::Kind::kBinary:
+      return ContainsAggregateCall(*expr.lhs) ||
+             ContainsAggregateCall(*expr.rhs);
+    case Expr::Kind::kUnary:
+      return ContainsAggregateCall(*expr.operand);
+    default:
+      return false;
+  }
+}
+
+/// Accumulator for one aggregate select item within one group.
+struct AggState {
+  uint64_t rows = 0;      // all rows (count(*))
+  uint64_t non_null = 0;  // non-null arguments
+  int64_t int_sum = 0;
+  double double_sum = 0.0;
+  bool saw_double = false;
+  Value min_value;  // null until the first non-null argument
+  Value max_value;
+
+  Status Update(const std::string& function, const Value& argument,
+                bool is_count_star) {
+    ++rows;
+    if (is_count_star) return Status::OK();
+    if (argument.is_null()) return Status::OK();
+    ++non_null;
+    if (function == "sum" || function == "avg") {
+      if (argument.kind() == Value::Kind::kInt) {
+        int_sum += argument.AsInt().value();
+        double_sum += static_cast<double>(argument.AsInt().value());
+      } else {
+        QBISM_ASSIGN_OR_RETURN(double d, argument.AsDouble());
+        double_sum += d;
+        saw_double = true;
+      }
+    } else if (function == "min" || function == "max") {
+      if (min_value.is_null()) {
+        min_value = argument;
+        max_value = argument;
+        return Status::OK();
+      }
+      QBISM_ASSIGN_OR_RETURN(int cmp_min, argument.Compare(min_value));
+      if (cmp_min < 0) min_value = argument;
+      QBISM_ASSIGN_OR_RETURN(int cmp_max, argument.Compare(max_value));
+      if (cmp_max > 0) max_value = argument;
+    }
+    return Status::OK();
+  }
+
+  Value Finalize(const std::string& function,
+                 bool is_count_star = false) const {
+    if (function == "count") {
+      // count(*) counts rows; count(expr) counts non-null values.
+      return Value::Int(static_cast<int64_t>(is_count_star ? rows : non_null));
+    }
+    if (non_null == 0) return Value::Null();  // SQL: aggregates of nothing
+    if (function == "sum") {
+      return saw_double ? Value::Double(double_sum) : Value::Int(int_sum);
+    }
+    if (function == "avg") {
+      return Value::Double(double_sum / static_cast<double>(non_null));
+    }
+    if (function == "min") return min_value;
+    return max_value;
+  }
+};
+
+/// An index-equality access path: fetch rids with index->Find(key)
+/// instead of scanning the heap file.
+struct IndexProbe {
+  const storage::BPlusTree* index = nullptr;
+  int64_t key = 0;
+};
+
+/// Looks for a conjunct of the form `col = literal` (either side) over
+/// an indexed integer column of the given table.
+std::optional<IndexProbe> FindIndexProbe(
+    const std::vector<const Expr*>& conjuncts, const std::string& alias,
+    TableInfo* info) {
+  for (const Expr* conjunct : conjuncts) {
+    if (conjunct->kind != Expr::Kind::kBinary ||
+        conjunct->bin_op != Expr::BinOp::kEq) {
+      continue;
+    }
+    const Expr* column = nullptr;
+    const Expr* literal = nullptr;
+    for (auto [a, b] : {std::pair{conjunct->lhs.get(), conjunct->rhs.get()},
+                        std::pair{conjunct->rhs.get(), conjunct->lhs.get()}}) {
+      if (a->kind == Expr::Kind::kColumnRef &&
+          b->kind == Expr::Kind::kLiteral) {
+        column = a;
+        literal = b;
+        break;
+      }
+    }
+    if (!column || !literal) continue;
+    if (!column->table.empty() && column->table != alias) continue;
+    if (literal->literal.kind() != Value::Kind::kInt) continue;
+    auto it = info->indexes.find(column->column);
+    if (it == info->indexes.end()) continue;
+    return IndexProbe{it->second.get(), literal->literal.AsInt().value()};
+  }
+  return std::nullopt;
+}
+
+int CombineTableScopes(int a, int b) {
+  if (a == kNoTable) return b;
+  if (b == kNoTable) return a;
+  return a == b ? a : kMultiTable;
+}
+
+/// Which single FROM table an expression references, kNoTable when it
+/// references none, kMultiTable when several (or when a reference does
+/// not resolve — the join-time evaluation will report the real error).
+int SingleTableScope(
+    const Expr& expr,
+    const std::vector<std::pair<std::string, const TableSchema*>>& tables) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return kNoTable;
+    case Expr::Kind::kColumnRef: {
+      int found = kNoTable;
+      for (size_t t = 0; t < tables.size(); ++t) {
+        if (!expr.table.empty() && tables[t].first != expr.table) continue;
+        if (tables[t].second->ColumnIndex(expr.column).ok()) {
+          if (found != kNoTable) return kMultiTable;  // ambiguous
+          found = static_cast<int>(t);
+        }
+      }
+      return found == kNoTable ? kMultiTable : found;  // unresolved: defer
+    }
+    case Expr::Kind::kFunctionCall: {
+      int scope = kNoTable;
+      for (const ExprPtr& arg : expr.args) {
+        scope = CombineTableScopes(scope, SingleTableScope(*arg, tables));
+      }
+      return scope;
+    }
+    case Expr::Kind::kBinary:
+      return CombineTableScopes(SingleTableScope(*expr.lhs, tables),
+                                SingleTableScope(*expr.rhs, tables));
+    case Expr::Kind::kUnary:
+      return SingleTableScope(*expr.operand, tables);
+  }
+  return kMultiTable;
+}
+
+}  // namespace
+
+Result<ResultSet> Executor::ExecuteSelect(const SelectStmt& stmt) {
+  // Bind the FROM tables (schemas first, so single-table predicates can
+  // be pushed into the scans below).
+  std::vector<TableInfo*> infos;
+  std::vector<std::pair<std::string, const TableSchema*>> scopes;
+  for (const TableRef& ref : stmt.tables) {
+    QBISM_ASSIGN_OR_RETURN(TableInfo * info, catalog_->GetTable(ref.table));
+    infos.push_back(info);
+    scopes.emplace_back(ref.alias, &info->schema);
+  }
+  for (size_t i = 0; i < scopes.size(); ++i) {
+    for (size_t j = i + 1; j < scopes.size(); ++j) {
+      if (scopes[i].first == scopes[j].first) {
+        return Status::InvalidArgument("duplicate table alias '" +
+                                       scopes[i].first + "'");
+      }
+    }
+  }
+
+  // Classify WHERE conjuncts: single-table ones filter during the scan
+  // (classic predicate pushdown); the rest run in the join loop.
+  std::vector<const Expr*> conjuncts;
+  if (stmt.where) CollectConjuncts(stmt.where.get(), &conjuncts);
+  std::vector<std::vector<const Expr*>> pushed(stmt.tables.size());
+  std::vector<const Expr*> join_conjuncts;
+  for (const Expr* conjunct : conjuncts) {
+    int scope = SingleTableScope(*conjunct, scopes);
+    if (scope >= 0) {
+      pushed[static_cast<size_t>(scope)].push_back(conjunct);
+    } else {
+      join_conjuncts.push_back(conjunct);
+    }
+  }
+
+  ResultSet result;
+
+  // Materialize, applying pushed predicates row by row.
+  std::vector<BoundTable> tables;
+  tables.reserve(stmt.tables.size());
+  for (size_t t = 0; t < stmt.tables.size(); ++t) {
+    BoundTable bound;
+    bound.alias = scopes[t].first;
+    bound.schema = scopes[t].second;
+    std::vector<BoundTable> env(1);
+    env[0].alias = bound.alias;
+    env[0].schema = bound.schema;
+    env[0].rows.resize(1);
+    std::vector<size_t> cursor{0};
+    // A row passes when every pushed predicate for this table holds.
+    auto row_passes = [&](Row row) -> Result<bool> {
+      env[0].rows[0] = std::move(row);
+      for (const Expr* predicate : pushed[t]) {
+        QBISM_ASSIGN_OR_RETURN(Value value, Eval(*predicate, env, cursor));
+        QBISM_ASSIGN_OR_RETURN(bool truth, ValueIsTrue(value));
+        if (!truth) return false;
+      }
+      return true;
+    };
+
+    std::optional<IndexProbe> probe =
+        FindIndexProbe(pushed[t], bound.alias, infos[t]);
+    {
+      std::ostringstream note;
+      note << stmt.tables[t].table << " " << bound.alias << ": "
+           << (probe.has_value() ? "index probe" : "scan") << ", "
+           << pushed[t].size() << " pushed predicate(s)";
+      result.plan.push_back(note.str());
+    }
+    if (probe.has_value()) {
+      // Index access path: fetch only the matching rids.
+      QBISM_ASSIGN_OR_RETURN(std::vector<storage::RecordId> rids,
+                             probe->index->Find(probe->key));
+      for (const storage::RecordId& rid : rids) {
+        auto bytes = infos[t]->file->Read(rid);
+        if (bytes.status().IsNotFound()) continue;  // deleted: stale entry
+        QBISM_RETURN_NOT_OK(bytes.status());
+        QBISM_ASSIGN_OR_RETURN(Row row,
+                               DeserializeRow(*bound.schema, bytes.value()));
+        QBISM_ASSIGN_OR_RETURN(bool keep, row_passes(std::move(row)));
+        if (keep) bound.rows.push_back(std::move(env[0].rows[0]));
+      }
+    } else {
+      Status scan_status = Status::OK();
+      QBISM_RETURN_NOT_OK(infos[t]->file->Scan(
+          [&](const storage::RecordId&, const std::vector<uint8_t>& bytes) {
+            auto row = DeserializeRow(*bound.schema, bytes);
+            if (!row.ok()) {
+              scan_status = row.status();
+              return false;
+            }
+            auto keep = row_passes(std::move(row).MoveValue());
+            if (!keep.ok()) {
+              scan_status = keep.status();
+              return false;
+            }
+            if (keep.value()) bound.rows.push_back(std::move(env[0].rows[0]));
+            return true;
+          }));
+      QBISM_RETURN_NOT_OK(scan_status);
+    }
+    tables.push_back(std::move(bound));
+  }
+  if (!join_conjuncts.empty()) {
+    result.plan.push_back("join: " + std::to_string(join_conjuncts.size()) +
+                          " residual predicate(s), nested loop");
+  }
+
+  // Column headers.
+  if (stmt.star) {
+    for (const BoundTable& t : tables) {
+      for (const Column& c : t.schema->columns()) {
+        result.columns.push_back(t.alias + "." + c.name);
+      }
+    }
+  } else {
+    for (const SelectItem& item : stmt.items) {
+      if (!item.alias.empty()) {
+        result.columns.push_back(item.alias);
+      } else if (item.expr->kind == Expr::Kind::kColumnRef) {
+        result.columns.push_back(item.expr->column);
+      } else if (item.expr->kind == Expr::Kind::kFunctionCall) {
+        result.columns.push_back(item.expr->function);
+      } else {
+        result.columns.push_back("expr");
+      }
+    }
+  }
+
+  // Aggregation setup. Restricted but practical form: with GROUP BY or
+  // any aggregate present, every select item must be either a top-level
+  // aggregate call -- count(*)/count(e)/sum(e)/avg(e)/min(e)/max(e) --
+  // or a plain (grouping) expression, whose value is taken from the
+  // first row of each group.
+  bool has_aggregates = !stmt.group_by.empty();
+  if (!stmt.star) {
+    for (const SelectItem& item : stmt.items) {
+      if (ContainsAggregateCall(*item.expr)) has_aggregates = true;
+    }
+  }
+  if (has_aggregates && stmt.star) {
+    return Status::InvalidArgument("SELECT * cannot be combined with "
+                                   "aggregation");
+  }
+  for (const SelectItem& item : stmt.items) {
+    if (has_aggregates && !IsAggregateCall(*item.expr) &&
+        ContainsAggregateCall(*item.expr)) {
+      return Status::Unimplemented(
+          "aggregates must be top-level select items in this dialect");
+    }
+  }
+
+  struct Group {
+    Row first_values;               // non-aggregate item values, first row
+    std::vector<AggState> states;   // one per select item (unused slots idle)
+  };
+  std::vector<std::string> group_order;
+  std::map<std::string, Group> groups;
+
+  // Processes one joined row: plain projection or group accumulation.
+  std::vector<size_t> cursor(tables.size(), 0);
+  auto process_row = [&]() -> Status {
+    if (!has_aggregates) {
+      Row out_row;
+      if (stmt.star) {
+        for (size_t t = 0; t < tables.size(); ++t) {
+          const Row& row = tables[t].rows[cursor[t]];
+          out_row.insert(out_row.end(), row.begin(), row.end());
+        }
+      } else {
+        for (const SelectItem& item : stmt.items) {
+          QBISM_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, tables, cursor));
+          out_row.push_back(std::move(v));
+        }
+      }
+      result.rows.push_back(std::move(out_row));
+      return Status::OK();
+    }
+    // Group key from the GROUP BY expressions.
+    std::string key;
+    for (const ExprPtr& expr : stmt.group_by) {
+      QBISM_ASSIGN_OR_RETURN(Value v, Eval(*expr, tables, cursor));
+      key += v.ToString();
+      key += '\x1f';
+    }
+    auto [it, inserted] = groups.try_emplace(key);
+    Group& group = it->second;
+    if (inserted) {
+      group_order.push_back(key);
+      group.states.resize(stmt.items.size());
+      group.first_values.resize(stmt.items.size());
+      for (size_t i = 0; i < stmt.items.size(); ++i) {
+        if (!IsAggregateCall(*stmt.items[i].expr)) {
+          QBISM_ASSIGN_OR_RETURN(group.first_values[i],
+                                 Eval(*stmt.items[i].expr, tables, cursor));
+        }
+      }
+    }
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      const Expr& expr = *stmt.items[i].expr;
+      if (!IsAggregateCall(expr)) continue;
+      Value argument;  // null for count(*)
+      if (!expr.args.empty()) {
+        QBISM_ASSIGN_OR_RETURN(argument, Eval(*expr.args[0], tables, cursor));
+      }
+      QBISM_RETURN_NOT_OK(
+          group.states[i].Update(expr.function, argument,
+                                 /*is_count_star=*/expr.args.empty()));
+    }
+    return Status::OK();
+  };
+
+  // Nested-loop join over all FROM tables.
+  bool exhausted = false;
+  for (const BoundTable& t : tables) {
+    if (t.rows.empty()) exhausted = true;
+  }
+  bool single_pass_no_tables = tables.empty();
+  while (!exhausted) {
+    bool keep = true;
+    for (const Expr* predicate : join_conjuncts) {
+      QBISM_ASSIGN_OR_RETURN(Value cond, Eval(*predicate, tables, cursor));
+      QBISM_ASSIGN_OR_RETURN(keep, ValueIsTrue(cond));
+      if (!keep) break;
+    }
+    if (keep) QBISM_RETURN_NOT_OK(process_row());
+    if (single_pass_no_tables) break;
+    // Advance the odometer.
+    size_t t = tables.size();
+    while (t > 0) {
+      --t;
+      if (++cursor[t] < tables[t].rows.size()) break;
+      cursor[t] = 0;
+      if (t == 0) exhausted = true;
+    }
+    if (exhausted) break;
+  }
+
+  if (has_aggregates) {
+    // One output row per group, in first-seen order. With no GROUP BY
+    // and no input rows, aggregates still produce one row (count = 0).
+    if (groups.empty() && stmt.group_by.empty()) {
+      Row out_row;
+      for (const SelectItem& item : stmt.items) {
+        if (IsAggregateCall(*item.expr)) {
+          out_row.push_back(AggState{}.Finalize(item.expr->function,
+                                                 item.expr->args.empty()));
+        } else {
+          out_row.push_back(Value::Null());
+        }
+      }
+      result.rows.push_back(std::move(out_row));
+    }
+    for (const std::string& key : group_order) {
+      Group& group = groups[key];
+      Row out_row;
+      for (size_t i = 0; i < stmt.items.size(); ++i) {
+        if (IsAggregateCall(*stmt.items[i].expr)) {
+          out_row.push_back(group.states[i].Finalize(
+              stmt.items[i].expr->function, stmt.items[i].expr->args.empty()));
+        } else {
+          out_row.push_back(std::move(group.first_values[i]));
+        }
+      }
+      result.rows.push_back(std::move(out_row));
+    }
+  }
+
+  // ORDER BY over the output rows (by alias/column name or position).
+  if (!stmt.order_by.empty()) {
+    struct SortKey {
+      size_t column;
+      bool descending;
+    };
+    std::vector<SortKey> sort_keys;
+    for (const OrderItem& item : stmt.order_by) {
+      size_t column_index = result.columns.size();
+      if (item.position > 0) {
+        if (static_cast<size_t>(item.position) > result.columns.size()) {
+          return Status::InvalidArgument("ORDER BY position out of range");
+        }
+        column_index = static_cast<size_t>(item.position - 1);
+      } else {
+        for (size_t i = 0; i < result.columns.size(); ++i) {
+          if (result.columns[i] == item.column ||
+              // Allow matching the bare column name of "alias.column".
+              (result.columns[i].size() > item.column.size() &&
+               result.columns[i].ends_with("." + item.column))) {
+            column_index = i;
+            break;
+          }
+        }
+        if (column_index == result.columns.size()) {
+          return Status::NotFound("ORDER BY column '" + item.column +
+                                  "' is not in the select list");
+        }
+      }
+      sort_keys.push_back({column_index, item.descending});
+    }
+    Status sort_status = Status::OK();
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       if (!sort_status.ok()) return false;
+                       for (const SortKey& sk : sort_keys) {
+                         const Value& va = a[sk.column];
+                         const Value& vb = b[sk.column];
+                         // NULLs sort first (before any value).
+                         if (va.is_null() || vb.is_null()) {
+                           if (va.is_null() == vb.is_null()) continue;
+                           return va.is_null() != sk.descending;
+                         }
+                         auto cmp = va.Compare(vb);
+                         if (!cmp.ok()) {
+                           sort_status = cmp.status();
+                           return false;
+                         }
+                         if (cmp.value() != 0) {
+                           return sk.descending ? cmp.value() > 0
+                                                : cmp.value() < 0;
+                         }
+                       }
+                       return false;
+                     });
+    QBISM_RETURN_NOT_OK(sort_status);
+  }
+
+  if (stmt.limit >= 0 &&
+      result.rows.size() > static_cast<size_t>(stmt.limit)) {
+    result.rows.resize(static_cast<size_t>(stmt.limit));
+  }
+  return result;
+}
+
+Result<Value> Executor::Eval(const Expr& expr,
+                             const std::vector<BoundTable>& tables,
+                             const std::vector<size_t>& cursor) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal;
+    case Expr::Kind::kColumnRef: {
+      int found_table = -1;
+      size_t found_col = 0;
+      for (size_t t = 0; t < tables.size(); ++t) {
+        if (!expr.table.empty() && tables[t].alias != expr.table) continue;
+        auto idx = tables[t].schema->ColumnIndex(expr.column);
+        if (!idx.ok()) continue;
+        if (found_table >= 0) {
+          return Status::InvalidArgument("ambiguous column '" + expr.column +
+                                         "'");
+        }
+        found_table = static_cast<int>(t);
+        found_col = idx.value();
+      }
+      if (found_table < 0) {
+        return Status::NotFound("unknown column '" +
+                                (expr.table.empty() ? expr.column
+                                                    : expr.table + "." +
+                                                          expr.column) +
+                                "'");
+      }
+      return tables[found_table].rows[cursor[found_table]][found_col];
+    }
+    case Expr::Kind::kFunctionCall: {
+      QBISM_ASSIGN_OR_RETURN(const UdfFunction* fn,
+                             udfs_->Lookup(expr.function));
+      std::vector<Value> args;
+      args.reserve(expr.args.size());
+      for (const ExprPtr& arg : expr.args) {
+        QBISM_ASSIGN_OR_RETURN(Value v, Eval(*arg, tables, cursor));
+        args.push_back(std::move(v));
+      }
+      return (*fn)(context_, args);
+    }
+    case Expr::Kind::kBinary:
+      return EvalBinary(expr, tables, cursor);
+    case Expr::Kind::kUnary: {
+      QBISM_ASSIGN_OR_RETURN(Value v, Eval(*expr.operand, tables, cursor));
+      if (expr.un_op == Expr::UnOp::kNot) {
+        QBISM_ASSIGN_OR_RETURN(bool truth, ValueIsTrue(v));
+        return Value::Int(truth ? 0 : 1);
+      }
+      // Negation.
+      if (v.kind() == Value::Kind::kInt) return Value::Int(-v.AsInt().value());
+      QBISM_ASSIGN_OR_RETURN(double d, v.AsDouble());
+      return Value::Double(-d);
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<Value> Executor::EvalBinary(const Expr& expr,
+                                   const std::vector<BoundTable>& tables,
+                                   const std::vector<size_t>& cursor) {
+  using BinOp = Expr::BinOp;
+  // Short-circuit logical operators.
+  if (expr.bin_op == BinOp::kAnd || expr.bin_op == BinOp::kOr) {
+    QBISM_ASSIGN_OR_RETURN(Value lhs, Eval(*expr.lhs, tables, cursor));
+    QBISM_ASSIGN_OR_RETURN(bool left, ValueIsTrue(lhs));
+    if (expr.bin_op == BinOp::kAnd && !left) return Value::Int(0);
+    if (expr.bin_op == BinOp::kOr && left) return Value::Int(1);
+    QBISM_ASSIGN_OR_RETURN(Value rhs, Eval(*expr.rhs, tables, cursor));
+    QBISM_ASSIGN_OR_RETURN(bool right, ValueIsTrue(rhs));
+    return Value::Int(right ? 1 : 0);
+  }
+
+  QBISM_ASSIGN_OR_RETURN(Value lhs, Eval(*expr.lhs, tables, cursor));
+  QBISM_ASSIGN_OR_RETURN(Value rhs, Eval(*expr.rhs, tables, cursor));
+
+  switch (expr.bin_op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe: {
+      QBISM_ASSIGN_OR_RETURN(int cmp, lhs.Compare(rhs));
+      bool truth = false;
+      switch (expr.bin_op) {
+        case BinOp::kEq:
+          truth = cmp == 0;
+          break;
+        case BinOp::kNe:
+          truth = cmp != 0;
+          break;
+        case BinOp::kLt:
+          truth = cmp < 0;
+          break;
+        case BinOp::kLe:
+          truth = cmp <= 0;
+          break;
+        case BinOp::kGt:
+          truth = cmp > 0;
+          break;
+        default:
+          truth = cmp >= 0;
+          break;
+      }
+      return Value::Int(truth ? 1 : 0);
+    }
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv: {
+      bool both_int = lhs.kind() == Value::Kind::kInt &&
+                      rhs.kind() == Value::Kind::kInt;
+      if (both_int) {
+        int64_t a = lhs.AsInt().value();
+        int64_t b = rhs.AsInt().value();
+        switch (expr.bin_op) {
+          case BinOp::kAdd:
+            return Value::Int(a + b);
+          case BinOp::kSub:
+            return Value::Int(a - b);
+          case BinOp::kMul:
+            return Value::Int(a * b);
+          default:
+            if (b == 0) return Status::InvalidArgument("division by zero");
+            return Value::Int(a / b);
+        }
+      }
+      QBISM_ASSIGN_OR_RETURN(double a, lhs.AsDouble());
+      QBISM_ASSIGN_OR_RETURN(double b, rhs.AsDouble());
+      switch (expr.bin_op) {
+        case BinOp::kAdd:
+          return Value::Double(a + b);
+        case BinOp::kSub:
+          return Value::Double(a - b);
+        case BinOp::kMul:
+          return Value::Double(a * b);
+        default:
+          if (b == 0.0) return Status::InvalidArgument("division by zero");
+          return Value::Double(a / b);
+      }
+    }
+    default:
+      return Status::Internal("unhandled binary operator");
+  }
+}
+
+}  // namespace qbism::sql

@@ -1,0 +1,75 @@
+#ifndef QBISM_SQL_EXECUTOR_H_
+#define QBISM_SQL_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+#include "sql/udf.h"
+
+namespace qbism::sql {
+
+/// Result of a statement: column headers plus rows. DDL/DML statements
+/// produce an empty set (INSERT reports the row count via
+/// `rows_affected`).
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  uint64_t rows_affected = 0;
+
+  /// EXPLAIN-style notes: one line per FROM table describing the access
+  /// path chosen (scan vs index probe, pushed predicates), plus join
+  /// and aggregation notes. Populated by SELECT execution.
+  std::vector<std::string> plan;
+
+  /// Renders an ASCII table (for examples and debugging).
+  std::string ToString() const;
+};
+
+/// Statement executor: binds and runs parsed statements against the
+/// catalog. SELECT uses a nested-loop join over the FROM tables with the
+/// WHERE predicate evaluated on each combined row — the paper created no
+/// indexes (§6.1), so plain scans match its setup. User-defined
+/// functions are dispatched through the registry and may produce
+/// transient spatial objects.
+class Executor {
+ public:
+  Executor(Catalog* catalog, const UdfRegistry* udfs, UdfContext context)
+      : catalog_(catalog), udfs_(udfs), context_(std::move(context)) {}
+
+  Result<ResultSet> Execute(const Statement& statement);
+
+ private:
+  struct BoundTable {
+    std::string alias;
+    const TableSchema* schema = nullptr;
+    std::vector<Row> rows;
+  };
+
+  Result<ResultSet> ExecuteSelect(const SelectStmt& stmt);
+  Result<ResultSet> ExecuteInsert(const InsertStmt& stmt);
+  Result<ResultSet> ExecuteCreate(const CreateTableStmt& stmt);
+  Result<ResultSet> ExecuteDelete(const DeleteStmt& stmt);
+  Result<ResultSet> ExecuteUpdate(const UpdateStmt& stmt);
+
+  /// Evaluates `expr` against the current row of each bound table.
+  Result<Value> Eval(const Expr& expr, const std::vector<BoundTable>& tables,
+                     const std::vector<size_t>& cursor);
+
+  Result<Value> EvalBinary(const Expr& expr,
+                           const std::vector<BoundTable>& tables,
+                           const std::vector<size_t>& cursor);
+
+  Catalog* catalog_;
+  const UdfRegistry* udfs_;
+  UdfContext context_;
+};
+
+/// True when a WHERE result counts as satisfied (non-null, non-zero).
+Result<bool> ValueIsTrue(const Value& value);
+
+}  // namespace qbism::sql
+
+#endif  // QBISM_SQL_EXECUTOR_H_

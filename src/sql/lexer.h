@@ -1,0 +1,35 @@
+#ifndef QBISM_SQL_LEXER_H_
+#define QBISM_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace qbism::sql {
+
+/// Lexical token of the SQL dialect.
+struct Token {
+  enum class Kind {
+    kIdentifier,  // unquoted word (keywords are identifiers; the parser
+                  // compares them case-insensitively)
+    kInteger,
+    kFloat,
+    kString,  // contents without quotes
+    kSymbol,  // one of: , ( ) . * = <> <= >= < > + - /
+    kEnd,
+  };
+
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t position = 0;  // byte offset in the input, for error messages
+};
+
+/// Tokenizes a SQL string. Comments ("-- ... end of line") are skipped.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace qbism::sql
+
+#endif  // QBISM_SQL_LEXER_H_

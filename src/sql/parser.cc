@@ -1,0 +1,445 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/macros.h"
+#include "sql/lexer.h"
+
+namespace qbism::sql {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    if (IsKeyword("select")) {
+      QBISM_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect());
+      QBISM_RETURN_NOT_OK(ExpectEnd());
+      return Statement(std::move(stmt));
+    }
+    if (IsKeyword("insert")) {
+      QBISM_ASSIGN_OR_RETURN(InsertStmt stmt, ParseInsert());
+      QBISM_RETURN_NOT_OK(ExpectEnd());
+      return Statement(std::move(stmt));
+    }
+    if (IsKeyword("create")) {
+      QBISM_ASSIGN_OR_RETURN(Statement stmt, ParseCreate());
+      QBISM_RETURN_NOT_OK(ExpectEnd());
+      return stmt;
+    }
+    if (IsKeyword("delete")) {
+      QBISM_ASSIGN_OR_RETURN(DeleteStmt stmt, ParseDelete());
+      QBISM_RETURN_NOT_OK(ExpectEnd());
+      return Statement(std::move(stmt));
+    }
+    if (IsKeyword("update")) {
+      QBISM_ASSIGN_OR_RETURN(UpdateStmt stmt, ParseUpdate());
+      QBISM_RETURN_NOT_OK(ExpectEnd());
+      return Statement(std::move(stmt));
+    }
+    return Error("expected SELECT, INSERT, UPDATE, CREATE, or DELETE");
+  }
+
+  Result<ExprPtr> ParseLoneExpression() {
+    QBISM_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+    QBISM_RETURN_NOT_OK(ExpectEnd());
+    return expr;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool IsKeyword(std::string_view word) const {
+    return Peek().kind == Token::Kind::kIdentifier &&
+           ToLower(Peek().text) == word;
+  }
+
+  bool ConsumeKeyword(std::string_view word) {
+    if (!IsKeyword(word)) return false;
+    Advance();
+    return true;
+  }
+
+  bool IsSymbol(std::string_view s) const {
+    return Peek().kind == Token::Kind::kSymbol && Peek().text == s;
+  }
+
+  bool ConsumeSymbol(std::string_view s) {
+    if (!IsSymbol(s)) return false;
+    Advance();
+    return true;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("SQL parse error near offset " +
+                                   std::to_string(Peek().position) + ": " +
+                                   message);
+  }
+
+  Status ExpectSymbol(std::string_view s) {
+    if (!ConsumeSymbol(s)) return Error("expected '" + std::string(s) + "'");
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(std::string_view word) {
+    if (!ConsumeKeyword(word)) {
+      return Error("expected keyword " + std::string(word));
+    }
+    return Status::OK();
+  }
+
+  Status ExpectEnd() {
+    if (Peek().kind != Token::Kind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const std::string& what) {
+    if (Peek().kind != Token::Kind::kIdentifier) {
+      return Error("expected " + what);
+    }
+    return Advance().text;
+  }
+
+  static bool IsReserved(const std::string& lower) {
+    static const char* kReserved[] = {
+        "select", "from",  "where", "and",   "or",    "not",
+        "insert", "into",  "values", "create", "table", "as",
+        "null",   "group", "by",    "order", "limit", "asc",
+        "desc",   "delete", "update", "set"};
+    for (const char* word : kReserved) {
+      if (lower == word) return true;
+    }
+    return false;
+  }
+
+  Result<SelectStmt> ParseSelect() {
+    QBISM_RETURN_NOT_OK(ExpectKeyword("select"));
+    SelectStmt stmt;
+    if (ConsumeSymbol("*")) {
+      stmt.star = true;
+    } else {
+      while (true) {
+        SelectItem item;
+        QBISM_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("as")) {
+          QBISM_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+        } else if (Peek().kind == Token::Kind::kIdentifier &&
+                   !IsReserved(ToLower(Peek().text))) {
+          item.alias = Advance().text;
+        }
+        stmt.items.push_back(std::move(item));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    QBISM_RETURN_NOT_OK(ExpectKeyword("from"));
+    while (true) {
+      TableRef ref;
+      QBISM_ASSIGN_OR_RETURN(ref.table, ExpectIdentifier("table name"));
+      if (Peek().kind == Token::Kind::kIdentifier &&
+          !IsReserved(ToLower(Peek().text))) {
+        ref.alias = Advance().text;
+      } else {
+        ref.alias = ref.table;
+      }
+      stmt.tables.push_back(std::move(ref));
+      if (!ConsumeSymbol(",")) break;
+    }
+    if (ConsumeKeyword("where")) {
+      QBISM_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (ConsumeKeyword("group")) {
+      QBISM_RETURN_NOT_OK(ExpectKeyword("by"));
+      while (true) {
+        QBISM_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+        stmt.group_by.push_back(std::move(expr));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (ConsumeKeyword("order")) {
+      QBISM_RETURN_NOT_OK(ExpectKeyword("by"));
+      while (true) {
+        OrderItem item;
+        if (Peek().kind == Token::Kind::kInteger) {
+          item.position = Advance().int_value;
+          if (item.position < 1) return Error("ORDER BY position must be >= 1");
+        } else {
+          QBISM_ASSIGN_OR_RETURN(item.column,
+                                 ExpectIdentifier("ORDER BY column"));
+        }
+        if (ConsumeKeyword("desc")) {
+          item.descending = true;
+        } else {
+          ConsumeKeyword("asc");
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (ConsumeKeyword("limit")) {
+      if (Peek().kind != Token::Kind::kInteger) {
+        return Error("LIMIT expects an integer");
+      }
+      stmt.limit = Advance().int_value;
+      if (stmt.limit < 0) return Error("LIMIT must be non-negative");
+    }
+    return stmt;
+  }
+
+  Result<InsertStmt> ParseInsert() {
+    QBISM_RETURN_NOT_OK(ExpectKeyword("insert"));
+    QBISM_RETURN_NOT_OK(ExpectKeyword("into"));
+    InsertStmt stmt;
+    QBISM_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    QBISM_RETURN_NOT_OK(ExpectKeyword("values"));
+    while (true) {
+      QBISM_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<ExprPtr> row;
+      while (true) {
+        QBISM_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+        row.push_back(std::move(expr));
+        if (!ConsumeSymbol(",")) break;
+      }
+      QBISM_RETURN_NOT_OK(ExpectSymbol(")"));
+      stmt.rows.push_back(std::move(row));
+      if (!ConsumeSymbol(",")) break;
+    }
+    return stmt;
+  }
+
+  Result<Statement> ParseCreate() {
+    QBISM_RETURN_NOT_OK(ExpectKeyword("create"));
+    if (ConsumeKeyword("index")) {
+      // CREATE INDEX <name> ON <table> (<column>)
+      CreateIndexStmt stmt;
+      QBISM_ASSIGN_OR_RETURN(stmt.index_name, ExpectIdentifier("index name"));
+      QBISM_RETURN_NOT_OK(ExpectKeyword("on"));
+      QBISM_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+      QBISM_RETURN_NOT_OK(ExpectSymbol("("));
+      QBISM_ASSIGN_OR_RETURN(stmt.column, ExpectIdentifier("column name"));
+      QBISM_RETURN_NOT_OK(ExpectSymbol(")"));
+      return Statement(std::move(stmt));
+    }
+    QBISM_RETURN_NOT_OK(ExpectKeyword("table"));
+    QBISM_ASSIGN_OR_RETURN(CreateTableStmt stmt, ParseCreateTable());
+    return Statement(std::move(stmt));
+  }
+
+  Result<DeleteStmt> ParseDelete() {
+    QBISM_RETURN_NOT_OK(ExpectKeyword("delete"));
+    QBISM_RETURN_NOT_OK(ExpectKeyword("from"));
+    DeleteStmt stmt;
+    QBISM_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    if (ConsumeKeyword("where")) {
+      QBISM_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<UpdateStmt> ParseUpdate() {
+    QBISM_RETURN_NOT_OK(ExpectKeyword("update"));
+    UpdateStmt stmt;
+    QBISM_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    QBISM_RETURN_NOT_OK(ExpectKeyword("set"));
+    while (true) {
+      std::pair<std::string, ExprPtr> assignment;
+      QBISM_ASSIGN_OR_RETURN(assignment.first,
+                             ExpectIdentifier("column name"));
+      QBISM_RETURN_NOT_OK(ExpectSymbol("="));
+      QBISM_ASSIGN_OR_RETURN(assignment.second, ParseExpr());
+      stmt.assignments.push_back(std::move(assignment));
+      if (!ConsumeSymbol(",")) break;
+    }
+    if (ConsumeKeyword("where")) {
+      QBISM_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<CreateTableStmt> ParseCreateTable() {
+    CreateTableStmt stmt;
+    QBISM_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    QBISM_RETURN_NOT_OK(ExpectSymbol("("));
+    while (true) {
+      Column column;
+      QBISM_ASSIGN_OR_RETURN(column.name, ExpectIdentifier("column name"));
+      QBISM_ASSIGN_OR_RETURN(std::string type_name,
+                             ExpectIdentifier("column type"));
+      QBISM_ASSIGN_OR_RETURN(column.type,
+                             ColumnTypeFromString(ToLower(type_name)));
+      stmt.columns.push_back(std::move(column));
+      if (!ConsumeSymbol(",")) break;
+    }
+    QBISM_RETURN_NOT_OK(ExpectSymbol(")"));
+    return stmt;
+  }
+
+  /// expr := and_expr (OR and_expr)*
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    QBISM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (ConsumeKeyword("or")) {
+      QBISM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Binary(Expr::BinOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    QBISM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (ConsumeKeyword("and")) {
+      QBISM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::Binary(Expr::BinOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (ConsumeKeyword("not")) {
+      QBISM_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return Expr::Unary(Expr::UnOp::kNot, std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    QBISM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    static constexpr struct {
+      const char* symbol;
+      Expr::BinOp op;
+    } kOps[] = {
+        {"=", Expr::BinOp::kEq},  {"<>", Expr::BinOp::kNe},
+        {"<=", Expr::BinOp::kLe}, {">=", Expr::BinOp::kGe},
+        {"<", Expr::BinOp::kLt},  {">", Expr::BinOp::kGt},
+    };
+    for (const auto& candidate : kOps) {
+      if (ConsumeSymbol(candidate.symbol)) {
+        QBISM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return Expr::Binary(candidate.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    QBISM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      if (ConsumeSymbol("+")) {
+        QBISM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Expr::Binary(Expr::BinOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (ConsumeSymbol("-")) {
+        QBISM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Expr::Binary(Expr::BinOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    QBISM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      if (ConsumeSymbol("*")) {
+        QBISM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Expr::Binary(Expr::BinOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (ConsumeSymbol("/")) {
+        QBISM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Expr::Binary(Expr::BinOp::kDiv, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (ConsumeSymbol("-")) {
+      QBISM_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return Expr::Unary(Expr::UnOp::kNeg, std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case Token::Kind::kInteger:
+        Advance();
+        return Expr::Literal(Value::Int(token.int_value));
+      case Token::Kind::kFloat:
+        Advance();
+        return Expr::Literal(Value::Double(token.float_value));
+      case Token::Kind::kString:
+        Advance();
+        return Expr::Literal(Value::String(token.text));
+      case Token::Kind::kIdentifier: {
+        if (ConsumeKeyword("null")) return Expr::Literal(Value::Null());
+        std::string name = Advance().text;
+        if (ConsumeSymbol("(")) {
+          std::vector<ExprPtr> args;
+          // COUNT(*) is the one star-argument form.
+          if (ToLower(name) == "count" && ConsumeSymbol("*")) {
+            QBISM_RETURN_NOT_OK(ExpectSymbol(")"));
+            return Expr::Call("count", {});
+          }
+          if (!ConsumeSymbol(")")) {
+            while (true) {
+              QBISM_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+              args.push_back(std::move(arg));
+              if (!ConsumeSymbol(",")) break;
+            }
+            QBISM_RETURN_NOT_OK(ExpectSymbol(")"));
+          }
+          return Expr::Call(ToLower(name), std::move(args));
+        }
+        if (ConsumeSymbol(".")) {
+          QBISM_ASSIGN_OR_RETURN(std::string column,
+                                 ExpectIdentifier("column name"));
+          return Expr::ColumnRef(name, column);
+        }
+        return Expr::ColumnRef("", name);
+      }
+      case Token::Kind::kSymbol:
+        if (ConsumeSymbol("(")) {
+          QBISM_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          QBISM_RETURN_NOT_OK(ExpectSymbol(")"));
+          return inner;
+        }
+        return Error("unexpected symbol '" + token.text + "'");
+      case Token::Kind::kEnd:
+        return Error("unexpected end of input");
+    }
+    return Error("unexpected token");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  QBISM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  QBISM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseLoneExpression();
+}
+
+}  // namespace qbism::sql

@@ -1,0 +1,31 @@
+#ifndef QBISM_SQL_PARSER_H_
+#define QBISM_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace qbism::sql {
+
+/// Parses one SQL statement. Supported dialect (enough for the QBISM
+/// query patterns of §3.4):
+///
+///   CREATE TABLE name (col type, ...)          types: int, double,
+///                                              string, longfield
+///   INSERT INTO name VALUES (expr, ...)[, (...)]*
+///   SELECT expr [AS alias], ... | *
+///     FROM table [alias], ...
+///     [WHERE expr]
+///
+/// Expressions: literals, [alias.]column refs, function calls, unary
+/// -/NOT, binary + - * /, comparisons = <> < <= > >=, AND/OR. Keywords
+/// are case-insensitive.
+Result<Statement> ParseStatement(const std::string& sql);
+
+/// Parses an expression in isolation (used by tests).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace qbism::sql
+
+#endif  // QBISM_SQL_PARSER_H_

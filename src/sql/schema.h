@@ -1,0 +1,65 @@
+#ifndef QBISM_SQL_SCHEMA_H_
+#define QBISM_SQL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/value.h"
+
+namespace qbism::sql {
+
+/// Declared column types. kLongField is the Starburst-style SQL type for
+/// large objects (§5.1); REGIONs and VOLUMEs are long fields whose
+/// interpretation is encapsulated by the user-defined functions.
+enum class ColumnType {
+  kInt,
+  kDouble,
+  kString,
+  kLongField,
+};
+
+Result<ColumnType> ColumnTypeFromString(const std::string& name);
+std::string_view ColumnTypeToString(ColumnType type);
+
+/// Whether a runtime value may be stored in a column of `type`.
+bool ValueMatchesType(const Value& value, ColumnType type);
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt;
+};
+
+/// Schema of one relational table.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<Column> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t NumColumns() const { return columns_.size(); }
+
+  /// Index of a column by (case-sensitive) name, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& column_name) const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+/// A tuple: one Value per schema column.
+using Row = std::vector<Value>;
+
+/// Serializes a row (all values must be storable and match the schema).
+Result<std::vector<uint8_t>> SerializeRow(const TableSchema& schema,
+                                          const Row& row);
+
+/// Inverse of SerializeRow.
+Result<Row> DeserializeRow(const TableSchema& schema,
+                           const std::vector<uint8_t>& bytes);
+
+}  // namespace qbism::sql
+
+#endif  // QBISM_SQL_SCHEMA_H_

@@ -1,0 +1,42 @@
+#include "sql/udf.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace qbism::sql {
+
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Status UdfRegistry::Register(const std::string& name, UdfFunction function) {
+  std::string key = Lower(name);
+  if (functions_.count(key)) {
+    return Status::AlreadyExists("UDF '" + key + "' already registered");
+  }
+  functions_[key] = std::move(function);
+  return Status::OK();
+}
+
+Result<const UdfFunction*> UdfRegistry::Lookup(const std::string& name) const {
+  auto it = functions_.find(Lower(name));
+  if (it == functions_.end()) {
+    return Status::NotFound("no SQL function named '" + name + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> UdfRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(functions_.size());
+  for (const auto& [name, fn] : functions_) names.push_back(name);
+  return names;
+}
+
+}  // namespace qbism::sql

@@ -1,0 +1,46 @@
+#ifndef QBISM_SQL_UDF_H_
+#define QBISM_SQL_UDF_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/value.h"
+#include "storage/long_field.h"
+
+namespace qbism::sql {
+
+/// Execution-time services handed to user-defined functions. The spatial
+/// extension reads REGION/VOLUME long fields through `lfm` and reaches
+/// its own configuration (grid spec, curve) through `extension_state`.
+struct UdfContext {
+  storage::LongFieldManager* lfm = nullptr;
+  void* extension_state = nullptr;
+};
+
+/// A user-defined SQL function: evaluated at query run time, embedded in
+/// execution plans like any other function (§5.1).
+using UdfFunction =
+    std::function<Result<Value>(UdfContext&, const std::vector<Value>&)>;
+
+/// Name -> function registry. Names are stored lower-case; lookup is
+/// case-insensitive because the parser lower-cases call names.
+class UdfRegistry {
+ public:
+  /// Registers a function; fails if the name is taken.
+  Status Register(const std::string& name, UdfFunction function);
+
+  /// Looks a function up by (lower-case) name.
+  Result<const UdfFunction*> Lookup(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, UdfFunction> functions_;
+};
+
+}  // namespace qbism::sql
+
+#endif  // QBISM_SQL_UDF_H_

@@ -1,0 +1,221 @@
+#include "sql/value.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace qbism::sql {
+
+Value Value::Int(int64_t v) {
+  Value value;
+  value.kind_ = Kind::kInt;
+  value.int_ = v;
+  return value;
+}
+
+Value Value::Double(double v) {
+  Value value;
+  value.kind_ = Kind::kDouble;
+  value.double_ = v;
+  return value;
+}
+
+Value Value::String(std::string v) {
+  Value value;
+  value.kind_ = Kind::kString;
+  value.string_ = std::move(v);
+  return value;
+}
+
+Value Value::LongField(storage::LongFieldId id) {
+  Value value;
+  value.kind_ = Kind::kLongField;
+  value.long_field_ = id;
+  return value;
+}
+
+Value Value::Object(std::shared_ptr<const void> object,
+                    std::string type_name) {
+  Value value;
+  value.kind_ = Kind::kObject;
+  value.object_ = std::move(object);
+  value.object_type_ = std::move(type_name);
+  return value;
+}
+
+Result<int64_t> Value::AsInt() const {
+  if (kind_ != Kind::kInt) {
+    return Status::InvalidArgument("Value: expected integer, got " +
+                                   ToString());
+  }
+  return int_;
+}
+
+Result<double> Value::AsDouble() const {
+  if (kind_ == Kind::kDouble) return double_;
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  return Status::InvalidArgument("Value: expected number, got " + ToString());
+}
+
+Result<std::string> Value::AsString() const {
+  if (kind_ != Kind::kString) {
+    return Status::InvalidArgument("Value: expected string, got " +
+                                   ToString());
+  }
+  return string_;
+}
+
+Result<storage::LongFieldId> Value::AsLongField() const {
+  if (kind_ != Kind::kLongField) {
+    return Status::InvalidArgument("Value: expected long field, got " +
+                                   ToString());
+  }
+  return long_field_;
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    return Status::InvalidArgument("Value: cannot compare NULL");
+  }
+  auto numeric = [](Kind k) { return k == Kind::kInt || k == Kind::kDouble; };
+  if (numeric(kind_) && numeric(other.kind_)) {
+    if (kind_ == Kind::kInt && other.kind_ == Kind::kInt) {
+      return int_ < other.int_ ? -1 : (int_ > other.int_ ? 1 : 0);
+    }
+    double a = kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+    double b = other.kind_ == Kind::kInt ? static_cast<double>(other.int_)
+                                         : other.double_;
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (kind_ != other.kind_) {
+    return Status::InvalidArgument("Value: comparing incompatible kinds");
+  }
+  switch (kind_) {
+    case Kind::kString:
+      return string_.compare(other.string_) < 0
+                 ? -1
+                 : (string_ == other.string_ ? 0 : 1);
+    case Kind::kLongField:
+      return long_field_.value < other.long_field_.value
+                 ? -1
+                 : (long_field_.value == other.long_field_.value ? 0 : 1);
+    default:
+      return Status::InvalidArgument("Value: kind is not comparable");
+  }
+}
+
+Result<bool> Value::Equals(const Value& other) const {
+  QBISM_ASSIGN_OR_RETURN(int cmp, Compare(other));
+  return cmp == 0;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", double_);
+      return buf;
+    }
+    case Kind::kString:
+      return "'" + string_ + "'";
+    case Kind::kLongField:
+      return "<longfield:" + std::to_string(long_field_.value) + ">";
+    case Kind::kObject:
+      return "<" + object_type_ + ">";
+  }
+  return "?";
+}
+
+namespace {
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+Result<uint64_t> GetU64(const std::vector<uint8_t>& bytes, size_t* pos) {
+  if (*pos + 8 > bytes.size()) {
+    return Status::Corruption("Value: truncated u64");
+  }
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | bytes[*pos + i];
+  *pos += 8;
+  return v;
+}
+
+}  // namespace
+
+Status Value::SerializeTo(std::vector<uint8_t>* out) const {
+  out->push_back(static_cast<uint8_t>(kind_));
+  switch (kind_) {
+    case Kind::kNull:
+      return Status::OK();
+    case Kind::kInt:
+      PutU64(out, static_cast<uint64_t>(int_));
+      return Status::OK();
+    case Kind::kDouble: {
+      uint64_t bits;
+      std::memcpy(&bits, &double_, 8);
+      PutU64(out, bits);
+      return Status::OK();
+    }
+    case Kind::kString: {
+      PutU64(out, string_.size());
+      out->insert(out->end(), string_.begin(), string_.end());
+      return Status::OK();
+    }
+    case Kind::kLongField:
+      PutU64(out, long_field_.value);
+      return Status::OK();
+    case Kind::kObject:
+      return Status::InvalidArgument(
+          "Value: transient object values are not storable; write them "
+          "through a long field first");
+  }
+  return Status::Internal("Value: unknown kind");
+}
+
+Result<Value> Value::DeserializeFrom(const std::vector<uint8_t>& bytes,
+                                     size_t* pos) {
+  if (*pos >= bytes.size()) {
+    return Status::Corruption("Value: truncated kind tag");
+  }
+  Kind kind = static_cast<Kind>(bytes[(*pos)++]);
+  switch (kind) {
+    case Kind::kNull:
+      return Value::Null();
+    case Kind::kInt: {
+      QBISM_ASSIGN_OR_RETURN(uint64_t v, GetU64(bytes, pos));
+      return Value::Int(static_cast<int64_t>(v));
+    }
+    case Kind::kDouble: {
+      QBISM_ASSIGN_OR_RETURN(uint64_t bits, GetU64(bytes, pos));
+      double d;
+      std::memcpy(&d, &bits, 8);
+      return Value::Double(d);
+    }
+    case Kind::kString: {
+      QBISM_ASSIGN_OR_RETURN(uint64_t len, GetU64(bytes, pos));
+      if (*pos + len > bytes.size()) {
+        return Status::Corruption("Value: truncated string");
+      }
+      std::string s(bytes.begin() + static_cast<int64_t>(*pos),
+                    bytes.begin() + static_cast<int64_t>(*pos + len));
+      *pos += len;
+      return Value::String(std::move(s));
+    }
+    case Kind::kLongField: {
+      QBISM_ASSIGN_OR_RETURN(uint64_t v, GetU64(bytes, pos));
+      return Value::LongField(storage::LongFieldId{v});
+    }
+    case Kind::kObject:
+      return Status::Corruption("Value: object kind in stored record");
+  }
+  return Status::Corruption("Value: unknown kind tag");
+}
+
+}  // namespace qbism::sql

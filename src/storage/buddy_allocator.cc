@@ -1,0 +1,82 @@
+#include "storage/buddy_allocator.h"
+
+#include "common/macros.h"
+
+namespace qbism::storage {
+
+namespace {
+
+bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+BuddyAllocator::BuddyAllocator(uint64_t num_pages) : total_pages_(num_pages) {
+  QBISM_CHECK(IsPowerOfTwo(num_pages));
+  max_order_ = 63 - __builtin_clzll(num_pages);
+  free_lists_.resize(max_order_ + 1);
+  free_lists_[max_order_].insert(0);
+}
+
+uint64_t BuddyAllocator::ExtentPages(uint64_t num_pages) {
+  if (num_pages <= 1) return 1;
+  uint64_t extent = 1;
+  while (extent < num_pages) extent <<= 1;
+  return extent;
+}
+
+int BuddyAllocator::OrderFor(uint64_t num_pages) const {
+  uint64_t extent = ExtentPages(num_pages);
+  return 63 - __builtin_clzll(extent);
+}
+
+Result<uint64_t> BuddyAllocator::Allocate(uint64_t num_pages) {
+  if (num_pages == 0) {
+    return Status::InvalidArgument("BuddyAllocator: zero-page allocation");
+  }
+  if (num_pages > total_pages_) {
+    return Status::OutOfRange("BuddyAllocator: request exceeds device");
+  }
+  int order = OrderFor(num_pages);
+  // Find the smallest order with a free block, splitting down.
+  int have = order;
+  while (have <= max_order_ && free_lists_[have].empty()) ++have;
+  if (have > max_order_) {
+    return Status::OutOfRange("BuddyAllocator: out of space");
+  }
+  uint64_t block = *free_lists_[have].begin();
+  free_lists_[have].erase(free_lists_[have].begin());
+  while (have > order) {
+    --have;
+    // Keep the low half, free the high buddy.
+    free_lists_[have].insert(block + (uint64_t{1} << have));
+  }
+  allocated_pages_ += uint64_t{1} << order;
+  return block;
+}
+
+Status BuddyAllocator::Free(uint64_t start_page, uint64_t num_pages) {
+  if (num_pages == 0 || start_page >= total_pages_) {
+    return Status::InvalidArgument("BuddyAllocator::Free: bad extent");
+  }
+  int order = OrderFor(num_pages);
+  uint64_t size = uint64_t{1} << order;
+  if (start_page % size != 0 || start_page + size > total_pages_) {
+    return Status::InvalidArgument("BuddyAllocator::Free: misaligned extent");
+  }
+  allocated_pages_ -= size;
+  uint64_t block = start_page;
+  int k = order;
+  // Coalesce with free buddies as far up as possible.
+  while (k < max_order_) {
+    uint64_t buddy = block ^ (uint64_t{1} << k);
+    auto it = free_lists_[k].find(buddy);
+    if (it == free_lists_[k].end()) break;
+    free_lists_[k].erase(it);
+    block = std::min(block, buddy);
+    ++k;
+  }
+  free_lists_[k].insert(block);
+  return Status::OK();
+}
+
+}  // namespace qbism::storage

@@ -1,0 +1,51 @@
+#ifndef QBISM_STORAGE_BUDDY_ALLOCATOR_H_
+#define QBISM_STORAGE_BUDDY_ALLOCATOR_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace qbism::storage {
+
+/// Classic binary buddy allocator over a page range. The Starburst LFM
+/// used buddy allocation "to promote contiguity" (§5.1): a long field
+/// occupies one power-of-two extent of consecutive pages, so a 2 MB
+/// VOLUME is one 512-page sequential read. Offsets and sizes are in
+/// pages.
+class BuddyAllocator {
+ public:
+  /// Manages pages [0, num_pages); num_pages must be a power of two.
+  explicit BuddyAllocator(uint64_t num_pages);
+
+  /// Allocates the smallest power-of-two extent holding `num_pages`
+  /// pages and returns its first page.
+  Result<uint64_t> Allocate(uint64_t num_pages);
+
+  /// Frees an extent previously returned by Allocate for exactly
+  /// `num_pages` pages (the allocator re-derives the rounded order).
+  Status Free(uint64_t start_page, uint64_t num_pages);
+
+  /// Pages currently allocated (sum of rounded extents).
+  uint64_t allocated_pages() const { return allocated_pages_; }
+  uint64_t total_pages() const { return total_pages_; }
+
+  /// Rounded extent size for a request (power of two >= num_pages).
+  static uint64_t ExtentPages(uint64_t num_pages);
+
+ private:
+  int OrderFor(uint64_t num_pages) const;
+
+  uint64_t total_pages_;
+  int max_order_;
+  // free_lists_[k] holds start pages of free blocks of 2^k pages, kept
+  // sorted so allocation is deterministic and low-addressed first.
+  std::vector<std::set<uint64_t>> free_lists_;
+  uint64_t allocated_pages_ = 0;
+};
+
+}  // namespace qbism::storage
+
+#endif  // QBISM_STORAGE_BUDDY_ALLOCATOR_H_

@@ -1,0 +1,62 @@
+#include "storage/buffer_pool.h"
+
+#include "common/macros.h"
+
+namespace qbism::storage {
+
+BufferPool::BufferPool(DiskDevice* device, size_t capacity_pages)
+    : device_(device), capacity_(capacity_pages) {
+  QBISM_CHECK(capacity_ >= 1);
+}
+
+Result<uint8_t*> BufferPool::GetPage(uint64_t page_no) {
+  auto it = index_.find(page_no);
+  if (it != index_.end()) {
+    ++hits_;
+    frames_.splice(frames_.begin(), frames_, it->second);
+    return frames_.front().data.data();
+  }
+  ++misses_;
+  if (frames_.size() >= capacity_) {
+    QBISM_RETURN_NOT_OK(Evict());
+  }
+  Frame frame;
+  frame.page_no = page_no;
+  frame.data.resize(kPageSize);
+  QBISM_RETURN_NOT_OK(device_->ReadPage(page_no, frame.data.data()));
+  frames_.push_front(std::move(frame));
+  index_[page_no] = frames_.begin();
+  return frames_.front().data.data();
+}
+
+Status BufferPool::MarkDirty(uint64_t page_no) {
+  auto it = index_.find(page_no);
+  if (it == index_.end()) {
+    return Status::NotFound("BufferPool::MarkDirty: page not resident");
+  }
+  it->second->dirty = true;
+  return Status::OK();
+}
+
+Status BufferPool::Evict() {
+  QBISM_CHECK(!frames_.empty());
+  Frame& victim = frames_.back();
+  if (victim.dirty) {
+    QBISM_RETURN_NOT_OK(device_->WritePage(victim.page_no, victim.data.data()));
+  }
+  index_.erase(victim.page_no);
+  frames_.pop_back();
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.dirty) {
+      QBISM_RETURN_NOT_OK(device_->WritePage(frame.page_no, frame.data.data()));
+      frame.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace qbism::storage

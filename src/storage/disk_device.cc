@@ -1,0 +1,67 @@
+#include "storage/disk_device.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace qbism::storage {
+
+DiskDevice::DiskDevice(uint64_t num_pages, DiskCostModel model)
+    : num_pages_(num_pages),
+      model_(model),
+      bytes_(num_pages * kPageSize, 0) {}
+
+void DiskDevice::Charge(uint64_t page_no, uint64_t count, bool write) {
+  if (page_no != next_sequential_page_) {
+    ++stats_.seeks;
+    stats_.simulated_seconds += model_.seek_seconds;
+  }
+  stats_.simulated_seconds +=
+      model_.transfer_seconds_per_page * static_cast<double>(count);
+  if (write) {
+    stats_.pages_written += count;
+  } else {
+    stats_.pages_read += count;
+  }
+  next_sequential_page_ = page_no + count;
+}
+
+Status DiskDevice::ReadPage(uint64_t page_no, uint8_t* out) {
+  return ReadPages(page_no, 1, out);
+}
+
+Status DiskDevice::WritePage(uint64_t page_no, const uint8_t* in) {
+  return WritePages(page_no, 1, in);
+}
+
+Status DiskDevice::ConsumeFaultBudget(uint64_t count) {
+  if (!fail_armed_) return Status::OK();
+  if (fail_budget_ < count) {
+    return Status::IOError("injected disk fault");
+  }
+  fail_budget_ -= count;
+  return Status::OK();
+}
+
+Status DiskDevice::ReadPages(uint64_t page_no, uint64_t count, uint8_t* out) {
+  if (page_no + count > num_pages_) {
+    return Status::OutOfRange("DiskDevice::ReadPages: beyond device end");
+  }
+  QBISM_RETURN_NOT_OK(ConsumeFaultBudget(count));
+  Charge(page_no, count, /*write=*/false);
+  std::memcpy(out, bytes_.data() + page_no * kPageSize, count * kPageSize);
+  return Status::OK();
+}
+
+Status DiskDevice::WritePages(uint64_t page_no, uint64_t count,
+                              const uint8_t* in) {
+  if (page_no + count > num_pages_) {
+    return Status::OutOfRange("DiskDevice::WritePages: beyond device end");
+  }
+  QBISM_RETURN_NOT_OK(ConsumeFaultBudget(count));
+  Charge(page_no, count, /*write=*/true);
+  std::memcpy(bytes_.data() + page_no * kPageSize, in, count * kPageSize);
+  return Status::OK();
+}
+
+}  // namespace qbism::storage

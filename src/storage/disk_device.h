@@ -1,0 +1,88 @@
+#ifndef QBISM_STORAGE_DISK_DEVICE_H_
+#define QBISM_STORAGE_DISK_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace qbism::storage {
+
+/// Page size used throughout the storage layer. The paper reports LFM
+/// disk I/Os in 4 KB pages (Tables 3 and 4).
+inline constexpr uint64_t kPageSize = 4096;
+
+/// Deterministic service-time model for the simulated disk, calibrated
+/// to early-90s hardware (the paper's RS/6000 had ~12 ms average
+/// positioning time and ~2 MB/s sustained transfer). A page access pays
+/// the seek cost only when it does not immediately follow the previous
+/// access ("sequential" pages pay transfer only).
+struct DiskCostModel {
+  double seek_seconds = 0.012;
+  double transfer_seconds_per_page = 0.002;
+};
+
+/// Cumulative I/O accounting. `simulated_seconds` is the deterministic
+/// model time; it stands in for the paper's real-time I/O wait.
+struct IoStats {
+  uint64_t pages_read = 0;
+  uint64_t pages_written = 0;
+  uint64_t seeks = 0;
+  double simulated_seconds = 0.0;
+
+  IoStats operator-(const IoStats& o) const {
+    return {pages_read - o.pages_read, pages_written - o.pages_written,
+            seeks - o.seeks, simulated_seconds - o.simulated_seconds};
+  }
+};
+
+/// An in-memory simulated raw disk device with page-granular access,
+/// exact I/O counting, and a deterministic cost model. Stands in for the
+/// AIX logical volume the Starburst LFM wrote to (§5.1): storage is
+/// page-addressed, unbuffered, and every access is charged.
+class DiskDevice {
+ public:
+  DiskDevice(uint64_t num_pages, DiskCostModel model = DiskCostModel{});
+
+  uint64_t num_pages() const { return num_pages_; }
+
+  /// Reads one page into `out` (kPageSize bytes).
+  Status ReadPage(uint64_t page_no, uint8_t* out);
+
+  /// Writes one page from `in` (kPageSize bytes).
+  Status WritePage(uint64_t page_no, const uint8_t* in);
+
+  /// Reads `count` consecutive pages starting at `page_no`.
+  Status ReadPages(uint64_t page_no, uint64_t count, uint8_t* out);
+
+  /// Writes `count` consecutive pages.
+  Status WritePages(uint64_t page_no, uint64_t count, const uint8_t* in);
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+
+  /// Fault injection for tests: after `page_ops` more page transfers,
+  /// every access fails with IOError until ClearFault() is called.
+  void FailAfter(uint64_t page_ops) {
+    fail_armed_ = true;
+    fail_budget_ = page_ops;
+  }
+  void ClearFault() { fail_armed_ = false; }
+
+ private:
+  void Charge(uint64_t page_no, uint64_t count, bool write);
+  Status ConsumeFaultBudget(uint64_t count);
+
+  uint64_t num_pages_;
+  DiskCostModel model_;
+  std::vector<uint8_t> bytes_;
+  IoStats stats_;
+  uint64_t next_sequential_page_ = UINT64_MAX;  // head position
+  bool fail_armed_ = false;
+  uint64_t fail_budget_ = 0;
+};
+
+}  // namespace qbism::storage
+
+#endif  // QBISM_STORAGE_DISK_DEVICE_H_

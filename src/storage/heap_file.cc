@@ -1,0 +1,87 @@
+#include "storage/heap_file.h"
+
+#include "common/macros.h"
+
+namespace qbism::storage {
+
+HeapFile::HeapFile(BufferPool* pool, PageAllocator* allocator)
+    : pool_(pool), allocator_(allocator) {}
+
+Result<uint64_t> HeapFile::AppendPage(uint64_t prev_page) {
+  QBISM_ASSIGN_OR_RETURN(uint64_t page_no, allocator_->Allocate());
+  QBISM_ASSIGN_OR_RETURN(uint8_t* page, pool_->GetPage(page_no));
+  SlottedPage::Init(page);
+  QBISM_RETURN_NOT_OK(pool_->MarkDirty(page_no));
+  if (prev_page != 0) {
+    QBISM_ASSIGN_OR_RETURN(uint8_t* prev, pool_->GetPage(prev_page));
+    SlottedPage::SetNextPage(prev, page_no);
+    QBISM_RETURN_NOT_OK(pool_->MarkDirty(prev_page));
+  }
+  ++page_count_;
+  return page_no;
+}
+
+Result<RecordId> HeapFile::Insert(const std::vector<uint8_t>& record) {
+  if (record.size() > SlottedPage::kMaxRecordSize) {
+    return Status::InvalidArgument(
+        "HeapFile::Insert: record exceeds page capacity; store large "
+        "values as long fields");
+  }
+  if (first_page_ == 0) {
+    QBISM_ASSIGN_OR_RETURN(first_page_, AppendPage(0));
+    last_page_ = first_page_;
+  }
+  {
+    QBISM_ASSIGN_OR_RETURN(uint8_t* page, pool_->GetPage(last_page_));
+    if (SlottedPage::FreeSpace(page) >= record.size()) {
+      QBISM_ASSIGN_OR_RETURN(
+          SlotId slot,
+          SlottedPage::Insert(page, record.data(),
+                              static_cast<uint16_t>(record.size())));
+      QBISM_RETURN_NOT_OK(pool_->MarkDirty(last_page_));
+      return RecordId{last_page_, slot};
+    }
+  }
+  QBISM_ASSIGN_OR_RETURN(last_page_, AppendPage(last_page_));
+  QBISM_ASSIGN_OR_RETURN(uint8_t* page, pool_->GetPage(last_page_));
+  QBISM_ASSIGN_OR_RETURN(
+      SlotId slot, SlottedPage::Insert(page, record.data(),
+                                       static_cast<uint16_t>(record.size())));
+  QBISM_RETURN_NOT_OK(pool_->MarkDirty(last_page_));
+  return RecordId{last_page_, slot};
+}
+
+Result<std::vector<uint8_t>> HeapFile::Read(const RecordId& rid) {
+  QBISM_ASSIGN_OR_RETURN(uint8_t* page, pool_->GetPage(rid.page_no));
+  return SlottedPage::Read(page, rid.slot);
+}
+
+Status HeapFile::Delete(const RecordId& rid) {
+  QBISM_ASSIGN_OR_RETURN(uint8_t* page, pool_->GetPage(rid.page_no));
+  QBISM_RETURN_NOT_OK(SlottedPage::Erase(page, rid.slot));
+  return pool_->MarkDirty(rid.page_no);
+}
+
+Status HeapFile::Scan(
+    const std::function<bool(const RecordId&, const std::vector<uint8_t>&)>&
+        visit) {
+  uint64_t page_no = first_page_;
+  while (page_no != 0) {
+    // Capture slot count and next pointer up front: the frame pointer
+    // may be invalidated by pool activity inside the callback.
+    QBISM_ASSIGN_OR_RETURN(uint8_t* page, pool_->GetPage(page_no));
+    uint16_t slots = SlottedPage::SlotCount(page);
+    uint64_t next = SlottedPage::NextPage(page);
+    for (SlotId slot = 0; slot < slots; ++slot) {
+      QBISM_ASSIGN_OR_RETURN(uint8_t* cur, pool_->GetPage(page_no));
+      if (!SlottedPage::IsLive(cur, slot)) continue;
+      QBISM_ASSIGN_OR_RETURN(std::vector<uint8_t> record,
+                             SlottedPage::Read(cur, slot));
+      if (!visit(RecordId{page_no, slot}, record)) return Status::OK();
+    }
+    page_no = next;
+  }
+  return Status::OK();
+}
+
+}  // namespace qbism::storage

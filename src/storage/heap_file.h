@@ -1,0 +1,83 @@
+#ifndef QBISM_STORAGE_HEAP_FILE_H_
+#define QBISM_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/slotted_page.h"
+
+namespace qbism::storage {
+
+/// Hands out single pages from a device. Page 0 is reserved (0 doubles
+/// as the "no next page" marker in page headers), so allocation starts
+/// at page 1.
+class PageAllocator {
+ public:
+  explicit PageAllocator(uint64_t num_pages)
+      : num_pages_(num_pages), next_(1) {}
+
+  Result<uint64_t> Allocate() {
+    if (next_ >= num_pages_) {
+      return Status::OutOfRange("PageAllocator: device full");
+    }
+    return next_++;
+  }
+
+  uint64_t allocated() const { return next_ - 1; }
+
+ private:
+  uint64_t num_pages_;
+  uint64_t next_;
+};
+
+/// Physical address of a record.
+struct RecordId {
+  uint64_t page_no = 0;
+  SlotId slot = 0;
+  friend bool operator==(const RecordId&, const RecordId&) = default;
+};
+
+/// An unordered file of variable-length records over slotted pages
+/// chained through next-page pointers. One heap file backs each
+/// relational table; large values are stored as long-field handles
+/// inside the record, never inline.
+class HeapFile {
+ public:
+  /// `pool` and `allocator` must outlive the file and address the same
+  /// device.
+  HeapFile(BufferPool* pool, PageAllocator* allocator);
+
+  /// Appends a record. Fails when the record exceeds one page.
+  Result<RecordId> Insert(const std::vector<uint8_t>& record);
+
+  /// Reads a live record.
+  Result<std::vector<uint8_t>> Read(const RecordId& rid);
+
+  /// Tombstones a record.
+  Status Delete(const RecordId& rid);
+
+  /// Visits every live record in file order. The callback returns false
+  /// to stop early.
+  Status Scan(
+      const std::function<bool(const RecordId&, const std::vector<uint8_t>&)>&
+          visit);
+
+  uint64_t page_count() const { return page_count_; }
+
+ private:
+  Result<uint64_t> AppendPage(uint64_t prev_page);
+
+  BufferPool* pool_;
+  PageAllocator* allocator_;
+  uint64_t first_page_ = 0;  // 0 = file still empty
+  uint64_t last_page_ = 0;
+  uint64_t page_count_ = 0;
+};
+
+}  // namespace qbism::storage
+
+#endif  // QBISM_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,177 @@
+#include "storage/long_field.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace qbism::storage {
+
+LongFieldManager::LongFieldManager(DiskDevice* device)
+    : device_(device), allocator_(device->num_pages()) {}
+
+Result<const LongFieldManager::Entry*> LongFieldManager::Lookup(
+    LongFieldId id) const {
+  auto it = directory_.find(id.value);
+  if (it == directory_.end()) {
+    return Status::NotFound("LongFieldManager: unknown long field id");
+  }
+  return &it->second;
+}
+
+Result<LongFieldId> LongFieldManager::Create(
+    const std::vector<uint8_t>& bytes) {
+  uint64_t pages = std::max<uint64_t>(1, (bytes.size() + kPageSize - 1) / kPageSize);
+  QBISM_ASSIGN_OR_RETURN(uint64_t start, allocator_.Allocate(pages));
+  // Write full pages; the tail page is zero-padded.
+  std::vector<uint8_t> padded(pages * kPageSize, 0);
+  std::memcpy(padded.data(), bytes.data(), bytes.size());
+  QBISM_RETURN_NOT_OK(device_->WritePages(start, pages, padded.data()));
+  LongFieldId id{next_id_++};
+  directory_[id.value] = Entry{start, bytes.size()};
+  return id;
+}
+
+Result<uint64_t> LongFieldManager::Size(LongFieldId id) const {
+  QBISM_ASSIGN_OR_RETURN(const Entry* entry, Lookup(id));
+  return entry->size_bytes;
+}
+
+Result<std::vector<uint8_t>> LongFieldManager::Read(LongFieldId id) const {
+  QBISM_ASSIGN_OR_RETURN(const Entry* entry, Lookup(id));
+  return ReadRange(id, 0, entry->size_bytes);
+}
+
+Result<std::vector<uint8_t>> LongFieldManager::ReadRange(
+    LongFieldId id, uint64_t offset, uint64_t length) const {
+  QBISM_ASSIGN_OR_RETURN(const Entry* entry, Lookup(id));
+  if (offset + length > entry->size_bytes) {
+    return Status::OutOfRange("LongFieldManager::ReadRange: past field end");
+  }
+  if (length == 0) return std::vector<uint8_t>{};
+  uint64_t first_page = offset / kPageSize;
+  uint64_t last_page = (offset + length - 1) / kPageSize;
+  uint64_t count = last_page - first_page + 1;
+  std::vector<uint8_t> pages(count * kPageSize);
+  QBISM_RETURN_NOT_OK(
+      device_->ReadPages(entry->start_page + first_page, count, pages.data()));
+  std::vector<uint8_t> out(length);
+  std::memcpy(out.data(), pages.data() + (offset - first_page * kPageSize),
+              length);
+  return out;
+}
+
+Result<std::vector<std::vector<uint8_t>>> LongFieldManager::ReadRanges(
+    LongFieldId id, const std::vector<ByteRange>& ranges) const {
+  QBISM_ASSIGN_OR_RETURN(const Entry* entry, Lookup(id));
+  for (const ByteRange& r : ranges) {
+    if (r.offset + r.length > entry->size_bytes) {
+      return Status::OutOfRange("LongFieldManager::ReadRanges: past field end");
+    }
+  }
+  // Distinct pages touched by any range, ascending.
+  std::vector<uint64_t> pages;
+  for (const ByteRange& r : ranges) {
+    if (r.length == 0) continue;
+    uint64_t first = r.offset / kPageSize;
+    uint64_t last = (r.offset + r.length - 1) / kPageSize;
+    for (uint64_t p = first; p <= last; ++p) pages.push_back(p);
+  }
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+
+  // Read runs of consecutive pages as single sequential transfers.
+  std::unordered_map<uint64_t, std::vector<uint8_t>> cache;
+  size_t i = 0;
+  while (i < pages.size()) {
+    size_t j = i;
+    while (j + 1 < pages.size() && pages[j + 1] == pages[j] + 1) ++j;
+    uint64_t count = pages[j] - pages[i] + 1;
+    std::vector<uint8_t> buf(count * kPageSize);
+    QBISM_RETURN_NOT_OK(
+        device_->ReadPages(entry->start_page + pages[i], count, buf.data()));
+    for (uint64_t k = 0; k < count; ++k) {
+      std::vector<uint8_t> page(kPageSize);
+      std::memcpy(page.data(), buf.data() + k * kPageSize, kPageSize);
+      cache[pages[i] + k] = std::move(page);
+    }
+    i = j + 1;
+  }
+
+  // Assemble each requested range from the page cache.
+  std::vector<std::vector<uint8_t>> out;
+  out.reserve(ranges.size());
+  for (const ByteRange& r : ranges) {
+    std::vector<uint8_t> buf(r.length);
+    uint64_t copied = 0;
+    while (copied < r.length) {
+      uint64_t pos = r.offset + copied;
+      uint64_t page = pos / kPageSize;
+      uint64_t in_page = pos % kPageSize;
+      uint64_t n = std::min(kPageSize - in_page, r.length - copied);
+      std::memcpy(buf.data() + copied, cache.at(page).data() + in_page, n);
+      copied += n;
+    }
+    out.push_back(std::move(buf));
+  }
+  return out;
+}
+
+Result<uint64_t> LongFieldManager::PagesTouched(
+    LongFieldId id, const std::vector<ByteRange>& ranges) const {
+  QBISM_ASSIGN_OR_RETURN(const Entry* entry, Lookup(id));
+  (void)entry;
+  std::vector<uint64_t> pages;
+  for (const ByteRange& r : ranges) {
+    if (r.length == 0) continue;
+    uint64_t first = r.offset / kPageSize;
+    uint64_t last = (r.offset + r.length - 1) / kPageSize;
+    for (uint64_t p = first; p <= last; ++p) pages.push_back(p);
+  }
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  return pages.size();
+}
+
+Status LongFieldManager::Update(LongFieldId id,
+                                const std::vector<uint8_t>& bytes) {
+  auto it = directory_.find(id.value);
+  if (it == directory_.end()) {
+    return Status::NotFound("LongFieldManager::Update: unknown id");
+  }
+  Entry& entry = it->second;
+  uint64_t new_pages = std::max<uint64_t>(1, (bytes.size() + kPageSize - 1) / kPageSize);
+  if (BuddyAllocator::ExtentPages(new_pages) ==
+      BuddyAllocator::ExtentPages(entry.PageCount())) {
+    // Fits in place.
+    std::vector<uint8_t> padded(new_pages * kPageSize, 0);
+    std::memcpy(padded.data(), bytes.data(), bytes.size());
+    QBISM_RETURN_NOT_OK(
+        device_->WritePages(entry.start_page, new_pages, padded.data()));
+    entry.size_bytes = bytes.size();
+    return Status::OK();
+  }
+  // Reallocate.
+  QBISM_RETURN_NOT_OK(
+      allocator_.Free(entry.start_page, std::max<uint64_t>(1, entry.PageCount())));
+  QBISM_ASSIGN_OR_RETURN(uint64_t start, allocator_.Allocate(new_pages));
+  std::vector<uint8_t> padded(new_pages * kPageSize, 0);
+  std::memcpy(padded.data(), bytes.data(), bytes.size());
+  QBISM_RETURN_NOT_OK(device_->WritePages(start, new_pages, padded.data()));
+  entry.start_page = start;
+  entry.size_bytes = bytes.size();
+  return Status::OK();
+}
+
+Status LongFieldManager::Delete(LongFieldId id) {
+  auto it = directory_.find(id.value);
+  if (it == directory_.end()) {
+    return Status::NotFound("LongFieldManager::Delete: unknown id");
+  }
+  QBISM_RETURN_NOT_OK(allocator_.Free(
+      it->second.start_page, std::max<uint64_t>(1, it->second.PageCount())));
+  directory_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace qbism::storage

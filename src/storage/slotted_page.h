@@ -1,0 +1,60 @@
+#ifndef QBISM_STORAGE_SLOTTED_PAGE_H_
+#define QBISM_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk_device.h"
+
+namespace qbism::storage {
+
+/// Slot index within a page.
+using SlotId = uint16_t;
+
+/// Operations over a classic slotted page laid out in a 4 KB buffer.
+/// Layout:
+///   [u16 slot_count][u16 free_end][u64 next_page]
+///   [slot 0: u16 offset, u16 length] [slot 1] ...
+///   ... free space ...
+///   records growing down from free_end.
+/// A slot with length 0xFFFF is a tombstone. Records must fit one page.
+class SlottedPage {
+ public:
+  static constexpr uint16_t kHeaderSize = 2 + 2 + 8;
+  static constexpr uint16_t kSlotSize = 4;
+  static constexpr uint16_t kTombstone = 0xFFFF;
+  /// Largest record a fresh page can hold.
+  static constexpr uint64_t kMaxRecordSize =
+      kPageSize - kHeaderSize - kSlotSize;
+
+  /// Formats an empty page in `page` (kPageSize bytes).
+  static void Init(uint8_t* page);
+
+  static uint16_t SlotCount(const uint8_t* page);
+  static uint64_t NextPage(const uint8_t* page);
+  static void SetNextPage(uint8_t* page, uint64_t next);
+
+  /// Contiguous free bytes available for one more record (including its
+  /// slot entry).
+  static uint64_t FreeSpace(const uint8_t* page);
+
+  /// Inserts a record; fails with OutOfRange when it does not fit.
+  static Result<SlotId> Insert(uint8_t* page, const uint8_t* data,
+                               uint16_t length);
+
+  /// Reads a record (copy). Fails on bad slot or tombstone.
+  static Result<std::vector<uint8_t>> Read(const uint8_t* page, SlotId slot);
+
+  /// Tombstones a record. Space is not compacted (fine for this
+  /// workload: the medical schema is append-mostly).
+  static Status Erase(uint8_t* page, SlotId slot);
+
+  /// True when the slot holds a live record.
+  static bool IsLive(const uint8_t* page, SlotId slot);
+};
+
+}  // namespace qbism::storage
+
+#endif  // QBISM_STORAGE_SLOTTED_PAGE_H_

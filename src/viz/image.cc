@@ -1,0 +1,31 @@
+#include "viz/image.h"
+
+#include <cstdio>
+
+namespace qbism::viz {
+
+Status Image::WritePpm(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  std::fprintf(f, "P6\n%d %d\n255\n", width_, height_);
+  size_t written = std::fwrite(pixels_.data(), 1, pixels_.size(), f);
+  std::fclose(f);
+  if (written != pixels_.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+double Image::NonBlackFraction() const {
+  if (pixels_.empty()) return 0.0;
+  size_t non_black = 0;
+  size_t n = pixels_.size() / 3;
+  for (size_t i = 0; i < n; ++i) {
+    if (pixels_[3 * i] || pixels_[3 * i + 1] || pixels_[3 * i + 2]) {
+      ++non_black;
+    }
+  }
+  return static_cast<double>(non_black) / static_cast<double>(n);
+}
+
+}  // namespace qbism::viz

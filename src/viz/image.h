@@ -1,0 +1,57 @@
+#ifndef QBISM_VIZ_IMAGE_H_
+#define QBISM_VIZ_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qbism::viz {
+
+/// 8-bit RGB raster image.
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height)
+      : width_(width), height_(height),
+        pixels_(static_cast<size_t>(width) * height * 3, 0) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  void Set(int x, int y, uint8_t r, uint8_t g, uint8_t b) {
+    size_t i = (static_cast<size_t>(y) * width_ + x) * 3;
+    pixels_[i] = r;
+    pixels_[i + 1] = g;
+    pixels_[i + 2] = b;
+  }
+  void SetGray(int x, int y, uint8_t v) { Set(x, y, v, v, v); }
+
+  uint8_t Red(int x, int y) const {
+    return pixels_[(static_cast<size_t>(y) * width_ + x) * 3];
+  }
+  uint8_t Green(int x, int y) const {
+    return pixels_[(static_cast<size_t>(y) * width_ + x) * 3 + 1];
+  }
+  uint8_t Blue(int x, int y) const {
+    return pixels_[(static_cast<size_t>(y) * width_ + x) * 3 + 2];
+  }
+
+  const std::vector<uint8_t>& pixels() const { return pixels_; }
+
+  /// Writes a binary PPM (P6) file.
+  Status WritePpm(const std::string& path) const;
+
+  /// Fraction of pixels that are not pure black (smoke-test metric).
+  double NonBlackFraction() const;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<uint8_t> pixels_;
+};
+
+}  // namespace qbism::viz
+
+#endif  // QBISM_VIZ_IMAGE_H_

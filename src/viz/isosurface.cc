@@ -1,0 +1,175 @@
+#include "viz/isosurface.h"
+
+#include <array>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace qbism::viz {
+
+using geometry::Vec3d;
+
+namespace {
+
+/// The six tetrahedra of a cell, as corner indices 0..7 with corner i
+/// at offset (i&1, (i>>1)&1, (i>>2)&1). Every tet contains the main
+/// diagonal 0-7, which makes the decomposition consistent across
+/// neighbouring cells (faces are split the same way from either side).
+constexpr int kTets[6][4] = {
+    {0, 1, 3, 7}, {0, 3, 2, 7}, {0, 2, 6, 7},
+    {0, 6, 4, 7}, {0, 4, 5, 7}, {0, 5, 1, 7},
+};
+
+struct Builder {
+  const std::vector<uint8_t>& field;  // scanline order
+  int64_t side;
+  double iso;
+  TriangleMesh mesh;
+  // Vertex per lattice edge: key packs the two global corner ids.
+  std::unordered_map<uint64_t, uint32_t> edge_vertices;
+
+  double FieldAt(int64_t index) const {
+    return static_cast<double>(field[static_cast<size_t>(index)]);
+  }
+
+  int64_t CornerIndex(int64_t x, int64_t y, int64_t z) const {
+    return (z * side + y) * side + x;
+  }
+
+  Vec3d CornerPoint(int64_t index) const {
+    int64_t x = index % side;
+    int64_t y = (index / side) % side;
+    int64_t z = index / (side * side);
+    return {static_cast<double>(x), static_cast<double>(y),
+            static_cast<double>(z)};
+  }
+
+  /// Interpolated vertex on the edge between global corners a and b
+  /// (which must straddle the iso level).
+  uint32_t EdgeVertex(int64_t a, int64_t b) {
+    if (a > b) std::swap(a, b);
+    uint64_t key = (static_cast<uint64_t>(a) << 32) ^ static_cast<uint64_t>(b);
+    auto [it, inserted] =
+        edge_vertices.try_emplace(key, static_cast<uint32_t>(
+                                           mesh.vertices.size()));
+    if (inserted) {
+      double va = FieldAt(a);
+      double vb = FieldAt(b);
+      double t = (vb - va) == 0.0 ? 0.5 : (iso - va) / (vb - va);
+      if (t < 0) t = 0;
+      if (t > 1) t = 1;
+      Vec3d pa = CornerPoint(a);
+      Vec3d pb = CornerPoint(b);
+      mesh.vertices.push_back(pa + (pb - pa) * t);
+    }
+    return it->second;
+  }
+
+  /// Processes one tetrahedron given its four global corner ids.
+  /// Triangle winding is decided combinatorially on the exact integer
+  /// lattice positions of the tet corners (geometric normals of thin
+  /// interpolated triangles are numerically unreliable).
+  void Tetrahedron(const std::array<int64_t, 4>& corners) {
+    std::array<bool, 4> inside;
+    int inside_count = 0;
+    for (int i = 0; i < 4; ++i) {
+      inside[i] = FieldAt(corners[i]) >= iso;
+      if (inside[i]) ++inside_count;
+    }
+    if (inside_count == 0 || inside_count == 4) return;
+
+    std::array<int, 4> in_idx{}, out_idx{};
+    int ni = 0, no = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (inside[i]) {
+        in_idx[ni++] = i;
+      } else {
+        out_idx[no++] = i;
+      }
+    }
+
+    auto det3 = [](const Vec3d& a, const Vec3d& b, const Vec3d& c) {
+      return a.Dot(b.Cross(c));
+    };
+
+    if (inside_count == 1 || inside_count == 3) {
+      // One lone corner against three: a single triangle whose vertices
+      // lie on the lone corner's three edges. The edge points are
+      // L + t_i (P_i - L) with t_i > 0, so the triangle's orientation
+      // relative to L equals that of (P_a, P_b, P_c) — decidable from
+      // the exact lattice positions.
+      bool lone_inside = inside_count == 1;
+      int lone = lone_inside ? in_idx[0] : out_idx[0];
+      int other[3];
+      int k = 0;
+      for (int i = 0; i < 4; ++i) {
+        if (i != lone) other[k++] = i;
+      }
+      Vec3d l = CornerPoint(corners[lone]);
+      Vec3d pa = CornerPoint(corners[other[0]]);
+      Vec3d pb = CornerPoint(corners[other[1]]);
+      Vec3d pc = CornerPoint(corners[other[2]]);
+      // det(B-A, C-A, L-A) > 0 <=> the (A,B,C) winding's normal points
+      // toward L (L is the apex of a positively oriented tet).
+      bool normal_toward_lone = det3(pb - pa, pc - pa, l - pa) > 0;
+      // Inside lone corner: normal must point AWAY from it.
+      bool flip = lone_inside ? normal_toward_lone : !normal_toward_lone;
+      uint32_t va = EdgeVertex(corners[lone], corners[other[0]]);
+      uint32_t vb = EdgeVertex(corners[lone], corners[other[1]]);
+      uint32_t vc = EdgeVertex(corners[lone], corners[other[2]]);
+      if (flip) std::swap(vb, vc);
+      mesh.triangles.push_back({va, vb, vc});
+      return;
+    }
+
+    // 2-2 split: the four crossing edges form a (convex, planar-ish)
+    // quad in the cyclic order below; its diagonal cross product gives
+    // a robust normal to compare against the in->out direction.
+    uint32_t q0 = EdgeVertex(corners[in_idx[0]], corners[out_idx[0]]);
+    uint32_t q1 = EdgeVertex(corners[in_idx[0]], corners[out_idx[1]]);
+    uint32_t q2 = EdgeVertex(corners[in_idx[1]], corners[out_idx[1]]);
+    uint32_t q3 = EdgeVertex(corners[in_idx[1]], corners[out_idx[0]]);
+    Vec3d diag_normal = (mesh.vertices[q2] - mesh.vertices[q0])
+                            .Cross(mesh.vertices[q3] - mesh.vertices[q1]);
+    Vec3d outward = CornerPoint(corners[out_idx[0]]) +
+                    CornerPoint(corners[out_idx[1]]) -
+                    CornerPoint(corners[in_idx[0]]) -
+                    CornerPoint(corners[in_idx[1]]);
+    if (diag_normal.Dot(outward) < 0) {
+      mesh.triangles.push_back({q0, q3, q2});
+      mesh.triangles.push_back({q0, q2, q1});
+    } else {
+      mesh.triangles.push_back({q0, q1, q2});
+      mesh.triangles.push_back({q0, q2, q3});
+    }
+  }
+};
+
+}  // namespace
+
+TriangleMesh ExtractIsoSurface(const volume::Volume& volume,
+                               double iso_level) {
+  QBISM_CHECK(volume.grid().dims == 3);
+  std::vector<uint8_t> scanline = volume.ToScanline();
+  Builder builder{scanline, static_cast<int64_t>(volume.grid().SideLength()),
+                  iso_level, TriangleMesh{}, {}};
+  int64_t side = builder.side;
+  for (int64_t z = 0; z + 1 < side; ++z) {
+    for (int64_t y = 0; y + 1 < side; ++y) {
+      for (int64_t x = 0; x + 1 < side; ++x) {
+        // Global indices of the cell's 8 corners.
+        int64_t c[8];
+        for (int i = 0; i < 8; ++i) {
+          c[i] = builder.CornerIndex(x + (i & 1), y + ((i >> 1) & 1),
+                                     z + ((i >> 2) & 1));
+        }
+        for (const auto& tet : kTets) {
+          builder.Tetrahedron({c[tet[0]], c[tet[1]], c[tet[2]], c[tet[3]]});
+        }
+      }
+    }
+  }
+  return std::move(builder.mesh);
+}
+
+}  // namespace qbism::viz

@@ -1,0 +1,23 @@
+#ifndef QBISM_VIZ_ISOSURFACE_H_
+#define QBISM_VIZ_ISOSURFACE_H_
+
+#include "viz/mesh.h"
+#include "volume/volume.h"
+
+namespace qbism::viz {
+
+/// Extracts the iso-surface {p : field(p) = iso_level} of a volume as a
+/// triangle mesh using marching tetrahedra: each lattice cell is split
+/// into six tetrahedra sharing the main diagonal, and each tetrahedron
+/// contributes 0-2 interpolated triangles. Compared to the cuberille
+/// ExtractSurface (voxel faces), this produces smooth level-set
+/// geometry — the natural rendering for "regions of high intensity"
+/// attribute queries. Vertices are deduplicated per lattice edge, so
+/// the surface is watertight away from the grid boundary; triangles are
+/// wound with outward normals (toward values below iso_level).
+TriangleMesh ExtractIsoSurface(const volume::Volume& volume,
+                               double iso_level);
+
+}  // namespace qbism::viz
+
+#endif  // QBISM_VIZ_ISOSURFACE_H_

@@ -1,0 +1,145 @@
+#include "viz/mesh.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace qbism::viz {
+
+using geometry::Vec3d;
+using geometry::Vec3i;
+
+std::vector<uint8_t> TriangleMesh::Serialize() const {
+  std::vector<uint8_t> out;
+  auto put_u64 = [&](uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  };
+  auto put_double = [&](double d) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, 8);
+    put_u64(bits);
+  };
+  put_u64(vertices.size());
+  put_u64(triangles.size());
+  for (const Vec3d& v : vertices) {
+    put_double(v.x);
+    put_double(v.y);
+    put_double(v.z);
+  }
+  for (const auto& t : triangles) {
+    put_u64(t[0]);
+    put_u64(t[1]);
+    put_u64(t[2]);
+  }
+  return out;
+}
+
+Result<TriangleMesh> TriangleMesh::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  size_t pos = 0;
+  auto get_u64 = [&](uint64_t* v) -> Status {
+    if (pos + 8 > bytes.size()) {
+      return Status::Corruption("TriangleMesh: truncated");
+    }
+    uint64_t out = 0;
+    for (int i = 7; i >= 0; --i) out = (out << 8) | bytes[pos + i];
+    pos += 8;
+    *v = out;
+    return Status::OK();
+  };
+  auto get_double = [&](double* d) -> Status {
+    uint64_t bits;
+    QBISM_RETURN_NOT_OK(get_u64(&bits));
+    std::memcpy(d, &bits, 8);
+    return Status::OK();
+  };
+  TriangleMesh mesh;
+  uint64_t nv = 0, nt = 0;
+  QBISM_RETURN_NOT_OK(get_u64(&nv));
+  QBISM_RETURN_NOT_OK(get_u64(&nt));
+  // Never trust stored counts: the payload size is fully determined by
+  // them (24 bytes per vertex, 24 per triangle, 16 of header).
+  if (nv > bytes.size() || nt > bytes.size() ||
+      bytes.size() != 16 + nv * 24 + nt * 24) {
+    return Status::Corruption("TriangleMesh: counts do not match payload");
+  }
+  mesh.vertices.resize(nv);
+  mesh.triangles.resize(nt);
+  for (uint64_t i = 0; i < nv; ++i) {
+    QBISM_RETURN_NOT_OK(get_double(&mesh.vertices[i].x));
+    QBISM_RETURN_NOT_OK(get_double(&mesh.vertices[i].y));
+    QBISM_RETURN_NOT_OK(get_double(&mesh.vertices[i].z));
+  }
+  for (uint64_t i = 0; i < nt; ++i) {
+    for (int k = 0; k < 3; ++k) {
+      uint64_t idx = 0;
+      QBISM_RETURN_NOT_OK(get_u64(&idx));
+      if (idx >= nv) return Status::Corruption("TriangleMesh: bad index");
+      mesh.triangles[i][k] = static_cast<uint32_t>(idx);
+    }
+  }
+  return mesh;
+}
+
+TriangleMesh ExtractSurface(const region::Region& region) {
+  TriangleMesh mesh;
+  const uint64_t side = region.grid().SideLength();
+  std::unordered_map<uint64_t, uint32_t> vertex_index;
+  auto corner = [&](int64_t x, int64_t y, int64_t z) -> uint32_t {
+    uint64_t key = (static_cast<uint64_t>(x) * (side + 1) +
+                    static_cast<uint64_t>(y)) *
+                       (side + 1) +
+                   static_cast<uint64_t>(z);
+    auto [it, inserted] =
+        vertex_index.try_emplace(key, static_cast<uint32_t>(mesh.vertices.size()));
+    if (inserted) {
+      mesh.vertices.push_back(Vec3d{static_cast<double>(x),
+                                    static_cast<double>(y),
+                                    static_cast<double>(z)});
+    }
+    return it->second;
+  };
+  // Emits a quad whose corners a,b,c,d are counter-clockwise viewed
+  // from outside the region.
+  auto quad = [&](uint32_t a, uint32_t b, uint32_t c, uint32_t d) {
+    mesh.triangles.push_back({a, b, c});
+    mesh.triangles.push_back({a, c, d});
+  };
+
+  for (const Vec3i& p : region.ToPoints()) {
+    int64_t x = p.x, y = p.y, z = p.z;
+    auto outside = [&](int64_t nx, int64_t ny, int64_t nz) {
+      return !region.ContainsPoint({static_cast<int32_t>(nx),
+                                    static_cast<int32_t>(ny),
+                                    static_cast<int32_t>(nz)});
+    };
+    if (outside(x + 1, y, z)) {  // +x face
+      quad(corner(x + 1, y, z), corner(x + 1, y + 1, z),
+           corner(x + 1, y + 1, z + 1), corner(x + 1, y, z + 1));
+    }
+    if (outside(x - 1, y, z)) {  // -x face
+      quad(corner(x, y, z), corner(x, y, z + 1), corner(x, y + 1, z + 1),
+           corner(x, y + 1, z));
+    }
+    if (outside(x, y + 1, z)) {  // +y face
+      quad(corner(x, y + 1, z), corner(x, y + 1, z + 1),
+           corner(x + 1, y + 1, z + 1), corner(x + 1, y + 1, z));
+    }
+    if (outside(x, y - 1, z)) {  // -y face
+      quad(corner(x, y, z), corner(x + 1, y, z), corner(x + 1, y, z + 1),
+           corner(x, y, z + 1));
+    }
+    if (outside(x, y, z + 1)) {  // +z face
+      quad(corner(x, y, z + 1), corner(x + 1, y, z + 1),
+           corner(x + 1, y + 1, z + 1), corner(x, y + 1, z + 1));
+    }
+    if (outside(x, y, z - 1)) {  // -z face
+      quad(corner(x, y, z), corner(x, y + 1, z), corner(x + 1, y + 1, z),
+           corner(x + 1, y, z));
+    }
+  }
+  return mesh;
+}
+
+}  // namespace qbism::viz

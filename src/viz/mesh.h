@@ -1,0 +1,37 @@
+#ifndef QBISM_VIZ_MESH_H_
+#define QBISM_VIZ_MESH_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/vec3.h"
+#include "region/region.h"
+
+namespace qbism::viz {
+
+/// Indexed triangle mesh. The Atlas Structure entity stores one of these
+/// per structure (§3.3) "to support faster rendering of the structure
+/// itself, optionally with study data mapped onto its surface".
+struct TriangleMesh {
+  std::vector<geometry::Vec3d> vertices;
+  std::vector<std::array<uint32_t, 3>> triangles;
+
+  size_t VertexCount() const { return vertices.size(); }
+  size_t TriangleCount() const { return triangles.size(); }
+
+  /// Serialization for long-field storage.
+  std::vector<uint8_t> Serialize() const;
+  static Result<TriangleMesh> Deserialize(const std::vector<uint8_t>& bytes);
+};
+
+/// Extracts the boundary surface of a voxel REGION as a triangle mesh:
+/// every voxel face between an inside and an outside voxel contributes
+/// two triangles (cuberille surface). Vertices are deduplicated and
+/// wound so that normals point out of the region.
+TriangleMesh ExtractSurface(const region::Region& region);
+
+}  // namespace qbism::viz
+
+#endif  // QBISM_VIZ_MESH_H_

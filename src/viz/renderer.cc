@@ -1,0 +1,208 @@
+#include "viz/renderer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "curve/curve.h"
+
+namespace qbism::viz {
+
+using geometry::Affine3;
+using geometry::Vec3d;
+using geometry::Vec3i;
+
+namespace {
+
+/// View transform: rotate about the grid center, then scale/offset so
+/// the whole (rotated) grid fits the viewport.
+struct View {
+  Affine3 rotation;
+  Vec3d center;
+  double scale;
+  double offset;
+
+  Vec3d ToScreen(const Vec3d& p) const {
+    Vec3d q = rotation.Apply(p - center);
+    return {q.x * scale + offset, q.y * scale + offset, q.z};
+  }
+};
+
+View MakeView(const Camera& camera, uint64_t side) {
+  View view;
+  view.rotation = Affine3::RotationAboutAxis(1, camera.yaw_radians)
+                      .Compose(Affine3::RotationAboutAxis(0, camera.pitch_radians));
+  double half = static_cast<double>(side) / 2.0;
+  view.center = {half, half, half};
+  // sqrt(3) diagonal guarantees the rotated cube stays inside the image.
+  view.scale = static_cast<double>(camera.image_size) /
+               (static_cast<double>(side) * 1.7320508);
+  view.offset = static_cast<double>(camera.image_size) / 2.0;
+  return view;
+}
+
+void Splat(Image* image, const Vec3d& screen, uint8_t value) {
+  int x = static_cast<int>(std::lround(screen.x));
+  int y = static_cast<int>(std::lround(screen.y));
+  if (x < 0 || y < 0 || x >= image->width() || y >= image->height()) return;
+  if (value > image->Red(x, y)) image->SetGray(x, y, value);
+}
+
+/// Simple heat colormap for texture-mapped surfaces.
+void HeatColor(double t, uint8_t* r, uint8_t* g, uint8_t* b) {
+  t = std::clamp(t, 0.0, 1.0);
+  *r = static_cast<uint8_t>(std::lround(255.0 * std::min(1.0, 2.0 * t)));
+  *g = static_cast<uint8_t>(
+      std::lround(255.0 * std::clamp(2.0 * t - 0.5, 0.0, 1.0)));
+  *b = static_cast<uint8_t>(std::lround(255.0 * std::max(0.0, 2.0 * t - 1.0)));
+}
+
+}  // namespace
+
+Image RenderMip(const volume::Volume& volume, const Camera& camera) {
+  Image image(camera.image_size, camera.image_size);
+  const uint64_t side = volume.grid().SideLength();
+  View view = MakeView(camera, side);
+  const auto& data = volume.data();
+  for (uint64_t id = 0; id < data.size(); ++id) {
+    uint8_t v = data[id];
+    if (v == 0) continue;  // background contributes nothing to a MIP
+    auto axes = curve::CurvePoint3(volume.curve_kind(), id, volume.grid().bits);
+    Vec3d p{axes[0] + 0.5, axes[1] + 0.5, axes[2] + 0.5};
+    Splat(&image, view.ToScreen(p), v);
+  }
+  return image;
+}
+
+Image RenderMipDataRegion(const volume::DataRegion& data,
+                          const Camera& camera) {
+  Image image(camera.image_size, camera.image_size);
+  const region::Region& r = data.region();
+  const uint64_t side = r.grid().SideLength();
+  View view = MakeView(camera, side);
+  const auto& values = data.values();
+  size_t cursor = 0;
+  for (const region::Run& run : r.runs()) {
+    for (uint64_t id = run.start; id <= run.end; ++id, ++cursor) {
+      uint8_t v = values[cursor];
+      if (v == 0) continue;
+      auto axes = curve::CurvePoint3(r.curve_kind(), id, r.grid().bits);
+      Vec3d p{axes[0] + 0.5, axes[1] + 0.5, axes[2] + 0.5};
+      Splat(&image, view.ToScreen(p), v);
+    }
+  }
+  return image;
+}
+
+Result<Image> RenderSlice(const volume::Volume& volume, int axis,
+                          int64_t index) {
+  if (axis < 0 || axis > 2) {
+    return Status::InvalidArgument("RenderSlice: axis must be 0, 1, or 2");
+  }
+  int64_t side = static_cast<int64_t>(volume.grid().SideLength());
+  if (index < 0 || index >= side) {
+    return Status::OutOfRange("RenderSlice: slice index outside grid");
+  }
+  Image image(static_cast<int>(side), static_cast<int>(side));
+  for (int64_t v = 0; v < side; ++v) {
+    for (int64_t u = 0; u < side; ++u) {
+      Vec3i p;
+      switch (axis) {
+        case 0:
+          p = {static_cast<int32_t>(index), static_cast<int32_t>(u),
+               static_cast<int32_t>(v)};
+          break;
+        case 1:
+          p = {static_cast<int32_t>(u), static_cast<int32_t>(index),
+               static_cast<int32_t>(v)};
+          break;
+        default:
+          p = {static_cast<int32_t>(u), static_cast<int32_t>(v),
+               static_cast<int32_t>(index)};
+          break;
+      }
+      auto value = volume.ValueAt(p);
+      QBISM_RETURN_NOT_OK(value.status());
+      image.SetGray(static_cast<int>(u), static_cast<int>(v), value.value());
+    }
+  }
+  return image;
+}
+
+Image RenderMesh(const TriangleMesh& mesh, const Camera& camera,
+                 const region::GridSpec& grid,
+                 const volume::Volume* texture) {
+  Image image(camera.image_size, camera.image_size);
+  View view = MakeView(camera, grid.SideLength());
+  std::vector<float> zbuf(static_cast<size_t>(camera.image_size) *
+                              camera.image_size,
+                          -std::numeric_limits<float>::infinity());
+
+  std::vector<Vec3d> screen(mesh.vertices.size());
+  for (size_t i = 0; i < mesh.vertices.size(); ++i) {
+    screen[i] = view.ToScreen(mesh.vertices[i]);
+  }
+
+  for (const auto& tri : mesh.triangles) {
+    const Vec3d& a = screen[tri[0]];
+    const Vec3d& b = screen[tri[1]];
+    const Vec3d& c = screen[tri[2]];
+    // Screen-space normal z for backface culling and shading.
+    Vec3d ab = b - a, ac = c - a;
+    double nz = ab.x * ac.y - ab.y * ac.x;
+    if (nz >= 0) continue;  // back-facing (CCW from outside, +z toward eye)
+
+    // Lambertian shade from the 3-D normal against the view direction.
+    Vec3d n3 = ab.Cross(ac).Normalized();
+    double shade = std::fabs(n3.z) * 0.85 + 0.15;
+
+    uint8_t cr = 200, cg = 200, cb = 200;
+    if (texture) {
+      // Solid texturing: sample the study at the triangle centroid.
+      Vec3d centroid = (mesh.vertices[tri[0]] + mesh.vertices[tri[1]] +
+                        mesh.vertices[tri[2]]) /
+                       3.0;
+      Vec3i p{static_cast<int32_t>(std::clamp<double>(
+                  centroid.x, 0, static_cast<double>(grid.SideLength() - 1))),
+              static_cast<int32_t>(std::clamp<double>(
+                  centroid.y, 0, static_cast<double>(grid.SideLength() - 1))),
+              static_cast<int32_t>(std::clamp<double>(
+                  centroid.z, 0, static_cast<double>(grid.SideLength() - 1)))};
+      auto value = texture->ValueAt(p);
+      if (value.ok()) {
+        HeatColor(static_cast<double>(value.value()) / 255.0, &cr, &cg, &cb);
+      }
+    }
+
+    int min_x = std::max(0, static_cast<int>(std::floor(
+                                std::min({a.x, b.x, c.x}))));
+    int max_x = std::min(image.width() - 1,
+                         static_cast<int>(std::ceil(std::max({a.x, b.x, c.x}))));
+    int min_y = std::max(0, static_cast<int>(std::floor(
+                                std::min({a.y, b.y, c.y}))));
+    int max_y = std::min(image.height() - 1,
+                         static_cast<int>(std::ceil(std::max({a.y, b.y, c.y}))));
+    double denom = (b.y - c.y) * (a.x - c.x) + (c.x - b.x) * (a.y - c.y);
+    if (std::fabs(denom) < 1e-12) continue;
+    for (int y = min_y; y <= max_y; ++y) {
+      for (int x = min_x; x <= max_x; ++x) {
+        double px = x + 0.5, py = y + 0.5;
+        double w0 = ((b.y - c.y) * (px - c.x) + (c.x - b.x) * (py - c.y)) / denom;
+        double w1 = ((c.y - a.y) * (px - c.x) + (a.x - c.x) * (py - c.y)) / denom;
+        double w2 = 1.0 - w0 - w1;
+        if (w0 < 0 || w1 < 0 || w2 < 0) continue;
+        float z = static_cast<float>(w0 * a.z + w1 * b.z + w2 * c.z);
+        size_t zi = static_cast<size_t>(y) * camera.image_size + x;
+        if (z <= zbuf[zi]) continue;
+        zbuf[zi] = z;
+        image.Set(x, y, static_cast<uint8_t>(cr * shade),
+                  static_cast<uint8_t>(cg * shade),
+                  static_cast<uint8_t>(cb * shade));
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace qbism::viz

@@ -1,0 +1,49 @@
+#ifndef QBISM_VIZ_RENDERER_H_
+#define QBISM_VIZ_RENDERER_H_
+
+#include "geometry/affine.h"
+#include "viz/image.h"
+#include "viz/mesh.h"
+#include "volume/volume.h"
+
+namespace qbism::viz {
+
+/// Camera for the orthographic renderers: the volume is rotated by the
+/// given angles about its center and projected along +z onto an image
+/// of `image_size` pixels, scaled so the grid fills the viewport.
+struct Camera {
+  double yaw_radians = 0.4;    // about y
+  double pitch_radians = 0.3;  // about x
+  int image_size = 256;
+};
+
+/// Maximum-intensity projection of a volume: for each pixel, cast a ray
+/// through the rotated volume and keep the brightest sample. This is the
+/// workhorse "computing the 3D image" stage the paper charges to DX
+/// ("rendering+"); its cost is proportional to the data rendered.
+Image RenderMip(const volume::Volume& volume, const Camera& camera);
+
+/// MIP over just a DATA_REGION (sparse extraction result): voxels
+/// outside the region contribute nothing. Implemented by densifying
+/// with background 0, matching ImportVolume's output.
+Image RenderMipDataRegion(const volume::DataRegion& data,
+                          const Camera& camera);
+
+/// A cutting plane through the volume (the §2.1 scenario's "adding a
+/// cutting plane"): the axis-aligned slice `index` along `axis`
+/// (0 = x, 1 = y, 2 = z) as a grayscale image, one pixel per voxel.
+Result<Image> RenderSlice(const volume::Volume& volume, int axis,
+                          int64_t index);
+
+/// Flat-shaded z-buffered rasterization of a surface mesh (Lambertian,
+/// light along the view axis). When `texture` is non-null, each
+/// triangle is tinted by the study intensity at its centroid — the
+/// solid-texture mapping of PET data onto structure surfaces shown in
+/// the paper's Figure 6(c).
+Image RenderMesh(const TriangleMesh& mesh, const Camera& camera,
+                 const region::GridSpec& grid,
+                 const volume::Volume* texture = nullptr);
+
+}  // namespace qbism::viz
+
+#endif  // QBISM_VIZ_RENDERER_H_

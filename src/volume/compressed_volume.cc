@@ -1,0 +1,58 @@
+#include "volume/compressed_volume.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "compress/codes.h"
+
+namespace qbism::volume {
+
+CompressedVolume CompressedVolume::FromVolume(const Volume& volume) {
+  CompressedVolume out;
+  out.grid_ = volume.grid();
+  out.kind_ = volume.curve_kind();
+  const auto& data = volume.data();
+  uint64_t bits = 0;
+  uint64_t i = 0;
+  while (i < data.size()) {
+    uint64_t j = i + 1;
+    while (j < data.size() && data[j] == data[i]) ++j;
+    out.run_ends_.push_back(j);
+    out.values_.push_back(data[i]);
+    bits += static_cast<uint64_t>(compress::EliasGammaLength(j - i)) + 8;
+    i = j;
+  }
+  out.compressed_bytes_ = (bits + 7) / 8;
+  return out;
+}
+
+uint8_t CompressedVolume::ValueAtId(uint64_t id) const {
+  QBISM_CHECK(id < grid_.NumCells());
+  auto it = std::upper_bound(run_ends_.begin(), run_ends_.end(), id);
+  QBISM_CHECK(it != run_ends_.end());
+  return values_[static_cast<size_t>(it - run_ends_.begin())];
+}
+
+Result<uint8_t> CompressedVolume::ValueAt(const geometry::Vec3i& p) const {
+  if (!grid_.ContainsPoint(p)) {
+    return Status::OutOfRange("CompressedVolume::ValueAt: outside grid");
+  }
+  return ValueAtId(curve::CurveId3(kind_, static_cast<uint32_t>(p.x),
+                                   static_cast<uint32_t>(p.y),
+                                   static_cast<uint32_t>(p.z), grid_.bits));
+}
+
+Volume CompressedVolume::Decompress() const {
+  std::vector<uint8_t> data(grid_.NumCells());
+  uint64_t cursor = 0;
+  for (size_t r = 0; r < values_.size(); ++r) {
+    std::fill(data.begin() + static_cast<int64_t>(cursor),
+              data.begin() + static_cast<int64_t>(run_ends_[r]), values_[r]);
+    cursor = run_ends_[r];
+  }
+  auto v = Volume::FromCurveOrderedData(grid_, kind_, std::move(data));
+  QBISM_CHECK(v.ok());
+  return v.MoveValue();
+}
+
+}  // namespace qbism::volume

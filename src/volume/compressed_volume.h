@@ -1,0 +1,58 @@
+#ifndef QBISM_VOLUME_COMPRESSED_VOLUME_H_
+#define QBISM_VOLUME_COMPRESSED_VOLUME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "volume/volume.h"
+
+namespace qbism::volume {
+
+/// Run-length-compressed VOLUME storage — the design §4.1 *rejects*:
+/// "The first requirement [efficient random access] makes compression
+/// methods unattractive". This type exists to quantify that rejection
+/// (bench_volume_compression): it wins on space for smooth studies but
+/// loses the implied-position property, so a spatial probe needs a
+/// run-directory search instead of one direct byte access, and an
+/// extraction can no longer map region runs to byte ranges on disk.
+///
+/// Representation: maximal runs of equal intensity along the curve,
+/// as parallel arrays of run-end prefix positions and values. The
+/// on-disk size estimate charges the Elias-gamma cost of each run
+/// length plus 8 bits per value (the encoding §4.2 would suggest).
+class CompressedVolume {
+ public:
+  CompressedVolume() = default;
+
+  static CompressedVolume FromVolume(const Volume& volume);
+
+  const region::GridSpec& grid() const { return grid_; }
+  curve::CurveKind curve_kind() const { return kind_; }
+  size_t RunCount() const { return values_.size(); }
+
+  /// Estimated compressed size in bytes (gamma-coded lengths + values).
+  uint64_t CompressedBytes() const { return compressed_bytes_; }
+
+  /// Uncompressed size (one byte per voxel).
+  uint64_t RawBytes() const { return grid_.NumCells(); }
+
+  /// Random spatial probe: binary search over the run directory —
+  /// O(log #runs) versus the raw layout's O(1) direct byte access.
+  uint8_t ValueAtId(uint64_t id) const;
+  Result<uint8_t> ValueAt(const geometry::Vec3i& p) const;
+
+  /// Full decompression back to the dense curve-ordered layout.
+  Volume Decompress() const;
+
+ private:
+  region::GridSpec grid_;
+  curve::CurveKind kind_ = curve::CurveKind::kHilbert;
+  std::vector<uint64_t> run_ends_;  // exclusive prefix ends, ascending
+  std::vector<uint8_t> values_;     // one per run
+  uint64_t compressed_bytes_ = 0;
+};
+
+}  // namespace qbism::volume
+
+#endif  // QBISM_VOLUME_COMPRESSED_VOLUME_H_

@@ -1,0 +1,117 @@
+#include "volume/vector_volume.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace qbism::volume {
+
+using geometry::Vec3i;
+using region::GridSpec;
+using region::Region;
+using region::RegionBuilder;
+using region::Run;
+
+VectorVolume VectorVolume::FromFunction(
+    GridSpec grid, curve::CurveKind kind, int components,
+    const std::function<void(const Vec3i&, uint8_t*)>& field) {
+  QBISM_CHECK(grid.dims == 3);
+  QBISM_CHECK(components >= 1 && components <= 16);
+  VectorVolume v;
+  v.grid_ = grid;
+  v.kind_ = kind;
+  v.components_ = components;
+  uint64_t n = grid.NumCells();
+  v.data_.resize(n * static_cast<uint64_t>(components));
+  for (uint64_t id = 0; id < n; ++id) {
+    auto axes = curve::CurvePoint3(kind, id, grid.bits);
+    Vec3i p{static_cast<int32_t>(axes[0]), static_cast<int32_t>(axes[1]),
+            static_cast<int32_t>(axes[2])};
+    field(p, v.data_.data() + id * static_cast<uint64_t>(components));
+  }
+  return v;
+}
+
+Result<VectorVolume> VectorVolume::FromCurveOrderedData(
+    GridSpec grid, curve::CurveKind kind, int components,
+    std::vector<uint8_t> data) {
+  if (grid.dims != 3) {
+    return Status::InvalidArgument("VectorVolume requires a 3-d grid");
+  }
+  if (components < 1 || components > 16) {
+    return Status::InvalidArgument("VectorVolume: components out of [1,16]");
+  }
+  if (data.size() != grid.NumCells() * static_cast<uint64_t>(components)) {
+    return Status::InvalidArgument("VectorVolume data size mismatch");
+  }
+  VectorVolume v;
+  v.grid_ = grid;
+  v.kind_ = kind;
+  v.components_ = components;
+  v.data_ = std::move(data);
+  return v;
+}
+
+Result<std::vector<uint8_t>> VectorVolume::ValueAt(const Vec3i& p) const {
+  if (!grid_.ContainsPoint(p)) {
+    return Status::OutOfRange("VectorVolume::ValueAt: point outside grid");
+  }
+  uint64_t id = curve::CurveId3(kind_, static_cast<uint32_t>(p.x),
+                                static_cast<uint32_t>(p.y),
+                                static_cast<uint32_t>(p.z), grid_.bits);
+  uint64_t base = id * static_cast<uint64_t>(components_);
+  return std::vector<uint8_t>(data_.begin() + static_cast<int64_t>(base),
+                              data_.begin() +
+                                  static_cast<int64_t>(base + components_));
+}
+
+Result<double> VectorVolume::MagnitudeAt(const Vec3i& p) const {
+  QBISM_ASSIGN_OR_RETURN(std::vector<uint8_t> value, ValueAt(p));
+  double sum = 0;
+  for (uint8_t c : value) sum += static_cast<double>(c) * c;
+  return std::sqrt(sum);
+}
+
+Result<std::vector<uint8_t>> VectorVolume::Extract(const Region& r) const {
+  if (!(r.grid() == grid_) || r.curve_kind() != kind_) {
+    return Status::InvalidArgument(
+        "VectorVolume::Extract: region grid/curve differs from volume");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(static_cast<size_t>(r.VoxelCount()) * components_);
+  for (const Run& run : r.runs()) {
+    // Each run remains one contiguous range of m * length bytes.
+    uint64_t begin = run.start * static_cast<uint64_t>(components_);
+    uint64_t end = (run.end + 1) * static_cast<uint64_t>(components_);
+    out.insert(out.end(), data_.begin() + static_cast<int64_t>(begin),
+               data_.begin() + static_cast<int64_t>(end));
+  }
+  return out;
+}
+
+Region VectorVolume::MagnitudeBandRegion(double lo, double hi) const {
+  RegionBuilder builder(grid_, kind_);
+  uint64_t n = grid_.NumCells();
+  uint64_t run_start = 0;
+  bool in_run = false;
+  for (uint64_t id = 0; id < n; ++id) {
+    double sum = 0;
+    const uint8_t* v = data_.data() + id * static_cast<uint64_t>(components_);
+    for (int c = 0; c < components_; ++c) {
+      sum += static_cast<double>(v[c]) * v[c];
+    }
+    double magnitude = std::sqrt(sum);
+    bool inside = magnitude >= lo && magnitude <= hi;
+    if (inside && !in_run) {
+      run_start = id;
+      in_run = true;
+    } else if (!inside && in_run) {
+      builder.AppendRun(run_start, id - 1);
+      in_run = false;
+    }
+  }
+  if (in_run) builder.AppendRun(run_start, n - 1);
+  return builder.Build();
+}
+
+}  // namespace qbism::volume

@@ -1,0 +1,66 @@
+#ifndef QBISM_VOLUME_VECTOR_VOLUME_H_
+#define QBISM_VOLUME_VECTOR_VOLUME_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "curve/curve.h"
+#include "geometry/vec3.h"
+#include "region/region.h"
+
+namespace qbism::volume {
+
+/// An m-vector field on the atlas grid (§1: "more generally, an n-d
+/// m-vector field is a field of samples in n-d where the value is an
+/// m-dimensional vector ... handled by simply storing vectors in place
+/// of scalars in the appropriate data structures"). Samples are stored
+/// in curve order with the m components of each voxel contiguous, so
+/// every REGION run is still one contiguous byte range of m * length
+/// bytes — the Hilbert-clustering I/O argument carries over unchanged.
+class VectorVolume {
+ public:
+  VectorVolume() = default;
+
+  /// Samples `field` (returning m components) at every grid point.
+  static VectorVolume FromFunction(
+      region::GridSpec grid, curve::CurveKind kind, int components,
+      const std::function<void(const geometry::Vec3i&, uint8_t*)>& field);
+
+  /// Adopts curve-ordered data of size NumCells() * components.
+  static Result<VectorVolume> FromCurveOrderedData(region::GridSpec grid,
+                                                   curve::CurveKind kind,
+                                                   int components,
+                                                   std::vector<uint8_t> data);
+
+  const region::GridSpec& grid() const { return grid_; }
+  curve::CurveKind curve_kind() const { return kind_; }
+  int components() const { return components_; }
+  const std::vector<uint8_t>& data() const { return data_; }
+
+  /// The m components at a grid point.
+  Result<std::vector<uint8_t>> ValueAt(const geometry::Vec3i& p) const;
+
+  /// Euclidean norm of the vector at a point (for magnitude queries).
+  Result<double> MagnitudeAt(const geometry::Vec3i& p) const;
+
+  /// EXTRACT_DATA for vector fields: the components of exactly the
+  /// voxels inside `r`, in curve order (m bytes per voxel).
+  Result<std::vector<uint8_t>> Extract(const region::Region& r) const;
+
+  /// REGION of voxels whose vector magnitude lies in [lo, hi] — the
+  /// attribute-query analogue for vector data (e.g. "where is the wind
+  /// strong").
+  region::Region MagnitudeBandRegion(double lo, double hi) const;
+
+ private:
+  region::GridSpec grid_;
+  curve::CurveKind kind_ = curve::CurveKind::kHilbert;
+  int components_ = 0;
+  std::vector<uint8_t> data_;  // curve order, components interleaved
+};
+
+}  // namespace qbism::volume
+
+#endif  // QBISM_VOLUME_VECTOR_VOLUME_H_

@@ -1,0 +1,237 @@
+#include "volume/volume.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace qbism::volume {
+
+using geometry::Vec3i;
+using region::GridSpec;
+using region::Region;
+using region::RegionBuilder;
+using region::Run;
+
+namespace {
+
+Vec3i IdToPoint(const GridSpec& grid, curve::CurveKind kind, uint64_t id) {
+  auto axes = curve::CurvePoint3(kind, id, grid.bits);
+  return {static_cast<int32_t>(axes[0]), static_cast<int32_t>(axes[1]),
+          static_cast<int32_t>(axes[2])};
+}
+
+uint64_t PointToId(const GridSpec& grid, curve::CurveKind kind,
+                   const Vec3i& p) {
+  return curve::CurveId3(kind, static_cast<uint32_t>(p.x),
+                         static_cast<uint32_t>(p.y),
+                         static_cast<uint32_t>(p.z), grid.bits);
+}
+
+}  // namespace
+
+Volume Volume::FromFunction(
+    GridSpec grid, curve::CurveKind kind,
+    const std::function<uint8_t(const Vec3i&)>& field) {
+  QBISM_CHECK(grid.dims == 3);
+  Volume v;
+  v.grid_ = grid;
+  v.kind_ = kind;
+  uint64_t n = grid.NumCells();
+  v.data_.resize(n);
+  for (uint64_t id = 0; id < n; ++id) {
+    v.data_[id] = field(IdToPoint(grid, kind, id));
+  }
+  return v;
+}
+
+Result<Volume> Volume::FromCurveOrderedData(GridSpec grid,
+                                            curve::CurveKind kind,
+                                            std::vector<uint8_t> data) {
+  if (grid.dims != 3) {
+    return Status::InvalidArgument("Volume requires a 3-d grid");
+  }
+  if (data.size() != grid.NumCells()) {
+    return Status::InvalidArgument("Volume data size != grid cell count");
+  }
+  Volume v;
+  v.grid_ = grid;
+  v.kind_ = kind;
+  v.data_ = std::move(data);
+  return v;
+}
+
+Result<Volume> Volume::FromScanlineData(GridSpec grid, curve::CurveKind kind,
+                                        const std::vector<uint8_t>& data) {
+  if (grid.dims != 3) {
+    return Status::InvalidArgument("Volume requires a 3-d grid");
+  }
+  if (data.size() != grid.NumCells()) {
+    return Status::InvalidArgument("Volume data size != grid cell count");
+  }
+  uint64_t side = grid.SideLength();
+  std::vector<uint8_t> ordered(data.size());
+  for (uint64_t id = 0; id < data.size(); ++id) {
+    Vec3i p = IdToPoint(grid, kind, id);
+    uint64_t scanline = (static_cast<uint64_t>(p.z) * side +
+                         static_cast<uint64_t>(p.y)) *
+                            side +
+                        static_cast<uint64_t>(p.x);
+    ordered[id] = data[scanline];
+  }
+  return FromCurveOrderedData(grid, kind, std::move(ordered));
+}
+
+Result<uint8_t> Volume::ValueAt(const Vec3i& p) const {
+  if (!grid_.ContainsPoint(p)) {
+    return Status::OutOfRange("Volume::ValueAt: point outside grid");
+  }
+  return data_[PointToId(grid_, kind_, p)];
+}
+
+Volume Volume::ConvertTo(curve::CurveKind kind) const {
+  if (kind == kind_) return *this;
+  Volume v;
+  v.grid_ = grid_;
+  v.kind_ = kind;
+  v.data_.resize(data_.size());
+  for (uint64_t id = 0; id < data_.size(); ++id) {
+    Vec3i p = IdToPoint(grid_, kind, id);
+    v.data_[id] = data_[PointToId(grid_, kind_, p)];
+  }
+  return v;
+}
+
+std::vector<uint8_t> Volume::ToScanline() const {
+  uint64_t side = grid_.SideLength();
+  std::vector<uint8_t> out(data_.size());
+  for (uint64_t id = 0; id < data_.size(); ++id) {
+    Vec3i p = IdToPoint(grid_, kind_, id);
+    uint64_t scanline = (static_cast<uint64_t>(p.z) * side +
+                         static_cast<uint64_t>(p.y)) *
+                            side +
+                        static_cast<uint64_t>(p.x);
+    out[scanline] = data_[id];
+  }
+  return out;
+}
+
+Result<DataRegion> Volume::Extract(const Region& r) const {
+  if (!(r.grid() == grid_) || r.curve_kind() != kind_) {
+    return Status::InvalidArgument(
+        "EXTRACT_DATA: region grid/curve differs from volume");
+  }
+  std::vector<uint8_t> values;
+  values.reserve(static_cast<size_t>(r.VoxelCount()));
+  for (const Run& run : r.runs()) {
+    // Contiguity in curve order makes each run one contiguous copy —
+    // the property Hilbert clustering buys at the disk level.
+    values.insert(values.end(), data_.begin() + static_cast<int64_t>(run.start),
+                  data_.begin() + static_cast<int64_t>(run.end) + 1);
+  }
+  return DataRegion(r, std::move(values));
+}
+
+Region Volume::BandRegion(uint8_t lo, uint8_t hi) const {
+  RegionBuilder builder(grid_, kind_);
+  uint64_t n = data_.size();
+  uint64_t run_start = 0;
+  bool in_run = false;
+  for (uint64_t id = 0; id < n; ++id) {
+    bool inside = data_[id] >= lo && data_[id] <= hi;
+    if (inside && !in_run) {
+      run_start = id;
+      in_run = true;
+    } else if (!inside && in_run) {
+      builder.AppendRun(run_start, id - 1);
+      in_run = false;
+    }
+  }
+  if (in_run) builder.AppendRun(run_start, n - 1);
+  return builder.Build();
+}
+
+std::vector<Region> Volume::UniformBands(int width) const {
+  QBISM_CHECK(width >= 1 && width <= 256);
+  std::vector<Region> bands;
+  for (int lo = 0; lo < 256; lo += width) {
+    int hi = std::min(lo + width - 1, 255);
+    bands.push_back(BandRegion(static_cast<uint8_t>(lo),
+                               static_cast<uint8_t>(hi)));
+  }
+  return bands;
+}
+
+std::array<uint64_t, 256> Volume::Histogram() const {
+  std::array<uint64_t, 256> h{};
+  for (uint8_t v : data_) ++h[v];
+  return h;
+}
+
+DataRegion::DataRegion(Region r, std::vector<uint8_t> values)
+    : region_(std::move(r)), values_(std::move(values)) {
+  QBISM_CHECK(region_.VoxelCount() == values_.size());
+}
+
+Result<uint8_t> DataRegion::ValueAt(const Vec3i& p) const {
+  if (!region_.ContainsPoint(p)) {
+    return Status::NotFound("DataRegion::ValueAt: point not in region");
+  }
+  uint64_t id = PointToId(region_.grid(), region_.curve_kind(), p);
+  // Rank of id within the region: sum of lengths of runs before it.
+  uint64_t rank = 0;
+  for (const Run& run : region_.runs()) {
+    if (id > run.end) {
+      rank += run.Length();
+    } else {
+      rank += id - run.start;
+      break;
+    }
+  }
+  return values_[rank];
+}
+
+Volume DataRegion::ToDenseVolume(uint8_t background) const {
+  std::vector<uint8_t> data(region_.grid().NumCells(), background);
+  uint64_t cursor = 0;
+  for (const Run& run : region_.runs()) {
+    std::copy(values_.begin() + static_cast<int64_t>(cursor),
+              values_.begin() + static_cast<int64_t>(cursor + run.Length()),
+              data.begin() + static_cast<int64_t>(run.start));
+    cursor += run.Length();
+  }
+  auto v = Volume::FromCurveOrderedData(region_.grid(), region_.curve_kind(),
+                                        std::move(data));
+  QBISM_CHECK(v.ok());
+  return v.MoveValue();
+}
+
+double DataRegion::MeanIntensity() const {
+  if (values_.empty()) return 0.0;
+  uint64_t sum = 0;
+  for (uint8_t v : values_) sum += v;
+  return static_cast<double>(sum) / static_cast<double>(values_.size());
+}
+
+uint64_t DataRegion::ApproxSizeBytes() const {
+  return 4 + 8 * region_.RunCount() + values_.size();
+}
+
+Result<DataRegion> AverageExtract(const std::vector<const Volume*>& volumes,
+                                  const Region& r) {
+  if (volumes.empty()) {
+    return Status::InvalidArgument("AverageExtract: no volumes");
+  }
+  std::vector<uint32_t> sums(static_cast<size_t>(r.VoxelCount()), 0);
+  for (const Volume* v : volumes) {
+    QBISM_ASSIGN_OR_RETURN(DataRegion extracted, v->Extract(r));
+    const auto& values = extracted.values();
+    for (size_t i = 0; i < values.size(); ++i) sums[i] += values[i];
+  }
+  std::vector<uint8_t> avg(sums.size());
+  for (size_t i = 0; i < sums.size(); ++i) {
+    avg[i] = static_cast<uint8_t>(sums[i] / volumes.size());
+  }
+  return DataRegion(r, std::move(avg));
+}
+
+}  // namespace qbism::volume

@@ -1,0 +1,75 @@
+#include "warp/warp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace qbism::warp {
+
+using geometry::Vec3d;
+using geometry::Vec3i;
+
+Result<RawVolume> RawVolume::Create(int nx, int ny, int nz,
+                                    std::vector<uint8_t> data) {
+  if (nx <= 0 || ny <= 0 || nz <= 0) {
+    return Status::InvalidArgument("RawVolume: non-positive extent");
+  }
+  if (data.size() != static_cast<size_t>(nx) * ny * nz) {
+    return Status::InvalidArgument("RawVolume: data size mismatch");
+  }
+  RawVolume v;
+  v.nx_ = nx;
+  v.ny_ = ny;
+  v.nz_ = nz;
+  v.data_ = std::move(data);
+  return v;
+}
+
+uint8_t RawVolume::AtClamped(int x, int y, int z) const {
+  x = std::clamp(x, 0, nx_ - 1);
+  y = std::clamp(y, 0, ny_ - 1);
+  z = std::clamp(z, 0, nz_ - 1);
+  return data_[(static_cast<size_t>(z) * ny_ + y) * nx_ + x];
+}
+
+double RawVolume::Trilinear(double x, double y, double z) const {
+  x = std::clamp(x, 0.0, static_cast<double>(nx_ - 1));
+  y = std::clamp(y, 0.0, static_cast<double>(ny_ - 1));
+  z = std::clamp(z, 0.0, static_cast<double>(nz_ - 1));
+  int x0 = static_cast<int>(std::floor(x));
+  int y0 = static_cast<int>(std::floor(y));
+  int z0 = static_cast<int>(std::floor(z));
+  double fx = x - x0, fy = y - y0, fz = z - z0;
+  auto lerp = [](double a, double b, double t) { return a + (b - a) * t; };
+  double c00 = lerp(AtClamped(x0, y0, z0), AtClamped(x0 + 1, y0, z0), fx);
+  double c10 = lerp(AtClamped(x0, y0 + 1, z0), AtClamped(x0 + 1, y0 + 1, z0), fx);
+  double c01 = lerp(AtClamped(x0, y0, z0 + 1), AtClamped(x0 + 1, y0, z0 + 1), fx);
+  double c11 =
+      lerp(AtClamped(x0, y0 + 1, z0 + 1), AtClamped(x0 + 1, y0 + 1, z0 + 1), fx);
+  double c0 = lerp(c00, c10, fy);
+  double c1 = lerp(c01, c11, fy);
+  return lerp(c0, c1, fz);
+}
+
+volume::Volume WarpToAtlas(const RawVolume& raw,
+                           const geometry::Affine3& atlas_to_patient,
+                           const region::GridSpec& atlas_grid,
+                           curve::CurveKind kind) {
+  QBISM_CHECK(atlas_grid.dims == 3);
+  return volume::Volume::FromFunction(
+      atlas_grid, kind, [&](const Vec3i& p) -> uint8_t {
+        Vec3d patient = atlas_to_patient.Apply(
+            Vec3d{p.x + 0.5, p.y + 0.5, p.z + 0.5});
+        // Outside the acquired study: no signal.
+        if (patient.x < -0.5 || patient.x > raw.nx() - 0.5 ||
+            patient.y < -0.5 || patient.y > raw.ny() - 0.5 ||
+            patient.z < -0.5 || patient.z > raw.nz() - 0.5) {
+          return 0;
+        }
+        double v = raw.Trilinear(patient.x, patient.y, patient.z);
+        return static_cast<uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
+      });
+}
+
+}  // namespace qbism::warp

@@ -1,0 +1,60 @@
+#ifndef QBISM_WARP_WARP_H_
+#define QBISM_WARP_WARP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "curve/curve.h"
+#include "geometry/affine.h"
+#include "region/region.h"
+#include "volume/volume.h"
+
+namespace qbism::warp {
+
+/// Patient-space ("raw") study data: an arbitrary-extent grid of 8-bit
+/// samples in scanline order (x fastest). PET studies in the paper are
+/// 128x128x51, MRI studies 512x512x44 — neither cubic nor power-of-two,
+/// so raw studies are kept distinct from the atlas-space VOLUME type.
+class RawVolume {
+ public:
+  RawVolume() = default;
+
+  static Result<RawVolume> Create(int nx, int ny, int nz,
+                                  std::vector<uint8_t> data);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  const std::vector<uint8_t>& data() const { return data_; }
+
+  /// Sample at an integer coordinate; out-of-range coordinates clamp to
+  /// the boundary (standard resampling edge handling).
+  uint8_t AtClamped(int x, int y, int z) const;
+
+  /// Trilinear interpolation at a real patient-space point (in voxel
+  /// units of this grid); coordinates clamp at the borders.
+  double Trilinear(double x, double y, double z) const;
+
+ private:
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<uint8_t> data_;
+};
+
+/// Resamples a raw study into atlas space (§2.2): for every atlas voxel,
+/// `atlas_to_patient` maps its center into patient space and the raw
+/// study is sampled trilinearly. Atlas voxels that land outside the raw
+/// grid receive intensity 0. The resulting VOLUME is linearized along
+/// `kind`.
+///
+/// The paper derives `atlas_to_patient` with (semi-)automatic warping
+/// algorithms it declares out of scope; callers here construct it
+/// directly (the phantom generator composes scale/rotate/translate).
+volume::Volume WarpToAtlas(const RawVolume& raw,
+                           const geometry::Affine3& atlas_to_patient,
+                           const region::GridSpec& atlas_grid,
+                           curve::CurveKind kind);
+
+}  // namespace qbism::warp
+
+#endif  // QBISM_WARP_WARP_H_

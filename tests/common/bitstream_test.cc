@@ -1,0 +1,117 @@
+#include "common/bitstream.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qbism {
+namespace {
+
+TEST(BitstreamTest, SingleBitsRoundTrip) {
+  BitWriter writer;
+  int bits[] = {1, 0, 1, 1, 0, 0, 1, 0, 1};  // 9 bits crosses a byte
+  for (int b : bits) writer.PutBit(b);
+  EXPECT_EQ(writer.bit_count(), 9u);
+  auto bytes = writer.Finish();
+  EXPECT_EQ(bytes.size(), 2u);
+  BitReader reader(bytes);
+  for (int b : bits) {
+    auto r = reader.GetBit();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), b);
+  }
+}
+
+TEST(BitstreamTest, MsbFirstLayout) {
+  BitWriter writer;
+  writer.PutBits(0b10110001, 8);
+  auto bytes = writer.Finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10110001);
+}
+
+TEST(BitstreamTest, MultiBitValuesRoundTrip) {
+  BitWriter writer;
+  writer.PutBits(0x1234, 16);
+  writer.PutBits(0x5, 3);
+  writer.PutBits(0xFFFFFFFFFFFFFFFFull, 64);
+  auto bytes = writer.Finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.GetBits(16).value(), 0x1234u);
+  EXPECT_EQ(reader.GetBits(3).value(), 0x5u);
+  EXPECT_EQ(reader.GetBits(64).value(), 0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(BitstreamTest, UnaryRoundTrip) {
+  BitWriter writer;
+  uint64_t counts[] = {0, 1, 5, 13, 64};
+  for (uint64_t c : counts) writer.PutUnary(c);
+  auto bytes = writer.Finish();
+  BitReader reader(bytes);
+  for (uint64_t c : counts) {
+    auto r = reader.GetUnary();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), c);
+  }
+}
+
+TEST(BitstreamTest, ReadPastEndFails) {
+  BitWriter writer;
+  writer.PutBits(0b101, 3);
+  auto bytes = writer.Finish();
+  BitReader reader(bytes);
+  EXPECT_TRUE(reader.GetBits(8).ok());  // zero padding readable
+  EXPECT_FALSE(reader.GetBit().ok());
+  EXPECT_TRUE(reader.GetBit().status().IsOutOfRange());
+}
+
+TEST(BitstreamTest, EmptyStream) {
+  BitWriter writer;
+  auto bytes = writer.Finish();
+  EXPECT_TRUE(bytes.empty());
+  BitReader reader(bytes);
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_FALSE(reader.GetBit().ok());
+  EXPECT_EQ(reader.GetBits(0).value(), 0u);  // zero-width read is fine
+}
+
+TEST(BitstreamTest, WriterReusableAfterFinish) {
+  BitWriter writer;
+  writer.PutBits(0xAB, 8);
+  auto first = writer.Finish();
+  EXPECT_EQ(writer.bit_count(), 0u);
+  writer.PutBits(0xCD, 8);
+  auto second = writer.Finish();
+  EXPECT_EQ(first[0], 0xAB);
+  EXPECT_EQ(second[0], 0xCD);
+}
+
+TEST(BitstreamTest, RandomizedRoundTrip) {
+  Rng rng(1234);
+  BitWriter writer;
+  std::vector<std::pair<uint64_t, int>> entries;
+  for (int i = 0; i < 500; ++i) {
+    int nbits = static_cast<int>(rng.NextBounded(64)) + 1;
+    uint64_t value = rng.Next();
+    if (nbits < 64) value &= (uint64_t{1} << nbits) - 1;
+    entries.emplace_back(value, nbits);
+    writer.PutBits(value, nbits);
+  }
+  auto bytes = writer.Finish();
+  BitReader reader(bytes);
+  for (const auto& [value, nbits] : entries) {
+    auto r = reader.GetBits(nbits);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), value);
+  }
+}
+
+TEST(BitstreamTest, InvalidBitWidthRejected) {
+  std::vector<uint8_t> bytes{0xFF};
+  BitReader reader(bytes);
+  EXPECT_FALSE(reader.GetBits(65).ok());
+  EXPECT_FALSE(reader.GetBits(-1).ok());
+}
+
+}  // namespace
+}  // namespace qbism

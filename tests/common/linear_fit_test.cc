@@ -1,0 +1,57 @@
+#include "common/linear_fit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qbism {
+namespace {
+
+TEST(LinearFitTest, ExactLine) {
+  std::vector<double> xs{0, 1, 2, 3, 4};
+  std::vector<double> ys{1, 3, 5, 7, 9};  // y = 2x + 1
+  LinearFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NegativeCorrelation) {
+  std::vector<double> xs{0, 1, 2, 3};
+  std::vector<double> ys{9, 6, 3, 0};
+  LinearFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, -3.0, 1e-12);
+  EXPECT_NEAR(fit.r, -1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyLineStillHighCorrelation) {
+  Rng rng(21);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    double x = i * 0.1;
+    xs.push_back(x);
+    ys.push_back(0.5 * x - 2.0 + rng.NextGaussian() * 0.05);
+  }
+  LinearFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 0.02);
+  EXPECT_NEAR(fit.intercept, -2.0, 0.03);
+  EXPECT_GT(fit.r, 0.99);
+}
+
+TEST(LinearFitTest, DegenerateInputs) {
+  EXPECT_EQ(FitLine({}, {}).slope, 0.0);
+  EXPECT_EQ(FitLine({1.0}, {2.0}).slope, 0.0);
+  // Vertical scatter (zero x variance) must not divide by zero.
+  LinearFit fit = FitLine({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_EQ(fit.r, 0.0);
+}
+
+TEST(LinearFitTest, ConstantYGivesZeroCorrelation) {
+  LinearFit fit = FitLine({1, 2, 3, 4}, {5, 5, 5, 5});
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_EQ(fit.r, 0.0);
+}
+
+}  // namespace
+}  // namespace qbism

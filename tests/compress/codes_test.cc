@@ -1,0 +1,165 @@
+#include "compress/codes.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qbism::compress {
+namespace {
+
+TEST(EliasGammaTest, PaperExamples) {
+  // §4.2 lists the gamma codes of 1..4: 1, 010, 011, 00100.
+  struct {
+    uint64_t value;
+    std::vector<int> bits;
+  } cases[] = {
+      {1, {1}},
+      {2, {0, 1, 0}},
+      {3, {0, 1, 1}},
+      {4, {0, 0, 1, 0, 0}},
+  };
+  for (const auto& c : cases) {
+    BitWriter writer;
+    EliasGammaEncode(c.value, &writer);
+    EXPECT_EQ(writer.bit_count(), c.bits.size()) << c.value;
+    auto bytes = writer.Finish();
+    BitReader reader(bytes);
+    for (int expected : c.bits) {
+      EXPECT_EQ(reader.GetBit().value(), expected) << c.value;
+    }
+  }
+}
+
+TEST(EliasGammaTest, LengthFormula) {
+  EXPECT_EQ(EliasGammaLength(1), 1);
+  EXPECT_EQ(EliasGammaLength(2), 3);
+  EXPECT_EQ(EliasGammaLength(3), 3);
+  EXPECT_EQ(EliasGammaLength(4), 5);
+  EXPECT_EQ(EliasGammaLength(255), 15);
+  EXPECT_EQ(EliasGammaLength(256), 17);
+}
+
+class CodeRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodeRoundTripTest, GammaRoundTrip) {
+  uint64_t x = GetParam();
+  BitWriter writer;
+  EliasGammaEncode(x, &writer);
+  EXPECT_EQ(writer.bit_count(), static_cast<size_t>(EliasGammaLength(x)));
+  auto bytes = writer.Finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(EliasGammaDecode(&reader).value(), x);
+}
+
+TEST_P(CodeRoundTripTest, DeltaRoundTrip) {
+  uint64_t x = GetParam();
+  BitWriter writer;
+  EliasDeltaEncode(x, &writer);
+  EXPECT_EQ(writer.bit_count(), static_cast<size_t>(EliasDeltaLength(x)));
+  auto bytes = writer.Finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(EliasDeltaDecode(&reader).value(), x);
+}
+
+TEST_P(CodeRoundTripTest, GolombRoundTripSeveralDivisors) {
+  uint64_t x = GetParam();
+  for (uint64_t m : {1ull, 2ull, 3ull, 4ull, 7ull, 16ull, 100ull}) {
+    // Golomb's unary quotient is (x-1)/m bits; skip degenerate combos
+    // whose code would be astronomically long (they are exactly why the
+    // paper rejects geometric-tailored codes for power-law deltas).
+    if ((x - 1) / m > 100000) continue;
+    BitWriter writer;
+    GolombEncode(x, m, &writer);
+    EXPECT_EQ(static_cast<int64_t>(writer.bit_count()), GolombLength(x, m));
+    auto bytes = writer.Finish();
+    BitReader reader(bytes);
+    EXPECT_EQ(GolombDecode(m, &reader).value(), x) << "x=" << x << " m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, CodeRoundTripTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 64, 100,
+                                           255, 256, 1000, 65535, 1u << 20,
+                                           (1ull << 40) + 123));
+
+TEST(CodesTest, StreamOfMixedCodesRoundTrips) {
+  Rng rng(77);
+  std::vector<uint64_t> values;
+  BitWriter writer;
+  for (int i = 0; i < 2000; ++i) {
+    // Power-law-ish lengths, like REGION deltas (EQ 1).
+    double u = rng.NextDouble();
+    uint64_t x = static_cast<uint64_t>(std::pow(1.0 - u, -1.0 / 0.6));
+    x = std::max<uint64_t>(1, std::min<uint64_t>(x, 1u << 20));
+    values.push_back(x);
+    EliasGammaEncode(x, &writer);
+  }
+  auto bytes = writer.Finish();
+  BitReader reader(bytes);
+  for (uint64_t x : values) {
+    EXPECT_EQ(EliasGammaDecode(&reader).value(), x);
+  }
+}
+
+TEST(CodesTest, GammaBeatsGolombOnPowerLaw) {
+  // The paper rules out geometric-tailored codes for the power-law delta
+  // distribution; verify gamma's total is smaller than Golomb's for
+  // divisors tuned to geometric tails.
+  Rng rng(99);
+  uint64_t gamma_bits = 0;
+  uint64_t golomb_bits_m8 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    double u = rng.NextDouble();
+    uint64_t x = static_cast<uint64_t>(std::pow(1.0 - u, -1.0 / 0.6));
+    x = std::max<uint64_t>(1, std::min<uint64_t>(x, 1u << 22));
+    gamma_bits += EliasGammaLength(x);
+    golomb_bits_m8 += GolombLength(x, 8);
+  }
+  EXPECT_LT(gamma_bits, golomb_bits_m8);
+}
+
+TEST(EntropyTest, UniformDistribution) {
+  // 4 equiprobable symbols -> 2 bits/symbol.
+  std::vector<uint64_t> symbols;
+  for (int i = 0; i < 1000; ++i) symbols.push_back(i % 4);
+  EXPECT_NEAR(EmpiricalEntropyBitsPerSymbol(symbols), 2.0, 1e-9);
+  EXPECT_NEAR(EntropyBoundBits(symbols), 2000.0, 1e-6);
+}
+
+TEST(EntropyTest, SingleSymbolIsZero) {
+  std::vector<uint64_t> symbols(100, 42);
+  EXPECT_EQ(EmpiricalEntropyBitsPerSymbol(symbols), 0.0);
+}
+
+TEST(EntropyTest, EmptyIsZero) {
+  EXPECT_EQ(EmpiricalEntropyBitsPerSymbol({}), 0.0);
+  EXPECT_EQ(EntropyBoundBits({}), 0.0);
+}
+
+TEST(EntropyTest, SkewedBelowUniform) {
+  std::vector<uint64_t> symbols;
+  for (int i = 0; i < 900; ++i) symbols.push_back(0);
+  for (int i = 0; i < 100; ++i) symbols.push_back(1);
+  double h = EmpiricalEntropyBitsPerSymbol(symbols);
+  EXPECT_GT(h, 0.0);
+  EXPECT_LT(h, 1.0);
+  EXPECT_NEAR(h, -(0.9 * std::log2(0.9) + 0.1 * std::log2(0.1)), 1e-9);
+}
+
+TEST(CodesTest, DecodeCorruptStreamFails) {
+  // A stream of all zeros never terminates its unary prefix.
+  std::vector<uint8_t> zeros(4, 0);
+  BitReader reader(zeros);
+  EXPECT_FALSE(EliasGammaDecode(&reader).ok());
+}
+
+TEST(CodesTest, GolombRejectsBadDivisor) {
+  std::vector<uint8_t> bytes{0xFF};
+  BitReader reader(bytes);
+  EXPECT_FALSE(GolombDecode(0, &reader).ok());
+}
+
+}  // namespace
+}  // namespace qbism::compress

@@ -1,0 +1,162 @@
+#include "curve/curve.h"
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qbism::curve {
+namespace {
+
+TEST(MortonTest, MatchesPaperConvention2D) {
+  // §4: "x1x0=01 and y1y0=00, so the z-id = x1 y1 x0 y0 = 0010".
+  EXPECT_EQ(MortonId2(1, 0, 2), 0b0010u);
+  EXPECT_EQ(MortonId2(0, 0, 2), 0b0000u);
+  EXPECT_EQ(MortonId2(3, 3, 2), 0b1111u);
+  EXPECT_EQ(MortonId2(0, 1, 2), 0b0001u);
+  EXPECT_EQ(MortonId2(2, 0, 2), 0b1000u);
+}
+
+TEST(HilbertTest, MatchesPaperFigure3Orientation) {
+  // The 4x4 Hilbert curve of Figure 3: starts at (0,0), first step +x,
+  // lower-left quadrant first, then upper-left, upper-right, lower-right.
+  struct {
+    uint64_t id;
+    uint32_t x, y;
+  } expected[] = {
+      {0, 0, 0},  {1, 1, 0},  {2, 1, 1},  {3, 0, 1},
+      {4, 0, 2},  {5, 0, 3},  {6, 1, 3},  {7, 1, 2},
+      {8, 2, 2},  {9, 2, 3},  {10, 3, 3}, {11, 3, 2},
+      {12, 3, 1}, {13, 2, 1}, {14, 2, 0}, {15, 3, 0},
+  };
+  for (const auto& e : expected) {
+    EXPECT_EQ(HilbertId2(e.x, e.y, 2), e.id) << "(" << e.x << "," << e.y << ")";
+    uint32_t axes[2];
+    HilbertAxes(e.id, 2, 2, axes);
+    EXPECT_EQ(axes[0], e.x) << "id " << e.id;
+    EXPECT_EQ(axes[1], e.y) << "id " << e.id;
+  }
+}
+
+class CurveRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CurveRoundTripTest, HilbertBijective) {
+  auto [dims, bits] = GetParam();
+  uint64_t n = uint64_t{1} << (dims * bits);
+  std::set<uint64_t> seen;
+  Rng rng(1);
+  uint64_t samples = std::min<uint64_t>(n, 4096);
+  for (uint64_t s = 0; s < samples; ++s) {
+    uint64_t id = n <= 4096 ? s : rng.NextBounded(n);
+    uint32_t axes[kMaxDims];
+    HilbertAxes(id, dims, bits, axes);
+    for (int d = 0; d < dims; ++d) {
+      EXPECT_LT(axes[d], uint64_t{1} << bits);
+    }
+    EXPECT_EQ(HilbertIndex(axes, dims, bits), id);
+    if (n <= 4096) seen.insert(id);
+  }
+  if (n <= 4096) {
+    EXPECT_EQ(seen.size(), n);
+  }
+}
+
+TEST_P(CurveRoundTripTest, MortonBijective) {
+  auto [dims, bits] = GetParam();
+  uint64_t n = uint64_t{1} << (dims * bits);
+  Rng rng(2);
+  uint64_t samples = std::min<uint64_t>(n, 4096);
+  for (uint64_t s = 0; s < samples; ++s) {
+    uint64_t id = n <= 4096 ? s : rng.NextBounded(n);
+    uint32_t axes[kMaxDims];
+    MortonAxes(id, dims, bits, axes);
+    EXPECT_EQ(MortonIndex(axes, dims, bits), id);
+  }
+}
+
+TEST_P(CurveRoundTripTest, HilbertConsecutiveIdsAreGridNeighbors) {
+  // The defining property of the Hilbert curve: successive ids differ by
+  // exactly one step along exactly one axis.
+  auto [dims, bits] = GetParam();
+  uint64_t n = uint64_t{1} << (dims * bits);
+  uint64_t limit = std::min<uint64_t>(n - 1, 8192);
+  uint32_t prev[kMaxDims], cur[kMaxDims];
+  HilbertAxes(0, dims, bits, prev);
+  for (uint64_t id = 1; id <= limit; ++id) {
+    HilbertAxes(id, dims, bits, cur);
+    int total_diff = 0;
+    for (int d = 0; d < dims; ++d) {
+      total_diff += std::abs(static_cast<int64_t>(cur[d]) -
+                             static_cast<int64_t>(prev[d]));
+    }
+    ASSERT_EQ(total_diff, 1) << "ids " << id - 1 << " -> " << id;
+    for (int d = 0; d < dims; ++d) prev[d] = cur[d];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DimsBits, CurveRoundTripTest,
+                         ::testing::Values(std::make_tuple(2, 1),
+                                           std::make_tuple(2, 2),
+                                           std::make_tuple(2, 5),
+                                           std::make_tuple(2, 10),
+                                           std::make_tuple(3, 1),
+                                           std::make_tuple(3, 2),
+                                           std::make_tuple(3, 4),
+                                           std::make_tuple(3, 7),
+                                           std::make_tuple(3, 9),
+                                           std::make_tuple(4, 3),
+                                           std::make_tuple(5, 2)));
+
+TEST(CurveTest, ZCurveNeighborsCanJump) {
+  // Unlike Hilbert, the Z curve makes long jumps (this is why it
+  // clusters worse); verify at least one occurs on a 8x8 grid.
+  bool jump_found = false;
+  uint32_t prev[2], cur[2];
+  MortonAxes(0, 2, 3, prev);
+  for (uint64_t id = 1; id < 64; ++id) {
+    MortonAxes(id, 2, 3, cur);
+    int diff = std::abs(static_cast<int>(cur[0]) - static_cast<int>(prev[0])) +
+               std::abs(static_cast<int>(cur[1]) - static_cast<int>(prev[1]));
+    if (diff > 1) jump_found = true;
+    prev[0] = cur[0];
+    prev[1] = cur[1];
+  }
+  EXPECT_TRUE(jump_found);
+}
+
+TEST(CurveTest, Conveniences3D) {
+  uint64_t id = HilbertId3(10, 20, 30, 7);
+  auto p = HilbertPoint3(id, 7);
+  EXPECT_EQ(p[0], 10u);
+  EXPECT_EQ(p[1], 20u);
+  EXPECT_EQ(p[2], 30u);
+
+  uint64_t zid = MortonId3(10, 20, 30, 7);
+  auto q = MortonPoint3(zid, 7);
+  EXPECT_EQ(q[0], 10u);
+  EXPECT_EQ(q[1], 20u);
+  EXPECT_EQ(q[2], 30u);
+
+  EXPECT_EQ(CurveId3(CurveKind::kHilbert, 10, 20, 30, 7), id);
+  EXPECT_EQ(CurveId3(CurveKind::kZ, 10, 20, 30, 7), zid);
+}
+
+TEST(CurveTest, PaperGridSizeFitsFourBytes) {
+  // §4: ids for grids up to 512^3 pack into 4 bytes.
+  uint64_t max_id = CurveId3(CurveKind::kHilbert, 511, 511, 511, 9);
+  EXPECT_LT(max_id, uint64_t{1} << 27);
+  uint64_t max_zid = CurveId3(CurveKind::kZ, 511, 511, 511, 9);
+  EXPECT_EQ(max_zid, (uint64_t{1} << 27) - 1);
+}
+
+TEST(CurveTest, KindNames) {
+  EXPECT_EQ(CurveKindToString(CurveKind::kHilbert), "hilbert");
+  EXPECT_EQ(CurveKindToString(CurveKind::kZ), "z");
+}
+
+}  // namespace
+}  // namespace qbism::curve

@@ -1,0 +1,112 @@
+#include "geometry/affine.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qbism::geometry {
+namespace {
+
+void ExpectNear(const Vec3d& a, const Vec3d& b, double tol = 1e-9) {
+  EXPECT_NEAR(a.x, b.x, tol);
+  EXPECT_NEAR(a.y, b.y, tol);
+  EXPECT_NEAR(a.z, b.z, tol);
+}
+
+TEST(AffineTest, IdentityIsNoop) {
+  Affine3 id;
+  ExpectNear(id.Apply({1, 2, 3}), {1, 2, 3});
+  EXPECT_NEAR(id.Determinant(), 1.0, 1e-12);
+}
+
+TEST(AffineTest, TranslationMovesPoints) {
+  Affine3 t = Affine3::Translation({5, -2, 0.5});
+  ExpectNear(t.Apply({1, 1, 1}), {6, -1, 1.5});
+}
+
+TEST(AffineTest, ScalingScales) {
+  Affine3 s = Affine3::Scaling(2, 3, 4);
+  ExpectNear(s.Apply({1, 1, 1}), {2, 3, 4});
+  EXPECT_NEAR(s.Determinant(), 24.0, 1e-12);
+}
+
+TEST(AffineTest, RotationAboutZQuarterTurn) {
+  Affine3 r = Affine3::RotationAboutAxis(2, M_PI / 2);
+  ExpectNear(r.Apply({1, 0, 0}), {0, 1, 0});
+  ExpectNear(r.Apply({0, 1, 0}), {-1, 0, 0});
+  ExpectNear(r.Apply({0, 0, 1}), {0, 0, 1});
+  EXPECT_NEAR(r.Determinant(), 1.0, 1e-12);
+}
+
+TEST(AffineTest, RotationAboutXAndY) {
+  ExpectNear(Affine3::RotationAboutAxis(0, M_PI / 2).Apply({0, 1, 0}),
+             {0, 0, 1});
+  ExpectNear(Affine3::RotationAboutAxis(1, M_PI / 2).Apply({0, 0, 1}),
+             {1, 0, 0});
+}
+
+TEST(AffineTest, ComposeAppliesRightFirst) {
+  Affine3 scale = Affine3::Scaling(2, 2, 2);
+  Affine3 shift = Affine3::Translation({1, 0, 0});
+  // shift after scale: p -> 2p + (1,0,0)
+  ExpectNear(shift.Compose(scale).Apply({1, 1, 1}), {3, 2, 2});
+  // scale after shift: p -> 2(p + (1,0,0))
+  ExpectNear(scale.Compose(shift).Apply({1, 1, 1}), {4, 2, 2});
+}
+
+TEST(AffineTest, InverseRoundTrips) {
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    Affine3 t =
+        Affine3::Translation({rng.NextDoubleIn(-10, 10),
+                              rng.NextDoubleIn(-10, 10),
+                              rng.NextDoubleIn(-10, 10)})
+            .Compose(Affine3::RotationAboutAxis(
+                static_cast<int>(rng.NextBounded(3)),
+                rng.NextDoubleIn(-3, 3)))
+            .Compose(Affine3::Scaling(rng.NextDoubleIn(0.5, 3),
+                                      rng.NextDoubleIn(0.5, 3),
+                                      rng.NextDoubleIn(0.5, 3)));
+    auto inv = t.Inverse();
+    ASSERT_TRUE(inv.ok());
+    Vec3d p{rng.NextDoubleIn(-5, 5), rng.NextDoubleIn(-5, 5),
+            rng.NextDoubleIn(-5, 5)};
+    ExpectNear(inv.value().Apply(t.Apply(p)), p, 1e-8);
+    ExpectNear(t.Apply(inv.value().Apply(p)), p, 1e-8);
+  }
+}
+
+TEST(AffineTest, SingularHasNoInverse) {
+  Affine3 flat = Affine3::Scaling(1, 1, 0);
+  EXPECT_FALSE(flat.Inverse().ok());
+  EXPECT_TRUE(flat.Inverse().status().IsInvalidArgument());
+}
+
+TEST(Vec3Test, BasicOperations) {
+  Vec3d a{1, 2, 3}, b{4, 5, 6};
+  ExpectNear(a + b, {5, 7, 9});
+  ExpectNear(b - a, {3, 3, 3});
+  ExpectNear(a * 2, {2, 4, 6});
+  EXPECT_NEAR(a.Dot(b), 32.0, 1e-12);
+  ExpectNear(Vec3d{1, 0, 0}.Cross({0, 1, 0}), {0, 0, 1});
+  EXPECT_NEAR((Vec3d{3, 4, 0}).Norm(), 5.0, 1e-12);
+  EXPECT_NEAR((Vec3d{3, 4, 0}).Normalized().Norm(), 1.0, 1e-12);
+}
+
+TEST(Box3iTest, ContainsAndClip) {
+  Box3i box{{0, 0, 0}, {9, 9, 9}};
+  EXPECT_TRUE(box.Contains({0, 0, 0}));
+  EXPECT_TRUE(box.Contains({9, 9, 9}));
+  EXPECT_FALSE(box.Contains({10, 0, 0}));
+  EXPECT_EQ(box.VoxelCount(), 1000);
+  Box3i clipped = box.ClippedTo({{5, 5, 5}, {20, 20, 20}});
+  EXPECT_EQ(clipped, (Box3i{{5, 5, 5}, {9, 9, 9}}));
+  Box3i empty = box.ClippedTo({{20, 20, 20}, {30, 30, 30}});
+  EXPECT_TRUE(empty.Empty());
+  EXPECT_EQ(empty.VoxelCount(), 0);
+}
+
+}  // namespace
+}  // namespace qbism::geometry

@@ -1,0 +1,91 @@
+#include "geometry/shapes.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace qbism::geometry {
+namespace {
+
+TEST(EllipsoidTest, ContainsCenterAndRespectsRadii) {
+  Ellipsoid e({10, 10, 10}, {5, 3, 2});
+  EXPECT_TRUE(e.Contains({10, 10, 10}));
+  EXPECT_TRUE(e.Contains({14.9, 10, 10}));
+  EXPECT_FALSE(e.Contains({15.1, 10, 10}));
+  EXPECT_TRUE(e.Contains({10, 12.9, 10}));
+  EXPECT_FALSE(e.Contains({10, 13.1, 10}));
+  EXPECT_FALSE(e.Contains({10, 10, 12.1}));
+}
+
+TEST(EllipsoidTest, BoundsCoverShape) {
+  Ellipsoid e({0, 0, 0}, {1, 2, 3});
+  Box3d b = e.Bounds();
+  EXPECT_LE(b.min.z, -3.0);
+  EXPECT_GE(b.max.z, 3.0);
+}
+
+TEST(EllipsoidTest, RotatedEllipsoid) {
+  // Long axis along x, rotated 90 degrees about z -> long axis along y.
+  Ellipsoid e({0, 0, 0}, {10, 2, 2},
+              Affine3::RotationAboutAxis(2, M_PI / 2));
+  EXPECT_TRUE(e.Contains({0, 9, 0}));
+  EXPECT_FALSE(e.Contains({9, 0, 0}));
+}
+
+TEST(HalfSpaceTest, DividesSpace) {
+  HalfSpace h({1, 0, 0}, 5.0);  // x <= 5
+  EXPECT_TRUE(h.Contains({5, 100, -3}));
+  EXPECT_TRUE(h.Contains({-100, 0, 0}));
+  EXPECT_FALSE(h.Contains({5.01, 0, 0}));
+}
+
+TEST(TubeTest, CapsuleAroundPolyline) {
+  Tube t({{0, 0, 0}, {10, 0, 0}, {10, 10, 0}}, 1.0);
+  EXPECT_TRUE(t.Contains({5, 0.5, 0}));
+  EXPECT_TRUE(t.Contains({10, 5, 0.5}));
+  EXPECT_FALSE(t.Contains({5, 2, 0}));
+  EXPECT_TRUE(t.Contains({-0.9, 0, 0}));   // spherical cap at the start
+  EXPECT_FALSE(t.Contains({-1.1, 0, 0}));
+}
+
+TEST(TubeTest, BoundsCoverRadius) {
+  Tube t({{0, 0, 0}, {4, 0, 0}}, 2.0);
+  Box3d b = t.Bounds();
+  EXPECT_LE(b.min.x, -2.0);
+  EXPECT_GE(b.max.x, 6.0);
+  EXPECT_LE(b.min.y, -2.0);
+}
+
+TEST(CsgTest, UnionIntersectDifference) {
+  ShapePtr a = MakeEllipsoid({0, 0, 0}, {2, 2, 2});
+  ShapePtr b = MakeEllipsoid({3, 0, 0}, {2, 2, 2});
+  ShapePtr u = Union(a, b);
+  ShapePtr i = Intersect(a, b);
+  ShapePtr d = Difference(a, b);
+
+  EXPECT_TRUE(u->Contains({-1.5, 0, 0}));
+  EXPECT_TRUE(u->Contains({4.5, 0, 0}));
+  EXPECT_TRUE(i->Contains({1.5, 0, 0}));   // overlap zone
+  EXPECT_FALSE(i->Contains({-1.5, 0, 0}));
+  EXPECT_TRUE(d->Contains({-1.5, 0, 0}));
+  EXPECT_FALSE(d->Contains({1.5, 0, 0}));  // removed by b
+}
+
+TEST(CsgTest, ShellViaDifference) {
+  ShapePtr outer = MakeEllipsoid({0, 0, 0}, {5, 5, 5});
+  ShapePtr inner = MakeEllipsoid({0, 0, 0}, {3, 3, 3});
+  ShapePtr shell = Difference(outer, inner);
+  EXPECT_FALSE(shell->Contains({0, 0, 0}));
+  EXPECT_TRUE(shell->Contains({4, 0, 0}));
+  EXPECT_FALSE(shell->Contains({5.5, 0, 0}));
+}
+
+TEST(CsgTest, IntersectionBoundsShrink) {
+  ShapePtr a = MakeEllipsoid({0, 0, 0}, {10, 10, 10});
+  ShapePtr clipped = Intersect(a, MakeHalfSpace({1, 0, 0}, 0.0));
+  Box3d b = clipped->Bounds();
+  EXPECT_LE(b.max.x, 0.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace qbism::geometry

@@ -1,0 +1,196 @@
+#include "med/loader.h"
+
+#include <gtest/gtest.h>
+
+#include "med/phantom.h"
+#include "med/schema.h"
+#include "viz/mesh.h"
+
+namespace qbism::med {
+namespace {
+
+/// Shared fixture: load a scaled-down corpus once for all tests.
+class LoaderTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new sql::Database();
+    auto ext = SpatialExtension::Install(db_, SpatialConfig{});
+    ASSERT_TRUE(ext.ok());
+    ext_ = ext.MoveValue().release();
+    ASSERT_TRUE(BootstrapSchema(db_).ok());
+    LoadOptions options;
+    options.num_pet_studies = 2;
+    options.num_mri_studies = 1;
+    options.seed = 7;
+    auto dataset = PopulateDatabase(ext_, options);
+    ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+    dataset_ = new LoadedDataset(dataset.MoveValue());
+  }
+
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete ext_;
+    delete db_;
+  }
+
+  static sql::Database* db_;
+  static SpatialExtension* ext_;
+  static LoadedDataset* dataset_;
+};
+
+sql::Database* LoaderTest::db_ = nullptr;
+SpatialExtension* LoaderTest::ext_ = nullptr;
+LoadedDataset* LoaderTest::dataset_ = nullptr;
+
+TEST_F(LoaderTest, DatasetHandles) {
+  EXPECT_EQ(dataset_->pet_study_ids.size(), 2u);
+  EXPECT_EQ(dataset_->mri_study_ids.size(), 1u);
+  EXPECT_EQ(dataset_->structure_names.size(), 11u);
+  EXPECT_EQ(dataset_->pet_study_ids[0], 53);  // the paper's example id
+}
+
+TEST_F(LoaderTest, SchemaTablesExist) {
+  for (const char* table :
+       {"atlas", "neuralSystem", "neuralStructure", "atlasStructure",
+        "patient", "rawVolume", "warpedVolume", "intensityBand"}) {
+    EXPECT_TRUE(db_->catalog()->HasTable(table)) << table;
+  }
+}
+
+TEST_F(LoaderTest, AtlasRowDescribesCoordinateSpace) {
+  auto result = db_->Execute(
+      "select n, dx, dy, dz from atlas where atlasName = 'Talairach'");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].AsInt().value(), 128);
+  EXPECT_GT(result->rows[0][1].AsDouble().value(), 0.0);
+}
+
+TEST_F(LoaderTest, StructureRegionsLoadBack) {
+  auto result = db_->Execute(
+      "select ast.region from atlasStructure ast, neuralStructure ns "
+      "where ast.structureId = ns.structureId and"
+      " ns.structureName = 'ntal'");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  auto field = result->rows[0][0].AsLongField().MoveValue();
+  auto region = ext_->LoadRegion(field);
+  ASSERT_TRUE(region.ok());
+  EXPECT_GT(region->VoxelCount(), 5000u);
+}
+
+TEST_F(LoaderTest, MeshesStoredForStructures) {
+  auto result = db_->Execute("select mesh from atlasStructure");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 11u);
+  for (const auto& row : result->rows) {
+    auto field = row[0].AsLongField().MoveValue();
+    EXPECT_FALSE(field.IsNull());
+    auto bytes = db_->lfm()->Read(field);
+    ASSERT_TRUE(bytes.ok());
+    auto mesh = viz::TriangleMesh::Deserialize(bytes.value());
+    ASSERT_TRUE(mesh.ok());
+    EXPECT_GT(mesh->TriangleCount(), 0u);
+  }
+}
+
+TEST_F(LoaderTest, WarpedVolumesAreFullGrids) {
+  auto result = db_->Execute(
+      "select wv.data from warpedVolume wv where wv.studyId = 53");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  auto field = result->rows[0][0].AsLongField().MoveValue();
+  EXPECT_EQ(db_->lfm()->Size(field).value(), uint64_t{128} * 128 * 128);
+  auto volume = ext_->LoadVolume(field);
+  ASSERT_TRUE(volume.ok());
+  // The warped PET must have signal near the atlas center.
+  int center = volume->ValueAt({64, 64, 64}).value();
+  EXPECT_GT(center, 0);
+}
+
+TEST_F(LoaderTest, EightBandsPerStudyPartitioning) {
+  auto result = db_->Execute(
+      "select ib.lo, ib.hi, ib.region from intensityBand ib "
+      "where ib.studyId = 53");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 8u);  // 8 bands of width 32
+  uint64_t total = 0;
+  for (const auto& row : result->rows) {
+    int64_t lo = row[0].AsInt().value();
+    int64_t hi = row[1].AsInt().value();
+    EXPECT_EQ(hi - lo + 1, 32);
+    auto region = ext_->LoadRegion(row[2].AsLongField().MoveValue());
+    ASSERT_TRUE(region.ok());
+    total += region->VoxelCount();
+  }
+  EXPECT_EQ(total, uint64_t{128} * 128 * 128);  // bands partition the grid
+}
+
+TEST_F(LoaderTest, BandsMatchVolumeContents) {
+  auto volume_result = db_->Execute(
+      "select wv.data from warpedVolume wv where wv.studyId = 54");
+  ASSERT_TRUE(volume_result.ok());
+  auto volume = ext_->LoadVolume(
+      volume_result->rows[0][0].AsLongField().MoveValue());
+  ASSERT_TRUE(volume.ok());
+
+  auto band_result = db_->Execute(
+      "select ib.region from intensityBand ib where ib.studyId = 54 and"
+      " ib.lo = 32 and ib.hi = 63");
+  ASSERT_TRUE(band_result.ok());
+  ASSERT_EQ(band_result->rows.size(), 1u);
+  auto band = ext_->LoadRegion(
+      band_result->rows[0][0].AsLongField().MoveValue());
+  ASSERT_TRUE(band.ok());
+  EXPECT_EQ(*band, volume->BandRegion(32, 63));
+}
+
+TEST_F(LoaderTest, RawVolumesRecorded) {
+  auto result = db_->Execute(
+      "select modality, nx, ny, nz from rawVolume where studyId = 80");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].AsString().value(), "MRI");
+  EXPECT_EQ(result->rows[0][1].AsInt().value(), 512);
+  EXPECT_EQ(result->rows[0][3].AsInt().value(), 44);
+}
+
+TEST_F(LoaderTest, PatientsJoinToStudies) {
+  auto result = db_->Execute(
+      "select p.name, p.age from patient p, rawVolume rv "
+      "where rv.patientId = p.patientId and rv.studyId = 53");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_GT(result->rows[0][1].AsInt().value(), 0);
+}
+
+TEST_F(LoaderTest, LoadRawVolumeRestoresPatientSpaceData) {
+  auto raw = LoadRawVolume(ext_, 53);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  EXPECT_EQ(raw->nx(), 128);
+  EXPECT_EQ(raw->ny(), 128);
+  EXPECT_EQ(raw->nz(), 51);
+  // Must equal the generator's output bit-for-bit (seed 7 + index 0).
+  auto regenerated = GeneratePetStudy(7);
+  EXPECT_EQ(raw->data(), regenerated.data());
+  EXPECT_TRUE(LoadRawVolume(ext_, 999).status().IsNotFound());
+}
+
+TEST_F(LoaderTest, RewarpFromRawMatchesStoredWarpedVolume) {
+  auto rewarped = RewarpFromRaw(ext_, 53);
+  ASSERT_TRUE(rewarped.ok()) << rewarped.status().ToString();
+  EXPECT_EQ(rewarped->grid(), ext_->config().grid);
+}
+
+TEST_F(LoaderTest, WarpParametersStored) {
+  auto result = db_->Execute(
+      "select m00, m11, m22, tx from warpedVolume where studyId = 53");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  // The diagonal should be near the scale factors (128->128, 128->51).
+  EXPECT_NEAR(result->rows[0][0].AsDouble().value(), 1.0, 0.2);
+  EXPECT_NEAR(result->rows[0][2].AsDouble().value(), 51.0 / 128.0, 0.1);
+}
+
+}  // namespace
+}  // namespace qbism::med

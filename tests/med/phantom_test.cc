@@ -1,0 +1,119 @@
+#include "med/phantom.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "region/region.h"
+
+namespace qbism::med {
+namespace {
+
+using curve::CurveKind;
+using region::GridSpec;
+using region::Region;
+
+TEST(PhantomTest, ElevenStructuresWithUniqueNames) {
+  auto structures = StandardAtlasStructures();
+  ASSERT_EQ(structures.size(), 11u);  // paper: 11 Talairach structures
+  std::set<std::string> names;
+  std::vector<std::string> system_list = StandardNeuralSystems();
+  std::set<std::string> systems(system_list.begin(), system_list.end());
+  for (const auto& s : structures) {
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate " << s.name;
+    EXPECT_TRUE(systems.count(s.system)) << s.name << " has unknown system";
+    ASSERT_NE(s.shape, nullptr);
+  }
+  EXPECT_TRUE(names.count("ntal"));
+  EXPECT_TRUE(names.count("ntal1"));
+  EXPECT_TRUE(names.count("putamen"));  // the §3.4 example structure
+}
+
+TEST(PhantomTest, NtalSizesNearPaper) {
+  // Table 3: ntal = 16,016 voxels, ntal1 = 162,628 voxels on 128^3.
+  // Phantoms should be within ~35% of those counts.
+  const GridSpec grid{3, 7};
+  for (const auto& s : StandardAtlasStructures()) {
+    if (s.name == "ntal") {
+      Region r = Region::FromShape(grid, CurveKind::kHilbert, *s.shape);
+      EXPECT_GT(r.VoxelCount(), 10000u);
+      EXPECT_LT(r.VoxelCount(), 22000u);
+    }
+    if (s.name == "ntal1") {
+      Region r = Region::FromShape(grid, CurveKind::kHilbert, *s.shape);
+      EXPECT_GT(r.VoxelCount(), 120000u);
+      EXPECT_LT(r.VoxelCount(), 220000u);
+    }
+  }
+}
+
+TEST(PhantomTest, StructuresFitTheAtlasGrid) {
+  const GridSpec grid{3, 7};
+  for (const auto& s : StandardAtlasStructures()) {
+    Region r = Region::FromShape(grid, CurveKind::kHilbert, *s.shape);
+    EXPECT_FALSE(r.Empty()) << s.name;
+    // Nothing touches the grid boundary (structures live inside the head).
+    EXPECT_FALSE(r.ContainsPoint({0, 0, 0})) << s.name;
+    EXPECT_FALSE(r.ContainsPoint({127, 127, 127})) << s.name;
+  }
+}
+
+TEST(PhantomTest, PetStudyShapeAndDeterminism) {
+  auto a = GeneratePetStudy(7);
+  EXPECT_EQ(a.nx(), 128);
+  EXPECT_EQ(a.ny(), 128);
+  EXPECT_EQ(a.nz(), 51);  // paper: 51 slices of 128x128
+  auto b = GeneratePetStudy(7);
+  EXPECT_EQ(a.data(), b.data());
+  auto c = GeneratePetStudy(8);
+  EXPECT_NE(a.data(), c.data());
+}
+
+TEST(PhantomTest, PetStudyHasSignalInsideHeadOnly) {
+  auto pet = GeneratePetStudy(3);
+  // Center has signal.
+  EXPECT_GT(pet.AtClamped(64, 64, 25), 0);
+  // Corners are empty (outside the head envelope).
+  EXPECT_EQ(pet.AtClamped(0, 0, 0), 0);
+  EXPECT_EQ(pet.AtClamped(127, 127, 50), 0);
+  // Intensities span a useful dynamic range for banding.
+  int max_value = 0;
+  for (uint8_t v : pet.data()) max_value = std::max(max_value, int{v});
+  EXPECT_GT(max_value, 150);
+}
+
+TEST(PhantomTest, MriStudyShapeAndTissueBands) {
+  auto mri = GenerateMriStudy(11);
+  EXPECT_EQ(mri.nx(), 512);
+  EXPECT_EQ(mri.ny(), 512);
+  EXPECT_EQ(mri.nz(), 44);  // paper: 44 slices of 512x512
+  // White matter interior darker than the skull rim.
+  int center = mri.AtClamped(256, 256, 22);
+  EXPECT_GT(center, 60);
+  EXPECT_LT(center, 160);
+  EXPECT_EQ(mri.AtClamped(0, 0, 0), 0);  // outside the head
+}
+
+TEST(PhantomTest, StudyWarpDeterministicAndInvertible) {
+  auto w1 = StudyWarp(5, 128, 128, 51);
+  auto w2 = StudyWarp(5, 128, 128, 51);
+  EXPECT_EQ(w1.linear(), w2.linear());
+  // Must be invertible (it is a registration).
+  EXPECT_TRUE(w1.Inverse().ok());
+  // Maps the atlas center near the patient-grid center.
+  auto p = w1.Apply({64, 64, 64});
+  EXPECT_NEAR(p.x, 64, 6);
+  EXPECT_NEAR(p.y, 64, 6);
+  EXPECT_NEAR(p.z, 25.5, 4);
+}
+
+TEST(PhantomTest, WarpScalesToStudyDimensions) {
+  auto w = StudyWarp(9, 512, 512, 44);
+  auto p = w.Apply({64, 64, 64});
+  EXPECT_NEAR(p.x, 256, 12);
+  EXPECT_NEAR(p.y, 256, 12);
+  EXPECT_NEAR(p.z, 22, 4);
+}
+
+}  // namespace
+}  // namespace qbism::med

@@ -1,0 +1,143 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qbism::mining {
+namespace {
+
+std::vector<Transaction> MarketBasket() {
+  // Classic toy data: {bread=1, milk=2, beer=3, eggs=4}.
+  return {
+      {1, 2},        // bread milk
+      {1, 3, 4},     // bread beer eggs
+      {2, 3},        // milk beer
+      {1, 2, 3},     // bread milk beer
+      {1, 2, 3, 4},  // everything
+  };
+}
+
+uint64_t SupportOf(const std::vector<Itemset>& itemsets,
+                   std::vector<uint32_t> items) {
+  for (const Itemset& itemset : itemsets) {
+    if (itemset.items == items) return itemset.support;
+  }
+  return 0;
+}
+
+TEST(AprioriTest, FrequentItemsetsExactCounts) {
+  auto itemsets = MineFrequentItemsets(MarketBasket(), 0.4).MoveValue();
+  // Threshold = ceil(0.4 * 5) = 2 transactions.
+  EXPECT_EQ(SupportOf(itemsets, {1}), 4u);
+  EXPECT_EQ(SupportOf(itemsets, {2}), 4u);
+  EXPECT_EQ(SupportOf(itemsets, {3}), 4u);
+  EXPECT_EQ(SupportOf(itemsets, {4}), 2u);
+  EXPECT_EQ(SupportOf(itemsets, {1, 2}), 3u);
+  EXPECT_EQ(SupportOf(itemsets, {1, 3}), 3u);
+  EXPECT_EQ(SupportOf(itemsets, {2, 3}), 3u);
+  EXPECT_EQ(SupportOf(itemsets, {1, 4}), 2u);
+  EXPECT_EQ(SupportOf(itemsets, {1, 2, 3}), 2u);
+  EXPECT_EQ(SupportOf(itemsets, {1, 3, 4}), 2u);
+  // {2,4} appears only once: infrequent.
+  EXPECT_EQ(SupportOf(itemsets, {2, 4}), 0u);
+}
+
+TEST(AprioriTest, HigherThresholdPrunesMore) {
+  auto loose = MineFrequentItemsets(MarketBasket(), 0.4).MoveValue();
+  auto strict = MineFrequentItemsets(MarketBasket(), 0.8).MoveValue();
+  EXPECT_LT(strict.size(), loose.size());
+  for (const Itemset& itemset : strict) {
+    EXPECT_GE(itemset.support, 4u);
+  }
+}
+
+TEST(AprioriTest, InputValidation) {
+  EXPECT_FALSE(MineFrequentItemsets({{1, 2}}, 0.0).ok());
+  EXPECT_FALSE(MineFrequentItemsets({{1, 2}}, 1.5).ok());
+  EXPECT_FALSE(MineFrequentItemsets({{2, 1}}, 0.5).ok());  // unsorted
+  EXPECT_FALSE(MineFrequentItemsets({{1, 1}}, 0.5).ok());  // duplicate
+  EXPECT_TRUE(MineFrequentItemsets({}, 0.5).value().empty());
+}
+
+TEST(AprioriTest, MatchesBruteForceOnRandomData) {
+  Rng rng(7);
+  std::vector<Transaction> transactions;
+  const uint32_t universe = 8;
+  for (int i = 0; i < 60; ++i) {
+    Transaction t;
+    for (uint32_t item = 0; item < universe; ++item) {
+      if (rng.NextDouble() < 0.35) t.push_back(item);
+    }
+    transactions.push_back(std::move(t));
+  }
+  double min_support = 0.15;
+  auto mined = MineFrequentItemsets(transactions, min_support).MoveValue();
+  std::map<std::vector<uint32_t>, uint64_t> mined_map;
+  for (const Itemset& itemset : mined) {
+    mined_map[itemset.items] = itemset.support;
+  }
+  // Brute force over all 2^8 - 1 candidate itemsets.
+  uint64_t threshold = 9;  // ceil(0.15 * 60)
+  for (uint32_t mask = 1; mask < (1u << universe); ++mask) {
+    std::vector<uint32_t> items;
+    for (uint32_t item = 0; item < universe; ++item) {
+      if (mask & (1u << item)) items.push_back(item);
+    }
+    uint64_t count = 0;
+    for (const Transaction& t : transactions) {
+      if (std::includes(t.begin(), t.end(), items.begin(), items.end())) {
+        ++count;
+      }
+    }
+    if (count >= threshold) {
+      EXPECT_EQ(mined_map.count(items), 1u) << "missing frequent itemset";
+      EXPECT_EQ(mined_map[items], count);
+    } else {
+      EXPECT_EQ(mined_map.count(items), 0u) << "infrequent itemset reported";
+    }
+  }
+}
+
+TEST(AssociationRulesTest, RulesHaveCorrectMeasures) {
+  auto rules = MineAssociationRules(MarketBasket(), 0.4, 0.6).MoveValue();
+  ASSERT_FALSE(rules.empty());
+  // Find the rule {4} => {1}: support({1,4}) = 2/5, confidence = 2/2.
+  bool found = false;
+  for (const AssociationRule& rule : rules) {
+    EXPECT_GE(rule.confidence, 0.6);
+    EXPECT_GT(rule.support, 0.0);
+    if (rule.lhs == std::vector<uint32_t>{4} &&
+        rule.rhs == std::vector<uint32_t>{1}) {
+      EXPECT_DOUBLE_EQ(rule.support, 0.4);
+      EXPECT_DOUBLE_EQ(rule.confidence, 1.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // Sorted by confidence descending.
+  for (size_t i = 1; i < rules.size(); ++i) {
+    EXPECT_LE(rules[i].confidence, rules[i - 1].confidence);
+  }
+}
+
+TEST(AssociationRulesTest, ConfidenceThresholdFilters) {
+  auto all = MineAssociationRules(MarketBasket(), 0.4, 0.0).MoveValue();
+  auto strict = MineAssociationRules(MarketBasket(), 0.4, 0.9).MoveValue();
+  EXPECT_LT(strict.size(), all.size());
+  for (const AssociationRule& rule : strict) {
+    EXPECT_GE(rule.confidence, 0.9);
+  }
+}
+
+TEST(AssociationRulesTest, Validation) {
+  EXPECT_FALSE(MineAssociationRules(MarketBasket(), 0.4, 1.5).ok());
+  EXPECT_FALSE(MineAssociationRules(MarketBasket(), 0.4, -0.1).ok());
+}
+
+}  // namespace
+}  // namespace qbism::mining

@@ -1,0 +1,109 @@
+#include "mining/knn.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qbism::mining {
+namespace {
+
+TEST(DistanceTest, SquaredEuclidean) {
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}).value(), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1, 2, 3}, {1, 2, 3}).value(), 0.0);
+  EXPECT_FALSE(SquaredDistance({1}, {1, 2}).ok());
+}
+
+std::vector<FeatureVector> Grid2D() {
+  std::vector<FeatureVector> out;
+  int64_t id = 0;
+  for (int x = 0; x < 5; ++x) {
+    for (int y = 0; y < 5; ++y) {
+      out.push_back({id++, {static_cast<double>(x), static_cast<double>(y)}});
+    }
+  }
+  return out;
+}
+
+TEST(BruteForceKnnTest, FindsNearest) {
+  auto neighbors = BruteForceKnn({2.1, 2.1}, Grid2D(), 1).MoveValue();
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_EQ(neighbors[0].id, 2 * 5 + 2);  // the point (2,2)
+  EXPECT_NEAR(neighbors[0].distance, std::sqrt(0.02), 1e-9);
+}
+
+TEST(BruteForceKnnTest, KLargerThanPopulation) {
+  auto neighbors = BruteForceKnn({0, 0}, Grid2D(), 100).MoveValue();
+  EXPECT_EQ(neighbors.size(), 25u);
+  // Sorted nearest-first.
+  for (size_t i = 1; i < neighbors.size(); ++i) {
+    EXPECT_GE(neighbors[i].distance, neighbors[i - 1].distance);
+  }
+}
+
+TEST(KdTreeTest, BuildValidation) {
+  EXPECT_FALSE(KdTree::Build({}).ok());
+  EXPECT_FALSE(KdTree::Build({{1, {}}}).ok());
+  EXPECT_FALSE(KdTree::Build({{1, {1.0}}, {2, {1.0, 2.0}}}).ok());
+  EXPECT_TRUE(KdTree::Build({{1, {1.0}}}).ok());
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  KdTree tree = KdTree::Build({{7, {1, 2, 3}}}).MoveValue();
+  auto neighbors = tree.Knn({0, 0, 0}, 3).MoveValue();
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_EQ(neighbors[0].id, 7);
+}
+
+TEST(KdTreeTest, QueryDimensionChecked) {
+  KdTree tree = KdTree::Build(Grid2D()).MoveValue();
+  EXPECT_FALSE(tree.Knn({1, 2, 3}, 1).ok());
+}
+
+TEST(KdTreeTest, MatchesBruteForceOnRandomData) {
+  Rng rng(17);
+  for (size_t dims : {1u, 2u, 5u, 11u}) {
+    std::vector<FeatureVector> points;
+    for (int i = 0; i < 400; ++i) {
+      FeatureVector v;
+      v.id = i;
+      for (size_t d = 0; d < dims; ++d) {
+        v.values.push_back(rng.NextDoubleIn(-10, 10));
+      }
+      points.push_back(std::move(v));
+    }
+    KdTree tree = KdTree::Build(points).MoveValue();
+    EXPECT_EQ(tree.size(), 400u);
+    EXPECT_EQ(tree.dimensions(), dims);
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<double> query;
+      for (size_t d = 0; d < dims; ++d) {
+        query.push_back(rng.NextDoubleIn(-12, 12));
+      }
+      for (size_t k : {1u, 5u, 17u}) {
+        auto expected = BruteForceKnn(query, points, k).MoveValue();
+        auto got = tree.Knn(query, k).MoveValue();
+        ASSERT_EQ(got.size(), expected.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].id, expected[i].id)
+              << "dims=" << dims << " k=" << k << " i=" << i;
+          EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(KdTreeTest, DuplicatePointsAllReturned) {
+  std::vector<FeatureVector> points{{1, {0, 0}}, {2, {0, 0}}, {3, {5, 5}}};
+  KdTree tree = KdTree::Build(points).MoveValue();
+  auto neighbors = tree.Knn({0, 0}, 2).MoveValue();
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_EQ(neighbors[0].distance, 0.0);
+  EXPECT_EQ(neighbors[1].distance, 0.0);
+  EXPECT_NE(neighbors[0].id, neighbors[1].id);
+}
+
+}  // namespace
+}  // namespace qbism::mining

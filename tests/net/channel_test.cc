@@ -1,0 +1,77 @@
+#include "net/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace qbism::net {
+namespace {
+
+TEST(ChannelTest, ControlMessageCosts) {
+  NetworkCostModel model;
+  model.per_message_seconds = 0.01;
+  model.bandwidth_bytes_per_second = 1000.0;
+  SimulatedChannel channel(model);
+  channel.SendControl(500);
+  EXPECT_EQ(channel.stats().messages, 1u);
+  EXPECT_EQ(channel.stats().bytes, 500u);
+  EXPECT_NEAR(channel.stats().simulated_seconds, 0.01 + 0.5, 1e-12);
+}
+
+TEST(ChannelTest, BulkChunking) {
+  NetworkCostModel model;
+  model.chunk_bytes = 1024;
+  SimulatedChannel channel(model);
+  channel.SendBulk(2 * 1024 * 1024);  // the paper's 2 MB study
+  // 2048 data messages, mirroring the paper's ~2103 for Q1.
+  EXPECT_EQ(channel.stats().messages, 2048u);
+  channel.ResetStats();
+  channel.SendBulk(1);
+  EXPECT_EQ(channel.stats().messages, 1u);
+  channel.ResetStats();
+  channel.SendBulk(1025);
+  EXPECT_EQ(channel.stats().messages, 2u);
+  channel.ResetStats();
+  channel.SendBulk(0);
+  EXPECT_EQ(channel.stats().messages, 0u);
+  EXPECT_EQ(channel.stats().simulated_seconds, 0.0);
+}
+
+TEST(ChannelTest, CostScalesWithSize) {
+  SimulatedChannel channel;
+  channel.SendBulk(100000);
+  double small = channel.stats().simulated_seconds;
+  channel.ResetStats();
+  channel.SendBulk(2000000);
+  double large = channel.stats().simulated_seconds;
+  EXPECT_GT(large, 10 * small);
+}
+
+TEST(ChannelTest, RoundTripAddsRtt) {
+  NetworkCostModel model;
+  model.rtt_seconds = 0.004;
+  SimulatedChannel channel(model);
+  channel.RoundTrip();
+  channel.RoundTrip();
+  EXPECT_NEAR(channel.stats().simulated_seconds, 0.008, 1e-12);
+  EXPECT_EQ(channel.stats().messages, 0u);
+}
+
+TEST(ChannelTest, StatsDeltaSubtraction) {
+  SimulatedChannel channel;
+  channel.SendBulk(5000);
+  ChannelStats before = channel.stats();
+  channel.SendBulk(3000);
+  ChannelStats delta = channel.stats() - before;
+  EXPECT_EQ(delta.bytes, 3000u);
+  EXPECT_GT(delta.simulated_seconds, 0.0);
+}
+
+TEST(ChannelTest, DeterministicAcrossInstances) {
+  SimulatedChannel a, b;
+  a.SendBulk(123456);
+  b.SendBulk(123456);
+  EXPECT_EQ(a.stats().simulated_seconds, b.stats().simulated_seconds);
+  EXPECT_EQ(a.stats().messages, b.stats().messages);
+}
+
+}  // namespace
+}  // namespace qbism::net

@@ -1,0 +1,140 @@
+// End-to-end integration: a fresh database, schema bootstrap, corpus
+// load, the paper's §3.4 two-query flow executed as raw SQL, and the
+// full pipeline through the DX substitute.
+
+#include <gtest/gtest.h>
+
+#include "med/loader.h"
+#include "med/schema.h"
+#include "qbism/medical_server.h"
+
+namespace qbism {
+namespace {
+
+TEST(IntegrationTest, PaperSection34FlowAsRawSql) {
+  sql::Database db;
+  auto ext = SpatialExtension::Install(&db, SpatialConfig{}).MoveValue();
+  ASSERT_TRUE(med::BootstrapSchema(&db).ok());
+  med::LoadOptions options;
+  options.num_pet_studies = 1;
+  options.num_mri_studies = 0;
+  options.build_meshes = false;
+  ASSERT_TRUE(med::PopulateDatabase(ext.get(), options).ok());
+
+  // First §3.4 query: atlas/patient info for study 53.
+  auto info = db.Execute(
+      "select a.n, a.x0, a.y0, a.z0, a.dx, a.dy, a.dz, a.atlasId,"
+      " p.name, p.patientId, rv.date"
+      " from atlas a, rawVolume rv, warpedVolume wv, patient p"
+      " where a.atlasId = wv.atlasId and wv.studyId = rv.studyId"
+      " and rv.patientId = p.patientId and rv.studyId = 53"
+      " and a.atlasName = 'Talairach'");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  ASSERT_EQ(info->rows.size(), 1u);
+  EXPECT_EQ(info->rows[0][0].AsInt().value(), 128);
+
+  // Second §3.4 query: region + extracted voxels for the putamen.
+  auto data = db.Execute(
+      "select ast.region, extractvoxels(wv.data, ast.region)"
+      " from warpedVolume wv, atlasStructure ast, neuralStructure ns"
+      " where wv.studyId = 53 and ast.structureId = ns.structureId"
+      " and ns.structureName = 'putamen' and ast.atlasId = wv.atlasId");
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  ASSERT_EQ(data->rows.size(), 1u);
+  auto dr = data->rows[0][1]
+                .AsObject<volume::DataRegion>(sql::kDataRegionTypeName)
+                .MoveValue();
+  EXPECT_GT(dr->VoxelCount(), 1000u);
+
+  // The "more complicated" variant with intersection() in the select
+  // list and additional joins (band 128-159 within the putamen).
+  auto mixed = db.Execute(
+      "select extractvoxels(wv.data, intersection(ib.region, ast.region))"
+      " from warpedVolume wv, atlasStructure ast, neuralStructure ns,"
+      " intensityBand ib"
+      " where wv.studyId = 53 and ast.structureId = ns.structureId"
+      " and ns.structureName = 'putamen' and ast.atlasId = wv.atlasId"
+      " and ib.studyId = wv.studyId and ib.atlasId = wv.atlasId"
+      " and ib.lo = 128 and ib.hi = 159");
+  ASSERT_TRUE(mixed.ok()) << mixed.status().ToString();
+  ASSERT_EQ(mixed->rows.size(), 1u);
+  auto mixed_dr = mixed->rows[0][0]
+                      .AsObject<volume::DataRegion>(sql::kDataRegionTypeName)
+                      .MoveValue();
+  EXPECT_LE(mixed_dr->VoxelCount(), dr->VoxelCount());
+  for (uint8_t v : mixed_dr->values()) {
+    EXPECT_GE(v, 128);
+    EXPECT_LE(v, 159);
+  }
+}
+
+TEST(IntegrationTest, EndToEndPipelineWithRendering) {
+  sql::Database db;
+  auto ext = SpatialExtension::Install(&db, SpatialConfig{}).MoveValue();
+  ASSERT_TRUE(med::BootstrapSchema(&db).ok());
+  med::LoadOptions options;
+  options.num_pet_studies = 1;
+  options.num_mri_studies = 0;
+  ASSERT_TRUE(med::PopulateDatabase(ext.get(), options).ok());
+  MedicalServer server(ext.get());
+
+  QuerySpec spec;
+  spec.study_id = 53;
+  spec.structure_name = "ntal1";
+  auto result = server.RunStudyQuery(spec, /*render=*/true);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Every timing component is populated and the total adds up.
+  const TimingBreakdown& t = result->timing;
+  EXPECT_GT(t.lfm_pages, 0u);
+  EXPECT_GT(t.db_real_seconds, 0.0);
+  EXPECT_GT(t.network_seconds, 0.0);
+  EXPECT_GT(t.render_seconds, 0.0);
+  EXPECT_NEAR(t.total_seconds,
+              t.other_seconds + t.db_real_seconds + t.network_seconds +
+                  t.import_cpu_seconds + t.render_seconds,
+              1e-9);
+
+  // The image shows the hemisphere.
+  EXPECT_GT(result->image.NonBlackFraction(), 0.002);
+
+  // Texture-mapped surface rendering over the same result (Figure 6c).
+  auto mesh_rows = db.Execute(
+      "select ast.mesh from atlasStructure ast, neuralStructure ns"
+      " where ast.structureId = ns.structureId"
+      " and ns.structureName = 'ntal1'");
+  ASSERT_TRUE(mesh_rows.ok());
+  auto mesh_bytes =
+      db.lfm()->Read(mesh_rows->rows[0][0].AsLongField().MoveValue());
+  ASSERT_TRUE(mesh_bytes.ok());
+  auto mesh = viz::TriangleMesh::Deserialize(mesh_bytes.value()).MoveValue();
+  auto imported = server.dx()->ImportVolume(result->data);
+  auto rendered = server.dx()->RenderSurface(mesh, viz::Camera{},
+                                             ext->config().grid,
+                                             &imported.dense);
+  EXPECT_GT(rendered.image.NonBlackFraction(), 0.002);
+}
+
+TEST(IntegrationTest, DifferentCurveConfiguration) {
+  // The whole stack also runs Z-ordered (the §4.1 ablation).
+  sql::Database db;
+  SpatialConfig config;
+  config.curve = curve::CurveKind::kZ;
+  auto ext = SpatialExtension::Install(&db, config).MoveValue();
+  ASSERT_TRUE(med::BootstrapSchema(&db).ok());
+  med::LoadOptions options;
+  options.num_pet_studies = 1;
+  options.num_mri_studies = 0;
+  options.build_meshes = false;
+  ASSERT_TRUE(med::PopulateDatabase(ext.get(), options).ok());
+  MedicalServer server(ext.get());
+  QuerySpec spec;
+  spec.study_id = 53;
+  spec.structure_name = "ntal";
+  auto result = server.RunStudyQuery(spec, false);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->result_voxels, 5000u);
+}
+
+}  // namespace
+}  // namespace qbism

@@ -1,0 +1,79 @@
+// The clustering property behind the paper's physical design: Hilbert
+// linearization yields fewer (and longer) runs than Z order for typical
+// query regions, across random boxes, balls, and predicate regions.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/shapes.h"
+#include "region/region.h"
+
+namespace qbism::region {
+namespace {
+
+using curve::CurveKind;
+
+const GridSpec kGrid{3, 5};  // 32^3
+
+TEST(ClusteringTest, RandomBoxesFavorHilbert) {
+  Rng rng(11);
+  uint64_t h_total = 0, z_total = 0;
+  int h_wins = 0, ties = 0, trials = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    int32_t x0 = static_cast<int32_t>(rng.NextBounded(24));
+    int32_t y0 = static_cast<int32_t>(rng.NextBounded(24));
+    int32_t z0 = static_cast<int32_t>(rng.NextBounded(24));
+    int32_t w = 2 + static_cast<int32_t>(rng.NextBounded(8));
+    Region h = Region::FromBox(kGrid, CurveKind::kHilbert,
+                               {{x0, y0, z0}, {x0 + w, y0 + w, z0 + w}});
+    Region z = h.ConvertTo(CurveKind::kZ);
+    h_total += h.RunCount();
+    z_total += z.RunCount();
+    if (h.RunCount() < z.RunCount()) ++h_wins;
+    if (h.RunCount() == z.RunCount()) ++ties;
+    ++trials;
+  }
+  // Aggregate ratio near the paper's ~1.2 for rectangles ([9]).
+  double ratio = static_cast<double>(z_total) / static_cast<double>(h_total);
+  EXPECT_GT(ratio, 1.05);
+  // Hilbert wins or ties the vast majority of individual boxes.
+  EXPECT_GE(h_wins + ties, trials * 3 / 4);
+}
+
+TEST(ClusteringTest, RandomBallsFavorHilbert) {
+  Rng rng(13);
+  uint64_t h_total = 0, z_total = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    geometry::Vec3d center{rng.NextDoubleIn(8, 24), rng.NextDoubleIn(8, 24),
+                           rng.NextDoubleIn(8, 24)};
+    double r = rng.NextDoubleIn(3, 7);
+    geometry::Ellipsoid ball(center, {r, r, r});
+    Region h = Region::FromShape(kGrid, CurveKind::kHilbert, ball);
+    if (h.Empty()) continue;
+    h_total += h.RunCount();
+    z_total += h.ConvertTo(CurveKind::kZ).RunCount();
+  }
+  EXPECT_GT(z_total, h_total);
+}
+
+TEST(ClusteringTest, HilbertRunsMeanLongerRuns) {
+  geometry::Ellipsoid blob({16, 15, 17}, {10, 9, 8});
+  Region h = Region::FromShape(kGrid, CurveKind::kHilbert, blob);
+  Region z = h.ConvertTo(CurveKind::kZ);
+  double h_mean = static_cast<double>(h.VoxelCount()) /
+                  static_cast<double>(h.RunCount());
+  double z_mean = static_cast<double>(z.VoxelCount()) /
+                  static_cast<double>(z.RunCount());
+  EXPECT_GT(h_mean, z_mean);
+}
+
+TEST(ClusteringTest, FullAndEmptyAreCurveInvariant) {
+  // Degenerate regions cannot favour either curve.
+  Region full_h = Region::Full(kGrid, CurveKind::kHilbert);
+  EXPECT_EQ(full_h.ConvertTo(CurveKind::kZ).RunCount(), 1u);
+  Region empty(kGrid, CurveKind::kHilbert);
+  EXPECT_EQ(empty.ConvertTo(CurveKind::kZ).RunCount(), 0u);
+}
+
+}  // namespace
+}  // namespace qbism::region

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "region/region.h"
+
+namespace qbism::region {
+namespace {
+
+using curve::CurveKind;
+
+const GridSpec kGrid3{3, 4};
+const GridSpec kGrid2{2, 2};
+
+Region R3(std::vector<Run> runs) {
+  return Region::FromRuns(kGrid3, CurveKind::kHilbert, std::move(runs))
+      .MoveValue();
+}
+
+uint64_t CoveredVoxels(const std::vector<Octant>& octants) {
+  uint64_t total = 0;
+  for (const Octant& o : octants) total += o.Length();
+  return total;
+}
+
+TEST(OctantTest, SingleVoxelIsRankZero) {
+  Region r = R3({{5, 5}});
+  auto oblong = r.ToOblongOctants();
+  ASSERT_EQ(oblong.size(), 1u);
+  EXPECT_EQ(oblong[0], (Octant{5, 0}));
+  auto cubic = r.ToOctants();
+  ASSERT_EQ(cubic.size(), 1u);
+  EXPECT_EQ(cubic[0], (Octant{5, 0}));
+}
+
+TEST(OctantTest, AlignedPowerOfTwoRunIsOneOblongOctant) {
+  Region r = R3({{64, 127}});  // 64 ids aligned at 64 = 2^6
+  auto oblong = r.ToOblongOctants();
+  ASSERT_EQ(oblong.size(), 1u);
+  EXPECT_EQ(oblong[0], (Octant{64, 6}));
+  // 2^6 with dims=3 is also a cubic octant (6 % 3 == 0).
+  auto cubic = r.ToOctants();
+  ASSERT_EQ(cubic.size(), 1u);
+  EXPECT_EQ(cubic[0], (Octant{64, 6}));
+}
+
+TEST(OctantTest, CubicRequiresRankMultipleOfDims) {
+  // 16 ids aligned at 16: rank 4 oblong, but cubic must split to rank 3.
+  Region r = R3({{16, 31}});
+  auto oblong = r.ToOblongOctants();
+  ASSERT_EQ(oblong.size(), 1u);
+  EXPECT_EQ(oblong[0].rank, 4);
+  auto cubic = r.ToOctants();
+  ASSERT_EQ(cubic.size(), 2u);
+  EXPECT_EQ(cubic[0], (Octant{16, 3}));
+  EXPECT_EQ(cubic[1], (Octant{24, 3}));
+}
+
+TEST(OctantTest, MisalignedRunDecomposes) {
+  // Run 3..8: greedy from 3 -> {3,r0}, {4,r2}, {8,r0} oblong.
+  Region r = R3({{3, 8}});
+  auto oblong = r.ToOblongOctants();
+  ASSERT_EQ(oblong.size(), 3u);
+  EXPECT_EQ(oblong[0], (Octant{3, 0}));
+  EXPECT_EQ(oblong[1], (Octant{4, 2}));
+  EXPECT_EQ(oblong[2], (Octant{8, 0}));
+}
+
+TEST(OctantTest, DecompositionsCoverExactly) {
+  Region r = R3({{3, 200}, {1000, 1023}, {4090, 4095}});
+  for (const auto& octants : {r.ToOblongOctants(), r.ToOctants()}) {
+    EXPECT_EQ(CoveredVoxels(octants), r.VoxelCount());
+    // Octants are disjoint, sorted, and inside the region.
+    uint64_t cursor = 0;
+    for (const Octant& o : octants) {
+      EXPECT_GE(o.id, cursor);
+      EXPECT_EQ(o.id % o.Length(), 0u) << "octant must be aligned";
+      EXPECT_TRUE(r.ContainsId(o.id));
+      EXPECT_TRUE(r.ContainsId(o.id + o.Length() - 1));
+      cursor = o.id + o.Length();
+    }
+  }
+}
+
+TEST(OctantTest, CountOrderingNeverViolated) {
+  // #runs <= #oblong octants <= #octants (§4.2: "the number of runs
+  // never exceeds the number of octants").
+  geometry::Ellipsoid blob({8, 7, 9}, {6, 5, 4});
+  Region r = Region::FromShape(kGrid3, CurveKind::kHilbert, blob);
+  EXPECT_LE(r.RunCount(), r.ToOblongOctants().size());
+  EXPECT_LE(r.ToOblongOctants().size(), r.ToOctants().size());
+}
+
+TEST(OctantTest, FullGridIsOneOctant) {
+  Region full = Region::Full(kGrid3, CurveKind::kHilbert);
+  auto cubic = full.ToOctants();
+  ASSERT_EQ(cubic.size(), 1u);
+  EXPECT_EQ(cubic[0], (Octant{0, 12}));
+}
+
+TEST(OctantTest, TwoDimensionalQuadrants) {
+  // In 2-d, "octants" are quadrants: rank multiples of 2.
+  Region r = Region::FromRuns(kGrid2, CurveKind::kZ, {{4, 7}}).MoveValue();
+  auto quadrants = r.ToOctants();
+  ASSERT_EQ(quadrants.size(), 1u);
+  EXPECT_EQ(quadrants[0], (Octant{4, 2}));
+}
+
+TEST(OctantTest, EmptyRegionHasNoOctants) {
+  Region empty(kGrid3, CurveKind::kHilbert);
+  EXPECT_TRUE(empty.ToOblongOctants().empty());
+  EXPECT_TRUE(empty.ToOctants().empty());
+}
+
+}  // namespace
+}  // namespace qbism::region

@@ -1,0 +1,120 @@
+// Locks down the paper's worked 2-D example: the shaded REGION of
+// Figure 3 on a 4x4 grid, whose encodings are enumerated in Tables 1
+// (Z curve) and 2 (Hilbert curve).
+
+#include <gtest/gtest.h>
+
+#include "region/encoding.h"
+#include "region/region.h"
+
+namespace qbism::region {
+namespace {
+
+using curve::CurveKind;
+
+const GridSpec kGrid{2, 2};  // 4x4
+
+/// The shaded region of Figure 3 as grid points (x, y):
+/// one voxel at (0,1), the upper-left quadrant, and (2,2), (2,3).
+std::vector<geometry::Vec3i> FigureThreePoints() {
+  return {{0, 1, 0}, {0, 2, 0}, {0, 3, 0}, {1, 2, 0},
+          {1, 3, 0}, {2, 2, 0}, {2, 3, 0}};
+}
+
+Region MakeRegion(CurveKind kind) {
+  std::vector<uint64_t> ids;
+  for (const auto& p : FigureThreePoints()) {
+    ids.push_back(kind == CurveKind::kHilbert
+                      ? curve::HilbertId2(p.x, p.y, 2)
+                      : curve::MortonId2(p.x, p.y, 2));
+  }
+  return Region::FromIds(kGrid, kind, std::move(ids)).MoveValue();
+}
+
+TEST(PaperExampleTest, Table1ZRuns) {
+  // Table 1 runs: <1,1> <4,7> <12,13>.
+  Region z = MakeRegion(CurveKind::kZ);
+  ASSERT_EQ(z.RunCount(), 3u);
+  EXPECT_EQ(z.runs()[0], (region::Run{1, 1}));
+  EXPECT_EQ(z.runs()[1], (region::Run{4, 7}));
+  EXPECT_EQ(z.runs()[2], (region::Run{12, 13}));
+}
+
+TEST(PaperExampleTest, Table1ZOblongOctants) {
+  // Table 1 oblong octants: <0001,0> <0100,2> <1100,1>.
+  Region z = MakeRegion(CurveKind::kZ);
+  auto oblong = z.ToOblongOctants();
+  ASSERT_EQ(oblong.size(), 3u);
+  EXPECT_EQ(oblong[0], (Octant{0b0001, 0}));
+  EXPECT_EQ(oblong[1], (Octant{0b0100, 2}));
+  EXPECT_EQ(oblong[2], (Octant{0b1100, 1}));
+}
+
+TEST(PaperExampleTest, Table1ZOctants) {
+  // Table 1 octants: <0001,0> <0100,2> <1100,0> <1101,0>.
+  Region z = MakeRegion(CurveKind::kZ);
+  auto octants = z.ToOctants();
+  ASSERT_EQ(octants.size(), 4u);
+  EXPECT_EQ(octants[0], (Octant{0b0001, 0}));
+  EXPECT_EQ(octants[1], (Octant{0b0100, 2}));
+  EXPECT_EQ(octants[2], (Octant{0b1100, 0}));
+  EXPECT_EQ(octants[3], (Octant{0b1101, 0}));
+}
+
+TEST(PaperExampleTest, Table2HilbertRuns) {
+  // Table 2 runs: a single run <3,9> — the Hilbert win.
+  Region h = MakeRegion(CurveKind::kHilbert);
+  ASSERT_EQ(h.RunCount(), 1u);
+  EXPECT_EQ(h.runs()[0], (region::Run{3, 9}));
+}
+
+TEST(PaperExampleTest, Table2HilbertOblongOctants) {
+  // Table 2 oblong octants: <0011,0> <0100,2> <1000,1>.
+  Region h = MakeRegion(CurveKind::kHilbert);
+  auto oblong = h.ToOblongOctants();
+  ASSERT_EQ(oblong.size(), 3u);
+  EXPECT_EQ(oblong[0], (Octant{0b0011, 0}));
+  EXPECT_EQ(oblong[1], (Octant{0b0100, 2}));
+  EXPECT_EQ(oblong[2], (Octant{0b1000, 1}));
+}
+
+TEST(PaperExampleTest, Table2HilbertOctants) {
+  // Table 2 octants: <0011,0> <0100,2> <1000,0> <1001,0>.
+  Region h = MakeRegion(CurveKind::kHilbert);
+  auto octants = h.ToOctants();
+  ASSERT_EQ(octants.size(), 4u);
+  EXPECT_EQ(octants[0], (Octant{0b0011, 0}));
+  EXPECT_EQ(octants[1], (Octant{0b0100, 2}));
+  EXPECT_EQ(octants[2], (Octant{0b1000, 0}));
+  EXPECT_EQ(octants[3], (Octant{0b1001, 0}));
+}
+
+TEST(PaperExampleTest, NaiveEncodingStoresOneRunInEightBytes) {
+  // §4.2: "For the example REGION in Figure 3, this method would store
+  // 1 run in 8 bytes" (plus our 4-byte count header).
+  Region h = MakeRegion(CurveKind::kHilbert);
+  auto size = EncodedSizeBytes(h, RegionEncoding::kNaiveRuns);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), 4u + 8u);
+}
+
+TEST(PaperExampleTest, CurveConversionMatchesBetweenTables) {
+  // The same voxel set expressed on either curve converts to the other.
+  Region h = MakeRegion(CurveKind::kHilbert);
+  Region z = MakeRegion(CurveKind::kZ);
+  EXPECT_EQ(h.ConvertTo(CurveKind::kZ), z);
+  EXPECT_EQ(z.ConvertTo(CurveKind::kHilbert), h);
+}
+
+TEST(PaperExampleTest, ZRunFromFigure3Text) {
+  // §4 terminology: "one z-run in Figure 3 stretches from z-id 1100 to
+  // 1101".
+  Region z = MakeRegion(CurveKind::kZ);
+  EXPECT_TRUE(z.ContainsId(0b1100));
+  EXPECT_TRUE(z.ContainsId(0b1101));
+  EXPECT_FALSE(z.ContainsId(0b1110));
+  EXPECT_FALSE(z.ContainsId(0b1011));
+}
+
+}  // namespace
+}  // namespace qbism::region

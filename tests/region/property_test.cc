@@ -1,0 +1,165 @@
+// Property-based tests: random regions are checked against a reference
+// implementation (std::set of ids) for every spatial operator.
+
+#include <algorithm>
+#include <iterator>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "region/region.h"
+
+namespace qbism::region {
+namespace {
+
+using curve::CurveKind;
+
+const GridSpec kGrid{3, 3};  // 8^3 = 512 ids: exhaustive checks are cheap
+
+std::set<uint64_t> RandomIdSet(Rng* rng, double density) {
+  std::set<uint64_t> ids;
+  for (uint64_t id = 0; id < kGrid.NumCells(); ++id) {
+    if (rng->NextDouble() < density) ids.insert(id);
+  }
+  return ids;
+}
+
+Region FromSet(const std::set<uint64_t>& ids) {
+  return Region::FromIds(kGrid, CurveKind::kHilbert,
+                         std::vector<uint64_t>(ids.begin(), ids.end()))
+      .MoveValue();
+}
+
+std::set<uint64_t> ToSet(const Region& r) {
+  std::set<uint64_t> ids;
+  for (const Run& run : r.runs()) {
+    for (uint64_t id = run.start; id <= run.end; ++id) ids.insert(id);
+  }
+  return ids;
+}
+
+class RegionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RegionPropertyTest, SetOpsMatchReference) {
+  Rng rng(GetParam());
+  for (double density : {0.02, 0.2, 0.5, 0.9}) {
+    std::set<uint64_t> sa = RandomIdSet(&rng, density);
+    std::set<uint64_t> sb = RandomIdSet(&rng, density / 2 + 0.05);
+    Region a = FromSet(sa), b = FromSet(sb);
+
+    std::set<uint64_t> expect_and, expect_or, expect_diff;
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::inserter(expect_and, expect_and.begin()));
+    std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                   std::inserter(expect_or, expect_or.begin()));
+    std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::inserter(expect_diff, expect_diff.begin()));
+
+    EXPECT_EQ(ToSet(a.IntersectWith(b).MoveValue()), expect_and);
+    EXPECT_EQ(ToSet(a.UnionWith(b).MoveValue()), expect_or);
+    EXPECT_EQ(ToSet(a.DifferenceWith(b).MoveValue()), expect_diff);
+    EXPECT_EQ(a.IntersectWith(b).MoveValue(), b.IntersectWith(a).MoveValue());
+    EXPECT_EQ(a.UnionWith(b).MoveValue(), b.UnionWith(a).MoveValue());
+
+    bool expect_contains = std::includes(sa.begin(), sa.end(), sb.begin(),
+                                         sb.end());
+    EXPECT_EQ(a.Contains(b).value(), expect_contains);
+  }
+}
+
+TEST_P(RegionPropertyTest, AlgebraicIdentities) {
+  Rng rng(GetParam() + 1000);
+  std::set<uint64_t> sa = RandomIdSet(&rng, 0.3);
+  std::set<uint64_t> sb = RandomIdSet(&rng, 0.3);
+  Region a = FromSet(sa), b = FromSet(sb);
+
+  // A \ B == A ∩ complement(B)
+  EXPECT_EQ(a.DifferenceWith(b).MoveValue(),
+            a.IntersectWith(b.Complement()).MoveValue());
+  // De Morgan: complement(A ∪ B) == complement(A) ∩ complement(B)
+  EXPECT_EQ(a.UnionWith(b).MoveValue().Complement(),
+            a.Complement().IntersectWith(b.Complement()).MoveValue());
+  // (A ∩ B) ⊆ A and A ⊆ (A ∪ B)
+  Region i = a.IntersectWith(b).MoveValue();
+  Region u = a.UnionWith(b).MoveValue();
+  EXPECT_TRUE(a.Contains(i).value());
+  EXPECT_TRUE(u.Contains(a).value());
+  // |A| + |B| == |A ∪ B| + |A ∩ B|
+  EXPECT_EQ(a.VoxelCount() + b.VoxelCount(),
+            u.VoxelCount() + i.VoxelCount());
+}
+
+TEST_P(RegionPropertyTest, CanonicalFormAlwaysHolds) {
+  Rng rng(GetParam() + 2000);
+  std::set<uint64_t> sa = RandomIdSet(&rng, 0.4);
+  std::set<uint64_t> sb = RandomIdSet(&rng, 0.4);
+  Region a = FromSet(sa), b = FromSet(sb);
+  for (const Region& r : {a.IntersectWith(b).MoveValue(),
+                          a.UnionWith(b).MoveValue(),
+                          a.DifferenceWith(b).MoveValue(), a.Complement(),
+                          a.WithMinGap(3), a.WithMinOctant(1)}) {
+    const auto& runs = r.runs();
+    for (size_t i = 0; i < runs.size(); ++i) {
+      ASSERT_LE(runs[i].start, runs[i].end);
+      ASSERT_LT(runs[i].end, kGrid.NumCells());
+      if (i > 0) {
+        ASSERT_GT(runs[i].start, runs[i - 1].end + 1);
+      }
+    }
+  }
+}
+
+TEST_P(RegionPropertyTest, ApproximationsAreSupersetsWithFewerRuns) {
+  Rng rng(GetParam() + 3000);
+  Region a = FromSet(RandomIdSet(&rng, 0.15));
+  for (uint64_t mingap : {2ull, 4ull, 16ull}) {
+    Region approx = a.WithMinGap(mingap);
+    EXPECT_TRUE(approx.Contains(a).value());
+    EXPECT_LE(approx.RunCount(), a.RunCount());
+    // No gap shorter than mingap survives.
+    const auto& runs = approx.runs();
+    for (size_t i = 1; i < runs.size(); ++i) {
+      EXPECT_GE(runs[i].start - runs[i - 1].end - 1, mingap);
+    }
+  }
+  for (int g : {1, 2}) {
+    Region approx = a.WithMinOctant(g);
+    EXPECT_TRUE(approx.Contains(a).value());
+    uint64_t block = uint64_t{1} << (kGrid.dims * g);
+    for (const region::Run& run : approx.runs()) {
+      EXPECT_EQ(run.start % block, 0u);
+      EXPECT_EQ((run.end + 1) % block, 0u);
+    }
+  }
+}
+
+TEST_P(RegionPropertyTest, CurveConversionIsBijective) {
+  Rng rng(GetParam() + 4000);
+  Region a = FromSet(RandomIdSet(&rng, 0.25));
+  Region z = a.ConvertTo(CurveKind::kZ);
+  EXPECT_EQ(z.VoxelCount(), a.VoxelCount());
+  EXPECT_EQ(z.ConvertTo(CurveKind::kHilbert), a);
+}
+
+TEST_P(RegionPropertyTest, OctantDecompositionReconstructs) {
+  Rng rng(GetParam() + 5000);
+  Region a = FromSet(RandomIdSet(&rng, 0.3));
+  for (bool oblong : {true, false}) {
+    auto octants = oblong ? a.ToOblongOctants() : a.ToOctants();
+    std::vector<region::Run> runs;
+    for (const Octant& o : octants) {
+      runs.push_back(region::Run{o.id, o.id + o.Length() - 1});
+    }
+    Region rebuilt =
+        Region::FromRuns(kGrid, CurveKind::kHilbert, std::move(runs))
+            .MoveValue();
+    EXPECT_EQ(rebuilt, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace qbism::region

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "region/region.h"
+
+namespace qbism::region {
+namespace {
+
+using curve::CurveKind;
+
+const GridSpec kGrid{3, 4};
+
+Region R(std::vector<Run> runs) {
+  return Region::FromRuns(kGrid, CurveKind::kHilbert, std::move(runs))
+      .MoveValue();
+}
+
+TEST(RegionOpsTest, IntersectionBasic) {
+  Region a = R({{0, 10}, {20, 30}});
+  Region b = R({{5, 25}});
+  Region i = a.IntersectWith(b).MoveValue();
+  ASSERT_EQ(i.RunCount(), 2u);
+  EXPECT_EQ(i.runs()[0], (region::Run{5, 10}));
+  EXPECT_EQ(i.runs()[1], (region::Run{20, 25}));
+}
+
+TEST(RegionOpsTest, IntersectionDisjointIsEmpty) {
+  Region a = R({{0, 10}});
+  Region b = R({{11, 20}});
+  EXPECT_TRUE(a.IntersectWith(b).MoveValue().Empty());
+}
+
+TEST(RegionOpsTest, IntersectionWithSelfIsIdentity) {
+  Region a = R({{3, 9}, {15, 15}, {40, 60}});
+  EXPECT_EQ(a.IntersectWith(a).MoveValue(), a);
+}
+
+TEST(RegionOpsTest, IntersectionWithFullIsIdentity) {
+  Region a = R({{3, 9}, {40, 60}});
+  Region full = Region::Full(kGrid, CurveKind::kHilbert);
+  EXPECT_EQ(a.IntersectWith(full).MoveValue(), a);
+  EXPECT_EQ(full.IntersectWith(a).MoveValue(), a);
+}
+
+TEST(RegionOpsTest, UnionMergesAndCanonicalizes) {
+  Region a = R({{0, 10}, {20, 30}});
+  Region b = R({{11, 19}});
+  Region u = a.UnionWith(b).MoveValue();
+  ASSERT_EQ(u.RunCount(), 1u);
+  EXPECT_EQ(u.runs()[0], (region::Run{0, 30}));
+}
+
+TEST(RegionOpsTest, UnionWithEmptyIsIdentity) {
+  Region a = R({{5, 9}});
+  Region empty(kGrid, CurveKind::kHilbert);
+  EXPECT_EQ(a.UnionWith(empty).MoveValue(), a);
+  EXPECT_EQ(empty.UnionWith(a).MoveValue(), a);
+}
+
+TEST(RegionOpsTest, DifferenceCarvesHoles) {
+  Region a = R({{0, 30}});
+  Region b = R({{5, 9}, {15, 19}});
+  Region d = a.DifferenceWith(b).MoveValue();
+  ASSERT_EQ(d.RunCount(), 3u);
+  EXPECT_EQ(d.runs()[0], (region::Run{0, 4}));
+  EXPECT_EQ(d.runs()[1], (region::Run{10, 14}));
+  EXPECT_EQ(d.runs()[2], (region::Run{20, 30}));
+}
+
+TEST(RegionOpsTest, DifferenceOfSelfIsEmpty) {
+  Region a = R({{2, 5}, {9, 22}});
+  EXPECT_TRUE(a.DifferenceWith(a).MoveValue().Empty());
+}
+
+TEST(RegionOpsTest, DifferenceWithEmpty) {
+  Region a = R({{2, 5}});
+  Region empty(kGrid, CurveKind::kHilbert);
+  EXPECT_EQ(a.DifferenceWith(empty).MoveValue(), a);
+  EXPECT_TRUE(empty.DifferenceWith(a).MoveValue().Empty());
+}
+
+TEST(RegionOpsTest, DifferenceSplitsAcrossMultipleARuns) {
+  Region a = R({{0, 5}, {10, 15}});
+  Region b = R({{3, 12}});
+  Region d = a.DifferenceWith(b).MoveValue();
+  ASSERT_EQ(d.RunCount(), 2u);
+  EXPECT_EQ(d.runs()[0], (region::Run{0, 2}));
+  EXPECT_EQ(d.runs()[1], (region::Run{13, 15}));
+}
+
+TEST(RegionOpsTest, ContainsSupersetSemantics) {
+  Region big = R({{0, 100}});
+  Region small = R({{5, 9}, {50, 70}});
+  EXPECT_TRUE(big.Contains(small).value());
+  EXPECT_FALSE(small.Contains(big).value());
+  EXPECT_TRUE(big.Contains(big).value());
+  // Everything contains the empty region.
+  Region empty(kGrid, CurveKind::kHilbert);
+  EXPECT_TRUE(small.Contains(empty).value());
+  EXPECT_FALSE(empty.Contains(small).value());
+  EXPECT_TRUE(empty.Contains(empty).value());
+}
+
+TEST(RegionOpsTest, ContainsDetectsStraddle) {
+  Region a = R({{0, 10}, {20, 30}});
+  // A run crossing a's gap is not contained even though both ends are.
+  Region straddler = R({{8, 22}});
+  EXPECT_FALSE(a.Contains(straddler).value());
+}
+
+TEST(RegionOpsTest, ComplementPartitionsGrid) {
+  Region a = R({{0, 9}, {100, 199}, {4090, 4095}});
+  Region c = a.Complement();
+  EXPECT_EQ(a.VoxelCount() + c.VoxelCount(), kGrid.NumCells());
+  EXPECT_TRUE(a.IntersectWith(c).MoveValue().Empty());
+  EXPECT_EQ(a.UnionWith(c).MoveValue(),
+            Region::Full(kGrid, CurveKind::kHilbert));
+  // Double complement restores.
+  EXPECT_EQ(c.Complement(), a);
+}
+
+TEST(RegionOpsTest, MixedGridsRejected) {
+  Region a = R({{0, 5}});
+  Region other(GridSpec{3, 5}, CurveKind::kHilbert);
+  EXPECT_FALSE(a.IntersectWith(other).ok());
+  EXPECT_FALSE(a.UnionWith(other).ok());
+  EXPECT_FALSE(a.DifferenceWith(other).ok());
+  EXPECT_FALSE(a.Contains(other).ok());
+}
+
+TEST(RegionOpsTest, MixedCurvesRejected) {
+  Region a = R({{0, 5}});
+  Region z(kGrid, CurveKind::kZ);
+  EXPECT_FALSE(a.IntersectWith(z).ok());
+  EXPECT_TRUE(a.IntersectWith(z).status().IsInvalidArgument());
+}
+
+TEST(RegionOpsTest, WithMinGapMergesShortGaps) {
+  Region a = R({{0, 9}, {12, 19}, {40, 49}});
+  // Gap 10-11 has length 2; gap 20-39 has length 20.
+  Region merged = a.WithMinGap(3);
+  ASSERT_EQ(merged.RunCount(), 2u);
+  EXPECT_EQ(merged.runs()[0], (region::Run{0, 19}));
+  EXPECT_EQ(merged.runs()[1], (region::Run{40, 49}));
+  // Approximation is a superset of the original.
+  EXPECT_TRUE(merged.Contains(a).value());
+  // mingap 1 is the identity (gaps of length >= 1 survive).
+  EXPECT_EQ(a.WithMinGap(1), a);
+  // Huge mingap collapses to one run.
+  EXPECT_EQ(a.WithMinGap(1000).RunCount(), 1u);
+}
+
+TEST(RegionOpsTest, WithMinOctantRoundsOut) {
+  Region a = R({{5, 5}});
+  // G = 2 (g_log2 = 1): blocks of 2^3 = 8 ids; id 5 lives in block 0-7.
+  Region rounded = a.WithMinOctant(1);
+  ASSERT_EQ(rounded.RunCount(), 1u);
+  EXPECT_EQ(rounded.runs()[0], (region::Run{0, 7}));
+  EXPECT_TRUE(rounded.Contains(a).value());
+  // g_log2 = 0 is the identity.
+  EXPECT_EQ(a.WithMinOctant(0), a);
+}
+
+TEST(RegionOpsTest, WithMinOctantClampsAtGridEnd) {
+  Region a = R({{4095, 4095}});
+  Region rounded = a.WithMinOctant(2);  // blocks of 64 ids
+  ASSERT_EQ(rounded.RunCount(), 1u);
+  EXPECT_EQ(rounded.runs()[0], (region::Run{4032, 4095}));
+}
+
+TEST(RegionOpsTest, NWayIntersectionAssociative) {
+  Region a = R({{0, 99}});
+  Region b = R({{50, 150}});
+  Region c = R({{75, 125}});
+  Region ab_c =
+      a.IntersectWith(b).MoveValue().IntersectWith(c).MoveValue();
+  Region a_bc =
+      a.IntersectWith(b.IntersectWith(c).MoveValue()).MoveValue();
+  EXPECT_EQ(ab_c, a_bc);
+  ASSERT_EQ(ab_c.RunCount(), 1u);
+  EXPECT_EQ(ab_c.runs()[0], (region::Run{75, 99}));
+}
+
+}  // namespace
+}  // namespace qbism::region

@@ -1,0 +1,74 @@
+#include "region/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/shapes.h"
+
+namespace qbism::region {
+namespace {
+
+using curve::CurveKind;
+
+const GridSpec kGrid{3, 5};  // 32^3: big enough for meaningful stats
+
+Region BlobRegion() {
+  geometry::Ellipsoid blob({16, 15, 17}, {10, 8, 9});
+  return Region::FromShape(kGrid, CurveKind::kHilbert, blob);
+}
+
+TEST(RegionStatsTest, CountsAreConsistent) {
+  Region r = BlobRegion();
+  RegionStats stats = ComputeRegionStats(r);
+  EXPECT_EQ(stats.voxels, r.VoxelCount());
+  EXPECT_EQ(stats.h_runs, r.RunCount());
+  EXPECT_EQ(stats.h_oblong_octants, r.ToOblongOctants().size());
+  EXPECT_EQ(stats.h_octants, r.ToOctants().size());
+  // Ordering invariants within each curve.
+  EXPECT_LE(stats.h_runs, stats.h_oblong_octants);
+  EXPECT_LE(stats.h_oblong_octants, stats.h_octants);
+  EXPECT_LE(stats.z_runs, stats.z_oblong_octants);
+  EXPECT_LE(stats.z_oblong_octants, stats.z_octants);
+}
+
+TEST(RegionStatsTest, HilbertBeatsZOnCompactBlob) {
+  // §4.2: the Hilbert curve yields fewer runs than the Z curve for
+  // typical (compact) brain regions.
+  RegionStats stats = ComputeRegionStats(BlobRegion());
+  EXPECT_LT(stats.h_runs, stats.z_runs);
+}
+
+TEST(RegionStatsTest, SizesOrderedLikeFigure4) {
+  // entropy <= elias << naive ~ oblong < octant for a compact region.
+  RegionStats stats = ComputeRegionStats(BlobRegion());
+  EXPECT_LT(stats.entropy_bytes, static_cast<double>(stats.elias_bytes));
+  EXPECT_LT(stats.elias_bytes, stats.naive_bytes);
+  EXPECT_LT(stats.naive_bytes, stats.octant_bytes);
+}
+
+TEST(RegionStatsTest, EliasCloseToEntropyBound) {
+  // Figure 4: elias lands ~1.2x the entropy bound. Allow generous slack
+  // for a small grid, but it must be within ~2.5x.
+  RegionStats stats = ComputeRegionStats(BlobRegion());
+  ASSERT_GT(stats.entropy_bytes, 0.0);
+  double ratio = static_cast<double>(stats.elias_bytes) / stats.entropy_bytes;
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 2.5);
+}
+
+TEST(RegionStatsTest, DeltaPowerLawFitIsNegativeAndCorrelated) {
+  LinearFit fit = FitDeltaPowerLaw(BlobRegion());
+  // EQ 1: count = c * length^(-a) with a in roughly [0.5, 3] for blobs.
+  EXPECT_LT(fit.slope, 0.0);
+  EXPECT_LT(fit.r, -0.5);  // log-log scatter strongly decreasing
+}
+
+TEST(RegionStatsTest, EmptyRegionStats) {
+  Region empty(kGrid, CurveKind::kHilbert);
+  RegionStats stats = ComputeRegionStats(empty);
+  EXPECT_EQ(stats.voxels, 0u);
+  EXPECT_EQ(stats.h_runs, 0u);
+  EXPECT_EQ(stats.entropy_bytes, 0.0);  // one delta (the whole grid gap)
+}
+
+}  // namespace
+}  // namespace qbism::region

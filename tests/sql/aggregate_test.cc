@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "sql/database.h"
+
+namespace qbism::sql {
+namespace {
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("create table m (grp string, x int, y double)")
+                    .ok());
+    ASSERT_TRUE(db_.Execute("insert into m values"
+                            " ('a', 1, 0.5), ('a', 2, 1.5), ('a', 3, 2.5),"
+                            " ('b', 10, 5.0), ('b', 20, 10.0)")
+                    .ok());
+  }
+
+  ResultSet Run(const std::string& sql) {
+    auto result = db_.Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    return result.ok() ? result.MoveValue() : ResultSet{};
+  }
+
+  Database db_;
+};
+
+TEST_F(AggregateTest, CountStarWholeTable) {
+  auto r = Run("select count(*) from m");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt().value(), 5);
+}
+
+TEST_F(AggregateTest, SumAvgMinMax) {
+  auto r = Run("select sum(x), avg(x), min(x), max(x) from m");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt().value(), 36);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble().value(), 7.2);
+  EXPECT_EQ(r.rows[0][2].AsInt().value(), 1);
+  EXPECT_EQ(r.rows[0][3].AsInt().value(), 20);
+}
+
+TEST_F(AggregateTest, DoubleSumStaysDouble) {
+  auto r = Run("select sum(y) from m");
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble().value(), 19.5);
+}
+
+TEST_F(AggregateTest, GroupByProducesOneRowPerGroup) {
+  auto r = Run("select grp, count(*), sum(x) from m group by grp");
+  ASSERT_EQ(r.rows.size(), 2u);
+  // First-seen order: 'a' then 'b'.
+  EXPECT_EQ(r.rows[0][0].AsString().value(), "a");
+  EXPECT_EQ(r.rows[0][1].AsInt().value(), 3);
+  EXPECT_EQ(r.rows[0][2].AsInt().value(), 6);
+  EXPECT_EQ(r.rows[1][0].AsString().value(), "b");
+  EXPECT_EQ(r.rows[1][1].AsInt().value(), 2);
+  EXPECT_EQ(r.rows[1][2].AsInt().value(), 30);
+}
+
+TEST_F(AggregateTest, GroupByWithWhere) {
+  auto r = Run("select grp, avg(x) from m where x > 1 group by grp");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble().value(), 2.5);   // (2+3)/2
+  EXPECT_DOUBLE_EQ(r.rows[1][1].AsDouble().value(), 15.0);  // (10+20)/2
+}
+
+TEST_F(AggregateTest, AggregatesOverEmptyInput) {
+  auto r = Run("select count(*), sum(x), avg(x), min(x) from m"
+               " where x > 1000");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt().value(), 0);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+  EXPECT_TRUE(r.rows[0][2].is_null());
+  EXPECT_TRUE(r.rows[0][3].is_null());
+}
+
+TEST_F(AggregateTest, GroupByEmptyInputYieldsNoRows) {
+  auto r = Run("select grp, count(*) from m where x > 1000 group by grp");
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST_F(AggregateTest, CountExprSkipsNulls) {
+  ASSERT_TRUE(db_.Execute("create table n (v int)").ok());
+  ASSERT_TRUE(db_.Execute("insert into n values (1), (null), (3), (null)")
+                  .ok());
+  auto r = Run("select count(*), count(v), sum(v) from n");
+  EXPECT_EQ(r.rows[0][0].AsInt().value(), 4);
+  EXPECT_EQ(r.rows[0][1].AsInt().value(), 2);
+  EXPECT_EQ(r.rows[0][2].AsInt().value(), 4);
+}
+
+TEST_F(AggregateTest, MinMaxOverStrings) {
+  auto r = Run("select min(grp), max(grp) from m");
+  EXPECT_EQ(r.rows[0][0].AsString().value(), "a");
+  EXPECT_EQ(r.rows[0][1].AsString().value(), "b");
+}
+
+TEST_F(AggregateTest, AggregateOverJoin) {
+  ASSERT_TRUE(db_.Execute("create table w (grp string, factor int)").ok());
+  ASSERT_TRUE(db_.Execute("insert into w values ('a', 10), ('b', 100)").ok());
+  auto r = Run(
+      "select m.grp, sum(m.x * w.factor) from m, w"
+      " where m.grp = w.grp group by m.grp");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1].AsInt().value(), 60);     // (1+2+3)*10
+  EXPECT_EQ(r.rows[1][1].AsInt().value(), 3000);   // (10+20)*100
+}
+
+TEST_F(AggregateTest, NestedAggregateRejected) {
+  auto result = db_.Execute("select sum(x) + 1 from m");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnimplemented());
+}
+
+TEST_F(AggregateTest, StarWithAggregateRejected) {
+  EXPECT_FALSE(db_.Execute("select * from m group by grp").ok());
+}
+
+TEST_F(AggregateTest, OrderByColumnName) {
+  auto r = Run("select grp, x from m order by x desc");
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0][1].AsInt().value(), 20);
+  EXPECT_EQ(r.rows[4][1].AsInt().value(), 1);
+}
+
+TEST_F(AggregateTest, OrderByPosition) {
+  auto r = Run("select x, y from m order by 2 desc limit 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble().value(), 10.0);
+  EXPECT_DOUBLE_EQ(r.rows[1][1].AsDouble().value(), 5.0);
+}
+
+TEST_F(AggregateTest, OrderByMultipleKeys) {
+  auto r = Run("select grp, x from m order by grp desc, x asc");
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0][0].AsString().value(), "b");
+  EXPECT_EQ(r.rows[0][1].AsInt().value(), 10);
+  EXPECT_EQ(r.rows[2][0].AsString().value(), "a");
+  EXPECT_EQ(r.rows[2][1].AsInt().value(), 1);
+}
+
+TEST_F(AggregateTest, OrderByAlias) {
+  auto r = Run("select x * 2 as doubled from m order by doubled desc limit 1");
+  EXPECT_EQ(r.rows[0][0].AsInt().value(), 40);
+}
+
+TEST_F(AggregateTest, OrderByQualifiedOutputColumn) {
+  auto r = Run("select m.x from m order by x limit 1");
+  EXPECT_EQ(r.rows[0][0].AsInt().value(), 1);
+}
+
+TEST_F(AggregateTest, OrderByValidation) {
+  EXPECT_FALSE(db_.Execute("select x from m order by nosuch").ok());
+  EXPECT_FALSE(db_.Execute("select x from m order by 5").ok());
+  EXPECT_FALSE(db_.Execute("select x from m order by 0").ok());
+  EXPECT_FALSE(db_.Execute("select x from m limit -1").ok());
+}
+
+TEST_F(AggregateTest, LimitTruncates) {
+  EXPECT_EQ(Run("select x from m limit 3").rows.size(), 3u);
+  EXPECT_EQ(Run("select x from m limit 0").rows.size(), 0u);
+  EXPECT_EQ(Run("select x from m limit 99").rows.size(), 5u);
+}
+
+TEST_F(AggregateTest, GroupByOrderByAggregatePosition) {
+  auto r = Run("select grp, sum(x) from m group by grp order by 2 desc");
+  EXPECT_EQ(r.rows[0][0].AsString().value(), "b");
+}
+
+TEST_F(AggregateTest, NullsSortFirstAscending) {
+  ASSERT_TRUE(db_.Execute("create table n (v int)").ok());
+  ASSERT_TRUE(db_.Execute("insert into n values (2), (null), (1)").ok());
+  auto r = Run("select v from n order by v");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_TRUE(r.rows[0][0].is_null());
+  EXPECT_EQ(r.rows[1][0].AsInt().value(), 1);
+}
+
+}  // namespace
+}  // namespace qbism::sql

@@ -1,0 +1,250 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace qbism::sql {
+namespace {
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = ParseStatement("select a, b from t").MoveValue();
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  ASSERT_NE(select, nullptr);
+  ASSERT_EQ(select->items.size(), 2u);
+  EXPECT_EQ(select->items[0].expr->kind, Expr::Kind::kColumnRef);
+  EXPECT_EQ(select->items[0].expr->column, "a");
+  ASSERT_EQ(select->tables.size(), 1u);
+  EXPECT_EQ(select->tables[0].table, "t");
+  EXPECT_EQ(select->tables[0].alias, "t");
+  EXPECT_EQ(select->where, nullptr);
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = ParseStatement("SELECT * FROM patients").MoveValue();
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  ASSERT_NE(select, nullptr);
+  EXPECT_TRUE(select->star);
+}
+
+TEST(ParserTest, AliasesExplicitAndImplicit) {
+  auto stmt =
+      ParseStatement("select x as alpha, y beta from t u, s").MoveValue();
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  ASSERT_NE(select, nullptr);
+  EXPECT_EQ(select->items[0].alias, "alpha");
+  EXPECT_EQ(select->items[1].alias, "beta");
+  EXPECT_EQ(select->tables[0].alias, "u");
+  EXPECT_EQ(select->tables[1].alias, "s");
+}
+
+TEST(ParserTest, QualifiedColumnsAndWhere) {
+  auto stmt = ParseStatement(
+                  "select wv.data from warpedVolume wv "
+                  "where wv.studyId = 53 and wv.atlasId <> 2")
+                  .MoveValue();
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  ASSERT_NE(select, nullptr);
+  EXPECT_EQ(select->items[0].expr->table, "wv");
+  EXPECT_EQ(select->items[0].expr->column, "data");
+  ASSERT_NE(select->where, nullptr);
+  EXPECT_EQ(select->where->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(select->where->bin_op, Expr::BinOp::kAnd);
+}
+
+TEST(ParserTest, FunctionCalls) {
+  auto stmt = ParseStatement(
+                  "select extractVoxels(wv.data, ast.region) "
+                  "from warpedVolume wv, atlasStructure ast")
+                  .MoveValue();
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  ASSERT_NE(select, nullptr);
+  const Expr& call = *select->items[0].expr;
+  EXPECT_EQ(call.kind, Expr::Kind::kFunctionCall);
+  EXPECT_EQ(call.function, "extractvoxels");  // lower-cased
+  ASSERT_EQ(call.args.size(), 2u);
+  EXPECT_EQ(call.args[0]->table, "wv");
+  EXPECT_EQ(call.args[1]->column, "region");
+}
+
+TEST(ParserTest, NestedFunctionCalls) {
+  auto stmt = ParseStatement(
+                  "select intersection(a.r, intersection(b.r, c.r)) "
+                  "from a, b, c")
+                  .MoveValue();
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  const Expr& outer = *select->items[0].expr;
+  ASSERT_EQ(outer.args.size(), 2u);
+  EXPECT_EQ(outer.args[1]->kind, Expr::Kind::kFunctionCall);
+  EXPECT_EQ(outer.args[1]->function, "intersection");
+}
+
+TEST(ParserTest, ZeroArgFunction) {
+  auto expr = ParseExpression("fullregion()").MoveValue();
+  EXPECT_EQ(expr->kind, Expr::Kind::kFunctionCall);
+  EXPECT_TRUE(expr->args.empty());
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3).
+  auto expr = ParseExpression("1 + 2 * 3").MoveValue();
+  EXPECT_EQ(expr->bin_op, Expr::BinOp::kAdd);
+  EXPECT_EQ(expr->rhs->bin_op, Expr::BinOp::kMul);
+  // a = 1 or b = 2 and c = 3: AND binds tighter than OR.
+  auto logic = ParseExpression("a = 1 or b = 2 and c = 3").MoveValue();
+  EXPECT_EQ(logic->bin_op, Expr::BinOp::kOr);
+  EXPECT_EQ(logic->rhs->bin_op, Expr::BinOp::kAnd);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto expr = ParseExpression("(1 + 2) * 3").MoveValue();
+  EXPECT_EQ(expr->bin_op, Expr::BinOp::kMul);
+  EXPECT_EQ(expr->lhs->bin_op, Expr::BinOp::kAdd);
+}
+
+TEST(ParserTest, UnaryOperators) {
+  auto neg = ParseExpression("-5").MoveValue();
+  EXPECT_EQ(neg->kind, Expr::Kind::kUnary);
+  EXPECT_EQ(neg->un_op, Expr::UnOp::kNeg);
+  auto stmt =
+      ParseStatement("select a from t where not a = 1").MoveValue();
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  EXPECT_EQ(select->where->kind, Expr::Kind::kUnary);
+  EXPECT_EQ(select->where->un_op, Expr::UnOp::kNot);
+}
+
+TEST(ParserTest, Insert) {
+  auto stmt = ParseStatement(
+                  "insert into t values (1, 'x', 2.5), (2, 'y', 3.5)")
+                  .MoveValue();
+  auto* insert = std::get_if<InsertStmt>(&stmt);
+  ASSERT_NE(insert, nullptr);
+  EXPECT_EQ(insert->table, "t");
+  ASSERT_EQ(insert->rows.size(), 2u);
+  ASSERT_EQ(insert->rows[0].size(), 3u);
+  EXPECT_EQ(insert->rows[0][0]->literal.AsInt().value(), 1);
+  EXPECT_EQ(insert->rows[1][1]->literal.AsString().value(), "y");
+}
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = ParseStatement(
+                  "create table t (id int, name string, score double,"
+                  " blob longfield)")
+                  .MoveValue();
+  auto* create = std::get_if<CreateTableStmt>(&stmt);
+  ASSERT_NE(create, nullptr);
+  EXPECT_EQ(create->table, "t");
+  ASSERT_EQ(create->columns.size(), 4u);
+  EXPECT_EQ(create->columns[0].type, ColumnType::kInt);
+  EXPECT_EQ(create->columns[1].type, ColumnType::kString);
+  EXPECT_EQ(create->columns[2].type, ColumnType::kDouble);
+  EXPECT_EQ(create->columns[3].type, ColumnType::kLongField);
+}
+
+TEST(ParserTest, GroupOrderLimitClauses) {
+  auto stmt = ParseStatement(
+                  "select grp, count(*) from t where x > 0 group by grp"
+                  " order by 2 desc, grp asc limit 10")
+                  .MoveValue();
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  ASSERT_NE(select, nullptr);
+  ASSERT_EQ(select->group_by.size(), 1u);
+  ASSERT_EQ(select->order_by.size(), 2u);
+  EXPECT_EQ(select->order_by[0].position, 2);
+  EXPECT_TRUE(select->order_by[0].descending);
+  EXPECT_EQ(select->order_by[1].column, "grp");
+  EXPECT_FALSE(select->order_by[1].descending);
+  EXPECT_EQ(select->limit, 10);
+}
+
+TEST(ParserTest, CountStarParses) {
+  auto expr = ParseExpression("count(*)").MoveValue();
+  EXPECT_EQ(expr->kind, Expr::Kind::kFunctionCall);
+  EXPECT_EQ(expr->function, "count");
+  EXPECT_TRUE(expr->args.empty());
+}
+
+TEST(ParserTest, CreateIndexStatement) {
+  auto stmt = ParseStatement("create index idx on t (col)").MoveValue();
+  auto* create = std::get_if<CreateIndexStmt>(&stmt);
+  ASSERT_NE(create, nullptr);
+  EXPECT_EQ(create->index_name, "idx");
+  EXPECT_EQ(create->table, "t");
+  EXPECT_EQ(create->column, "col");
+  EXPECT_FALSE(ParseStatement("create index on t (col)").ok());
+  EXPECT_FALSE(ParseStatement("create index idx on t ()").ok());
+}
+
+TEST(ParserTest, DeleteStatement) {
+  auto stmt = ParseStatement("delete from t where x = 1").MoveValue();
+  auto* del = std::get_if<DeleteStmt>(&stmt);
+  ASSERT_NE(del, nullptr);
+  EXPECT_EQ(del->table, "t");
+  EXPECT_NE(del->where, nullptr);
+  auto all = ParseStatement("delete from t").MoveValue();
+  EXPECT_EQ(std::get_if<DeleteStmt>(&all)->where, nullptr);
+  EXPECT_FALSE(ParseStatement("delete t").ok());
+}
+
+TEST(ParserTest, UpdateStatement) {
+  auto stmt = ParseStatement(
+                  "update t set a = a + 1, b = 'x' where c <> 0")
+                  .MoveValue();
+  auto* update = std::get_if<UpdateStmt>(&stmt);
+  ASSERT_NE(update, nullptr);
+  EXPECT_EQ(update->table, "t");
+  ASSERT_EQ(update->assignments.size(), 2u);
+  EXPECT_EQ(update->assignments[0].first, "a");
+  EXPECT_EQ(update->assignments[1].first, "b");
+  EXPECT_NE(update->where, nullptr);
+  EXPECT_FALSE(ParseStatement("update t a = 1").ok());
+  EXPECT_FALSE(ParseStatement("update t set").ok());
+}
+
+TEST(ParserTest, KeywordsCaseInsensitive) {
+  EXPECT_TRUE(ParseStatement("SeLeCt a FrOm t WhErE a = 1").ok());
+  EXPECT_TRUE(ParseStatement("INSERT INTO t VALUES (1)").ok());
+}
+
+TEST(ParserTest, NullLiteral) {
+  auto expr = ParseExpression("null").MoveValue();
+  EXPECT_EQ(expr->kind, Expr::Kind::kLiteral);
+  EXPECT_TRUE(expr->literal.is_null());
+}
+
+TEST(ParserTest, ErrorsAreInformative) {
+  for (const char* bad :
+       {"select", "select from t", "select a from", "insert t values (1)",
+        "create table t", "select a from t where", "select a from t 1 2",
+        "select a,, b from t", "insert into t values (1"}) {
+    auto result = ParseStatement(bad);
+    EXPECT_FALSE(result.ok()) << bad;
+    EXPECT_TRUE(result.status().IsInvalidArgument()) << bad;
+  }
+}
+
+TEST(ParserTest, PaperInfoQueryParses) {
+  // The first §3.4 query, adapted to our dialect (alias "as" -> "ast").
+  const char* sql =
+      "select a.n, a.x0, a.y0, a.z0, a.dx, a.dy, a.dz, a.atlasId, p.name,"
+      " p.patientId, rv.date"
+      " from atlas a, rawVolume rv, warpedVolume wv, patient p"
+      " where a.atlasId = wv.atlasId and wv.studyId = rv.studyId and"
+      " rv.patientId = p.patientId and rv.studyId = 53 and"
+      " a.atlasName = 'Talairach'";
+  auto stmt = ParseStatement(sql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto* select = std::get_if<SelectStmt>(&stmt.value());
+  EXPECT_EQ(select->items.size(), 11u);
+  EXPECT_EQ(select->tables.size(), 4u);
+}
+
+TEST(ParserTest, PaperDataQueryParses) {
+  const char* sql =
+      "select ast.region, extractVoxels(wv.data, ast.region)"
+      " from warpedVolume wv, atlasStructure ast, neuralStructure ns"
+      " where wv.studyId = 53 and ast.structureId = ns.structureId and"
+      " ns.structureName = 'putamen'";
+  EXPECT_TRUE(ParseStatement(sql).ok());
+}
+
+}  // namespace
+}  // namespace qbism::sql

@@ -1,0 +1,148 @@
+// Property tests: randomized tables, with SQL results checked against
+// straightforward reference computations in C++.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sql/database.h"
+
+namespace qbism::sql {
+namespace {
+
+struct RowData {
+  int64_t a;
+  int64_t b;
+  double x;
+};
+
+class SqlPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam());
+    ASSERT_TRUE(db_.Execute("create table t (a int, b int, x double)").ok());
+    int n = 50 + static_cast<int>(rng.NextBounded(150));
+    for (int i = 0; i < n; ++i) {
+      RowData row{static_cast<int64_t>(rng.NextBounded(20)),
+                  static_cast<int64_t>(rng.NextBounded(1000)),
+                  rng.NextDoubleIn(-5, 5)};
+      data_.push_back(row);
+      ASSERT_TRUE(db_.Insert("t", {Value::Int(row.a), Value::Int(row.b),
+                                   Value::Double(row.x)})
+                      .ok());
+    }
+  }
+
+  Database db_;
+  std::vector<RowData> data_;
+};
+
+TEST_P(SqlPropertyTest, FilterMatchesReference) {
+  Rng rng(GetParam() + 1);
+  for (int trial = 0; trial < 5; ++trial) {
+    int64_t k = static_cast<int64_t>(rng.NextBounded(20));
+    auto result = db_.Execute("select b from t where a < " +
+                              std::to_string(k) + " and b >= 100")
+                      .MoveValue();
+    size_t expected = 0;
+    for (const RowData& row : data_) {
+      if (row.a < k && row.b >= 100) ++expected;
+    }
+    EXPECT_EQ(result.rows.size(), expected) << "k=" << k;
+  }
+}
+
+TEST_P(SqlPropertyTest, AggregatesMatchReference) {
+  auto result =
+      db_.Execute("select count(*), sum(b), min(b), max(b), avg(x) from t")
+          .MoveValue();
+  int64_t sum = 0, min_b = INT64_MAX, max_b = INT64_MIN;
+  double sum_x = 0;
+  for (const RowData& row : data_) {
+    sum += row.b;
+    min_b = std::min(min_b, row.b);
+    max_b = std::max(max_b, row.b);
+    sum_x += row.x;
+  }
+  const Row& r = result.rows[0];
+  EXPECT_EQ(r[0].AsInt().value(), static_cast<int64_t>(data_.size()));
+  EXPECT_EQ(r[1].AsInt().value(), sum);
+  EXPECT_EQ(r[2].AsInt().value(), min_b);
+  EXPECT_EQ(r[3].AsInt().value(), max_b);
+  EXPECT_NEAR(r[4].AsDouble().value(),
+              sum_x / static_cast<double>(data_.size()), 1e-9);
+}
+
+TEST_P(SqlPropertyTest, GroupByMatchesReference) {
+  auto result =
+      db_.Execute("select a, count(*), sum(b) from t group by a").MoveValue();
+  std::map<int64_t, std::pair<int64_t, int64_t>> reference;  // a -> (n, sum)
+  for (const RowData& row : data_) {
+    reference[row.a].first += 1;
+    reference[row.a].second += row.b;
+  }
+  ASSERT_EQ(result.rows.size(), reference.size());
+  for (const Row& row : result.rows) {
+    int64_t a = row[0].AsInt().value();
+    ASSERT_TRUE(reference.count(a));
+    EXPECT_EQ(row[1].AsInt().value(), reference[a].first);
+    EXPECT_EQ(row[2].AsInt().value(), reference[a].second);
+  }
+}
+
+TEST_P(SqlPropertyTest, OrderByIsSorted) {
+  auto result = db_.Execute("select b from t order by b desc").MoveValue();
+  ASSERT_EQ(result.rows.size(), data_.size());
+  for (size_t i = 1; i < result.rows.size(); ++i) {
+    EXPECT_LE(result.rows[i][0].AsInt().value(),
+              result.rows[i - 1][0].AsInt().value());
+  }
+}
+
+TEST_P(SqlPropertyTest, SelfJoinCountMatchesReference) {
+  auto result =
+      db_.Execute("select count(*) from t u, t v where u.a = v.a").MoveValue();
+  std::map<int64_t, int64_t> by_a;
+  for (const RowData& row : data_) ++by_a[row.a];
+  int64_t expected = 0;
+  for (const auto& [a, count] : by_a) expected += count * count;
+  EXPECT_EQ(result.rows[0][0].AsInt().value(), expected);
+}
+
+TEST_P(SqlPropertyTest, IndexDoesNotChangeAnswers) {
+  Rng rng(GetParam() + 2);
+  int64_t probe = static_cast<int64_t>(rng.NextBounded(20));
+  std::string sql =
+      "select count(*), sum(b) from t where a = " + std::to_string(probe);
+  auto before = db_.Execute(sql).MoveValue();
+  ASSERT_TRUE(db_.Execute("create index ia on t (a)").ok());
+  auto after = db_.Execute(sql).MoveValue();
+  EXPECT_EQ(before.rows[0][0].AsInt().value(),
+            after.rows[0][0].AsInt().value());
+  EXPECT_EQ(before.rows[0][1].ToString(), after.rows[0][1].ToString());
+}
+
+TEST_P(SqlPropertyTest, DeleteThenCountConsistent) {
+  Rng rng(GetParam() + 3);
+  int64_t k = static_cast<int64_t>(rng.NextBounded(20));
+  auto deleted = db_.Execute("delete from t where a = " + std::to_string(k))
+                     .MoveValue();
+  size_t expected_deleted = 0;
+  for (const RowData& row : data_) {
+    if (row.a == k) ++expected_deleted;
+  }
+  EXPECT_EQ(deleted.rows_affected, expected_deleted);
+  auto remaining = db_.Execute("select count(*) from t").MoveValue();
+  EXPECT_EQ(remaining.rows[0][0].AsInt().value(),
+            static_cast<int64_t>(data_.size() - expected_deleted));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlPropertyTest,
+                         ::testing::Range<uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace qbism::sql

@@ -1,0 +1,130 @@
+#include "sql/udf.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/database.h"
+
+namespace qbism::sql {
+namespace {
+
+TEST(UdfRegistryTest, RegisterAndLookup) {
+  UdfRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("double_it",
+                            [](UdfContext&, const std::vector<Value>& args)
+                                -> Result<Value> {
+                              return Value::Int(args[0].AsInt().value() * 2);
+                            })
+                  .ok());
+  auto fn = registry.Lookup("double_it");
+  ASSERT_TRUE(fn.ok());
+  UdfContext ctx;
+  EXPECT_EQ((*fn.value())(ctx, {Value::Int(21)}).value().AsInt().value(), 42);
+}
+
+TEST(UdfRegistryTest, LookupCaseInsensitive) {
+  UdfRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("MixedCase",
+                            [](UdfContext&, const std::vector<Value>&)
+                                -> Result<Value> { return Value::Int(1); })
+                  .ok());
+  EXPECT_TRUE(registry.Lookup("mixedcase").ok());
+  EXPECT_TRUE(registry.Lookup("MIXEDCASE").ok());
+}
+
+TEST(UdfRegistryTest, DuplicateRejected) {
+  UdfRegistry registry;
+  auto fn = [](UdfContext&, const std::vector<Value>&) -> Result<Value> {
+    return Value::Int(0);
+  };
+  ASSERT_TRUE(registry.Register("f", fn).ok());
+  EXPECT_TRUE(registry.Register("F", fn).IsAlreadyExists());
+}
+
+TEST(UdfRegistryTest, UnknownNameFails) {
+  UdfRegistry registry;
+  EXPECT_TRUE(registry.Lookup("nope").status().IsNotFound());
+}
+
+TEST(UdfRegistryTest, NamesEnumerated) {
+  UdfRegistry registry;
+  auto fn = [](UdfContext&, const std::vector<Value>&) -> Result<Value> {
+    return Value::Int(0);
+  };
+  ASSERT_TRUE(registry.Register("b", fn).ok());
+  ASSERT_TRUE(registry.Register("a", fn).ok());
+  EXPECT_EQ(registry.Names(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(UdfInSqlTest, FunctionsRunInsideQueries) {
+  Database db;
+  ASSERT_TRUE(db.udfs()
+                  ->Register("plus",
+                             [](UdfContext&, const std::vector<Value>& args)
+                                 -> Result<Value> {
+                               if (args.size() != 2) {
+                                 return Status::InvalidArgument("arity");
+                               }
+                               return Value::Int(args[0].AsInt().value() +
+                                                 args[1].AsInt().value());
+                             })
+                  .ok());
+  ASSERT_TRUE(db.Execute("create table t (x int)").ok());
+  ASSERT_TRUE(db.Execute("insert into t values (10), (20)").ok());
+  auto result = db.Execute("select plus(x, 5) from t where plus(x, 0) = 20");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].AsInt().value(), 25);
+}
+
+TEST(UdfInSqlTest, UdfErrorsPropagate) {
+  Database db;
+  ASSERT_TRUE(db.udfs()
+                  ->Register("boom",
+                             [](UdfContext&, const std::vector<Value>&)
+                                 -> Result<Value> {
+                               return Status::Internal("kaboom");
+                             })
+                  .ok());
+  ASSERT_TRUE(db.Execute("create table t (x int)").ok());
+  ASSERT_TRUE(db.Execute("insert into t values (1)").ok());
+  auto result = db.Execute("select boom() from t");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInternal());
+}
+
+TEST(UdfInSqlTest, UnknownFunctionReported) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table t (x int)").ok());
+  ASSERT_TRUE(db.Execute("insert into t values (1)").ok());
+  auto result = db.Execute("select nosuchfn(x) from t");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(UdfInSqlTest, ContextCarriesLfmAndExtensionState) {
+  Database db;
+  int sentinel = 1234;
+  db.set_extension_state(&sentinel);
+  ASSERT_TRUE(
+      db.udfs()
+          ->Register("probe",
+                     [](UdfContext& ctx, const std::vector<Value>&)
+                         -> Result<Value> {
+                       if (ctx.lfm == nullptr) {
+                         return Status::Internal("no lfm");
+                       }
+                       return Value::Int(
+                           *static_cast<int*>(ctx.extension_state));
+                     })
+          .ok());
+  ASSERT_TRUE(db.Execute("create table t (x int)").ok());
+  ASSERT_TRUE(db.Execute("insert into t values (0)").ok());
+  auto result = db.Execute("select probe() from t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].AsInt().value(), 1234);
+}
+
+}  // namespace
+}  // namespace qbism::sql

@@ -1,0 +1,115 @@
+#include "storage/buddy_allocator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qbism::storage {
+namespace {
+
+TEST(BuddyAllocatorTest, ExtentRounding) {
+  EXPECT_EQ(BuddyAllocator::ExtentPages(0), 1u);
+  EXPECT_EQ(BuddyAllocator::ExtentPages(1), 1u);
+  EXPECT_EQ(BuddyAllocator::ExtentPages(2), 2u);
+  EXPECT_EQ(BuddyAllocator::ExtentPages(3), 4u);
+  EXPECT_EQ(BuddyAllocator::ExtentPages(512), 512u);
+  EXPECT_EQ(BuddyAllocator::ExtentPages(513), 1024u);
+}
+
+TEST(BuddyAllocatorTest, AllocationsAreAlignedAndDisjoint) {
+  BuddyAllocator alloc(256);
+  std::set<std::pair<uint64_t, uint64_t>> extents;  // [start, end)
+  for (uint64_t request : {1ull, 3ull, 8ull, 5ull, 16ull, 2ull, 32ull}) {
+    auto start = alloc.Allocate(request);
+    ASSERT_TRUE(start.ok());
+    uint64_t extent = BuddyAllocator::ExtentPages(request);
+    EXPECT_EQ(start.value() % extent, 0u) << "buddy blocks are aligned";
+    for (const auto& [s, e] : extents) {
+      EXPECT_TRUE(start.value() >= e || start.value() + extent <= s)
+          << "extents overlap";
+    }
+    extents.insert({start.value(), start.value() + extent});
+  }
+}
+
+TEST(BuddyAllocatorTest, ExhaustionReported) {
+  BuddyAllocator alloc(8);
+  EXPECT_TRUE(alloc.Allocate(8).ok());
+  EXPECT_FALSE(alloc.Allocate(1).ok());
+  EXPECT_TRUE(alloc.Allocate(1).status().IsOutOfRange());
+}
+
+TEST(BuddyAllocatorTest, FreeAndCoalesce) {
+  BuddyAllocator alloc(16);
+  auto a = alloc.Allocate(8).MoveValue();
+  auto b = alloc.Allocate(8).MoveValue();
+  EXPECT_FALSE(alloc.Allocate(1).ok());  // full
+  ASSERT_TRUE(alloc.Free(a, 8).ok());
+  ASSERT_TRUE(alloc.Free(b, 8).ok());
+  // After coalescing, the full 16-page block is available again.
+  auto whole = alloc.Allocate(16);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(whole.value(), 0u);
+}
+
+TEST(BuddyAllocatorTest, SplitThenCoalesceRestoresState) {
+  BuddyAllocator alloc(64);
+  auto a = alloc.Allocate(1).MoveValue();
+  auto b = alloc.Allocate(1).MoveValue();
+  ASSERT_TRUE(alloc.Free(a, 1).ok());
+  ASSERT_TRUE(alloc.Free(b, 1).ok());
+  auto whole = alloc.Allocate(64);
+  ASSERT_TRUE(whole.ok());
+}
+
+TEST(BuddyAllocatorTest, FreeValidation) {
+  BuddyAllocator alloc(16);
+  EXPECT_FALSE(alloc.Free(100, 1).ok());   // beyond device
+  EXPECT_FALSE(alloc.Free(1, 4).ok());     // misaligned for extent 4
+  EXPECT_FALSE(alloc.Free(0, 0).ok());     // zero pages
+}
+
+TEST(BuddyAllocatorTest, AllocatedPagesAccounting) {
+  BuddyAllocator alloc(64);
+  EXPECT_EQ(alloc.allocated_pages(), 0u);
+  auto a = alloc.Allocate(3).MoveValue();  // extent 4
+  EXPECT_EQ(alloc.allocated_pages(), 4u);
+  auto b = alloc.Allocate(16).MoveValue();
+  EXPECT_EQ(alloc.allocated_pages(), 20u);
+  ASSERT_TRUE(alloc.Free(a, 3).ok());
+  EXPECT_EQ(alloc.allocated_pages(), 16u);
+  ASSERT_TRUE(alloc.Free(b, 16).ok());
+  EXPECT_EQ(alloc.allocated_pages(), 0u);
+}
+
+TEST(BuddyAllocatorTest, RandomizedChurnNeverCorrupts) {
+  Rng rng(5);
+  BuddyAllocator alloc(1024);
+  std::vector<std::pair<uint64_t, uint64_t>> live;  // (start, request)
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.NextDouble() < 0.6) {
+      uint64_t request = 1 + rng.NextBounded(64);
+      auto start = alloc.Allocate(request);
+      if (!start.ok()) continue;  // device temporarily full
+      uint64_t extent = BuddyAllocator::ExtentPages(request);
+      for (const auto& [s, r] : live) {
+        uint64_t e = BuddyAllocator::ExtentPages(r);
+        ASSERT_TRUE(start.value() >= s + e || start.value() + extent <= s);
+      }
+      live.emplace_back(start.value(), request);
+    } else {
+      size_t victim = rng.NextBounded(live.size());
+      ASSERT_TRUE(alloc.Free(live[victim].first, live[victim].second).ok());
+      live.erase(live.begin() + static_cast<int64_t>(victim));
+    }
+  }
+  // Free everything: the allocator must return to a pristine state.
+  for (const auto& [s, r] : live) ASSERT_TRUE(alloc.Free(s, r).ok());
+  EXPECT_EQ(alloc.allocated_pages(), 0u);
+  EXPECT_TRUE(alloc.Allocate(1024).ok());
+}
+
+}  // namespace
+}  // namespace qbism::storage

@@ -1,0 +1,91 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+namespace qbism::storage {
+namespace {
+
+TEST(BufferPoolTest, MissThenHit) {
+  DiskDevice device(16);
+  BufferPool pool(&device, 4);
+  ASSERT_TRUE(pool.GetPage(2).ok());
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.hits(), 0u);
+  ASSERT_TRUE(pool.GetPage(2).ok());
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(device.stats().pages_read, 1u);
+}
+
+TEST(BufferPoolTest, EvictionWritesDirtyPages) {
+  DiskDevice device(16);
+  BufferPool pool(&device, 2);
+  uint8_t* p0 = pool.GetPage(0).MoveValue();
+  std::memset(p0, 0xEE, kPageSize);
+  ASSERT_TRUE(pool.MarkDirty(0).ok());
+  // Fill the pool so page 0 is evicted (LRU).
+  ASSERT_TRUE(pool.GetPage(1).ok());
+  ASSERT_TRUE(pool.GetPage(2).ok());
+  EXPECT_EQ(device.stats().pages_written, 1u);
+  // Re-reading page 0 sees the flushed content.
+  uint8_t* again = pool.GetPage(0).MoveValue();
+  EXPECT_EQ(again[0], 0xEE);
+  EXPECT_EQ(again[kPageSize - 1], 0xEE);
+}
+
+TEST(BufferPoolTest, CleanEvictionDoesNotWrite) {
+  DiskDevice device(16);
+  BufferPool pool(&device, 1);
+  ASSERT_TRUE(pool.GetPage(0).ok());
+  ASSERT_TRUE(pool.GetPage(1).ok());  // evicts clean page 0
+  EXPECT_EQ(device.stats().pages_written, 0u);
+}
+
+TEST(BufferPoolTest, LruOrderRespected) {
+  DiskDevice device(16);
+  BufferPool pool(&device, 2);
+  ASSERT_TRUE(pool.GetPage(0).ok());
+  ASSERT_TRUE(pool.GetPage(1).ok());
+  ASSERT_TRUE(pool.GetPage(0).ok());  // touch 0: now 1 is LRU
+  ASSERT_TRUE(pool.GetPage(2).ok());  // evicts 1
+  device.ResetStats();
+  ASSERT_TRUE(pool.GetPage(0).ok());  // still resident
+  EXPECT_EQ(device.stats().pages_read, 0u);
+  ASSERT_TRUE(pool.GetPage(1).ok());  // was evicted: re-read
+  EXPECT_EQ(device.stats().pages_read, 1u);
+}
+
+TEST(BufferPoolTest, FlushAllPersistsEverythingDirty) {
+  DiskDevice device(16);
+  BufferPool pool(&device, 4);
+  for (uint64_t p = 0; p < 3; ++p) {
+    uint8_t* frame = pool.GetPage(p).MoveValue();
+    std::memset(frame, static_cast<int>(p + 1), kPageSize);
+    ASSERT_TRUE(pool.MarkDirty(p).ok());
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(device.stats().pages_written, 3u);
+  // Direct device read confirms contents.
+  std::vector<uint8_t> buf(kPageSize);
+  ASSERT_TRUE(device.ReadPage(2, buf.data()).ok());
+  EXPECT_EQ(buf[0], 3);
+  // Second flush writes nothing (pages now clean).
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(device.stats().pages_written, 3u);
+}
+
+TEST(BufferPoolTest, MarkDirtyUnknownPageFails) {
+  DiskDevice device(16);
+  BufferPool pool(&device, 2);
+  EXPECT_FALSE(pool.MarkDirty(5).ok());
+}
+
+TEST(BufferPoolTest, OutOfRangePagePropagatesError) {
+  DiskDevice device(4);
+  BufferPool pool(&device, 2);
+  EXPECT_FALSE(pool.GetPage(100).ok());
+}
+
+}  // namespace
+}  // namespace qbism::storage

@@ -1,0 +1,101 @@
+#include "storage/disk_device.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qbism::storage {
+namespace {
+
+TEST(DiskDeviceTest, WriteThenReadBack) {
+  DiskDevice device(16);
+  std::vector<uint8_t> out(kPageSize, 0xAB);
+  ASSERT_TRUE(device.WritePage(3, out.data()).ok());
+  std::vector<uint8_t> in(kPageSize, 0);
+  ASSERT_TRUE(device.ReadPage(3, in.data()).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(DiskDeviceTest, FreshPagesAreZero) {
+  DiskDevice device(4);
+  std::vector<uint8_t> in(kPageSize, 0xFF);
+  ASSERT_TRUE(device.ReadPage(0, in.data()).ok());
+  for (uint8_t b : in) EXPECT_EQ(b, 0);
+}
+
+TEST(DiskDeviceTest, OutOfRangeRejected) {
+  DiskDevice device(4);
+  std::vector<uint8_t> buf(kPageSize);
+  EXPECT_FALSE(device.ReadPage(4, buf.data()).ok());
+  EXPECT_FALSE(device.WritePage(4, buf.data()).ok());
+  EXPECT_FALSE(device.ReadPages(3, 2, buf.data()).ok());
+}
+
+TEST(DiskDeviceTest, MultiPageTransfer) {
+  DiskDevice device(8);
+  std::vector<uint8_t> out(3 * kPageSize);
+  for (size_t i = 0; i < out.size(); ++i) out[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE(device.WritePages(2, 3, out.data()).ok());
+  std::vector<uint8_t> in(3 * kPageSize);
+  ASSERT_TRUE(device.ReadPages(2, 3, in.data()).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(DiskDeviceTest, CountsPagesAndSeeks) {
+  DiskDevice device(64);
+  std::vector<uint8_t> buf(4 * kPageSize);
+  device.ResetStats();
+  // First access: one seek.
+  ASSERT_TRUE(device.ReadPages(10, 4, buf.data()).ok());
+  EXPECT_EQ(device.stats().pages_read, 4u);
+  EXPECT_EQ(device.stats().seeks, 1u);
+  // Sequential continuation: no extra seek.
+  ASSERT_TRUE(device.ReadPage(14, buf.data()).ok());
+  EXPECT_EQ(device.stats().pages_read, 5u);
+  EXPECT_EQ(device.stats().seeks, 1u);
+  // Random jump: another seek.
+  ASSERT_TRUE(device.ReadPage(0, buf.data()).ok());
+  EXPECT_EQ(device.stats().seeks, 2u);
+}
+
+TEST(DiskDeviceTest, CostModelDeterministic) {
+  DiskCostModel model{0.010, 0.001};
+  DiskDevice device(64, model);
+  std::vector<uint8_t> buf(kPageSize);
+  ASSERT_TRUE(device.ReadPage(5, buf.data()).ok());   // seek + 1 transfer
+  ASSERT_TRUE(device.ReadPage(6, buf.data()).ok());   // sequential transfer
+  ASSERT_TRUE(device.ReadPage(20, buf.data()).ok());  // seek + transfer
+  EXPECT_NEAR(device.stats().simulated_seconds, 2 * 0.010 + 3 * 0.001, 1e-12);
+}
+
+TEST(DiskDeviceTest, ResetStatsClearsCounters) {
+  DiskDevice device(8);
+  std::vector<uint8_t> buf(kPageSize);
+  ASSERT_TRUE(device.ReadPage(1, buf.data()).ok());
+  device.ResetStats();
+  EXPECT_EQ(device.stats().pages_read, 0u);
+  EXPECT_EQ(device.stats().simulated_seconds, 0.0);
+}
+
+TEST(DiskDeviceTest, StatsSubtraction) {
+  IoStats a{10, 5, 3, 1.5};
+  IoStats b{4, 2, 1, 0.5};
+  IoStats d = a - b;
+  EXPECT_EQ(d.pages_read, 6u);
+  EXPECT_EQ(d.pages_written, 3u);
+  EXPECT_EQ(d.seeks, 2u);
+  EXPECT_NEAR(d.simulated_seconds, 1.0, 1e-12);
+}
+
+TEST(DiskDeviceTest, WritesCountedSeparately) {
+  DiskDevice device(8);
+  std::vector<uint8_t> buf(kPageSize, 1);
+  ASSERT_TRUE(device.WritePage(0, buf.data()).ok());
+  ASSERT_TRUE(device.ReadPage(0, buf.data()).ok());
+  EXPECT_EQ(device.stats().pages_written, 1u);
+  EXPECT_EQ(device.stats().pages_read, 1u);
+}
+
+}  // namespace
+}  // namespace qbism::storage

@@ -1,0 +1,101 @@
+// Failure injection: every storage and SQL layer must surface injected
+// disk faults as IOError statuses instead of crashing or corrupting.
+
+#include <gtest/gtest.h>
+
+#include "sql/database.h"
+#include "storage/bptree.h"
+#include "storage/long_field.h"
+
+namespace qbism::storage {
+namespace {
+
+TEST(FaultInjectionTest, DeviceFailsExactlyAfterBudget) {
+  DiskDevice device(16);
+  std::vector<uint8_t> buf(kPageSize);
+  device.FailAfter(2);
+  EXPECT_TRUE(device.ReadPage(0, buf.data()).ok());
+  EXPECT_TRUE(device.WritePage(1, buf.data()).ok());
+  EXPECT_TRUE(device.ReadPage(2, buf.data()).IsIOError());
+  EXPECT_TRUE(device.WritePage(3, buf.data()).IsIOError());
+  device.ClearFault();
+  EXPECT_TRUE(device.ReadPage(2, buf.data()).ok());
+}
+
+TEST(FaultInjectionTest, MultiPageTransferChargedAsWhole) {
+  DiskDevice device(16);
+  std::vector<uint8_t> buf(4 * kPageSize);
+  device.FailAfter(3);
+  // A 4-page transfer exceeds the remaining budget: fails atomically.
+  EXPECT_TRUE(device.ReadPages(0, 4, buf.data()).IsIOError());
+  // A 3-page transfer fits.
+  EXPECT_TRUE(device.ReadPages(0, 3, buf.data()).ok());
+}
+
+TEST(FaultInjectionTest, LongFieldManagerPropagates) {
+  DiskDevice device(64);
+  LongFieldManager lfm(&device);
+  std::vector<uint8_t> payload(3 * kPageSize, 7);
+  auto id = lfm.Create(payload).MoveValue();
+  device.FailAfter(1);
+  EXPECT_TRUE(lfm.Read(id).status().IsIOError());
+  device.ClearFault();
+  EXPECT_EQ(lfm.Read(id).value(), payload);
+  // Creation under fault reports the error too.
+  device.FailAfter(0);
+  EXPECT_TRUE(lfm.Create(payload).status().IsIOError());
+}
+
+TEST(FaultInjectionTest, BufferPoolEvictionFaultSurfaces) {
+  DiskDevice device(16);
+  BufferPool pool(&device, 1);
+  uint8_t* frame = pool.GetPage(0).MoveValue();
+  frame[0] = 1;
+  ASSERT_TRUE(pool.MarkDirty(0).ok());
+  device.FailAfter(0);
+  // Fetching another page forces eviction of the dirty frame: the
+  // write-back fault must surface.
+  EXPECT_TRUE(pool.GetPage(1).status().IsIOError());
+}
+
+TEST(FaultInjectionTest, BPlusTreeInsertPropagates) {
+  DiskDevice device(1 << 12);
+  BufferPool pool(&device, 4);
+  PageAllocator allocator(1 << 12);
+  BPlusTree tree = BPlusTree::Create(&pool, &allocator).MoveValue();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tree.Insert(i, RecordId{static_cast<uint64_t>(i), 0}).ok());
+  }
+  device.FailAfter(0);
+  bool failed = false;
+  for (int i = 1000; i < 1100 && !failed; ++i) {
+    failed = tree.Insert(i, RecordId{static_cast<uint64_t>(i), 0}).IsIOError();
+  }
+  EXPECT_TRUE(failed);
+  device.ClearFault();
+  EXPECT_TRUE(tree.Find(500).ok());
+}
+
+TEST(FaultInjectionTest, SqlQuerySurfacesDiskErrors) {
+  sql::DatabaseOptions options;
+  options.buffer_pool_pages = 4;  // force the scan to the device
+  sql::Database db(options);
+  ASSERT_TRUE(db.Execute("create table t (x int)").ok());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(db.Insert("t", {sql::Value::Int(i)}).ok());
+  }
+  ASSERT_TRUE(db.buffer_pool()->FlushAll().ok());
+  // Tiny fault budget: the scan's page misses must hit it. The pool may
+  // hold some pages, so allow a few successful reads first.
+  db.relational_device()->FailAfter(2);
+  auto result = db.Execute("select count(*) from t");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+  db.relational_device()->ClearFault();
+  auto retry = db.Execute("select count(*) from t");
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry->rows[0][0].AsInt().value(), 2000);
+}
+
+}  // namespace
+}  // namespace qbism::storage

@@ -1,0 +1,110 @@
+#include "storage/slotted_page.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qbism::storage {
+namespace {
+
+class SlottedPageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    page_.resize(kPageSize);
+    SlottedPage::Init(page_.data());
+  }
+  std::vector<uint8_t> page_;
+};
+
+std::vector<uint8_t> Record(Rng* rng, size_t n) {
+  std::vector<uint8_t> r(n);
+  for (auto& b : r) b = static_cast<uint8_t>(rng->Next());
+  return r;
+}
+
+TEST_F(SlottedPageTest, FreshPageState) {
+  EXPECT_EQ(SlottedPage::SlotCount(page_.data()), 0u);
+  EXPECT_EQ(SlottedPage::NextPage(page_.data()), 0u);
+  EXPECT_EQ(SlottedPage::FreeSpace(page_.data()),
+            kPageSize - SlottedPage::kHeaderSize - SlottedPage::kSlotSize);
+}
+
+TEST_F(SlottedPageTest, InsertReadRoundTrip) {
+  Rng rng(1);
+  auto r1 = Record(&rng, 100);
+  auto r2 = Record(&rng, 255);
+  auto s1 = SlottedPage::Insert(page_.data(), r1.data(),
+                                static_cast<uint16_t>(r1.size()));
+  auto s2 = SlottedPage::Insert(page_.data(), r2.data(),
+                                static_cast<uint16_t>(r2.size()));
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1.value(), 0);
+  EXPECT_EQ(s2.value(), 1);
+  EXPECT_EQ(SlottedPage::Read(page_.data(), s1.value()).value(), r1);
+  EXPECT_EQ(SlottedPage::Read(page_.data(), s2.value()).value(), r2);
+}
+
+TEST_F(SlottedPageTest, EraseTombstones) {
+  Rng rng(2);
+  auto r = Record(&rng, 50);
+  auto slot = SlottedPage::Insert(page_.data(), r.data(), 50).MoveValue();
+  EXPECT_TRUE(SlottedPage::IsLive(page_.data(), slot));
+  ASSERT_TRUE(SlottedPage::Erase(page_.data(), slot).ok());
+  EXPECT_FALSE(SlottedPage::IsLive(page_.data(), slot));
+  EXPECT_FALSE(SlottedPage::Read(page_.data(), slot).ok());
+}
+
+TEST_F(SlottedPageTest, BadSlotRejected) {
+  EXPECT_FALSE(SlottedPage::Read(page_.data(), 0).ok());
+  EXPECT_FALSE(SlottedPage::Erase(page_.data(), 5).ok());
+  EXPECT_FALSE(SlottedPage::IsLive(page_.data(), 3));
+}
+
+TEST_F(SlottedPageTest, FillsUntilFull) {
+  Rng rng(3);
+  auto r = Record(&rng, 100);
+  int inserted = 0;
+  while (true) {
+    auto slot = SlottedPage::Insert(page_.data(), r.data(), 100);
+    if (!slot.ok()) {
+      EXPECT_TRUE(slot.status().IsOutOfRange());
+      break;
+    }
+    ++inserted;
+  }
+  // 4096 - 12 header, each record costs 100 + 4 slot = 104.
+  EXPECT_EQ(inserted, static_cast<int>((kPageSize - 12) / 104));
+  // All inserted records still readable.
+  for (int s = 0; s < inserted; ++s) {
+    EXPECT_EQ(SlottedPage::Read(page_.data(), static_cast<SlotId>(s)).value(),
+              r);
+  }
+}
+
+TEST_F(SlottedPageTest, MaxRecordFitsExactly) {
+  std::vector<uint8_t> big(SlottedPage::kMaxRecordSize, 0x5A);
+  auto slot = SlottedPage::Insert(page_.data(), big.data(),
+                                  static_cast<uint16_t>(big.size()));
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(SlottedPage::FreeSpace(page_.data()), 0u);
+  EXPECT_EQ(SlottedPage::Read(page_.data(), slot.value()).value(), big);
+}
+
+TEST_F(SlottedPageTest, NextPagePointer) {
+  SlottedPage::SetNextPage(page_.data(), 12345);
+  EXPECT_EQ(SlottedPage::NextPage(page_.data()), 12345u);
+}
+
+TEST_F(SlottedPageTest, InsertAfterEraseStillAppends) {
+  Rng rng(4);
+  auto r = Record(&rng, 40);
+  auto s0 = SlottedPage::Insert(page_.data(), r.data(), 40).MoveValue();
+  ASSERT_TRUE(SlottedPage::Erase(page_.data(), s0).ok());
+  auto s1 = SlottedPage::Insert(page_.data(), r.data(), 40).MoveValue();
+  EXPECT_EQ(s1, 1);  // tombstoned slots are not reused (append-only)
+  EXPECT_EQ(SlottedPage::Read(page_.data(), s1).value(), r);
+}
+
+}  // namespace
+}  // namespace qbism::storage

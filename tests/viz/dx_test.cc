@@ -1,0 +1,69 @@
+#include "viz/dx.h"
+
+#include <gtest/gtest.h>
+
+namespace qbism::viz {
+namespace {
+
+using curve::CurveKind;
+using geometry::Vec3i;
+using region::GridSpec;
+using region::Region;
+using volume::DataRegion;
+using volume::Volume;
+
+const GridSpec kGrid{3, 4};
+
+DataRegion MakeData() {
+  Volume v = Volume::FromFunction(kGrid, CurveKind::kHilbert,
+                                  [](const Vec3i& p) {
+                                    return static_cast<uint8_t>(p.x * 10);
+                                  });
+  Region r = Region::FromBox(kGrid, CurveKind::kHilbert,
+                             {{2, 2, 2}, {9, 9, 9}});
+  return v.Extract(r).MoveValue();
+}
+
+TEST(DxTest, ImportVolumeDensifies) {
+  DxExecutive dx;
+  DataRegion data = MakeData();
+  auto imported = dx.ImportVolume(data);
+  EXPECT_EQ(imported.dense.grid(), kGrid);
+  EXPECT_EQ(imported.dense.ValueAt({5, 5, 5}).value(), 50);
+  EXPECT_EQ(imported.dense.ValueAt({15, 15, 15}).value(), 0);  // background
+  EXPECT_GE(imported.cpu_seconds, 0.0);
+}
+
+TEST(DxTest, RenderProducesImage) {
+  DxExecutive dx;
+  auto imported = dx.ImportVolume(MakeData());
+  auto rendered = dx.Render(imported.dense, Camera{0.3, 0.2, 64});
+  EXPECT_EQ(rendered.image.width(), 64);
+  EXPECT_GT(rendered.image.NonBlackFraction(), 0.0);
+}
+
+TEST(DxTest, RenderSurfaceWorks) {
+  DxExecutive dx;
+  DataRegion data = MakeData();
+  TriangleMesh mesh = ExtractSurface(data.region());
+  auto rendered = dx.RenderSurface(mesh, Camera{0.3, 0.2, 64}, kGrid);
+  EXPECT_GT(rendered.image.NonBlackFraction(), 0.0);
+}
+
+TEST(DxTest, CachePutGetFlush) {
+  DxExecutive dx;
+  EXPECT_EQ(dx.CacheGet("q1"), nullptr);
+  dx.CachePut("q1", std::make_shared<DataRegion>(MakeData()));
+  ASSERT_NE(dx.CacheGet("q1"), nullptr);
+  EXPECT_EQ(dx.CacheGet("q1")->VoxelCount(), 512u);
+  EXPECT_EQ(dx.CacheSize(), 1u);
+  // Re-put replaces.
+  dx.CachePut("q1", std::make_shared<DataRegion>(MakeData()));
+  EXPECT_EQ(dx.CacheSize(), 1u);
+  dx.FlushCache();
+  EXPECT_EQ(dx.CacheSize(), 0u);
+  EXPECT_EQ(dx.CacheGet("q1"), nullptr);
+}
+
+}  // namespace
+}  // namespace qbism::viz

@@ -1,0 +1,132 @@
+#include "viz/isosurface.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "viz/renderer.h"
+
+namespace qbism::viz {
+namespace {
+
+using curve::CurveKind;
+using geometry::Vec3i;
+using region::GridSpec;
+using volume::Volume;
+
+const GridSpec kGrid{3, 5};  // 32^3
+
+Volume BallField(double radius) {
+  return Volume::FromFunction(kGrid, CurveKind::kHilbert,
+                              [radius](const Vec3i& p) {
+                                double dx = p.x - 16.0, dy = p.y - 16.0,
+                                       dz = p.z - 16.0;
+                                double d = std::sqrt(dx * dx + dy * dy +
+                                                     dz * dz);
+                                double v = 200.0 * (radius - d) / radius + 100;
+                                return static_cast<uint8_t>(
+                                    std::clamp(v, 0.0, 255.0));
+                              });
+}
+
+TEST(IsoSurfaceTest, EmptyWhenIsoAboveEverything) {
+  Volume v = BallField(8);
+  TriangleMesh mesh = ExtractIsoSurface(v, 500.0);
+  EXPECT_EQ(mesh.TriangleCount(), 0u);
+  // And when everything is inside, no surface either.
+  TriangleMesh none = ExtractIsoSurface(v, -1.0);
+  EXPECT_EQ(none.TriangleCount(), 0u);
+}
+
+TEST(IsoSurfaceTest, SphereLevelSetLiesAtTheRightRadius) {
+  const double radius = 8;
+  Volume v = BallField(radius);
+  // Level 100 corresponds to distance == radius.
+  TriangleMesh mesh = ExtractIsoSurface(v, 100.0);
+  ASSERT_GT(mesh.TriangleCount(), 100u);
+  for (const auto& vertex : mesh.vertices) {
+    double d = std::sqrt((vertex.x - 16) * (vertex.x - 16) +
+                         (vertex.y - 16) * (vertex.y - 16) +
+                         (vertex.z - 16) * (vertex.z - 16));
+    EXPECT_NEAR(d, radius, 1.0) << "vertex off the level set";
+  }
+}
+
+TEST(IsoSurfaceTest, WatertightInteriorSurface) {
+  Volume v = BallField(8);
+  TriangleMesh mesh = ExtractIsoSurface(v, 100.0);
+  // Every directed edge must appear exactly once (closed orientable
+  // surface; the sphere stays clear of the grid boundary).
+  std::map<std::pair<uint32_t, uint32_t>, int> directed;
+  for (const auto& t : mesh.triangles) {
+    for (int k = 0; k < 3; ++k) {
+      ++directed[{t[k], t[(k + 1) % 3]}];
+    }
+  }
+  for (const auto& [edge, count] : directed) {
+    ASSERT_EQ(count, 1);
+    ASSERT_EQ(directed.count({edge.second, edge.first}), 1u);
+  }
+}
+
+TEST(IsoSurfaceTest, NormalsPointOutward) {
+  Volume v = BallField(8);
+  TriangleMesh mesh = ExtractIsoSurface(v, 100.0);
+  geometry::Vec3d center{16, 16, 16};
+  int outward = 0, inward = 0;
+  for (const auto& t : mesh.triangles) {
+    const auto& a = mesh.vertices[t[0]];
+    const auto& b = mesh.vertices[t[1]];
+    const auto& c = mesh.vertices[t[2]];
+    geometry::Vec3d normal = (b - a).Cross(c - a);
+    if (normal.Norm() < 1e-12) continue;  // degenerate (corner == iso)
+    geometry::Vec3d radial = (a + b + c) / 3.0 - center;
+    (normal.Dot(radial) > 0 ? outward : inward)++;
+  }
+  EXPECT_EQ(inward, 0);
+  EXPECT_GT(outward, 0);
+}
+
+TEST(IsoSurfaceTest, VerticesInterpolateBetweenLatticePoints) {
+  Volume v = BallField(8);
+  TriangleMesh mesh = ExtractIsoSurface(v, 100.0);
+  int off_lattice = 0;
+  for (const auto& vertex : mesh.vertices) {
+    EXPECT_GE(vertex.x, 0.0);
+    EXPECT_LT(vertex.x, 32.0);
+    if (vertex.x != std::floor(vertex.x) || vertex.y != std::floor(vertex.y) ||
+        vertex.z != std::floor(vertex.z)) {
+      ++off_lattice;
+    }
+  }
+  // Interpolation must actually happen (smooth surface, not cuberille).
+  EXPECT_GT(off_lattice, static_cast<int>(mesh.vertices.size() / 2));
+}
+
+TEST(IsoSurfaceTest, HigherIsoShrinksTheSurface) {
+  Volume v = BallField(10);
+  TriangleMesh outer = ExtractIsoSurface(v, 100.0);  // d = 10
+  TriangleMesh inner = ExtractIsoSurface(v, 200.0);  // d = 5
+  double mean_outer = 0, mean_inner = 0;
+  for (const auto& p : outer.vertices) {
+    mean_outer += std::hypot(p.x - 16, p.y - 16, p.z - 16);
+  }
+  for (const auto& p : inner.vertices) {
+    mean_inner += std::hypot(p.x - 16, p.y - 16, p.z - 16);
+  }
+  mean_outer /= static_cast<double>(outer.VertexCount());
+  mean_inner /= static_cast<double>(inner.VertexCount());
+  EXPECT_NEAR(mean_outer, 10.0, 0.7);
+  EXPECT_NEAR(mean_inner, 5.0, 0.7);
+}
+
+TEST(IsoSurfaceTest, RendersLikeOtherMeshes) {
+  Volume v = BallField(9);
+  TriangleMesh mesh = ExtractIsoSurface(v, 100.0);
+  Image image = RenderMesh(mesh, Camera{0.4, 0.3, 96}, kGrid);
+  EXPECT_GT(image.NonBlackFraction(), 0.01);
+}
+
+}  // namespace
+}  // namespace qbism::viz

@@ -1,0 +1,130 @@
+#include "viz/mesh.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "geometry/shapes.h"
+
+namespace qbism::viz {
+namespace {
+
+using curve::CurveKind;
+using region::GridSpec;
+using region::Region;
+
+const GridSpec kGrid{3, 4};
+
+TEST(MeshTest, SingleVoxelCube) {
+  auto r = Region::FromIds(kGrid, CurveKind::kHilbert,
+                           {curve::HilbertId3(5, 5, 5, 4)})
+               .MoveValue();
+  TriangleMesh mesh = ExtractSurface(r);
+  // A cube: 8 corners, 6 faces x 2 triangles.
+  EXPECT_EQ(mesh.VertexCount(), 8u);
+  EXPECT_EQ(mesh.TriangleCount(), 12u);
+}
+
+TEST(MeshTest, TwoAdjacentVoxelsShareFace) {
+  auto r = Region::FromIds(kGrid, CurveKind::kHilbert,
+                           {curve::HilbertId3(5, 5, 5, 4),
+                            curve::HilbertId3(6, 5, 5, 4)})
+               .MoveValue();
+  TriangleMesh mesh = ExtractSurface(r);
+  // 1x1x2 box: 10 faces (the shared internal face is culled).
+  EXPECT_EQ(mesh.TriangleCount(), 20u);
+  EXPECT_EQ(mesh.VertexCount(), 12u);
+}
+
+TEST(MeshTest, SurfaceIsClosedManifold) {
+  geometry::Ellipsoid blob({8, 8, 8}, {4, 3, 3});
+  Region r = Region::FromShape(kGrid, CurveKind::kHilbert, blob);
+  TriangleMesh mesh = ExtractSurface(r);
+  ASSERT_GT(mesh.TriangleCount(), 0u);
+  // Closed surface: every directed edge appears exactly once (so each
+  // undirected edge is shared by exactly two consistently-wound faces).
+  std::map<std::pair<uint32_t, uint32_t>, int> directed;
+  for (const auto& t : mesh.triangles) {
+    for (int k = 0; k < 3; ++k) {
+      uint32_t a = t[k], b = t[(k + 1) % 3];
+      ++directed[{a, b}];
+    }
+  }
+  for (const auto& [edge, count] : directed) {
+    ASSERT_EQ(count, 1) << edge.first << "->" << edge.second;
+    ASSERT_EQ(directed.count({edge.second, edge.first}), 1u);
+  }
+}
+
+TEST(MeshTest, EulerFormulaForSphereTopology) {
+  geometry::Ellipsoid blob({8, 8, 8}, {5, 4, 4});
+  Region r = Region::FromShape(kGrid, CurveKind::kHilbert, blob);
+  TriangleMesh mesh = ExtractSurface(r);
+  // V - E + F == 2 for a genus-0 closed surface.
+  std::set<std::pair<uint32_t, uint32_t>> edges;
+  for (const auto& t : mesh.triangles) {
+    for (int k = 0; k < 3; ++k) {
+      uint32_t a = t[k], b = t[(k + 1) % 3];
+      edges.insert({std::min(a, b), std::max(a, b)});
+    }
+  }
+  int64_t euler = static_cast<int64_t>(mesh.VertexCount()) -
+                  static_cast<int64_t>(edges.size()) +
+                  static_cast<int64_t>(mesh.TriangleCount());
+  EXPECT_EQ(euler, 2);
+}
+
+TEST(MeshTest, EmptyRegionEmptyMesh) {
+  Region empty(kGrid, CurveKind::kHilbert);
+  TriangleMesh mesh = ExtractSurface(empty);
+  EXPECT_EQ(mesh.VertexCount(), 0u);
+  EXPECT_EQ(mesh.TriangleCount(), 0u);
+}
+
+TEST(MeshTest, SerializationRoundTrip) {
+  geometry::Ellipsoid blob({8, 8, 8}, {3, 4, 2});
+  Region r = Region::FromShape(kGrid, CurveKind::kHilbert, blob);
+  TriangleMesh mesh = ExtractSurface(r);
+  auto bytes = mesh.Serialize();
+  TriangleMesh back = TriangleMesh::Deserialize(bytes).MoveValue();
+  EXPECT_EQ(back.vertices, mesh.vertices);
+  EXPECT_EQ(back.triangles, mesh.triangles);
+}
+
+TEST(MeshTest, DeserializeRejectsCorruptData) {
+  TriangleMesh mesh;
+  mesh.vertices = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  mesh.triangles = {{0, 1, 2}};
+  auto bytes = mesh.Serialize();
+  // Truncated.
+  std::vector<uint8_t> truncated(bytes.begin(), bytes.end() - 5);
+  EXPECT_FALSE(TriangleMesh::Deserialize(truncated).ok());
+  // Out-of-range index.
+  bytes[16] = 99;  // first triangle index word
+  auto corrupt = TriangleMesh::Deserialize(bytes);
+  // Either parses with bad index rejected or fails; must not crash.
+  if (corrupt.ok()) {
+    for (const auto& t : corrupt->triangles) {
+      for (uint32_t idx : t) EXPECT_LT(idx, corrupt->VertexCount());
+    }
+  }
+}
+
+TEST(MeshTest, VerticesLieOnGridCorners) {
+  auto r = Region::FromIds(kGrid, CurveKind::kHilbert,
+                           {curve::HilbertId3(3, 4, 5, 4)})
+               .MoveValue();
+  TriangleMesh mesh = ExtractSurface(r);
+  for (const auto& v : mesh.vertices) {
+    EXPECT_EQ(v.x, std::floor(v.x));
+    EXPECT_GE(v.x, 3.0);
+    EXPECT_LE(v.x, 4.0);
+    EXPECT_GE(v.y, 4.0);
+    EXPECT_LE(v.y, 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace qbism::viz

@@ -1,0 +1,147 @@
+#include "viz/renderer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "geometry/shapes.h"
+
+namespace qbism::viz {
+namespace {
+
+using curve::CurveKind;
+using geometry::Vec3i;
+using region::GridSpec;
+using region::Region;
+using volume::Volume;
+
+const GridSpec kGrid{3, 4};
+
+Volume BallVolume() {
+  return Volume::FromFunction(kGrid, CurveKind::kHilbert, [](const Vec3i& p) {
+    double dx = p.x - 8.0, dy = p.y - 8.0, dz = p.z - 8.0;
+    double d = std::sqrt(dx * dx + dy * dy + dz * dz);
+    return static_cast<uint8_t>(d < 5 ? 220 : 0);
+  });
+}
+
+TEST(RendererTest, MipOfEmptyVolumeIsBlack) {
+  Volume zero = Volume::FromFunction(kGrid, CurveKind::kHilbert,
+                                     [](const Vec3i&) { return uint8_t{0}; });
+  Image image = RenderMip(zero, Camera{});
+  EXPECT_EQ(image.NonBlackFraction(), 0.0);
+}
+
+TEST(RendererTest, MipOfBallShowsDisk) {
+  Image image = RenderMip(BallVolume(), Camera{0.3, 0.2, 128});
+  double lit = image.NonBlackFraction();
+  EXPECT_GT(lit, 0.005);
+  EXPECT_LT(lit, 0.5);
+  // Brightest pixel equals the maximum voxel intensity.
+  uint8_t max_pixel = 0;
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      max_pixel = std::max(max_pixel, image.Red(x, y));
+    }
+  }
+  EXPECT_EQ(max_pixel, 220);
+}
+
+TEST(RendererTest, MipDataRegionMatchesDensifiedMip) {
+  Volume v = BallVolume();
+  geometry::Ellipsoid blob({8, 8, 8}, {6, 6, 6});
+  Region r = Region::FromShape(kGrid, CurveKind::kHilbert, blob);
+  volume::DataRegion dr = v.Extract(r).MoveValue();
+  Camera camera{0.5, 0.4, 96};
+  Image direct = RenderMipDataRegion(dr, camera);
+  Image densified = RenderMip(dr.ToDenseVolume(0), camera);
+  EXPECT_EQ(direct.pixels(), densified.pixels());
+}
+
+TEST(RendererTest, MeshRenderCoversSilhouette) {
+  geometry::Ellipsoid blob({8, 8, 8}, {5, 5, 5});
+  Region r = Region::FromShape(kGrid, CurveKind::kHilbert, blob);
+  TriangleMesh mesh = ExtractSurface(r);
+  Image image = RenderMesh(mesh, Camera{0.4, 0.3, 128}, kGrid);
+  EXPECT_GT(image.NonBlackFraction(), 0.01);
+}
+
+TEST(RendererTest, TexturedMeshDiffersFromPlain) {
+  geometry::Ellipsoid blob({8, 8, 8}, {5, 5, 5});
+  Region r = Region::FromShape(kGrid, CurveKind::kHilbert, blob);
+  TriangleMesh mesh = ExtractSurface(r);
+  Volume texture = BallVolume();
+  Camera camera{0.4, 0.3, 96};
+  Image plain = RenderMesh(mesh, camera, kGrid);
+  Image textured = RenderMesh(mesh, camera, kGrid, &texture);
+  EXPECT_NE(plain.pixels(), textured.pixels());
+  EXPECT_GT(textured.NonBlackFraction(), 0.01);
+}
+
+TEST(RendererTest, DifferentCamerasDiffer) {
+  Volume v = BallVolume();
+  Image a = RenderMip(v, Camera{0.0, 0.0, 64});
+  Image b = RenderMip(v, Camera{1.2, 0.7, 64});
+  EXPECT_NE(a.pixels(), b.pixels());
+}
+
+TEST(RendererTest, SliceMatchesVolumeValues) {
+  Volume v = BallVolume();
+  for (int axis = 0; axis < 3; ++axis) {
+    auto slice = RenderSlice(v, axis, 8);
+    ASSERT_TRUE(slice.ok());
+    EXPECT_EQ(slice->width(), 16);
+    EXPECT_EQ(slice->height(), 16);
+  }
+  auto z_slice = RenderSlice(v, 2, 8).MoveValue();
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      EXPECT_EQ(z_slice.Red(x, y), v.ValueAt({x, y, 8}).value());
+    }
+  }
+  auto x_slice = RenderSlice(v, 0, 8).MoveValue();
+  EXPECT_EQ(x_slice.Red(3, 5), v.ValueAt({8, 3, 5}).value());
+}
+
+TEST(RendererTest, SliceValidation) {
+  Volume v = BallVolume();
+  EXPECT_FALSE(RenderSlice(v, 3, 0).ok());
+  EXPECT_FALSE(RenderSlice(v, -1, 0).ok());
+  EXPECT_FALSE(RenderSlice(v, 0, 16).ok());
+  EXPECT_FALSE(RenderSlice(v, 0, -1).ok());
+}
+
+TEST(ImageTest, SetAndGet) {
+  Image image(4, 3);
+  image.Set(1, 2, 10, 20, 30);
+  EXPECT_EQ(image.Red(1, 2), 10);
+  EXPECT_EQ(image.Green(1, 2), 20);
+  EXPECT_EQ(image.Blue(1, 2), 30);
+  image.SetGray(0, 0, 77);
+  EXPECT_EQ(image.Red(0, 0), 77);
+  EXPECT_EQ(image.Blue(0, 0), 77);
+  EXPECT_NEAR(image.NonBlackFraction(), 2.0 / 12.0, 1e-12);
+}
+
+TEST(ImageTest, WritePpmProducesValidFile) {
+  Image image(8, 8);
+  image.SetGray(4, 4, 200);
+  std::string path = ::testing::TempDir() + "/qbism_test.ppm";
+  ASSERT_TRUE(image.WritePpm(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[3] = {};
+  ASSERT_EQ(std::fread(magic, 1, 2, f), 2u);
+  EXPECT_EQ(std::string(magic), "P6");
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(ImageTest, WritePpmBadPathFails) {
+  Image image(2, 2);
+  EXPECT_FALSE(image.WritePpm("/nonexistent_dir_xyz/file.ppm").ok());
+}
+
+}  // namespace
+}  // namespace qbism::viz

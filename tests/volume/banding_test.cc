@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "volume/volume.h"
+
+namespace qbism::volume {
+namespace {
+
+using curve::CurveKind;
+using geometry::Vec3i;
+using region::GridSpec;
+using region::Region;
+
+const GridSpec kGrid{3, 4};
+
+TEST(BandingTest, BandRegionMatchesPredicate) {
+  Volume v = Volume::FromFunction(
+      kGrid, CurveKind::kHilbert, [](const Vec3i& p) {
+        return static_cast<uint8_t>((p.x * 16 + p.y) % 256);
+      });
+  Region band = v.BandRegion(32, 63);
+  for (int32_t z = 0; z < 16; ++z) {
+    for (int32_t y = 0; y < 16; ++y) {
+      for (int32_t x = 0; x < 16; ++x) {
+        uint8_t value = v.ValueAt({x, y, z}).value();
+        EXPECT_EQ(band.ContainsPoint({x, y, z}), value >= 32 && value <= 63);
+      }
+    }
+  }
+}
+
+TEST(BandingTest, UniformBandsPartitionTheGrid) {
+  // The paper bands each study with 8 uniform intervals of width 32
+  // covering 0-255; the bands must partition the volume exactly.
+  Volume v = Volume::FromFunction(
+      kGrid, CurveKind::kHilbert, [](const Vec3i& p) {
+        return static_cast<uint8_t>((p.x * 31 + p.y * 7 + p.z * 3) % 256);
+      });
+  std::vector<Region> bands = v.UniformBands(32);
+  ASSERT_EQ(bands.size(), 8u);
+  uint64_t total = 0;
+  for (const Region& band : bands) total += band.VoxelCount();
+  EXPECT_EQ(total, kGrid.NumCells());
+  // Pairwise disjoint.
+  for (size_t i = 0; i < bands.size(); ++i) {
+    for (size_t j = i + 1; j < bands.size(); ++j) {
+      EXPECT_TRUE(bands[i].IntersectWith(bands[j]).MoveValue().Empty());
+    }
+  }
+  // Their union is the full grid.
+  Region u(kGrid, CurveKind::kHilbert);
+  for (const Region& band : bands) u = u.UnionWith(band).MoveValue();
+  EXPECT_EQ(u, Region::Full(kGrid, CurveKind::kHilbert));
+}
+
+TEST(BandingTest, ConstantVolumeHasOneNonEmptyBand) {
+  Volume v = Volume::FromFunction(
+      kGrid, CurveKind::kHilbert,
+      [](const Vec3i&) { return static_cast<uint8_t>(100); });
+  std::vector<Region> bands = v.UniformBands(32);
+  // 100 falls in band 96-127 (index 3).
+  for (size_t i = 0; i < bands.size(); ++i) {
+    if (i == 3) {
+      EXPECT_EQ(bands[i].VoxelCount(), kGrid.NumCells());
+      EXPECT_EQ(bands[i].RunCount(), 1u);
+    } else {
+      EXPECT_TRUE(bands[i].Empty());
+    }
+  }
+}
+
+TEST(BandingTest, BandEdgeValuesInclusive) {
+  Volume v = Volume::FromFunction(
+      kGrid, CurveKind::kHilbert, [](const Vec3i& p) {
+        if (p.x == 0) return static_cast<uint8_t>(32);
+        if (p.x == 1) return static_cast<uint8_t>(63);
+        return static_cast<uint8_t>(0);
+      });
+  Region band = v.BandRegion(32, 63);
+  EXPECT_TRUE(band.ContainsPoint({0, 5, 5}));
+  EXPECT_TRUE(band.ContainsPoint({1, 5, 5}));
+  EXPECT_FALSE(band.ContainsPoint({2, 5, 5}));
+}
+
+TEST(BandingTest, FullRangeBandIsFullGrid) {
+  Volume v = Volume::FromFunction(
+      kGrid, CurveKind::kHilbert, [](const Vec3i& p) {
+        return static_cast<uint8_t>((p.x + p.y + p.z) % 256);
+      });
+  EXPECT_EQ(v.BandRegion(0, 255), Region::Full(kGrid, CurveKind::kHilbert));
+}
+
+TEST(BandingTest, WorksOnZOrderedVolumes) {
+  Volume v = Volume::FromFunction(
+      kGrid, CurveKind::kZ, [](const Vec3i& p) {
+        return static_cast<uint8_t>(p.z >= 8 ? 200 : 10);
+      });
+  Region band = v.BandRegion(128, 255);
+  EXPECT_EQ(band.curve_kind(), CurveKind::kZ);
+  EXPECT_EQ(band.VoxelCount(), kGrid.NumCells() / 2);
+  EXPECT_TRUE(band.ContainsPoint({0, 0, 8}));
+  EXPECT_FALSE(band.ContainsPoint({0, 0, 7}));
+}
+
+}  // namespace
+}  // namespace qbism::volume

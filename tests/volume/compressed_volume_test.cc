@@ -1,0 +1,81 @@
+#include "volume/compressed_volume.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qbism::volume {
+namespace {
+
+using curve::CurveKind;
+using geometry::Vec3i;
+using region::GridSpec;
+
+const GridSpec kGrid{3, 4};
+
+TEST(CompressedVolumeTest, RoundTripConstantVolume) {
+  Volume v = Volume::FromFunction(kGrid, CurveKind::kHilbert,
+                                  [](const Vec3i&) { return uint8_t{42}; });
+  CompressedVolume c = CompressedVolume::FromVolume(v);
+  EXPECT_EQ(c.RunCount(), 1u);
+  EXPECT_LT(c.CompressedBytes(), 16u);
+  EXPECT_EQ(c.RawBytes(), kGrid.NumCells());
+  EXPECT_EQ(c.Decompress().data(), v.data());
+  EXPECT_EQ(c.ValueAtId(0), 42);
+  EXPECT_EQ(c.ValueAtId(kGrid.NumCells() - 1), 42);
+}
+
+TEST(CompressedVolumeTest, RoundTripRandomVolume) {
+  Rng rng(3);
+  Volume v = Volume::FromFunction(kGrid, CurveKind::kHilbert,
+                                  [&](const Vec3i&) {
+                                    return static_cast<uint8_t>(
+                                        rng.NextBounded(4) * 60);
+                                  });
+  CompressedVolume c = CompressedVolume::FromVolume(v);
+  EXPECT_EQ(c.Decompress().data(), v.data());
+  // Probe every 97th id against the raw layout.
+  for (uint64_t id = 0; id < kGrid.NumCells(); id += 97) {
+    EXPECT_EQ(c.ValueAtId(id), v.ValueAtId(id));
+  }
+}
+
+TEST(CompressedVolumeTest, ValueAtMatchesPointAccess) {
+  Volume v = Volume::FromFunction(kGrid, CurveKind::kHilbert,
+                                  [](const Vec3i& p) {
+                                    return static_cast<uint8_t>(p.z * 16);
+                                  });
+  CompressedVolume c = CompressedVolume::FromVolume(v);
+  EXPECT_EQ(c.ValueAt({3, 4, 5}).value(), v.ValueAt({3, 4, 5}).value());
+  EXPECT_FALSE(c.ValueAt({99, 0, 0}).ok());
+}
+
+TEST(CompressedVolumeTest, SmoothDataCompressesRandomDoesNot) {
+  Volume smooth = Volume::FromFunction(kGrid, CurveKind::kHilbert,
+                                       [](const Vec3i& p) {
+                                         return static_cast<uint8_t>(p.x / 4);
+                                       });
+  Rng rng(9);
+  Volume noisy = Volume::FromFunction(kGrid, CurveKind::kHilbert,
+                                      [&](const Vec3i&) {
+                                        return static_cast<uint8_t>(rng.Next());
+                                      });
+  CompressedVolume cs = CompressedVolume::FromVolume(smooth);
+  CompressedVolume cn = CompressedVolume::FromVolume(noisy);
+  EXPECT_LT(cs.CompressedBytes() * 4, cs.RawBytes());
+  EXPECT_GT(cn.CompressedBytes(), cn.RawBytes());  // RLE overhead on noise
+}
+
+TEST(CompressedVolumeTest, PreservesGridAndCurve) {
+  Volume v = Volume::FromFunction(kGrid, CurveKind::kZ,
+                                  [](const Vec3i& p) {
+                                    return static_cast<uint8_t>(p.y);
+                                  });
+  CompressedVolume c = CompressedVolume::FromVolume(v);
+  EXPECT_EQ(c.curve_kind(), CurveKind::kZ);
+  EXPECT_EQ(c.grid(), kGrid);
+  EXPECT_EQ(c.Decompress().curve_kind(), CurveKind::kZ);
+}
+
+}  // namespace
+}  // namespace qbism::volume

@@ -1,0 +1,113 @@
+#include "volume/vector_volume.h"
+
+#include <cmath>
+
+#include "volume/volume.h"
+
+#include <gtest/gtest.h>
+
+namespace qbism::volume {
+namespace {
+
+using curve::CurveKind;
+using geometry::Vec3i;
+using region::GridSpec;
+using region::Region;
+
+const GridSpec kGrid{3, 4};  // 16^3
+
+void GradientField(const Vec3i& p, uint8_t* out) {
+  out[0] = static_cast<uint8_t>(p.x * 10);
+  out[1] = static_cast<uint8_t>(p.y * 10);
+  out[2] = static_cast<uint8_t>(p.z * 10);
+}
+
+TEST(VectorVolumeTest, FromFunctionAndValueAt) {
+  VectorVolume v =
+      VectorVolume::FromFunction(kGrid, CurveKind::kHilbert, 3, GradientField);
+  EXPECT_EQ(v.components(), 3);
+  EXPECT_EQ(v.data().size(), kGrid.NumCells() * 3);
+  auto value = v.ValueAt({3, 7, 11}).MoveValue();
+  ASSERT_EQ(value.size(), 3u);
+  EXPECT_EQ(value[0], 30);
+  EXPECT_EQ(value[1], 70);
+  EXPECT_EQ(value[2], 110);
+  EXPECT_FALSE(v.ValueAt({16, 0, 0}).ok());
+}
+
+TEST(VectorVolumeTest, MagnitudeAt) {
+  VectorVolume v =
+      VectorVolume::FromFunction(kGrid, CurveKind::kHilbert, 2,
+                                 [](const Vec3i&, uint8_t* out) {
+                                   out[0] = 3;
+                                   out[1] = 4;
+                                 });
+  EXPECT_DOUBLE_EQ(v.MagnitudeAt({5, 5, 5}).value(), 5.0);
+}
+
+TEST(VectorVolumeTest, FromCurveOrderedDataValidation) {
+  EXPECT_FALSE(VectorVolume::FromCurveOrderedData(
+                   kGrid, CurveKind::kHilbert, 3, std::vector<uint8_t>(10))
+                   .ok());
+  EXPECT_FALSE(VectorVolume::FromCurveOrderedData(
+                   kGrid, CurveKind::kHilbert, 0,
+                   std::vector<uint8_t>(kGrid.NumCells()))
+                   .ok());
+  EXPECT_TRUE(VectorVolume::FromCurveOrderedData(
+                  kGrid, CurveKind::kHilbert, 2,
+                  std::vector<uint8_t>(kGrid.NumCells() * 2))
+                  .ok());
+}
+
+TEST(VectorVolumeTest, ExtractMatchesPointwise) {
+  VectorVolume v =
+      VectorVolume::FromFunction(kGrid, CurveKind::kHilbert, 3, GradientField);
+  Region r = Region::FromBox(kGrid, CurveKind::kHilbert,
+                             {{2, 2, 2}, {5, 5, 5}});
+  auto extracted = v.Extract(r).MoveValue();
+  ASSERT_EQ(extracted.size(), r.VoxelCount() * 3);
+  // Walk the region in curve order and compare components.
+  size_t cursor = 0;
+  for (const auto& p : r.ToPoints()) {
+    auto expected = v.ValueAt(p).MoveValue();
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(extracted[cursor++], expected[static_cast<size_t>(c)]);
+    }
+  }
+  // Wrong-curve region rejected.
+  Region z(kGrid, CurveKind::kZ);
+  EXPECT_FALSE(v.Extract(z).ok());
+}
+
+TEST(VectorVolumeTest, MagnitudeBandRegion) {
+  // Magnitude grows with x: thresholding selects a half space.
+  VectorVolume v = VectorVolume::FromFunction(
+      kGrid, CurveKind::kHilbert, 2, [](const Vec3i& p, uint8_t* out) {
+        out[0] = static_cast<uint8_t>(p.x * 10);
+        out[1] = 0;
+      });
+  Region strong = v.MagnitudeBandRegion(80.0, 1000.0);  // x >= 8
+  EXPECT_EQ(strong.VoxelCount(), kGrid.NumCells() / 2);
+  EXPECT_TRUE(strong.ContainsPoint({8, 0, 0}));
+  EXPECT_FALSE(strong.ContainsPoint({7, 0, 0}));
+  // Bands partition by construction.
+  Region weak = v.MagnitudeBandRegion(0.0, 79.999);
+  EXPECT_EQ(strong.VoxelCount() + weak.VoxelCount(), kGrid.NumCells());
+}
+
+TEST(VectorVolumeTest, ScalarCaseDegeneratesToVolume) {
+  // m = 1 must agree with the scalar Volume type voxel-for-voxel.
+  auto scalar_field = [](const Vec3i& p) {
+    return static_cast<uint8_t>((p.x * 5 + p.y * 3 + p.z) % 256);
+  };
+  VectorVolume vec = VectorVolume::FromFunction(
+      kGrid, CurveKind::kHilbert, 1, [&](const Vec3i& p, uint8_t* out) {
+        out[0] = scalar_field(p);
+      });
+  Volume scalar = Volume::FromFunction(kGrid, CurveKind::kHilbert,
+                                       scalar_field);
+  EXPECT_EQ(vec.data(), scalar.data());
+}
+
+}  // namespace
+}  // namespace qbism::volume

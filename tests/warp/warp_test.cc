@@ -1,0 +1,131 @@
+#include "warp/warp.h"
+
+#include <gtest/gtest.h>
+
+namespace qbism::warp {
+namespace {
+
+using curve::CurveKind;
+using geometry::Affine3;
+using geometry::Vec3i;
+using region::GridSpec;
+
+TEST(RawVolumeTest, CreateValidatesSize) {
+  EXPECT_FALSE(RawVolume::Create(2, 2, 2, std::vector<uint8_t>(7)).ok());
+  EXPECT_FALSE(RawVolume::Create(0, 2, 2, std::vector<uint8_t>(0)).ok());
+  EXPECT_TRUE(RawVolume::Create(2, 3, 4, std::vector<uint8_t>(24)).ok());
+}
+
+RawVolume Ramp(int nx, int ny, int nz) {
+  std::vector<uint8_t> data(static_cast<size_t>(nx) * ny * nz);
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        data[(static_cast<size_t>(z) * ny + y) * nx + x] =
+            static_cast<uint8_t>((x + 2 * y + 3 * z) % 256);
+      }
+    }
+  }
+  return RawVolume::Create(nx, ny, nz, std::move(data)).MoveValue();
+}
+
+TEST(RawVolumeTest, AtClampedClampsBorders) {
+  RawVolume v = Ramp(4, 4, 4);
+  EXPECT_EQ(v.AtClamped(-5, 0, 0), v.AtClamped(0, 0, 0));
+  EXPECT_EQ(v.AtClamped(99, 3, 3), v.AtClamped(3, 3, 3));
+}
+
+TEST(RawVolumeTest, TrilinearInterpolatesExactAtGridPoints) {
+  RawVolume v = Ramp(8, 8, 8);
+  for (int z = 0; z < 8; z += 2) {
+    for (int y = 0; y < 8; y += 2) {
+      for (int x = 0; x < 8; x += 2) {
+        EXPECT_NEAR(v.Trilinear(x, y, z), v.AtClamped(x, y, z), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(RawVolumeTest, TrilinearMidpointIsAverage) {
+  // Linear ramp: midpoint value is the average of neighbours.
+  RawVolume v = Ramp(8, 8, 8);
+  double mid = v.Trilinear(2.5, 3.0, 1.0);
+  double expected =
+      (v.AtClamped(2, 3, 1) + v.AtClamped(3, 3, 1)) / 2.0;
+  EXPECT_NEAR(mid, expected, 1e-9);
+}
+
+TEST(WarpTest, IdentityScaleWarpPreservesValues) {
+  // A raw volume already in atlas dimensions warped with identity.
+  const GridSpec grid{3, 3};  // 8^3
+  RawVolume raw = Ramp(8, 8, 8);
+  volume::Volume warped =
+      WarpToAtlas(raw, Affine3::Identity(), grid, CurveKind::kHilbert);
+  // Atlas voxel centers are at +0.5, so the identity mapping samples at
+  // half-integer points; values must sit between neighbouring samples.
+  for (int32_t z = 1; z < 7; ++z) {
+    for (int32_t y = 1; y < 7; ++y) {
+      for (int32_t x = 1; x < 7; ++x) {
+        double lo = 255, hi = 0;
+        for (int dz = 0; dz <= 1; ++dz) {
+          for (int dy = 0; dy <= 1; ++dy) {
+            for (int dx = 0; dx <= 1; ++dx) {
+              double s = raw.AtClamped(x + dx, y + dy, z + dz);
+              lo = std::min(lo, s);
+              hi = std::max(hi, s);
+            }
+          }
+        }
+        double v = warped.ValueAt({x, y, z}).value();
+        EXPECT_GE(v + 1.0, lo);
+        EXPECT_LE(v - 1.0, hi);
+      }
+    }
+  }
+}
+
+TEST(WarpTest, OutsideStudyIsZero) {
+  const GridSpec grid{3, 4};  // 16^3 atlas
+  // Tiny 4x4x4 raw study: most of the atlas maps outside it.
+  std::vector<uint8_t> data(64, 200);
+  RawVolume raw = RawVolume::Create(4, 4, 4, std::move(data)).MoveValue();
+  volume::Volume warped =
+      WarpToAtlas(raw, Affine3::Identity(), grid, CurveKind::kHilbert);
+  EXPECT_EQ(warped.ValueAt({1, 1, 1}).value(), 200);
+  EXPECT_EQ(warped.ValueAt({10, 10, 10}).value(), 0);
+}
+
+TEST(WarpTest, ScalingWarpResamples) {
+  const GridSpec grid{3, 4};  // 16^3 atlas
+  // Raw 32^3 study; atlas -> patient doubles coordinates.
+  std::vector<uint8_t> data(32 * 32 * 32);
+  for (int z = 0; z < 32; ++z) {
+    for (int y = 0; y < 32; ++y) {
+      for (int x = 0; x < 32; ++x) {
+        data[(static_cast<size_t>(z) * 32 + y) * 32 + x] =
+            static_cast<uint8_t>(x < 16 ? 50 : 150);
+      }
+    }
+  }
+  RawVolume raw = RawVolume::Create(32, 32, 32, std::move(data)).MoveValue();
+  volume::Volume warped = WarpToAtlas(raw, Affine3::Scaling(2, 2, 2), grid,
+                                      CurveKind::kHilbert);
+  // Atlas x < 8 maps to patient x < 16 (value 50); x >= 8 to 150.
+  EXPECT_NEAR(warped.ValueAt({3, 8, 8}).value(), 50, 2);
+  EXPECT_NEAR(warped.ValueAt({12, 8, 8}).value(), 150, 2);
+}
+
+TEST(WarpTest, TranslationShiftsContent) {
+  const GridSpec grid{3, 3};
+  RawVolume raw = Ramp(8, 8, 8);
+  volume::Volume shifted = WarpToAtlas(
+      raw, Affine3::Translation({2, 0, 0}), grid, CurveKind::kHilbert);
+  volume::Volume plain =
+      WarpToAtlas(raw, Affine3::Identity(), grid, CurveKind::kHilbert);
+  // shifted(x) samples patient x+2, i.e. plain(x+2).
+  EXPECT_NEAR(shifted.ValueAt({2, 3, 3}).value(),
+              plain.ValueAt({4, 3, 3}).value(), 1);
+}
+
+}  // namespace
+}  // namespace qbism::warp
