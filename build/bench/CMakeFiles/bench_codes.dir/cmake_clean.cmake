@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codes.dir/bench_codes.cc.o"
+  "CMakeFiles/bench_codes.dir/bench_codes.cc.o.d"
+  "bench_codes"
+  "bench_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

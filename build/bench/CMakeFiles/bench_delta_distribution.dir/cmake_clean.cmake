@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delta_distribution.dir/bench_delta_distribution.cc.o"
+  "CMakeFiles/bench_delta_distribution.dir/bench_delta_distribution.cc.o.d"
+  "bench_delta_distribution"
+  "bench_delta_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delta_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

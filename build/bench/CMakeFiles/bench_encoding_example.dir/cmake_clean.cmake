@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_encoding_example.dir/bench_encoding_example.cc.o"
+  "CMakeFiles/bench_encoding_example.dir/bench_encoding_example.cc.o.d"
+  "bench_encoding_example"
+  "bench_encoding_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encoding_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

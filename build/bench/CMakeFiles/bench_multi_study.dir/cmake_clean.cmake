@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_study.dir/bench_multi_study.cc.o"
+  "CMakeFiles/bench_multi_study.dir/bench_multi_study.cc.o.d"
+  "bench_multi_study"
+  "bench_multi_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_region_sizes.dir/bench_region_sizes.cc.o"
+  "CMakeFiles/bench_region_sizes.dir/bench_region_sizes.cc.o.d"
+  "bench_region_sizes"
+  "bench_region_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_region_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_run_ratios.dir/bench_run_ratios.cc.o"
+  "CMakeFiles/bench_run_ratios.dir/bench_run_ratios.cc.o.d"
+  "bench_run_ratios"
+  "bench_run_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_run_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

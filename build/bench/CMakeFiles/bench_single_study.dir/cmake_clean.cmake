@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_single_study.dir/bench_single_study.cc.o"
+  "CMakeFiles/bench_single_study.dir/bench_single_study.cc.o.d"
+  "bench_single_study"
+  "bench_single_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_single_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_study_scaling.dir/bench_study_scaling.cc.o"
+  "CMakeFiles/bench_study_scaling.dir/bench_study_scaling.cc.o.d"
+  "bench_study_scaling"
+  "bench_study_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

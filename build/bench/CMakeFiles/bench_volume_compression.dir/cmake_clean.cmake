@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_volume_compression.dir/bench_volume_compression.cc.o"
+  "CMakeFiles/bench_volume_compression.dir/bench_volume_compression.cc.o.d"
+  "bench_volume_compression"
+  "bench_volume_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_volume_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_volume_order.dir/bench_volume_order.cc.o"
+  "CMakeFiles/bench_volume_order.dir/bench_volume_order.cc.o.d"
+  "bench_volume_order"
+  "bench_volume_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_volume_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

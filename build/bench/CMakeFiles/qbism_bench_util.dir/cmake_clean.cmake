@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbism_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/qbism_bench_util.dir/bench_util.cc.o.d"
+  "libqbism_bench_util.a"
+  "libqbism_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbism_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqbism_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brain_mapping.dir/brain_mapping.cpp.o"
+  "CMakeFiles/brain_mapping.dir/brain_mapping.cpp.o.d"
+  "brain_mapping"
+  "brain_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brain_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

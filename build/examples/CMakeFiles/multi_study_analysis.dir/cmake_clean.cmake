@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_study_analysis.dir/multi_study_analysis.cpp.o"
+  "CMakeFiles/multi_study_analysis.dir/multi_study_analysis.cpp.o.d"
+  "multi_study_analysis"
+  "multi_study_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_study_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

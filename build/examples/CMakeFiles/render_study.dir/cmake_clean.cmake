@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_study.dir/render_study.cpp.o"
+  "CMakeFiles/render_study.dir/render_study.cpp.o.d"
+  "render_study"
+  "render_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

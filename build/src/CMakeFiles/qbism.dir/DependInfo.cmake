@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bitstream.cc" "src/CMakeFiles/qbism.dir/common/bitstream.cc.o" "gcc" "src/CMakeFiles/qbism.dir/common/bitstream.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/qbism.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/qbism.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/qbism.dir/common/status.cc.o" "gcc" "src/CMakeFiles/qbism.dir/common/status.cc.o.d"
+  "/root/repo/src/compress/codes.cc" "src/CMakeFiles/qbism.dir/compress/codes.cc.o" "gcc" "src/CMakeFiles/qbism.dir/compress/codes.cc.o.d"
+  "/root/repo/src/curve/curve.cc" "src/CMakeFiles/qbism.dir/curve/curve.cc.o" "gcc" "src/CMakeFiles/qbism.dir/curve/curve.cc.o.d"
+  "/root/repo/src/geometry/affine.cc" "src/CMakeFiles/qbism.dir/geometry/affine.cc.o" "gcc" "src/CMakeFiles/qbism.dir/geometry/affine.cc.o.d"
+  "/root/repo/src/geometry/shapes.cc" "src/CMakeFiles/qbism.dir/geometry/shapes.cc.o" "gcc" "src/CMakeFiles/qbism.dir/geometry/shapes.cc.o.d"
+  "/root/repo/src/med/loader.cc" "src/CMakeFiles/qbism.dir/med/loader.cc.o" "gcc" "src/CMakeFiles/qbism.dir/med/loader.cc.o.d"
+  "/root/repo/src/med/phantom.cc" "src/CMakeFiles/qbism.dir/med/phantom.cc.o" "gcc" "src/CMakeFiles/qbism.dir/med/phantom.cc.o.d"
+  "/root/repo/src/med/schema.cc" "src/CMakeFiles/qbism.dir/med/schema.cc.o" "gcc" "src/CMakeFiles/qbism.dir/med/schema.cc.o.d"
+  "/root/repo/src/mining/apriori.cc" "src/CMakeFiles/qbism.dir/mining/apriori.cc.o" "gcc" "src/CMakeFiles/qbism.dir/mining/apriori.cc.o.d"
+  "/root/repo/src/mining/knn.cc" "src/CMakeFiles/qbism.dir/mining/knn.cc.o" "gcc" "src/CMakeFiles/qbism.dir/mining/knn.cc.o.d"
+  "/root/repo/src/net/channel.cc" "src/CMakeFiles/qbism.dir/net/channel.cc.o" "gcc" "src/CMakeFiles/qbism.dir/net/channel.cc.o.d"
+  "/root/repo/src/qbism/medical_server.cc" "src/CMakeFiles/qbism.dir/qbism/medical_server.cc.o" "gcc" "src/CMakeFiles/qbism.dir/qbism/medical_server.cc.o.d"
+  "/root/repo/src/qbism/spatial_extension.cc" "src/CMakeFiles/qbism.dir/qbism/spatial_extension.cc.o" "gcc" "src/CMakeFiles/qbism.dir/qbism/spatial_extension.cc.o.d"
+  "/root/repo/src/region/encoding.cc" "src/CMakeFiles/qbism.dir/region/encoding.cc.o" "gcc" "src/CMakeFiles/qbism.dir/region/encoding.cc.o.d"
+  "/root/repo/src/region/region.cc" "src/CMakeFiles/qbism.dir/region/region.cc.o" "gcc" "src/CMakeFiles/qbism.dir/region/region.cc.o.d"
+  "/root/repo/src/region/stats.cc" "src/CMakeFiles/qbism.dir/region/stats.cc.o" "gcc" "src/CMakeFiles/qbism.dir/region/stats.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/qbism.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/qbism.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/catalog.cc" "src/CMakeFiles/qbism.dir/sql/catalog.cc.o" "gcc" "src/CMakeFiles/qbism.dir/sql/catalog.cc.o.d"
+  "/root/repo/src/sql/database.cc" "src/CMakeFiles/qbism.dir/sql/database.cc.o" "gcc" "src/CMakeFiles/qbism.dir/sql/database.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/CMakeFiles/qbism.dir/sql/executor.cc.o" "gcc" "src/CMakeFiles/qbism.dir/sql/executor.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/qbism.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/qbism.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/qbism.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/qbism.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/schema.cc" "src/CMakeFiles/qbism.dir/sql/schema.cc.o" "gcc" "src/CMakeFiles/qbism.dir/sql/schema.cc.o.d"
+  "/root/repo/src/sql/udf.cc" "src/CMakeFiles/qbism.dir/sql/udf.cc.o" "gcc" "src/CMakeFiles/qbism.dir/sql/udf.cc.o.d"
+  "/root/repo/src/sql/value.cc" "src/CMakeFiles/qbism.dir/sql/value.cc.o" "gcc" "src/CMakeFiles/qbism.dir/sql/value.cc.o.d"
+  "/root/repo/src/storage/bptree.cc" "src/CMakeFiles/qbism.dir/storage/bptree.cc.o" "gcc" "src/CMakeFiles/qbism.dir/storage/bptree.cc.o.d"
+  "/root/repo/src/storage/buddy_allocator.cc" "src/CMakeFiles/qbism.dir/storage/buddy_allocator.cc.o" "gcc" "src/CMakeFiles/qbism.dir/storage/buddy_allocator.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/qbism.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/qbism.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_device.cc" "src/CMakeFiles/qbism.dir/storage/disk_device.cc.o" "gcc" "src/CMakeFiles/qbism.dir/storage/disk_device.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/qbism.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/qbism.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/long_field.cc" "src/CMakeFiles/qbism.dir/storage/long_field.cc.o" "gcc" "src/CMakeFiles/qbism.dir/storage/long_field.cc.o.d"
+  "/root/repo/src/storage/slotted_page.cc" "src/CMakeFiles/qbism.dir/storage/slotted_page.cc.o" "gcc" "src/CMakeFiles/qbism.dir/storage/slotted_page.cc.o.d"
+  "/root/repo/src/viz/dx.cc" "src/CMakeFiles/qbism.dir/viz/dx.cc.o" "gcc" "src/CMakeFiles/qbism.dir/viz/dx.cc.o.d"
+  "/root/repo/src/viz/image.cc" "src/CMakeFiles/qbism.dir/viz/image.cc.o" "gcc" "src/CMakeFiles/qbism.dir/viz/image.cc.o.d"
+  "/root/repo/src/viz/isosurface.cc" "src/CMakeFiles/qbism.dir/viz/isosurface.cc.o" "gcc" "src/CMakeFiles/qbism.dir/viz/isosurface.cc.o.d"
+  "/root/repo/src/viz/mesh.cc" "src/CMakeFiles/qbism.dir/viz/mesh.cc.o" "gcc" "src/CMakeFiles/qbism.dir/viz/mesh.cc.o.d"
+  "/root/repo/src/viz/renderer.cc" "src/CMakeFiles/qbism.dir/viz/renderer.cc.o" "gcc" "src/CMakeFiles/qbism.dir/viz/renderer.cc.o.d"
+  "/root/repo/src/volume/compressed_volume.cc" "src/CMakeFiles/qbism.dir/volume/compressed_volume.cc.o" "gcc" "src/CMakeFiles/qbism.dir/volume/compressed_volume.cc.o.d"
+  "/root/repo/src/volume/vector_volume.cc" "src/CMakeFiles/qbism.dir/volume/vector_volume.cc.o" "gcc" "src/CMakeFiles/qbism.dir/volume/vector_volume.cc.o.d"
+  "/root/repo/src/volume/volume.cc" "src/CMakeFiles/qbism.dir/volume/volume.cc.o" "gcc" "src/CMakeFiles/qbism.dir/volume/volume.cc.o.d"
+  "/root/repo/src/warp/warp.cc" "src/CMakeFiles/qbism.dir/warp/warp.cc.o" "gcc" "src/CMakeFiles/qbism.dir/warp/warp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

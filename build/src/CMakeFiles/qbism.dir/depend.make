@@ -1,0 +1,2 @@
+# Empty dependencies file for qbism.
+# This may be replaced when dependencies are built.

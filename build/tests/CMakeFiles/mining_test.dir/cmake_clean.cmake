@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mining_test.dir/mining/apriori_test.cc.o"
+  "CMakeFiles/mining_test.dir/mining/apriori_test.cc.o.d"
+  "CMakeFiles/mining_test.dir/mining/knn_test.cc.o"
+  "CMakeFiles/mining_test.dir/mining/knn_test.cc.o.d"
+  "mining_test"
+  "mining_test.pdb"
+  "mining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

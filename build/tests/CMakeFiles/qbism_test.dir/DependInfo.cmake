@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/qbism/fuzz_decode_test.cc" "tests/CMakeFiles/qbism_test.dir/qbism/fuzz_decode_test.cc.o" "gcc" "tests/CMakeFiles/qbism_test.dir/qbism/fuzz_decode_test.cc.o.d"
+  "/root/repo/tests/qbism/integration_test.cc" "tests/CMakeFiles/qbism_test.dir/qbism/integration_test.cc.o" "gcc" "tests/CMakeFiles/qbism_test.dir/qbism/integration_test.cc.o.d"
+  "/root/repo/tests/qbism/medical_server_test.cc" "tests/CMakeFiles/qbism_test.dir/qbism/medical_server_test.cc.o" "gcc" "tests/CMakeFiles/qbism_test.dir/qbism/medical_server_test.cc.o.d"
+  "/root/repo/tests/qbism/spatial_extension_test.cc" "tests/CMakeFiles/qbism_test.dir/qbism/spatial_extension_test.cc.o" "gcc" "tests/CMakeFiles/qbism_test.dir/qbism/spatial_extension_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qbism.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

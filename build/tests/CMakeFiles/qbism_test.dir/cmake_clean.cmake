@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbism_test.dir/qbism/fuzz_decode_test.cc.o"
+  "CMakeFiles/qbism_test.dir/qbism/fuzz_decode_test.cc.o.d"
+  "CMakeFiles/qbism_test.dir/qbism/integration_test.cc.o"
+  "CMakeFiles/qbism_test.dir/qbism/integration_test.cc.o.d"
+  "CMakeFiles/qbism_test.dir/qbism/medical_server_test.cc.o"
+  "CMakeFiles/qbism_test.dir/qbism/medical_server_test.cc.o.d"
+  "CMakeFiles/qbism_test.dir/qbism/spatial_extension_test.cc.o"
+  "CMakeFiles/qbism_test.dir/qbism/spatial_extension_test.cc.o.d"
+  "qbism_test"
+  "qbism_test.pdb"
+  "qbism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

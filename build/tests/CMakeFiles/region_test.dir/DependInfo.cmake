@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/region/clustering_test.cc" "tests/CMakeFiles/region_test.dir/region/clustering_test.cc.o" "gcc" "tests/CMakeFiles/region_test.dir/region/clustering_test.cc.o.d"
+  "/root/repo/tests/region/encoding_test.cc" "tests/CMakeFiles/region_test.dir/region/encoding_test.cc.o" "gcc" "tests/CMakeFiles/region_test.dir/region/encoding_test.cc.o.d"
+  "/root/repo/tests/region/octant_test.cc" "tests/CMakeFiles/region_test.dir/region/octant_test.cc.o" "gcc" "tests/CMakeFiles/region_test.dir/region/octant_test.cc.o.d"
+  "/root/repo/tests/region/paper_example_test.cc" "tests/CMakeFiles/region_test.dir/region/paper_example_test.cc.o" "gcc" "tests/CMakeFiles/region_test.dir/region/paper_example_test.cc.o.d"
+  "/root/repo/tests/region/property_test.cc" "tests/CMakeFiles/region_test.dir/region/property_test.cc.o" "gcc" "tests/CMakeFiles/region_test.dir/region/property_test.cc.o.d"
+  "/root/repo/tests/region/region_ops_test.cc" "tests/CMakeFiles/region_test.dir/region/region_ops_test.cc.o" "gcc" "tests/CMakeFiles/region_test.dir/region/region_ops_test.cc.o.d"
+  "/root/repo/tests/region/region_test.cc" "tests/CMakeFiles/region_test.dir/region/region_test.cc.o" "gcc" "tests/CMakeFiles/region_test.dir/region/region_test.cc.o.d"
+  "/root/repo/tests/region/stats_test.cc" "tests/CMakeFiles/region_test.dir/region/stats_test.cc.o" "gcc" "tests/CMakeFiles/region_test.dir/region/stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qbism.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_test.dir/region/clustering_test.cc.o"
+  "CMakeFiles/region_test.dir/region/clustering_test.cc.o.d"
+  "CMakeFiles/region_test.dir/region/encoding_test.cc.o"
+  "CMakeFiles/region_test.dir/region/encoding_test.cc.o.d"
+  "CMakeFiles/region_test.dir/region/octant_test.cc.o"
+  "CMakeFiles/region_test.dir/region/octant_test.cc.o.d"
+  "CMakeFiles/region_test.dir/region/paper_example_test.cc.o"
+  "CMakeFiles/region_test.dir/region/paper_example_test.cc.o.d"
+  "CMakeFiles/region_test.dir/region/property_test.cc.o"
+  "CMakeFiles/region_test.dir/region/property_test.cc.o.d"
+  "CMakeFiles/region_test.dir/region/region_ops_test.cc.o"
+  "CMakeFiles/region_test.dir/region/region_ops_test.cc.o.d"
+  "CMakeFiles/region_test.dir/region/region_test.cc.o"
+  "CMakeFiles/region_test.dir/region/region_test.cc.o.d"
+  "CMakeFiles/region_test.dir/region/stats_test.cc.o"
+  "CMakeFiles/region_test.dir/region/stats_test.cc.o.d"
+  "region_test"
+  "region_test.pdb"
+  "region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/bptree_test.cc" "tests/CMakeFiles/storage_test.dir/storage/bptree_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/bptree_test.cc.o.d"
+  "/root/repo/tests/storage/buddy_allocator_test.cc" "tests/CMakeFiles/storage_test.dir/storage/buddy_allocator_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/buddy_allocator_test.cc.o.d"
+  "/root/repo/tests/storage/buffer_pool_test.cc" "tests/CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o.d"
+  "/root/repo/tests/storage/disk_device_test.cc" "tests/CMakeFiles/storage_test.dir/storage/disk_device_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/disk_device_test.cc.o.d"
+  "/root/repo/tests/storage/fault_injection_test.cc" "tests/CMakeFiles/storage_test.dir/storage/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/fault_injection_test.cc.o.d"
+  "/root/repo/tests/storage/heap_file_test.cc" "tests/CMakeFiles/storage_test.dir/storage/heap_file_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/heap_file_test.cc.o.d"
+  "/root/repo/tests/storage/long_field_test.cc" "tests/CMakeFiles/storage_test.dir/storage/long_field_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/long_field_test.cc.o.d"
+  "/root/repo/tests/storage/slotted_page_test.cc" "tests/CMakeFiles/storage_test.dir/storage/slotted_page_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/slotted_page_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qbism.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_test.dir/storage/bptree_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/bptree_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/buddy_allocator_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/buddy_allocator_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/disk_device_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/disk_device_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/fault_injection_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/fault_injection_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/heap_file_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/heap_file_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/long_field_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/long_field_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/slotted_page_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/slotted_page_test.cc.o.d"
+  "storage_test"
+  "storage_test.pdb"
+  "storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

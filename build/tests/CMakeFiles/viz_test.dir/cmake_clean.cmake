@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viz_test.dir/viz/dx_test.cc.o"
+  "CMakeFiles/viz_test.dir/viz/dx_test.cc.o.d"
+  "CMakeFiles/viz_test.dir/viz/isosurface_test.cc.o"
+  "CMakeFiles/viz_test.dir/viz/isosurface_test.cc.o.d"
+  "CMakeFiles/viz_test.dir/viz/mesh_test.cc.o"
+  "CMakeFiles/viz_test.dir/viz/mesh_test.cc.o.d"
+  "CMakeFiles/viz_test.dir/viz/renderer_test.cc.o"
+  "CMakeFiles/viz_test.dir/viz/renderer_test.cc.o.d"
+  "viz_test"
+  "viz_test.pdb"
+  "viz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/volume/banding_test.cc" "tests/CMakeFiles/volume_test.dir/volume/banding_test.cc.o" "gcc" "tests/CMakeFiles/volume_test.dir/volume/banding_test.cc.o.d"
+  "/root/repo/tests/volume/compressed_volume_test.cc" "tests/CMakeFiles/volume_test.dir/volume/compressed_volume_test.cc.o" "gcc" "tests/CMakeFiles/volume_test.dir/volume/compressed_volume_test.cc.o.d"
+  "/root/repo/tests/volume/vector_volume_test.cc" "tests/CMakeFiles/volume_test.dir/volume/vector_volume_test.cc.o" "gcc" "tests/CMakeFiles/volume_test.dir/volume/vector_volume_test.cc.o.d"
+  "/root/repo/tests/volume/volume_test.cc" "tests/CMakeFiles/volume_test.dir/volume/volume_test.cc.o" "gcc" "tests/CMakeFiles/volume_test.dir/volume/volume_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qbism.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

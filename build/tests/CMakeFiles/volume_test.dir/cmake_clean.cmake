@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_test.dir/volume/banding_test.cc.o"
+  "CMakeFiles/volume_test.dir/volume/banding_test.cc.o.d"
+  "CMakeFiles/volume_test.dir/volume/compressed_volume_test.cc.o"
+  "CMakeFiles/volume_test.dir/volume/compressed_volume_test.cc.o.d"
+  "CMakeFiles/volume_test.dir/volume/vector_volume_test.cc.o"
+  "CMakeFiles/volume_test.dir/volume/vector_volume_test.cc.o.d"
+  "CMakeFiles/volume_test.dir/volume/volume_test.cc.o"
+  "CMakeFiles/volume_test.dir/volume/volume_test.cc.o.d"
+  "volume_test"
+  "volume_test.pdb"
+  "volume_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
