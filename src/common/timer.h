@@ -21,6 +21,24 @@ class WallTimer {
   Clock::time_point start_;
 };
 
+/// Calling-thread CPU-time stopwatch. Used for per-request cpu columns
+/// in the concurrent query service, where process CPU time would charge
+/// one request for every worker's concurrent work.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(Now()) {}
+  void Reset() { start_ = Now(); }
+  double Seconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+  double start_;
+};
+
 /// Process CPU-time stopwatch. Mirrors the paper's cpu/real split in
 /// Tables 3 and 4.
 class CpuTimer {

@@ -16,8 +16,13 @@ using storage::LongFieldId;
 using volume::DataRegion;
 
 std::string QuerySpec::Describe() const {
+  // Canonical cache key: every field that can change the result bytes
+  // must appear (study, atlas, structure, box, band interval, and the
+  // band-index flag, which selects stored-band vs scan semantics).
+  // `allow_cached` is deliberately absent — it changes how a result is
+  // obtained, never what the result is.
   std::ostringstream out;
-  out << "study " << study_id;
+  out << "study " << study_id << " atlas " << atlas_name;
   if (structure_name) out << " in " << *structure_name;
   if (box) {
     out << " in box (" << box->min.x << "," << box->min.y << "," << box->min.z
@@ -26,7 +31,8 @@ std::string QuerySpec::Describe() const {
   }
   if (intensity_range) {
     out << " intensity " << intensity_range->first << "-"
-        << intensity_range->second;
+        << intensity_range->second
+        << (use_band_index ? " via band index" : " via scan");
   }
   if (IsFullStudy()) out << " (entire study)";
   return out.str();
@@ -198,6 +204,7 @@ Result<StudyQueryResult> MedicalServer::RunStudyQuery(
     }
   }
 
+  QBISM_RETURN_NOT_OK(Checkpoint());
   out.info_sql = BuildInfoSql(spec);
   QBISM_ASSIGN_OR_RETURN(out.data_sql, BuildDataSql(spec));
 
@@ -212,14 +219,15 @@ Result<StudyQueryResult> MedicalServer::RunStudyQuery(
       other_timer.Seconds() + cost_model_.sql_compile_seconds;
 
   // --- Database phase: the data query. ---------------------------------
-  IoStats lfm_before = db->long_field_device()->stats();
-  IoStats rel_before = db->relational_device()->stats();
-  CpuTimer db_cpu;
+  QBISM_RETURN_NOT_OK(Checkpoint());
+  IoStats lfm_before = db->long_field_device()->thread_stats();
+  IoStats rel_before = db->relational_device()->thread_stats();
+  ThreadCpuTimer db_cpu;
   WallTimer db_wall;
   QBISM_ASSIGN_OR_RETURN(ResultSet data_result, db->Execute(out.data_sql));
   out.timing.db_cpu_seconds = db_cpu.Seconds();
-  IoStats lfm_delta = db->long_field_device()->stats() - lfm_before;
-  IoStats rel_delta = db->relational_device()->stats() - rel_before;
+  IoStats lfm_delta = db->long_field_device()->thread_stats() - lfm_before;
+  IoStats rel_delta = db->relational_device()->thread_stats() - rel_before;
   out.timing.db_real_seconds = db_wall.Seconds() +
                                lfm_delta.simulated_seconds +
                                rel_delta.simulated_seconds;
@@ -231,6 +239,7 @@ Result<StudyQueryResult> MedicalServer::RunStudyQuery(
   out.result_voxels = out.data.VoxelCount();
 
   // --- Network: ship query + answer over the simulated channel. --------
+  QBISM_RETURN_NOT_OK(Checkpoint());
   ChannelStats net_before = channel_.stats();
   channel_.RoundTrip();
   channel_.SendControl(out.data_sql.size());
@@ -285,14 +294,14 @@ Result<MultiStudyResult> MedicalServer::ConsistentBandRegion(
 
   MultiStudyResult out;
   out.sql = sql.str();
-  IoStats lfm_before = db->long_field_device()->stats();
-  IoStats rel_before = db->relational_device()->stats();
-  CpuTimer cpu;
+  IoStats lfm_before = db->long_field_device()->thread_stats();
+  IoStats rel_before = db->relational_device()->thread_stats();
+  ThreadCpuTimer cpu;
   WallTimer wall;
   QBISM_ASSIGN_OR_RETURN(ResultSet result, db->Execute(out.sql));
   out.db_cpu_seconds = cpu.Seconds();
-  IoStats lfm_delta = db->long_field_device()->stats() - lfm_before;
-  IoStats rel_delta = db->relational_device()->stats() - rel_before;
+  IoStats lfm_delta = db->long_field_device()->thread_stats() - lfm_before;
+  IoStats rel_delta = db->relational_device()->thread_stats() - rel_before;
   out.db_real_seconds = wall.Seconds() + lfm_delta.simulated_seconds +
                         rel_delta.simulated_seconds;
   out.lfm_pages = lfm_delta.pages_read + lfm_delta.pages_written;
@@ -325,9 +334,9 @@ Result<StudyQueryResult> MedicalServer::AverageInStructure(
       structure_name + "'";
   out.timing.other_seconds = cost_model_.sql_compile_seconds;
 
-  IoStats lfm_before = db->long_field_device()->stats();
-  IoStats rel_before = db->relational_device()->stats();
-  CpuTimer db_cpu;
+  IoStats lfm_before = db->long_field_device()->thread_stats();
+  IoStats rel_before = db->relational_device()->thread_stats();
+  ThreadCpuTimer db_cpu;
   WallTimer db_wall;
 
   QBISM_ASSIGN_OR_RETURN(ResultSet region_result, db->Execute(out.info_sql));
@@ -367,8 +376,8 @@ Result<StudyQueryResult> MedicalServer::AverageInStructure(
   out.data_sql = "(server-side n-way EXTRACT_DATA + voxel-wise average)";
 
   out.timing.db_cpu_seconds = db_cpu.Seconds();
-  IoStats lfm_delta = db->long_field_device()->stats() - lfm_before;
-  IoStats rel_delta = db->relational_device()->stats() - rel_before;
+  IoStats lfm_delta = db->long_field_device()->thread_stats() - lfm_before;
+  IoStats rel_delta = db->relational_device()->thread_stats() - rel_before;
   out.timing.db_real_seconds = db_wall.Seconds() +
                                lfm_delta.simulated_seconds +
                                rel_delta.simulated_seconds;

@@ -1,6 +1,7 @@
 #ifndef QBISM_QBISM_MEDICAL_SERVER_H_
 #define QBISM_QBISM_MEDICAL_SERVER_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <utility>
@@ -24,6 +25,8 @@ struct QuerySpec {
   std::string atlas_name = "Talairach";
 
   /// Spatial conditions (both may be set; they intersect).
+  // NOTE: every field added here that affects the result must also be
+  // folded into Describe(), which doubles as the shared cache key.
   std::optional<std::string> structure_name;
   std::optional<geometry::Box3i> box;
 
@@ -139,6 +142,17 @@ class MedicalServer {
   net::SimulatedChannel* channel() { return &channel_; }
   SpatialExtension* extension() { return ext_; }
 
+  /// Cooperative interruption for the query service: RunStudyQuery
+  /// polls this checkpoint between its stages (before the info query,
+  /// before the data query, and before shipping/import). A non-OK
+  /// return aborts the query with that status, so a deadline or
+  /// cancellation cannot wedge a worker for longer than one stage.
+  /// Pass nullptr to clear. Read only by the thread driving this
+  /// server; a MedicalServer is not itself shared across threads.
+  void set_interrupt(std::function<Status()> interrupt) {
+    interrupt_ = std::move(interrupt);
+  }
+
  private:
   /// Builds the §3.4 info query.
   std::string BuildInfoSql(const QuerySpec& spec) const;
@@ -151,10 +165,16 @@ class MedicalServer {
   Result<std::vector<std::pair<int, int>>> StoredBandsCovering(
       int study_id, int lo, int hi) const;
 
+  /// OK when no interrupt hook is installed or it reports OK.
+  Status Checkpoint() const {
+    return interrupt_ ? interrupt_() : Status::OK();
+  }
+
   SpatialExtension* ext_;
   net::SimulatedChannel channel_;
   ServerCostModel cost_model_;
   viz::DxExecutive dx_;
+  std::function<Status()> interrupt_;
 };
 
 }  // namespace qbism

@@ -1,0 +1,85 @@
+#ifndef QBISM_SERVICE_ADMISSION_QUEUE_H_
+#define QBISM_SERVICE_ADMISSION_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace qbism::service {
+
+/// Bounded multi-producer/multi-consumer admission queue for the query
+/// service. Admission control is reject-on-full, not block-on-full:
+/// TryPush returns false immediately when the queue is at capacity, so
+/// overload surfaces to clients as a fast ResourceExhausted instead of
+/// unbounded queueing delay (the front end never holds more work than
+/// the pool can reach in bounded time).
+template <typename T>
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(size_t capacity) : capacity_(capacity) {}
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Enqueues unless the queue is full or closed; never blocks.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed; returns
+  /// nullopt only on close-with-empty-queue (worker shutdown signal).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stops admissions and wakes all blocked consumers. Items already
+  /// queued are still handed out by Pop (drain-on-shutdown); call
+  /// DrainNow to claim them in one step instead.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  /// Removes and returns everything currently queued (used to fail
+  /// pending requests fast on shutdown).
+  std::deque<T> DrainNow() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::deque<T> out;
+    out.swap(items_);
+    return out;
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;  // guarded by mu_
+  bool closed_ = false;  // guarded by mu_
+};
+
+}  // namespace qbism::service
+
+#endif  // QBISM_SERVICE_ADMISSION_QUEUE_H_

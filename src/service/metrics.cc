@@ -1,0 +1,84 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qbism::service {
+
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  double rank = p * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+LatencySummary LatencyRecorder::Summarize() const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = samples_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  LatencySummary out;
+  out.count = sorted.size();
+  if (sorted.empty()) return out;
+  double sum = 0.0;
+  for (double s : sorted) sum += s;
+  out.mean = sum / static_cast<double>(sorted.size());
+  out.p50 = Percentile(sorted, 0.50);
+  out.p95 = Percentile(sorted, 0.95);
+  out.p99 = Percentile(sorted, 0.99);
+  out.max = sorted.back();
+  return out;
+}
+
+MetricsSnapshot ServiceMetrics::Snapshot() const {
+  MetricsSnapshot out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
+  out.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  out.cancelled = cancelled_.load(std::memory_order_relaxed);
+  out.failed = failed_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  out.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  out.lfm_pages = lfm_pages_.load(std::memory_order_relaxed);
+  out.network_seconds = network_seconds_.load(std::memory_order_relaxed);
+  out.queue_wait_seconds = queue_wait_seconds_.load(std::memory_order_relaxed);
+  out.latency = latency_.Summarize();
+  out.queue_wait = queue_wait_.Summarize();
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"submitted\":%llu,\"rejected_queue_full\":%llu,"
+      "\"deadline_expired\":%llu,\"cancelled\":%llu,\"failed\":%llu,"
+      "\"completed\":%llu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
+      "\"lfm_pages\":%llu,\"network_seconds\":%.6f,"
+      "\"queue_wait_seconds\":%.6f,"
+      "\"latency\":{\"count\":%llu,\"mean\":%.6f,\"p50\":%.6f,"
+      "\"p95\":%.6f,\"p99\":%.6f,\"max\":%.6f}}",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(rejected_queue_full),
+      static_cast<unsigned long long>(deadline_expired),
+      static_cast<unsigned long long>(cancelled),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses),
+      static_cast<unsigned long long>(lfm_pages), network_seconds,
+      queue_wait_seconds, static_cast<unsigned long long>(latency.count),
+      latency.mean, latency.p50, latency.p95, latency.p99, latency.max);
+  return buf;
+}
+
+}  // namespace qbism::service

@@ -1,0 +1,121 @@
+#ifndef QBISM_SERVICE_METRICS_H_
+#define QBISM_SERVICE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qbism::service {
+
+/// Latency percentiles over a set of recorded samples (seconds).
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Thread-safe recorder for per-request latencies. A plain locked
+/// vector: the service handles thousands of requests per run, not
+/// millions, so exact percentiles beat a bucketed histogram here.
+class LatencyRecorder {
+ public:
+  void Record(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.push_back(seconds);
+  }
+
+  LatencySummary Summarize() const;
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;  // guarded by mu_
+};
+
+/// Point-in-time copy of the service counters, safe to read and print.
+struct MetricsSnapshot {
+  uint64_t submitted = 0;
+  uint64_t rejected_queue_full = 0;
+  uint64_t deadline_expired = 0;  // expired in queue or between stages
+  uint64_t cancelled = 0;
+  uint64_t failed = 0;     // non-OK from the query path itself
+  uint64_t completed = 0;  // OK replies
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t lfm_pages = 0;
+  double network_seconds = 0.0;
+  double queue_wait_seconds = 0.0;  // summed across requests
+  LatencySummary latency;           // end-to-end (admission to reply)
+  LatencySummary queue_wait;
+
+  /// One-line JSON object (keys stable for the benchmark harness).
+  std::string ToJson() const;
+};
+
+/// Shared service-wide counters, aggregated across workers via atomics;
+/// doubles totaled via compare-exchange loops (no double fetch_add until
+/// C++20 libstdc++ catches up everywhere).
+class ServiceMetrics {
+ public:
+  void AddSubmitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void AddRejectedQueueFull() {
+    rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddDeadlineExpired() {
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddCancelled() { cancelled_.fetch_add(1, std::memory_order_relaxed); }
+  void AddFailed() { failed_.fetch_add(1, std::memory_order_relaxed); }
+  void AddCompleted() { completed_.fetch_add(1, std::memory_order_relaxed); }
+  void AddCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void AddCacheMiss() {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddLfmPages(uint64_t pages) {
+    lfm_pages_.fetch_add(pages, std::memory_order_relaxed);
+  }
+  void AddNetworkSeconds(double s) { AddDouble(network_seconds_, s); }
+
+  void RecordLatency(double seconds) { latency_.Record(seconds); }
+  void RecordQueueWait(double seconds) {
+    AddDouble(queue_wait_seconds_, seconds);
+    queue_wait_.Record(seconds);
+  }
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  static void AddDouble(std::atomic<double>& target, double delta) {
+    double cur = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_queue_full_{0};
+  std::atomic<uint64_t> deadline_expired_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> lfm_pages_{0};
+  std::atomic<double> network_seconds_{0.0};
+  std::atomic<double> queue_wait_seconds_{0.0};
+  LatencyRecorder latency_;
+  LatencyRecorder queue_wait_;
+};
+
+}  // namespace qbism::service
+
+#endif  // QBISM_SERVICE_METRICS_H_

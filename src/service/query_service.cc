@@ -1,0 +1,232 @@
+#include "service/query_service.h"
+
+#include <atomic>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/timer.h"
+
+namespace qbism::service {
+
+using Clock = std::chrono::steady_clock;
+
+/// Completion state shared between the submitting client, the worker,
+/// and any Cancel() caller.
+struct Ticket::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<Result<ServiceReply>> reply;  // guarded by mu
+
+  std::atomic<bool> cancelled{false};
+  Clock::time_point submitted;
+  Clock::time_point deadline;  // time_point::max() = none
+  bool has_deadline = false;
+};
+
+Result<ServiceReply> Ticket::Wait() const {
+  if (!state_) return Status::InvalidArgument("Ticket::Wait: empty ticket");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->reply.has_value(); });
+  return *state_->reply;
+}
+
+void Ticket::Cancel() {
+  if (state_) state_->cancelled.store(true, std::memory_order_relaxed);
+}
+
+bool Ticket::Done() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->reply.has_value();
+}
+
+QueryService::QueryService(qbism::SpatialExtension* ext,
+                           ServiceOptions options)
+    : ext_(ext),
+      options_(options),
+      cache_(options.cache_entries, options.cache_bytes),
+      queue_(options.queue_capacity) {
+  for (int i = 0; i < options_.num_workers; ++i) {
+    servers_.push_back(std::make_unique<qbism::MedicalServer>(
+        ext_, options_.net_model, options_.cost_model));
+  }
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+Result<Ticket> QueryService::Submit(const ServiceRequest& request) {
+  metrics_.AddSubmitted();
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (shut_down_) {
+      return Status::Cancelled("QueryService: service is shut down");
+    }
+  }
+  auto state = std::make_shared<Ticket::State>();
+  state->submitted = Clock::now();
+  if (request.deadline_seconds > 0.0) {
+    state->has_deadline = true;
+    state->deadline =
+        state->submitted +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(request.deadline_seconds));
+  } else {
+    state->deadline = Clock::time_point::max();
+  }
+  if (!queue_.TryPush(Pending{request, state})) {
+    metrics_.AddRejectedQueueFull();
+    return Status::ResourceExhausted(
+        "QueryService: admission queue full (" +
+        std::to_string(queue_.capacity()) + " pending); retry with backoff");
+  }
+  Ticket ticket;
+  ticket.state_ = std::move(state);
+  return ticket;
+}
+
+Result<ServiceReply> QueryService::Execute(const ServiceRequest& request) {
+  QBISM_ASSIGN_OR_RETURN(Ticket ticket, Submit(request));
+  return ticket.Wait();
+}
+
+void QueryService::Complete(const std::shared_ptr<Ticket::State>& state,
+                            Result<ServiceReply> reply) {
+  double latency =
+      std::chrono::duration<double>(Clock::now() - state->submitted).count();
+  if (reply.ok()) {
+    metrics_.AddCompleted();
+    metrics_.AddLfmPages(reply->result.timing.lfm_pages);
+    metrics_.AddNetworkSeconds(reply->result.timing.network_seconds);
+    reply->total_seconds = latency;
+  } else if (reply.status().IsDeadlineExceeded()) {
+    metrics_.AddDeadlineExpired();
+  } else if (reply.status().IsCancelled()) {
+    metrics_.AddCancelled();
+  } else {
+    metrics_.AddFailed();
+  }
+  metrics_.RecordLatency(latency);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->reply = std::move(reply);
+  }
+  state->cv.notify_all();
+}
+
+void QueryService::WorkerLoop(int worker_id) {
+  qbism::MedicalServer* server = servers_[static_cast<size_t>(worker_id)].get();
+  while (true) {
+    std::optional<Pending> pending = queue_.Pop();
+    if (!pending) return;  // closed and drained
+    Complete(pending->state, Serve(server, worker_id, *pending));
+  }
+}
+
+Result<ServiceReply> QueryService::Serve(qbism::MedicalServer* server,
+                                         int worker_id,
+                                         const Pending& pending) {
+  const std::shared_ptr<Ticket::State>& state = pending.state;
+  Clock::time_point picked_up = Clock::now();
+  double queue_wait =
+      std::chrono::duration<double>(picked_up - state->submitted).count();
+  metrics_.RecordQueueWait(queue_wait);
+
+  // Admission-to-execution gate: requests that died in the queue never
+  // touch the database, so a burst of doomed work drains at checkpoint
+  // speed instead of query speed.
+  if (state->cancelled.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("request cancelled while queued");
+  }
+  if (state->has_deadline && picked_up >= state->deadline) {
+    return Status::DeadlineExceeded("deadline expired in admission queue");
+  }
+
+  const qbism::QuerySpec& spec = pending.request.spec;
+  std::string key = spec.Describe();
+  ServiceReply reply;
+  reply.worker_id = worker_id;
+  reply.queue_wait_seconds = queue_wait;
+  WallTimer execute_timer;
+
+  if (std::shared_ptr<const volume::DataRegion> hit = cache_.Get(key)) {
+    // Shared-cache fast path: no SQL, no LFM I/O, no network model —
+    // only ImportVolume (and rendering, when asked) still run, exactly
+    // like the §5.2 DX cache but across all clients.
+    metrics_.AddCacheHit();
+    reply.cache_hit = true;
+    qbism::StudyQueryResult& out = reply.result;
+    out.data = *hit;
+    out.result_runs = out.data.region().RunCount();
+    out.result_voxels = out.data.VoxelCount();
+    out.data_sql = "(served from the shared result cache)";
+    viz::DxExecutive::ImportResult imported = server->dx()->ImportVolume(out.data);
+    out.timing.import_cpu_seconds = imported.cpu_seconds;
+    if (pending.request.render) {
+      viz::DxExecutive::RenderResult rendered =
+          server->dx()->Render(imported.dense, pending.request.camera);
+      out.timing.render_seconds = rendered.cpu_seconds;
+      out.image = std::move(rendered.image);
+    }
+    out.timing.total_seconds =
+        out.timing.import_cpu_seconds + out.timing.render_seconds;
+    reply.execute_seconds = execute_timer.Seconds();
+    return reply;
+  }
+  if (cache_.enabled()) metrics_.AddCacheMiss();
+
+  // Full query path, with the deadline/cancel checkpoint installed so a
+  // slow query aborts between stages instead of wedging the worker.
+  server->set_interrupt([state]() -> Status {
+    if (state->cancelled.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("request cancelled mid-query");
+    }
+    if (state->has_deadline && Clock::now() >= state->deadline) {
+      return Status::DeadlineExceeded("deadline expired mid-query");
+    }
+    return Status::OK();
+  });
+  Result<qbism::StudyQueryResult> result = server->RunStudyQuery(
+      spec, pending.request.render, pending.request.camera);
+  server->set_interrupt(nullptr);
+  // The per-worker DX cache would shadow the shared tier (and grow
+  // without bound under a streaming workload); the shared cache is the
+  // one source of reuse.
+  server->dx()->FlushCache();
+  if (!result.ok()) return result.status();
+
+  reply.result = result.MoveValue();
+  if (options_.io_wait_scale > 0.0) {
+    const qbism::TimingBreakdown& timing = reply.result.timing;
+    double modeled_wait = (timing.db_real_seconds - timing.db_cpu_seconds) +
+                          timing.network_seconds;
+    if (modeled_wait > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options_.io_wait_scale * modeled_wait));
+    }
+  }
+  reply.execute_seconds = execute_timer.Seconds();
+  cache_.Put(key,
+             std::make_shared<const volume::DataRegion>(reply.result.data));
+  return reply;
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  queue_.Close();
+  // Fail pending work fast instead of letting workers run it down.
+  for (Pending& pending : queue_.DrainNow()) {
+    Complete(pending.state,
+             Status::Cancelled("QueryService: shut down before execution"));
+  }
+  for (std::thread& worker : workers_) worker.join();
+}
+
+}  // namespace qbism::service

@@ -1,0 +1,154 @@
+#ifndef QBISM_SERVICE_QUERY_SERVICE_H_
+#define QBISM_SERVICE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "net/channel.h"
+#include "qbism/medical_server.h"
+#include "qbism/spatial_extension.h"
+#include "service/admission_queue.h"
+#include "service/metrics.h"
+#include "service/result_cache.h"
+
+namespace qbism::service {
+
+/// One client request: a query spec plus service-level controls. The
+/// deadline is measured from admission; 0 disables it.
+struct ServiceRequest {
+  qbism::QuerySpec spec;
+  bool render = false;
+  viz::Camera camera;
+  double deadline_seconds = 0.0;
+};
+
+/// Reply for a completed request: the ordinary single-study result plus
+/// service-side accounting.
+struct ServiceReply {
+  qbism::StudyQueryResult result;
+  bool cache_hit = false;
+  int worker_id = -1;
+  double queue_wait_seconds = 0.0;  // admission -> picked up by a worker
+  double execute_seconds = 0.0;     // worker time (cache probe + query)
+  double total_seconds = 0.0;       // admission -> reply, real wall time
+};
+
+/// Handle to an in-flight request. Cheap to copy (shared state).
+class Ticket {
+ public:
+  Ticket() = default;
+
+  /// Blocks until the request completes (workers enforce deadlines, so
+  /// this terminates as long as the service is running or shut down).
+  Result<ServiceReply> Wait() const;
+
+  /// Best-effort cancellation: a queued request completes Cancelled
+  /// when a worker reaches it; a running one aborts at the server's
+  /// next stage checkpoint.
+  void Cancel();
+
+  bool Done() const;
+  bool Valid() const { return state_ != nullptr; }
+
+ private:
+  friend class QueryService;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Sizing and cost knobs for the service.
+struct ServiceOptions {
+  /// Fixed worker pool; each worker owns a full MedicalServer (private
+  /// SimulatedChannel + DxExecutive) over the shared extension. 0 is
+  /// allowed (nothing drains — used by admission-control tests).
+  int num_workers = 4;
+  /// Bounded admission queue; submissions beyond this are rejected
+  /// immediately with ResourceExhausted.
+  size_t queue_capacity = 64;
+  /// Shared LRU result cache; 0 entries disables it.
+  size_t cache_entries = 128;
+  uint64_t cache_bytes = 512ull << 20;
+  /// When > 0, each executed query's modeled wait time — the simulated
+  /// LFM/relational I/O stall plus network shipping time that the cost
+  /// models charge but never spend — is realized as a real wall-clock
+  /// wait of `io_wait_scale` x that many seconds. Workers overlap these
+  /// waits exactly the way the 1993 system overlapped disk and RPC, so
+  /// throughput benchmarks see the pool's concurrency benefit on any
+  /// host. Cache hits perform no I/O and therefore never wait. 0 = off.
+  double io_wait_scale = 0.0;
+  net::NetworkCostModel net_model;
+  qbism::ServerCostModel cost_model;
+};
+
+/// The concurrent query-serving front end: a fixed pool of worker
+/// threads, each owning its own MedicalServer, over one shared
+/// read-mostly SpatialExtension/Database, fed by a bounded admission
+/// queue and fronted by a server-wide LRU result cache.
+///
+///   clients --Submit--> [admission queue] --> worker_0 .. worker_{N-1}
+///                              |                   |         |
+///                       (reject on full)     MedicalServer per worker
+///                                                  \         /
+///                                      shared SpatialExtension + DBMS
+///                                            shared ResultCache
+///
+/// The extension/database must be fully loaded before the service
+/// starts; workers treat it as read-only.
+class QueryService {
+ public:
+  QueryService(qbism::SpatialExtension* ext, ServiceOptions options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admits a request or rejects it without blocking:
+  /// ResourceExhausted when the queue is full, Cancelled after
+  /// Shutdown.
+  Result<Ticket> Submit(const ServiceRequest& request);
+
+  /// Convenience: Submit + Wait (the closed-loop client pattern).
+  Result<ServiceReply> Execute(const ServiceRequest& request);
+
+  /// Stops admissions, fails everything still queued with Cancelled,
+  /// and joins the workers. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  MetricsSnapshot metrics() const { return metrics_.Snapshot(); }
+  ResultCacheStats cache_stats() const { return cache_.stats(); }
+  size_t queue_depth() const { return queue_.Size(); }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct Pending {
+    ServiceRequest request;
+    std::shared_ptr<Ticket::State> state;
+  };
+
+  void WorkerLoop(int worker_id);
+  /// Serves `pending` on `server`, including the cache probe/fill.
+  Result<ServiceReply> Serve(qbism::MedicalServer* server, int worker_id,
+                             const Pending& pending);
+  void Complete(const std::shared_ptr<Ticket::State>& state,
+                Result<ServiceReply> reply);
+
+  qbism::SpatialExtension* ext_;
+  ServiceOptions options_;
+  ResultCache cache_;
+  ServiceMetrics metrics_;
+  AdmissionQueue<Pending> queue_;
+  std::vector<std::unique_ptr<qbism::MedicalServer>> servers_;
+  std::vector<std::thread> workers_;
+  std::mutex shutdown_mu_;
+  bool shut_down_ = false;  // guarded by shutdown_mu_
+};
+
+}  // namespace qbism::service
+
+#endif  // QBISM_SERVICE_QUERY_SERVICE_H_

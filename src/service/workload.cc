@@ -1,0 +1,88 @@
+#include "service/workload.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace qbism::service {
+
+using qbism::QuerySpec;
+
+Result<WorkloadGenerator> WorkloadGenerator::Create(
+    qbism::SpatialExtension* ext, std::vector<int> study_ids,
+    std::vector<std::string> structures, WorkloadMix mix, uint64_t seed) {
+  if (study_ids.empty()) {
+    return Status::InvalidArgument("WorkloadGenerator: no studies");
+  }
+  if (structures.empty()) {
+    return Status::InvalidArgument("WorkloadGenerator: no structures");
+  }
+  std::map<int, std::vector<std::pair<int, int>>> bands;
+  for (int study : study_ids) {
+    QBISM_ASSIGN_OR_RETURN(
+        sql::ResultSet rows,
+        ext->db()->Execute(
+            "select ib.lo, ib.hi from intensityBand ib where ib.studyId = " +
+            std::to_string(study) + " order by lo"));
+    std::vector<std::pair<int, int>> study_bands;
+    for (const sql::Row& row : rows.rows) {
+      study_bands.emplace_back(static_cast<int>(row[0].AsInt().value()),
+                               static_cast<int>(row[1].AsInt().value()));
+    }
+    if (study_bands.empty()) {
+      return Status::NotFound("WorkloadGenerator: study " +
+                              std::to_string(study) + " has no stored bands");
+    }
+    bands[study] = std::move(study_bands);
+  }
+  return WorkloadGenerator(std::move(study_ids), std::move(structures),
+                           std::move(bands), mix, seed);
+}
+
+QuerySpec WorkloadGenerator::Next() {
+  QuerySpec spec;
+  spec.study_id = study_ids_[rng_.NextBounded(study_ids_.size())];
+
+  double total = mix_.full_study + mix_.box + mix_.structure + mix_.band;
+  double draw = rng_.NextDouble() * total;
+  if (draw < mix_.full_study) {
+    return spec;  // entire study (Q1)
+  }
+  draw -= mix_.full_study;
+  if (draw < mix_.box) {
+    // Quantized rectangular solid (Q2 shape): corners on a 16-lattice,
+    // at least one cell wide in every dimension.
+    auto corner = [&](int max_cells) {
+      return static_cast<int>(rng_.NextBounded(max_cells)) * 16;
+    };
+    int x0 = corner(6), y0 = corner(6), z0 = corner(6);
+    int x1 = x0 + 16 + corner(4);
+    int y1 = y0 + 16 + corner(4);
+    int z1 = z0 + 16 + corner(4);
+    spec.box = geometry::Box3i{{x0, y0, z0},
+                               {std::min(x1, 127), std::min(y1, 127),
+                                std::min(z1, 127)}};
+    return spec;
+  }
+  draw -= mix_.box;
+  if (draw < mix_.structure) {
+    spec.structure_name = structures_[rng_.NextBounded(structures_.size())];
+    return spec;
+  }
+  const auto& bands = bands_.at(spec.study_id);
+  spec.intensity_range = bands[rng_.NextBounded(bands.size())];
+  return spec;
+}
+
+uint64_t WorkloadGenerator::DistinctSpecs() const {
+  uint64_t boxes = 6ull * 6 * 6 * 4 * 4 * 4;  // corner × extent lattice
+  uint64_t per_study = 1 + boxes + structures_.size();
+  uint64_t total = 0;
+  for (const auto& [study, bands] : bands_) {
+    (void)study;
+    total += per_study + bands.size();
+  }
+  return total;
+}
+
+}  // namespace qbism::service

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 
 #include "common/macros.h"
 
@@ -212,6 +213,9 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertInto(uint64_t page_no,
 }
 
 Status BPlusTree::Insert(int64_t key, const RecordId& rid) {
+  // Public tree operations hold the pool latch end to end so node page
+  // pointers stay valid (see BufferPool::latch()).
+  std::lock_guard<std::recursive_mutex> lock(pool_->latch());
   QBISM_ASSIGN_OR_RETURN(SplitResult split, InsertInto(root_, key, rid));
   if (!split.split) return Status::OK();
   // Grow a new root.
@@ -248,6 +252,7 @@ Result<std::vector<RecordId>> BPlusTree::Find(int64_t key) const {
 
 Result<std::vector<RecordId>> BPlusTree::FindRange(int64_t lo,
                                                    int64_t hi) const {
+  std::lock_guard<std::recursive_mutex> lock(pool_->latch());
   std::vector<RecordId> out;
   if (lo > hi) return out;
   QBISM_ASSIGN_OR_RETURN(uint64_t page_no, FindLeaf(lo));
@@ -265,6 +270,7 @@ Result<std::vector<RecordId>> BPlusTree::FindRange(int64_t lo,
 
 Status BPlusTree::Scan(
     const std::function<bool(int64_t, const RecordId&)>& visit) const {
+  std::lock_guard<std::recursive_mutex> lock(pool_->latch());
   QBISM_ASSIGN_OR_RETURN(uint64_t page_no, LeftmostLeaf());
   while (page_no != 0) {
     QBISM_ASSIGN_OR_RETURN(Node node, LoadNode(pool_, page_no));
@@ -295,6 +301,7 @@ Result<uint64_t> BPlusTree::Size() const {
 }
 
 Result<int> BPlusTree::Height() const {
+  std::lock_guard<std::recursive_mutex> lock(pool_->latch());
   int height = 1;
   uint64_t page_no = root_;
   while (true) {

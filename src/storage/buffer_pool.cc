@@ -10,6 +10,7 @@ BufferPool::BufferPool(DiskDevice* device, size_t capacity_pages)
 }
 
 Result<uint8_t*> BufferPool::GetPage(uint64_t page_no) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = index_.find(page_no);
   if (it != index_.end()) {
     ++hits_;
@@ -30,6 +31,7 @@ Result<uint8_t*> BufferPool::GetPage(uint64_t page_no) {
 }
 
 Status BufferPool::MarkDirty(uint64_t page_no) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = index_.find(page_no);
   if (it == index_.end()) {
     return Status::NotFound("BufferPool::MarkDirty: page not resident");
@@ -50,6 +52,7 @@ Status BufferPool::Evict() {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   for (Frame& frame : frames_) {
     if (frame.dirty) {
       QBISM_RETURN_NOT_OK(device_->WritePage(frame.page_no, frame.data.data()));

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -17,9 +18,20 @@ namespace qbism::storage {
 /// data. The paper keeps relational tables in a buffered file system
 /// while long fields bypass buffering (LFM); mirroring that split lets
 /// the benches attribute I/O the same way Table 3 does.
+///
+/// Concurrency: GetPage hands out a pointer into the LRU frame list, so
+/// callers that may race with other threads (heap files, B+-trees under
+/// the concurrent query service) must hold `latch()` from the GetPage
+/// call until the last use of the pointer — otherwise another thread's
+/// miss could evict the frame mid-read. The latch is recursive because
+/// index backfill scans a heap file while inserting into a B+-tree on
+/// the same pool.
 class BufferPool {
  public:
   BufferPool(DiskDevice* device, size_t capacity_pages);
+
+  /// Pool-wide latch; see class comment for the locking protocol.
+  std::recursive_mutex& latch() const { return mu_; }
 
   /// Returns the in-pool frame for a page, reading it on a miss. The
   /// pointer stays valid until the page is evicted; callers use it
@@ -32,8 +44,14 @@ class BufferPool {
   /// Writes all dirty pages back to the device.
   Status FlushAll();
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return misses_;
+  }
 
  private:
   struct Frame {
@@ -46,7 +64,8 @@ class BufferPool {
 
   DiskDevice* device_;
   size_t capacity_;
-  // LRU list: front = most recently used.
+  mutable std::recursive_mutex mu_;
+  // LRU list: front = most recently used. All below guarded by mu_.
   std::list<Frame> frames_;
   std::unordered_map<uint64_t, std::list<Frame>::iterator> index_;
   uint64_t hits_ = 0;

@@ -1,30 +1,76 @@
 #include "storage/disk_device.h"
 
+#include <atomic>
 #include <cstring>
+#include <unordered_map>
 
 #include "common/macros.h"
 
 namespace qbism::storage {
 
+namespace {
+
+/// Monotonic device ids key the per-thread ledgers; pointers are not
+/// used because a recycled allocation must not inherit an old ledger.
+std::atomic<uint64_t> g_next_device_id{1};
+
+uint64_t NewDeviceId() {
+  return g_next_device_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::unordered_map<uint64_t, IoStats>& ThreadLedgers() {
+  static thread_local std::unordered_map<uint64_t, IoStats> ledgers;
+  return ledgers;
+}
+
+}  // namespace
+
 DiskDevice::DiskDevice(uint64_t num_pages, DiskCostModel model)
     : num_pages_(num_pages),
       model_(model),
-      bytes_(num_pages * kPageSize, 0) {}
+      bytes_(num_pages * kPageSize, 0),
+      device_id_(NewDeviceId()) {}
 
 void DiskDevice::Charge(uint64_t page_no, uint64_t count, bool write) {
+  IoStats delta;
   if (page_no != next_sequential_page_) {
-    ++stats_.seeks;
-    stats_.simulated_seconds += model_.seek_seconds;
+    delta.seeks = 1;
+    delta.simulated_seconds += model_.seek_seconds;
   }
-  stats_.simulated_seconds +=
+  delta.simulated_seconds +=
       model_.transfer_seconds_per_page * static_cast<double>(count);
   if (write) {
-    stats_.pages_written += count;
+    delta.pages_written = count;
   } else {
-    stats_.pages_read += count;
+    delta.pages_read = count;
   }
   next_sequential_page_ = page_no + count;
+
+  stats_.pages_read += delta.pages_read;
+  stats_.pages_written += delta.pages_written;
+  stats_.seeks += delta.seeks;
+  stats_.simulated_seconds += delta.simulated_seconds;
+
+  IoStats& ledger = ThreadLedgers()[device_id_];
+  ledger.pages_read += delta.pages_read;
+  ledger.pages_written += delta.pages_written;
+  ledger.seeks += delta.seeks;
+  ledger.simulated_seconds += delta.simulated_seconds;
 }
+
+IoStats DiskDevice::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void DiskDevice::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = IoStats{};
+}
+
+IoStats DiskDevice::thread_stats() const { return ThreadLedgers()[device_id_]; }
+
+void DiskDevice::ResetThreadStats() { ThreadLedgers()[device_id_] = IoStats{}; }
 
 Status DiskDevice::ReadPage(uint64_t page_no, uint8_t* out) {
   return ReadPages(page_no, 1, out);
@@ -47,6 +93,7 @@ Status DiskDevice::ReadPages(uint64_t page_no, uint64_t count, uint8_t* out) {
   if (page_no + count > num_pages_) {
     return Status::OutOfRange("DiskDevice::ReadPages: beyond device end");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   QBISM_RETURN_NOT_OK(ConsumeFaultBudget(count));
   Charge(page_no, count, /*write=*/false);
   std::memcpy(out, bytes_.data() + page_no * kPageSize, count * kPageSize);
@@ -58,6 +105,7 @@ Status DiskDevice::WritePages(uint64_t page_no, uint64_t count,
   if (page_no + count > num_pages_) {
     return Status::OutOfRange("DiskDevice::WritePages: beyond device end");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   QBISM_RETURN_NOT_OK(ConsumeFaultBudget(count));
   Charge(page_no, count, /*write=*/true);
   std::memcpy(bytes_.data() + page_no * kPageSize, in, count * kPageSize);

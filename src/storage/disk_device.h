@@ -2,6 +2,7 @@
 #define QBISM_STORAGE_DISK_DEVICE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/result.h"
@@ -41,6 +42,12 @@ struct IoStats {
 /// exact I/O counting, and a deterministic cost model. Stands in for the
 /// AIX logical volume the Starburst LFM wrote to (§5.1): storage is
 /// page-addressed, unbuffered, and every access is charged.
+///
+/// Thread-safe: page transfers and accounting are serialized on an
+/// internal mutex (one disk arm, as in the modeled hardware). Besides
+/// the device-wide stats, every transfer is also accumulated into a
+/// per-calling-thread ledger so a worker in the concurrent query
+/// service can compute exact per-request I/O deltas on a shared device.
 class DiskDevice {
  public:
   DiskDevice(uint64_t num_pages, DiskCostModel model = DiskCostModel{});
@@ -59,16 +66,27 @@ class DiskDevice {
   /// Writes `count` consecutive pages.
   Status WritePages(uint64_t page_no, uint64_t count, const uint8_t* in);
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats{}; }
+  /// Device-wide cumulative stats (all threads).
+  IoStats stats() const;
+  void ResetStats();
+
+  /// I/O performed by the calling thread on this device since its last
+  /// ResetThreadStats(). Exact even when other threads are driving the
+  /// device concurrently.
+  IoStats thread_stats() const;
+  void ResetThreadStats();
 
   /// Fault injection for tests: after `page_ops` more page transfers,
   /// every access fails with IOError until ClearFault() is called.
   void FailAfter(uint64_t page_ops) {
+    std::lock_guard<std::mutex> lock(mu_);
     fail_armed_ = true;
     fail_budget_ = page_ops;
   }
-  void ClearFault() { fail_armed_ = false; }
+  void ClearFault() {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_armed_ = false;
+  }
 
  private:
   void Charge(uint64_t page_no, uint64_t count, bool write);
@@ -77,10 +95,12 @@ class DiskDevice {
   uint64_t num_pages_;
   DiskCostModel model_;
   std::vector<uint8_t> bytes_;
-  IoStats stats_;
-  uint64_t next_sequential_page_ = UINT64_MAX;  // head position
-  bool fail_armed_ = false;
-  uint64_t fail_budget_ = 0;
+  uint64_t device_id_;
+  mutable std::mutex mu_;
+  IoStats stats_;                               // guarded by mu_
+  uint64_t next_sequential_page_ = UINT64_MAX;  // head position; mu_
+  bool fail_armed_ = false;                     // mu_
+  uint64_t fail_budget_ = 0;                    // mu_
 };
 
 }  // namespace qbism::storage

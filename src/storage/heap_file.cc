@@ -1,5 +1,7 @@
 #include "storage/heap_file.h"
 
+#include <mutex>
+
 #include "common/macros.h"
 
 namespace qbism::storage {
@@ -22,6 +24,9 @@ Result<uint64_t> HeapFile::AppendPage(uint64_t prev_page) {
 }
 
 Result<RecordId> HeapFile::Insert(const std::vector<uint8_t>& record) {
+  // Hold the pool latch across the whole operation: GetPage pointers
+  // stay valid only while no other thread can trigger an eviction.
+  std::lock_guard<std::recursive_mutex> lock(pool_->latch());
   if (record.size() > SlottedPage::kMaxRecordSize) {
     return Status::InvalidArgument(
         "HeapFile::Insert: record exceeds page capacity; store large "
@@ -52,11 +57,13 @@ Result<RecordId> HeapFile::Insert(const std::vector<uint8_t>& record) {
 }
 
 Result<std::vector<uint8_t>> HeapFile::Read(const RecordId& rid) {
+  std::lock_guard<std::recursive_mutex> lock(pool_->latch());
   QBISM_ASSIGN_OR_RETURN(uint8_t* page, pool_->GetPage(rid.page_no));
   return SlottedPage::Read(page, rid.slot);
 }
 
 Status HeapFile::Delete(const RecordId& rid) {
+  std::lock_guard<std::recursive_mutex> lock(pool_->latch());
   QBISM_ASSIGN_OR_RETURN(uint8_t* page, pool_->GetPage(rid.page_no));
   QBISM_RETURN_NOT_OK(SlottedPage::Erase(page, rid.slot));
   return pool_->MarkDirty(rid.page_no);
@@ -65,6 +72,7 @@ Status HeapFile::Delete(const RecordId& rid) {
 Status HeapFile::Scan(
     const std::function<bool(const RecordId&, const std::vector<uint8_t>&)>&
         visit) {
+  std::unique_lock<std::recursive_mutex> lock(pool_->latch());
   uint64_t page_no = first_page_;
   while (page_no != 0) {
     // Capture slot count and next pointer up front: the frame pointer
@@ -77,7 +85,14 @@ Status HeapFile::Scan(
       if (!SlottedPage::IsLive(cur, slot)) continue;
       QBISM_ASSIGN_OR_RETURN(std::vector<uint8_t> record,
                              SlottedPage::Read(cur, slot));
-      if (!visit(RecordId{page_no, slot}, record)) return Status::OK();
+      // The record is copied out, so drop the pool latch for the
+      // callback: the executor evaluates predicates and UDFs (long-field
+      // extraction, region decode) in there, and holding the latch
+      // across that would serialize every concurrent query.
+      lock.unlock();
+      bool keep_going = visit(RecordId{page_no, slot}, record);
+      lock.lock();
+      if (!keep_going) return Status::OK();
     }
     page_no = next;
   }

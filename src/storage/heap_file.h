@@ -1,6 +1,7 @@
 #ifndef QBISM_STORAGE_HEAP_FILE_H_
 #define QBISM_STORAGE_HEAP_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -21,17 +22,20 @@ class PageAllocator {
       : num_pages_(num_pages), next_(1) {}
 
   Result<uint64_t> Allocate() {
-    if (next_ >= num_pages_) {
+    uint64_t page = next_.fetch_add(1, std::memory_order_relaxed);
+    if (page >= num_pages_) {
       return Status::OutOfRange("PageAllocator: device full");
     }
-    return next_++;
+    return page;
   }
 
-  uint64_t allocated() const { return next_ - 1; }
+  uint64_t allocated() const {
+    return next_.load(std::memory_order_relaxed) - 1;
+  }
 
  private:
   uint64_t num_pages_;
-  uint64_t next_;
+  std::atomic<uint64_t> next_;
 };
 
 /// Physical address of a record.

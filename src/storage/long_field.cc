@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/macros.h"
 
@@ -21,6 +23,7 @@ Result<const LongFieldManager::Entry*> LongFieldManager::Lookup(
 
 Result<LongFieldId> LongFieldManager::Create(
     const std::vector<uint8_t>& bytes) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   uint64_t pages = std::max<uint64_t>(1, (bytes.size() + kPageSize - 1) / kPageSize);
   QBISM_ASSIGN_OR_RETURN(uint64_t start, allocator_.Allocate(pages));
   // Write full pages; the tail page is zero-padded.
@@ -33,17 +36,26 @@ Result<LongFieldId> LongFieldManager::Create(
 }
 
 Result<uint64_t> LongFieldManager::Size(LongFieldId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   QBISM_ASSIGN_OR_RETURN(const Entry* entry, Lookup(id));
   return entry->size_bytes;
 }
 
 Result<std::vector<uint8_t>> LongFieldManager::Read(LongFieldId id) const {
-  QBISM_ASSIGN_OR_RETURN(const Entry* entry, Lookup(id));
-  return ReadRange(id, 0, entry->size_bytes);
+  uint64_t size = 0;
+  {
+    // ReadRange re-acquires the shared lock; shared_mutex is not
+    // recursive, so fetch the size in its own critical section.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    QBISM_ASSIGN_OR_RETURN(const Entry* entry, Lookup(id));
+    size = entry->size_bytes;
+  }
+  return ReadRange(id, 0, size);
 }
 
 Result<std::vector<uint8_t>> LongFieldManager::ReadRange(
     LongFieldId id, uint64_t offset, uint64_t length) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   QBISM_ASSIGN_OR_RETURN(const Entry* entry, Lookup(id));
   if (offset + length > entry->size_bytes) {
     return Status::OutOfRange("LongFieldManager::ReadRange: past field end");
@@ -63,6 +75,7 @@ Result<std::vector<uint8_t>> LongFieldManager::ReadRange(
 
 Result<std::vector<std::vector<uint8_t>>> LongFieldManager::ReadRanges(
     LongFieldId id, const std::vector<ByteRange>& ranges) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   QBISM_ASSIGN_OR_RETURN(const Entry* entry, Lookup(id));
   for (const ByteRange& r : ranges) {
     if (r.offset + r.length > entry->size_bytes) {
@@ -119,6 +132,7 @@ Result<std::vector<std::vector<uint8_t>>> LongFieldManager::ReadRanges(
 
 Result<uint64_t> LongFieldManager::PagesTouched(
     LongFieldId id, const std::vector<ByteRange>& ranges) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   QBISM_ASSIGN_OR_RETURN(const Entry* entry, Lookup(id));
   (void)entry;
   std::vector<uint64_t> pages;
@@ -135,6 +149,7 @@ Result<uint64_t> LongFieldManager::PagesTouched(
 
 Status LongFieldManager::Update(LongFieldId id,
                                 const std::vector<uint8_t>& bytes) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = directory_.find(id.value);
   if (it == directory_.end()) {
     return Status::NotFound("LongFieldManager::Update: unknown id");
@@ -164,6 +179,7 @@ Status LongFieldManager::Update(LongFieldId id,
 }
 
 Status LongFieldManager::Delete(LongFieldId id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = directory_.find(id.value);
   if (it == directory_.end()) {
     return Status::NotFound("LongFieldManager::Delete: unknown id");

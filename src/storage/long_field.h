@@ -2,6 +2,7 @@
 #define QBISM_STORAGE_LONG_FIELD_H_
 
 #include <cstdint>
+#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -32,6 +33,10 @@ struct ByteRange {
 /// buffering — every read is charged to the device — and supports fast
 /// random I/O to arbitrary pieces of a field, which is what lets the
 /// spatial operators read only the pages a query region touches.
+///
+/// Thread-safe for the query service's read-mostly sharing: reads take
+/// a shared lock on the field directory (the device serializes actual
+/// page transfers itself); Create/Update/Delete take it exclusively.
 class LongFieldManager {
  public:
   /// Manages the whole of `device` (not owned; must outlive this).
@@ -78,12 +83,15 @@ class LongFieldManager {
     uint64_t PageCount() const { return (size_bytes + kPageSize - 1) / kPageSize; }
   };
 
+  /// Callers must hold `mu_` (shared suffices) across the returned
+  /// pointer's use.
   Result<const Entry*> Lookup(LongFieldId id) const;
 
   DiskDevice* device_;
-  BuddyAllocator allocator_;
-  std::unordered_map<uint64_t, Entry> directory_;
-  uint64_t next_id_ = 1;
+  mutable std::shared_mutex mu_;
+  BuddyAllocator allocator_;                      // guarded by mu_
+  std::unordered_map<uint64_t, Entry> directory_;  // guarded by mu_
+  uint64_t next_id_ = 1;                           // guarded by mu_
 };
 
 }  // namespace qbism::storage

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "med/loader.h"
 #include "med/schema.h"
 
@@ -298,6 +300,48 @@ TEST_F(MedicalServerTest, DescribeLabels) {
   std::string label = spec.Describe();
   EXPECT_NE(label.find("ntal"), std::string::npos);
   EXPECT_NE(label.find("10-20"), std::string::npos);
+}
+
+TEST_F(MedicalServerTest, DescribeIsACanonicalCacheKey) {
+  // Describe() doubles as the result-cache key: two specs that can
+  // return different data must never collide. Flip each result-affecting
+  // field one at a time and check the key moves.
+  QuerySpec base;
+  base.study_id = 53;
+  base.structure_name = "ntal";
+  base.intensity_range = {224, 255};
+  base.box = geometry::Box3i{{0, 0, 0}, {63, 63, 63}};
+
+  QuerySpec other_study = base;
+  other_study.study_id = 54;
+  QuerySpec other_atlas = base;
+  other_atlas.atlas_name = "Schaltenbrand";
+  QuerySpec other_structure = base;
+  other_structure.structure_name = "putamen";
+  QuerySpec other_band = base;
+  other_band.intensity_range = {192, 223};
+  QuerySpec other_box = base;
+  other_box.box = geometry::Box3i{{0, 0, 0}, {31, 63, 63}};
+  QuerySpec no_box = base;
+  no_box.box.reset();
+  QuerySpec scanned = base;
+  scanned.use_band_index = false;
+
+  const QuerySpec* variants[] = {&other_study,     &other_atlas, &other_box,
+                                 &no_box,          &other_structure,
+                                 &other_band,      &scanned};
+  for (const QuerySpec* variant : variants) {
+    EXPECT_NE(variant->Describe(), base.Describe());
+  }
+  // ...and all variants are pairwise distinct too.
+  std::set<std::string> keys = {base.Describe()};
+  for (const QuerySpec* variant : variants) keys.insert(variant->Describe());
+  EXPECT_EQ(keys.size(), 1 + std::size(variants));
+
+  // allow_cached is a hint, not a result-affecting field: same key.
+  QuerySpec hinted = base;
+  hinted.allow_cached = true;
+  EXPECT_EQ(hinted.Describe(), base.Describe());
 }
 
 }  // namespace

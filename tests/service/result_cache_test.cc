@@ -1,0 +1,151 @@
+#include "service/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "region/region.h"
+
+namespace qbism::service {
+namespace {
+
+/// A DATA_REGION of `voxels` voxels all holding `fill`, sized so the
+/// cache's byte accounting scales with `voxels`.
+std::shared_ptr<const volume::DataRegion> MakeData(uint64_t voxels,
+                                                   uint8_t fill) {
+  region::GridSpec grid{3, 7};  // 128^3: room for any run length here
+  auto r = region::Region::FromRuns(grid, curve::CurveKind::kHilbert,
+                                    {{0, voxels - 1}});
+  EXPECT_TRUE(r.ok());
+  return std::make_shared<const volume::DataRegion>(
+      r.MoveValue(), std::vector<uint8_t>(voxels, fill));
+}
+
+TEST(ResultCacheTest, DisabledCacheNeverHitsAndNeverStores) {
+  ResultCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Put("a", MakeData(10, 1));
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);  // disabled probes are not even misses
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+}
+
+TEST(ResultCacheTest, HitReturnsTheStoredValueAndCounts) {
+  ResultCache cache(4);
+  EXPECT_EQ(cache.Get("a"), nullptr);  // miss on empty
+  auto value = MakeData(100, 7);
+  cache.Put("a", value);
+  auto hit = cache.Get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), value.get());  // shared, not copied
+  EXPECT_EQ(hit->VoxelCount(), 100u);
+  ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedEntry) {
+  ResultCache cache(2);
+  cache.Put("a", MakeData(10, 1));
+  cache.Put("b", MakeData(10, 2));
+  ASSERT_NE(cache.Get("a"), nullptr);  // promote "a"; "b" is now LRU
+  cache.Put("c", MakeData(10, 3));     // over capacity: evict "b"
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ResultCacheTest, ByteBudgetEvictsUntilItFits) {
+  uint64_t unit = MakeData(1000, 1)->ApproxSizeBytes();
+  ResultCache cache(100, 2 * unit + unit / 2);  // fits two, not three
+  cache.Put("a", MakeData(1000, 1));
+  cache.Put("b", MakeData(1000, 2));
+  cache.Put("c", MakeData(1000, 3));
+  ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(cache.Get("a"), nullptr);  // oldest paid for "c"
+  EXPECT_NE(cache.Get("c"), nullptr);
+}
+
+TEST(ResultCacheTest, OversizedValueIsNotAdmitted) {
+  uint64_t unit = MakeData(1000, 1)->ApproxSizeBytes();
+  ResultCache cache(100, unit / 2);
+  cache.Put("big", MakeData(1000, 1));
+  EXPECT_EQ(cache.Get("big"), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);  // nothing was displaced for it
+}
+
+TEST(ResultCacheTest, PutRefreshesAnExistingKeyInPlace) {
+  ResultCache cache(4);
+  cache.Put("a", MakeData(10, 1));
+  cache.Put("a", MakeData(20, 9));  // two workers raced on the same miss
+  ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.insertions, 1u);  // refresh, not a second insert
+  auto hit = cache.Get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->VoxelCount(), 20u);
+}
+
+TEST(ResultCacheTest, EvictionDoesNotInvalidateHandedOutValues) {
+  ResultCache cache(1);
+  cache.Put("a", MakeData(50, 4));
+  auto held = cache.Get("a");
+  cache.Put("b", MakeData(50, 5));  // evicts "a"
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  ASSERT_NE(held, nullptr);  // the shared_ptr keeps the value alive
+  EXPECT_EQ(held->VoxelCount(), 50u);
+  EXPECT_EQ(held->values()[0], 4);
+}
+
+TEST(ResultCacheTest, ClearEmptiesButKeepsCounters) {
+  ResultCache cache(4);
+  cache.Put("a", MakeData(10, 1));
+  ASSERT_NE(cache.Get("a"), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.hits, 1u);  // history survives Clear
+}
+
+TEST(ResultCacheTest, ConcurrentGetPutStaysConsistent) {
+  ResultCache cache(8);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        std::string key = "k" + std::to_string((t * 7 + i) % 16);
+        if (auto hit = cache.Get(key)) {
+          // Values must stay well-formed while other threads evict.
+          EXPECT_EQ(hit->values().size(), hit->VoxelCount());
+        } else {
+          cache.Put(key, MakeData(8 + (t * 7 + i) % 16, uint8_t(t)));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ResultCacheStats stats = cache.stats();
+  EXPECT_LE(stats.entries, 8u);
+  EXPECT_EQ(stats.hits + stats.misses,
+            uint64_t{kThreads} * kOpsPerThread);
+}
+
+}  // namespace
+}  // namespace qbism::service
