@@ -1,6 +1,7 @@
 #ifndef QBISM_COMMON_RESULT_H_
 #define QBISM_COMMON_RESULT_H_
 
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 #include <variant>
@@ -59,7 +60,13 @@ class Result {
 
  private:
   void CheckOk() const {
-    if (!ok()) std::abort();
+    if (!ok()) {
+      // Dying without a word turns a one-line bug into a debugger
+      // session; print the Status this Result actually held.
+      std::fprintf(stderr, "Result::value() called on error result: %s\n",
+                   std::get<Status>(repr_).ToString().c_str());
+      std::abort();
+    }
   }
   std::variant<Status, T> repr_;
 };

@@ -46,6 +46,8 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   out.cancelled = cancelled_.load(std::memory_order_relaxed);
   out.failed = failed_.load(std::memory_order_relaxed);
   out.completed = completed_.load(std::memory_order_relaxed);
+  out.retries = retries_.load(std::memory_order_relaxed);
+  out.giveups = giveups_.load(std::memory_order_relaxed);
   out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   out.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   out.lfm_pages = lfm_pages_.load(std::memory_order_relaxed);
@@ -62,7 +64,8 @@ std::string MetricsSnapshot::ToJson() const {
       buf, sizeof(buf),
       "{\"submitted\":%llu,\"rejected_queue_full\":%llu,"
       "\"deadline_expired\":%llu,\"cancelled\":%llu,\"failed\":%llu,"
-      "\"completed\":%llu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
+      "\"completed\":%llu,\"retries\":%llu,\"giveups\":%llu,"
+      "\"cache_hits\":%llu,\"cache_misses\":%llu,"
       "\"lfm_pages\":%llu,\"network_seconds\":%.6f,"
       "\"queue_wait_seconds\":%.6f,"
       "\"latency\":{\"count\":%llu,\"mean\":%.6f,\"p50\":%.6f,"
@@ -73,6 +76,8 @@ std::string MetricsSnapshot::ToJson() const {
       static_cast<unsigned long long>(cancelled),
       static_cast<unsigned long long>(failed),
       static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(giveups),
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses),
       static_cast<unsigned long long>(lfm_pages), network_seconds,

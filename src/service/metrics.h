@@ -49,6 +49,8 @@ struct MetricsSnapshot {
   uint64_t cancelled = 0;
   uint64_t failed = 0;     // non-OK from the query path itself
   uint64_t completed = 0;  // OK replies
+  uint64_t retries = 0;    // transient-fault re-executions of a query
+  uint64_t giveups = 0;    // requests failed with the retry budget spent
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t lfm_pages = 0;
@@ -76,6 +78,8 @@ class ServiceMetrics {
   void AddCancelled() { cancelled_.fetch_add(1, std::memory_order_relaxed); }
   void AddFailed() { failed_.fetch_add(1, std::memory_order_relaxed); }
   void AddCompleted() { completed_.fetch_add(1, std::memory_order_relaxed); }
+  void AddRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void AddGiveup() { giveups_.fetch_add(1, std::memory_order_relaxed); }
   void AddCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
   void AddCacheMiss() {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -107,6 +111,8 @@ class ServiceMetrics {
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> giveups_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> lfm_pages_{0};

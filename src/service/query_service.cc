@@ -1,6 +1,7 @@
 #include "service/query_service.h"
 
 #include <atomic>
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -191,6 +192,37 @@ Result<ServiceReply> QueryService::Serve(qbism::MedicalServer* server,
   });
   Result<qbism::StudyQueryResult> result = server->RunStudyQuery(
       spec, pending.request.render, pending.request.camera);
+  // Transient-fault recovery: IOError is the retryable class (injected
+  // disk faults; flaky media in the real world). Anything else — bad
+  // specs, cancellation, deadline — fails immediately.
+  for (int attempt = 0;
+       !result.ok() && result.status().IsIOError() &&
+       attempt < options_.max_retries;
+       ++attempt) {
+    double backoff = options_.retry_backoff_seconds * std::ldexp(1.0, attempt);
+    if (backoff > options_.retry_backoff_max_seconds) {
+      backoff = options_.retry_backoff_max_seconds;
+    }
+    if (state->cancelled.load(std::memory_order_relaxed)) {
+      server->set_interrupt(nullptr);
+      return Status::Cancelled("request cancelled between retries");
+    }
+    if (state->has_deadline &&
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(backoff)) >=
+            state->deadline) {
+      break;  // the backoff alone would blow the deadline; give up
+    }
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+    metrics_.AddRetry();
+    result = server->RunStudyQuery(spec, pending.request.render,
+                                   pending.request.camera);
+  }
+  if (!result.ok() && result.status().IsIOError()) {
+    metrics_.AddGiveup();
+  }
   server->set_interrupt(nullptr);
   // The per-worker DX cache would shadow the shared tier (and grow
   // without bound under a streaming workload); the shared cache is the

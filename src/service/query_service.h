@@ -82,6 +82,16 @@ struct ServiceOptions {
   /// throughput benchmarks see the pool's concurrency benefit on any
   /// host. Cache hits perform no I/O and therefore never wait. 0 = off.
   double io_wait_scale = 0.0;
+  /// Transient-fault handling: a query that fails with IOError (the
+  /// code injected disk faults and, on real hardware, flaky media
+  /// surface as) is re-executed up to `max_retries` times per request,
+  /// sleeping a capped exponential backoff between attempts
+  /// (base * 2^attempt, clamped to the max). Retries never outlive the
+  /// request's deadline or a cancellation, and every retry / exhausted
+  /// budget is counted in ServiceMetrics (retries, giveups). 0 disables.
+  int max_retries = 2;
+  double retry_backoff_seconds = 0.001;
+  double retry_backoff_max_seconds = 0.050;
   net::NetworkCostModel net_model;
   qbism::ServerCostModel cost_model;
 };
@@ -122,6 +132,11 @@ class QueryService {
 
   MetricsSnapshot metrics() const { return metrics_.Snapshot(); }
   ResultCacheStats cache_stats() const { return cache_.stats(); }
+  /// Pure probe (no LRU promotion, no stats): is this QuerySpec
+  /// description cached? Fault tests assert failed queries never are.
+  bool CacheContains(const std::string& key) const {
+    return cache_.Contains(key);
+  }
   size_t queue_depth() const { return queue_.Size(); }
   int num_workers() const { return static_cast<int>(workers_.size()); }
 

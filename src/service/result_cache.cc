@@ -16,6 +16,12 @@ std::shared_ptr<const volume::DataRegion> ResultCache::Get(
   return lru_.front().value;
 }
 
+bool ResultCache::Contains(const std::string& key) const {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.find(key) != index_.end();
+}
+
 void ResultCache::Put(const std::string& key,
                       std::shared_ptr<const volume::DataRegion> value) {
   if (!enabled() || value == nullptr) return;

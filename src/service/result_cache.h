@@ -47,6 +47,12 @@ class ResultCache {
   /// nullptr, counting a hit or a miss.
   std::shared_ptr<const volume::DataRegion> Get(const std::string& key);
 
+  /// True when `key` is resident. A pure probe: no LRU promotion, no
+  /// hit/miss accounting — the fault sweep uses it to assert a failed
+  /// query's key was never admitted without disturbing the stats it is
+  /// also asserting on.
+  bool Contains(const std::string& key) const;
+
   /// Inserts or refreshes an entry, evicting from the LRU tail until
   /// both bounds hold. Oversized values (alone above the byte budget)
   /// are not admitted.

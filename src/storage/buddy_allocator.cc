@@ -1,5 +1,10 @@
 #include "storage/buddy_allocator.h"
 
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/macros.h"
 
 namespace qbism::storage {
@@ -52,6 +57,55 @@ Result<uint64_t> BuddyAllocator::Allocate(uint64_t num_pages) {
   }
   allocated_pages_ += uint64_t{1} << order;
   return block;
+}
+
+uint64_t BuddyAllocator::free_pages() const {
+  uint64_t total = 0;
+  for (size_t k = 0; k < free_lists_.size(); ++k) {
+    total += static_cast<uint64_t>(free_lists_[k].size()) << k;
+  }
+  return total;
+}
+
+Status BuddyAllocator::CheckInvariants() const {
+  std::vector<std::pair<uint64_t, uint64_t>> blocks;  // [start, end)
+  for (size_t k = 0; k < free_lists_.size(); ++k) {
+    uint64_t size = uint64_t{1} << k;
+    for (uint64_t start : free_lists_[k]) {
+      if (start % size != 0) {
+        return Status::Corruption("buddy: free block " +
+                                  std::to_string(start) + " misaligned for order " +
+                                  std::to_string(k));
+      }
+      if (start + size > total_pages_) {
+        return Status::Corruption("buddy: free block " +
+                                  std::to_string(start) + " beyond device end");
+      }
+      if (k < free_lists_.size() - 1 &&
+          free_lists_[k].count(start ^ size) != 0) {
+        return Status::Corruption("buddy: blocks " + std::to_string(start) +
+                                  " and its buddy both free at order " +
+                                  std::to_string(k) + " (uncoalesced)");
+      }
+      blocks.emplace_back(start, start + size);
+    }
+  }
+  std::sort(blocks.begin(), blocks.end());
+  uint64_t free_total = 0;
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    if (i > 0 && blocks[i].first < blocks[i - 1].second) {
+      return Status::Corruption("buddy: overlapping free blocks at page " +
+                                std::to_string(blocks[i].first));
+    }
+    free_total += blocks[i].second - blocks[i].first;
+  }
+  if (free_total + allocated_pages_ != total_pages_) {
+    return Status::Corruption(
+        "buddy: page accounting broken: " + std::to_string(free_total) +
+        " free + " + std::to_string(allocated_pages_) + " allocated != " +
+        std::to_string(total_pages_) + " total");
+  }
+  return Status::OK();
 }
 
 Status BuddyAllocator::Free(uint64_t start_page, uint64_t num_pages) {

@@ -30,7 +30,16 @@ class BuddyAllocator {
 
   /// Pages currently allocated (sum of rounded extents).
   uint64_t allocated_pages() const { return allocated_pages_; }
+  /// Pages currently on the free lists.
+  uint64_t free_pages() const;
   uint64_t total_pages() const { return total_pages_; }
+
+  /// Structural self-check used by the fault-sweep harness: every free
+  /// block aligned to its order and inside the device, no two free
+  /// blocks overlapping, no block beside its free buddy (coalescing
+  /// left nothing behind), and free + allocated == total. Returns
+  /// Corruption describing the first violation.
+  Status CheckInvariants() const;
 
   /// Rounded extent size for a request (power of two >= num_pages).
   static uint64_t ExtentPages(uint64_t num_pages);

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <string>
 #include <unordered_map>
 
 #include "common/macros.h"
@@ -80,13 +81,67 @@ Status DiskDevice::WritePage(uint64_t page_no, const uint8_t* in) {
   return WritePages(page_no, 1, in);
 }
 
-Status DiskDevice::ConsumeFaultBudget(uint64_t count) {
-  if (!fail_armed_) return Status::OK();
-  if (fail_budget_ < count) {
-    return Status::IOError("injected disk fault");
+void DiskDevice::InstallFaultPlan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  plan_transfers_ = 0;
+  fail_budget_ = plan.page_budget;
+  fault_latched_ = false;
+  fault_rng_ = Rng(plan.seed);
+}
+
+void DiskDevice::ClearFault() { InstallFaultPlan(FaultPlan::None()); }
+
+FaultStats DiskDevice::fault_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fault_stats_;
+}
+
+void DiskDevice::ResetFaultStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_stats_ = FaultStats{};
+}
+
+Status DiskDevice::InjectFault(uint64_t count) {
+  uint64_t transfer_no = plan_transfers_++;
+  fault_stats_.transfers += 1;
+  fault_stats_.pages += count;
+
+  bool fire = fault_latched_;
+  switch (plan_.trigger) {
+    case FaultPlan::Trigger::kNone:
+      break;
+    case FaultPlan::Trigger::kPageBudget:
+      // Budget semantics: a transfer that does not fit fails atomically
+      // and leaves the budget intact, so a smaller transfer may still
+      // succeed; once the budget is gone everything fails.
+      if (fail_budget_ < count) {
+        fire = true;
+      } else {
+        fail_budget_ -= count;
+      }
+      break;
+    case FaultPlan::Trigger::kAtTransfer:
+      fire = fire || transfer_no == plan_.transfer_no;
+      break;
+    case FaultPlan::Trigger::kEveryKth:
+      fire = fire || (plan_.every_k > 0 &&
+                      (transfer_no + 1) % plan_.every_k == 0);
+      break;
+    case FaultPlan::Trigger::kRandom:
+      // Always draw so the stream position depends only on the transfer
+      // number, not on earlier outcomes.
+      fire = fault_rng_.NextDouble() < plan_.probability || fire;
+      break;
   }
-  fail_budget_ -= count;
-  return Status::OK();
+  if (!fire) return Status::OK();
+  if (plan_.durability == FaultDurability::kPersistent &&
+      plan_.trigger != FaultPlan::Trigger::kPageBudget) {
+    fault_latched_ = true;
+  }
+  fault_stats_.faults_injected += 1;
+  return Status::IOError("injected disk fault (transfer #" +
+                         std::to_string(transfer_no) + ")");
 }
 
 Status DiskDevice::ReadPages(uint64_t page_no, uint64_t count, uint8_t* out) {
@@ -94,7 +149,7 @@ Status DiskDevice::ReadPages(uint64_t page_no, uint64_t count, uint8_t* out) {
     return Status::OutOfRange("DiskDevice::ReadPages: beyond device end");
   }
   std::lock_guard<std::mutex> lock(mu_);
-  QBISM_RETURN_NOT_OK(ConsumeFaultBudget(count));
+  QBISM_RETURN_NOT_OK(InjectFault(count));
   Charge(page_no, count, /*write=*/false);
   std::memcpy(out, bytes_.data() + page_no * kPageSize, count * kPageSize);
   return Status::OK();
@@ -106,7 +161,7 @@ Status DiskDevice::WritePages(uint64_t page_no, uint64_t count,
     return Status::OutOfRange("DiskDevice::WritePages: beyond device end");
   }
   std::lock_guard<std::mutex> lock(mu_);
-  QBISM_RETURN_NOT_OK(ConsumeFaultBudget(count));
+  QBISM_RETURN_NOT_OK(InjectFault(count));
   Charge(page_no, count, /*write=*/true);
   std::memcpy(bytes_.data() + page_no * kPageSize, in, count * kPageSize);
   return Status::OK();

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/rng.h"
 #include "common/status.h"
+#include "storage/fault_plan.h"
 
 namespace qbism::storage {
 
@@ -76,21 +78,32 @@ class DiskDevice {
   IoStats thread_stats() const;
   void ResetThreadStats();
 
-  /// Fault injection for tests: after `page_ops` more page transfers,
-  /// every access fails with IOError until ClearFault() is called.
+  /// Installs a deterministic fault plan (replacing any previous one).
+  /// Transfer numbering for kAtTransfer/kEveryKth and the kRandom
+  /// stream restart at this call, so an identical access pattern fails
+  /// identically on every replay.
+  void InstallFaultPlan(const FaultPlan& plan);
+
+  /// Removes the active fault plan; subsequent transfers succeed.
+  void ClearFault();
+
+  /// Legacy shorthand for FaultPlan::FailAfterPages: after `page_ops`
+  /// more pages transfer, every access fails with IOError until
+  /// ClearFault() is called.
   void FailAfter(uint64_t page_ops) {
-    std::lock_guard<std::mutex> lock(mu_);
-    fail_armed_ = true;
-    fail_budget_ = page_ops;
+    InstallFaultPlan(FaultPlan::FailAfterPages(page_ops));
   }
-  void ClearFault() {
-    std::lock_guard<std::mutex> lock(mu_);
-    fail_armed_ = false;
-  }
+
+  /// Cumulative transfer/fault counters (counted with or without an
+  /// active plan; never reset by InstallFaultPlan or ClearFault).
+  FaultStats fault_stats() const;
+  void ResetFaultStats();
 
  private:
   void Charge(uint64_t page_no, uint64_t count, bool write);
-  Status ConsumeFaultBudget(uint64_t count);
+  /// Counts the transfer and applies the active fault plan. Caller
+  /// holds mu_. Returns the injected IOError when the plan fires.
+  Status InjectFault(uint64_t count);
 
   uint64_t num_pages_;
   DiskCostModel model_;
@@ -99,8 +112,12 @@ class DiskDevice {
   mutable std::mutex mu_;
   IoStats stats_;                               // guarded by mu_
   uint64_t next_sequential_page_ = UINT64_MAX;  // head position; mu_
-  bool fail_armed_ = false;                     // mu_
-  uint64_t fail_budget_ = 0;                    // mu_
+  FaultPlan plan_;                              // mu_
+  FaultStats fault_stats_;                      // mu_
+  uint64_t plan_transfers_ = 0;  // transfers since plan install; mu_
+  uint64_t fail_budget_ = 0;     // kPageBudget remaining pages; mu_
+  bool fault_latched_ = false;   // persistent plan has fired; mu_
+  Rng fault_rng_{0};             // kRandom stream; mu_
 };
 
 }  // namespace qbism::storage

@@ -1,0 +1,103 @@
+#ifndef QBISM_STORAGE_FAULT_PLAN_H_
+#define QBISM_STORAGE_FAULT_PLAN_H_
+
+#include <cstdint>
+
+namespace qbism::storage {
+
+/// What a fired fault does to the transfers after it.
+///  - kTransient: only the matched transfer fails; the device recovers
+///    immediately (a retried operation succeeds).
+///  - kPersistent: once the plan fires, every later transfer fails until
+///    the plan is cleared (the device died).
+enum class FaultDurability { kTransient, kPersistent };
+
+/// Deterministic, seedable description of which page transfers a
+/// DiskDevice fails. A "transfer" is one ReadPages/WritePages call (a
+/// single arm movement); transfer numbers are 0-based and relative to
+/// the moment the plan was installed, so the same plan replayed against
+/// the same access pattern fails the same operation every time — the
+/// property the fault-sweep harness is built on.
+struct FaultPlan {
+  enum class Trigger {
+    kNone,        // never fires
+    kPageBudget,  // fires once a transfer would exceed the page budget
+                  // (the legacy FailAfter semantics; inherently
+                  // persistent because failures do not consume budget)
+    kAtTransfer,  // fires on transfer #transfer_no exactly
+    kEveryKth,    // fires on transfers k-1, 2k-1, ... (every k-th)
+    kRandom,      // each transfer fires with probability `probability`,
+                  // drawn from a deterministic stream seeded by `seed`
+  };
+
+  Trigger trigger = Trigger::kNone;
+  FaultDurability durability = FaultDurability::kTransient;
+  uint64_t page_budget = 0;   // kPageBudget: pages that still succeed
+  uint64_t transfer_no = 0;   // kAtTransfer: 0-based transfer to fail
+  uint64_t every_k = 0;       // kEveryKth: period (>= 1)
+  double probability = 0.0;   // kRandom: per-transfer failure rate
+  uint64_t seed = 0;          // kRandom: stream seed
+
+  /// No faults (the default-constructed plan).
+  static FaultPlan None() { return FaultPlan{}; }
+
+  /// Legacy budget semantics: `pages` more pages transfer successfully,
+  /// then every access fails until the plan is cleared. A multi-page
+  /// transfer that does not fit the remaining budget fails atomically
+  /// without consuming it.
+  static FaultPlan FailAfterPages(uint64_t pages) {
+    FaultPlan plan;
+    plan.trigger = Trigger::kPageBudget;
+    plan.durability = FaultDurability::kPersistent;
+    plan.page_budget = pages;
+    return plan;
+  }
+
+  /// Fails transfer #n (0-based, counted from installation).
+  static FaultPlan FailAtTransfer(
+      uint64_t n, FaultDurability durability = FaultDurability::kTransient) {
+    FaultPlan plan;
+    plan.trigger = Trigger::kAtTransfer;
+    plan.durability = durability;
+    plan.transfer_no = n;
+    return plan;
+  }
+
+  /// Fails every k-th transfer (transient): transfers k-1, 2k-1, ...
+  static FaultPlan FailEveryKth(uint64_t k) {
+    FaultPlan plan;
+    plan.trigger = Trigger::kEveryKth;
+    plan.every_k = k;
+    return plan;
+  }
+
+  /// Each transfer fails independently with probability `p`, from a
+  /// deterministic seeded stream (transient faults — the model behind
+  /// bench_fault_recovery's degradation curves).
+  static FaultPlan FailRandom(double p, uint64_t seed) {
+    FaultPlan plan;
+    plan.trigger = Trigger::kRandom;
+    plan.probability = p;
+    plan.seed = seed;
+    return plan;
+  }
+};
+
+/// Always-on per-device transfer accounting (counted whether or not a
+/// plan is installed). The sweep harness diffs these around a clean run
+/// to enumerate the fault points, then around each faulted run to know
+/// whether the plan actually fired.
+struct FaultStats {
+  uint64_t transfers = 0;        // ReadPages/WritePages calls attempted
+  uint64_t pages = 0;            // pages attempted across those calls
+  uint64_t faults_injected = 0;  // transfers failed by the active plan
+
+  FaultStats operator-(const FaultStats& o) const {
+    return {transfers - o.transfers, pages - o.pages,
+            faults_injected - o.faults_injected};
+  }
+};
+
+}  // namespace qbism::storage
+
+#endif  // QBISM_STORAGE_FAULT_PLAN_H_

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 
 #include "common/macros.h"
 
@@ -28,8 +29,16 @@ Result<LongFieldId> LongFieldManager::Create(
   QBISM_ASSIGN_OR_RETURN(uint64_t start, allocator_.Allocate(pages));
   // Write full pages; the tail page is zero-padded.
   std::vector<uint8_t> padded(pages * kPageSize, 0);
-  std::memcpy(padded.data(), bytes.data(), bytes.size());
-  QBISM_RETURN_NOT_OK(device_->WritePages(start, pages, padded.data()));
+  if (!bytes.empty()) {
+    std::memcpy(padded.data(), bytes.data(), bytes.size());
+  }
+  Status write = device_->WritePages(start, pages, padded.data());
+  if (!write.ok()) {
+    // The field never existed: hand its extent back so a failed write
+    // cannot leak pages.
+    QBISM_RETURN_NOT_OK(allocator_.Free(start, pages));
+    return write;
+  }
   LongFieldId id{next_id_++};
   directory_[id.value] = Entry{start, bytes.size()};
   return id;
@@ -57,7 +66,9 @@ Result<std::vector<uint8_t>> LongFieldManager::ReadRange(
     LongFieldId id, uint64_t offset, uint64_t length) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   QBISM_ASSIGN_OR_RETURN(const Entry* entry, Lookup(id));
-  if (offset + length > entry->size_bytes) {
+  // Overflow-safe form of `offset + length > size`: a huge offset must
+  // not wrap around and pass the check.
+  if (offset > entry->size_bytes || length > entry->size_bytes - offset) {
     return Status::OutOfRange("LongFieldManager::ReadRange: past field end");
   }
   if (length == 0) return std::vector<uint8_t>{};
@@ -78,7 +89,8 @@ Result<std::vector<std::vector<uint8_t>>> LongFieldManager::ReadRanges(
   std::shared_lock<std::shared_mutex> lock(mu_);
   QBISM_ASSIGN_OR_RETURN(const Entry* entry, Lookup(id));
   for (const ByteRange& r : ranges) {
-    if (r.offset + r.length > entry->size_bytes) {
+    if (r.offset > entry->size_bytes ||
+        r.length > entry->size_bytes - r.offset) {
       return Status::OutOfRange("LongFieldManager::ReadRanges: past field end");
     }
   }
@@ -156,25 +168,55 @@ Status LongFieldManager::Update(LongFieldId id,
   }
   Entry& entry = it->second;
   uint64_t new_pages = std::max<uint64_t>(1, (bytes.size() + kPageSize - 1) / kPageSize);
+  std::vector<uint8_t> padded(new_pages * kPageSize, 0);
+  if (!bytes.empty()) {
+    std::memcpy(padded.data(), bytes.data(), bytes.size());
+  }
   if (BuddyAllocator::ExtentPages(new_pages) ==
       BuddyAllocator::ExtentPages(entry.PageCount())) {
-    // Fits in place.
-    std::vector<uint8_t> padded(new_pages * kPageSize, 0);
-    std::memcpy(padded.data(), bytes.data(), bytes.size());
+    // Fits in place. On a write fault the device performed nothing (the
+    // simulated transfer is atomic), so the entry stays as it was.
     QBISM_RETURN_NOT_OK(
         device_->WritePages(entry.start_page, new_pages, padded.data()));
     entry.size_bytes = bytes.size();
     return Status::OK();
   }
-  // Reallocate.
-  QBISM_RETURN_NOT_OK(
-      allocator_.Free(entry.start_page, std::max<uint64_t>(1, entry.PageCount())));
+  // Reallocate: write the new extent first and only then free the old
+  // one, so a failed write neither leaks the new pages nor leaves the
+  // directory pointing at a freed extent.
   QBISM_ASSIGN_OR_RETURN(uint64_t start, allocator_.Allocate(new_pages));
-  std::vector<uint8_t> padded(new_pages * kPageSize, 0);
-  std::memcpy(padded.data(), bytes.data(), bytes.size());
-  QBISM_RETURN_NOT_OK(device_->WritePages(start, new_pages, padded.data()));
+  Status write = device_->WritePages(start, new_pages, padded.data());
+  if (!write.ok()) {
+    QBISM_RETURN_NOT_OK(allocator_.Free(start, new_pages));
+    return write;
+  }
+  QBISM_RETURN_NOT_OK(allocator_.Free(
+      entry.start_page, std::max<uint64_t>(1, entry.PageCount())));
   entry.start_page = start;
   entry.size_bytes = bytes.size();
+  return Status::OK();
+}
+
+uint64_t LongFieldManager::allocated_pages() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return allocator_.allocated_pages();
+}
+
+Status LongFieldManager::CheckPageAccounting() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  QBISM_RETURN_NOT_OK(allocator_.CheckInvariants());
+  uint64_t directory_pages = 0;
+  for (const auto& [id, entry] : directory_) {
+    directory_pages +=
+        BuddyAllocator::ExtentPages(std::max<uint64_t>(1, entry.PageCount()));
+  }
+  if (directory_pages != allocator_.allocated_pages()) {
+    return Status::Corruption(
+        "LongFieldManager: directory references " +
+        std::to_string(directory_pages) + " pages but the allocator holds " +
+        std::to_string(allocator_.allocated_pages()) +
+        " (leaked or double-freed extent)");
+  }
   return Status::OK();
 }
 

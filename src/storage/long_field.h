@@ -74,6 +74,16 @@ class LongFieldManager {
   /// Frees the field.
   Status Delete(LongFieldId id);
 
+  /// Pages the buddy allocator currently considers allocated (rounded
+  /// extents). A failed Create/Update must leave this unchanged.
+  uint64_t allocated_pages() const;
+
+  /// Leak/corruption check used by the fault-sweep harness: the buddy
+  /// allocator's structural invariants hold, and its allocated-page
+  /// total equals the sum of the directory entries' extents — i.e. no
+  /// failed operation leaked pages or freed pages still referenced.
+  Status CheckPageAccounting() const;
+
   DiskDevice* device() const { return device_; }
 
  private:

@@ -1,0 +1,192 @@
+// QueryService transient-fault recovery: retries absorb one-shot disk
+// faults, persistent faults exhaust the budget and are counted as
+// giveups, and a failed query's reply is never admitted to the shared
+// result cache.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "med/loader.h"
+#include "med/schema.h"
+#include "service/query_service.h"
+#include "storage/fault_plan.h"
+
+namespace qbism::service {
+namespace {
+
+using storage::FaultDurability;
+using storage::FaultPlan;
+
+/// Shared loaded database; every test installs and clears its own fault
+/// plan, and uses a private QueryService so metrics/cache start clean.
+class FaultRecoveryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sql::DatabaseOptions dbo;
+    dbo.relational_pages = 1 << 12;
+    dbo.long_field_pages = 1 << 12;
+    db_ = new sql::Database(dbo);
+    SpatialConfig config;
+    config.grid = region::GridSpec{3, 5};  // 32^3: fast per-query I/O
+    auto ext = SpatialExtension::Install(db_, config);
+    ASSERT_TRUE(ext.ok());
+    ext_ = ext.MoveValue().release();
+    ASSERT_TRUE(med::BootstrapSchema(db_).ok());
+    med::LoadOptions options;
+    options.num_pet_studies = 1;
+    options.num_mri_studies = 0;
+    options.build_meshes = false;
+    options.store_raw_volumes = false;
+    auto dataset = med::PopulateDatabase(ext_, options);
+    ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+    study_id_ = dataset->pet_study_ids[0];
+  }
+
+  static void TearDownTestSuite() {
+    delete ext_;
+    delete db_;
+  }
+
+  void TearDown() override {
+    db_->long_field_device()->ClearFault();
+    db_->relational_device()->ClearFault();
+  }
+
+  static ServiceOptions RetryOptions(int max_retries) {
+    ServiceOptions options;
+    options.num_workers = 1;
+    options.max_retries = max_retries;
+    options.retry_backoff_seconds = 0.0;  // tests need no real sleeping
+    options.cost_model.sql_compile_seconds = 0.0;
+    return options;
+  }
+
+  /// Box queries (never named structures): the atlas shapes live in
+  /// 128^3 atlas coordinates and are empty on this tiny grid, while a
+  /// box always reads real voxel pages. Distinct variants get distinct
+  /// boxes and therefore distinct cache keys.
+  static ServiceRequest Request(size_t variant = 0) {
+    ServiceRequest request;
+    request.spec.study_id = study_id_;
+    int lo = static_cast<int>(variant % 8);
+    request.spec.box = geometry::Box3i{{lo, 2, 2}, {lo + 16, 24, 24}};
+    return request;
+  }
+
+  static sql::Database* db_;
+  static SpatialExtension* ext_;
+  static int study_id_;
+};
+
+sql::Database* FaultRecoveryTest::db_ = nullptr;
+SpatialExtension* FaultRecoveryTest::ext_ = nullptr;
+int FaultRecoveryTest::study_id_ = 0;
+
+TEST_F(FaultRecoveryTest, TransientFaultIsAbsorbedByARetry) {
+  QueryService service(ext_, RetryOptions(/*max_retries=*/2));
+  db_->long_field_device()->InstallFaultPlan(FaultPlan::FailAtTransfer(0));
+
+  auto reply = service.Execute(Request());
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_GT(reply->result.result_voxels, 0u);
+
+  MetricsSnapshot metrics = service.metrics();
+  EXPECT_EQ(metrics.completed, 1u);
+  EXPECT_EQ(metrics.failed, 0u);
+  EXPECT_EQ(metrics.retries, 1u);  // exactly one re-execution
+  EXPECT_EQ(metrics.giveups, 0u);
+  // The recovered reply is cacheable like any success.
+  EXPECT_TRUE(service.CacheContains(Request().spec.Describe()));
+}
+
+TEST_F(FaultRecoveryTest, PersistentFaultExhaustsTheRetryBudget) {
+  QueryService service(ext_, RetryOptions(/*max_retries=*/2));
+  db_->long_field_device()->InstallFaultPlan(
+      FaultPlan::FailAtTransfer(0, FaultDurability::kPersistent));
+
+  auto reply = service.Execute(Request());
+  ASSERT_FALSE(reply.ok());
+  EXPECT_TRUE(reply.status().IsIOError());
+
+  MetricsSnapshot metrics = service.metrics();
+  EXPECT_EQ(metrics.completed, 0u);
+  EXPECT_EQ(metrics.failed, 1u);
+  EXPECT_EQ(metrics.retries, 2u);  // the full budget was spent
+  EXPECT_EQ(metrics.giveups, 1u);
+  // The failure must not have poisoned the shared cache.
+  EXPECT_FALSE(service.CacheContains(Request().spec.Describe()));
+
+  // The device recovers; the same service instance then serves (and
+  // caches) the query normally.
+  db_->long_field_device()->ClearFault();
+  auto retry = service.Execute(Request());
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_TRUE(service.CacheContains(Request().spec.Describe()));
+  EXPECT_EQ(service.metrics().completed, 1u);
+}
+
+TEST_F(FaultRecoveryTest, ZeroRetriesFailsImmediately) {
+  QueryService service(ext_, RetryOptions(/*max_retries=*/0));
+  db_->long_field_device()->InstallFaultPlan(FaultPlan::FailAtTransfer(0));
+
+  auto reply = service.Execute(Request());
+  ASSERT_FALSE(reply.ok());
+  EXPECT_TRUE(reply.status().IsIOError());
+  MetricsSnapshot metrics = service.metrics();
+  EXPECT_EQ(metrics.retries, 0u);
+  EXPECT_EQ(metrics.giveups, 1u);
+  EXPECT_FALSE(service.CacheContains(Request().spec.Describe()));
+}
+
+TEST_F(FaultRecoveryTest, NonIoFailuresAreNotRetried) {
+  QueryService service(ext_, RetryOptions(/*max_retries=*/3));
+  ServiceRequest request = Request();
+  request.spec.study_id = 999999;  // unknown study: a NotFound, not I/O
+
+  auto reply = service.Execute(request);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_FALSE(reply.status().IsIOError());
+  MetricsSnapshot metrics = service.metrics();
+  EXPECT_EQ(metrics.retries, 0u);  // the retry loop never engaged
+  EXPECT_EQ(metrics.giveups, 0u);
+  EXPECT_EQ(metrics.failed, 1u);
+  EXPECT_FALSE(service.CacheContains(request.spec.Describe()));
+}
+
+TEST_F(FaultRecoveryTest, EveryKthFaultStreamIsSurvivable) {
+  // A flaky device failing every 7th transfer, under a stream of
+  // distinct queries (each misses the cache, so each really does I/O):
+  // retries absorb every hit and the whole stream completes.
+  QueryService service(ext_, RetryOptions(/*max_retries=*/3));
+  db_->long_field_device()->InstallFaultPlan(FaultPlan::FailEveryKth(7));
+
+  const size_t n = 8;  // distinct boxes, then a second lap of repeats
+  uint64_t completed = 0;
+  for (size_t i = 0; i < 2 * n; ++i) {
+    if (service.Execute(Request(i % n)).ok()) ++completed;
+  }
+  db_->long_field_device()->ClearFault();
+  MetricsSnapshot metrics = service.metrics();
+  EXPECT_EQ(completed, 2 * n);
+  EXPECT_EQ(metrics.completed, 2 * n);
+  EXPECT_EQ(metrics.giveups, 0u);
+  // Enough transfers flowed to trip the period at least once, and the
+  // second lap was served from the cache (no I/O, no new faults).
+  EXPECT_GT(metrics.retries, 0u);
+  EXPECT_GE(metrics.cache_hits, n);
+}
+
+TEST_F(FaultRecoveryTest, MetricsJsonCarriesRetryCounters) {
+  ServiceMetrics metrics;
+  metrics.AddRetry();
+  metrics.AddRetry();
+  metrics.AddGiveup();
+  std::string json = metrics.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"retries\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"giveups\":1"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace qbism::service

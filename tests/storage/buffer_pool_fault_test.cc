@@ -1,0 +1,105 @@
+// BufferPool error paths: a failed miss-read must not cache a ghost
+// frame, a failed eviction write-back must keep the dirty victim, and
+// a failed FlushAll must remain retryable.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_device.h"
+
+namespace qbism::storage {
+namespace {
+
+TEST(BufferPoolFaultTest, MissReadFailureCachesNothing) {
+  DiskDevice device(16);
+  BufferPool pool(&device, 4);
+  device.InstallFaultPlan(FaultPlan::FailAtTransfer(0));
+  EXPECT_TRUE(pool.GetPage(3).status().IsIOError());
+  EXPECT_EQ(pool.misses(), 1u);
+  // No ghost frame: the retry is a fresh miss that goes to the device,
+  // not a hit on a frame full of garbage.
+  EXPECT_TRUE(pool.GetPage(3).ok());
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 2u);
+  EXPECT_TRUE(pool.GetPage(3).ok());  // now it is resident
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST(BufferPoolFaultTest, EvictionWriteBackFailureKeepsDirtyVictim) {
+  DiskDevice device(16);
+  BufferPool pool(&device, 1);
+  uint8_t* frame = pool.GetPage(0).MoveValue();
+  std::memset(frame, 0xAB, kPageSize);
+  ASSERT_TRUE(pool.MarkDirty(0).ok());
+
+  device.InstallFaultPlan(FaultPlan::FailAtTransfer(0));
+  EXPECT_TRUE(pool.GetPage(1).status().IsIOError());  // write-back died
+  // The victim survived, still resident and still dirty: its data was
+  // not dropped on the floor.
+  EXPECT_TRUE(pool.MarkDirty(0).ok());  // resident => not NotFound
+  uint64_t hits_before = pool.hits();
+  EXPECT_TRUE(pool.GetPage(0).ok());
+  EXPECT_EQ(pool.hits(), hits_before + 1);
+
+  // The transient fault passed: eviction now writes the page back.
+  EXPECT_TRUE(pool.GetPage(1).ok());
+  std::vector<uint8_t> on_disk(kPageSize);
+  ASSERT_TRUE(device.ReadPage(0, on_disk.data()).ok());
+  EXPECT_EQ(on_disk[0], 0xAB);
+  EXPECT_EQ(on_disk[kPageSize - 1], 0xAB);
+}
+
+TEST(BufferPoolFaultTest, CleanEvictionNeedsNoWriteBack) {
+  DiskDevice device(16);
+  BufferPool pool(&device, 1);
+  ASSERT_TRUE(pool.GetPage(0).ok());  // never dirtied
+  device.InstallFaultPlan(
+      FaultPlan::FailAtTransfer(0, FaultDurability::kPersistent));
+  // Evicting a clean page performs no write, so the only transfer is
+  // the new page's read — which the persistent fault kills.
+  EXPECT_TRUE(pool.GetPage(1).status().IsIOError());
+  device.ClearFault();
+  EXPECT_TRUE(pool.GetPage(1).ok());
+}
+
+TEST(BufferPoolFaultTest, FlushAllFailureIsRetryable) {
+  DiskDevice device(16);
+  BufferPool pool(&device, 4);
+  for (uint64_t p = 0; p < 3; ++p) {
+    uint8_t* frame = pool.GetPage(p).MoveValue();
+    std::memset(frame, static_cast<int>(0x10 + p), kPageSize);
+    ASSERT_TRUE(pool.MarkDirty(p).ok());
+  }
+  // Fail the second write-back: the first page flushed, the rest stay
+  // dirty, and the retry completes the job.
+  device.InstallFaultPlan(FaultPlan::FailAtTransfer(1));
+  EXPECT_TRUE(pool.FlushAll().IsIOError());
+  EXPECT_TRUE(pool.FlushAll().ok());
+  for (uint64_t p = 0; p < 3; ++p) {
+    std::vector<uint8_t> on_disk(kPageSize);
+    ASSERT_TRUE(device.ReadPage(p, on_disk.data()).ok());
+    EXPECT_EQ(on_disk[0], 0x10 + p);
+  }
+}
+
+TEST(BufferPoolFaultTest, MarkDirtyOnNonResidentPageIsNotFound) {
+  DiskDevice device(16);
+  BufferPool pool(&device, 4);
+  EXPECT_TRUE(pool.MarkDirty(7).IsNotFound());
+  ASSERT_TRUE(pool.GetPage(7).ok());
+  EXPECT_TRUE(pool.MarkDirty(7).ok());
+}
+
+TEST(BufferPoolFaultTest, OutOfRangePageSurfacesDeviceError) {
+  DiskDevice device(4);
+  BufferPool pool(&device, 2);
+  EXPECT_TRUE(pool.GetPage(99).status().IsOutOfRange());
+  // The failed miss left no frame behind.
+  EXPECT_TRUE(pool.MarkDirty(99).IsNotFound());
+}
+
+}  // namespace
+}  // namespace qbism::storage
