@@ -1,0 +1,304 @@
+// E16 — table-driven curve engine: scalar vs batch encode/decode and
+// per-voxel vs run-native box rasterization, on 64^3 / 128^3 / 256^3
+// Hilbert grids, plus the end-to-end effect on region construction
+// (Region::FromShape over the atlas-structure corpus and the Q2
+// 71x71x71 box from E5). Writes BENCH_curve.json next to the binary's
+// working directory for machine diffing.
+//
+// `--smoke` shrinks the grids and repetition counts so the perf-labeled
+// ctest entry finishes in well under a second while still exercising
+// every measured code path.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "curve/curve.h"
+#include "curve/engine.h"
+#include "geometry/shapes.h"
+#include "med/phantom.h"
+#include "region/region.h"
+
+using qbism::Rng;
+using qbism::WallTimer;
+using qbism::bench::BenchJson;
+using qbism::curve::CurveKind;
+using qbism::geometry::Box3i;
+using qbism::region::GridSpec;
+using qbism::region::Region;
+
+namespace {
+
+/// Nanoseconds per element for `total_items` processed in `seconds`.
+double NsPer(double seconds, uint64_t total_items) {
+  return seconds * 1e9 / static_cast<double>(total_items);
+}
+
+struct EncodeResult {
+  double scalar_s = 0;
+  double batch_s = 0;
+  uint64_t checksum_scalar = 0;
+  uint64_t checksum_batch = 0;
+};
+
+/// Scalar HilbertIndex per point vs one HilbertIndexBatch call over the
+/// same interleaved buffer. Points are uniform random in the grid so the
+/// batch path cannot ride the span fast path.
+EncodeResult BenchEncode(const GridSpec& grid, uint64_t n, int reps) {
+  Rng rng(grid.bits * 1000003u);
+  std::vector<uint32_t> axes(n * 3);
+  for (uint32_t& a : axes) {
+    a = static_cast<uint32_t>(rng.NextBounded(grid.SideLength()));
+  }
+  std::vector<uint64_t> ids(n);
+  EncodeResult r;
+
+  WallTimer t;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (uint64_t k = 0; k < n; ++k) {
+      ids[k] = qbism::curve::HilbertIndex(&axes[k * 3], 3, grid.bits);
+    }
+  }
+  r.scalar_s = t.Seconds() / reps;
+  for (uint64_t id : ids) r.checksum_scalar += id;
+
+  t.Reset();
+  for (int rep = 0; rep < reps; ++rep) {
+    qbism::curve::HilbertIndexBatch(axes.data(), n, 3, grid.bits, ids.data());
+  }
+  r.batch_s = t.Seconds() / reps;
+  for (uint64_t id : ids) r.checksum_batch += id;
+  return r;
+}
+
+struct DecodeResult {
+  double scalar_s = 0;
+  double batch_s = 0;
+  double span_s = 0;
+  uint64_t checksum = 0;
+};
+
+/// Scalar HilbertAxes per id vs HilbertAxesBatch (arbitrary ids) vs
+/// HilbertAxesSpan (consecutive ids — the whole-grid-scan shape used by
+/// the VOLUME and REGION rewires).
+DecodeResult BenchDecode(const GridSpec& grid, uint64_t n, int reps) {
+  std::vector<uint64_t> ids(n);
+  for (uint64_t k = 0; k < n; ++k) ids[k] = k;
+  std::vector<uint32_t> axes(n * 3);
+  DecodeResult r;
+
+  WallTimer t;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (uint64_t k = 0; k < n; ++k) {
+      qbism::curve::HilbertAxes(ids[k], 3, grid.bits, &axes[k * 3]);
+    }
+  }
+  r.scalar_s = t.Seconds() / reps;
+
+  t.Reset();
+  for (int rep = 0; rep < reps; ++rep) {
+    qbism::curve::HilbertAxesBatch(ids.data(), n, 3, grid.bits, axes.data());
+  }
+  r.batch_s = t.Seconds() / reps;
+
+  t.Reset();
+  for (int rep = 0; rep < reps; ++rep) {
+    qbism::curve::HilbertAxesSpan(0, n, 3, grid.bits, axes.data());
+  }
+  r.span_s = t.Seconds() / reps;
+  for (uint32_t a : axes) r.checksum += a;
+  return r;
+}
+
+struct RasterResult {
+  double per_voxel_s = 0;
+  double run_native_s = 0;
+  size_t runs = 0;
+  uint64_t voxels = 0;
+};
+
+/// The pre-engine FromBox strategy (encode every voxel, FromIds sorts
+/// and coalesces) against the octant-descent rasterizer.
+RasterResult BenchRaster(const GridSpec& grid, const Box3i& box, int reps) {
+  RasterResult r;
+  WallTimer t;
+  Region baseline;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<uint64_t> ids;
+    ids.reserve(static_cast<size_t>(box.max.x - box.min.x + 1) *
+                (box.max.y - box.min.y + 1) * (box.max.z - box.min.z + 1));
+    for (int32_t z = box.min.z; z <= box.max.z; ++z) {
+      for (int32_t y = box.min.y; y <= box.max.y; ++y) {
+        for (int32_t x = box.min.x; x <= box.max.x; ++x) {
+          ids.push_back(qbism::curve::CurveId3(
+              CurveKind::kHilbert, static_cast<uint32_t>(x),
+              static_cast<uint32_t>(y), static_cast<uint32_t>(z), grid.bits));
+        }
+      }
+    }
+    auto region =
+        Region::FromIds(grid, CurveKind::kHilbert, std::move(ids));
+    QBISM_CHECK(region.ok());
+    baseline = region.MoveValue();
+  }
+  r.per_voxel_s = t.Seconds() / reps;
+
+  t.Reset();
+  Region fast;
+  for (int rep = 0; rep < reps; ++rep) {
+    fast = Region::FromBox(grid, CurveKind::kHilbert, box);
+  }
+  r.run_native_s = t.Seconds() / reps;
+
+  QBISM_CHECK(fast == baseline);
+  r.runs = fast.RunCount();
+  r.voxels = fast.VoxelCount();
+  return r;
+}
+
+/// End-to-end: rasterize every standard atlas structure (the E5/E3
+/// corpus shapes) with Region::FromShape, which now runs on the
+/// run-native bounding-box rasterizer + span decode.
+double BenchStructures(const GridSpec& grid, int reps, uint64_t* voxels) {
+  const auto& structures = qbism::med::StandardAtlasStructures();
+  WallTimer t;
+  uint64_t total = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    total = 0;
+    for (const auto& s : structures) {
+      Region r = Region::FromShape(grid, CurveKind::kHilbert, *s.shape);
+      total += r.VoxelCount();
+    }
+  }
+  *voxels = total;
+  return t.Seconds() / reps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  std::printf("QBISM reproduction E16: table-driven batch Hilbert engine.\n");
+  BenchJson json("curve_engine");
+  json.AddString("mode", smoke ? "smoke" : "full");
+
+  std::vector<int> grid_bits = smoke ? std::vector<int>{5, 6}
+                                     : std::vector<int>{6, 7, 8};
+
+  qbism::bench::PrintHeading("Encode: scalar HilbertIndex vs table batch");
+  std::printf("%-8s %12s %14s %14s %9s\n", "grid", "points", "scalar ns/pt",
+              "batch ns/pt", "speedup");
+  for (int bits : grid_bits) {
+    GridSpec grid{3, bits};
+    // Random points, enough to dominate cache effects; full grid at 64^3.
+    uint64_t n = std::min<uint64_t>(grid.NumCells(), uint64_t{1} << 18);
+    int reps = smoke ? 2 : 8;
+    EncodeResult r = BenchEncode(grid, n, reps);
+    QBISM_CHECK(r.checksum_scalar == r.checksum_batch);
+    double speedup = r.scalar_s / r.batch_s;
+    std::printf("%-8s %12llu %14.2f %14.2f %8.2fx\n",
+                (std::to_string(1 << bits) + "^3").c_str(),
+                static_cast<unsigned long long>(n), NsPer(r.scalar_s, n),
+                NsPer(r.batch_s, n), speedup);
+    std::string prefix = "encode_" + std::to_string(1 << bits);
+    json.Add(prefix + "_scalar_ns", NsPer(r.scalar_s, n));
+    json.Add(prefix + "_batch_ns", NsPer(r.batch_s, n));
+    json.Add(prefix + "_speedup", speedup);
+  }
+
+  qbism::bench::PrintHeading(
+      "Decode: scalar HilbertAxes vs table batch vs span (consecutive ids)");
+  std::printf("%-8s %12s %14s %14s %14s %9s %9s\n", "grid", "ids",
+              "scalar ns/id", "batch ns/id", "span ns/id", "batch-x",
+              "span-x");
+  for (int bits : grid_bits) {
+    GridSpec grid{3, bits};
+    uint64_t n = std::min<uint64_t>(grid.NumCells(), uint64_t{1} << 18);
+    int reps = smoke ? 2 : 8;
+    DecodeResult r = BenchDecode(grid, n, reps);
+    double batch_x = r.scalar_s / r.batch_s;
+    double span_x = r.scalar_s / r.span_s;
+    std::printf("%-8s %12llu %14.2f %14.2f %14.2f %8.2fx %8.2fx\n",
+                (std::to_string(1 << bits) + "^3").c_str(),
+                static_cast<unsigned long long>(n), NsPer(r.scalar_s, n),
+                NsPer(r.batch_s, n), NsPer(r.span_s, n), batch_x, span_x);
+    std::string prefix = "decode_" + std::to_string(1 << bits);
+    json.Add(prefix + "_scalar_ns", NsPer(r.scalar_s, n));
+    json.Add(prefix + "_batch_ns", NsPer(r.batch_s, n));
+    json.Add(prefix + "_span_ns", NsPer(r.span_s, n));
+    json.Add(prefix + "_batch_speedup", batch_x);
+    json.Add(prefix + "_span_speedup", span_x);
+  }
+
+  qbism::bench::PrintHeading(
+      "Box rasterization: per-voxel encode+sort vs run-native descent");
+  std::printf("%-22s %10s %8s %14s %14s %9s\n", "box", "voxels", "runs",
+              "per-voxel ms", "run-native ms", "speedup");
+  struct BoxCase {
+    std::string name;
+    GridSpec grid;
+    Box3i box;
+  };
+  std::vector<BoxCase> boxes;
+  if (smoke) {
+    boxes.push_back({"17^3 in 32^3", {3, 5}, {{7, 7, 7}, {23, 23, 23}}});
+    boxes.push_back({"slab 32x32x4 in 32^3", {3, 5}, {{0, 0, 10}, {31, 31, 13}}});
+  } else {
+    // Q2 from E5/Table 3, plus a centered half-grid box per grid size.
+    boxes.push_back({"Q2 71^3 in 128^3", {3, 7}, {{30, 30, 30}, {100, 100, 100}}});
+    boxes.push_back({"32^3 in 64^3", {3, 6}, {{16, 16, 16}, {47, 47, 47}}});
+    boxes.push_back({"64^3 in 128^3", {3, 7}, {{32, 32, 32}, {95, 95, 95}}});
+    boxes.push_back({"128^3 in 256^3", {3, 8}, {{64, 64, 64}, {191, 191, 191}}});
+    boxes.push_back(
+        {"slab 128x128x8 in 128^3", {3, 7}, {{0, 0, 60}, {127, 127, 67}}});
+  }
+  double worst_raster_speedup = 1e300;
+  for (const BoxCase& c : boxes) {
+    int reps = smoke ? 2 : 3;
+    RasterResult r = BenchRaster(c.grid, c.box, reps);
+    double speedup = r.per_voxel_s / r.run_native_s;
+    worst_raster_speedup = std::min(worst_raster_speedup, speedup);
+    std::printf("%-22s %10llu %8zu %14.3f %14.3f %8.1fx\n", c.name.c_str(),
+                static_cast<unsigned long long>(r.voxels), r.runs,
+                r.per_voxel_s * 1e3, r.run_native_s * 1e3, speedup);
+    std::string prefix = "raster_" + std::to_string(c.box.max.x - c.box.min.x + 1) +
+                         "_of_" + std::to_string(1 << c.grid.bits);
+    json.Add(prefix + "_per_voxel_ms", r.per_voxel_s * 1e3);
+    json.Add(prefix + "_run_native_ms", r.run_native_s * 1e3);
+    json.Add(prefix + "_speedup", speedup);
+  }
+  json.Add("raster_min_speedup", worst_raster_speedup);
+
+  qbism::bench::PrintHeading(
+      "End-to-end: Region::FromShape over the 11 atlas structures");
+  {
+    GridSpec grid{3, smoke ? 5 : 7};
+    int reps = smoke ? 1 : 3;
+    uint64_t voxels = 0;
+    double s = BenchStructures(grid, reps, &voxels);
+    std::printf("grid %d^3: %llu structure voxels rasterized in %.3f ms\n",
+                1 << grid.bits, static_cast<unsigned long long>(voxels),
+                s * 1e3);
+    json.Add("from_shape_ms", s * 1e3);
+    json.Add("from_shape_voxels", voxels);
+  }
+
+  const char* out = "BENCH_curve.json";
+  if (json.WriteFile(out)) {
+    std::printf("\nwrote %s\n", out);
+  } else {
+    std::printf("\nfailed to write %s\n", out);
+    return 1;
+  }
+  return 0;
+}

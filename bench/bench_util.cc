@@ -1,6 +1,7 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <utility>
 
 #include "med/phantom.h"
 #include "volume/volume.h"
@@ -52,6 +53,53 @@ void PrintHeading(const std::string& title) {
   std::printf("\n%s\n", std::string(78, '=').c_str());
   std::printf("%s\n", title.c_str());
   std::printf("%s\n", std::string(78, '=').c_str());
+}
+
+BenchJson::BenchJson(std::string experiment) {
+  AddString("experiment", experiment);
+}
+
+void BenchJson::Set(const std::string& key, std::string rendered) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(rendered);
+      return;
+    }
+  }
+  entries_.emplace_back(key, std::move(rendered));
+}
+
+void BenchJson::Add(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  Set(key, buf);
+}
+
+void BenchJson::Add(const std::string& key, uint64_t value) {
+  Set(key, std::to_string(value));
+}
+
+void BenchJson::AddString(const std::string& key, const std::string& value) {
+  // Benchmark names are plain identifiers; quote-escape is all we need.
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') quoted += '\\';
+    quoted += c;
+  }
+  quoted += '"';
+  Set(key, std::move(quoted));
+}
+
+bool BenchJson::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("{", f);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    std::fprintf(f, "%s\n  \"%s\": %s", i == 0 ? "" : ",",
+                 entries_[i].first.c_str(), entries_[i].second.c_str());
+  }
+  std::fputs("\n}\n", f);
+  return std::fclose(f) == 0;
 }
 
 }  // namespace qbism::bench

@@ -29,6 +29,27 @@ std::vector<CorpusRegion> BuildRegionCorpus(region::GridSpec grid = {3, 7},
 /// Prints an 80-column rule and a heading for a bench section.
 void PrintHeading(const std::string& title);
 
+/// Flat JSON result file for a benchmark run ({"experiment": ...,
+/// "metric": number, ...}), so harnesses can diff numbers across
+/// commits without scraping the human-readable tables. Keys are emitted
+/// in insertion order; re-adding a key overwrites its value.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string experiment);
+
+  void Add(const std::string& key, double value);
+  void Add(const std::string& key, uint64_t value);
+  void AddString(const std::string& key, const std::string& value);
+
+  /// Writes the accumulated object to `path`; false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  void Set(const std::string& key, std::string rendered);
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
 }  // namespace qbism::bench
 
 #endif  // QBISM_BENCH_BENCH_UTIL_H_

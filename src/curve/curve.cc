@@ -72,13 +72,22 @@ void CheckDimsBits(int dims, int bits) {
   QBISM_CHECK(dims * bits <= 64);
 }
 
+/// One range check for all axes, hoisted out of the bit loops: OR-fold
+/// the coordinates and compare the fold once.
+void CheckAxesInRange(const uint32_t* axes, int dims, int bits) {
+  if (bits == 32) return;
+  uint32_t all = 0;
+  for (int i = 0; i < dims; ++i) all |= axes[i];
+  QBISM_CHECK(all < (1u << bits));
+}
+
 }  // namespace
 
 uint64_t HilbertIndex(const uint32_t* axes, int dims, int bits) {
   CheckDimsBits(dims, bits);
+  CheckAxesInRange(axes, dims, bits);
   uint32_t x[kMaxDims];
   for (int i = 0; i < dims; ++i) {
-    QBISM_CHECK(bits == 32 || axes[i] < (1u << bits));
     x[i] = axes[i];
   }
   AxesToTranspose(x, dims, bits);
@@ -107,10 +116,10 @@ void HilbertAxes(uint64_t index, int dims, int bits, uint32_t* axes) {
 
 uint64_t MortonIndex(const uint32_t* axes, int dims, int bits) {
   CheckDimsBits(dims, bits);
+  CheckAxesInRange(axes, dims, bits);
   uint64_t index = 0;
   for (int b = bits - 1; b >= 0; --b) {
     for (int i = 0; i < dims; ++i) {
-      QBISM_CHECK(bits == 32 || axes[i] < (1u << bits));
       index = (index << 1) | ((axes[i] >> b) & 1u);
     }
   }

@@ -1,0 +1,445 @@
+#include "curve/engine.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace qbism::curve {
+
+namespace {
+
+/// Full corner->corner map of one subcube transformation (index = corner,
+/// value = transformed corner). States compose as plain function
+/// composition, so the closure below needs no (permutation, mask)
+/// decomposition — only the maps themselves.
+using CornerMap = std::vector<uint8_t>;
+
+CornerMap Compose(const CornerMap& outer, const CornerMap& inner) {
+  CornerMap out(outer.size());
+  for (size_t x = 0; x < outer.size(); ++x) out[x] = outer[inner[x]];
+  return out;
+}
+
+/// Decodes `id` with the machine (reference implementation used by the
+/// construction-time self check; the production paths below are the
+/// batch/span specializations).
+void MachineDecode(const CurveMachine& m, uint64_t id, int bits,
+                   uint32_t* axes) {
+  for (int i = 0; i < m.dims; ++i) axes[i] = 0;
+  int s = 0;
+  for (int l = bits - 1; l >= 0; --l) {
+    uint32_t j =
+        static_cast<uint32_t>(id >> (m.dims * l)) & (m.fanout - 1);
+    uint32_t c = m.Corners(s)[j];
+    for (int i = 0; i < m.dims; ++i) {
+      axes[i] |= ((c >> i) & 1u) << l;
+    }
+    s = m.Next(s)[j];
+  }
+}
+
+uint64_t MachineEncode(const CurveMachine& m, const uint32_t* axes,
+                       int bits) {
+  uint64_t id = 0;
+  int s = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    uint32_t c = 0;
+    for (int i = 0; i < m.dims; ++i) c |= ((axes[i] >> b) & 1u) << i;
+    uint32_t j = m.Digits(s)[c];
+    id = (id << m.dims) | j;
+    s = m.Next(s)[j];
+  }
+  return id;
+}
+
+/// Exhaustively checks the machine against the scalar oracle for every
+/// id at 1..verify_bits levels. Aborts on any divergence: a broken
+/// table must never ship answers.
+void VerifyAgainstOracle(const CurveMachine& m, CurveKind kind,
+                         int verify_bits) {
+  uint32_t expect[kMaxDims], got[kMaxDims];
+  for (int bits = 1; bits <= verify_bits; ++bits) {
+    uint64_t n = uint64_t{1} << (m.dims * bits);
+    for (uint64_t id = 0; id < n; ++id) {
+      if (kind == CurveKind::kHilbert) {
+        HilbertAxes(id, m.dims, bits, expect);
+      } else {
+        MortonAxes(id, m.dims, bits, expect);
+      }
+      MachineDecode(m, id, bits, got);
+      for (int i = 0; i < m.dims; ++i) QBISM_CHECK(got[i] == expect[i]);
+      QBISM_CHECK(MachineEncode(m, got, bits) == id);
+    }
+  }
+}
+
+/// Builds the Hilbert machine for `dims` by probing the scalar oracle:
+/// a one-level probe yields the base digit->corner Gray order, a
+/// two-level probe yields each child's subcube transformation, and the
+/// reachable states are the closure of those transformations under
+/// composition (the curve is strictly self-similar, which the oracle
+/// check above re-proves exhaustively for every table we build).
+CurveMachine BuildHilbertMachine(int dims) {
+  const int fanout = 1 << dims;
+  uint32_t axes[kMaxDims];
+
+  // Base digit -> corner order (corner bit i = axis i).
+  std::vector<uint8_t> base(fanout);
+  for (int j = 0; j < fanout; ++j) {
+    HilbertAxes(static_cast<uint64_t>(j), dims, 1, axes);
+    uint8_t corner = 0;
+    for (int i = 0; i < dims; ++i) corner |= (axes[i] & 1u) << i;
+    base[j] = corner;
+  }
+
+  // Child transformations from the two-level probe: within first-level
+  // digit w, the local corner sequence is T_w applied to the base order.
+  std::vector<CornerMap> child_tx(fanout, CornerMap(fanout));
+  for (int w = 0; w < fanout; ++w) {
+    for (int j = 0; j < fanout; ++j) {
+      uint64_t id = (static_cast<uint64_t>(w) << dims) | j;
+      HilbertAxes(id, dims, 2, axes);
+      uint8_t local = 0, high = 0;
+      for (int i = 0; i < dims; ++i) {
+        local |= (axes[i] & 1u) << i;
+        high |= ((axes[i] >> 1) & 1u) << i;
+      }
+      QBISM_CHECK(high == base[w]);  // top level repeats the base order
+      child_tx[w][base[j]] = local;
+    }
+  }
+
+  // Close the state set under composition, emitting tables as we go.
+  CurveMachine m;
+  m.dims = dims;
+  m.fanout = fanout;
+  std::vector<CornerMap> states;
+  CornerMap identity(fanout);
+  for (int c = 0; c < fanout; ++c) identity[c] = static_cast<uint8_t>(c);
+  states.push_back(identity);
+  for (size_t si = 0; si < states.size(); ++si) {
+    const CornerMap state = states[si];  // copy: states may reallocate
+    m.corner_of_digit.resize((si + 1) * fanout);
+    m.digit_of_corner.resize((si + 1) * fanout);
+    m.next_state.resize((si + 1) * fanout);
+    for (int j = 0; j < fanout; ++j) {
+      uint8_t corner = state[base[j]];
+      m.corner_of_digit[si * fanout + j] = corner;
+      m.digit_of_corner[si * fanout + corner] = static_cast<uint8_t>(j);
+      CornerMap child = Compose(state, child_tx[j]);
+      auto it = std::find(states.begin(), states.end(), child);
+      size_t ci = static_cast<size_t>(it - states.begin());
+      if (it == states.end()) states.push_back(std::move(child));
+      QBISM_CHECK(ci < 256);
+      m.next_state[si * fanout + j] = static_cast<uint8_t>(ci);
+    }
+  }
+  m.num_states = static_cast<int>(states.size());
+
+  VerifyAgainstOracle(m, CurveKind::kHilbert, dims == 2 ? 5 : 4);
+  return m;
+}
+
+/// The Z curve is the same machine with one state: digit bit (dims-1-i)
+/// is axis i's bit (axis 0 most significant, matching MortonIndex).
+CurveMachine BuildMortonMachine(int dims) {
+  const int fanout = 1 << dims;
+  CurveMachine m;
+  m.dims = dims;
+  m.fanout = fanout;
+  m.num_states = 1;
+  m.corner_of_digit.resize(fanout);
+  m.digit_of_corner.resize(fanout);
+  m.next_state.assign(fanout, 0);
+  for (int j = 0; j < fanout; ++j) {
+    uint8_t corner = 0;
+    for (int i = 0; i < dims; ++i) {
+      corner |= ((static_cast<uint32_t>(j) >> (dims - 1 - i)) & 1u) << i;
+    }
+    m.corner_of_digit[j] = corner;
+    m.digit_of_corner[corner] = static_cast<uint8_t>(j);
+  }
+  VerifyAgainstOracle(m, CurveKind::kZ, dims == 2 ? 5 : 4);
+  return m;
+}
+
+void CheckDimsBits(int dims, int bits) {
+  QBISM_CHECK(dims >= 1 && dims <= kMaxDims);
+  QBISM_CHECK(bits >= 1 && bits <= 32);
+  QBISM_CHECK(dims * bits <= 64);
+}
+
+void CheckAxesInRange(const uint32_t* axes, size_t count, int bits) {
+  if (bits == 32) return;
+  uint32_t all = 0;
+  for (size_t k = 0; k < count; ++k) all |= axes[k];
+  QBISM_CHECK(all < (uint32_t{1} << bits));
+}
+
+/// --- Production batch/span paths, templated on dims so the per-level
+/// corner gather/scatter unrolls. ----------------------------------------
+
+template <int D>
+void EncodeBatchT(const CurveMachine& m, const uint32_t* axes, size_t n,
+                  int bits, uint64_t* ids) {
+  const uint8_t* digit = m.digit_of_corner.data();
+  const uint8_t* next = m.next_state.data();
+  constexpr int kFanout = 1 << D;
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t* a = axes + k * D;
+    uint64_t id = 0;
+    uint32_t s = 0;
+    for (int b = bits - 1; b >= 0; --b) {
+      uint32_t c = 0;
+      for (int i = 0; i < D; ++i) c |= ((a[i] >> b) & 1u) << i;
+      uint32_t j = digit[s * kFanout + c];
+      id = (id << D) | j;
+      s = next[s * kFanout + j];
+    }
+    ids[k] = id;
+  }
+}
+
+template <int D>
+void DecodeBatchT(const CurveMachine& m, const uint64_t* ids, size_t n,
+                  int bits, uint32_t* axes) {
+  const uint8_t* corner = m.corner_of_digit.data();
+  const uint8_t* next = m.next_state.data();
+  constexpr int kFanout = 1 << D;
+  // All D axes accumulate in one 64-bit word, one (64/D)-bit field per
+  // axis (bits <= 64/D by CheckDimsBits): the per-level per-axis bit
+  // scatter collapses to a lookup of the corner's pre-spread form.
+  constexpr int kField = 64 / D;
+  constexpr uint64_t kFieldMask =
+      kField == 64 ? ~uint64_t{0} : (uint64_t{1} << kField) - 1;
+  uint64_t spread[kFanout];
+  for (uint32_t c = 0; c < kFanout; ++c) {
+    uint64_t packed = 0;
+    for (int i = 0; i < D; ++i) {
+      packed |= uint64_t{(c >> i) & 1u} << (i * kField);
+    }
+    spread[c] = packed;
+  }
+  for (size_t k = 0; k < n; ++k) {
+    uint64_t id = ids[k];
+    uint64_t acc = 0;
+    uint32_t s = 0;
+    for (int l = bits - 1; l >= 0; --l) {
+      uint32_t j = static_cast<uint32_t>(id >> (D * l)) & (kFanout - 1);
+      uint32_t c = corner[s * kFanout + j];
+      acc |= spread[c] << l;
+      s = next[s * kFanout + j];
+    }
+    uint32_t* a = axes + k * D;
+    for (int i = 0; i < D; ++i) {
+      a[i] = static_cast<uint32_t>((acc >> (i * kField)) & kFieldMask);
+    }
+  }
+}
+
+/// Span decode: consecutive ids share their high digits, so only the
+/// levels below the highest changed digit are re-walked. The per-level
+/// stacks hold the state entering each level and the axes bits
+/// accumulated above it; an increment re-walks 1/(1 - 2^-D) ~ 1.1
+/// levels on average instead of `bits`.
+template <int D>
+void DecodeSpanT(const CurveMachine& m, uint64_t first, size_t n, int bits,
+                 uint32_t* axes) {
+  const uint8_t* corner = m.corner_of_digit.data();
+  const uint8_t* next = m.next_state.data();
+  constexpr int kFanout = 1 << D;
+  uint8_t state_at[33];
+  uint32_t ax_at[33][D];
+  state_at[0] = 0;
+  for (int i = 0; i < D; ++i) ax_at[0][i] = 0;
+  uint64_t id = first;
+  int from = 0;
+  for (size_t k = 0; k < n; ++k, ++id) {
+    if (k > 0) {
+      uint64_t changed = id ^ (id - 1);
+      int high_bit = 63 - __builtin_clzll(changed);
+      from = bits - 1 - high_bit / D;
+    }
+    uint32_t s = state_at[from];
+    uint32_t a[D];
+    for (int i = 0; i < D; ++i) a[i] = ax_at[from][i];
+    for (int l = from; l < bits; ++l) {
+      int level = bits - 1 - l;  // bit position of this level's digit
+      uint32_t j = static_cast<uint32_t>(id >> (D * level)) & (kFanout - 1);
+      uint32_t c = corner[s * kFanout + j];
+      for (int i = 0; i < D; ++i) a[i] |= ((c >> i) & 1u) << level;
+      s = next[s * kFanout + j];
+      state_at[l + 1] = static_cast<uint8_t>(s);
+      for (int i = 0; i < D; ++i) ax_at[l + 1][i] = a[i];
+    }
+    uint32_t* out = axes + k * D;
+    for (int i = 0; i < D; ++i) out[i] = a[i];
+  }
+}
+
+/// Runtime-dims fallbacks (dims == 4 tables, and machine-less dims).
+
+void EncodeBatchGeneric(const CurveMachine* m, CurveKind kind,
+                        const uint32_t* axes, size_t n, int dims, int bits,
+                        uint64_t* ids) {
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t* a = axes + k * dims;
+    if (m != nullptr) {
+      ids[k] = MachineEncode(*m, a, bits);
+    } else if (kind == CurveKind::kHilbert) {
+      ids[k] = HilbertIndex(a, dims, bits);
+    } else {
+      ids[k] = MortonIndex(a, dims, bits);
+    }
+  }
+}
+
+void DecodeBatchGeneric(const CurveMachine* m, CurveKind kind,
+                        const uint64_t* ids, size_t n, int dims, int bits,
+                        uint32_t* axes) {
+  for (size_t k = 0; k < n; ++k) {
+    uint32_t* a = axes + k * dims;
+    if (m != nullptr) {
+      MachineDecode(*m, ids[k], bits, a);
+    } else if (kind == CurveKind::kHilbert) {
+      HilbertAxes(ids[k], dims, bits, a);
+    } else {
+      MortonAxes(ids[k], dims, bits, a);
+    }
+  }
+}
+
+void IndexBatchImpl(CurveKind kind, const uint32_t* axes, size_t n, int dims,
+                    int bits, uint64_t* ids) {
+  CheckDimsBits(dims, bits);
+  CheckAxesInRange(axes, n * static_cast<size_t>(dims), bits);
+  const CurveMachine* m = TryGetMachine(kind, dims);
+  if (m != nullptr && dims == 2) {
+    EncodeBatchT<2>(*m, axes, n, bits, ids);
+  } else if (m != nullptr && dims == 3) {
+    EncodeBatchT<3>(*m, axes, n, bits, ids);
+  } else {
+    EncodeBatchGeneric(m, kind, axes, n, dims, bits, ids);
+  }
+}
+
+void AxesBatchImpl(CurveKind kind, const uint64_t* ids, size_t n, int dims,
+                   int bits, uint32_t* axes) {
+  CheckDimsBits(dims, bits);
+  const CurveMachine* m = TryGetMachine(kind, dims);
+  if (m != nullptr && dims == 2) {
+    DecodeBatchT<2>(*m, ids, n, bits, axes);
+  } else if (m != nullptr && dims == 3) {
+    DecodeBatchT<3>(*m, ids, n, bits, axes);
+  } else {
+    DecodeBatchGeneric(m, kind, ids, n, dims, bits, axes);
+  }
+}
+
+void AxesSpanImpl(CurveKind kind, uint64_t first, size_t n, int dims,
+                  int bits, uint32_t* axes) {
+  CheckDimsBits(dims, bits);
+  if (n == 0) return;
+  if (dims * bits < 64) {
+    QBISM_CHECK(first + n <= (uint64_t{1} << (dims * bits)));
+    QBISM_CHECK(first + n >= n);  // no wraparound
+  }
+  const CurveMachine* m = TryGetMachine(kind, dims);
+  if (m != nullptr && dims == 2) {
+    DecodeSpanT<2>(*m, first, n, bits, axes);
+  } else if (m != nullptr && dims == 3) {
+    DecodeSpanT<3>(*m, first, n, bits, axes);
+  } else {
+    for (size_t k = 0; k < n; ++k) {
+      uint32_t* a = axes + k * dims;
+      if (m != nullptr) {
+        MachineDecode(*m, first + k, bits, a);
+      } else if (kind == CurveKind::kHilbert) {
+        HilbertAxes(first + k, dims, bits, a);
+      } else {
+        MortonAxes(first + k, dims, bits, a);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const CurveMachine* TryGetMachine(CurveKind kind, int dims) {
+  const bool hilbert = kind == CurveKind::kHilbert;
+  switch ((hilbert ? 0 : 10) + dims) {
+    case 2: {
+      static const CurveMachine m = BuildHilbertMachine(2);
+      return &m;
+    }
+    case 3: {
+      static const CurveMachine m = BuildHilbertMachine(3);
+      return &m;
+    }
+    case 4: {
+      static const CurveMachine m = BuildHilbertMachine(4);
+      return &m;
+    }
+    case 12: {
+      static const CurveMachine m = BuildMortonMachine(2);
+      return &m;
+    }
+    case 13: {
+      static const CurveMachine m = BuildMortonMachine(3);
+      return &m;
+    }
+    case 14: {
+      static const CurveMachine m = BuildMortonMachine(4);
+      return &m;
+    }
+    default:
+      return nullptr;
+  }
+}
+
+void HilbertIndexBatch(const uint32_t* axes, size_t n, int dims, int bits,
+                       uint64_t* ids) {
+  IndexBatchImpl(CurveKind::kHilbert, axes, n, dims, bits, ids);
+}
+
+void HilbertAxesBatch(const uint64_t* ids, size_t n, int dims, int bits,
+                      uint32_t* axes) {
+  AxesBatchImpl(CurveKind::kHilbert, ids, n, dims, bits, axes);
+}
+
+void HilbertAxesSpan(uint64_t first, size_t n, int dims, int bits,
+                     uint32_t* axes) {
+  AxesSpanImpl(CurveKind::kHilbert, first, n, dims, bits, axes);
+}
+
+void MortonIndexBatch(const uint32_t* axes, size_t n, int dims, int bits,
+                      uint64_t* ids) {
+  IndexBatchImpl(CurveKind::kZ, axes, n, dims, bits, ids);
+}
+
+void MortonAxesBatch(const uint64_t* ids, size_t n, int dims, int bits,
+                     uint32_t* axes) {
+  AxesBatchImpl(CurveKind::kZ, ids, n, dims, bits, axes);
+}
+
+void MortonAxesSpan(uint64_t first, size_t n, int dims, int bits,
+                    uint32_t* axes) {
+  AxesSpanImpl(CurveKind::kZ, first, n, dims, bits, axes);
+}
+
+void CurveIndexBatch(CurveKind kind, const uint32_t* axes, size_t n, int dims,
+                     int bits, uint64_t* ids) {
+  IndexBatchImpl(kind, axes, n, dims, bits, ids);
+}
+
+void CurveAxesBatch(CurveKind kind, const uint64_t* ids, size_t n, int dims,
+                    int bits, uint32_t* axes) {
+  AxesBatchImpl(kind, ids, n, dims, bits, axes);
+}
+
+void CurveAxesSpan(CurveKind kind, uint64_t first, size_t n, int dims,
+                   int bits, uint32_t* axes) {
+  AxesSpanImpl(kind, first, n, dims, bits, axes);
+}
+
+}  // namespace qbism::curve

@@ -1,0 +1,107 @@
+#ifndef QBISM_CURVE_ENGINE_H_
+#define QBISM_CURVE_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "curve/curve.h"
+
+namespace qbism::curve {
+
+/// --- Table-driven curve engine -----------------------------------------
+///
+/// The Hilbert curve is a per-level state machine (Butz 1971; Walker's
+/// encoding/decoding algorithms): descending one level of the curve
+/// octree consumes one `dims`-bit digit and rotates/reflects the frame
+/// of the subcube. The engine precomputes, for every reachable
+/// orientation ("state") of the curve:
+///
+///   corner_of_digit[s][j]  -> which subcube corner the curve's j-th
+///                             child occupies (axis i = bit i),
+///   digit_of_corner[s][c]  -> the inverse,
+///   next_state[s][j]       -> the child subcube's orientation.
+///
+/// The tables are derived at first use by probing the bit-serial
+/// Skilling transform in curve.cc (two-level probe + closure under
+/// composition) and exhaustively verified against it, so the scalar
+/// functions remain the reference oracle and the engine can never
+/// diverge silently. The Z/Morton curve is the same machine with a
+/// single state. Lookups replace the per-voxel branchy bit loops with
+/// two table loads per level, and the span decoders additionally reuse
+/// the shared digit prefix of consecutive ids (amortized O(1) per id
+/// instead of O(bits)).
+///
+/// When to use what:
+///   - scalar `HilbertIndex`/`HilbertAxes` (curve.h): single points,
+///     reference semantics, dims outside [2, 4];
+///   - `*Batch`: many unrelated points/ids (pixel loops, ConvertTo);
+///   - `*Span`: contiguous id intervals — REGION runs, whole-grid
+///     scans (fastest path, the common case for run-list storage).
+
+/// State-transition tables for one (curve kind, dims). `dims` in [2, 4];
+/// larger dimensionalities fall back to the scalar transforms.
+struct CurveMachine {
+  int dims = 0;
+  int fanout = 0;  // 2^dims digits/corners per level
+  int num_states = 0;
+  // Flattened [num_states][fanout] tables.
+  std::vector<uint8_t> corner_of_digit;
+  std::vector<uint8_t> digit_of_corner;
+  std::vector<uint8_t> next_state;
+
+  const uint8_t* Corners(int state) const {
+    return corner_of_digit.data() + state * fanout;
+  }
+  const uint8_t* Digits(int state) const {
+    return digit_of_corner.data() + state * fanout;
+  }
+  const uint8_t* Next(int state) const {
+    return next_state.data() + state * fanout;
+  }
+};
+
+/// The machine for `kind` in `dims` dimensions, or nullptr when no table
+/// support exists (dims outside [2, 4]). Built lazily, cached for the
+/// process lifetime, verified against the scalar oracle on first use.
+const CurveMachine* TryGetMachine(CurveKind kind, int dims);
+
+/// --- Batch transforms ---------------------------------------------------
+///
+/// Points are interleaved: point k occupies axes[k*dims .. k*dims+dims-1].
+/// All functions accept any dims in [1, kMaxDims] with dims*bits <= 64
+/// (table path for dims in [2, 4], scalar fallback otherwise) and
+/// produce bit-identical results to the scalar transforms.
+
+/// Encodes n points to Hilbert ids.
+void HilbertIndexBatch(const uint32_t* axes, size_t n, int dims, int bits,
+                       uint64_t* ids);
+
+/// Decodes n Hilbert ids to points.
+void HilbertAxesBatch(const uint64_t* ids, size_t n, int dims, int bits,
+                      uint32_t* axes);
+
+/// Decodes the contiguous id span [first, first + n) to points. The
+/// fast path for REGION runs and whole-grid scans.
+void HilbertAxesSpan(uint64_t first, size_t n, int dims, int bits,
+                     uint32_t* axes);
+
+/// Morton counterparts (kept kind-generic so callers need not branch).
+void MortonIndexBatch(const uint32_t* axes, size_t n, int dims, int bits,
+                      uint64_t* ids);
+void MortonAxesBatch(const uint64_t* ids, size_t n, int dims, int bits,
+                     uint32_t* axes);
+void MortonAxesSpan(uint64_t first, size_t n, int dims, int bits,
+                    uint32_t* axes);
+
+/// Kind dispatch.
+void CurveIndexBatch(CurveKind kind, const uint32_t* axes, size_t n, int dims,
+                     int bits, uint64_t* ids);
+void CurveAxesBatch(CurveKind kind, const uint64_t* ids, size_t n, int dims,
+                    int bits, uint32_t* axes);
+void CurveAxesSpan(CurveKind kind, uint64_t first, size_t n, int dims,
+                   int bits, uint32_t* axes);
+
+}  // namespace qbism::curve
+
+#endif  // QBISM_CURVE_ENGINE_H_

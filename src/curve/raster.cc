@@ -1,0 +1,84 @@
+#include "curve/raster.h"
+
+#include "common/macros.h"
+#include "curve/engine.h"
+
+namespace qbism::curve {
+
+namespace {
+
+struct BoxRasterizer {
+  const CurveMachine& m;
+  const uint32_t* lo;
+  const uint32_t* hi;
+  std::vector<IdRun>* out;
+
+  void Emit(uint64_t start, uint64_t end) const {
+    if (!out->empty() && out->back().end + 1 == start) {
+      out->back().end = end;
+    } else {
+      out->push_back(IdRun{start, end});
+    }
+  }
+
+  /// Visits the octant of side 2^level at `origin` reached with curve
+  /// state `state`, whose ids are [prefix, prefix + 2^(dims*level)).
+  /// Precondition: the octant overlaps the box but is not fully inside
+  /// (the parent classifies children before recursing).
+  void Visit(uint32_t state, int level, const uint32_t* origin,
+             uint64_t prefix) const {
+    const int dims = m.dims;
+    const uint32_t half = uint32_t{1} << (level - 1);
+    const uint64_t child_cells = uint64_t{1} << (dims * (level - 1));
+    const uint8_t* corners = m.Corners(static_cast<int>(state));
+    const uint8_t* next = m.Next(static_cast<int>(state));
+    uint32_t child_origin[kMaxDims];
+    for (int j = 0; j < m.fanout; ++j) {
+      uint32_t c = corners[j];
+      bool outside = false, inside = true;
+      for (int i = 0; i < dims; ++i) {
+        uint32_t o = origin[i] + (((c >> i) & 1u) ? half : 0u);
+        child_origin[i] = o;
+        uint32_t last = o + half - 1;
+        outside |= o > hi[i] || last < lo[i];
+        inside &= o >= lo[i] && last <= hi[i];
+      }
+      if (outside) continue;
+      uint64_t child_prefix = prefix + static_cast<uint64_t>(j) * child_cells;
+      if (inside) {
+        Emit(child_prefix, child_prefix + child_cells - 1);
+      } else {
+        // Partial overlap implies level >= 2 here: a single voxel
+        // (level-1 == 0) is always fully inside or outside.
+        Visit(next[j], level - 1, child_origin, child_prefix);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void AppendRunsForBox(CurveKind kind, int dims, int bits, const uint32_t* lo,
+                      const uint32_t* hi, std::vector<IdRun>* out) {
+  QBISM_CHECK(bits >= 1 && bits <= 32 && dims * bits <= 64);
+  const CurveMachine* m = TryGetMachine(kind, dims);
+  QBISM_CHECK(m != nullptr);  // grids are 2-D or 3-D
+  const uint32_t side_max = static_cast<uint32_t>(
+      (uint64_t{1} << bits) - 1);
+  bool empty = false, full = true;
+  for (int i = 0; i < dims; ++i) {
+    QBISM_CHECK(hi[i] <= side_max);
+    empty |= lo[i] > hi[i];
+    full &= lo[i] == 0 && hi[i] == side_max;
+  }
+  if (empty) return;
+  BoxRasterizer raster{*m, lo, hi, out};
+  if (full) {
+    raster.Emit(0, (uint64_t{1} << (dims * bits)) - 1);
+    return;
+  }
+  uint32_t origin[kMaxDims] = {0};
+  raster.Visit(0, bits, origin, 0);
+}
+
+}  // namespace qbism::curve

@@ -1,0 +1,34 @@
+#ifndef QBISM_CURVE_RASTER_H_
+#define QBISM_CURVE_RASTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "curve/curve.h"
+
+namespace qbism::curve {
+
+/// A contiguous interval of curve ids (inclusive bounds). Mirrors
+/// region::Run without the layering inversion (region already depends
+/// on curve).
+struct IdRun {
+  uint64_t start = 0;
+  uint64_t end = 0;
+
+  friend bool operator==(const IdRun&, const IdRun&) = default;
+};
+
+/// Run-native box rasterization: appends, in increasing id order, the
+/// maximal runs of curve ids covering exactly the voxels of the
+/// inclusive axis-aligned box [lo, hi] (dims-length arrays, each
+/// coordinate within [0, 2^bits)). Descends the curve octree and emits
+/// whole octants the moment they are fully inside the box, so the cost
+/// is proportional to the box *surface* (the partially covered
+/// octants), not its volume — no per-voxel ids, no sort. Adjacent
+/// output runs are merged, so the result is canonical.
+void AppendRunsForBox(CurveKind kind, int dims, int bits, const uint32_t* lo,
+                      const uint32_t* hi, std::vector<IdRun>* out);
+
+}  // namespace qbism::curve
+
+#endif  // QBISM_CURVE_RASTER_H_

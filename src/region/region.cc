@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "curve/engine.h"
+#include "curve/raster.h"
 
 namespace qbism::region {
 
@@ -38,17 +40,6 @@ uint64_t PointToId(const GridSpec& grid, curve::CurveKind kind,
   return curve::MortonIndex(axes, grid.dims, grid.bits);
 }
 
-Vec3i IdToPoint(const GridSpec& grid, curve::CurveKind kind, uint64_t id) {
-  uint32_t axes[3] = {0, 0, 0};
-  if (kind == curve::CurveKind::kHilbert) {
-    curve::HilbertAxes(id, grid.dims, grid.bits, axes);
-  } else {
-    curve::MortonAxes(id, grid.dims, grid.bits, axes);
-  }
-  return {static_cast<int32_t>(axes[0]), static_cast<int32_t>(axes[1]),
-          grid.dims == 3 ? static_cast<int32_t>(axes[2]) : 0};
-}
-
 /// Largest rank r such that `start` is aligned to 2^r and 2^r <= len.
 int MaxAlignedRank(uint64_t start, uint64_t len) {
   int align = start == 0 ? 63 : __builtin_ctzll(start);
@@ -56,7 +47,53 @@ int MaxAlignedRank(uint64_t start, uint64_t len) {
   return std::min(align, size);
 }
 
+/// Decode chunk size for the batch span paths: large enough to amortize
+/// the per-chunk call, small enough to stay cache-resident.
+constexpr size_t kSpanChunk = 4096;
+
+/// Calls fn(id, x, y, z) for every id in [start, start + length), with
+/// (x, y, z) its grid point, decoding in table-driven span chunks
+/// (z == 0 on 2-D grids).
+template <typename Fn>
+void ForEachPointInSpan(const GridSpec& grid, curve::CurveKind kind,
+                        uint64_t start, uint64_t length, Fn&& fn) {
+  uint32_t axes[kSpanChunk * 3];
+  const int dims = grid.dims;
+  while (length > 0) {
+    size_t n = static_cast<size_t>(std::min<uint64_t>(length, kSpanChunk));
+    curve::CurveAxesSpan(kind, start, n, dims, grid.bits, axes);
+    const uint32_t* a = axes;
+    for (size_t k = 0; k < n; ++k, a += dims) {
+      fn(start + k, static_cast<int32_t>(a[0]), static_cast<int32_t>(a[1]),
+         dims == 3 ? static_cast<int32_t>(a[2]) : 0);
+    }
+    start += n;
+    length -= n;
+  }
+}
+
 }  // namespace
+
+std::vector<Run> RunsForBox(const GridSpec& grid, curve::CurveKind kind,
+                            const Box3i& box) {
+  int32_t side = static_cast<int32_t>(grid.SideLength());
+  Box3i grid_box{{0, 0, 0}, {side - 1, side - 1, side - 1}};
+  if (grid.dims == 2) grid_box.max.z = 0;
+  Box3i clipped = box.ClippedTo(grid_box);
+  std::vector<Run> runs;
+  if (clipped.Empty()) return runs;
+  const uint32_t lo[3] = {static_cast<uint32_t>(clipped.min.x),
+                          static_cast<uint32_t>(clipped.min.y),
+                          static_cast<uint32_t>(clipped.min.z)};
+  const uint32_t hi[3] = {static_cast<uint32_t>(clipped.max.x),
+                          static_cast<uint32_t>(clipped.max.y),
+                          static_cast<uint32_t>(clipped.max.z)};
+  std::vector<curve::IdRun> raw;
+  curve::AppendRunsForBox(kind, grid.dims, grid.bits, lo, hi, &raw);
+  runs.reserve(raw.size());
+  for (const curve::IdRun& r : raw) runs.push_back(Run{r.start, r.end});
+  return runs;
+}
 
 Result<Region> Region::FromRuns(GridSpec grid, curve::CurveKind kind,
                                 std::vector<Run> runs) {
@@ -89,10 +126,10 @@ Region Region::FromPredicate(
     GridSpec grid, curve::CurveKind kind,
     const std::function<bool(const Vec3i&)>& inside) {
   RegionBuilder builder(grid, kind);
-  uint64_t n = grid.NumCells();
-  for (uint64_t id = 0; id < n; ++id) {
-    if (inside(IdToPoint(grid, kind, id))) builder.AppendId(id);
-  }
+  ForEachPointInSpan(grid, kind, 0, grid.NumCells(),
+                     [&](uint64_t id, int32_t x, int32_t y, int32_t z) {
+                       if (inside(Vec3i{x, y, z})) builder.AppendId(id);
+                     });
   return builder.Build();
 }
 
@@ -113,43 +150,29 @@ Region Region::FromShape(GridSpec grid, curve::CurveKind kind,
     box.min.z = 0;
     box.max.z = 0;
   }
-  std::vector<uint64_t> ids;
-  for (int32_t z = box.min.z; z <= box.max.z; ++z) {
-    for (int32_t y = box.min.y; y <= box.max.y; ++y) {
-      for (int32_t x = box.min.x; x <= box.max.x; ++x) {
-        // Voxel centers at half-integer offsets.
-        geometry::Vec3d center{x + 0.5, y + 0.5, z + 0.5};
-        if (grid.dims == 2) center.z = 0.0;
-        if (shape.Contains(center)) {
-          ids.push_back(PointToId(grid, kind, {x, y, z}));
-        }
-      }
-    }
+  // Walk the bounding box run-natively: the octant descent hands back
+  // the box's voxels already in curve order, so accepted ids feed the
+  // canonical builder directly — no id vector, no sort.
+  RegionBuilder builder(grid, kind);
+  for (const Run& run : RunsForBox(grid, kind, box)) {
+    ForEachPointInSpan(
+        grid, kind, run.start, run.Length(),
+        [&](uint64_t id, int32_t x, int32_t y, int32_t z) {
+          // Voxel centers at half-integer offsets.
+          geometry::Vec3d center{x + 0.5, y + 0.5,
+                                 grid.dims == 2 ? 0.0 : z + 0.5};
+          if (shape.Contains(center)) builder.AppendId(id);
+        });
   }
-  auto result = FromIds(grid, kind, std::move(ids));
-  QBISM_CHECK(result.ok());
-  return result.MoveValue();
+  return builder.Build();
 }
 
 Region Region::FromBox(GridSpec grid, curve::CurveKind kind,
                        const Box3i& box) {
-  int32_t side = static_cast<int32_t>(grid.SideLength());
-  Box3i grid_box{{0, 0, 0}, {side - 1, side - 1, side - 1}};
-  if (grid.dims == 2) grid_box.max.z = 0;
-  Box3i clipped = box.ClippedTo(grid_box);
-  if (clipped.Empty()) return Region(grid, kind);
-  std::vector<uint64_t> ids;
-  ids.reserve(static_cast<size_t>(clipped.VoxelCount()));
-  for (int32_t z = clipped.min.z; z <= clipped.max.z; ++z) {
-    for (int32_t y = clipped.min.y; y <= clipped.max.y; ++y) {
-      for (int32_t x = clipped.min.x; x <= clipped.max.x; ++x) {
-        ids.push_back(PointToId(grid, kind, {x, y, z}));
-      }
-    }
-  }
-  auto result = FromIds(grid, kind, std::move(ids));
-  QBISM_CHECK(result.ok());
-  return result.MoveValue();
+  // The octant descent emits the canonical run list directly.
+  Region region(grid, kind);
+  region.runs_ = RunsForBox(grid, kind, box);
+  return region;
 }
 
 Region Region::Full(GridSpec grid, curve::CurveKind kind) {
@@ -277,11 +300,23 @@ Region Region::Complement() const {
 
 Region Region::ConvertTo(curve::CurveKind kind) const {
   if (kind == kind_) return *this;
-  std::vector<uint64_t> ids;
-  ids.reserve(static_cast<size_t>(VoxelCount()));
+  // Batch re-linearization: span-decode each run under the source curve
+  // and batch-encode under the target. The sort inside FromIds remains —
+  // a run under one curve scatters under the other.
+  std::vector<uint64_t> ids(static_cast<size_t>(VoxelCount()));
+  uint32_t axes[kSpanChunk * 3];
+  size_t cursor = 0;
   for (const Run& r : runs_) {
-    for (uint64_t id = r.start; id <= r.end; ++id) {
-      ids.push_back(PointToId(grid_, kind, IdToPoint(grid_, kind_, id)));
+    uint64_t start = r.start;
+    uint64_t remaining = r.Length();
+    while (remaining > 0) {
+      size_t n = static_cast<size_t>(std::min<uint64_t>(remaining, kSpanChunk));
+      curve::CurveAxesSpan(kind_, start, n, grid_.dims, grid_.bits, axes);
+      curve::CurveIndexBatch(kind, axes, n, grid_.dims, grid_.bits,
+                             ids.data() + cursor);
+      cursor += n;
+      start += n;
+      remaining -= n;
     }
   }
   auto result = FromIds(grid_, kind, std::move(ids));
@@ -366,9 +401,10 @@ std::vector<Vec3i> Region::ToPoints() const {
   std::vector<Vec3i> points;
   points.reserve(static_cast<size_t>(VoxelCount()));
   for (const Run& r : runs_) {
-    for (uint64_t id = r.start; id <= r.end; ++id) {
-      points.push_back(IdToPoint(grid_, kind_, id));
-    }
+    ForEachPointInSpan(grid_, kind_, r.start, r.Length(),
+                       [&](uint64_t, int32_t x, int32_t y, int32_t z) {
+                         points.push_back(Vec3i{x, y, z});
+                       });
   }
   return points;
 }

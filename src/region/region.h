@@ -163,6 +163,15 @@ class Region {
   std::vector<Run> runs_;
 };
 
+/// Run-native rasterization of an axis-aligned box, clipped to the
+/// grid: canonical runs in increasing id order, produced by descending
+/// the curve octree and emitting whole octants (src/curve/raster.h) —
+/// cost proportional to the box surface, not its volume, and no
+/// per-voxel id materialization or sort. This is what FromBox and the
+/// FromShape bounding-box scan are built on.
+std::vector<Run> RunsForBox(const GridSpec& grid, curve::CurveKind kind,
+                            const geometry::Box3i& box);
+
 /// Incremental canonical-region builder: feed ids or runs in strictly
 /// increasing order (merging with the tail where adjacent). Used by the
 /// streaming paths (banding a VOLUME, predicate scans).

@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "curve/curve.h"
+#include "curve/engine.h"
 
 namespace qbism::viz {
 
@@ -58,6 +59,35 @@ void HeatColor(double t, uint8_t* r, uint8_t* g, uint8_t* b) {
   *b = static_cast<uint8_t>(std::lround(255.0 * std::max(0.0, 2.0 * t - 1.0)));
 }
 
+constexpr size_t kSpanChunk = 4096;
+
+/// Splats every non-zero value in values[0..n) (curve ids first..first+n)
+/// by span-decoding the id range in chunks.
+void SplatSpan(Image* image, const View& view, curve::CurveKind kind, int bits,
+               uint64_t first, const uint8_t* values, uint64_t n) {
+  uint32_t axes[kSpanChunk * 3];
+  for (uint64_t start = 0; start < n; start += kSpanChunk) {
+    size_t c = static_cast<size_t>(std::min<uint64_t>(n - start, kSpanChunk));
+    // MIPs of sparse studies are mostly background; decode nothing for an
+    // all-zero chunk.
+    const uint8_t* v = values + start;
+    bool any = false;
+    for (size_t k = 0; k < c; ++k) {
+      if (v[k] != 0) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    curve::CurveAxesSpan(kind, first + start, c, 3, bits, axes);
+    for (size_t k = 0; k < c; ++k) {
+      if (v[k] == 0) continue;
+      Vec3d p{axes[k * 3] + 0.5, axes[k * 3 + 1] + 0.5, axes[k * 3 + 2] + 0.5};
+      Splat(image, view.ToScreen(p), v[k]);
+    }
+  }
+}
+
 }  // namespace
 
 Image RenderMip(const volume::Volume& volume, const Camera& camera) {
@@ -65,13 +95,8 @@ Image RenderMip(const volume::Volume& volume, const Camera& camera) {
   const uint64_t side = volume.grid().SideLength();
   View view = MakeView(camera, side);
   const auto& data = volume.data();
-  for (uint64_t id = 0; id < data.size(); ++id) {
-    uint8_t v = data[id];
-    if (v == 0) continue;  // background contributes nothing to a MIP
-    auto axes = curve::CurvePoint3(volume.curve_kind(), id, volume.grid().bits);
-    Vec3d p{axes[0] + 0.5, axes[1] + 0.5, axes[2] + 0.5};
-    Splat(&image, view.ToScreen(p), v);
-  }
+  SplatSpan(&image, view, volume.curve_kind(), volume.grid().bits, 0,
+            data.data(), data.size());
   return image;
 }
 
@@ -84,13 +109,9 @@ Image RenderMipDataRegion(const volume::DataRegion& data,
   const auto& values = data.values();
   size_t cursor = 0;
   for (const region::Run& run : r.runs()) {
-    for (uint64_t id = run.start; id <= run.end; ++id, ++cursor) {
-      uint8_t v = values[cursor];
-      if (v == 0) continue;
-      auto axes = curve::CurvePoint3(r.curve_kind(), id, r.grid().bits);
-      Vec3d p{axes[0] + 0.5, axes[1] + 0.5, axes[2] + 0.5};
-      Splat(&image, view.ToScreen(p), v);
-    }
+    SplatSpan(&image, view, r.curve_kind(), r.grid().bits, run.start,
+              values.data() + cursor, run.Length());
+    cursor += run.Length();
   }
   return image;
 }

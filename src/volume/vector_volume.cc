@@ -1,8 +1,10 @@
 #include "volume/vector_volume.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/macros.h"
+#include "curve/engine.h"
 
 namespace qbism::volume {
 
@@ -23,11 +25,18 @@ VectorVolume VectorVolume::FromFunction(
   v.components_ = components;
   uint64_t n = grid.NumCells();
   v.data_.resize(n * static_cast<uint64_t>(components));
-  for (uint64_t id = 0; id < n; ++id) {
-    auto axes = curve::CurvePoint3(kind, id, grid.bits);
-    Vec3i p{static_cast<int32_t>(axes[0]), static_cast<int32_t>(axes[1]),
-            static_cast<int32_t>(axes[2])};
-    field(p, v.data_.data() + id * static_cast<uint64_t>(components));
+  constexpr size_t kChunk = 4096;
+  uint32_t axes[kChunk * 3];
+  for (uint64_t start = 0; start < n; start += kChunk) {
+    size_t c = static_cast<size_t>(std::min<uint64_t>(n - start, kChunk));
+    curve::CurveAxesSpan(kind, start, c, grid.dims, grid.bits, axes);
+    for (size_t k = 0; k < c; ++k) {
+      Vec3i p{static_cast<int32_t>(axes[k * 3]),
+              static_cast<int32_t>(axes[k * 3 + 1]),
+              static_cast<int32_t>(axes[k * 3 + 2])};
+      field(p,
+            v.data_.data() + (start + k) * static_cast<uint64_t>(components));
+    }
   }
   return v;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "curve/engine.h"
 
 namespace qbism::volume {
 
@@ -14,17 +15,32 @@ using region::Run;
 
 namespace {
 
-Vec3i IdToPoint(const GridSpec& grid, curve::CurveKind kind, uint64_t id) {
-  auto axes = curve::CurvePoint3(kind, id, grid.bits);
-  return {static_cast<int32_t>(axes[0]), static_cast<int32_t>(axes[1]),
-          static_cast<int32_t>(axes[2])};
-}
-
 uint64_t PointToId(const GridSpec& grid, curve::CurveKind kind,
                    const Vec3i& p) {
   return curve::CurveId3(kind, static_cast<uint32_t>(p.x),
                          static_cast<uint32_t>(p.y),
                          static_cast<uint32_t>(p.z), grid.bits);
+}
+
+/// Whole-grid scans decode curve ids in table-driven span chunks
+/// instead of one bit-serial transform per voxel: fn(id, point) for
+/// every id in [0, grid.NumCells()).
+constexpr size_t kSpanChunk = 4096;
+
+template <typename Fn>
+void ForEachGridPoint(const GridSpec& grid, curve::CurveKind kind, Fn&& fn) {
+  uint32_t axes[kSpanChunk * 3];
+  uint64_t n = grid.NumCells();
+  for (uint64_t start = 0; start < n; start += kSpanChunk) {
+    size_t c = static_cast<size_t>(std::min<uint64_t>(n - start, kSpanChunk));
+    curve::CurveAxesSpan(kind, start, c, grid.dims, grid.bits, axes);
+    const uint32_t* a = axes;
+    for (size_t k = 0; k < c; ++k, a += 3) {
+      fn(start + k,
+         Vec3i{static_cast<int32_t>(a[0]), static_cast<int32_t>(a[1]),
+               static_cast<int32_t>(a[2])});
+    }
+  }
 }
 
 }  // namespace
@@ -36,11 +52,10 @@ Volume Volume::FromFunction(
   Volume v;
   v.grid_ = grid;
   v.kind_ = kind;
-  uint64_t n = grid.NumCells();
-  v.data_.resize(n);
-  for (uint64_t id = 0; id < n; ++id) {
-    v.data_[id] = field(IdToPoint(grid, kind, id));
-  }
+  v.data_.resize(grid.NumCells());
+  ForEachGridPoint(grid, kind, [&](uint64_t id, const Vec3i& p) {
+    v.data_[id] = field(p);
+  });
   return v;
 }
 
@@ -70,14 +85,13 @@ Result<Volume> Volume::FromScanlineData(GridSpec grid, curve::CurveKind kind,
   }
   uint64_t side = grid.SideLength();
   std::vector<uint8_t> ordered(data.size());
-  for (uint64_t id = 0; id < data.size(); ++id) {
-    Vec3i p = IdToPoint(grid, kind, id);
+  ForEachGridPoint(grid, kind, [&](uint64_t id, const Vec3i& p) {
     uint64_t scanline = (static_cast<uint64_t>(p.z) * side +
                          static_cast<uint64_t>(p.y)) *
                             side +
                         static_cast<uint64_t>(p.x);
     ordered[id] = data[scanline];
-  }
+  });
   return FromCurveOrderedData(grid, kind, std::move(ordered));
 }
 
@@ -94,9 +108,16 @@ Volume Volume::ConvertTo(curve::CurveKind kind) const {
   v.grid_ = grid_;
   v.kind_ = kind;
   v.data_.resize(data_.size());
-  for (uint64_t id = 0; id < data_.size(); ++id) {
-    Vec3i p = IdToPoint(grid_, kind, id);
-    v.data_[id] = data_[PointToId(grid_, kind_, p)];
+  // Gather: span-decode the destination order, batch-encode each chunk
+  // back into the source order.
+  uint32_t axes[kSpanChunk * 3];
+  uint64_t src[kSpanChunk];
+  uint64_t n = data_.size();
+  for (uint64_t start = 0; start < n; start += kSpanChunk) {
+    size_t c = static_cast<size_t>(std::min<uint64_t>(n - start, kSpanChunk));
+    curve::CurveAxesSpan(kind, start, c, grid_.dims, grid_.bits, axes);
+    curve::CurveIndexBatch(kind_, axes, c, grid_.dims, grid_.bits, src);
+    for (size_t k = 0; k < c; ++k) v.data_[start + k] = data_[src[k]];
   }
   return v;
 }
@@ -104,14 +125,13 @@ Volume Volume::ConvertTo(curve::CurveKind kind) const {
 std::vector<uint8_t> Volume::ToScanline() const {
   uint64_t side = grid_.SideLength();
   std::vector<uint8_t> out(data_.size());
-  for (uint64_t id = 0; id < data_.size(); ++id) {
-    Vec3i p = IdToPoint(grid_, kind_, id);
+  ForEachGridPoint(grid_, kind_, [&](uint64_t id, const Vec3i& p) {
     uint64_t scanline = (static_cast<uint64_t>(p.z) * side +
                          static_cast<uint64_t>(p.y)) *
                             side +
                         static_cast<uint64_t>(p.x);
     out[scanline] = data_[id];
-  }
+  });
   return out;
 }
 
@@ -152,12 +172,29 @@ Region Volume::BandRegion(uint8_t lo, uint8_t hi) const {
 
 std::vector<Region> Volume::UniformBands(int width) const {
   QBISM_CHECK(width >= 1 && width <= 256);
-  std::vector<Region> bands;
-  for (int lo = 0; lo < 256; lo += width) {
-    int hi = std::min(lo + width - 1, 255);
-    bands.push_back(BandRegion(static_cast<uint8_t>(lo),
-                               static_cast<uint8_t>(hi)));
+  // One scan for all bands (instead of one BandRegion scan per band):
+  // voxel intensity / width names the band, runs close on band change.
+  std::vector<RegionBuilder> builders;
+  int num_bands = (255 / width) + 1;
+  builders.reserve(static_cast<size_t>(num_bands));
+  for (int b = 0; b < num_bands; ++b) builders.emplace_back(grid_, kind_);
+  uint64_t n = data_.size();
+  if (n > 0) {
+    int current = data_[0] / width;
+    uint64_t run_start = 0;
+    for (uint64_t id = 1; id < n; ++id) {
+      int b = data_[id] / width;
+      if (b != current) {
+        builders[current].AppendRun(run_start, id - 1);
+        current = b;
+        run_start = id;
+      }
+    }
+    builders[current].AppendRun(run_start, n - 1);
   }
+  std::vector<Region> bands;
+  bands.reserve(builders.size());
+  for (RegionBuilder& builder : builders) bands.push_back(builder.Build());
   return bands;
 }
 

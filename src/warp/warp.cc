@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "curve/engine.h"
 
 namespace qbism::warp {
 
@@ -57,19 +58,36 @@ volume::Volume WarpToAtlas(const RawVolume& raw,
                            const region::GridSpec& atlas_grid,
                            curve::CurveKind kind) {
   QBISM_CHECK(atlas_grid.dims == 3);
-  return volume::Volume::FromFunction(
-      atlas_grid, kind, [&](const Vec3i& p) -> uint8_t {
-        Vec3d patient = atlas_to_patient.Apply(
-            Vec3d{p.x + 0.5, p.y + 0.5, p.z + 0.5});
-        // Outside the acquired study: no signal.
-        if (patient.x < -0.5 || patient.x > raw.nx() - 0.5 ||
-            patient.y < -0.5 || patient.y > raw.ny() - 0.5 ||
-            patient.z < -0.5 || patient.z > raw.nz() - 0.5) {
-          return 0;
-        }
-        double v = raw.Trilinear(patient.x, patient.y, patient.z);
-        return static_cast<uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
-      });
+  // The study-build hot loop: decode the atlas grid in span chunks (the
+  // table-driven engine amortizes consecutive ids) and resample inline,
+  // skipping the per-voxel std::function dispatch of Volume::FromFunction.
+  uint64_t n = atlas_grid.NumCells();
+  std::vector<uint8_t> data(n);
+  constexpr size_t kChunk = 4096;
+  uint32_t axes[kChunk * 3];
+  for (uint64_t start = 0; start < n; start += kChunk) {
+    size_t c = static_cast<size_t>(std::min<uint64_t>(n - start, kChunk));
+    curve::CurveAxesSpan(kind, start, c, atlas_grid.dims, atlas_grid.bits,
+                         axes);
+    for (size_t k = 0; k < c; ++k) {
+      Vec3d patient = atlas_to_patient.Apply(Vec3d{axes[k * 3] + 0.5,
+                                                   axes[k * 3 + 1] + 0.5,
+                                                   axes[k * 3 + 2] + 0.5});
+      // Outside the acquired study: no signal.
+      if (patient.x < -0.5 || patient.x > raw.nx() - 0.5 ||
+          patient.y < -0.5 || patient.y > raw.ny() - 0.5 ||
+          patient.z < -0.5 || patient.z > raw.nz() - 0.5) {
+        data[start + k] = 0;
+        continue;
+      }
+      double v = raw.Trilinear(patient.x, patient.y, patient.z);
+      data[start + k] = static_cast<uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
+    }
+  }
+  auto volume =
+      volume::Volume::FromCurveOrderedData(atlas_grid, kind, std::move(data));
+  QBISM_CHECK(volume.ok());
+  return volume.MoveValue();
 }
 
 }  // namespace qbism::warp

@@ -1,0 +1,191 @@
+#include "curve/engine.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qbism::curve {
+namespace {
+
+class EngineFuzzTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(EngineFuzzTest, BatchDecodeMatchesScalar) {
+  auto [dims, bits] = GetParam();
+  uint64_t n = uint64_t{1} << (dims * bits);
+  Rng rng(1000 + static_cast<uint64_t>(dims * 100 + bits));
+  size_t samples = static_cast<size_t>(std::min<uint64_t>(n, 4096));
+  std::vector<uint64_t> ids(samples);
+  for (size_t k = 0; k < samples; ++k) {
+    ids[k] = n <= samples ? k : rng.NextBounded(n);
+  }
+  std::vector<uint32_t> batch(samples * static_cast<size_t>(dims));
+  HilbertAxesBatch(ids.data(), samples, dims, bits, batch.data());
+  uint32_t expect[kMaxDims];
+  for (size_t k = 0; k < samples; ++k) {
+    HilbertAxes(ids[k], dims, bits, expect);
+    for (int i = 0; i < dims; ++i) {
+      ASSERT_EQ(batch[k * static_cast<size_t>(dims) + i], expect[i])
+          << "id " << ids[k] << " dims " << dims << " bits " << bits;
+    }
+  }
+}
+
+TEST_P(EngineFuzzTest, BatchEncodeMatchesScalarAndRoundTrips) {
+  auto [dims, bits] = GetParam();
+  Rng rng(2000 + static_cast<uint64_t>(dims * 100 + bits));
+  size_t samples = 4096;
+  std::vector<uint32_t> axes(samples * static_cast<size_t>(dims));
+  for (auto& a : axes) {
+    a = static_cast<uint32_t>(rng.NextBounded(uint64_t{1} << bits));
+  }
+  std::vector<uint64_t> ids(samples);
+  HilbertIndexBatch(axes.data(), samples, dims, bits, ids.data());
+  for (size_t k = 0; k < samples; ++k) {
+    ASSERT_EQ(ids[k],
+              HilbertIndex(axes.data() + k * static_cast<size_t>(dims), dims,
+                           bits));
+  }
+  std::vector<uint32_t> back(axes.size());
+  HilbertAxesBatch(ids.data(), samples, dims, bits, back.data());
+  ASSERT_EQ(back, axes);
+}
+
+TEST_P(EngineFuzzTest, SpanDecodeMatchesScalar) {
+  auto [dims, bits] = GetParam();
+  uint64_t n = uint64_t{1} << (dims * bits);
+  Rng rng(3000 + static_cast<uint64_t>(dims * 100 + bits));
+  for (int trial = 0; trial < 8; ++trial) {
+    uint64_t first = rng.NextBounded(n);
+    size_t len = static_cast<size_t>(
+        std::min<uint64_t>(n - first, 1 + rng.NextBounded(2048)));
+    std::vector<uint32_t> span(len * static_cast<size_t>(dims));
+    HilbertAxesSpan(first, len, dims, bits, span.data());
+    uint32_t expect[kMaxDims];
+    for (size_t k = 0; k < len; ++k) {
+      HilbertAxes(first + k, dims, bits, expect);
+      for (int i = 0; i < dims; ++i) {
+        ASSERT_EQ(span[k * static_cast<size_t>(dims) + i], expect[i])
+            << "id " << first + k;
+      }
+    }
+  }
+}
+
+TEST_P(EngineFuzzTest, SpanDecodeHilbertAdjacencyInvariant) {
+  // Consecutive Hilbert ids differ in exactly one axis, by exactly 1 —
+  // checked on the batch path itself, not just the scalar oracle.
+  auto [dims, bits] = GetParam();
+  uint64_t n = uint64_t{1} << (dims * bits);
+  Rng rng(4000 + static_cast<uint64_t>(dims * 100 + bits));
+  uint64_t first = n <= 8192 ? 0 : rng.NextBounded(n - 8192);
+  size_t len = static_cast<size_t>(std::min<uint64_t>(n - first, 8192));
+  std::vector<uint32_t> span(len * static_cast<size_t>(dims));
+  HilbertAxesSpan(first, len, dims, bits, span.data());
+  for (size_t k = 1; k < len; ++k) {
+    int total_diff = 0;
+    for (int i = 0; i < dims; ++i) {
+      total_diff += std::abs(
+          static_cast<int64_t>(span[k * static_cast<size_t>(dims) + i]) -
+          static_cast<int64_t>(span[(k - 1) * static_cast<size_t>(dims) + i]));
+    }
+    ASSERT_EQ(total_diff, 1) << "ids " << first + k - 1 << " -> " << first + k;
+  }
+}
+
+TEST_P(EngineFuzzTest, MortonBatchMatchesScalar) {
+  auto [dims, bits] = GetParam();
+  uint64_t n = uint64_t{1} << (dims * bits);
+  Rng rng(5000 + static_cast<uint64_t>(dims * 100 + bits));
+  size_t samples = 2048;
+  std::vector<uint64_t> ids(samples);
+  for (auto& id : ids) id = rng.NextBounded(n);
+  std::vector<uint32_t> axes(samples * static_cast<size_t>(dims));
+  MortonAxesBatch(ids.data(), samples, dims, bits, axes.data());
+  uint32_t expect[kMaxDims];
+  for (size_t k = 0; k < samples; ++k) {
+    MortonAxes(ids[k], dims, bits, expect);
+    for (int i = 0; i < dims; ++i) {
+      ASSERT_EQ(axes[k * static_cast<size_t>(dims) + i], expect[i]);
+    }
+  }
+  std::vector<uint64_t> back(samples);
+  MortonIndexBatch(axes.data(), samples, dims, bits, back.data());
+  ASSERT_EQ(back, ids);
+  std::vector<uint32_t> span(axes.size());
+  uint64_t first = rng.NextBounded(n - std::min<uint64_t>(n, samples) + 1);
+  size_t len = static_cast<size_t>(std::min<uint64_t>(n - first, samples));
+  MortonAxesSpan(first, len, dims, bits, span.data());
+  for (size_t k = 0; k < len; ++k) {
+    MortonAxes(first + k, dims, bits, expect);
+    for (int i = 0; i < dims; ++i) {
+      ASSERT_EQ(span[k * static_cast<size_t>(dims) + i], expect[i]);
+    }
+  }
+}
+
+std::vector<std::tuple<int, int>> FuzzGrids() {
+  std::vector<std::tuple<int, int>> grids;
+  for (int dims = 2; dims <= 3; ++dims) {
+    for (int bits = 1; bits <= 10; ++bits) grids.push_back({dims, bits});
+  }
+  return grids;
+}
+
+INSTANTIATE_TEST_SUITE_P(DimsBits, EngineFuzzTest,
+                         ::testing::ValuesIn(FuzzGrids()));
+
+TEST(EngineTest, MachineAvailability) {
+  for (CurveKind kind : {CurveKind::kHilbert, CurveKind::kZ}) {
+    for (int dims = 2; dims <= 4; ++dims) {
+      const CurveMachine* m = TryGetMachine(kind, dims);
+      ASSERT_NE(m, nullptr);
+      EXPECT_EQ(m->dims, dims);
+      EXPECT_EQ(m->fanout, 1 << dims);
+      EXPECT_GE(m->num_states, 1);
+    }
+    EXPECT_EQ(TryGetMachine(kind, 1), nullptr);
+    EXPECT_EQ(TryGetMachine(kind, 5), nullptr);
+  }
+  // The 3-D Hilbert machine is the classic 12-state automaton; Z needs
+  // a single state in any dimensionality.
+  EXPECT_EQ(TryGetMachine(CurveKind::kZ, 3)->num_states, 1);
+}
+
+TEST(EngineTest, ScalarFallbackForHighDims) {
+  // dims = 5 has no tables; the batch API must still agree with scalar.
+  const int dims = 5, bits = 3;
+  Rng rng(7);
+  size_t samples = 512;
+  std::vector<uint64_t> ids(samples);
+  for (auto& id : ids) id = rng.NextBounded(uint64_t{1} << (dims * bits));
+  std::vector<uint32_t> axes(samples * dims);
+  HilbertAxesBatch(ids.data(), samples, dims, bits, axes.data());
+  std::vector<uint64_t> back(samples);
+  HilbertIndexBatch(axes.data(), samples, dims, bits, back.data());
+  EXPECT_EQ(back, ids);
+  uint32_t expect[kMaxDims];
+  HilbertAxes(ids[0], dims, bits, expect);
+  for (int i = 0; i < dims; ++i) EXPECT_EQ(axes[i], expect[i]);
+}
+
+TEST(EngineTest, EmptyAndFullSpans) {
+  HilbertAxesSpan(0, 0, 3, 7, nullptr);  // n = 0 touches nothing
+  const int bits = 2;
+  uint64_t n = uint64_t{1} << (3 * bits);
+  std::vector<uint32_t> span(static_cast<size_t>(n) * 3);
+  HilbertAxesSpan(0, static_cast<size_t>(n), 3, bits, span.data());
+  uint32_t expect[kMaxDims];
+  for (uint64_t id = 0; id < n; ++id) {
+    HilbertAxes(id, 3, bits, expect);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(span[static_cast<size_t>(id) * 3 + i], expect[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qbism::curve

@@ -1,0 +1,172 @@
+#include "curve/raster.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "curve/curve.h"
+
+namespace qbism::curve {
+namespace {
+
+/// Reference rasterization: scalar-encode every voxel of the box, sort,
+/// and coalesce into runs — the exact per-voxel path the octant descent
+/// replaces.
+std::vector<IdRun> ReferenceRuns(CurveKind kind, int dims, int bits,
+                                 const uint32_t* lo, const uint32_t* hi) {
+  std::vector<uint64_t> ids;
+  uint32_t axes[kMaxDims] = {0};
+  for (int i = 0; i < dims; ++i) {
+    if (lo[i] > hi[i]) return {};
+  }
+  // Up to 4 dims via nested odometer.
+  uint32_t p[kMaxDims];
+  for (int i = 0; i < dims; ++i) p[i] = lo[i];
+  while (true) {
+    for (int i = 0; i < dims; ++i) axes[i] = p[i];
+    ids.push_back(kind == CurveKind::kHilbert
+                      ? HilbertIndex(axes, dims, bits)
+                      : MortonIndex(axes, dims, bits));
+    int i = 0;
+    while (i < dims && p[i] == hi[i]) {
+      p[i] = lo[i];
+      ++i;
+    }
+    if (i == dims) break;
+    ++p[i];
+  }
+  std::sort(ids.begin(), ids.end());
+  std::vector<IdRun> runs;
+  for (uint64_t id : ids) {
+    if (!runs.empty() && runs.back().end + 1 == id) {
+      runs.back().end = id;
+    } else {
+      runs.push_back(IdRun{id, id});
+    }
+  }
+  return runs;
+}
+
+void ExpectCanonical(const std::vector<IdRun>& runs) {
+  for (size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_LE(runs[i].start, runs[i].end);
+    if (i > 0) {
+      EXPECT_GT(runs[i].start, runs[i - 1].end + 1);
+    }
+  }
+}
+
+class RasterTest
+    : public ::testing::TestWithParam<std::tuple<CurveKind, int, int>> {};
+
+TEST_P(RasterTest, MatchesPerVoxelReferenceOnRandomBoxes) {
+  auto [kind, dims, bits] = GetParam();
+  uint32_t side = uint32_t{1} << bits;
+  Rng rng(static_cast<uint64_t>(dims * 1000 + bits * 10 +
+                                (kind == CurveKind::kZ ? 1 : 0)));
+  for (int trial = 0; trial < 24; ++trial) {
+    uint32_t lo[kMaxDims], hi[kMaxDims];
+    for (int i = 0; i < dims; ++i) {
+      uint32_t a = static_cast<uint32_t>(rng.NextBounded(side));
+      uint32_t b = static_cast<uint32_t>(rng.NextBounded(side));
+      lo[i] = std::min(a, b);
+      hi[i] = std::max(a, b);
+    }
+    std::vector<IdRun> got;
+    AppendRunsForBox(kind, dims, bits, lo, hi, &got);
+    EXPECT_EQ(got, ReferenceRuns(kind, dims, bits, lo, hi));
+    ExpectCanonical(got);
+  }
+}
+
+TEST_P(RasterTest, FullGridIsOneRun) {
+  auto [kind, dims, bits] = GetParam();
+  uint32_t lo[kMaxDims] = {0}, hi[kMaxDims];
+  for (int i = 0; i < dims; ++i) hi[i] = (uint32_t{1} << bits) - 1;
+  std::vector<IdRun> runs;
+  AppendRunsForBox(kind, dims, bits, lo, hi, &runs);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].start, 0u);
+  EXPECT_EQ(runs[0].end, (uint64_t{1} << (dims * bits)) - 1);
+}
+
+TEST_P(RasterTest, SingleVoxelBoxes) {
+  auto [kind, dims, bits] = GetParam();
+  uint32_t side = uint32_t{1} << bits;
+  Rng rng(99);
+  for (int trial = 0; trial < 16; ++trial) {
+    uint32_t p[kMaxDims];
+    for (int i = 0; i < dims; ++i) {
+      p[i] = static_cast<uint32_t>(rng.NextBounded(side));
+    }
+    std::vector<IdRun> runs;
+    AppendRunsForBox(kind, dims, bits, p, p, &runs);
+    uint64_t id = kind == CurveKind::kHilbert ? HilbertIndex(p, dims, bits)
+                                              : MortonIndex(p, dims, bits);
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0], (IdRun{id, id}));
+  }
+}
+
+TEST_P(RasterTest, EmptyBoxAppendsNothing) {
+  auto [kind, dims, bits] = GetParam();
+  uint32_t lo[kMaxDims], hi[kMaxDims];
+  for (int i = 0; i < dims; ++i) {
+    lo[i] = 1;
+    hi[i] = 0;
+  }
+  std::vector<IdRun> runs;
+  AppendRunsForBox(kind, dims, bits, lo, hi, &runs);
+  EXPECT_TRUE(runs.empty());
+}
+
+std::vector<std::tuple<CurveKind, int, int>> RasterGrids() {
+  std::vector<std::tuple<CurveKind, int, int>> grids;
+  for (CurveKind kind : {CurveKind::kHilbert, CurveKind::kZ}) {
+    for (int dims = 2; dims <= 3; ++dims) {
+      for (int bits = 1; bits <= 5; ++bits) grids.push_back({kind, dims, bits});
+    }
+  }
+  return grids;
+}
+
+INSTANTIATE_TEST_SUITE_P(KindDimsBits, RasterTest,
+                         ::testing::ValuesIn(RasterGrids()));
+
+TEST(RasterTest, AppendsAfterExistingRunsWithMerge) {
+  // A caller streaming boxes in id order sees back-merging when the new
+  // first run is id-adjacent to the existing tail.
+  uint32_t p[3];
+  HilbertAxes(10, 3, 2, p);
+  std::vector<IdRun> runs{{5, 9}};
+  AppendRunsForBox(CurveKind::kHilbert, 3, 2, p, p, &runs);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (IdRun{5, 10}));
+}
+
+TEST(RasterTest, VoxelCountAlwaysMatchesBoxVolume) {
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int bits = 7;  // the paper's 128^3 atlas grid
+    uint32_t lo[3], hi[3];
+    uint64_t volume = 1;
+    for (int i = 0; i < 3; ++i) {
+      uint32_t a = static_cast<uint32_t>(rng.NextBounded(128));
+      uint32_t b = static_cast<uint32_t>(rng.NextBounded(128));
+      lo[i] = std::min(a, b);
+      hi[i] = std::max(a, b);
+      volume *= hi[i] - lo[i] + 1;
+    }
+    std::vector<IdRun> runs;
+    AppendRunsForBox(CurveKind::kHilbert, 3, bits, lo, hi, &runs);
+    uint64_t count = 0;
+    for (const IdRun& r : runs) count += r.end - r.start + 1;
+    EXPECT_EQ(count, volume);
+    ExpectCanonical(runs);
+  }
+}
+
+}  // namespace
+}  // namespace qbism::curve
