@@ -1,0 +1,111 @@
+#include "common/task_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace qbism {
+
+TaskPool::TaskPool(int num_threads) {
+  threads_.reserve(static_cast<size_t>(std::max(0, num_threads)));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { HelperLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() { Shutdown(); }
+
+void TaskPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+TaskPool::Stats TaskPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int TaskPool::FairShare(const Batch& batch) const {
+  // Threads are split evenly across the batches that still have
+  // unclaimed work; a batch never holds more helpers than its own cap.
+  int contenders = 0;
+  for (const Batch* b : active_) {
+    if (b->HasWork()) ++contenders;
+  }
+  if (contenders == 0) return 0;
+  int share = std::max(1, static_cast<int>(threads_.size()) / contenders);
+  return std::min(share, batch.max_helpers);
+}
+
+void TaskPool::RunOneTask(std::unique_lock<std::mutex>& lock, Batch* batch) {
+  size_t index = batch->next++;
+  ++batch->running;
+  std::function<Status()> task = std::move(batch->tasks[index]);
+  ++stats_.tasks;
+  lock.unlock();
+  Status status = task();
+  lock.lock();
+  --batch->running;
+  if (!status.ok() && batch->first_error.ok()) {
+    batch->first_error = std::move(status);
+    // Abandon unstarted tasks: the batch's outcome is already decided,
+    // and a deadline/cancel abort should not grind through the rest.
+    batch->next = batch->tasks.size();
+  }
+  if (batch->Done()) done_cv_.notify_all();
+}
+
+Status TaskPool::RunBatch(std::vector<std::function<Status()>> tasks,
+                          int max_helpers) {
+  Batch batch;
+  batch.tasks = std::move(tasks);
+  batch.max_helpers = std::max(0, max_helpers);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  active_.push_back(&batch);
+  if (batch.max_helpers > 0 && !threads_.empty()) work_cv_.notify_all();
+  // The caller is the batch's first worker: it claims tasks until none
+  // remain, then waits for helpers to drain the in-flight tail.
+  while (batch.HasWork()) RunOneTask(lock, &batch);
+  done_cv_.wait(lock, [&] { return batch.Done(); });
+  active_.remove(&batch);
+  ++stats_.batches;
+  return batch.first_error;
+}
+
+void TaskPool::HelperLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    Batch* batch = nullptr;
+    work_cv_.wait(lock, [&] {
+      if (stop_) return true;
+      for (Batch* b : active_) {
+        if (b->HasWork() && b->helpers < FairShare(*b)) {
+          batch = b;
+          return true;
+        }
+      }
+      return false;
+    });
+    if (batch == nullptr) {
+      if (stop_) return;
+      continue;
+    }
+    // Stay attached to this batch while it has work and our presence is
+    // within its fair share; re-evaluate both after every task so load
+    // shifts rebalance promptly.
+    ++batch->helpers;
+    while (batch->HasWork() && batch->helpers <= FairShare(*batch)) {
+      ++stats_.helper_tasks;
+      RunOneTask(lock, batch);
+    }
+    --batch->helpers;
+    if (batch->Done()) done_cv_.notify_all();
+  }
+}
+
+}  // namespace qbism

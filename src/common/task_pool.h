@@ -1,0 +1,92 @@
+#ifndef QBISM_COMMON_TASK_POOL_H_
+#define QBISM_COMMON_TASK_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qbism {
+
+/// A donation pool for intra-query parallelism: a fixed set of helper
+/// threads that *join* batches of tasks submitted by caller threads.
+/// Unlike a classic executor, the submitting thread is always the first
+/// worker of its own batch — RunBatch makes progress even with zero
+/// pool threads (or after Shutdown), so callers never deadlock on pool
+/// capacity and a serial environment degrades to plain inline
+/// execution.
+///
+/// Fairness: when several batches are in flight the pool splits its
+/// threads evenly across them (each batch may hold at most
+/// `threads / active_batches` helpers, and never more than the batch's
+/// own `max_helpers` cap). A single huge batch therefore cannot starve
+/// later arrivals — the cap is re-evaluated every time a helper picks
+/// its next task.
+class TaskPool {
+ public:
+  /// Snapshot of pool activity (monotonic counters).
+  struct Stats {
+    uint64_t batches = 0;       // RunBatch calls completed
+    uint64_t tasks = 0;         // tasks executed (any thread)
+    uint64_t helper_tasks = 0;  // tasks executed by pool threads
+  };
+
+  explicit TaskPool(int num_threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs every task to completion on the calling thread plus up to
+  /// `max_helpers` pool threads, and returns the first non-OK status
+  /// (remaining unstarted tasks are skipped once a task fails; tasks
+  /// already running are allowed to finish). Tasks must be safe to run
+  /// concurrently with each other.
+  Status RunBatch(std::vector<std::function<Status()>> tasks,
+                  int max_helpers);
+
+  /// Joins the helper threads. Idempotent; the destructor calls it.
+  /// RunBatch keeps working afterwards (caller-only execution).
+  void Shutdown();
+
+  Stats stats() const;
+
+ private:
+  struct Batch {
+    std::vector<std::function<Status()>> tasks;
+    size_t next = 0;    // first unclaimed task
+    int running = 0;    // tasks currently executing (any thread)
+    int helpers = 0;    // pool threads currently inside this batch
+    int max_helpers = 0;
+    Status first_error;
+
+    bool HasWork() const { return next < tasks.size(); }
+    bool Done() const { return !HasWork() && running == 0; }
+  };
+
+  void HelperLoop();
+  /// Caller holds mu_. The per-batch helper cap under the current load.
+  int FairShare(const Batch& batch) const;
+  /// Caller holds mu_. Claims and runs one task of `batch` (dropping
+  /// the lock for the task body); records a failure into the batch.
+  void RunOneTask(std::unique_lock<std::mutex>& lock, Batch* batch);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // helpers: new work or shutdown
+  std::condition_variable done_cv_;  // batch owners: batch completion
+  std::list<Batch*> active_;         // guarded by mu_
+  bool stop_ = false;                // guarded by mu_
+  Stats stats_;                      // guarded by mu_
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace qbism
+
+#endif  // QBISM_COMMON_TASK_POOL_H_

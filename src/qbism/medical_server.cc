@@ -205,6 +205,10 @@ Result<StudyQueryResult> MedicalServer::RunStudyQuery(
   }
 
   QBISM_RETURN_NOT_OK(Checkpoint());
+  // Extraction runs at UDF depth, below the per-stage checkpoints; the
+  // thread-local hook lets it poll the same deadline/cancel state
+  // between shard batches and scan chunks.
+  ParallelExtractor::ScopedThreadInterrupt extract_interrupt(interrupt_);
   out.info_sql = BuildInfoSql(spec);
   QBISM_ASSIGN_OR_RETURN(out.data_sql, BuildDataSql(spec));
 
@@ -350,6 +354,7 @@ Result<StudyQueryResult> MedicalServer::AverageInStructure(
   // Per-study extraction: the database touches only the pages of each
   // study the structure covers, accumulates sums, and the network ships
   // just one averaged DATA_REGION — the §6.4 linear traffic reduction.
+  ParallelExtractor::ScopedThreadInterrupt extract_interrupt(interrupt_);
   std::vector<uint32_t> sums(static_cast<size_t>(structure.VoxelCount()), 0);
   for (int study_id : study_ids) {
     std::string handle_sql =

@@ -1,0 +1,164 @@
+#ifndef QBISM_QBISM_PARALLEL_EXTRACTOR_H_
+#define QBISM_QBISM_PARALLEL_EXTRACTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/task_pool.h"
+#include "storage/long_field.h"
+
+namespace qbism {
+
+/// Tuning knobs for the vectored extraction executor.
+struct ExtractOptions {
+  /// Passed to the LFM read planner: page gaps up to this size are read
+  /// through rather than paying a seek.
+  uint64_t gap_fill_pages = 1;
+  /// Plans moving fewer pages than this run inline on the caller —
+  /// sharding a tiny read costs more in coordination than it saves.
+  uint64_t min_parallel_pages = 64;
+  /// Upper bound on the number of shard tasks per extraction.
+  int max_shards = 16;
+  /// Upper bound on pool helpers donated to one extraction (the pool's
+  /// fair-share policy may grant fewer under load).
+  int max_helpers = 8;
+  /// Per-shard IOError retries. Default off: the query service owns
+  /// transient-fault recovery (whole-query retries), and the fault
+  /// sweep asserts that the bare extraction path surfaces every injected
+  /// fault exactly once. Enable for embedded uses with no retry layer
+  /// above.
+  int max_io_retries = 0;
+};
+
+/// Monotonic counters for the extraction fast path. `operator-` yields
+/// the delta between two snapshots (the service reports per-lifetime
+/// deltas on a shared extractor).
+struct ExtractorStatsSnapshot {
+  uint64_t extractions = 0;    // ExtractBytes calls completed OK
+  uint64_t scans = 0;          // ScanField calls completed OK
+  uint64_t runs = 0;           // input byte ranges (region runs)
+  uint64_t extents_planned = 0;
+  uint64_t pages_read = 0;     // pages actually transferred
+  uint64_t pages_demanded = 0; // per-run page sum (the seed path's cost)
+  uint64_t bytes_moved = 0;    // payload bytes delivered
+  uint64_t shard_tasks = 0;    // tasks executed (caller + helpers)
+  uint64_t helper_tasks = 0;   // tasks executed by donated threads
+  uint64_t io_retries = 0;
+  double busy_seconds = 0.0;   // summed wall time inside shard tasks
+  double wall_seconds = 0.0;   // summed wall time of extractions
+
+  /// How many page transfers the per-run seed path would have issued for
+  /// each page the planner actually read (>= 1; higher is better).
+  double CoalescingRatio() const {
+    return pages_read == 0
+               ? 1.0
+               : static_cast<double>(pages_demanded) /
+                     static_cast<double>(pages_read);
+  }
+
+  /// Average number of threads concurrently inside shard tasks (1.0 =
+  /// fully serial; approaches the worker count when sharding is wide).
+  double ParallelEfficiency() const {
+    return wall_seconds <= 0.0 ? 1.0 : busy_seconds / wall_seconds;
+  }
+
+  ExtractorStatsSnapshot operator-(const ExtractorStatsSnapshot& o) const;
+};
+
+/// The vectored, parallel EXTRACT_DATA executor: plans a region's run
+/// list into coalesced page extents (LongFieldManager::PlanRead), shards
+/// the extents across a donation TaskPool, and scatters each batch read
+/// directly into the caller's pre-sized result buffer at precomputed
+/// offsets — one copy from the device store to the DATA_REGION, no
+/// per-range intermediate buffers.
+///
+/// Thread-safe: many queries may extract through one executor at once
+/// (the query service shares one across its workers). The pool pointer
+/// is set at configuration time, before concurrent use.
+class ParallelExtractor {
+ public:
+  explicit ParallelExtractor(storage::LongFieldManager* lfm,
+                             ExtractOptions options = {});
+
+  /// Donation pool for intra-query parallelism; nullptr (the default)
+  /// runs every extraction inline on the caller. Not owned.
+  void set_pool(TaskPool* pool) {
+    pool_.store(pool, std::memory_order_release);
+  }
+  TaskPool* pool() const { return pool_.load(std::memory_order_acquire); }
+
+  const ExtractOptions& options() const { return options_; }
+  storage::LongFieldManager* lfm() const { return lfm_; }
+
+  /// Reads `ranges` (sorted ascending, pairwise disjoint — a region's
+  /// run list in byte form) from the field and returns their bytes
+  /// concatenated in range order. This is the EXTRACT_DATA data path:
+  /// the returned buffer is exactly a DATA_REGION's value array.
+  Result<std::vector<uint8_t>> ExtractBytes(
+      storage::LongFieldId field,
+      const std::vector<storage::ByteRange>& ranges) const;
+
+  /// Streams the whole field through `fn` in page-aligned chunks of at
+  /// most `chunk_bytes` (rounded up to one page), in ascending order
+  /// using a single reused buffer — whole-volume operators (banding,
+  /// statistics) run in O(chunk) memory instead of materializing the
+  /// volume. `fn(offset, data, len)` sees each byte exactly once; a
+  /// non-OK return aborts the scan with that status.
+  Status ScanField(
+      storage::LongFieldId field, uint64_t chunk_bytes,
+      const std::function<Status(uint64_t offset, const uint8_t* data,
+                                 uint64_t len)>& fn) const;
+
+  ExtractorStatsSnapshot stats() const;
+
+  /// --- Cooperative interruption ---------------------------------------
+  /// Extraction runs at UDF depth, far below the server's per-stage
+  /// checkpoints, so deadline/cancel hooks reach it through a
+  /// thread-local: the hook installed on the calling thread is captured
+  /// when an extraction starts and polled between shard batches and
+  /// scan chunks (on every participating thread). Install around query
+  /// execution with ScopedThreadInterrupt.
+  static void SetThreadInterrupt(std::function<Status()> interrupt);
+  static const std::function<Status()>& ThreadInterrupt();
+
+  class ScopedThreadInterrupt {
+   public:
+    explicit ScopedThreadInterrupt(std::function<Status()> interrupt) {
+      SetThreadInterrupt(std::move(interrupt));
+    }
+    ~ScopedThreadInterrupt() { SetThreadInterrupt(nullptr); }
+    ScopedThreadInterrupt(const ScopedThreadInterrupt&) = delete;
+    ScopedThreadInterrupt& operator=(const ScopedThreadInterrupt&) = delete;
+  };
+
+ private:
+  struct ShardOutcome;
+
+  /// Executes one shard (a contiguous slice of `units`, the plan's
+  /// extents after splitting for parallelism) with per-shard retry;
+  /// scatters into `out`.
+  Status RunShard(storage::LongFieldId field,
+                  const std::vector<storage::PlannedExtent>& units,
+                  const std::vector<storage::ByteRange>& ranges,
+                  const std::vector<uint64_t>& dest_offsets,
+                  const std::vector<size_t>& range_lo, size_t first_extent,
+                  size_t extent_count, uint8_t* out,
+                  const std::function<Status()>& interrupt,
+                  ShardOutcome* outcome) const;
+
+  storage::LongFieldManager* lfm_;
+  ExtractOptions options_;
+  std::atomic<TaskPool*> pool_{nullptr};
+
+  mutable std::mutex stats_mu_;
+  mutable ExtractorStatsSnapshot stats_;  // guarded by stats_mu_
+};
+
+}  // namespace qbism
+
+#endif  // QBISM_QBISM_PARALLEL_EXTRACTOR_H_

@@ -39,11 +39,28 @@ Value DataRegionValue(DataRegion dr) {
                        std::string(sql::kDataRegionTypeName));
 }
 
+/// Chunk size for whole-volume streaming scans: 64 pages keeps the
+/// working set at 256 KB while leaving sequential transfers long enough
+/// that the per-chunk seek charge is noise.
+constexpr uint64_t kScanChunkBytes = 64 * storage::kPageSize;
+
 }  // namespace
+
+std::vector<ByteRange> RunByteRanges(const Region& r) {
+  // One byte per voxel, laid out in curve order: each run is one byte
+  // range, and the LFM touches only the pages those ranges cover.
+  std::vector<ByteRange> ranges;
+  ranges.reserve(r.RunCount());
+  for (const region::Run& run : r.runs()) {
+    ranges.push_back(ByteRange{run.start, run.Length()});
+  }
+  return ranges;
+}
 
 Result<std::unique_ptr<SpatialExtension>> SpatialExtension::Install(
     sql::Database* db, SpatialConfig config) {
   std::unique_ptr<SpatialExtension> ext(new SpatialExtension(db, config));
+  ext->extractor_ = std::make_unique<ParallelExtractor>(db->lfm());
   QBISM_RETURN_NOT_OK(ext->RegisterUdfs());
   db->set_extension_state(ext.get());
   return ext;
@@ -139,15 +156,20 @@ Result<DataRegion> SpatialExtension::ExtractFromLongField(
     return Status::InvalidArgument(
         "EXTRACT_DATA: region grid/curve differs from extension config");
   }
-  // One byte per voxel, laid out in curve order: each run is one byte
-  // range, and the LFM touches only the pages those ranges cover.
-  std::vector<ByteRange> ranges;
-  ranges.reserve(r.RunCount());
-  for (const region::Run& run : r.runs()) {
-    ranges.push_back(ByteRange{run.start, run.Length()});
+  QBISM_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> values,
+      extractor_->ExtractBytes(volume_field, RunByteRanges(r)));
+  return DataRegion(r, std::move(values));
+}
+
+Result<DataRegion> SpatialExtension::ExtractFromLongFieldSerial(
+    LongFieldId volume_field, const Region& r) const {
+  if (!(r.grid() == config_.grid) || r.curve_kind() != config_.curve) {
+    return Status::InvalidArgument(
+        "EXTRACT_DATA: region grid/curve differs from extension config");
   }
-  QBISM_ASSIGN_OR_RETURN(auto buffers,
-                         db_->lfm()->ReadRanges(volume_field, ranges));
+  QBISM_ASSIGN_OR_RETURN(
+      auto buffers, db_->lfm()->ReadRanges(volume_field, RunByteRanges(r)));
   std::vector<uint8_t> values;
   values.reserve(static_cast<size_t>(r.VoxelCount()));
   for (const auto& buffer : buffers) {
@@ -158,12 +180,61 @@ Result<DataRegion> SpatialExtension::ExtractFromLongField(
 
 Result<uint64_t> SpatialExtension::ExtractionPages(LongFieldId volume_field,
                                                    const Region& r) const {
-  std::vector<ByteRange> ranges;
-  ranges.reserve(r.RunCount());
-  for (const region::Run& run : r.runs()) {
-    ranges.push_back(ByteRange{run.start, run.Length()});
+  return db_->lfm()->PagesTouched(volume_field, RunByteRanges(r));
+}
+
+Status SpatialExtension::ScanVolume(
+    LongFieldId volume_field, uint64_t chunk_bytes,
+    const std::function<Status(uint64_t first_id, const uint8_t* values,
+                               uint64_t count)>& fn) const {
+  QBISM_ASSIGN_OR_RETURN(uint64_t size, db_->lfm()->Size(volume_field));
+  if (size != config_.grid.NumCells()) {
+    return Status::InvalidArgument(
+        "ScanVolume: field size does not match the configured grid");
   }
-  return db_->lfm()->PagesTouched(volume_field, ranges);
+  // Byte offsets are curve ids (one byte per voxel).
+  return extractor_->ScanField(volume_field, chunk_bytes, fn);
+}
+
+Result<Region> SpatialExtension::BandRegionFromField(
+    LongFieldId volume_field, uint8_t lo, uint8_t hi) const {
+  region::RegionBuilder builder(config_.grid, config_.curve);
+  // Track the open run across chunk boundaries so a band spanning two
+  // chunks stays one run.
+  uint64_t open_start = 0;
+  bool open = false;
+  QBISM_RETURN_NOT_OK(ScanVolume(
+      volume_field, kScanChunkBytes,
+      [&](uint64_t first_id, const uint8_t* values,
+          uint64_t count) -> Status {
+        for (uint64_t i = 0; i < count; ++i) {
+          bool in_band = values[i] >= lo && values[i] <= hi;
+          if (in_band && !open) {
+            open = true;
+            open_start = first_id + i;
+          } else if (!in_band && open) {
+            open = false;
+            builder.AppendRun(open_start, first_id + i - 1);
+          }
+        }
+        return Status::OK();
+      }));
+  if (open) builder.AppendRun(open_start, config_.grid.NumCells() - 1);
+  return builder.Build();
+}
+
+Result<double> SpatialExtension::MeanIntensityFromField(
+    LongFieldId volume_field) const {
+  uint64_t sum = 0;
+  uint64_t n = 0;
+  QBISM_RETURN_NOT_OK(ScanVolume(
+      volume_field, kScanChunkBytes,
+      [&](uint64_t, const uint8_t* values, uint64_t count) -> Status {
+        for (uint64_t i = 0; i < count; ++i) sum += values[i];
+        n += count;
+        return Status::OK();
+      }));
+  return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
 }
 
 Result<std::shared_ptr<const Region>> SpatialExtension::RegionArg(
@@ -242,9 +313,25 @@ Status SpatialExtension::RegisterUdfs() {
         if (lo < 0 || hi > 255 || lo > hi) {
           return Status::InvalidArgument("bandregion: bad intensity range");
         }
-        QBISM_ASSIGN_OR_RETURN(Volume v, Ext(ctx)->LoadVolume(volume_field));
-        return RegionValue(v.BandRegion(static_cast<uint8_t>(lo),
-                                        static_cast<uint8_t>(hi)));
+        // Chunked streaming scan: same pages as materializing the
+        // VOLUME, but O(chunk) memory and interruptible mid-volume.
+        QBISM_ASSIGN_OR_RETURN(
+            Region band,
+            Ext(ctx)->BandRegionFromField(volume_field,
+                                          static_cast<uint8_t>(lo),
+                                          static_cast<uint8_t>(hi)));
+        return RegionValue(std::move(band));
+      }));
+
+  QBISM_RETURN_NOT_OK(registry->Register(
+      "volumemean",
+      [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        QBISM_RETURN_NOT_OK(CheckArity(args, 1, "volumemean"));
+        QBISM_ASSIGN_OR_RETURN(LongFieldId volume_field,
+                               args[0].AsLongField());
+        QBISM_ASSIGN_OR_RETURN(double mean,
+                               Ext(ctx)->MeanIntensityFromField(volume_field));
+        return Value::Double(mean);
       }));
 
   QBISM_RETURN_NOT_OK(registry->Register(

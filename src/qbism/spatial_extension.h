@@ -1,15 +1,22 @@
 #ifndef QBISM_QBISM_SPATIAL_EXTENSION_H_
 #define QBISM_QBISM_SPATIAL_EXTENSION_H_
 
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "common/result.h"
+#include "qbism/parallel_extractor.h"
 #include "region/encoding.h"
 #include "region/region.h"
 #include "sql/database.h"
 #include "volume/volume.h"
 
 namespace qbism {
+
+/// A region's run list as LFM byte ranges (one byte per voxel in curve
+/// order): the single translation every extraction/planning path shares.
+std::vector<storage::ByteRange> RunByteRanges(const region::Region& r);
 
 /// Configuration of the spatial extension: the atlas grid every stored
 /// REGION/VOLUME lives on, the linearization curve, and the on-disk
@@ -34,6 +41,7 @@ struct SpatialConfig {
 ///   contains(r1, r2)            -> int (0/1)     (§3.2)
 ///   extractvoxels(volume, r)    -> DATA_REGION   (§3.2 EXTRACT_DATA)
 ///   bandregion(volume, lo, hi)  -> REGION        (ad-hoc banding)
+///   volumemean(volume)          -> double (streaming whole-volume mean)
 ///   voxelcount(r)               -> int
 ///   runcount(r)                 -> int
 ///   meanintensity(dr)           -> double
@@ -84,13 +92,43 @@ class SpatialExtension {
   Result<volume::Volume> LoadVolume(storage::LongFieldId id) const;
 
   /// EXTRACT_DATA against a volume long field: reads only the 4 KB pages
-  /// covering the region's runs (the early-filtering I/O path).
+  /// covering the region's runs (the early-filtering I/O path), executed
+  /// as a vectored, optionally parallel read through the extractor —
+  /// coalesced page extents scattered straight into the DATA_REGION's
+  /// value buffer.
   Result<volume::DataRegion> ExtractFromLongField(
+      storage::LongFieldId volume_field, const region::Region& r) const;
+
+  /// The seed per-run extraction path (one ReadRanges + concat), kept as
+  /// the differential-testing oracle and benchmark baseline for the
+  /// vectored path above.
+  Result<volume::DataRegion> ExtractFromLongFieldSerial(
       storage::LongFieldId volume_field, const region::Region& r) const;
 
   /// Number of LFM pages the extraction of `r` would touch.
   Result<uint64_t> ExtractionPages(storage::LongFieldId volume_field,
                                    const region::Region& r) const;
+
+  /// Streams a stored VOLUME through `fn` in curve order in page-aligned
+  /// chunks of at most `chunk_bytes` (the offset doubles as the first
+  /// curve id of the chunk). Whole-volume operators use this to run in
+  /// O(chunk) memory instead of materializing the volume.
+  Status ScanVolume(storage::LongFieldId volume_field, uint64_t chunk_bytes,
+                    const std::function<Status(uint64_t first_id,
+                                               const uint8_t* values,
+                                               uint64_t count)>& fn) const;
+
+  /// bandregion() over a stored VOLUME via ScanVolume: the REGION of
+  /// voxels with intensity in [lo, hi], built one chunk at a time.
+  Result<region::Region> BandRegionFromField(
+      storage::LongFieldId volume_field, uint8_t lo, uint8_t hi) const;
+
+  /// Mean intensity of a whole stored VOLUME via ScanVolume.
+  Result<double> MeanIntensityFromField(
+      storage::LongFieldId volume_field) const;
+
+  /// The extraction executor (for pool installation and metrics).
+  ParallelExtractor* extractor() const { return extractor_.get(); }
 
   /// Coerces a SQL value (long field or transient object) to a REGION.
   Result<std::shared_ptr<const region::Region>> RegionArg(
@@ -104,6 +142,7 @@ class SpatialExtension {
 
   sql::Database* db_;
   SpatialConfig config_;
+  std::unique_ptr<ParallelExtractor> extractor_;
 };
 
 }  // namespace qbism

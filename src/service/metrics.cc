@@ -59,7 +59,7 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
 }
 
 std::string MetricsSnapshot::ToJson() const {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "{\"submitted\":%llu,\"rejected_queue_full\":%llu,"
@@ -68,6 +68,10 @@ std::string MetricsSnapshot::ToJson() const {
       "\"cache_hits\":%llu,\"cache_misses\":%llu,"
       "\"lfm_pages\":%llu,\"network_seconds\":%.6f,"
       "\"queue_wait_seconds\":%.6f,"
+      "\"extract_extents_planned\":%llu,\"extract_pages_read\":%llu,"
+      "\"extract_pages_demanded\":%llu,\"extract_bytes_moved\":%llu,"
+      "\"extract_helper_tasks\":%llu,\"extract_coalescing_ratio\":%.4f,"
+      "\"extract_parallel_efficiency\":%.4f,"
       "\"latency\":{\"count\":%llu,\"mean\":%.6f,\"p50\":%.6f,"
       "\"p95\":%.6f,\"p99\":%.6f,\"max\":%.6f}}",
       static_cast<unsigned long long>(submitted),
@@ -81,7 +85,14 @@ std::string MetricsSnapshot::ToJson() const {
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses),
       static_cast<unsigned long long>(lfm_pages), network_seconds,
-      queue_wait_seconds, static_cast<unsigned long long>(latency.count),
+      queue_wait_seconds,
+      static_cast<unsigned long long>(extract_extents_planned),
+      static_cast<unsigned long long>(extract_pages_read),
+      static_cast<unsigned long long>(extract_pages_demanded),
+      static_cast<unsigned long long>(extract_bytes_moved),
+      static_cast<unsigned long long>(extract_helper_tasks),
+      extract_coalescing_ratio, extract_parallel_efficiency,
+      static_cast<unsigned long long>(latency.count),
       latency.mean, latency.p50, latency.p95, latency.p99, latency.max);
   return buf;
 }

@@ -59,6 +59,16 @@ struct MetricsSnapshot {
   LatencySummary latency;           // end-to-end (admission to reply)
   LatencySummary queue_wait;
 
+  /// Extraction fast-path counters, merged in by the service from its
+  /// shared ParallelExtractor (deltas over the service's lifetime).
+  uint64_t extract_extents_planned = 0;
+  uint64_t extract_pages_read = 0;
+  uint64_t extract_pages_demanded = 0;  // the per-run seed path's cost
+  uint64_t extract_bytes_moved = 0;
+  uint64_t extract_helper_tasks = 0;    // shard tasks run by donated threads
+  double extract_coalescing_ratio = 1.0;   // pages_demanded / pages_read
+  double extract_parallel_efficiency = 1.0;  // avg threads in extraction
+
   /// One-line JSON object (keys stable for the benchmark harness).
   std::string ToJson() const;
 };

@@ -48,6 +48,14 @@ QueryService::QueryService(qbism::SpatialExtension* ext,
       options_(options),
       cache_(options.cache_entries, options.cache_bytes),
       queue_(options.queue_capacity) {
+  extractor_baseline_ = ext_->extractor()->stats();
+  int helper_threads = options_.extract_helper_threads < 0
+                           ? options_.num_workers
+                           : options_.extract_helper_threads;
+  if (helper_threads > 0) {
+    extract_pool_ = std::make_unique<TaskPool>(helper_threads);
+    ext_->extractor()->set_pool(extract_pool_.get());
+  }
   for (int i = 0; i < options_.num_workers; ++i) {
     servers_.push_back(std::make_unique<qbism::MedicalServer>(
         ext_, options_.net_model, options_.cost_model));
@@ -259,6 +267,28 @@ void QueryService::Shutdown() {
              Status::Cancelled("QueryService: shut down before execution"));
   }
   for (std::thread& worker : workers_) worker.join();
+  // Detach and drain the helper pool only if it is still ours — a later
+  // service sharing the extension may have installed its own.
+  if (extract_pool_ != nullptr) {
+    if (ext_->extractor()->pool() == extract_pool_.get()) {
+      ext_->extractor()->set_pool(nullptr);
+    }
+    extract_pool_->Shutdown();
+  }
+}
+
+MetricsSnapshot QueryService::metrics() const {
+  MetricsSnapshot out = metrics_.Snapshot();
+  qbism::ExtractorStatsSnapshot delta =
+      ext_->extractor()->stats() - extractor_baseline_;
+  out.extract_extents_planned = delta.extents_planned;
+  out.extract_pages_read = delta.pages_read;
+  out.extract_pages_demanded = delta.pages_demanded;
+  out.extract_bytes_moved = delta.bytes_moved;
+  out.extract_helper_tasks = delta.helper_tasks;
+  out.extract_coalescing_ratio = delta.CoalescingRatio();
+  out.extract_parallel_efficiency = delta.ParallelEfficiency();
+  return out;
 }
 
 }  // namespace qbism::service

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/task_pool.h"
 #include "net/channel.h"
 #include "qbism/medical_server.h"
 #include "qbism/spatial_extension.h"
@@ -92,6 +93,13 @@ struct ServiceOptions {
   int max_retries = 2;
   double retry_backoff_seconds = 0.001;
   double retry_backoff_max_seconds = 0.050;
+  /// Donation threads for intra-query extraction parallelism: the
+  /// service owns a TaskPool this size and installs it on the shared
+  /// extension's ParallelExtractor, so a large EXTRACT_DATA borrows idle
+  /// capacity while the pool's fair-share cap keeps one query from
+  /// monopolizing it. -1 sizes the pool to num_workers; 0 disables
+  /// (extractions run inline on their worker).
+  int extract_helper_threads = -1;
   net::NetworkCostModel net_model;
   qbism::ServerCostModel cost_model;
 };
@@ -130,7 +138,9 @@ class QueryService {
   /// and joins the workers. Idempotent; the destructor calls it.
   void Shutdown();
 
-  MetricsSnapshot metrics() const { return metrics_.Snapshot(); }
+  /// Service counters plus the extraction fast-path counters accrued on
+  /// the shared extractor since this service started.
+  MetricsSnapshot metrics() const;
   ResultCacheStats cache_stats() const { return cache_.stats(); }
   /// Pure probe (no LRU promotion, no stats): is this QuerySpec
   /// description cached? Fault tests assert failed queries never are.
@@ -157,6 +167,8 @@ class QueryService {
   ServiceOptions options_;
   ResultCache cache_;
   ServiceMetrics metrics_;
+  std::unique_ptr<TaskPool> extract_pool_;  // may be null (helpers off)
+  qbism::ExtractorStatsSnapshot extractor_baseline_;
   AdmissionQueue<Pending> queue_;
   std::vector<std::unique_ptr<qbism::MedicalServer>> servers_;
   std::vector<std::thread> workers_;

@@ -1,8 +1,10 @@
 #include "storage/disk_device.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
 #include "common/macros.h"
@@ -32,7 +34,7 @@ DiskDevice::DiskDevice(uint64_t num_pages, DiskCostModel model)
       bytes_(num_pages * kPageSize, 0),
       device_id_(NewDeviceId()) {}
 
-void DiskDevice::Charge(uint64_t page_no, uint64_t count, bool write) {
+double DiskDevice::Charge(uint64_t page_no, uint64_t count, bool write) {
   IoStats delta;
   if (page_no != next_sequential_page_) {
     delta.seeks = 1;
@@ -57,6 +59,7 @@ void DiskDevice::Charge(uint64_t page_no, uint64_t count, bool write) {
   ledger.pages_written += delta.pages_written;
   ledger.seeks += delta.seeks;
   ledger.simulated_seconds += delta.simulated_seconds;
+  return delta.simulated_seconds;
 }
 
 IoStats DiskDevice::stats() const {
@@ -72,6 +75,14 @@ void DiskDevice::ResetStats() {
 IoStats DiskDevice::thread_stats() const { return ThreadLedgers()[device_id_]; }
 
 void DiskDevice::ResetThreadStats() { ThreadLedgers()[device_id_] = IoStats{}; }
+
+void DiskDevice::AddToThreadLedger(const IoStats& delta) {
+  IoStats& ledger = ThreadLedgers()[device_id_];
+  ledger.pages_read += delta.pages_read;
+  ledger.pages_written += delta.pages_written;
+  ledger.seeks += delta.seeks;
+  ledger.simulated_seconds += delta.simulated_seconds;
+}
 
 Status DiskDevice::ReadPage(uint64_t page_no, uint8_t* out) {
   return ReadPages(page_no, 1, out);
@@ -144,14 +155,52 @@ Status DiskDevice::InjectFault(uint64_t count) {
                          std::to_string(transfer_no) + ")");
 }
 
+Status DiskDevice::AccountTransfer(uint64_t page_no, uint64_t count,
+                                   bool write) {
+  double charged = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    QBISM_RETURN_NOT_OK(InjectFault(count));
+    charged = Charge(page_no, count, write);
+  }
+  // Realize the modeled service time as a wall-clock wait (benchmarks
+  // only; scale is 0 everywhere else). Outside mu_ so concurrent
+  // transfers wait in parallel, which is the effect being measured.
+  double scale = realize_scale_.load(std::memory_order_relaxed);
+  if (scale > 0.0 && charged > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(scale * charged));
+  }
+  return Status::OK();
+}
+
 Status DiskDevice::ReadPages(uint64_t page_no, uint64_t count, uint8_t* out) {
   if (page_no + count > num_pages_) {
     return Status::OutOfRange("DiskDevice::ReadPages: beyond device end");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  QBISM_RETURN_NOT_OK(InjectFault(count));
-  Charge(page_no, count, /*write=*/false);
+  std::shared_lock<std::shared_mutex> data_lock(data_mu_);
+  QBISM_RETURN_NOT_OK(AccountTransfer(page_no, count, /*write=*/false));
   std::memcpy(out, bytes_.data() + page_no * kPageSize, count * kPageSize);
+  return Status::OK();
+}
+
+Status DiskDevice::ReadPagesBatch(const std::vector<PageReadOp>& ops) {
+  for (const PageReadOp& op : ops) {
+    if (op.page_no + op.count > num_pages_ || op.count > num_pages_) {
+      return Status::OutOfRange("DiskDevice::ReadPagesBatch: beyond device end");
+    }
+    if (op.count > 0 && op.out == nullptr) {
+      return Status::InvalidArgument(
+          "DiskDevice::ReadPagesBatch: null destination");
+    }
+  }
+  std::shared_lock<std::shared_mutex> data_lock(data_mu_);
+  for (const PageReadOp& op : ops) {
+    if (op.count == 0) continue;
+    QBISM_RETURN_NOT_OK(AccountTransfer(op.page_no, op.count, /*write=*/false));
+    std::memcpy(op.out, bytes_.data() + op.page_no * kPageSize,
+                op.count * kPageSize);
+  }
   return Status::OK();
 }
 
@@ -160,9 +209,8 @@ Status DiskDevice::WritePages(uint64_t page_no, uint64_t count,
   if (page_no + count > num_pages_) {
     return Status::OutOfRange("DiskDevice::WritePages: beyond device end");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  QBISM_RETURN_NOT_OK(InjectFault(count));
-  Charge(page_no, count, /*write=*/true);
+  std::unique_lock<std::shared_mutex> data_lock(data_mu_);
+  QBISM_RETURN_NOT_OK(AccountTransfer(page_no, count, /*write=*/true));
   std::memcpy(bytes_.data() + page_no * kPageSize, in, count * kPageSize);
   return Status::OK();
 }

@@ -1,8 +1,10 @@
 #ifndef QBISM_STORAGE_DISK_DEVICE_H_
 #define QBISM_STORAGE_DISK_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/result.h"
@@ -40,14 +42,26 @@ struct IoStats {
   }
 };
 
+/// One operation of a scatter-gather read: `count` consecutive pages
+/// starting at `page_no`, delivered to `out` (count * kPageSize bytes).
+struct PageReadOp {
+  uint64_t page_no = 0;
+  uint64_t count = 0;
+  uint8_t* out = nullptr;
+};
+
 /// An in-memory simulated raw disk device with page-granular access,
 /// exact I/O counting, and a deterministic cost model. Stands in for the
 /// AIX logical volume the Starburst LFM wrote to (§5.1): storage is
 /// page-addressed, unbuffered, and every access is charged.
 ///
-/// Thread-safe: page transfers and accounting are serialized on an
-/// internal mutex (one disk arm, as in the modeled hardware). Besides
-/// the device-wide stats, every transfer is also accumulated into a
+/// Thread-safe. Accounting (stats, cost model, fault plan) is
+/// serialized on a small internal mutex, but the page *copies* run
+/// under a reader-writer lock: concurrent reads of the (immutable
+/// during a read) backing store proceed in parallel, so a parallel
+/// extraction moves bytes at memory bandwidth instead of convoying on
+/// one latch; writes remain exclusive and atomic. Besides the
+/// device-wide stats, every transfer is also accumulated into a
 /// per-calling-thread ledger so a worker in the concurrent query
 /// service can compute exact per-request I/O deltas on a shared device.
 class DiskDevice {
@@ -68,6 +82,16 @@ class DiskDevice {
   /// Writes `count` consecutive pages.
   Status WritePages(uint64_t page_no, uint64_t count, const uint8_t* in);
 
+  /// Scatter-gather read: performs every op of a planned read in order,
+  /// each op one transfer (one arm movement) for accounting and the
+  /// fault plan, with the copies of all ops sharing one reader hold on
+  /// the store. Ops are validated against the device bounds before any
+  /// transfer happens. On an injected fault the batch stops at the
+  /// faulting op and returns its IOError: earlier ops have transferred
+  /// and are charged, the faulting and later ops are not — exactly the
+  /// accounting a mid-batch media error leaves behind.
+  Status ReadPagesBatch(const std::vector<PageReadOp>& ops);
+
   /// Device-wide cumulative stats (all threads).
   IoStats stats() const;
   void ResetStats();
@@ -77,6 +101,13 @@ class DiskDevice {
   /// device concurrently.
   IoStats thread_stats() const;
   void ResetThreadStats();
+
+  /// Folds `delta` into the calling thread's ledger. Intra-query
+  /// parallelism uses this to re-attribute transfers performed by
+  /// donated helper threads to the thread that owns the query, keeping
+  /// per-request I/O deltas exact (device-wide stats are unaffected —
+  /// the helpers' transfers are already in them).
+  void AddToThreadLedger(const IoStats& delta);
 
   /// Installs a deterministic fault plan (replacing any previous one).
   /// Transfer numbering for kAtTransfer/kEveryKth and the kRandom
@@ -94,20 +125,39 @@ class DiskDevice {
     InstallFaultPlan(FaultPlan::FailAfterPages(page_ops));
   }
 
+  /// When > 0, every transfer additionally sleeps `scale` times its
+  /// modeled service time on the calling thread, realizing the
+  /// deterministic cost model as wall-clock I/O wait. Benchmarks use
+  /// this to measure how well parallel extraction overlaps I/O waits on
+  /// any host (including single-core machines, where CPU cannot scale);
+  /// leave at the default 0 everywhere else — accounting, fault
+  /// injection, and results are unaffected either way.
+  void set_realize_scale(double scale) {
+    realize_scale_.store(scale, std::memory_order_relaxed);
+  }
+
   /// Cumulative transfer/fault counters (counted with or without an
   /// active plan; never reset by InstallFaultPlan or ClearFault).
   FaultStats fault_stats() const;
   void ResetFaultStats();
 
  private:
-  void Charge(uint64_t page_no, uint64_t count, bool write);
+  /// Returns the simulated seconds charged for this transfer.
+  double Charge(uint64_t page_no, uint64_t count, bool write);
   /// Counts the transfer and applies the active fault plan. Caller
   /// holds mu_. Returns the injected IOError when the plan fires.
   Status InjectFault(uint64_t count);
+  /// Accounts one transfer (fault check + charge) under mu_. The data
+  /// lock is taken by the caller around the actual copy.
+  Status AccountTransfer(uint64_t page_no, uint64_t count, bool write);
 
   uint64_t num_pages_;
   DiskCostModel model_;
-  std::vector<uint8_t> bytes_;
+  std::atomic<double> realize_scale_{0.0};
+  /// Guards the backing store only: shared for reads, exclusive for
+  /// writes. Always acquired before mu_ (never the other way around).
+  mutable std::shared_mutex data_mu_;
+  std::vector<uint8_t> bytes_;  // guarded by data_mu_
   uint64_t device_id_;
   mutable std::mutex mu_;
   IoStats stats_;                               // guarded by mu_

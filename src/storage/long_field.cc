@@ -142,6 +142,92 @@ Result<std::vector<std::vector<uint8_t>>> LongFieldManager::ReadRanges(
   return out;
 }
 
+Result<ReadPlan> LongFieldManager::BuildReadPlan(
+    const std::vector<ByteRange>& ranges, uint64_t field_size_bytes,
+    const ReadPlanOptions& options) {
+  ReadPlan plan;
+  // Page intervals (inclusive) per non-empty range, validated the same
+  // overflow-safe way as ReadRange.
+  std::vector<std::pair<uint64_t, uint64_t>> intervals;
+  intervals.reserve(ranges.size());
+  for (const ByteRange& r : ranges) {
+    if (r.offset > field_size_bytes ||
+        r.length > field_size_bytes - r.offset) {
+      return Status::OutOfRange("LongFieldManager::BuildReadPlan: past field end");
+    }
+    if (r.length == 0) continue;
+    intervals.emplace_back(r.offset / kPageSize,
+                           (r.offset + r.length - 1) / kPageSize);
+    plan.bytes_needed += r.length;
+  }
+  if (intervals.empty()) return plan;
+  std::sort(intervals.begin(), intervals.end());
+
+  // One ascending sweep produces both accountings: distinct pages
+  // (merging only overlap/adjacency) and the physical extents (merging
+  // across gaps of up to gap_fill_pages as well).
+  uint64_t touch_first = intervals[0].first;
+  uint64_t touch_last = intervals[0].second;
+  PlannedExtent extent{intervals[0].first,
+                       intervals[0].second - intervals[0].first + 1};
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    auto [first, last] = intervals[i];
+    if (first <= touch_last + 1) {
+      touch_last = std::max(touch_last, last);
+    } else {
+      plan.pages_touched += touch_last - touch_first + 1;
+      touch_first = first;
+      touch_last = last;
+    }
+    uint64_t extent_end = extent.first_page + extent.page_count - 1;
+    if (first <= extent_end + 1 + options.gap_fill_pages) {
+      if (last > extent_end) {
+        extent.page_count = last - extent.first_page + 1;
+      }
+    } else {
+      plan.pages_read += extent.page_count;
+      plan.extents.push_back(extent);
+      extent = PlannedExtent{first, last - first + 1};
+    }
+  }
+  plan.pages_touched += touch_last - touch_first + 1;
+  plan.pages_read += extent.page_count;
+  plan.extents.push_back(extent);
+  return plan;
+}
+
+Result<ReadPlan> LongFieldManager::PlanRead(
+    LongFieldId id, const std::vector<ByteRange>& ranges,
+    const ReadPlanOptions& options) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  QBISM_ASSIGN_OR_RETURN(const Entry* entry, Lookup(id));
+  return BuildReadPlan(ranges, entry->size_bytes, options);
+}
+
+Status LongFieldManager::ReadExtents(LongFieldId id,
+                                     const std::vector<PlannedExtent>& extents,
+                                     const std::vector<uint8_t*>& outs) const {
+  if (extents.size() != outs.size()) {
+    return Status::InvalidArgument(
+        "LongFieldManager::ReadExtents: extents/outs size mismatch");
+  }
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  QBISM_ASSIGN_OR_RETURN(const Entry* entry, Lookup(id));
+  uint64_t field_pages = entry->PageCount();
+  std::vector<storage::PageReadOp> ops;
+  ops.reserve(extents.size());
+  for (size_t i = 0; i < extents.size(); ++i) {
+    const PlannedExtent& e = extents[i];
+    if (e.first_page > field_pages || e.page_count > field_pages - e.first_page) {
+      return Status::OutOfRange(
+          "LongFieldManager::ReadExtents: extent past field end");
+    }
+    ops.push_back(PageReadOp{entry->start_page + e.first_page, e.page_count,
+                             outs[i]});
+  }
+  return device_->ReadPagesBatch(ops);
+}
+
 Result<uint64_t> LongFieldManager::PagesTouched(
     LongFieldId id, const std::vector<ByteRange>& ranges) const {
   std::shared_lock<std::shared_mutex> lock(mu_);

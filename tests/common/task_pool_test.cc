@@ -1,0 +1,150 @@
+#include "common/task_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qbism {
+namespace {
+
+std::vector<std::function<Status()>> CountingTasks(std::atomic<int>* counter,
+                                                   int n) {
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < n; ++i) {
+    tasks.push_back([counter]() -> Status {
+      counter->fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+  }
+  return tasks;
+}
+
+TEST(TaskPoolTest, RunsEveryTaskExactlyOnce) {
+  TaskPool pool(4);
+  std::atomic<int> counter{0};
+  ASSERT_TRUE(pool.RunBatch(CountingTasks(&counter, 100), 4).ok());
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(pool.stats().tasks, 100u);
+  EXPECT_EQ(pool.stats().batches, 1u);
+}
+
+TEST(TaskPoolTest, ZeroThreadsDegradesToInlineExecution) {
+  TaskPool pool(0);
+  std::atomic<int> counter{0};
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back([&counter, caller]() -> Status {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      counter.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(pool.RunBatch(std::move(tasks), 4).ok());
+  EXPECT_EQ(counter.load(), 10);
+  EXPECT_EQ(pool.stats().helper_tasks, 0u);
+}
+
+TEST(TaskPoolTest, EmptyBatchCompletes) {
+  TaskPool pool(2);
+  EXPECT_TRUE(pool.RunBatch({}, 2).ok());
+}
+
+TEST(TaskPoolTest, FirstErrorIsReturnedAndUnstartedTasksSkipped) {
+  TaskPool pool(0);  // inline: deterministic order
+  std::atomic<int> ran{0};
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back([&ran, i]() -> Status {
+      ran.fetch_add(1);
+      if (i == 3) return Status::IOError("task 3 failed");
+      return Status::OK();
+    });
+  }
+  Status status = pool.RunBatch(std::move(tasks), 0);
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_EQ(ran.load(), 4);  // tasks 0-3; 4-9 abandoned
+}
+
+TEST(TaskPoolTest, HelpersActuallyParticipate) {
+  TaskPool pool(3);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back([&]() -> Status {
+      int now = concurrent.fetch_add(1) + 1;
+      int prev = peak.load();
+      while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      concurrent.fetch_sub(1);
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(pool.RunBatch(std::move(tasks), 3).ok());
+  // Caller + at least one helper overlapped (scheduling can in theory
+  // serialize, but 16 x 5 ms tasks make that astronomically unlikely).
+  EXPECT_GE(peak.load(), 2);
+  EXPECT_GT(pool.stats().helper_tasks, 0u);
+}
+
+TEST(TaskPoolTest, MaxHelpersZeroKeepsHelpersOut) {
+  TaskPool pool(3);
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::function<Status()>> tasks;
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back([&counter, caller]() -> Status {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      counter.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(pool.RunBatch(std::move(tasks), 0).ok());
+  EXPECT_EQ(counter.load(), 20);
+  EXPECT_EQ(pool.stats().helper_tasks, 0u);
+}
+
+TEST(TaskPoolTest, ConcurrentBatchesFromManyThreadsAllComplete) {
+  TaskPool pool(4);
+  constexpr int kClients = 6;
+  constexpr int kTasksPer = 40;
+  std::atomic<int> total{0};
+  std::vector<std::thread> clients;
+  std::vector<Status> results(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      results[c] = pool.RunBatch(CountingTasks(&total, kTasksPer), 4);
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (const Status& s : results) EXPECT_TRUE(s.ok());
+  EXPECT_EQ(total.load(), kClients * kTasksPer);
+  EXPECT_EQ(pool.stats().tasks,
+            static_cast<uint64_t>(kClients) * kTasksPer);
+}
+
+TEST(TaskPoolTest, RunBatchWorksAfterShutdown) {
+  TaskPool pool(2);
+  pool.Shutdown();
+  std::atomic<int> counter{0};
+  ASSERT_TRUE(pool.RunBatch(CountingTasks(&counter, 8), 2).ok());
+  EXPECT_EQ(counter.load(), 8);
+  EXPECT_EQ(pool.stats().helper_tasks, 0u);
+}
+
+TEST(TaskPoolTest, ShutdownIsIdempotentAndDestructorSafe) {
+  auto pool = std::make_unique<TaskPool>(2);
+  std::atomic<int> counter{0};
+  ASSERT_TRUE(pool->RunBatch(CountingTasks(&counter, 4), 2).ok());
+  pool->Shutdown();
+  pool->Shutdown();
+  pool.reset();  // destructor after explicit shutdown
+}
+
+}  // namespace
+}  // namespace qbism

@@ -264,5 +264,102 @@ TEST_F(SpatialExtensionTest, LoadRegionDetectsGarbage) {
   EXPECT_FALSE(ext_->LoadRegion(field).ok());
 }
 
+TEST_F(SpatialExtensionTest, VectoredExtractMatchesSerialAcrossShapes) {
+  Volume v = RampVolume();
+  auto field = ext_->StoreVolume(v).MoveValue();
+  const GridSpec& grid = ext_->config().grid;
+  std::vector<Region> shapes = {
+      Region::FromBox(grid, CurveKind::kHilbert, {{3, 3, 3}, {10, 10, 10}}),
+      Region::FromShape(grid, CurveKind::kHilbert,
+                        geometry::Ellipsoid({16, 16, 16}, {10, 6, 4})),
+      Region::Full(grid, CurveKind::kHilbert),
+      Region::FromBox(grid, CurveKind::kHilbert, {{0, 0, 0}, {0, 0, 0}}),
+  };
+  for (const Region& r : shapes) {
+    auto vectored = ext_->ExtractFromLongField(field, r);
+    auto serial = ext_->ExtractFromLongFieldSerial(field, r);
+    ASSERT_TRUE(vectored.ok()) << vectored.status().ToString();
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(vectored->values(), serial->values());
+    EXPECT_EQ(vectored->values(), v.Extract(r).MoveValue().values());
+  }
+}
+
+TEST_F(SpatialExtensionTest, VectoredExtractReadsNoMorePagesThanSerial) {
+  Volume v = RampVolume();
+  auto field = ext_->StoreVolume(v).MoveValue();
+  // A sparse region: many short runs scattered over the curve, the shape
+  // where per-run reads pay one page per run.
+  Region r = Region::FromShape(ext_->config().grid, CurveKind::kHilbert,
+                               geometry::Ellipsoid({16, 16, 16}, {14, 2, 2}));
+  storage::DiskDevice* device = db_.lfm()->device();
+  storage::IoStats before = device->stats();
+  ASSERT_TRUE(ext_->ExtractFromLongFieldSerial(field, r).ok());
+  uint64_t serial_pages = (device->stats() - before).pages_read;
+  before = device->stats();
+  ASSERT_TRUE(ext_->ExtractFromLongField(field, r).ok());
+  uint64_t vectored_pages = (device->stats() - before).pages_read;
+  EXPECT_LE(vectored_pages, serial_pages);
+  // And never more than the planner's own upper bound, the per-run sum.
+  uint64_t demanded = ext_->ExtractionPages(field, r).MoveValue();
+  EXPECT_LE(vectored_pages, demanded);
+}
+
+TEST_F(SpatialExtensionTest, StreamingBandRegionMatchesAndBoundsPages) {
+  Volume v = Volume::FromFunction(
+      ext_->config().grid, CurveKind::kHilbert, [](const Vec3i& p) {
+        return static_cast<uint8_t>((p.x * 7 + p.y * 3 + p.z) & 0xFF);
+      });
+  auto field = ext_->StoreVolume(v).MoveValue();
+  storage::DiskDevice* device = db_.lfm()->device();
+  storage::IoStats before = device->stats();
+  auto banded = ext_->BandRegionFromField(field, 64, 191);
+  storage::IoStats delta = device->stats() - before;
+  ASSERT_TRUE(banded.ok()) << banded.status().ToString();
+  EXPECT_EQ(banded.value(), v.BandRegion(64, 191));
+  // The streaming scan touches each of the volume's pages exactly once —
+  // it must not fall back to materializing through LoadVolume (which
+  // would read the same pages but hold NumCells bytes) or re-read pages.
+  EXPECT_EQ(delta.pages_read,
+            ext_->config().grid.NumCells() / storage::kPageSize);
+}
+
+TEST_F(SpatialExtensionTest, UdfBandRegionStreamsOverTheStoredVolume) {
+  ASSERT_TRUE(db_.Execute("create table v (id int, data longfield)").ok());
+  Volume v = Volume::FromFunction(
+      ext_->config().grid, CurveKind::kHilbert, [](const Vec3i& p) {
+        return static_cast<uint8_t>(p.x * 16 + p.z);
+      });
+  ASSERT_TRUE(db_.Insert("v", {Value::Int(1),
+                               Value::LongField(
+                                   ext_->StoreVolume(v).MoveValue())})
+                  .ok());
+  ExtractorStatsSnapshot before = ext_->extractor()->stats();
+  auto result = db_.Execute(
+      "select voxelcount(bandregion(data, 100, 200)) from v where id = 1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows[0][0].AsInt().value(),
+            static_cast<int64_t>(v.BandRegion(100, 200).VoxelCount()));
+  // The UDF went through the chunked scan path, not LoadVolume.
+  ExtractorStatsSnapshot delta = ext_->extractor()->stats() - before;
+  EXPECT_EQ(delta.scans, 1u);
+}
+
+TEST_F(SpatialExtensionTest, UdfVolumeMean) {
+  ASSERT_TRUE(db_.Execute("create table v (id int, data longfield)").ok());
+  Volume v = RampVolume();
+  ASSERT_TRUE(db_.Insert("v", {Value::Int(1),
+                               Value::LongField(
+                                   ext_->StoreVolume(v).MoveValue())})
+                  .ok());
+  double sum = 0.0;
+  for (uint8_t b : v.data()) sum += b;
+  auto result = db_.Execute("select volumemean(data) from v where id = 1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result->rows[0][0].AsDouble().value(),
+                   sum / static_cast<double>(v.data().size()));
+  EXPECT_FALSE(db_.Execute("select volumemean(1) from v").ok());
+}
+
 }  // namespace
 }  // namespace qbism
