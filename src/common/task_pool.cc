@@ -64,6 +64,7 @@ Status TaskPool::RunBatch(std::vector<std::function<Status()>> tasks,
   Batch batch;
   batch.tasks = std::move(tasks);
   batch.max_helpers = std::max(0, max_helpers);
+  batch.trace_ctx = obs::CurrentTraceContext();
 
   std::unique_lock<std::mutex> lock(mu_);
   active_.push_back(&batch);
@@ -97,11 +98,15 @@ void TaskPool::HelperLoop() {
     }
     // Stay attached to this batch while it has work and our presence is
     // within its fair share; re-evaluate both after every task so load
-    // shifts rebalance promptly.
+    // shifts rebalance promptly. Donated work runs under the submitting
+    // query's trace context so its spans join that query's trace.
     ++batch->helpers;
-    while (batch->HasWork() && batch->helpers <= FairShare(*batch)) {
-      ++stats_.helper_tasks;
-      RunOneTask(lock, batch);
+    {
+      obs::ScopedTraceContext trace(batch->trace_ctx);
+      while (batch->HasWork() && batch->helpers <= FairShare(*batch)) {
+        ++stats_.helper_tasks;
+        RunOneTask(lock, batch);
+      }
     }
     --batch->helpers;
     if (batch->Done()) done_cv_.notify_all();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/trace.h"
 
 namespace qbism {
 
@@ -49,6 +50,11 @@ class TaskPool {
   /// (remaining unstarted tasks are skipped once a task fails; tasks
   /// already running are allowed to finish). Tasks must be safe to run
   /// concurrently with each other.
+  ///
+  /// Trace propagation: the submitter's obs::TraceContext is captured
+  /// here and installed around every task a *helper* thread runs, so
+  /// spans opened inside donated work land in the owning query's trace
+  /// (the caller's own tasks already run under its context).
   Status RunBatch(std::vector<std::function<Status()>> tasks,
                   int max_helpers);
 
@@ -65,6 +71,7 @@ class TaskPool {
     int running = 0;    // tasks currently executing (any thread)
     int helpers = 0;    // pool threads currently inside this batch
     int max_helpers = 0;
+    obs::TraceContext trace_ctx;  // submitter's context, for helpers
     Status first_error;
 
     bool HasWork() const { return next < tasks.size(); }

@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 
 namespace qbism {
 
@@ -190,9 +191,12 @@ Result<StudyQueryResult> MedicalServer::RunStudyQuery(
       out.result_runs = out.data.region().RunCount();
       out.result_voxels = out.data.VoxelCount();
       out.data_sql = "(served from the DX cache)";
+      obs::Span import(obs::Stage::kImport);
       viz::DxExecutive::ImportResult imported = dx_.ImportVolume(out.data);
+      import.End();
       out.timing.import_cpu_seconds = imported.cpu_seconds;
       if (render) {
+        obs::Span render_span(obs::Stage::kRender);
         viz::DxExecutive::RenderResult rendered =
             dx_.Render(imported.dense, camera);
         out.timing.render_seconds = rendered.cpu_seconds;
@@ -209,15 +213,23 @@ Result<StudyQueryResult> MedicalServer::RunStudyQuery(
   // thread-local hook lets it poll the same deadline/cancel state
   // between shard batches and scan chunks.
   ParallelExtractor::ScopedThreadInterrupt extract_interrupt(interrupt_);
-  out.info_sql = BuildInfoSql(spec);
-  QBISM_ASSIGN_OR_RETURN(out.data_sql, BuildDataSql(spec));
+  {
+    obs::Span translate(obs::Stage::kTranslate);
+    out.info_sql = BuildInfoSql(spec);
+    QBISM_ASSIGN_OR_RETURN(out.data_sql, BuildDataSql(spec));
+  }
 
   // --- "Other": the atlas/info query plus modeled SQL compilation. ----
   WallTimer other_timer;
-  QBISM_ASSIGN_OR_RETURN(ResultSet info, db->Execute(out.info_sql));
-  if (info.rows.empty()) {
-    return Status::NotFound("no warped study " + std::to_string(spec.study_id) +
-                            " in atlas '" + spec.atlas_name + "'");
+  {
+    obs::Span info_span(obs::Stage::kInfo);
+    QBISM_ASSIGN_OR_RETURN(ResultSet info, db->Execute(out.info_sql));
+    if (info.rows.empty()) {
+      info_span.SetFailed();
+      return Status::NotFound("no warped study " +
+                              std::to_string(spec.study_id) + " in atlas '" +
+                              spec.atlas_name + "'");
+    }
   }
   out.timing.other_seconds =
       other_timer.Seconds() + cost_model_.sql_compile_seconds;
@@ -228,40 +240,62 @@ Result<StudyQueryResult> MedicalServer::RunStudyQuery(
   IoStats rel_before = db->relational_device()->thread_stats();
   ThreadCpuTimer db_cpu;
   WallTimer db_wall;
-  QBISM_ASSIGN_OR_RETURN(ResultSet data_result, db->Execute(out.data_sql));
+  obs::Span data_span(obs::Stage::kData);
+  Result<ResultSet> data_exec = [&] {
+    // Extraction (kExtract/kShard/kIo) and decode spans opened at UDF
+    // depth nest under this kData span.
+    obs::ScopedTraceContext data_ctx(data_span.context());
+    return db->Execute(out.data_sql);
+  }();
+  if (!data_exec.ok()) {
+    data_span.SetFailed();
+    return data_exec.status();
+  }
+  ResultSet data_result = data_exec.MoveValue();
   out.timing.db_cpu_seconds = db_cpu.Seconds();
   IoStats lfm_delta = db->long_field_device()->thread_stats() - lfm_before;
   IoStats rel_delta = db->relational_device()->thread_stats() - rel_before;
+  data_span.AddPages(lfm_delta.pages_read + lfm_delta.pages_written);
+  data_span.End();
   out.timing.db_real_seconds = db_wall.Seconds() +
                                lfm_delta.simulated_seconds +
                                rel_delta.simulated_seconds;
   out.timing.lfm_pages = lfm_delta.pages_read + lfm_delta.pages_written;
 
-  QBISM_ASSIGN_OR_RETURN(auto data_region, FirstDataRegion(data_result));
-  out.data = *data_region;
-  out.result_runs = out.data.region().RunCount();
-  out.result_voxels = out.data.VoxelCount();
-
-  // --- Network: ship query + answer over the simulated channel. --------
+  // --- Network: ship query + answer over the simulated channel. The
+  // span also covers materializing the answer out of the result set —
+  // for a full study that copy moves megabytes. ------------------------
   QBISM_RETURN_NOT_OK(Checkpoint());
-  ChannelStats net_before = channel_.stats();
-  channel_.RoundTrip();
-  channel_.SendControl(out.data_sql.size());
-  channel_.SendBulk(out.data.ApproxSizeBytes());
-  ChannelStats net_delta = channel_.stats() - net_before;
-  out.timing.network_messages = net_delta.messages;
-  out.timing.network_seconds = net_delta.simulated_seconds;
+  {
+    obs::Span ship(obs::Stage::kShip);
+    QBISM_ASSIGN_OR_RETURN(auto data_region, FirstDataRegion(data_result));
+    out.data = *data_region;
+    out.result_runs = out.data.region().RunCount();
+    out.result_voxels = out.data.VoxelCount();
+    ship.AddBytes(out.data_sql.size() + out.data.ApproxSizeBytes());
+    ChannelStats net_before = channel_.stats();
+    channel_.RoundTrip();
+    channel_.SendControl(out.data_sql.size());
+    channel_.SendBulk(out.data.ApproxSizeBytes());
+    ChannelStats net_delta = channel_.stats() - net_before;
+    out.timing.network_messages = net_delta.messages;
+    out.timing.network_seconds = net_delta.simulated_seconds;
+  }
 
   // --- DX executive: ImportVolume, then render. ------------------------
+  obs::Span import(obs::Stage::kImport);
   viz::DxExecutive::ImportResult imported = dx_.ImportVolume(out.data);
   out.timing.import_cpu_seconds = imported.cpu_seconds;
+  // The DX-cache insert deep-copies the answer; charge it to import.
+  dx_.CachePut(spec.Describe(), std::make_shared<DataRegion>(out.data));
+  import.End();
   if (render) {
+    obs::Span render_span(obs::Stage::kRender);
     viz::DxExecutive::RenderResult rendered =
         dx_.Render(imported.dense, camera);
     out.timing.render_seconds = rendered.cpu_seconds;
     out.image = std::move(rendered.image);
   }
-  dx_.CachePut(spec.Describe(), std::make_shared<DataRegion>(out.data));
 
   out.timing.total_seconds =
       out.timing.other_seconds + out.timing.db_real_seconds +

@@ -7,6 +7,7 @@
 
 #include "common/macros.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 
 namespace qbism {
 
@@ -93,6 +94,11 @@ Status ParallelExtractor::RunShard(
     size_t extent_count, uint8_t* out,
     const std::function<Status()>& interrupt, ShardOutcome* outcome) const {
   WallTimer timer;
+  // Helpers enter with the owner's context installed by TaskPool, so
+  // this span (and the kIo spans under ReadExtents) joins the owning
+  // query's trace regardless of which thread runs the shard.
+  obs::Span shard(obs::Stage::kShard);
+  obs::ScopedTraceContext shard_ctx(shard.context());
   storage::DiskDevice* device = lfm_->device();
   storage::IoStats io_before = device->thread_stats();
   uint64_t retries = 0;
@@ -167,6 +173,8 @@ Status ParallelExtractor::RunShard(
   }
 
   storage::IoStats delta = device->thread_stats() - io_before;
+  shard.AddPages(delta.pages_read);
+  if (!status.ok()) shard.SetFailed();
   std::lock_guard<std::mutex> lock(outcome->mu);
   outcome->busy_seconds += timer.Seconds();
   outcome->io_retries += retries;
@@ -183,6 +191,11 @@ Status ParallelExtractor::RunShard(
 Result<std::vector<uint8_t>> ParallelExtractor::ExtractBytes(
     LongFieldId field, const std::vector<ByteRange>& ranges) const {
   WallTimer wall;
+  // Everything below — PlanRead, the caller's own shards, and donated
+  // helper shards (whose context TaskPool captures at RunBatch) — nests
+  // under this span.
+  obs::Span extract(obs::Stage::kExtract);
+  obs::ScopedTraceContext extract_ctx(extract.context());
   // The scatter offsets are prefix sums over the input order, which is
   // only meaningful for a canonical (sorted, disjoint) run list.
   std::vector<uint64_t> dest_offsets(ranges.size(), 0);
@@ -299,7 +312,12 @@ Result<std::vector<uint8_t>> ParallelExtractor::ExtractBytes(
       stats_.wall_seconds += wall.Seconds();
     }
   }
-  if (!status.ok()) return status;
+  extract.AddPages(plan.pages_read);
+  extract.AddBytes(total);
+  if (!status.ok()) {
+    extract.SetFailed();
+    return status;
+  }
   return out;
 }
 
@@ -308,6 +326,8 @@ Status ParallelExtractor::ScanField(
     const std::function<Status(uint64_t offset, const uint8_t* data,
                                uint64_t len)>& fn) const {
   WallTimer wall;
+  obs::Span scan(obs::Stage::kScan);
+  obs::ScopedTraceContext scan_ctx(scan.context());
   QBISM_ASSIGN_OR_RETURN(uint64_t size, lfm_->Size(field));
   const std::function<Status()> interrupt = ThreadInterrupt();
   uint64_t chunk_pages = std::max<uint64_t>(1, chunk_bytes / kPageSize);
@@ -337,6 +357,8 @@ Status ParallelExtractor::ScanField(
         fn(offset, buffer.data(),
            std::min<uint64_t>(count * kPageSize, size - offset)));
   }
+  scan.AddPages(pages_read);
+  scan.AddBytes(size);
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.scans;
   stats_.pages_read += pages_read;

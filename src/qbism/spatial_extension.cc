@@ -1,6 +1,7 @@
 #include "qbism/spatial_extension.h"
 
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace qbism {
 
@@ -87,6 +88,8 @@ Result<Region> SpatialExtension::LoadRegion(LongFieldId id) const {
     return Status::Corruption("region long field is empty");
   }
   auto encoding = static_cast<RegionEncoding>(bytes[0]);
+  obs::Span decode(obs::Stage::kDecode);
+  decode.AddBytes(bytes.size());
   std::vector<uint8_t> payload(bytes.begin() + 1, bytes.end());
   return region::DecodeRegion(config_.grid, config_.curve, encoding, payload);
 }
@@ -118,6 +121,8 @@ Result<DataRegion> SpatialExtension::LoadDataRegion(LongFieldId id) const {
   if (bytes.size() < 5) {
     return Status::Corruption("data-region long field too short");
   }
+  obs::Span decode(obs::Stage::kDecode);
+  decode.AddBytes(bytes.size());
   auto encoding = static_cast<region::RegionEncoding>(bytes[0]);
   uint32_t len = 0;
   for (int i = 3; i >= 0; --i) len = (len << 8) | bytes[1 + i];

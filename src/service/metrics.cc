@@ -19,22 +19,22 @@ double Percentile(const std::vector<double>& sorted, double p) {
 }  // namespace
 
 LatencySummary LatencyRecorder::Summarize() const {
+  LatencySummary out;
   std::vector<double> sorted;
   {
     std::lock_guard<std::mutex> lock(mu_);
     sorted = samples_;
+    out.count = count_;
+    out.max = max_;
+    out.mean = count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
   }
-  std::sort(sorted.begin(), sorted.end());
-  LatencySummary out;
-  out.count = sorted.size();
   if (sorted.empty()) return out;
-  double sum = 0.0;
-  for (double s : sorted) sum += s;
-  out.mean = sum / static_cast<double>(sorted.size());
+  // Percentiles are estimated from the reservoir (exact until the
+  // recorder overflows its capacity); count/mean/max are always exact.
+  std::sort(sorted.begin(), sorted.end());
   out.p50 = Percentile(sorted, 0.50);
   out.p95 = Percentile(sorted, 0.95);
   out.p99 = Percentile(sorted, 0.99);
-  out.max = sorted.back();
   return out;
 }
 
@@ -94,7 +94,12 @@ std::string MetricsSnapshot::ToJson() const {
       extract_coalescing_ratio, extract_parallel_efficiency,
       static_cast<unsigned long long>(latency.count),
       latency.mean, latency.p50, latency.p95, latency.p99, latency.max);
-  return buf;
+  std::string out(buf);
+  if (!stages.empty()) {
+    out.back() = ',';  // reopen the object to append the stages array
+    out += "\"stages\":" + obs::Tracer::StagesToJson(stages) + "}";
+  }
+  return out;
 }
 
 }  // namespace qbism::service

@@ -7,6 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
+#include "obs/trace.h"
+
 namespace qbism::service {
 
 /// Latency percentiles over a set of recorded samples (seconds).
@@ -19,26 +22,61 @@ struct LatencySummary {
   double max = 0.0;
 };
 
-/// Thread-safe recorder for per-request latencies. A plain locked
-/// vector: the service handles thousands of requests per run, not
-/// millions, so exact percentiles beat a bucketed histogram here.
+/// Thread-safe recorder for per-request latencies. Count, mean, and max
+/// are exact over every sample; percentiles come from a bounded
+/// reservoir (Vitter's Algorithm R), so a long-lived service records
+/// forever in O(capacity) memory instead of growing a sample vector
+/// without bound.
 class LatencyRecorder {
  public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit LatencyRecorder(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity > 0 ? capacity : 1), rng_(0x9e3779b97f4a7c15ull) {
+    samples_.reserve(capacity_);
+  }
+
   void Record(double seconds) {
     std::lock_guard<std::mutex> lock(mu_);
-    samples_.push_back(seconds);
+    ++count_;
+    sum_ += seconds;
+    if (seconds > max_) max_ = seconds;
+    if (samples_.size() < capacity_) {
+      samples_.push_back(seconds);
+    } else {
+      // Keep each of the `count_` samples seen so far in the reservoir
+      // with equal probability capacity_ / count_.
+      uint64_t slot = rng_.NextBounded(count_);
+      if (slot < capacity_) samples_[slot] = seconds;
+    }
   }
 
   LatencySummary Summarize() const;
 
+  size_t capacity() const { return capacity_; }
+
+  /// Samples currently held (never exceeds capacity()).
+  size_t reservoir_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_.size();
+  }
+
   void Reset() {
     std::lock_guard<std::mutex> lock(mu_);
     samples_.clear();
+    count_ = 0;
+    sum_ = 0.0;
+    max_ = 0.0;
   }
 
  private:
+  const size_t capacity_;
   mutable std::mutex mu_;
-  std::vector<double> samples_;  // guarded by mu_
+  std::vector<double> samples_;  // reservoir; guarded by mu_
+  uint64_t count_ = 0;           // guarded by mu_
+  double sum_ = 0.0;             // guarded by mu_
+  double max_ = 0.0;             // guarded by mu_
+  Rng rng_;                      // guarded by mu_
 };
 
 /// Point-in-time copy of the service counters, safe to read and print.
@@ -68,6 +106,10 @@ struct MetricsSnapshot {
   uint64_t extract_helper_tasks = 0;    // shard tasks run by donated threads
   double extract_coalescing_ratio = 1.0;   // pages_demanded / pages_read
   double extract_parallel_efficiency = 1.0;  // avg threads in extraction
+
+  /// Per-stage tracing summaries, filled by the service when a Tracer
+  /// is attached (empty otherwise). See docs/OBSERVABILITY.md.
+  std::vector<obs::StageSummary> stages;
 
   /// One-line JSON object (keys stable for the benchmark harness).
   std::string ToJson() const;

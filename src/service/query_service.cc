@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -23,6 +25,13 @@ struct Ticket::State {
   Clock::time_point submitted;
   Clock::time_point deadline;  // time_point::max() = none
   bool has_deadline = false;
+
+  /// Tracing: the request's root context (span_id is the kQuery root
+  /// span, recorded retroactively at completion), the tracer clock at
+  /// admission, and the query-class label. All-zero when tracing is off.
+  obs::TraceContext trace;
+  double trace_start = 0.0;
+  char trace_label[16] = {0};
 };
 
 Result<ServiceReply> Ticket::Wait() const {
@@ -77,6 +86,16 @@ Result<Ticket> QueryService::Submit(const ServiceRequest& request) {
   }
   auto state = std::make_shared<Ticket::State>();
   state->submitted = Clock::now();
+  if (options_.tracer != nullptr && options_.tracer->enabled()) {
+    state->trace = options_.tracer->StartTrace();
+    state->trace.span_id = options_.tracer->NextSpanId();  // root span id
+    state->trace_start = options_.tracer->NowSeconds();
+    const qbism::QuerySpec& spec = request.spec;
+    const char* label = spec.intensity_range            ? "intensity"
+                        : spec.box || spec.structure_name ? "region"
+                                                          : "full";
+    std::strncpy(state->trace_label, label, sizeof(state->trace_label) - 1);
+  }
   if (request.deadline_seconds > 0.0) {
     state->has_deadline = true;
     state->deadline =
@@ -119,6 +138,21 @@ void QueryService::Complete(const std::shared_ptr<Ticket::State>& state,
     metrics_.AddFailed();
   }
   metrics_.RecordLatency(latency);
+  if (state->trace.tracer != nullptr) {
+    // The root span, recorded retroactively so it covers admission to
+    // reply (its children were recorded live as the request executed).
+    obs::SpanRecord root;
+    root.trace_id = state->trace.trace_id;
+    root.span_id = state->trace.span_id;
+    root.parent_id = 0;
+    root.stage = obs::Stage::kQuery;
+    root.ok = reply.ok();
+    root.start_seconds = state->trace_start;
+    root.duration_seconds =
+        state->trace.tracer->NowSeconds() - state->trace_start;
+    std::memcpy(root.label, state->trace_label, sizeof(root.label));
+    state->trace.tracer->Record(root);
+  }
   {
     std::lock_guard<std::mutex> lock(state->mu);
     state->reply = std::move(reply);
@@ -144,6 +178,21 @@ Result<ServiceReply> QueryService::Serve(qbism::MedicalServer* server,
       std::chrono::duration<double>(picked_up - state->submitted).count();
   metrics_.RecordQueueWait(queue_wait);
 
+  // Everything this worker (and any donated helper) does for the
+  // request now runs under its trace.
+  obs::ScopedTraceContext trace_ctx(state->trace);
+  if (state->trace.tracer != nullptr) {
+    // Queue residence, recorded retroactively (it already happened).
+    obs::SpanRecord qw;
+    qw.trace_id = state->trace.trace_id;
+    qw.span_id = state->trace.tracer->NextSpanId();
+    qw.parent_id = state->trace.span_id;
+    qw.stage = obs::Stage::kQueueWait;
+    qw.start_seconds = state->trace_start;
+    qw.duration_seconds = queue_wait;
+    state->trace.tracer->Record(qw);
+  }
+
   // Admission-to-execution gate: requests that died in the queue never
   // touch the database, so a burst of doomed work drains at checkpoint
   // speed instead of query speed.
@@ -161,7 +210,11 @@ Result<ServiceReply> QueryService::Serve(qbism::MedicalServer* server,
   reply.queue_wait_seconds = queue_wait;
   WallTimer execute_timer;
 
-  if (std::shared_ptr<const volume::DataRegion> hit = cache_.Get(key)) {
+  obs::Span probe(obs::Stage::kCacheProbe);
+  std::shared_ptr<const volume::DataRegion> hit = cache_.Get(key);
+  probe.SetLabel(hit ? "hit" : "miss");
+  probe.End();
+  if (hit) {
     // Shared-cache fast path: no SQL, no LFM I/O, no network model —
     // only ImportVolume (and rendering, when asked) still run, exactly
     // like the §5.2 DX cache but across all clients.
@@ -172,9 +225,12 @@ Result<ServiceReply> QueryService::Serve(qbism::MedicalServer* server,
     out.result_runs = out.data.region().RunCount();
     out.result_voxels = out.data.VoxelCount();
     out.data_sql = "(served from the shared result cache)";
+    obs::Span import(obs::Stage::kImport);
     viz::DxExecutive::ImportResult imported = server->dx()->ImportVolume(out.data);
+    import.End();
     out.timing.import_cpu_seconds = imported.cpu_seconds;
     if (pending.request.render) {
+      obs::Span render_span(obs::Stage::kRender);
       viz::DxExecutive::RenderResult rendered =
           server->dx()->Render(imported.dense, pending.request.camera);
       out.timing.render_seconds = rendered.cpu_seconds;
@@ -222,6 +278,10 @@ Result<ServiceReply> QueryService::Serve(qbism::MedicalServer* server,
       break;  // the backoff alone would blow the deadline; give up
     }
     if (backoff > 0.0) {
+      obs::Span retry(obs::Stage::kRetry);
+      char label[16];
+      std::snprintf(label, sizeof(label), "retry%d", attempt + 1);
+      retry.SetLabel(label);
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
     }
     metrics_.AddRetry();
@@ -244,6 +304,7 @@ Result<ServiceReply> QueryService::Serve(qbism::MedicalServer* server,
     double modeled_wait = (timing.db_real_seconds - timing.db_cpu_seconds) +
                           timing.network_seconds;
     if (modeled_wait > 0.0) {
+      obs::Span wait(obs::Stage::kIoWait);
       std::this_thread::sleep_for(std::chrono::duration<double>(
           options_.io_wait_scale * modeled_wait));
     }
@@ -288,6 +349,9 @@ MetricsSnapshot QueryService::metrics() const {
   out.extract_helper_tasks = delta.helper_tasks;
   out.extract_coalescing_ratio = delta.CoalescingRatio();
   out.extract_parallel_efficiency = delta.ParallelEfficiency();
+  if (options_.tracer != nullptr) {
+    out.stages = options_.tracer->StageSummaries();
+  }
   return out;
 }
 

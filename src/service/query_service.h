@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "common/task_pool.h"
 #include "net/channel.h"
+#include "obs/trace.h"
 #include "qbism/medical_server.h"
 #include "qbism/spatial_extension.h"
 #include "service/admission_queue.h"
@@ -100,6 +101,13 @@ struct ServiceOptions {
   /// monopolizing it. -1 sizes the pool to num_workers; 0 disables
   /// (extractions run inline on their worker).
   int extract_helper_threads = -1;
+  /// Optional tracing sink (not owned; must outlive the service). Each
+  /// admitted request becomes one trace: a kQuery root span labeled by
+  /// query class, with queue wait, cache probe, the server's stage
+  /// spans, retries, and realized I/O waits as children. When null or
+  /// disabled every instrumentation point costs one thread-local read
+  /// and a branch. metrics().stages carries the per-stage summaries.
+  obs::Tracer* tracer = nullptr;
   net::NetworkCostModel net_model;
   qbism::ServerCostModel cost_model;
 };

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace qbism::storage {
 
@@ -75,6 +76,9 @@ Result<std::vector<uint8_t>> LongFieldManager::ReadRange(
   uint64_t first_page = offset / kPageSize;
   uint64_t last_page = (offset + length - 1) / kPageSize;
   uint64_t count = last_page - first_page + 1;
+  obs::Span span(obs::Stage::kIo);
+  span.AddPages(count);
+  span.AddBytes(length);
   std::vector<uint8_t> pages(count * kPageSize);
   QBISM_RETURN_NOT_OK(
       device_->ReadPages(entry->start_page + first_page, count, pages.data()));
@@ -105,6 +109,9 @@ Result<std::vector<std::vector<uint8_t>>> LongFieldManager::ReadRanges(
   std::sort(pages.begin(), pages.end());
   pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
 
+  obs::Span span(obs::Stage::kIo);
+  span.AddPages(pages.size());
+
   // Read runs of consecutive pages as single sequential transfers.
   std::unordered_map<uint64_t, std::vector<uint8_t>> cache;
   size_t i = 0;
@@ -127,6 +134,7 @@ Result<std::vector<std::vector<uint8_t>>> LongFieldManager::ReadRanges(
   std::vector<std::vector<uint8_t>> out;
   out.reserve(ranges.size());
   for (const ByteRange& r : ranges) {
+    span.AddBytes(r.length);
     std::vector<uint8_t> buf(r.length);
     uint64_t copied = 0;
     while (copied < r.length) {
@@ -199,6 +207,7 @@ Result<ReadPlan> LongFieldManager::BuildReadPlan(
 Result<ReadPlan> LongFieldManager::PlanRead(
     LongFieldId id, const std::vector<ByteRange>& ranges,
     const ReadPlanOptions& options) const {
+  obs::Span span(obs::Stage::kPlan);
   std::shared_lock<std::shared_mutex> lock(mu_);
   QBISM_ASSIGN_OR_RETURN(const Entry* entry, Lookup(id));
   return BuildReadPlan(ranges, entry->size_bytes, options);
@@ -214,6 +223,7 @@ Status LongFieldManager::ReadExtents(LongFieldId id,
   std::shared_lock<std::shared_mutex> lock(mu_);
   QBISM_ASSIGN_OR_RETURN(const Entry* entry, Lookup(id));
   uint64_t field_pages = entry->PageCount();
+  obs::Span span(obs::Stage::kIo);
   std::vector<storage::PageReadOp> ops;
   ops.reserve(extents.size());
   for (size_t i = 0; i < extents.size(); ++i) {
@@ -222,10 +232,14 @@ Status LongFieldManager::ReadExtents(LongFieldId id,
       return Status::OutOfRange(
           "LongFieldManager::ReadExtents: extent past field end");
     }
+    span.AddPages(e.page_count);
+    span.AddBytes(e.ByteCount());
     ops.push_back(PageReadOp{entry->start_page + e.first_page, e.page_count,
                              outs[i]});
   }
-  return device_->ReadPagesBatch(ops);
+  Status status = device_->ReadPagesBatch(ops);
+  if (!status.ok()) span.SetFailed();
+  return status;
 }
 
 Result<uint64_t> LongFieldManager::PagesTouched(

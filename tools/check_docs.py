@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Documentation cross-reference checker (ctest: docs_check).
+
+Run from the repository root (the ctest registration sets the working
+directory). Verifies, over every tracked markdown file:
+
+1. Relative markdown links resolve to files that exist.
+2. Every `DESIGN.md §N` reference names an existing `## N.` section
+   of DESIGN.md. (Bare `§N` references are paper sections and are not
+   checked.)
+3. Every experiment id `E<N>` mentioned anywhere has a row in
+   DESIGN.md's experiment index table and a `## E<N>` section in
+   EXPERIMENTS.md.
+
+Exits non-zero with one line per problem.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "PAPER.md",
+    "docs/OBSERVABILITY.md",
+]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+DESIGN_SECTION_REF_RE = re.compile(r"DESIGN\.md\s*§+\s*(\d+)")
+DESIGN_SECTION_DEF_RE = re.compile(r"^##\s+(\d+)\.", re.MULTILINE)
+EXPERIMENT_REF_RE = re.compile(r"\bE(\d+)\b")
+EXPERIMENT_INDEX_ROW_RE = re.compile(r"^\|\s*E(\d+)\s*\|", re.MULTILINE)
+EXPERIMENT_SECTION_RE = re.compile(r"^##\s+E(\d+)\b", re.MULTILINE)
+
+
+def main() -> int:
+    problems = []
+    texts = {}
+    for rel in DOC_FILES:
+        path = ROOT / rel
+        if not path.is_file():
+            problems.append(f"{rel}: listed in check_docs.py but missing")
+            continue
+        texts[rel] = path.read_text(encoding="utf-8")
+
+    design = texts.get("DESIGN.md", "")
+    experiments = texts.get("EXPERIMENTS.md", "")
+    design_sections = set(DESIGN_SECTION_DEF_RE.findall(design))
+    index_rows = set(EXPERIMENT_INDEX_ROW_RE.findall(design))
+    experiment_sections = set(EXPERIMENT_SECTION_RE.findall(experiments))
+
+    for rel, text in texts.items():
+        base = (ROOT / rel).parent
+
+        # 1. Relative links resolve.
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            if not (base / target_path).exists():
+                problems.append(f"{rel}: broken link -> {target}")
+
+        # 2. DESIGN.md §N references name real sections.
+        for num in DESIGN_SECTION_REF_RE.findall(text):
+            if num not in design_sections:
+                problems.append(
+                    f"{rel}: reference to DESIGN.md §{num}, but DESIGN.md "
+                    f"has no '## {num}.' section"
+                )
+
+        # 3. Experiment ids resolve in both the index and EXPERIMENTS.md.
+        for num in set(EXPERIMENT_REF_RE.findall(text)):
+            if num not in index_rows:
+                problems.append(
+                    f"{rel}: experiment E{num} is not in DESIGN.md's "
+                    f"experiment index"
+                )
+            if num not in experiment_sections:
+                problems.append(
+                    f"{rel}: experiment E{num} has no '## E{num}' section "
+                    f"in EXPERIMENTS.md"
+                )
+
+    if problems:
+        for p in sorted(set(problems)):
+            print(p)
+        print(f"docs_check: {len(set(problems))} problem(s)")
+        return 1
+    n_links = sum(len(LINK_RE.findall(t)) for t in texts.values())
+    print(
+        f"docs_check: OK ({len(texts)} files, {n_links} links, "
+        f"{len(design_sections)} DESIGN sections, "
+        f"{len(experiment_sections)} experiments)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
