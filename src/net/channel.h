@@ -25,9 +25,14 @@ struct ChannelStats {
   uint64_t bytes = 0;
   double simulated_seconds = 0.0;
 
+  /// Saturating delta: a "before" snapshot taken prior to a stats reset
+  /// can be larger than the "after"; clamp each field at zero instead
+  /// of wrapping the unsigned counters around.
   ChannelStats operator-(const ChannelStats& o) const {
-    return {messages - o.messages, bytes - o.bytes,
-            simulated_seconds - o.simulated_seconds};
+    auto sat = [](uint64_t a, uint64_t b) { return a >= b ? a - b : 0; };
+    double seconds = simulated_seconds - o.simulated_seconds;
+    return {sat(messages, o.messages), sat(bytes, o.bytes),
+            seconds > 0.0 ? seconds : 0.0};
   }
 };
 

@@ -59,6 +59,9 @@ const char* StageName(Stage stage) {
     case Stage::kScan: return "scan";
     case Stage::kRetry: return "retry";
     case Stage::kIoWait: return "io_wait";
+    case Stage::kRequest: return "request";
+    case Stage::kAccept: return "accept";
+    case Stage::kAdmit: return "admit";
   }
   return "unknown";
 }

@@ -38,8 +38,11 @@ enum class Stage : uint8_t {
   kScan,        // one streaming whole-field scan (bandregion/volumemean)
   kRetry,       // transient-fault retry backoff sleep
   kIoWait,      // realized modeled I/O+network wait (io_wait_scale)
+  kRequest,     // one wire request on the socket server (root span)
+  kAccept,      // reading the request frame off the socket
+  kAdmit,       // tenant fair-share admission wait (socket server)
 };
-inline constexpr int kNumStages = 17;
+inline constexpr int kNumStages = 20;
 
 /// Stable lower-case stage name ("query", "queue", "io", ...).
 const char* StageName(Stage stage);

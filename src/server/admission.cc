@@ -1,0 +1,121 @@
+#include "server/admission.h"
+
+#include <cmath>
+
+namespace qbism::server {
+
+AdmissionSlot& AdmissionSlot::operator=(AdmissionSlot&& other) noexcept {
+  if (this != &other) {
+    Release();
+    governor_ = other.governor_;
+    tenant_ = other.tenant_;
+    other.governor_ = nullptr;
+    other.tenant_ = -1;
+  }
+  return *this;
+}
+
+void AdmissionSlot::Release() {
+  if (governor_ == nullptr) return;
+  governor_->Release(tenant_);
+  governor_ = nullptr;
+  tenant_ = -1;
+}
+
+TenantGovernor::TenantGovernor(const std::vector<TenantConfig>& tenants,
+                               int total_slots)
+    : total_slots_(total_slots) {
+  double weight_sum = 0.0;
+  for (const TenantConfig& t : tenants) {
+    weight_sum += t.weight > 0.0 ? t.weight : 0.0;
+  }
+  if (weight_sum <= 0.0) weight_sum = 1.0;
+  tenants_.reserve(tenants.size());
+  for (const TenantConfig& t : tenants) {
+    TenantState state;
+    if (t.max_inflight > 0) {
+      state.slot_cap = t.max_inflight;
+    } else {
+      double weight = t.weight > 0.0 ? t.weight : 0.0;
+      state.slot_cap = std::max(
+          1, static_cast<int>(std::floor(static_cast<double>(total_slots) *
+                                         weight / weight_sum)));
+    }
+    state.max_waiting = t.max_waiting > 0 ? t.max_waiting : 1;
+    tenants_.push_back(state);
+  }
+}
+
+Result<AdmissionSlot> TenantGovernor::Admit(int tenant) {
+  if (tenant < 0 || tenant >= static_cast<int>(tenants_.size())) {
+    return Status::InvalidArgument("unknown tenant index");
+  }
+  TenantState& state = tenants_[static_cast<size_t>(tenant)];
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return Status::Cancelled("admission closed");
+  if (state.inflight < state.slot_cap) {
+    ++state.inflight;
+    ++state.admitted;
+    return AdmissionSlot(this, tenant);
+  }
+  // Tenant at its fair-share cap: wait, unless its line is already full
+  // — that is the per-tenant quota, and it must reject fast so a greedy
+  // tenant's excess bounces instead of accumulating unbounded waiters.
+  if (state.waiting >= state.max_waiting) {
+    ++state.rejected_quota;
+    return Status::ResourceExhausted(
+        "tenant quota: " + std::to_string(state.max_waiting) +
+        " requests already waiting");
+  }
+  ++state.waiting;
+  ++state.waited;
+  freed_.wait(lock, [&] {
+    return closed_ || state.inflight < state.slot_cap;
+  });
+  --state.waiting;
+  if (closed_) return Status::Cancelled("admission closed");
+  ++state.inflight;
+  ++state.admitted;
+  return AdmissionSlot(this, tenant);
+}
+
+void TenantGovernor::Release(int tenant) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --tenants_[static_cast<size_t>(tenant)].inflight;
+  }
+  // A freed slot can only help waiters of the same tenant, but the
+  // wait predicate re-checks per-tenant state, so a broadcast is
+  // correct (and slots free rarely relative to wait cost).
+  freed_.notify_all();
+}
+
+void TenantGovernor::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  freed_.notify_all();
+}
+
+TenantAdmissionStats TenantGovernor::tenant_stats(int tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TenantState& state = tenants_[static_cast<size_t>(tenant)];
+  TenantAdmissionStats out;
+  out.admitted = state.admitted;
+  out.rejected_quota = state.rejected_quota;
+  out.waited = state.waited;
+  out.inflight = state.inflight;
+  out.waiting = state.waiting;
+  out.slot_cap = state.slot_cap;
+  return out;
+}
+
+int TenantGovernor::total_inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int total = 0;
+  for (const TenantState& t : tenants_) total += t.inflight;
+  return total;
+}
+
+}  // namespace qbism::server

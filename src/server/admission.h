@@ -1,0 +1,112 @@
+#ifndef QBISM_SERVER_ADMISSION_H_
+#define QBISM_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "server/auth.h"
+
+namespace qbism::server {
+
+class TenantGovernor;
+
+/// RAII execution slot handed out by the governor; releasing it (or
+/// destroying it) wakes the next waiter. Movable, not copyable.
+class AdmissionSlot {
+ public:
+  AdmissionSlot() = default;
+  AdmissionSlot(AdmissionSlot&& other) noexcept { *this = std::move(other); }
+  AdmissionSlot& operator=(AdmissionSlot&& other) noexcept;
+  ~AdmissionSlot() { Release(); }
+
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+  void Release();
+  bool held() const { return governor_ != nullptr; }
+
+ private:
+  friend class TenantGovernor;
+  AdmissionSlot(TenantGovernor* governor, int tenant)
+      : governor_(governor), tenant_(tenant) {}
+
+  TenantGovernor* governor_ = nullptr;
+  int tenant_ = -1;
+};
+
+/// Point-in-time view of one tenant's admission accounting.
+struct TenantAdmissionStats {
+  uint64_t admitted = 0;        // slots granted
+  uint64_t rejected_quota = 0;  // bounced at the waiting cap
+  uint64_t waited = 0;          // admissions that had to block
+  int inflight = 0;             // slots currently held
+  int waiting = 0;              // currently blocked in Admit
+  int slot_cap = 0;             // the tenant's fair-share in-flight cap
+};
+
+/// Per-tenant fair-share admission in front of the QueryService.
+///
+/// Each tenant holds at most `slot_cap(t)` execution slots at once —
+/// explicit (TenantConfig::max_inflight) or derived from its weight:
+/// max(1, floor(total_slots * weight_t / sum(weights))). A request for
+/// a tenant at its cap blocks (fairly, FIFO per tenant) until one of
+/// that tenant's slots frees; at most `max_waiting` requests may block
+/// per tenant, and arrivals beyond that are rejected immediately with
+/// ResourceExhausted (counted as quota_rejected). A global bound equal
+/// to the sum of the caps keeps the inner admission queue from ever
+/// rejecting an admitted request.
+///
+/// The fair-share guarantee: a greedy tenant saturating its own cap
+/// cannot take slots that other tenants' caps reserve, so every tenant
+/// always has slot_cap(t) worth of service capacity available — the
+/// greedy tenant's surplus queues on its own connections instead.
+class TenantGovernor {
+ public:
+  /// `total_slots` is the capacity being shared — normally the query
+  /// service's worker count.
+  TenantGovernor(const std::vector<TenantConfig>& tenants, int total_slots);
+
+  /// Blocks until the tenant is under its cap, then takes a slot.
+  ///   ResourceExhausted  tenant's waiting line is full (quota)
+  ///   Cancelled          governor closed (server shutdown)
+  Result<AdmissionSlot> Admit(int tenant);
+
+  /// Wakes every waiter with Cancelled and makes further Admit calls
+  /// fail; held slots may still be released.
+  void Close();
+
+  TenantAdmissionStats tenant_stats(int tenant) const;
+  int slot_cap(int tenant) const {
+    return tenants_[static_cast<size_t>(tenant)].slot_cap;
+  }
+  int total_slots() const { return total_slots_; }
+  int total_inflight() const;
+
+ private:
+  friend class AdmissionSlot;
+
+  struct TenantState {
+    int slot_cap = 0;
+    int max_waiting = 0;
+    int inflight = 0;  // guarded by mu_
+    int waiting = 0;   // guarded by mu_
+    uint64_t admitted = 0;
+    uint64_t rejected_quota = 0;
+    uint64_t waited = 0;
+  };
+
+  void Release(int tenant);
+
+  const int total_slots_;
+  mutable std::mutex mu_;
+  std::condition_variable freed_;
+  std::vector<TenantState> tenants_;  // guarded by mu_
+  bool closed_ = false;               // guarded by mu_
+};
+
+}  // namespace qbism::server
+
+#endif  // QBISM_SERVER_ADMISSION_H_

@@ -1,0 +1,83 @@
+#ifndef QBISM_SERVER_CLIENT_H_
+#define QBISM_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "server/codec.h"
+#include "server/socket_io.h"
+#include "volume/volume.h"
+
+namespace qbism::server {
+
+/// One completed query as seen from the wire: the reassembled answer
+/// plus the server's accounting for it.
+struct QueryOutcome {
+  volume::DataRegion data;
+  ResultHeader header;
+  /// Answer-payload bytes received across kResultChunk frames; always
+  /// equals header.payload_bytes on success (the client verifies the
+  /// byte total and the whole-payload CRC from kResultEnd).
+  uint64_t shipped_bytes = 0;
+  uint32_t chunks = 0;
+  /// Client-observed round trip: query frame sent -> kResultEnd read.
+  double wire_seconds = 0.0;
+  double modeled_egress_seconds = 0.0;
+};
+
+/// Blocking client for the QBISM socket protocol: dial, Login, then
+/// RunQuery in a loop. One connection serves one request at a time
+/// (matching the closed-loop clients of the paper's experiments); open
+/// several clients for concurrency. Not thread-safe.
+class NetClient {
+ public:
+  NetClient() = default;
+
+  /// Dials host:port. No frames are exchanged until Login.
+  static Result<NetClient> Connect(const std::string& host, uint16_t port);
+
+  /// HELLO/WELCOME: authenticates and stores the session token.
+  Status Login(const std::string& tenant, const std::string& secret);
+
+  /// Sends one query and reassembles the chunked answer.
+  Result<QueryOutcome> RunQuery(const qbism::QuerySpec& spec,
+                                double deadline_seconds = 0.0);
+
+  /// Keep-alive; also refreshes the session's idle TTL server-side.
+  Status Ping();
+
+  /// Polite close: sends kBye and drops the connection.
+  void Bye();
+  void Close() { socket_.Close(); }
+
+  bool connected() const { return socket_.valid(); }
+  uint64_t session_token() const { return session_token_; }
+  /// Server-announced values from WELCOME (0 before Login).
+  double session_ttl_seconds() const { return session_ttl_seconds_; }
+  uint32_t server_chunk_bytes() const { return server_chunk_bytes_; }
+  /// Reason carried by the last kError frame (kNone if none yet); the
+  /// returned Status only carries the StatusCode.
+  ErrorReason last_error_reason() const { return last_error_reason_; }
+
+  FrameSocket* socket() { return &socket_; }  // for fault-injection tests
+
+ private:
+  explicit NetClient(FrameSocket socket) : socket_(std::move(socket)) {}
+
+  /// Reads one frame, turning kError frames into their carried Status
+  /// (and recording the reason).
+  Result<Frame> ReadExpected(MessageType want, uint64_t request_id);
+
+  FrameSocket socket_;
+  uint64_t session_token_ = 0;
+  uint64_t next_request_id_ = 1;
+  double session_ttl_seconds_ = 0.0;
+  uint32_t server_chunk_bytes_ = 0;
+  ErrorReason last_error_reason_ = ErrorReason::kNone;
+};
+
+}  // namespace qbism::server
+
+#endif  // QBISM_SERVER_CLIENT_H_

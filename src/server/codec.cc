@@ -1,0 +1,289 @@
+#include "server/codec.h"
+
+#include "common/macros.h"
+#include "region/encoding.h"
+
+namespace qbism::server {
+
+namespace {
+
+/// Caps on variable-length pieces inside decoded payloads, enforced
+/// before any allocation. Generous for real answers (a full 512^3
+/// study's values are 128 MiB — above kMaxFramePayload anyway, so such
+/// answers arrive chunked), tight enough that a lying length cannot
+/// balloon memory.
+constexpr uint32_t kMaxSqlBytes = 1u << 20;
+constexpr uint32_t kMaxNameBytes = 4096;
+constexpr uint32_t kMaxRegionBytes = 256u << 20;
+
+void PutTiming(WireWriter* w, const qbism::TimingBreakdown& t) {
+  w->PutF64(t.db_cpu_seconds);
+  w->PutF64(t.db_real_seconds);
+  w->PutU64(t.lfm_pages);
+  w->PutU64(t.network_messages);
+  w->PutF64(t.network_seconds);
+  w->PutF64(t.import_cpu_seconds);
+  w->PutF64(t.render_seconds);
+  w->PutF64(t.other_seconds);
+  w->PutF64(t.total_seconds);
+}
+
+Status GetTiming(WireReader* r, qbism::TimingBreakdown* t) {
+  QBISM_ASSIGN_OR_RETURN(t->db_cpu_seconds, r->GetF64());
+  QBISM_ASSIGN_OR_RETURN(t->db_real_seconds, r->GetF64());
+  QBISM_ASSIGN_OR_RETURN(t->lfm_pages, r->GetU64());
+  QBISM_ASSIGN_OR_RETURN(t->network_messages, r->GetU64());
+  QBISM_ASSIGN_OR_RETURN(t->network_seconds, r->GetF64());
+  QBISM_ASSIGN_OR_RETURN(t->import_cpu_seconds, r->GetF64());
+  QBISM_ASSIGN_OR_RETURN(t->render_seconds, r->GetF64());
+  QBISM_ASSIGN_OR_RETURN(t->other_seconds, r->GetF64());
+  QBISM_ASSIGN_OR_RETURN(t->total_seconds, r->GetF64());
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeHello(const HelloRequest& hello) {
+  WireWriter w;
+  w.PutString(hello.tenant);
+  w.PutString(hello.secret);
+  return w.Take();
+}
+
+Result<HelloRequest> DecodeHello(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  HelloRequest out;
+  QBISM_ASSIGN_OR_RETURN(out.tenant, r.GetString(kMaxNameBytes));
+  QBISM_ASSIGN_OR_RETURN(out.secret, r.GetString(kMaxNameBytes));
+  return out;
+}
+
+std::vector<uint8_t> EncodeWelcome(const WelcomeReply& welcome) {
+  WireWriter w;
+  w.PutU64(welcome.session_token);
+  w.PutF64(welcome.session_ttl_seconds);
+  w.PutU32(welcome.chunk_bytes);
+  return w.Take();
+}
+
+Result<WelcomeReply> DecodeWelcome(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  WelcomeReply out;
+  QBISM_ASSIGN_OR_RETURN(out.session_token, r.GetU64());
+  QBISM_ASSIGN_OR_RETURN(out.session_ttl_seconds, r.GetF64());
+  QBISM_ASSIGN_OR_RETURN(out.chunk_bytes, r.GetU32());
+  return out;
+}
+
+std::vector<uint8_t> EncodeQuery(const QueryRequest& query) {
+  const qbism::QuerySpec& spec = query.spec;
+  WireWriter w;
+  w.PutI32(spec.study_id);
+  w.PutString(spec.atlas_name);
+  w.PutU8(spec.structure_name.has_value() ? 1 : 0);
+  if (spec.structure_name) w.PutString(*spec.structure_name);
+  w.PutU8(spec.box.has_value() ? 1 : 0);
+  if (spec.box) {
+    w.PutI32(spec.box->min.x);
+    w.PutI32(spec.box->min.y);
+    w.PutI32(spec.box->min.z);
+    w.PutI32(spec.box->max.x);
+    w.PutI32(spec.box->max.y);
+    w.PutI32(spec.box->max.z);
+  }
+  w.PutU8(spec.intensity_range.has_value() ? 1 : 0);
+  if (spec.intensity_range) {
+    w.PutI32(spec.intensity_range->first);
+    w.PutI32(spec.intensity_range->second);
+  }
+  w.PutU8(spec.use_band_index ? 1 : 0);
+  w.PutU8(spec.allow_cached ? 1 : 0);
+  w.PutU8(query.render ? 1 : 0);
+  w.PutF64(query.deadline_seconds);
+  return w.Take();
+}
+
+Result<QueryRequest> DecodeQuery(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  QueryRequest out;
+  qbism::QuerySpec& spec = out.spec;
+  QBISM_ASSIGN_OR_RETURN(spec.study_id, r.GetI32());
+  QBISM_ASSIGN_OR_RETURN(spec.atlas_name, r.GetString(kMaxNameBytes));
+  QBISM_ASSIGN_OR_RETURN(uint8_t has_structure, r.GetU8());
+  if (has_structure) {
+    QBISM_ASSIGN_OR_RETURN(std::string name, r.GetString(kMaxNameBytes));
+    spec.structure_name = std::move(name);
+  }
+  QBISM_ASSIGN_OR_RETURN(uint8_t has_box, r.GetU8());
+  if (has_box) {
+    geometry::Box3i box;
+    QBISM_ASSIGN_OR_RETURN(box.min.x, r.GetI32());
+    QBISM_ASSIGN_OR_RETURN(box.min.y, r.GetI32());
+    QBISM_ASSIGN_OR_RETURN(box.min.z, r.GetI32());
+    QBISM_ASSIGN_OR_RETURN(box.max.x, r.GetI32());
+    QBISM_ASSIGN_OR_RETURN(box.max.y, r.GetI32());
+    QBISM_ASSIGN_OR_RETURN(box.max.z, r.GetI32());
+    spec.box = box;
+  }
+  QBISM_ASSIGN_OR_RETURN(uint8_t has_range, r.GetU8());
+  if (has_range) {
+    int32_t lo, hi;
+    QBISM_ASSIGN_OR_RETURN(lo, r.GetI32());
+    QBISM_ASSIGN_OR_RETURN(hi, r.GetI32());
+    spec.intensity_range = std::make_pair(lo, hi);
+  }
+  QBISM_ASSIGN_OR_RETURN(uint8_t band_index, r.GetU8());
+  spec.use_band_index = band_index != 0;
+  QBISM_ASSIGN_OR_RETURN(uint8_t cached, r.GetU8());
+  spec.allow_cached = cached != 0;
+  QBISM_ASSIGN_OR_RETURN(uint8_t render, r.GetU8());
+  out.render = render != 0;
+  QBISM_ASSIGN_OR_RETURN(out.deadline_seconds, r.GetF64());
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after query payload");
+  }
+  return out;
+}
+
+std::vector<uint8_t> EncodeResultHeader(const ResultHeader& header) {
+  WireWriter w;
+  w.PutU64(header.result_runs);
+  w.PutU64(header.result_voxels);
+  w.PutU64(header.payload_bytes);
+  w.PutU32(header.chunk_count);
+  w.PutU32(header.chunk_bytes);
+  w.PutU8(header.cache_hit ? 1 : 0);
+  w.PutI32(header.worker_id);
+  PutTiming(&w, header.timing);
+  w.PutString(header.info_sql);
+  w.PutString(header.data_sql);
+  return w.Take();
+}
+
+Result<ResultHeader> DecodeResultHeader(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  ResultHeader out;
+  QBISM_ASSIGN_OR_RETURN(out.result_runs, r.GetU64());
+  QBISM_ASSIGN_OR_RETURN(out.result_voxels, r.GetU64());
+  QBISM_ASSIGN_OR_RETURN(out.payload_bytes, r.GetU64());
+  QBISM_ASSIGN_OR_RETURN(out.chunk_count, r.GetU32());
+  QBISM_ASSIGN_OR_RETURN(out.chunk_bytes, r.GetU32());
+  QBISM_ASSIGN_OR_RETURN(uint8_t hit, r.GetU8());
+  out.cache_hit = hit != 0;
+  QBISM_ASSIGN_OR_RETURN(out.worker_id, r.GetI32());
+  QBISM_RETURN_NOT_OK(GetTiming(&r, &out.timing));
+  QBISM_ASSIGN_OR_RETURN(out.info_sql, r.GetString(kMaxSqlBytes));
+  QBISM_ASSIGN_OR_RETURN(out.data_sql, r.GetString(kMaxSqlBytes));
+  return out;
+}
+
+std::vector<uint8_t> EncodeResultEnd(const ResultEnd& end) {
+  WireWriter w;
+  w.PutU64(end.payload_bytes);
+  w.PutU32(end.chunk_count);
+  w.PutU32(end.payload_crc);
+  w.PutF64(end.modeled_egress_seconds);
+  return w.Take();
+}
+
+Result<ResultEnd> DecodeResultEnd(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  ResultEnd out;
+  QBISM_ASSIGN_OR_RETURN(out.payload_bytes, r.GetU64());
+  QBISM_ASSIGN_OR_RETURN(out.chunk_count, r.GetU32());
+  QBISM_ASSIGN_OR_RETURN(out.payload_crc, r.GetU32());
+  QBISM_ASSIGN_OR_RETURN(out.modeled_egress_seconds, r.GetF64());
+  return out;
+}
+
+std::vector<uint8_t> EncodeError(const ErrorReply& error) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(error.code));
+  w.PutU16(static_cast<uint16_t>(error.reason));
+  w.PutString(error.message);
+  return w.Take();
+}
+
+Result<ErrorReply> DecodeError(const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  ErrorReply out;
+  QBISM_ASSIGN_OR_RETURN(uint32_t code, r.GetU32());
+  if (code > static_cast<uint32_t>(StatusCode::kCancelled)) {
+    return Status::Corruption("unknown status code " + std::to_string(code));
+  }
+  out.code = static_cast<StatusCode>(code);
+  QBISM_ASSIGN_OR_RETURN(uint16_t reason, r.GetU16());
+  if (reason > static_cast<uint16_t>(ErrorReason::kQueryFailed)) {
+    return Status::Corruption("unknown error reason " +
+                              std::to_string(reason));
+  }
+  out.reason = static_cast<ErrorReason>(reason);
+  QBISM_ASSIGN_OR_RETURN(out.message, r.GetString(kMaxSqlBytes));
+  return out;
+}
+
+Result<std::vector<uint8_t>> EncodeAnswerPayload(
+    const volume::DataRegion& data) {
+  const region::Region& reg = data.region();
+  QBISM_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> region_bytes,
+      region::EncodeRegion(reg, region::RegionEncoding::kEliasDeltas));
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(reg.grid().dims));
+  w.PutU8(static_cast<uint8_t>(reg.grid().bits));
+  w.PutU8(static_cast<uint8_t>(reg.curve_kind()));
+  w.PutU8(0);  // reserved (future: alternate region encodings)
+  w.PutU32(static_cast<uint32_t>(region_bytes.size()));
+  w.PutBytes(region_bytes.data(), region_bytes.size());
+  w.PutU64(data.values().size());
+  w.PutBytes(data.values().data(), data.values().size());
+  return w.Take();
+}
+
+Result<volume::DataRegion> DecodeAnswerPayload(
+    const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  region::GridSpec grid;
+  QBISM_ASSIGN_OR_RETURN(uint8_t dims, r.GetU8());
+  QBISM_ASSIGN_OR_RETURN(uint8_t bits, r.GetU8());
+  grid.dims = dims;
+  grid.bits = bits;
+  if (grid.dims < 2 || grid.dims > 3 || grid.bits < 1 || grid.bits > 20 ||
+      grid.dims * grid.bits > 62) {
+    return Status::Corruption("implausible answer grid spec");
+  }
+  QBISM_ASSIGN_OR_RETURN(uint8_t kind_raw, r.GetU8());
+  if (kind_raw > static_cast<uint8_t>(curve::CurveKind::kZ)) {
+    return Status::Corruption("unknown curve kind in answer");
+  }
+  curve::CurveKind kind = static_cast<curve::CurveKind>(kind_raw);
+  QBISM_ASSIGN_OR_RETURN(uint8_t reserved, r.GetU8());
+  if (reserved != 0) {
+    return Status::Corruption("reserved answer byte set");
+  }
+  QBISM_ASSIGN_OR_RETURN(uint32_t region_size, r.GetU32());
+  if (region_size > kMaxRegionBytes || region_size > r.remaining()) {
+    return Status::Corruption("answer region length exceeds payload");
+  }
+  QBISM_ASSIGN_OR_RETURN(std::vector<uint8_t> region_bytes,
+                         r.GetRaw(region_size));
+  QBISM_ASSIGN_OR_RETURN(
+      region::Region reg,
+      region::DecodeRegion(grid, kind, region::RegionEncoding::kEliasDeltas,
+                           region_bytes));
+  QBISM_ASSIGN_OR_RETURN(uint64_t value_count, r.GetU64());
+  if (value_count != reg.VoxelCount()) {
+    return Status::Corruption("answer value count does not match region");
+  }
+  if (value_count > r.remaining()) {
+    return Status::Corruption("answer values truncated");
+  }
+  QBISM_ASSIGN_OR_RETURN(std::vector<uint8_t> values,
+                         r.GetRaw(static_cast<size_t>(value_count)));
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after answer payload");
+  }
+  return volume::DataRegion(std::move(reg), std::move(values));
+}
+
+}  // namespace qbism::server

@@ -1,0 +1,105 @@
+#ifndef QBISM_SERVER_CODEC_H_
+#define QBISM_SERVER_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "qbism/medical_server.h"
+#include "server/protocol.h"
+#include "volume/volume.h"
+
+namespace qbism::server {
+
+/// Message codec: the payload formats carried inside protocol frames.
+/// Every Decode* goes through the bounds-checked WireReader, so a
+/// malformed payload yields a clean Corruption status, never a read
+/// past the buffer. docs/NETWORK.md documents each layout.
+
+/// kHello payload.
+struct HelloRequest {
+  std::string tenant;
+  std::string secret;
+};
+
+/// kWelcome payload.
+struct WelcomeReply {
+  uint64_t session_token = 0;
+  double session_ttl_seconds = 0.0;
+  uint32_t chunk_bytes = 0;  // result streaming chunk size the server uses
+};
+
+/// kQuery payload: the QuerySpec plus request-scoped service controls.
+struct QueryRequest {
+  qbism::QuerySpec spec;
+  bool render = false;
+  double deadline_seconds = 0.0;
+};
+
+/// kResultHeader payload: everything about the answer except the voxel
+/// payload itself, which follows as `chunk_count` kResultChunk frames
+/// totalling `payload_bytes` bytes (the codec's ship-bytes accounting).
+struct ResultHeader {
+  uint64_t result_runs = 0;
+  uint64_t result_voxels = 0;
+  uint64_t payload_bytes = 0;
+  uint32_t chunk_count = 0;
+  uint32_t chunk_bytes = 0;
+  bool cache_hit = false;
+  int32_t worker_id = -1;
+  qbism::TimingBreakdown timing;
+  std::string info_sql;
+  std::string data_sql;
+};
+
+/// kResultEnd payload: totals the client can cross-check against what
+/// it received, plus the whole-payload CRC (each chunk frame is already
+/// CRC'd individually; this seals the reassembled stream).
+struct ResultEnd {
+  uint64_t payload_bytes = 0;
+  uint32_t chunk_count = 0;
+  uint32_t payload_crc = 0;
+  double modeled_egress_seconds = 0.0;  // egress shaper accounting
+};
+
+/// kError payload.
+struct ErrorReply {
+  StatusCode code = StatusCode::kInternal;
+  ErrorReason reason = ErrorReason::kNone;
+  std::string message;
+};
+
+std::vector<uint8_t> EncodeHello(const HelloRequest& hello);
+Result<HelloRequest> DecodeHello(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeWelcome(const WelcomeReply& welcome);
+Result<WelcomeReply> DecodeWelcome(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeQuery(const QueryRequest& query);
+Result<QueryRequest> DecodeQuery(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeResultHeader(const ResultHeader& header);
+Result<ResultHeader> DecodeResultHeader(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeResultEnd(const ResultEnd& end);
+Result<ResultEnd> DecodeResultEnd(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeError(const ErrorReply& error);
+Result<ErrorReply> DecodeError(const std::vector<uint8_t>& payload);
+
+/// Serializes a DataRegion answer: grid + curve, the REGION in its
+/// compact Elias-gamma delta encoding (§4.2's most compact scheme, the
+/// same bytes the paper would ship), then the voxel intensities. This
+/// buffer is what gets sliced into kResultChunk frames; its size is the
+/// canonical "bytes shipped" for the query.
+Result<std::vector<uint8_t>> EncodeAnswerPayload(
+    const volume::DataRegion& data);
+
+/// Inverse of EncodeAnswerPayload over the reassembled chunk stream.
+Result<volume::DataRegion> DecodeAnswerPayload(
+    const std::vector<uint8_t>& payload);
+
+}  // namespace qbism::server
+
+#endif  // QBISM_SERVER_CODEC_H_

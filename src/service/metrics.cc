@@ -48,6 +48,9 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   out.completed = completed_.load(std::memory_order_relaxed);
   out.retries = retries_.load(std::memory_order_relaxed);
   out.giveups = giveups_.load(std::memory_order_relaxed);
+  out.unauthorized = unauthorized_.load(std::memory_order_relaxed);
+  out.quota_rejected = quota_rejected_.load(std::memory_order_relaxed);
+  out.session_expired = session_expired_.load(std::memory_order_relaxed);
   out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   out.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   out.lfm_pages = lfm_pages_.load(std::memory_order_relaxed);
@@ -59,12 +62,14 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
 }
 
 std::string MetricsSnapshot::ToJson() const {
-  char buf[1024];
+  char buf[1536];
   std::snprintf(
       buf, sizeof(buf),
       "{\"submitted\":%llu,\"rejected_queue_full\":%llu,"
       "\"deadline_expired\":%llu,\"cancelled\":%llu,\"failed\":%llu,"
       "\"completed\":%llu,\"retries\":%llu,\"giveups\":%llu,"
+      "\"unauthorized\":%llu,\"quota_rejected\":%llu,"
+      "\"session_expired\":%llu,"
       "\"cache_hits\":%llu,\"cache_misses\":%llu,"
       "\"lfm_pages\":%llu,\"network_seconds\":%.6f,"
       "\"queue_wait_seconds\":%.6f,"
@@ -82,6 +87,9 @@ std::string MetricsSnapshot::ToJson() const {
       static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(retries),
       static_cast<unsigned long long>(giveups),
+      static_cast<unsigned long long>(unauthorized),
+      static_cast<unsigned long long>(quota_rejected),
+      static_cast<unsigned long long>(session_expired),
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses),
       static_cast<unsigned long long>(lfm_pages), network_seconds,

@@ -89,6 +89,12 @@ struct MetricsSnapshot {
   uint64_t completed = 0;  // OK replies
   uint64_t retries = 0;    // transient-fault re-executions of a query
   uint64_t giveups = 0;    // requests failed with the retry budget spent
+  /// Front-end rejections (the socket server's admission edge; see
+  /// docs/NETWORK.md). Counted alongside rejected_queue_full so one
+  /// snapshot covers every way a request can bounce before execution.
+  uint64_t unauthorized = 0;     // bad credentials / bad session token
+  uint64_t quota_rejected = 0;   // per-tenant quota or fair-share bound
+  uint64_t session_expired = 0;  // request on a session past its TTL
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t lfm_pages = 0;
@@ -132,6 +138,15 @@ class ServiceMetrics {
   void AddCompleted() { completed_.fetch_add(1, std::memory_order_relaxed); }
   void AddRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
   void AddGiveup() { giveups_.fetch_add(1, std::memory_order_relaxed); }
+  void AddUnauthorized() {
+    unauthorized_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddQuotaRejected() {
+    quota_rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddSessionExpired() {
+    session_expired_.fetch_add(1, std::memory_order_relaxed);
+  }
   void AddCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
   void AddCacheMiss() {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -165,6 +180,9 @@ class ServiceMetrics {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> giveups_{0};
+  std::atomic<uint64_t> unauthorized_{0};
+  std::atomic<uint64_t> quota_rejected_{0};
+  std::atomic<uint64_t> session_expired_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> lfm_pages_{0};

@@ -30,6 +30,7 @@ struct Ticket::State {
   /// span, recorded retroactively at completion), the tracer clock at
   /// admission, and the query-class label. All-zero when tracing is off.
   obs::TraceContext trace;
+  uint64_t root_parent = 0;  // parent span when joining a front-end trace
   double trace_start = 0.0;
   char trace_label[16] = {0};
 };
@@ -87,7 +88,14 @@ Result<Ticket> QueryService::Submit(const ServiceRequest& request) {
   auto state = std::make_shared<Ticket::State>();
   state->submitted = Clock::now();
   if (options_.tracer != nullptr && options_.tracer->enabled()) {
-    state->trace = options_.tracer->StartTrace();
+    if (request.trace_parent.tracer == options_.tracer) {
+      // Join the front end's trace: the kQuery root becomes a child of
+      // the server's per-request span instead of a fresh trace root.
+      state->trace = request.trace_parent;
+      state->root_parent = request.trace_parent.span_id;
+    } else {
+      state->trace = options_.tracer->StartTrace();
+    }
     state->trace.span_id = options_.tracer->NextSpanId();  // root span id
     state->trace_start = options_.tracer->NowSeconds();
     const qbism::QuerySpec& spec = request.spec;
@@ -144,7 +152,7 @@ void QueryService::Complete(const std::shared_ptr<Ticket::State>& state,
     obs::SpanRecord root;
     root.trace_id = state->trace.trace_id;
     root.span_id = state->trace.span_id;
-    root.parent_id = 0;
+    root.parent_id = state->root_parent;
     root.stage = obs::Stage::kQuery;
     root.ok = reply.ok();
     root.start_seconds = state->trace_start;

@@ -28,6 +28,11 @@ struct ServiceRequest {
   bool render = false;
   viz::Camera camera;
   double deadline_seconds = 0.0;
+  /// When set (and its tracer is the service's), the request joins this
+  /// trace instead of starting a fresh one: the kQuery root span hangs
+  /// under trace_parent.span_id, so a front end (the socket server) can
+  /// stitch accept -> decode -> admit -> execute -> ship into one tree.
+  obs::TraceContext trace_parent;
 };
 
 /// Reply for a completed request: the ordinary single-study result plus
@@ -150,6 +155,14 @@ class QueryService {
   /// the shared extractor since this service started.
   MetricsSnapshot metrics() const;
   ResultCacheStats cache_stats() const { return cache_.stats(); }
+
+  /// Front-end rejection accounting: a server sitting in front of the
+  /// service (src/server) counts the requests it bounces before they
+  /// reach Submit, so one MetricsSnapshot covers the whole edge.
+  void NoteUnauthorized() { metrics_.AddUnauthorized(); }
+  void NoteQuotaRejected() { metrics_.AddQuotaRejected(); }
+  void NoteSessionExpired() { metrics_.AddSessionExpired(); }
+
   /// Pure probe (no LRU promotion, no stats): is this QuerySpec
   /// description cached? Fault tests assert failed queries never are.
   bool CacheContains(const std::string& key) const {

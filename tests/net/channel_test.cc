@@ -65,6 +65,27 @@ TEST(ChannelTest, StatsDeltaSubtraction) {
   EXPECT_GT(delta.simulated_seconds, 0.0);
 }
 
+TEST(ChannelTest, StatsDeltaSaturatesInsteadOfWrapping) {
+  // Regression: subtracting a larger "before" snapshot (taken prior to
+  // a reset) used to wrap the unsigned counters to ~2^64; the delta
+  // must clamp at zero instead.
+  ChannelStats before{/*messages=*/10, /*bytes=*/5000,
+                      /*simulated_seconds=*/1.0};
+  ChannelStats after{/*messages=*/3, /*bytes=*/200,
+                     /*simulated_seconds=*/0.25};
+  ChannelStats delta = after - before;
+  EXPECT_EQ(delta.messages, 0u);
+  EXPECT_EQ(delta.bytes, 0u);
+  EXPECT_EQ(delta.simulated_seconds, 0.0);
+  // Mixed direction clamps per field, not across fields.
+  ChannelStats mixed{/*messages=*/12, /*bytes=*/100,
+                     /*simulated_seconds=*/2.0};
+  ChannelStats mixed_delta = mixed - before;
+  EXPECT_EQ(mixed_delta.messages, 2u);
+  EXPECT_EQ(mixed_delta.bytes, 0u);
+  EXPECT_NEAR(mixed_delta.simulated_seconds, 1.0, 1e-12);
+}
+
 TEST(ChannelTest, DeterministicAcrossInstances) {
   SimulatedChannel a, b;
   a.SendBulk(123456);

@@ -1,0 +1,174 @@
+#include "server/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace qbism::server {
+namespace {
+
+TenantConfig Tenant(const std::string& name, double weight,
+                    int max_waiting = 64) {
+  TenantConfig t;
+  t.name = name;
+  t.secret = name + "-secret";
+  t.weight = weight;
+  t.max_waiting = max_waiting;
+  return t;
+}
+
+void WaitUntil(const std::function<bool()>& pred) {
+  for (int i = 0; i < 2000 && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pred());
+}
+
+TEST(AdmissionTest, SlotCapsFollowWeights) {
+  // 8 slots split 2:1:1 -> 4/2/2.
+  TenantGovernor governor({Tenant("a", 2.0), Tenant("b", 1.0),
+                           Tenant("c", 1.0)},
+                          /*total_slots=*/8);
+  EXPECT_EQ(governor.slot_cap(0), 4);
+  EXPECT_EQ(governor.slot_cap(1), 2);
+  EXPECT_EQ(governor.slot_cap(2), 2);
+}
+
+TEST(AdmissionTest, EveryTenantGetsAtLeastOneSlot) {
+  // A tiny weight still reserves one slot: a greedy tenant can never
+  // starve another tenant completely.
+  TenantGovernor governor({Tenant("whale", 100.0), Tenant("shrimp", 0.01)},
+                          /*total_slots=*/4);
+  EXPECT_GE(governor.slot_cap(1), 1);
+  EXPECT_LE(governor.slot_cap(0), 4);
+}
+
+TEST(AdmissionTest, ExplicitMaxInflightOverridesWeight) {
+  TenantConfig capped = Tenant("capped", 10.0);
+  capped.max_inflight = 1;
+  TenantGovernor governor({capped, Tenant("other", 1.0)}, 8);
+  EXPECT_EQ(governor.slot_cap(0), 1);
+}
+
+TEST(AdmissionTest, AdmitUpToCapThenRejectBeyondWaitingQuota) {
+  TenantGovernor governor({Tenant("a", 1.0, /*max_waiting=*/1)},
+                          /*total_slots=*/2);
+  ASSERT_EQ(governor.slot_cap(0), 2);
+  auto s1 = governor.Admit(0);
+  auto s2 = governor.Admit(0);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+
+  // Cap reached: the next request waits...
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    auto s3 = governor.Admit(0);
+    if (s3.ok()) admitted.store(true);
+  });
+  WaitUntil([&] { return governor.tenant_stats(0).waiting == 1; });
+
+  // ...and with the waiting line full, a fourth rejects immediately.
+  auto s4 = governor.Admit(0);
+  ASSERT_FALSE(s4.ok());
+  EXPECT_TRUE(s4.status().IsResourceExhausted());
+  EXPECT_EQ(governor.tenant_stats(0).rejected_quota, 1u);
+
+  // Releasing a slot admits the waiter.
+  s1->Release();
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  TenantAdmissionStats stats = governor.tenant_stats(0);
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.waited, 1u);
+  // The waiter's slot released when its thread exited; only s2 remains.
+  EXPECT_EQ(stats.inflight, 1);
+}
+
+TEST(AdmissionTest, UnknownTenantRejected) {
+  TenantGovernor governor({Tenant("a", 1.0)}, 2);
+  EXPECT_FALSE(governor.Admit(-1).ok());
+  EXPECT_FALSE(governor.Admit(1).ok());
+}
+
+TEST(AdmissionTest, SlotReleaseOnDestruction) {
+  TenantGovernor governor({Tenant("a", 1.0)}, 1);
+  {
+    auto slot = governor.Admit(0);
+    ASSERT_TRUE(slot.ok());
+    EXPECT_EQ(governor.total_inflight(), 1);
+  }
+  EXPECT_EQ(governor.total_inflight(), 0);
+  // Double release is harmless.
+  auto slot = governor.Admit(0);
+  ASSERT_TRUE(slot.ok());
+  slot->Release();
+  slot->Release();
+  EXPECT_EQ(governor.total_inflight(), 0);
+}
+
+TEST(AdmissionTest, CloseWakesAllWaiters) {
+  TenantGovernor governor({Tenant("a", 1.0, /*max_waiting=*/8)}, 1);
+  auto held = governor.Admit(0);
+  ASSERT_TRUE(held.ok());
+  std::atomic<int> cancelled{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] {
+      auto slot = governor.Admit(0);
+      if (!slot.ok() && slot.status().IsCancelled()) cancelled.fetch_add(1);
+    });
+  }
+  WaitUntil([&] { return governor.tenant_stats(0).waiting == 4; });
+  governor.Close();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(cancelled.load(), 4);
+  // Admissions after Close fail fast.
+  EXPECT_TRUE(governor.Admit(0).status().IsCancelled());
+}
+
+// The fair-share property the E19 bench demonstrates end to end, in
+// miniature: a greedy tenant hammering the governor from many threads
+// can never hold more than its cap, so the victim's slots stay free.
+TEST(AdmissionTest, GreedyTenantCannotExceedItsCap) {
+  TenantGovernor governor(
+      {Tenant("greedy", 1.0, /*max_waiting=*/4), Tenant("victim", 1.0)},
+      /*total_slots=*/4);
+  ASSERT_EQ(governor.slot_cap(0), 2);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> max_seen{0};
+  std::vector<std::thread> greedy;
+  for (int i = 0; i < 8; ++i) {
+    greedy.emplace_back([&] {
+      while (!stop.load()) {
+        auto slot = governor.Admit(0);
+        if (slot.ok()) {
+          int inflight = governor.tenant_stats(0).inflight;
+          int seen = max_seen.load();
+          while (inflight > seen &&
+                 !max_seen.compare_exchange_weak(seen, inflight)) {
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+      }
+    });
+  }
+  // While the greedy tenant churns, the victim always admits instantly.
+  for (int i = 0; i < 50; ++i) {
+    auto slot = governor.Admit(1);
+    ASSERT_TRUE(slot.ok());
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  stop.store(true);
+  governor.Close();
+  for (auto& t : greedy) t.join();
+  EXPECT_LE(max_seen.load(), governor.slot_cap(0));
+  EXPECT_EQ(governor.tenant_stats(1).waited, 0u);
+}
+
+}  // namespace
+}  // namespace qbism::server

@@ -1,0 +1,128 @@
+#include "server/auth.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qbism::server {
+namespace {
+
+std::vector<TenantConfig> TwoTenants() {
+  TenantConfig a;
+  a.name = "alpha";
+  a.secret = "alpha-secret";
+  TenantConfig b;
+  b.name = "beta";
+  b.secret = "beta-secret";
+  b.max_sessions = 2;
+  return {a, b};
+}
+
+TEST(AuthTest, LoginIssuesDistinctTokensAndValidates) {
+  AuthManager auth(TwoTenants(), /*session_ttl_seconds=*/60.0, /*seed=*/1);
+  std::set<uint64_t> tokens;
+  for (int i = 0; i < 32; ++i) {
+    auto session = auth.Login("alpha", "alpha-secret");
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    EXPECT_NE(session->token, 0u);
+    EXPECT_EQ(session->tenant, 0);
+    tokens.insert(session->token);
+  }
+  EXPECT_EQ(tokens.size(), 32u);  // no collisions, no zero tokens
+  EXPECT_EQ(auth.ActiveSessions(), 32u);
+  for (uint64_t token : tokens) {
+    auto tenant = auth.Validate(token);
+    ASSERT_TRUE(tenant.ok());
+    EXPECT_EQ(*tenant, 0);
+  }
+}
+
+TEST(AuthTest, RejectsBadCredentialsUniformly) {
+  AuthManager auth(TwoTenants(), 60.0);
+  // Unknown tenant and wrong secret fail the same way, so a probe
+  // cannot distinguish which half was wrong.
+  auto unknown = auth.Login("gamma", "alpha-secret");
+  auto wrong = auth.Login("alpha", "beta-secret");
+  ASSERT_FALSE(unknown.ok());
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_TRUE(unknown.status().IsInvalidArgument());
+  EXPECT_TRUE(wrong.status().IsInvalidArgument());
+  EXPECT_EQ(unknown.status().message(), wrong.status().message());
+}
+
+TEST(AuthTest, UnknownTokenIsUnauthorized) {
+  AuthManager auth(TwoTenants(), 60.0);
+  auto tenant = auth.Validate(0xDEADBEEFull);
+  ASSERT_FALSE(tenant.ok());
+  EXPECT_TRUE(tenant.status().IsInvalidArgument());
+  EXPECT_FALSE(auth.Validate(0).ok());  // the pre-login placeholder
+}
+
+TEST(AuthTest, SessionExpiryOnInjectedClock) {
+  double now = 1000.0;
+  AuthManager auth(TwoTenants(), /*session_ttl_seconds=*/10.0, /*seed=*/0,
+                   [&now] { return now; });
+  auto session = auth.Login("alpha", "alpha-secret");
+  ASSERT_TRUE(session.ok());
+
+  now += 9.0;  // within TTL: validates and refreshes
+  ASSERT_TRUE(auth.Validate(session->token).ok());
+  now += 9.0;  // within the *refreshed* TTL
+  ASSERT_TRUE(auth.Validate(session->token).ok());
+
+  now += 10.5;  // past the idle TTL
+  auto expired = auth.Validate(session->token);
+  ASSERT_FALSE(expired.ok());
+  EXPECT_TRUE(expired.status().IsDeadlineExceeded());
+  // The expired session was removed: a retry is now merely unknown.
+  EXPECT_TRUE(auth.Validate(session->token).status().IsInvalidArgument());
+  EXPECT_EQ(auth.ActiveSessions(), 0u);
+}
+
+TEST(AuthTest, SessionQuotaPerTenant) {
+  AuthManager auth(TwoTenants(), 60.0);
+  auto s1 = auth.Login("beta", "beta-secret");
+  auto s2 = auth.Login("beta", "beta-secret");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  auto s3 = auth.Login("beta", "beta-secret");  // max_sessions = 2
+  ASSERT_FALSE(s3.ok());
+  EXPECT_TRUE(s3.status().IsResourceExhausted());
+  // Logout frees a slot.
+  auth.Logout(s1->token);
+  EXPECT_TRUE(auth.Login("beta", "beta-secret").ok());
+  // And alpha's quota is independent.
+  EXPECT_TRUE(auth.Login("alpha", "alpha-secret").ok());
+}
+
+TEST(AuthTest, SweepRemovesOnlyExpiredSessions) {
+  double now = 0.0;
+  AuthManager auth(TwoTenants(), /*session_ttl_seconds=*/10.0, /*seed=*/7,
+                   [&now] { return now; });
+  auto old_session = auth.Login("alpha", "alpha-secret");
+  ASSERT_TRUE(old_session.ok());
+  now = 8.0;
+  auto fresh_session = auth.Login("alpha", "alpha-secret");
+  ASSERT_TRUE(fresh_session.ok());
+  now = 12.0;  // old expired at 10, fresh expires at 18
+  EXPECT_EQ(auth.SweepExpired(), 1u);
+  EXPECT_EQ(auth.ActiveSessions(), 1u);
+  EXPECT_FALSE(auth.Validate(old_session->token).ok());
+  EXPECT_TRUE(auth.Validate(fresh_session->token).ok());
+  // The swept session released its quota slot.
+  auto relogin = auth.Login("alpha", "alpha-secret");
+  EXPECT_TRUE(relogin.ok());
+}
+
+TEST(AuthTest, FindTenantAndAccessors) {
+  AuthManager auth(TwoTenants(), 42.0);
+  EXPECT_EQ(auth.num_tenants(), 2);
+  EXPECT_EQ(auth.FindTenant("alpha"), 0);
+  EXPECT_EQ(auth.FindTenant("beta"), 1);
+  EXPECT_EQ(auth.FindTenant("gamma"), -1);
+  EXPECT_EQ(auth.tenant(1).name, "beta");
+  EXPECT_EQ(auth.session_ttl_seconds(), 42.0);
+}
+
+}  // namespace
+}  // namespace qbism::server

@@ -68,6 +68,22 @@ TEST(LatencyRecorderTest, ResetClearsEverything) {
   EXPECT_EQ(recorder.Summarize().count, 1u);
 }
 
+TEST(ServiceMetricsTest, EdgeRejectionCountersFlowIntoSnapshotAndJson) {
+  ServiceMetrics metrics;
+  metrics.AddUnauthorized();
+  metrics.AddUnauthorized();
+  metrics.AddQuotaRejected();
+  metrics.AddSessionExpired();
+  MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.unauthorized, 2u);
+  EXPECT_EQ(snapshot.quota_rejected, 1u);
+  EXPECT_EQ(snapshot.session_expired, 1u);
+  std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"unauthorized\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"quota_rejected\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"session_expired\":1"), std::string::npos);
+}
+
 TEST(MetricsSnapshotTest, ToJsonOmitsStagesWhenUntraced) {
   MetricsSnapshot snapshot;
   std::string json = snapshot.ToJson();

@@ -29,6 +29,7 @@ DOC_FILES = [
     "CHANGES.md",
     "PAPER.md",
     "docs/OBSERVABILITY.md",
+    "docs/NETWORK.md",
 ]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
