@@ -1,0 +1,19 @@
+#ifndef QBISM_COMMON_CRC32_H_
+#define QBISM_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qbism {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte
+/// buffer. Shared by the wire protocol's frame trailer and the
+/// write-ahead log's record framing, so both layers detect the same
+/// corruption classes with the same code.
+uint32_t Crc32(const uint8_t* data, size_t size);
+uint32_t Crc32(const std::vector<uint8_t>& data);
+
+}  // namespace qbism
+
+#endif  // QBISM_COMMON_CRC32_H_

@@ -22,6 +22,7 @@ enum class StatusCode {
   kResourceExhausted = 9,
   kDeadlineExceeded = 10,
   kCancelled = 11,
+  kFailedPrecondition = 12,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -83,6 +84,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -106,6 +110,9 @@ class Status {
     return code() == StatusCode::kDeadlineExceeded;
   }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

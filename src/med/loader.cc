@@ -16,30 +16,24 @@ using sql::Value;
 using storage::LongFieldId;
 using volume::Volume;
 
-namespace {
-
-/// Loads one raw study end to end: raw long field, warp, warped VOLUME,
-/// intensity bands.
-Status LoadStudy(SpatialExtension* ext, const LoadOptions& options,
-                 int study_id, int patient_id, const std::string& modality,
-                 const warp::RawVolume& raw, uint64_t warp_seed,
-                 int atlas_id) {
+Status StoreStudyRecord(SpatialExtension* ext, const StudyRecord& record) {
   sql::Database* db = ext->db();
+  const warp::RawVolume& raw = record.raw;
 
   LongFieldId raw_field;
-  if (options.store_raw_volumes) {
+  if (record.store_raw) {
     QBISM_ASSIGN_OR_RETURN(raw_field, db->lfm()->Create(raw.data()));
   }
   QBISM_RETURN_NOT_OK(db->Insert(
       "rawVolume",
-      Row{Value::Int(study_id), Value::Int(patient_id),
-          Value::String("1993-07-0" + std::to_string(1 + study_id % 9)),
-          Value::String(modality), Value::Int(raw.nx()), Value::Int(raw.ny()),
-          Value::Int(raw.nz()), Value::LongField(raw_field)}));
+      Row{Value::Int(record.study_id), Value::Int(record.patient_id),
+          Value::String(record.date), Value::String(record.modality),
+          Value::Int(raw.nx()), Value::Int(raw.ny()), Value::Int(raw.nz()),
+          Value::LongField(raw_field)}));
 
   // Warp to atlas space at load time (the computation is expensive, so
   // the paper stores the result rather than warping per query).
-  Affine3 warp_tx = StudyWarp(warp_seed, raw.nx(), raw.ny(), raw.nz());
+  Affine3 warp_tx = StudyWarp(record.warp_seed, raw.nx(), raw.ny(), raw.nz());
   Volume warped = warp::WarpToAtlas(raw, warp_tx, ext->config().grid,
                                     ext->config().curve);
   QBISM_ASSIGN_OR_RETURN(LongFieldId volume_field, ext->StoreVolume(warped));
@@ -47,7 +41,7 @@ Status LoadStudy(SpatialExtension* ext, const LoadOptions& options,
   const auto& t = warp_tx.translation();
   QBISM_RETURN_NOT_OK(db->Insert(
       "warpedVolume",
-      Row{Value::Int(study_id), Value::Int(atlas_id),
+      Row{Value::Int(record.study_id), Value::Int(record.atlas_id),
           Value::LongField(volume_field), Value::Double(m[0]),
           Value::Double(m[1]), Value::Double(m[2]), Value::Double(m[3]),
           Value::Double(m[4]), Value::Double(m[5]), Value::Double(m[6]),
@@ -55,18 +49,39 @@ Status LoadStudy(SpatialExtension* ext, const LoadOptions& options,
           Value::Double(t.y), Value::Double(t.z)}));
 
   // Redundant intensity-band index (§3.3).
-  std::vector<Region> bands = warped.UniformBands(options.band_width);
+  std::vector<Region> bands = warped.UniformBands(record.band_width);
   int lo = 0;
   for (const Region& band : bands) {
-    int hi = std::min(lo + options.band_width - 1, 255);
+    int hi = std::min(lo + record.band_width - 1, 255);
     QBISM_ASSIGN_OR_RETURN(LongFieldId band_field, ext->StoreRegion(band));
     QBISM_RETURN_NOT_OK(db->Insert(
         "intensityBand",
-        Row{Value::Int(study_id), Value::Int(atlas_id), Value::Int(lo),
-            Value::Int(hi), Value::LongField(band_field)}));
-    lo += options.band_width;
+        Row{Value::Int(record.study_id), Value::Int(record.atlas_id),
+            Value::Int(lo), Value::Int(hi), Value::LongField(band_field)}));
+    lo += record.band_width;
   }
   return Status::OK();
+}
+
+namespace {
+
+/// Bulk-load wrapper: the synthetic corpus's dates are derived from the
+/// study id.
+Status LoadStudy(SpatialExtension* ext, const LoadOptions& options,
+                 int study_id, int patient_id, const std::string& modality,
+                 const warp::RawVolume& raw, uint64_t warp_seed,
+                 int atlas_id) {
+  StudyRecord record;
+  record.study_id = study_id;
+  record.patient_id = patient_id;
+  record.date = "1993-07-0" + std::to_string(1 + study_id % 9);
+  record.modality = modality;
+  record.raw = raw;
+  record.warp_seed = warp_seed;
+  record.atlas_id = atlas_id;
+  record.band_width = options.band_width;
+  record.store_raw = options.store_raw_volumes;
+  return StoreStudyRecord(ext, record);
 }
 
 }  // namespace

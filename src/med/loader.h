@@ -34,6 +34,26 @@ struct LoadedDataset {
   std::vector<std::string> structure_names;
 };
 
+/// Everything needed to store one study: identity columns plus the raw
+/// patient-space scan. Both the bulk loader and the online ingest path
+/// (qbism::IngestManager) funnel through StoreStudyRecord, so an
+/// ingested study is row-for-row identical to a bulk-loaded one.
+struct StudyRecord {
+  int study_id = 0;
+  int patient_id = 0;
+  std::string date;
+  std::string modality;  // "PET" or "MRI"
+  warp::RawVolume raw;
+  uint64_t warp_seed = 0;  // seeds the study's registration warp
+  int atlas_id = 1;
+  int band_width = 32;
+  bool store_raw = true;
+};
+
+/// Stores one study end to end: raw long field + rawVolume row, warp to
+/// atlas space, warped VOLUME, and the intensity-band index (§3.3).
+Status StoreStudyRecord(SpatialExtension* ext, const StudyRecord& record);
+
 /// Populates the schema (BootstrapSchema must have been called) with the
 /// synthetic corpus: atlas row, neural systems/structures, rasterized
 /// structure REGIONs and surface meshes, patients, raw studies, warped

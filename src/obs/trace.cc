@@ -62,6 +62,9 @@ const char* StageName(Stage stage) {
     case Stage::kRequest: return "request";
     case Stage::kAccept: return "accept";
     case Stage::kAdmit: return "admit";
+    case Stage::kIngest: return "ingest";
+    case Stage::kWalSync: return "wal_sync";
+    case Stage::kVacuum: return "vacuum";
   }
   return "unknown";
 }

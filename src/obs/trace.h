@@ -41,8 +41,11 @@ enum class Stage : uint8_t {
   kRequest,     // one wire request on the socket server (root span)
   kAccept,      // reading the request frame off the socket
   kAdmit,       // tenant fair-share admission wait (socket server)
+  kIngest,      // one online study ingest (warp + band + store, logged)
+  kWalSync,     // write-ahead-log page flush (the commit fsync)
+  kVacuum,      // reclamation of dead long-field extents
 };
-inline constexpr int kNumStages = 20;
+inline constexpr int kNumStages = 23;
 
 /// Stable lower-case stage name ("query", "queue", "io", ...).
 const char* StageName(Stage stage);

@@ -181,6 +181,11 @@ Result<std::shared_ptr<const DataRegion>> FirstDataRegion(
 Result<StudyQueryResult> MedicalServer::RunStudyQuery(
     const QuerySpec& spec, bool render, const viz::Camera& camera) {
   sql::Database* db = ext_->db();
+  // Pin the epoch for the whole query (no-op without a WAL): every
+  // long-field read resolves against one consistent pre-ingest view,
+  // however long the extraction takes and however many ingests commit
+  // meanwhile.
+  storage::ReadSnapshot snapshot(db->epochs());
   StudyQueryResult out;
 
   // --- DX cache fast path (§5.2): reviewing a recent result needs no
@@ -310,6 +315,7 @@ Result<MultiStudyResult> MedicalServer::ConsistentBandRegion(
     return Status::InvalidArgument("ConsistentBandRegion: no studies");
   }
   sql::Database* db = ext_->db();
+  storage::ReadSnapshot snapshot(db->epochs());
 
   // Nested n-way INTERSECTION over the per-study band REGIONs.
   std::string region_expr = "ib" + std::to_string(study_ids.size() - 1) +
@@ -361,6 +367,7 @@ Result<StudyQueryResult> MedicalServer::AverageInStructure(
   if (study_ids.empty()) {
     return Status::InvalidArgument("AverageInStructure: no studies");
   }
+  storage::ReadSnapshot snapshot(ext_->db()->epochs());
   sql::Database* db = ext_->db();
   StudyQueryResult out;
 
@@ -451,6 +458,7 @@ Result<StudyQueryResult> MedicalServer::AverageInStructure(
 
 Result<std::vector<double>> MedicalServer::StudyFeatureVector(int study_id) {
   sql::Database* db = ext_->db();
+  storage::ReadSnapshot snapshot(db->epochs());
   QBISM_ASSIGN_OR_RETURN(
       ResultSet volume_rows,
       db->Execute("select wv.data from warpedVolume wv where wv.studyId = " +

@@ -8,6 +8,7 @@
 #include "common/macros.h"
 #include "common/timer.h"
 #include "obs/trace.h"
+#include "storage/epoch.h"
 
 namespace qbism {
 
@@ -79,6 +80,7 @@ ExtractorStatsSnapshot ParallelExtractor::stats() const {
 /// Per-extraction scratchpad shared by its shard tasks.
 struct ParallelExtractor::ShardOutcome {
   std::thread::id owner;
+  uint64_t owner_epoch = 0;  // the owner's pinned snapshot, 0 = latest
   std::mutex mu;
   storage::IoStats helper_io;  // I/O charged to non-owner threads; mu
   uint64_t helper_tasks = 0;   // mu
@@ -99,6 +101,11 @@ Status ParallelExtractor::RunShard(
   // query's trace regardless of which thread runs the shard.
   obs::Span shard(obs::Stage::kShard);
   obs::ScopedTraceContext shard_ctx(shard.context());
+  // Same for the owner's epoch: a helper thread holds no snapshot of
+  // its own, so it adopts the owner's pinned epoch (the owner blocks on
+  // its shards, keeping that pin alive) and every version lookup below
+  // resolves against the same consistent view the planner saw.
+  storage::ReadSnapshot shard_snap(lfm_->epochs(), outcome->owner_epoch);
   storage::DiskDevice* device = lfm_->device();
   storage::IoStats io_before = device->thread_stats();
   uint64_t retries = 0;
@@ -260,6 +267,7 @@ Result<std::vector<uint8_t>> ParallelExtractor::ExtractBytes(
 
   ShardOutcome outcome;
   outcome.owner = std::this_thread::get_id();
+  outcome.owner_epoch = storage::EpochManager::PinnedEpoch(lfm_->epochs());
   const std::function<Status()> interrupt = ThreadInterrupt();
 
   Status status;

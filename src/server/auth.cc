@@ -68,7 +68,11 @@ Result<int> AuthManager::Validate(uint64_t token) {
     return Status::InvalidArgument("unknown session token");
   }
   double now = Now();
-  if (now >= it->second.expires_at) {
+  // A session expires strictly *after* expires_at: a request landing at
+  // exactly login + ttl is still in its idle window. The >= form made
+  // ttl behave as ttl-epsilon and bounced clients whose keepalive
+  // period equaled the configured TTL.
+  if (now > it->second.expires_at) {
     --sessions_per_tenant_[static_cast<size_t>(it->second.tenant)];
     sessions_.erase(it);
     return Status::DeadlineExceeded("session expired; re-authenticate");
@@ -90,7 +94,9 @@ size_t AuthManager::SweepExpired() {
   double now = Now();
   size_t swept = 0;
   for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (now >= it->second.expires_at) {
+    // Same boundary as Validate: strictly past expires_at only, so the
+    // sweeper can never reap a session Validate would still accept.
+    if (now > it->second.expires_at) {
       --sessions_per_tenant_[static_cast<size_t>(it->second.tenant)];
       it = sessions_.erase(it);
       ++swept;

@@ -9,18 +9,6 @@ namespace qbism::server {
 
 namespace {
 
-std::array<uint32_t, 256> BuildCrcTable() {
-  std::array<uint32_t, 256> table{};
-  for (uint32_t i = 0; i < 256; ++i) {
-    uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
 uint32_t LoadU32(const uint8_t* p) {
   return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
          static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
@@ -78,19 +66,6 @@ const char* ErrorReasonName(ErrorReason reason) {
     case ErrorReason::kQueryFailed: return "query_failed";
   }
   return "unknown";
-}
-
-uint32_t Crc32(const uint8_t* data, size_t size) {
-  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
-  uint32_t c = 0xFFFFFFFFu;
-  for (size_t i = 0; i < size; ++i) {
-    c = kTable[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
-}
-
-uint32_t Crc32(const std::vector<uint8_t>& data) {
-  return Crc32(data.data(), data.size());
 }
 
 std::vector<uint8_t> EncodeFrame(MessageType type, uint64_t session,

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/result.h"
 
 namespace qbism::server {
@@ -85,9 +86,9 @@ struct Frame {
   std::vector<uint8_t> payload;
 };
 
-/// CRC-32 (IEEE reflected polynomial 0xEDB88320), table-driven.
-uint32_t Crc32(const uint8_t* data, size_t size);
-uint32_t Crc32(const std::vector<uint8_t>& data);
+/// CRC-32 (IEEE reflected polynomial 0xEDB88320); shared with the
+/// write-ahead log's record framing (common/crc32.h).
+using qbism::Crc32;
 
 /// Serializes header + payload into one contiguous buffer ready for
 /// send(); fills in magic, payload length, and CRC.

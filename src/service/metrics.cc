@@ -53,6 +53,10 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   out.session_expired = session_expired_.load(std::memory_order_relaxed);
   out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   out.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  out.ingests = ingests_.load(std::memory_order_relaxed);
+  out.ingest_failures = ingest_failures_.load(std::memory_order_relaxed);
+  out.cache_invalidations =
+      cache_invalidations_.load(std::memory_order_relaxed);
   out.lfm_pages = lfm_pages_.load(std::memory_order_relaxed);
   out.network_seconds = network_seconds_.load(std::memory_order_relaxed);
   out.queue_wait_seconds = queue_wait_seconds_.load(std::memory_order_relaxed);
@@ -71,6 +75,8 @@ std::string MetricsSnapshot::ToJson() const {
       "\"unauthorized\":%llu,\"quota_rejected\":%llu,"
       "\"session_expired\":%llu,"
       "\"cache_hits\":%llu,\"cache_misses\":%llu,"
+      "\"ingests\":%llu,\"ingest_failures\":%llu,"
+      "\"cache_invalidations\":%llu,"
       "\"lfm_pages\":%llu,\"network_seconds\":%.6f,"
       "\"queue_wait_seconds\":%.6f,"
       "\"extract_extents_planned\":%llu,\"extract_pages_read\":%llu,"
@@ -92,6 +98,9 @@ std::string MetricsSnapshot::ToJson() const {
       static_cast<unsigned long long>(session_expired),
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses),
+      static_cast<unsigned long long>(ingests),
+      static_cast<unsigned long long>(ingest_failures),
+      static_cast<unsigned long long>(cache_invalidations),
       static_cast<unsigned long long>(lfm_pages), network_seconds,
       queue_wait_seconds,
       static_cast<unsigned long long>(extract_extents_planned),

@@ -97,6 +97,12 @@ struct MetricsSnapshot {
   uint64_t session_expired = 0;  // request on a session past its TTL
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Online-ingest accounting (docs/DURABILITY.md): committed ingest
+  /// transactions, failed/aborted ones, and cache entries dropped by
+  /// per-study invalidation at ingest commit.
+  uint64_t ingests = 0;
+  uint64_t ingest_failures = 0;
+  uint64_t cache_invalidations = 0;
   uint64_t lfm_pages = 0;
   double network_seconds = 0.0;
   double queue_wait_seconds = 0.0;  // summed across requests
@@ -151,6 +157,13 @@ class ServiceMetrics {
   void AddCacheMiss() {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
+  void AddIngest() { ingests_.fetch_add(1, std::memory_order_relaxed); }
+  void AddIngestFailure() {
+    ingest_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddCacheInvalidations(uint64_t n) {
+    cache_invalidations_.fetch_add(n, std::memory_order_relaxed);
+  }
   void AddLfmPages(uint64_t pages) {
     lfm_pages_.fetch_add(pages, std::memory_order_relaxed);
   }
@@ -185,6 +198,9 @@ class ServiceMetrics {
   std::atomic<uint64_t> session_expired_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> ingests_{0};
+  std::atomic<uint64_t> ingest_failures_{0};
+  std::atomic<uint64_t> cache_invalidations_{0};
   std::atomic<uint64_t> lfm_pages_{0};
   std::atomic<double> network_seconds_{0.0};
   std::atomic<double> queue_wait_seconds_{0.0};

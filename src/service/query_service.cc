@@ -9,6 +9,7 @@
 
 #include "common/macros.h"
 #include "common/timer.h"
+#include "qbism/ingest.h"
 
 namespace qbism::service {
 
@@ -65,6 +66,17 @@ QueryService::QueryService(qbism::SpatialExtension* ext,
   if (helper_threads > 0) {
     extract_pool_ = std::make_unique<TaskPool>(helper_threads);
     ext_->extractor()->set_pool(extract_pool_.get());
+  }
+  if (options_.ingest != nullptr) {
+    // Every committed ingest drops the study's cached results before
+    // the study comes back online, so a stale entry can never be
+    // served after its data changed.
+    ingest_listener_token_ =
+        options_.ingest->AddCommitListener([this](int study_id) {
+          size_t dropped = cache_.InvalidatePrefix(
+              "study " + std::to_string(study_id) + " ");
+          metrics_.AddCacheInvalidations(dropped);
+        });
   }
   for (int i = 0; i < options_.num_workers; ++i) {
     servers_.push_back(std::make_unique<qbism::MedicalServer>(
@@ -212,6 +224,18 @@ Result<ServiceReply> QueryService::Serve(qbism::MedicalServer* server,
   }
 
   const qbism::QuerySpec& spec = pending.request.spec;
+  // Visibility gate, checked before the cache probe: a study mid-ingest
+  // or quarantined by a failed replace must not be served at all — not
+  // even from cache.
+  if (options_.ingest != nullptr &&
+      !options_.ingest->IsVisible(spec.study_id)) {
+    return Status::NotFound("study " + std::to_string(spec.study_id) +
+                            " is offline for ingest");
+  }
+  uint64_t ingest_version =
+      options_.ingest != nullptr
+          ? options_.ingest->CommitVersion(spec.study_id)
+          : 0;
   std::string key = spec.Describe();
   ServiceReply reply;
   reply.worker_id = worker_id;
@@ -318,9 +342,31 @@ Result<ServiceReply> QueryService::Serve(qbism::MedicalServer* server,
     }
   }
   reply.execute_seconds = execute_timer.Seconds();
-  cache_.Put(key,
-             std::make_shared<const volume::DataRegion>(reply.result.data));
+  // Fill only if no ingest of this study committed while the query ran;
+  // otherwise this (now stale) result would be inserted after the
+  // commit's invalidation swept the key.
+  if (options_.ingest == nullptr ||
+      options_.ingest->CommitVersion(spec.study_id) == ingest_version) {
+    cache_.Put(key,
+               std::make_shared<const volume::DataRegion>(reply.result.data));
+  }
   return reply;
+}
+
+Status QueryService::RunIngest(const qbism::med::StudyRecord& record,
+                               bool replace) {
+  if (options_.ingest == nullptr) {
+    return Status::FailedPrecondition(
+        "QueryService::RunIngest: no IngestManager configured");
+  }
+  Status status = replace ? options_.ingest->ReplaceStudy(record)
+                          : options_.ingest->IngestStudy(record);
+  if (status.ok()) {
+    metrics_.AddIngest();
+  } else {
+    metrics_.AddIngestFailure();
+  }
+  return status;
 }
 
 void QueryService::Shutdown() {
@@ -328,6 +374,10 @@ void QueryService::Shutdown() {
     std::lock_guard<std::mutex> lock(shutdown_mu_);
     if (shut_down_) return;
     shut_down_ = true;
+  }
+  if (options_.ingest != nullptr && ingest_listener_token_ != 0) {
+    options_.ingest->RemoveCommitListener(ingest_listener_token_);
+    ingest_listener_token_ = 0;
   }
   queue_.Close();
   // Fail pending work fast instead of letting workers run it down.

@@ -19,6 +19,13 @@
 #include "service/metrics.h"
 #include "service/result_cache.h"
 
+namespace qbism {
+class IngestManager;
+namespace med {
+struct StudyRecord;
+}  // namespace med
+}  // namespace qbism
+
 namespace qbism::service {
 
 /// One client request: a query spec plus service-level controls. The
@@ -113,6 +120,11 @@ struct ServiceOptions {
   /// disabled every instrumentation point costs one thread-local read
   /// and a branch. metrics().stages carries the per-stage summaries.
   obs::Tracer* tracer = nullptr;
+  /// Optional online-ingest manager (not owned; must outlive the
+  /// service). When set, the service gates requests on study
+  /// visibility, routes RunIngest through it, and invalidates the
+  /// shared result cache per study at every ingest commit.
+  qbism::IngestManager* ingest = nullptr;
   net::NetworkCostModel net_model;
   qbism::ServerCostModel cost_model;
 };
@@ -146,6 +158,12 @@ class QueryService {
 
   /// Convenience: Submit + Wait (the closed-loop client pattern).
   Result<ServiceReply> Execute(const ServiceRequest& request);
+
+  /// Online ingest through the service (requires options.ingest):
+  /// stores (or replaces) the study in one durable transaction while
+  /// queries keep flowing, then invalidates the study's cached results.
+  /// Counted in metrics().ingests / ingest_failures.
+  Status RunIngest(const qbism::med::StudyRecord& record, bool replace);
 
   /// Stops admissions, fails everything still queued with Cancelled,
   /// and joins the workers. Idempotent; the destructor calls it.
@@ -195,6 +213,7 @@ class QueryService {
   std::vector<std::thread> workers_;
   std::mutex shutdown_mu_;
   bool shut_down_ = false;  // guarded by shutdown_mu_
+  uint64_t ingest_listener_token_ = 0;  // set once in the constructor
 };
 
 }  // namespace qbism::service

@@ -19,6 +19,7 @@ struct ResultCacheStats {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  uint64_t invalidations = 0;  // entries dropped by InvalidatePrefix
   uint64_t entries = 0;
   uint64_t bytes = 0;
 };
@@ -58,6 +59,13 @@ class ResultCache {
   /// are not admitted.
   void Put(const std::string& key,
            std::shared_ptr<const volume::DataRegion> value);
+
+  /// Drops every entry whose key starts with `prefix`, counting each
+  /// into stats().invalidations; returns how many were dropped. The
+  /// ingest path calls this with the study component of the
+  /// QuerySpec::Describe() key when a study's data changes, so a cached
+  /// result can never outlive the data it was computed from.
+  size_t InvalidatePrefix(const std::string& prefix);
 
   void Clear();
 

@@ -1,16 +1,78 @@
 #include "sql/database.h"
 
+#include <cstring>
+#include <map>
+
 #include "common/macros.h"
 #include "sql/parser.h"
+#include "sql/schema.h"
 
 namespace qbism::sql {
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+Result<uint32_t> GetU32(const std::vector<uint8_t>& buf, size_t* pos) {
+  if (buf.size() - *pos < 4 || *pos > buf.size()) {
+    return Status::Corruption("WAL catalog payload truncated");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t{buf[*pos + i]} << (8 * i);
+  *pos += 4;
+  return v;
+}
+
+Result<uint64_t> GetU64(const std::vector<uint8_t>& buf, size_t* pos) {
+  if (buf.size() - *pos < 8 || *pos > buf.size()) {
+    return Status::Corruption("WAL catalog payload truncated");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t{buf[*pos + i]} << (8 * i);
+  *pos += 8;
+  return v;
+}
+
+Result<std::string> GetString(const std::vector<uint8_t>& buf, size_t* pos) {
+  QBISM_ASSIGN_OR_RETURN(uint32_t len, GetU32(buf, pos));
+  if (buf.size() - *pos < len) {
+    return Status::Corruption("WAL catalog payload truncated");
+  }
+  std::string s(buf.begin() + static_cast<long>(*pos),
+                buf.begin() + static_cast<long>(*pos + len));
+  *pos += len;
+  return s;
+}
+
+}  // namespace
 
 Database::Database(DatabaseOptions options)
     : relational_device_(options.relational_pages, options.disk_cost_model),
       long_field_device_(options.long_field_pages, options.disk_cost_model),
       pool_(&relational_device_, options.buffer_pool_pages),
       page_allocator_(options.relational_pages),
-      lfm_(&long_field_device_),
+      wal_device_(options.enable_wal
+                      ? std::make_unique<storage::DiskDevice>(
+                            options.wal_pages, options.disk_cost_model)
+                      : nullptr),
+      wal_(options.enable_wal
+               ? std::make_unique<storage::WriteAheadLog>(wal_device_.get())
+               : nullptr),
+      epochs_(options.enable_wal ? std::make_unique<storage::EpochManager>()
+                                 : nullptr),
+      lfm_(&long_field_device_,
+           storage::LfmDurabilityHooks{wal_.get(), epochs_.get()}),
       catalog_(&pool_, &page_allocator_) {}
 
 Result<ResultSet> Database::Execute(const std::string& sql) {
@@ -26,11 +88,122 @@ Status Database::CreateTable(TableSchema schema) {
   return catalog_.CreateTable(std::move(schema));
 }
 
+Status Database::LogCatalogRecord(storage::WalRecordType type,
+                                  const std::vector<uint8_t>& payload) {
+  if (wal_ == nullptr) return Status::OK();
+  uint64_t txn = lfm_.open_txn();
+  if (txn != 0) {
+    // Joins the open ingest transaction: buffered now, durable (and
+    // replayable) once that transaction commits.
+    return wal_->Append(type, txn, payload);
+  }
+  txn = wal_->BeginTxn();
+  QBISM_RETURN_NOT_OK(wal_->Append(type, txn, payload));
+  return wal_->Commit(txn);
+}
+
 Status Database::Insert(const std::string& table, const Row& row) {
   QBISM_ASSIGN_OR_RETURN(TableInfo * info, catalog_.GetTable(table));
   QBISM_ASSIGN_OR_RETURN(storage::RecordId rid, catalog_.InsertRow(info, row));
   (void)rid;
-  return Status::OK();
+  if (wal_ == nullptr) return Status::OK();
+  QBISM_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                         SerializeRow(info->schema, row));
+  std::vector<uint8_t> payload;
+  PutString(&payload, table);
+  payload.insert(payload.end(), bytes.begin(), bytes.end());
+  return LogCatalogRecord(storage::WalRecordType::kCatalogRow, payload);
+}
+
+Status Database::DeleteRowsLogged(const std::string& table,
+                                  const std::string& column, int64_t value) {
+  QBISM_RETURN_NOT_OK(Execute("delete from " + table + " where " + column +
+                              " = " + std::to_string(value))
+                          .status());
+  if (wal_ == nullptr) return Status::OK();
+  std::vector<uint8_t> payload;
+  PutString(&payload, table);
+  PutString(&payload, column);
+  PutU64(&payload, static_cast<uint64_t>(value));
+  return LogCatalogRecord(storage::WalRecordType::kCatalogDelete, payload);
+}
+
+Result<RecoveryStats> Database::Recover() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Database::Recover: database was not opened with enable_wal");
+  }
+  QBISM_ASSIGN_OR_RETURN(storage::WriteAheadLog::ScanResult scan, wal_->Open());
+  RecoveryStats out;
+  out.committed_txns = scan.committed_txns;
+  out.torn_tail = scan.torn_tail;
+  // Content verification applies only to each field's FINAL committed
+  // record: a Set superseded by a later Set or Drop is replayed for its
+  // allocator/directory churn, but its extents may have been vacuumed
+  // and reused by the time of the crash, so its platter bytes are not a
+  // durability claim.
+  std::map<uint64_t, size_t> last_touch;
+  for (size_t i = 0; i < scan.committed.size(); ++i) {
+    const storage::WalRecord& rec = scan.committed[i];
+    if (rec.type == storage::WalRecordType::kLfmSet ||
+        rec.type == storage::WalRecordType::kLfmDrop) {
+      size_t pos = 0;
+      QBISM_ASSIGN_OR_RETURN(uint64_t id, GetU64(rec.payload, &pos));
+      last_touch[id] = i;
+    }
+  }
+  for (size_t i = 0; i < scan.committed.size(); ++i) {
+    const storage::WalRecord& rec = scan.committed[i];
+    size_t pos = 0;
+    switch (rec.type) {
+      case storage::WalRecordType::kLfmSet: {
+        QBISM_ASSIGN_OR_RETURN(uint64_t id, GetU64(rec.payload, &pos));
+        QBISM_ASSIGN_OR_RETURN(uint64_t start, GetU64(rec.payload, &pos));
+        QBISM_ASSIGN_OR_RETURN(uint64_t pages, GetU64(rec.payload, &pos));
+        QBISM_ASSIGN_OR_RETURN(uint64_t size, GetU64(rec.payload, &pos));
+        QBISM_ASSIGN_OR_RETURN(uint32_t crc, GetU32(rec.payload, &pos));
+        QBISM_RETURN_NOT_OK(lfm_.RecoverSet(
+            id, start, pages, size, crc, /*verify_crc=*/last_touch[id] == i));
+        ++out.lfm_sets;
+        break;
+      }
+      case storage::WalRecordType::kLfmDrop: {
+        QBISM_ASSIGN_OR_RETURN(uint64_t id, GetU64(rec.payload, &pos));
+        QBISM_RETURN_NOT_OK(lfm_.RecoverDrop(id));
+        ++out.lfm_drops;
+        break;
+      }
+      case storage::WalRecordType::kCatalogRow: {
+        QBISM_ASSIGN_OR_RETURN(std::string table, GetString(rec.payload, &pos));
+        QBISM_ASSIGN_OR_RETURN(TableInfo * info, catalog_.GetTable(table));
+        std::vector<uint8_t> bytes(rec.payload.begin() + static_cast<long>(pos),
+                                   rec.payload.end());
+        QBISM_ASSIGN_OR_RETURN(Row row, DeserializeRow(info->schema, bytes));
+        QBISM_ASSIGN_OR_RETURN(storage::RecordId rid,
+                               catalog_.InsertRow(info, row));
+        (void)rid;
+        ++out.rows_inserted;
+        break;
+      }
+      case storage::WalRecordType::kCatalogDelete: {
+        QBISM_ASSIGN_OR_RETURN(std::string table, GetString(rec.payload, &pos));
+        QBISM_ASSIGN_OR_RETURN(std::string column,
+                               GetString(rec.payload, &pos));
+        QBISM_ASSIGN_OR_RETURN(uint64_t value, GetU64(rec.payload, &pos));
+        QBISM_RETURN_NOT_OK(
+            Execute("delete from " + table + " where " + column + " = " +
+                    std::to_string(static_cast<int64_t>(value)))
+                .status());
+        ++out.delete_statements;
+        break;
+      }
+      case storage::WalRecordType::kCommit:
+      case storage::WalRecordType::kAbort:
+        continue;  // markers carry no redo work
+    }
+    ++out.records_replayed;
+  }
+  return out;
 }
 
 storage::IoStats Database::TotalIoStats() const {

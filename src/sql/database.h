@@ -1,6 +1,7 @@
 #ifndef QBISM_SQL_DATABASE_H_
 #define QBISM_SQL_DATABASE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -10,19 +11,38 @@
 #include "sql/udf.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_device.h"
+#include "storage/epoch.h"
 #include "storage/long_field.h"
+#include "storage/wal.h"
 
 namespace qbism::sql {
 
-/// Sizing of the two simulated devices. Mirroring the paper's setup
-/// (§6.1), relational data lives on a buffered device (the "AIX file
-/// system") and long fields on an unbuffered device managed by the LFM
-/// (the "AIX logical volume").
+/// Sizing of the simulated devices. Mirroring the paper's setup (§6.1),
+/// relational data lives on a buffered device (the "AIX file system")
+/// and long fields on an unbuffered device managed by the LFM (the "AIX
+/// logical volume"). With `enable_wal` a third small device holds the
+/// write-ahead log, and the database gains transactional online ingest
+/// with crash recovery (docs/DURABILITY.md).
 struct DatabaseOptions {
   uint64_t relational_pages = 1 << 14;          // 64 MB
   uint64_t long_field_pages = 1 << 15;          // 128 MB
   size_t buffer_pool_pages = 256;               // 1 MB of buffered pages
-  storage::DiskCostModel disk_cost_model = {};  // shared by both devices
+  storage::DiskCostModel disk_cost_model = {};  // shared by all devices
+  /// Attach a WAL + epoch manager: mutations become logged, snapshot-
+  /// visible versions; Recover() replays the log after a crash.
+  bool enable_wal = false;
+  uint64_t wal_pages = 1 << 12;  // 16 MB log volume
+};
+
+/// What Database::Recover replayed.
+struct RecoveryStats {
+  uint64_t committed_txns = 0;
+  uint64_t records_replayed = 0;
+  uint64_t lfm_sets = 0;
+  uint64_t lfm_drops = 0;
+  uint64_t rows_inserted = 0;
+  uint64_t delete_statements = 0;
+  bool torn_tail = false;  // the log ended in a torn (mid-sync) record
 };
 
 /// The extensible DBMS facade: devices, buffer pool, catalog, UDF
@@ -36,9 +56,26 @@ class Database {
   /// Parses and executes one SQL statement.
   Result<ResultSet> Execute(const std::string& sql);
 
-  /// Direct (non-SQL) APIs used by loaders and tests.
+  /// Direct (non-SQL) APIs used by loaders and tests. With the WAL
+  /// enabled, Insert also logs the row — joining the LFM's open
+  /// transaction if one exists, else as its own committed transaction —
+  /// so recovery can rebuild the relational state.
   Status CreateTable(TableSchema schema);
   Status Insert(const std::string& table, const Row& row);
+
+  /// Executes `delete from table where column = value` and logs it the
+  /// same way Insert logs rows. The ingest path uses this to retire a
+  /// study's rows before re-ingesting it.
+  Status DeleteRowsLogged(const std::string& table, const std::string& column,
+                          int64_t value);
+
+  /// Scans the WAL device and replays every committed transaction's
+  /// records in log order: LFM extents are re-installed (with content
+  /// CRC verification against the committed records), rows re-inserted,
+  /// deletes re-executed. Call on a freshly constructed database after
+  /// the schema is bootstrapped and the device images are restored,
+  /// before serving any query. Requires `enable_wal`.
+  Result<RecoveryStats> Recover();
 
   Catalog* catalog() { return &catalog_; }
   UdfRegistry* udfs() { return &udfs_; }
@@ -47,20 +84,33 @@ class Database {
   storage::DiskDevice* long_field_device() { return &long_field_device_; }
   storage::BufferPool* buffer_pool() { return &pool_; }
 
+  /// Durability subsystem; all null when `enable_wal` is off.
+  storage::WriteAheadLog* wal() { return wal_.get(); }
+  storage::DiskDevice* wal_device() { return wal_device_.get(); }
+  storage::EpochManager* epochs() { return epochs_.get(); }
+
   /// Opaque extension state passed to every UDF invocation (the spatial
   /// extension stores its grid/curve configuration here).
   void set_extension_state(void* state) { extension_state_ = state; }
   void* extension_state() const { return extension_state_; }
 
-  /// Combined I/O statistics across both devices.
+  /// Combined I/O statistics across the relational and LFM devices.
   storage::IoStats TotalIoStats() const;
   void ResetIoStats();
 
  private:
+  /// Appends one catalog redo record, joining the LFM's open
+  /// transaction or auto-committing. No-op without a WAL.
+  Status LogCatalogRecord(storage::WalRecordType type,
+                          const std::vector<uint8_t>& payload);
+
   storage::DiskDevice relational_device_;
   storage::DiskDevice long_field_device_;
   storage::BufferPool pool_;
   storage::PageAllocator page_allocator_;
+  std::unique_ptr<storage::DiskDevice> wal_device_;
+  std::unique_ptr<storage::WriteAheadLog> wal_;
+  std::unique_ptr<storage::EpochManager> epochs_;
   storage::LongFieldManager lfm_;
   Catalog catalog_;
   UdfRegistry udfs_;

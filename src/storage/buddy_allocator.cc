@@ -108,6 +108,40 @@ Status BuddyAllocator::CheckInvariants() const {
   return Status::OK();
 }
 
+Status BuddyAllocator::Reserve(uint64_t start_page, uint64_t num_pages) {
+  if (num_pages == 0 || num_pages > total_pages_) {
+    return Status::InvalidArgument("BuddyAllocator::Reserve: bad extent");
+  }
+  int order = OrderFor(num_pages);
+  uint64_t size = uint64_t{1} << order;
+  if (start_page % size != 0 || start_page + size > total_pages_) {
+    return Status::InvalidArgument("BuddyAllocator::Reserve: misaligned extent");
+  }
+  // Find the free block containing the extent, smallest first.
+  for (int k = order; k <= max_order_; ++k) {
+    uint64_t candidate = start_page & ~((uint64_t{1} << k) - 1);
+    auto it = free_lists_[static_cast<size_t>(k)].find(candidate);
+    if (it == free_lists_[static_cast<size_t>(k)].end()) continue;
+    free_lists_[static_cast<size_t>(k)].erase(it);
+    // Split down, freeing the half not containing the target each time.
+    uint64_t block = candidate;
+    for (int j = k; j > order; --j) {
+      uint64_t half = uint64_t{1} << (j - 1);
+      if (start_page < block + half) {
+        free_lists_[static_cast<size_t>(j - 1)].insert(block + half);
+      } else {
+        free_lists_[static_cast<size_t>(j - 1)].insert(block);
+        block += half;
+      }
+    }
+    allocated_pages_ += size;
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "BuddyAllocator::Reserve: extent at page " + std::to_string(start_page) +
+      " is not free");
+}
+
 Status BuddyAllocator::Free(uint64_t start_page, uint64_t num_pages) {
   if (num_pages == 0 || start_page >= total_pages_) {
     return Status::InvalidArgument("BuddyAllocator::Free: bad extent");

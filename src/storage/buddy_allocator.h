@@ -28,6 +28,13 @@ class BuddyAllocator {
   /// `num_pages` pages (the allocator re-derives the rounded order).
   Status Free(uint64_t start_page, uint64_t num_pages);
 
+  /// Marks the rounded extent for `num_pages` pages at exactly
+  /// `start_page` as allocated. WAL replay uses this to re-install
+  /// extents at their logged positions; `start_page` must be aligned to
+  /// the rounded extent (Allocate only ever returns aligned extents)
+  /// and the extent must currently be free.
+  Status Reserve(uint64_t start_page, uint64_t num_pages);
+
   /// Pages currently allocated (sum of rounded extents).
   uint64_t allocated_pages() const { return allocated_pages_; }
   /// Pages currently on the free lists.

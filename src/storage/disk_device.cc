@@ -215,4 +215,21 @@ Status DiskDevice::WritePages(uint64_t page_no, uint64_t count,
   return Status::OK();
 }
 
+std::vector<uint8_t> DiskDevice::CloneContents() const {
+  std::shared_lock<std::shared_mutex> data_lock(data_mu_);
+  return bytes_;
+}
+
+Status DiskDevice::RestoreContents(const std::vector<uint8_t>& contents) {
+  std::unique_lock<std::shared_mutex> data_lock(data_mu_);
+  if (contents.size() != bytes_.size()) {
+    return Status::InvalidArgument(
+        "DiskDevice::RestoreContents: size mismatch (" +
+        std::to_string(contents.size()) + " vs " +
+        std::to_string(bytes_.size()) + " bytes)");
+  }
+  bytes_ = contents;
+  return Status::OK();
+}
+
 }  // namespace qbism::storage

@@ -141,6 +141,15 @@ class DiskDevice {
   FaultStats fault_stats() const;
   void ResetFaultStats();
 
+  /// Crash-simulation support: snapshot / replace the raw backing
+  /// store, bypassing all accounting, cost charging, and fault plans.
+  /// The crash-recovery harness clones a device's bytes at the "crash"
+  /// point and restores them into a freshly constructed database, which
+  /// models exactly what a power failure preserves — the platters, not
+  /// the process. RestoreContents requires a byte-for-byte size match.
+  std::vector<uint8_t> CloneContents() const;
+  Status RestoreContents(const std::vector<uint8_t>& contents);
+
  private:
   /// Returns the simulated seconds charged for this transfer.
   double Charge(uint64_t page_no, uint64_t count, bool write);

@@ -1,0 +1,96 @@
+#ifndef QBISM_STORAGE_EPOCH_H_
+#define QBISM_STORAGE_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace qbism::storage {
+
+/// No-blocking snapshot visibility for the write path (docs/
+/// DURABILITY.md): the system moves through a sequence of epochs, and
+/// every committed mutation is stamped with the epoch in which it
+/// became visible. A reader pins the current epoch for the duration of
+/// a query and resolves versioned state as of that epoch, so an ingest
+/// committing halfway through the query can neither block it nor tear
+/// it. The commit protocol is:
+///
+///   1. apply the staged changes stamped `current() + 1` (invisible to
+///      every pinned reader, which all hold epochs <= current()), then
+///   2. Advance(), making them visible to readers that pin afterwards.
+///
+/// Vacuum uses MinActiveReader() as the reclamation horizon: a version
+/// dropped at epoch E can be freed once every active reader's pinned
+/// epoch is >= E (readers pinning later start at >= E by construction).
+///
+/// Thread-safe. Pins are tracked per epoch under a small mutex — one
+/// lock acquisition per query, not per page.
+class EpochManager {
+ public:
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// The newest visible epoch.
+  uint64_t current() const { return current_.load(std::memory_order_acquire); }
+
+  /// Publishes the next epoch (call after applying its changes).
+  /// Returns the new current epoch.
+  uint64_t Advance();
+
+  /// Pins the current epoch for the calling reader; returns it.
+  uint64_t EnterReader();
+  /// Releases a pin taken by EnterReader.
+  void ExitReader(uint64_t epoch);
+
+  /// The oldest pinned epoch, or current() when no reader is active —
+  /// the vacuum horizon.
+  uint64_t MinActiveReader() const;
+  size_t active_readers() const;
+
+  /// The epoch the calling thread reads as of under `manager`, or 0
+  /// when the thread holds no snapshot (0 = "latest committed").
+  /// Installed by ReadSnapshot; nested snapshots stack.
+  static uint64_t PinnedEpoch(const EpochManager* manager);
+
+ private:
+  friend class ReadSnapshot;
+
+  std::atomic<uint64_t> current_{1};
+  mutable std::mutex mu_;
+  std::map<uint64_t, uint64_t> active_;  // epoch -> pin count; mu_
+};
+
+/// RAII reader snapshot: pins the manager's current epoch and installs
+/// it as the calling thread's view, so every versioned lookup below
+/// (LongFieldManager) resolves against one consistent epoch until the
+/// snapshot is destroyed. A null manager makes it a no-op, which keeps
+/// call sites unconditional.
+///
+/// The adopting constructor installs an epoch pinned by *another*
+/// thread without taking a new pin: a donated helper running a shard of
+/// the owner's query adopts the owner's epoch, relying on the owner's
+/// snapshot outliving the helper's work (the owner blocks on its
+/// shards).
+class ReadSnapshot {
+ public:
+  explicit ReadSnapshot(EpochManager* manager);
+  ReadSnapshot(EpochManager* manager, uint64_t adopted_epoch);
+  ~ReadSnapshot();
+
+  ReadSnapshot(const ReadSnapshot&) = delete;
+  ReadSnapshot& operator=(const ReadSnapshot&) = delete;
+
+  /// The pinned epoch (0 for a no-op snapshot).
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  EpochManager* manager_ = nullptr;
+  uint64_t epoch_ = 0;
+  bool owns_pin_ = false;
+};
+
+}  // namespace qbism::storage
+
+#endif  // QBISM_STORAGE_EPOCH_H_

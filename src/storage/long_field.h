@@ -11,6 +11,8 @@
 #include "common/status.h"
 #include "storage/buddy_allocator.h"
 #include "storage/disk_device.h"
+#include "storage/epoch.h"
+#include "storage/wal.h"
 
 namespace qbism::storage {
 
@@ -59,6 +61,18 @@ struct ReadPlan {
   uint64_t bytes_needed = 0;   // payload bytes (sum of range lengths)
 };
 
+/// Durability hooks wiring the LFM into the write path (both optional;
+/// a hookless LFM behaves exactly as before — immediate, unlogged,
+/// in-place mutations). With a WAL attached, every mutation appends a
+/// redo record and becomes durable at its transaction's commit sync;
+/// with an epoch manager attached, mutations are applied as new
+/// *versions* so pinned readers keep a consistent pre-mutation view
+/// (see docs/DURABILITY.md).
+struct LfmDurabilityHooks {
+  WriteAheadLog* wal = nullptr;      // not owned; must outlive the LFM
+  EpochManager* epochs = nullptr;    // not owned; must outlive the LFM
+};
+
 /// The Long Field Manager (§5.1): stores large objects (REGIONs,
 /// VOLUMEs, meshes) directly on the disk device using buddy allocation
 /// for contiguity. Like Starburst's LFM it performs no internal
@@ -68,11 +82,25 @@ struct ReadPlan {
 ///
 /// Thread-safe for the query service's read-mostly sharing: reads take
 /// a shared lock on the field directory (the device serializes actual
-/// page transfers itself); Create/Update/Delete take it exclusively.
+/// page transfers itself); Create/Update/Delete take it exclusively —
+/// but only for directory bookkeeping. Data pages of a new or replaced
+/// field are written to a private extent *outside* the directory lock,
+/// so readers never block on an ingest writing megabytes.
+///
+/// In durable mode (WAL attached) the directory is *versioned*: Update
+/// always goes out of place, the superseded extent is retired (not
+/// freed) with the epoch it died in, and a reader holding a
+/// ReadSnapshot resolves ids against its pinned epoch. Retired extents
+/// are reclaimed by Vacuum() once the last reader that could see them
+/// drains. Mutations inside an explicit transaction (BeginTxn /
+/// CommitTxn) stage their directory changes and publish them atomically
+/// at commit, after the WAL sync; until then the new state is invisible
+/// to every reader (including the writer — ingest never reads back
+/// uncommitted fields).
 class LongFieldManager {
  public:
   /// Manages the whole of `device` (not owned; must outlive this).
-  explicit LongFieldManager(DiskDevice* device);
+  explicit LongFieldManager(DiskDevice* device, LfmDurabilityHooks hooks = {});
 
   /// Writes a new long field and returns its handle.
   Result<LongFieldId> Create(const std::vector<uint8_t>& bytes);
@@ -127,11 +155,62 @@ class LongFieldManager {
   Status ReadExtents(LongFieldId id, const std::vector<PlannedExtent>& extents,
                      const std::vector<uint8_t*>& outs) const;
 
-  /// Overwrites an existing field with new content (may reallocate).
+  /// Overwrites an existing field with new content (may reallocate; in
+  /// durable mode always out of place, retiring the old version).
   Status Update(LongFieldId id, const std::vector<uint8_t>& bytes);
 
-  /// Frees the field.
+  /// Frees the field (in durable mode: retires its current version; the
+  /// pages are reclaimed by Vacuum once no reader can see them).
   Status Delete(LongFieldId id);
+
+  /// --- Transactions and reclamation (durable mode only) ---------------
+
+  /// Opens an explicit transaction; subsequent Create/Update/Delete
+  /// calls from any thread join it (stage their directory changes and
+  /// log under its id) until CommitTxn/AbortTxn. One at a time; the
+  /// ingest path serializes writers above this layer. Returns the WAL
+  /// transaction id.
+  Result<uint64_t> BeginTxn();
+
+  /// Durability point: syncs the WAL through the commit record, then
+  /// publishes every staged change as the next epoch. On a sync
+  /// failure the transaction is rolled back (staged extents freed,
+  /// directory untouched) and the device error returned — a failed
+  /// commit can never become durable or visible.
+  Status CommitTxn();
+
+  /// Rolls the open transaction back: staged extents are freed, the
+  /// directory is untouched, an advisory abort is logged.
+  Status AbortTxn();
+
+  /// The open transaction's WAL id, or 0.
+  uint64_t open_txn() const;
+
+  struct VacuumStats {
+    uint64_t extents_freed = 0;
+    uint64_t pages_freed = 0;
+    uint64_t still_pinned = 0;  // retired extents a reader can still see
+  };
+
+  /// Frees every retired extent whose dropping epoch has drained past
+  /// the oldest active reader (no-op without an epoch manager).
+  VacuumStats Vacuum();
+
+  /// Retired-but-unreclaimed extents (the vacuum backlog).
+  uint64_t dead_extents() const;
+
+  /// --- Crash recovery (driven by Database::Recover) --------------------
+
+  /// Re-installs a committed kLfmSet: reserves the logged extent,
+  /// retires any existing live version of `id`, and (when `verify_crc`)
+  /// checks the on-device content against `content_crc` — the
+  /// committed-implies-byte-identical guarantee. No WAL logging, no
+  /// epochs; only valid before the system serves readers.
+  Status RecoverSet(uint64_t id, uint64_t start_page, uint64_t page_count,
+                    uint64_t size_bytes, uint32_t content_crc, bool verify_crc);
+
+  /// Re-applies a committed kLfmDrop.
+  Status RecoverDrop(uint64_t id);
 
   /// Pages the buddy allocator currently considers allocated (rounded
   /// extents). A failed Create/Update must leave this unchanged.
@@ -139,28 +218,89 @@ class LongFieldManager {
 
   /// Leak/corruption check used by the fault-sweep harness: the buddy
   /// allocator's structural invariants hold, and its allocated-page
-  /// total equals the sum of the directory entries' extents — i.e. no
-  /// failed operation leaked pages or freed pages still referenced.
+  /// total equals the sum of the directory entries' extents — live
+  /// versions, retired-but-unvacuumed versions, and staged
+  /// (uncommitted) extents — i.e. no failed operation leaked pages or
+  /// freed pages still referenced.
   Status CheckPageAccounting() const;
 
   DiskDevice* device() const { return device_; }
+  EpochManager* epochs() const { return epochs_; }
+  bool durable() const { return wal_ != nullptr; }
 
  private:
+  /// Marker for a live version.
+  static constexpr uint64_t kLive = UINT64_MAX;
+
+  /// One version of a field: the extent holding its bytes plus the
+  /// epoch interval [created_epoch, dropped_epoch) in which it is
+  /// visible. Hookless mode keeps exactly one version per id with the
+  /// interval [0, kLive).
   struct Entry {
     uint64_t start_page = 0;
     uint64_t size_bytes = 0;
+    uint64_t created_epoch = 0;
+    uint64_t dropped_epoch = kLive;
     uint64_t PageCount() const { return (size_bytes + kPageSize - 1) / kPageSize; }
+    uint64_t ExtentPageCount() const {
+      return BuddyAllocator::ExtentPages(PageCount() == 0 ? 1 : PageCount());
+    }
   };
 
+  /// A retired extent awaiting vacuum.
+  struct DeadExtent {
+    uint64_t id = 0;
+    uint64_t start_page = 0;
+    uint64_t dropped_epoch = 0;
+  };
+
+  /// A directory change staged by an open transaction.
+  struct StagedOp {
+    enum Kind { kSet, kDrop } kind = kSet;
+    uint64_t id = 0;
+    uint64_t start_page = 0;  // kSet only
+    uint64_t size_bytes = 0;  // kSet only
+  };
+
+  /// Resolves `id` to the version visible at the calling thread's
+  /// pinned epoch (or the latest live version without a snapshot).
   /// Callers must hold `mu_` (shared suffices) across the returned
   /// pointer's use.
   Result<const Entry*> Lookup(LongFieldId id) const;
 
+  /// Writes `bytes` as zero-padded full pages at `start`.
+  Status WritePadded(uint64_t start, uint64_t pages,
+                     const std::vector<uint8_t>& bytes);
+
+  /// Applies one op to the directory, stamping changes `epoch`. Caller
+  /// holds mu_ exclusively.
+  void ApplyOpLocked(const StagedOp& op, uint64_t epoch);
+
+  /// Latest live version of id, or null. Caller holds mu_.
+  Entry* LatestLiveLocked(uint64_t id);
+  const Entry* LatestLiveLocked(uint64_t id) const;
+
+  /// Stages or auto-commits one durable mutation whose data pages (if
+  /// any) are already on the device: appends the WAL record and either
+  /// joins the open transaction or commits immediately. On failure the
+  /// caller must free any extent it allocated.
+  Status LogAndPublish(WalRecordType type, const std::vector<uint8_t>& payload,
+                       const StagedOp& op);
+
   DiskDevice* device_;
+  WriteAheadLog* wal_;
+  EpochManager* epochs_;
   mutable std::shared_mutex mu_;
-  BuddyAllocator allocator_;                      // guarded by mu_
-  std::unordered_map<uint64_t, Entry> directory_;  // guarded by mu_
-  uint64_t next_id_ = 1;                           // guarded by mu_
+  BuddyAllocator allocator_;  // guarded by mu_
+  std::unordered_map<uint64_t, std::vector<Entry>> directory_;  // mu_
+  std::vector<DeadExtent> dead_;                                // mu_
+  std::vector<StagedOp> staged_;                                // mu_
+  uint64_t next_id_ = 1;                                        // mu_
+  uint64_t open_txn_ = 0;                                       // mu_
+  /// Serializes commits (WAL commit sync + directory publish + epoch
+  /// advance) so concurrent auto-commits cannot interleave their
+  /// publish/advance pairs. Readers never take it. Acquired before mu_.
+  mutable std::mutex commit_mu_;
 };
 
 }  // namespace qbism::storage

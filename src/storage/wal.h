@@ -1,0 +1,149 @@
+#ifndef QBISM_STORAGE_WAL_H_
+#define QBISM_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk_device.h"
+
+namespace qbism::storage {
+
+/// Redo-record types. The log is pure redo: recovery replays the
+/// records of committed transactions in log order and discards
+/// everything else, so no undo information is ever written.
+enum class WalRecordType : uint8_t {
+  /// A long field (re)written: {id, start_page, page_count, size_bytes,
+  /// content_crc}. Replay reserves the extent at its logged position
+  /// and verifies the on-device content against content_crc, which is
+  /// what makes "committed => byte-identical" checkable.
+  kLfmSet = 1,
+  /// A long field dropped: {id}.
+  kLfmDrop = 2,
+  /// A relational row inserted: {table name, serialized row}.
+  kCatalogRow = 3,
+  /// Relational rows deleted: {table name, column name, int64 value}
+  /// (replayed as `delete from T where C = v`).
+  kCatalogDelete = 4,
+  /// Transaction commit marker; always a transaction's last record.
+  kCommit = 5,
+  /// Advisory abort marker. Replay ignores uncommitted transactions
+  /// whether or not an abort record made it to disk.
+  kAbort = 6,
+};
+
+/// One parsed log record.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kAbort;
+  uint64_t txn_id = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// The write-ahead log (docs/DURABILITY.md): an append-only sequence of
+/// CRC-framed redo records over its own DiskDevice (the simulated log
+/// volume). Each record is framed as
+///
+///   offset size field
+///   0      4    magic 0x524C4157 ("WALR")
+///   4      4    CRC-32 of bytes [8, end) (length, type, txn, payload)
+///   8      4    payload length
+///   12     1    record type
+///   13     8    transaction id
+///   21     ..   payload
+///
+/// Appends buffer in memory; Sync() flushes dirty pages to the device
+/// in ascending order, one page per transfer (so the fault harness can
+/// kill between any two log pages, and a torn multi-page tail is a
+/// physically realizable crash state). Commit() appends the kCommit
+/// record and syncs — the fsync-on-commit durability point. Because
+/// pages flush in ascending order and kCommit is a transaction's last
+/// record, a durable commit record implies every earlier byte of the
+/// log is durable; and because transaction ids are never reused, stale
+/// valid-CRC frames left by a withdrawn commit always parse as records
+/// of an uncommitted transaction and are discarded by replay.
+///
+/// Thread-safe: concurrent transactions may interleave their records
+/// in the log (records carry their txn id), but a commit's
+/// append-and-sync is atomic under the log mutex, so a failed commit
+/// can withdraw its own kCommit record before anything else is
+/// appended — a transaction reported as failed can never become
+/// durable later.
+class WriteAheadLog {
+ public:
+  /// Logs to the whole of `device` (not owned; must outlive this).
+  explicit WriteAheadLog(DiskDevice* device);
+
+  /// What a scan of the device found.
+  struct ScanResult {
+    /// Records of committed transactions, in log order.
+    std::vector<WalRecord> committed;
+    uint64_t committed_txns = 0;
+    uint64_t total_records = 0;  // every well-formed record seen
+    /// Bytes up to the end of the last committed transaction — the
+    /// offset the log resumes appending at.
+    uint64_t valid_bytes = 0;
+    /// A trailing record failed framing/CRC (a torn tail from a crash
+    /// mid-sync). Everything before it is unaffected.
+    bool torn_tail = false;
+  };
+
+  /// Scans the device image (crash recovery), adopts the surviving log
+  /// as this log's contents truncated to the last committed boundary,
+  /// and returns the committed records for replay. Also primes the
+  /// transaction-id counter past every id seen. A zeroed (fresh)
+  /// device yields an empty result.
+  Result<ScanResult> Open();
+
+  /// Opens a transaction (no locking of other writers implied).
+  uint64_t BeginTxn();
+
+  /// Appends one record for `txn_id`. Buffers only; durability comes
+  /// from Commit()/Sync().
+  Status Append(WalRecordType type, uint64_t txn_id,
+                const std::vector<uint8_t>& payload);
+
+  /// Appends kCommit and syncs the log through it. On a sync failure
+  /// the commit record is withdrawn (the transaction stays uncommitted
+  /// forever) and the device error is returned.
+  Status Commit(uint64_t txn_id);
+
+  /// Appends an advisory kAbort record; never fails the caller.
+  void Abort(uint64_t txn_id);
+
+  /// Flushes every dirty page in ascending order. Stops at the first
+  /// device error; pages already written stay durable.
+  Status Sync();
+
+  struct Stats {
+    uint64_t records = 0;
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    uint64_t failed_commits = 0;  // commits withdrawn on sync failure
+    uint64_t syncs = 0;
+    uint64_t pages_synced = 0;
+    uint64_t appended_bytes = 0;  // current in-memory log size
+    uint64_t durable_bytes = 0;   // clean prefix known on the device
+  };
+  Stats stats() const;
+
+  uint64_t capacity_bytes() const { return device_->num_pages() * kPageSize; }
+  DiskDevice* device() const { return device_; }
+
+ private:
+  Status SyncLocked();
+  Status AppendLocked(WalRecordType type, uint64_t txn_id,
+                      const std::vector<uint8_t>& payload);
+
+  DiskDevice* device_;
+  mutable std::mutex mu_;
+  std::vector<uint8_t> log_;   // full in-memory image; mu_
+  uint64_t clean_prefix_ = 0;  // leading bytes matching the device; mu_
+  uint64_t next_txn_ = 1;      // mu_
+  Stats stats_;                // mu_
+};
+
+}  // namespace qbism::storage
+
+#endif  // QBISM_STORAGE_WAL_H_

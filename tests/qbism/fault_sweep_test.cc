@@ -358,6 +358,76 @@ TEST(FaultSweepTest, ExtractorRetriesAbsorbEveryTransientBatchFault) {
 }
 
 // ---------------------------------------------------------------------
+// Arm 6: the long-field *lifecycle* including Delete — the PR-2 sweep
+// covered Create/Update only, which is how a pre-sync mutation in the
+// Delete path could have slipped through. A durable LFM (WAL + epochs)
+// runs create/update/delete/re-create with a fault at every transfer
+// site on the data device and the log device; at every point the page
+// accounting must balance and a vacuum must leave no dead extents
+// pinned by nobody.
+
+struct LifecycleWorld {
+  storage::DiskDevice device{256};
+  storage::DiskDevice log_device{64};
+  storage::WriteAheadLog wal{&log_device};
+  storage::EpochManager epochs;
+  storage::LongFieldManager lfm{
+      &device, storage::LfmDurabilityHooks{&wal, &epochs}};
+
+  Status Run() {
+    auto payload = [](uint64_t bytes, uint8_t fill) {
+      return std::vector<uint8_t>(bytes, fill);
+    };
+    QBISM_ASSIGN_OR_RETURN(storage::LongFieldId a,
+                           lfm.Create(payload(3 * storage::kPageSize, 1)));
+    QBISM_ASSIGN_OR_RETURN(storage::LongFieldId b,
+                           lfm.Create(payload(storage::kPageSize, 2)));
+    QBISM_RETURN_NOT_OK(lfm.Update(a, payload(2 * storage::kPageSize, 3)));
+    QBISM_RETURN_NOT_OK(lfm.Delete(b));
+    QBISM_ASSIGN_OR_RETURN(storage::LongFieldId c,
+                           lfm.Create(payload(storage::kPageSize, 4)));
+    QBISM_RETURN_NOT_OK(lfm.Delete(a));
+    QBISM_ASSIGN_OR_RETURN(std::vector<uint8_t> got, lfm.Read(c));
+    if (got != payload(storage::kPageSize, 4)) {
+      return Status::Internal("lifecycle read-back corrupted");
+    }
+    return Status::OK();
+  }
+};
+
+TEST(FaultSweepTest, DeleteLifecycleKeepsAccountingAtEveryFaultSite) {
+  auto factory = []() -> Result<FaultSweepInstance> {
+    auto world = std::make_shared<LifecycleWorld>();
+    FaultSweepInstance instance;
+    instance.devices = {&world->device, &world->log_device};
+    instance.run = [world] { return world->Run(); };
+    instance.verify = [world](const Status&) -> Status {
+      QBISM_RETURN_NOT_OK(world->lfm.CheckPageAccounting());
+      // No reader is pinned, so vacuum must fully drain the retirement
+      // queue — a failed Delete that half-retired an extent would trip
+      // either this or the accounting above.
+      world->lfm.Vacuum();
+      if (world->lfm.dead_extents() != 0) {
+        return Status::Internal("vacuum left unreclaimable dead extents");
+      }
+      return world->lfm.CheckPageAccounting();
+    };
+    instance.state = world;
+    return instance;
+  };
+
+  auto report = RunFaultSweep(factory).MoveValue();
+  EXPECT_TRUE(report.ok()) << report.violations.front();
+  ASSERT_EQ(report.clean_transfers.size(), 2u);
+  EXPECT_GT(report.clean_transfers[0], 0u);  // data-device writes
+  EXPECT_GT(report.clean_transfers[1], 0u);  // WAL commit syncs
+  EXPECT_EQ(report.points_tested, report.total_clean_transfers());
+  EXPECT_EQ(report.faults_fired, report.points_tested);
+  EXPECT_EQ(report.surfaced, report.points_tested);
+  EXPECT_EQ(report.absorbed, 0u);
+}
+
+// ---------------------------------------------------------------------
 // Harness self-checks.
 
 TEST(FaultSweepTest, CleanRunFailureIsASetupError) {

@@ -114,6 +114,41 @@ TEST(AuthTest, SweepRemovesOnlyExpiredSessions) {
   EXPECT_TRUE(relogin.ok());
 }
 
+TEST(AuthTest, SessionIsStillValidAtExactlyTheTtlBoundary) {
+  // Regression: Validate used `now >= expires_at`, which made a
+  // configured TTL behave as TTL-minus-epsilon — a client whose
+  // keepalive period equaled the TTL was bounced on the dot. The
+  // boundary instant itself is inside the idle window.
+  double now = 100.0;
+  AuthManager auth(TwoTenants(), /*session_ttl_seconds=*/10.0, /*seed=*/3,
+                   [&now] { return now; });
+  auto session = auth.Login("alpha", "alpha-secret");
+  ASSERT_TRUE(session.ok());
+  ASSERT_EQ(session->expires_at, 110.0);
+
+  now = 110.0;  // exactly login + ttl: still valid, and refreshed
+  ASSERT_TRUE(auth.Validate(session->token).ok());
+  now = 120.0;  // exactly the *refreshed* boundary again
+  ASSERT_TRUE(auth.Validate(session->token).ok());
+  now = 130.0 + 1e-9;  // strictly past it: expired
+  EXPECT_TRUE(auth.Validate(session->token).status().IsDeadlineExceeded());
+}
+
+TEST(AuthTest, SweepAgreesWithValidateAtTheBoundary) {
+  double now = 0.0;
+  AuthManager auth(TwoTenants(), /*session_ttl_seconds=*/10.0, /*seed=*/5,
+                   [&now] { return now; });
+  auto session = auth.Login("alpha", "alpha-secret");
+  ASSERT_TRUE(session.ok());
+  now = 10.0;  // the boundary: the sweeper must not reap what Validate
+               // would still accept
+  EXPECT_EQ(auth.SweepExpired(), 0u);
+  ASSERT_TRUE(auth.Validate(session->token).ok());
+  now = 20.5;
+  EXPECT_EQ(auth.SweepExpired(), 1u);
+  EXPECT_EQ(auth.ActiveSessions(), 0u);
+}
+
 TEST(AuthTest, FindTenantAndAccessors) {
   AuthManager auth(TwoTenants(), 42.0);
   EXPECT_EQ(auth.num_tenants(), 2);

@@ -1,0 +1,182 @@
+// Online ingest through the query service: per-study cache
+// invalidation at commit (the stale-cache regression), the
+// commit-version guard on cache fills, offline/quarantine gating, and
+// the ingest metrics.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "med/loader.h"
+#include "med/schema.h"
+#include "qbism/ingest.h"
+#include "service/query_service.h"
+#include "sql/database.h"
+#include "storage/fault_plan.h"
+
+namespace qbism::service {
+namespace {
+
+constexpr int kGridOrder = 3;
+constexpr int kGridMaxLevel = 5;
+
+sql::DatabaseOptions WalOptions() {
+  sql::DatabaseOptions dbo;
+  dbo.relational_pages = 1 << 10;
+  dbo.long_field_pages = 1 << 11;
+  dbo.buffer_pool_pages = 64;
+  dbo.enable_wal = true;
+  dbo.wal_pages = 1 << 10;
+  return dbo;
+}
+
+struct IngestWorld {
+  sql::Database db;
+  std::unique_ptr<SpatialExtension> ext;
+  std::unique_ptr<IngestManager> ingest;
+
+  IngestWorld() : db(WalOptions()) {
+    SpatialConfig config;
+    config.grid = region::GridSpec{kGridOrder, kGridMaxLevel};
+    ext = SpatialExtension::Install(&db, config).MoveValue();
+    EXPECT_TRUE(med::BootstrapSchema(&db).ok());
+    // The query path joins atlas and patient rows; ingest only brings
+    // the study tables, so seed the reference data the way the bulk
+    // loader would.
+    double side = static_cast<double>(config.grid.SideLength());
+    EXPECT_TRUE(db.Insert("atlas",
+                          sql::Row{sql::Value::Int(1),
+                                   sql::Value::String("Talairach"),
+                                   sql::Value::Int(static_cast<int64_t>(side)),
+                                   sql::Value::Double(0), sql::Value::Double(0),
+                                   sql::Value::Double(0),
+                                   sql::Value::Double(200.0 / side),
+                                   sql::Value::Double(150.0 / side),
+                                   sql::Value::Double(300.0 / side)})
+                    .ok());
+    for (int patient_id = 101; patient_id <= 110; ++patient_id) {
+      EXPECT_TRUE(db.Insert("patient",
+                            sql::Row{sql::Value::Int(patient_id),
+                                     sql::Value::String("patient"),
+                                     sql::Value::Int(40),
+                                     sql::Value::String("F")})
+                      .ok());
+    }
+    ingest = std::make_unique<IngestManager>(ext.get());
+  }
+
+  ServiceOptions Options(int workers) {
+    ServiceOptions options;
+    options.num_workers = workers;
+    options.cost_model.sql_compile_seconds = 0.0;
+    options.ingest = ingest.get();
+    return options;
+  }
+};
+
+med::StudyRecord MakeRecord(int study_id, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> data(24 * 24 * 12);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  med::StudyRecord record;
+  record.study_id = study_id;
+  record.patient_id = 100 + study_id;
+  record.date = "1993-07-01";
+  record.modality = "PET";
+  record.raw = warp::RawVolume::Create(24, 24, 12, std::move(data)).value();
+  record.warp_seed = seed;
+  record.band_width = 64;
+  return record;
+}
+
+ServiceRequest BoxQuery(int study_id) {
+  ServiceRequest request;
+  request.spec.study_id = study_id;
+  request.spec.box = geometry::Box3i{{4, 4, 4}, {27, 27, 27}};
+  return request;
+}
+
+TEST(IngestServiceTest, IngestCommitInvalidatesStaleCachedResults) {
+  IngestWorld world;
+  QueryService service(world.ext.get(), world.Options(1));
+  ASSERT_TRUE(service.RunIngest(MakeRecord(1, 11), /*replace=*/false).ok());
+
+  ServiceRequest request = BoxQuery(1);
+  const std::string key = request.spec.Describe();
+  auto first = service.Execute(request);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->cache_hit);
+  auto second = service.Execute(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(second->result.data.values(), first->result.data.values());
+
+  // Replace the study: the committed ingest must evict the study's
+  // cached results, so the next query recomputes against the new bytes
+  // instead of serving the stale region.
+  ASSERT_TRUE(service.RunIngest(MakeRecord(1, 99), /*replace=*/true).ok());
+  EXPECT_FALSE(service.CacheContains(key));
+  auto third = service.Execute(request);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third->cache_hit);
+  EXPECT_NE(third->result.data.values(), first->result.data.values());
+
+  MetricsSnapshot metrics = service.metrics();
+  EXPECT_EQ(metrics.ingests, 2u);
+  EXPECT_EQ(metrics.ingest_failures, 0u);
+  EXPECT_GT(metrics.cache_invalidations, 0u);
+  EXPECT_EQ(service.cache_stats().invalidations, metrics.cache_invalidations);
+}
+
+TEST(IngestServiceTest, QuarantinedStudyIsRefusedNotServedStale) {
+  IngestWorld world;
+  QueryService service(world.ext.get(), world.Options(1));
+  ASSERT_TRUE(service.RunIngest(MakeRecord(1, 11), /*replace=*/false).ok());
+  ASSERT_TRUE(service.Execute(BoxQuery(1)).ok());
+
+  // The replace's commit sync fails: the study's in-memory rows no
+  // longer match its durable state, so it is quarantined.
+  world.db.wal_device()->InstallFaultPlan(storage::FaultPlan::FailAtTransfer(
+      0, storage::FaultDurability::kPersistent));
+  ASSERT_FALSE(service.RunIngest(MakeRecord(1, 99), /*replace=*/true).ok());
+  world.db.wal_device()->ClearFault();
+  EXPECT_EQ(service.metrics().ingest_failures, 1u);
+
+  // Every later query is refused outright — never a partial or stale
+  // answer, and never a cache fill.
+  auto refused = service.Execute(BoxQuery(1));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsNotFound());
+  EXPECT_FALSE(service.CacheContains(BoxQuery(1).spec.Describe()));
+}
+
+TEST(IngestServiceTest, FailedFreshIngestLeavesServiceClean) {
+  IngestWorld world;
+  QueryService service(world.ext.get(), world.Options(1));
+  world.db.long_field_device()->InstallFaultPlan(
+      storage::FaultPlan::FailAtTransfer(
+          0, storage::FaultDurability::kPersistent));
+  ASSERT_FALSE(service.RunIngest(MakeRecord(5, 55), /*replace=*/false).ok());
+  world.db.long_field_device()->ClearFault();
+
+  // A failed *fresh* ingest scrubs its tracks: the id is usable again.
+  EXPECT_TRUE(world.ingest->IsVisible(5));
+  ASSERT_TRUE(service.RunIngest(MakeRecord(5, 55), /*replace=*/false).ok());
+  ASSERT_TRUE(service.Execute(BoxQuery(5)).ok());
+  ASSERT_TRUE(world.db.lfm()->CheckPageAccounting().ok());
+}
+
+TEST(IngestServiceTest, RunIngestWithoutManagerIsRefused) {
+  IngestWorld world;
+  ServiceOptions options = world.Options(1);
+  options.ingest = nullptr;
+  QueryService service(world.ext.get(), options);
+  Status status = service.RunIngest(MakeRecord(1, 11), /*replace=*/false);
+  EXPECT_TRUE(status.IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace qbism::service

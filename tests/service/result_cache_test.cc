@@ -122,6 +122,35 @@ TEST(ResultCacheTest, ClearEmptiesButKeepsCounters) {
   EXPECT_EQ(stats.hits, 1u);  // history survives Clear
 }
 
+TEST(ResultCacheTest, InvalidatePrefixDropsExactlyTheMatchingKeys) {
+  ResultCache cache(8);
+  cache.Put("study 5 atlas A box", MakeData(10, 1));
+  cache.Put("study 5 atlas B structure x", MakeData(10, 2));
+  cache.Put("study 53 atlas A box", MakeData(10, 3));  // NOT study 5
+  cache.Put("study 6 atlas A box", MakeData(10, 4));
+  uint64_t bytes_before = cache.stats().bytes;
+
+  // The ingest path's key shape: "study <id> " with a trailing space,
+  // so study 5 never sweeps study 53.
+  EXPECT_EQ(cache.InvalidatePrefix("study 5 "), 2u);
+  EXPECT_FALSE(cache.Contains("study 5 atlas A box"));
+  EXPECT_FALSE(cache.Contains("study 5 atlas B structure x"));
+  EXPECT_TRUE(cache.Contains("study 53 atlas A box"));
+  EXPECT_TRUE(cache.Contains("study 6 atlas A box"));
+
+  ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LT(stats.bytes, bytes_before);  // byte accounting followed
+
+  // No matches: a no-op that counts nothing.
+  EXPECT_EQ(cache.InvalidatePrefix("study 999 "), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+  // Disabled caches are trivially invalidation-free.
+  ResultCache disabled(0);
+  EXPECT_EQ(disabled.InvalidatePrefix("study 5 "), 0u);
+}
+
 TEST(ResultCacheTest, ConcurrentGetPutStaysConsistent) {
   ResultCache cache(8);
   constexpr int kThreads = 8;

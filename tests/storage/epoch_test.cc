@@ -1,0 +1,218 @@
+// EpochManager / ReadSnapshot semantics, and the versioned
+// LongFieldManager visibility rules built on them: pinned readers keep
+// a consistent pre-mutation view, staged transactions are invisible
+// until commit, and Vacuum only reclaims what no reader can see.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/disk_device.h"
+#include "storage/epoch.h"
+#include "storage/fault_plan.h"
+#include "storage/long_field.h"
+#include "storage/wal.h"
+
+namespace qbism::storage {
+namespace {
+
+std::vector<uint8_t> Payload(size_t bytes, uint8_t fill) {
+  return std::vector<uint8_t>(bytes, fill);
+}
+
+/// A durable LFM world: its own data device, log device, WAL, epochs.
+struct DurableLfm {
+  DiskDevice device{256};
+  DiskDevice log_device{64};
+  WriteAheadLog wal{&log_device};
+  EpochManager epochs;
+  LongFieldManager lfm{&device, LfmDurabilityHooks{&wal, &epochs}};
+};
+
+TEST(EpochTest, AdvancePublishesAndPinsTrackReaders) {
+  EpochManager epochs;
+  EXPECT_EQ(epochs.current(), 1u);
+  EXPECT_EQ(epochs.MinActiveReader(), 1u);  // no readers: the horizon
+  uint64_t pinned = epochs.EnterReader();
+  EXPECT_EQ(pinned, 1u);
+  EXPECT_EQ(epochs.Advance(), 2u);
+  // The pinned reader holds the horizon back.
+  EXPECT_EQ(epochs.MinActiveReader(), 1u);
+  EXPECT_EQ(epochs.active_readers(), 1u);
+  epochs.ExitReader(pinned);
+  EXPECT_EQ(epochs.MinActiveReader(), 2u);
+  EXPECT_EQ(epochs.active_readers(), 0u);
+}
+
+TEST(EpochTest, SnapshotsInstallThreadLocallyAndNest) {
+  EpochManager a;
+  EpochManager b;
+  EXPECT_EQ(EpochManager::PinnedEpoch(&a), 0u);  // no snapshot: "latest"
+  {
+    ReadSnapshot outer(&a);
+    EXPECT_EQ(EpochManager::PinnedEpoch(&a), 1u);
+    EXPECT_EQ(EpochManager::PinnedEpoch(&b), 0u);  // distinct managers
+    a.Advance();
+    {
+      ReadSnapshot inner(&a);  // innermost wins while it lives
+      EXPECT_EQ(EpochManager::PinnedEpoch(&a), 2u);
+      ReadSnapshot other(&b);
+      EXPECT_EQ(EpochManager::PinnedEpoch(&b), 1u);
+    }
+    EXPECT_EQ(EpochManager::PinnedEpoch(&a), 1u);
+  }
+  EXPECT_EQ(EpochManager::PinnedEpoch(&a), 0u);
+  EXPECT_EQ(a.active_readers(), 0u);
+}
+
+TEST(EpochTest, AdoptingSnapshotInstallsWithoutPinning) {
+  EpochManager epochs;
+  ReadSnapshot owner(&epochs);
+  ASSERT_EQ(epochs.active_readers(), 1u);
+  {
+    // A donated helper adopting the owner's epoch: same view, no second
+    // pin (the owner's snapshot outlives the helper's work).
+    ReadSnapshot helper(&epochs, owner.epoch());
+    EXPECT_EQ(EpochManager::PinnedEpoch(&epochs), owner.epoch());
+    EXPECT_EQ(epochs.active_readers(), 1u);
+  }
+  // Adopting epoch 0 (owner held no snapshot) is a no-op.
+  ReadSnapshot noop(&epochs, 0);
+  EXPECT_EQ(noop.epoch(), 0u);
+  // And a null manager makes every form a no-op.
+  ReadSnapshot null_snapshot(nullptr);
+  EXPECT_EQ(null_snapshot.epoch(), 0u);
+}
+
+TEST(EpochTest, PinnedReaderKeepsPreUpdateView) {
+  DurableLfm world;
+  auto id = world.lfm.Create(Payload(kPageSize, 1)).MoveValue();
+
+  ReadSnapshot before(&world.epochs);
+  ASSERT_TRUE(world.lfm.Update(id, Payload(2 * kPageSize, 2)).ok());
+
+  // The pinned reader still resolves the pre-update version...
+  EXPECT_EQ(world.lfm.Read(id).value(), Payload(kPageSize, 1));
+  {
+    // ...while a fresh snapshot (and the unpinned "latest" view) sees
+    // the new one.
+    ReadSnapshot after(&world.epochs);
+    EXPECT_EQ(world.lfm.Read(id).value(), Payload(2 * kPageSize, 2));
+  }
+}
+
+TEST(EpochTest, VacuumSparesVersionsAReaderCanStillSee) {
+  DurableLfm world;
+  auto id = world.lfm.Create(Payload(kPageSize, 1)).MoveValue();
+  auto pinned = std::make_unique<ReadSnapshot>(&world.epochs);
+  ASSERT_TRUE(world.lfm.Update(id, Payload(kPageSize, 2)).ok());
+  ASSERT_EQ(world.lfm.dead_extents(), 1u);
+
+  // The pinned reader can still see the retired version: not reclaimed.
+  LongFieldManager::VacuumStats stats = world.lfm.Vacuum();
+  EXPECT_EQ(stats.extents_freed, 0u);
+  EXPECT_EQ(stats.still_pinned, 1u);
+  EXPECT_EQ(world.lfm.Read(id).value(), Payload(kPageSize, 1));
+
+  pinned.reset();  // the last reader that could see it drains
+  stats = world.lfm.Vacuum();
+  EXPECT_EQ(stats.extents_freed, 1u);
+  EXPECT_GT(stats.pages_freed, 0u);
+  EXPECT_EQ(world.lfm.dead_extents(), 0u);
+  EXPECT_EQ(world.lfm.allocated_pages(), 1u);  // only the live version
+  ASSERT_TRUE(world.lfm.CheckPageAccounting().ok());
+  EXPECT_EQ(world.lfm.Read(id).value(), Payload(kPageSize, 2));
+}
+
+TEST(EpochTest, DeleteRetiresUntilVacuumAndSnapshotStillReads) {
+  DurableLfm world;
+  auto id = world.lfm.Create(Payload(3 * kPageSize, 7)).MoveValue();
+  ReadSnapshot reader(&world.epochs);
+  ASSERT_TRUE(world.lfm.Delete(id).ok());
+  // Deleted for new readers, alive for the pinned one.
+  EXPECT_EQ(world.lfm.Read(id).value(), Payload(3 * kPageSize, 7));
+  {
+    ReadSnapshot after(&world.epochs);
+    EXPECT_TRUE(world.lfm.Read(id).status().IsNotFound());
+  }
+  ASSERT_TRUE(world.lfm.CheckPageAccounting().ok());
+}
+
+TEST(EpochTest, StagedTransactionInvisibleUntilCommit) {
+  DurableLfm world;
+  auto stable = world.lfm.Create(Payload(kPageSize, 3)).MoveValue();
+  ASSERT_TRUE(world.lfm.BeginTxn().ok());
+  auto staged = world.lfm.Create(Payload(kPageSize, 4)).MoveValue();
+  ASSERT_TRUE(world.lfm.Update(stable, Payload(kPageSize, 5)).ok());
+
+  // Uncommitted: the new field does not exist, the update not applied —
+  // for everyone, including the writing thread.
+  EXPECT_TRUE(world.lfm.Read(staged).status().IsNotFound());
+  EXPECT_EQ(world.lfm.Read(stable).value(), Payload(kPageSize, 3));
+  ASSERT_TRUE(world.lfm.CheckPageAccounting().ok());  // staged pages counted
+
+  ASSERT_TRUE(world.lfm.CommitTxn().ok());
+  EXPECT_EQ(world.lfm.Read(staged).value(), Payload(kPageSize, 4));
+  EXPECT_EQ(world.lfm.Read(stable).value(), Payload(kPageSize, 5));
+}
+
+TEST(EpochTest, AbortedTransactionFreesStagedExtents) {
+  DurableLfm world;
+  auto stable = world.lfm.Create(Payload(kPageSize, 3)).MoveValue();
+  uint64_t allocated = world.lfm.allocated_pages();
+  ASSERT_TRUE(world.lfm.BeginTxn().ok());
+  ASSERT_TRUE(world.lfm.Create(Payload(2 * kPageSize, 4)).ok());
+  ASSERT_TRUE(world.lfm.Delete(stable).ok());
+  ASSERT_TRUE(world.lfm.AbortTxn().ok());
+
+  EXPECT_EQ(world.lfm.allocated_pages(), allocated);
+  EXPECT_EQ(world.lfm.Read(stable).value(), Payload(kPageSize, 3));
+  ASSERT_TRUE(world.lfm.CheckPageAccounting().ok());
+}
+
+TEST(EpochTest, FailedCommitRollsBackAndNeverPublishes) {
+  DurableLfm world;
+  auto stable = world.lfm.Create(Payload(kPageSize, 3)).MoveValue();
+  uint64_t allocated = world.lfm.allocated_pages();
+  ASSERT_TRUE(world.lfm.BeginTxn().ok());
+  ASSERT_TRUE(world.lfm.Update(stable, Payload(kPageSize, 9)).ok());
+  // The log volume dies at the commit sync: the transaction must roll
+  // back — staged extent freed, directory untouched, old bytes served.
+  world.log_device.InstallFaultPlan(
+      FaultPlan::FailAtTransfer(0, FaultDurability::kPersistent));
+  ASSERT_TRUE(world.lfm.CommitTxn().IsIOError());
+  world.log_device.ClearFault();
+
+  EXPECT_EQ(world.lfm.allocated_pages(), allocated);
+  EXPECT_EQ(world.lfm.Read(stable).value(), Payload(kPageSize, 3));
+  ASSERT_TRUE(world.lfm.CheckPageAccounting().ok());
+  EXPECT_EQ(world.lfm.open_txn(), 0u);  // the transaction is gone
+}
+
+TEST(EpochTest, DeleteFailurePublishesNothing) {
+  // The Delete fault path: a drop whose WAL sync fails must leave the
+  // field fully intact (the PR's audit found the risk of mutating the
+  // directory before the log reached the platters — the durable path
+  // must stage, never pre-apply).
+  DurableLfm world;
+  auto id = world.lfm.Create(Payload(2 * kPageSize, 6)).MoveValue();
+  uint64_t allocated = world.lfm.allocated_pages();
+  world.log_device.InstallFaultPlan(
+      FaultPlan::FailAtTransfer(0, FaultDurability::kPersistent));
+  ASSERT_TRUE(world.lfm.Delete(id).IsIOError());
+  world.log_device.ClearFault();
+
+  EXPECT_EQ(world.lfm.Read(id).value(), Payload(2 * kPageSize, 6));
+  EXPECT_EQ(world.lfm.allocated_pages(), allocated);
+  EXPECT_EQ(world.lfm.dead_extents(), 0u);
+  ASSERT_TRUE(world.lfm.CheckPageAccounting().ok());
+
+  // Transient fault: the retried Delete goes through.
+  ASSERT_TRUE(world.lfm.Delete(id).ok());
+  EXPECT_TRUE(world.lfm.Read(id).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace qbism::storage

@@ -1,0 +1,166 @@
+// WriteAheadLog unit tests: framing, commit durability, withdrawal of
+// failed commits, torn-tail detection on reopen, and transaction-id
+// monotonicity across restarts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/disk_device.h"
+#include "storage/fault_plan.h"
+#include "storage/wal.h"
+
+namespace qbism::storage {
+namespace {
+
+std::vector<uint8_t> Payload(size_t bytes, uint8_t fill) {
+  return std::vector<uint8_t>(bytes, fill);
+}
+
+TEST(WalTest, CommittedRecordsSurviveReopenInLogOrder) {
+  DiskDevice device(64);
+  WriteAheadLog wal(&device);
+  uint64_t txn = wal.BeginTxn();
+  ASSERT_TRUE(wal.Append(WalRecordType::kLfmSet, txn, Payload(40, 1)).ok());
+  ASSERT_TRUE(wal.Append(WalRecordType::kCatalogRow, txn, Payload(17, 2)).ok());
+  ASSERT_TRUE(wal.Commit(txn).ok());
+
+  // Reopen over the same platters, as crash recovery would.
+  WriteAheadLog reopened(&device);
+  auto scan = reopened.Open().MoveValue();
+  EXPECT_EQ(scan.committed_txns, 1u);
+  EXPECT_FALSE(scan.torn_tail);
+  // Replayable records only: the kCommit marker is bookkeeping, not redo.
+  ASSERT_EQ(scan.committed.size(), 2u);
+  EXPECT_EQ(scan.committed[0].type, WalRecordType::kLfmSet);
+  EXPECT_EQ(scan.committed[0].payload, Payload(40, 1));
+  EXPECT_EQ(scan.committed[1].type, WalRecordType::kCatalogRow);
+  EXPECT_EQ(scan.committed[1].payload, Payload(17, 2));
+  for (const WalRecord& record : scan.committed) {
+    EXPECT_EQ(record.txn_id, txn);
+  }
+}
+
+TEST(WalTest, UncommittedAndAbortedTransactionsAreDiscarded) {
+  DiskDevice device(64);
+  WriteAheadLog wal(&device);
+  uint64_t committed = wal.BeginTxn();
+  uint64_t abandoned = wal.BeginTxn();
+  uint64_t aborted = wal.BeginTxn();
+  // Interleave the three transactions' records in the log.
+  ASSERT_TRUE(
+      wal.Append(WalRecordType::kLfmSet, abandoned, Payload(8, 9)).ok());
+  ASSERT_TRUE(
+      wal.Append(WalRecordType::kLfmSet, committed, Payload(8, 1)).ok());
+  ASSERT_TRUE(wal.Append(WalRecordType::kLfmDrop, aborted, Payload(8, 7)).ok());
+  wal.Abort(aborted);
+  ASSERT_TRUE(wal.Commit(committed).ok());
+  // `abandoned` never commits and never aborts — a crash mid-flight.
+  ASSERT_TRUE(wal.Sync().ok());
+
+  WriteAheadLog reopened(&device);
+  auto scan = reopened.Open().MoveValue();
+  EXPECT_EQ(scan.committed_txns, 1u);
+  for (const WalRecord& record : scan.committed) {
+    EXPECT_EQ(record.txn_id, committed);
+  }
+}
+
+TEST(WalTest, FailedCommitIsWithdrawnForever) {
+  DiskDevice device(64);
+  WriteAheadLog wal(&device);
+  uint64_t txn = wal.BeginTxn();
+  ASSERT_TRUE(wal.Append(WalRecordType::kLfmSet, txn, Payload(64, 3)).ok());
+  // The device dies on the commit's sync.
+  device.InstallFaultPlan(
+      FaultPlan::FailAtTransfer(0, FaultDurability::kPersistent));
+  ASSERT_TRUE(wal.Commit(txn).IsIOError());
+  EXPECT_EQ(wal.stats().failed_commits, 1u);
+  device.ClearFault();
+
+  // Later traffic on the same log must not resurrect the withdrawn
+  // commit: append and commit a different transaction, then reopen.
+  uint64_t later = wal.BeginTxn();
+  ASSERT_TRUE(wal.Append(WalRecordType::kLfmSet, later, Payload(8, 4)).ok());
+  ASSERT_TRUE(wal.Commit(later).ok());
+
+  WriteAheadLog reopened(&device);
+  auto scan = reopened.Open().MoveValue();
+  EXPECT_EQ(scan.committed_txns, 1u);
+  for (const WalRecord& record : scan.committed) {
+    EXPECT_EQ(record.txn_id, later);
+  }
+}
+
+TEST(WalTest, TornTailIsDetectedAndCommittedPrefixSurvives) {
+  DiskDevice device(64);
+  WriteAheadLog wal(&device);
+  uint64_t first = wal.BeginTxn();
+  ASSERT_TRUE(wal.Append(WalRecordType::kLfmSet, first, Payload(24, 5)).ok());
+  ASSERT_TRUE(wal.Commit(first).ok());
+  uint64_t durable_bytes = wal.stats().durable_bytes;
+  uint64_t second = wal.BeginTxn();
+  ASSERT_TRUE(
+      wal.Append(WalRecordType::kLfmSet, second, Payload(2000, 6)).ok());
+  ASSERT_TRUE(wal.Commit(second).ok());
+
+  // Corrupt one byte of the second transaction's frame on the platters
+  // (a torn mid-sync write), leaving the first transaction intact.
+  std::vector<uint8_t> bytes = device.CloneContents();
+  ASSERT_LT(durable_bytes + 16, bytes.size());
+  bytes[durable_bytes + 15] ^= 0xFF;
+  ASSERT_TRUE(device.RestoreContents(bytes).ok());
+
+  WriteAheadLog reopened(&device);
+  auto scan = reopened.Open().MoveValue();
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_EQ(scan.committed_txns, 1u);
+  EXPECT_EQ(scan.valid_bytes, durable_bytes);
+  for (const WalRecord& record : scan.committed) {
+    EXPECT_EQ(record.txn_id, first);
+  }
+}
+
+TEST(WalTest, ReopenPrimesTxnIdsPastEverySeenId) {
+  DiskDevice device(64);
+  uint64_t last = 0;
+  {
+    WriteAheadLog wal(&device);
+    for (int i = 0; i < 3; ++i) {
+      last = wal.BeginTxn();
+      ASSERT_TRUE(
+          wal.Append(WalRecordType::kLfmSet, last, Payload(8, 1)).ok());
+      ASSERT_TRUE(wal.Commit(last).ok());
+    }
+  }
+  WriteAheadLog reopened(&device);
+  ASSERT_TRUE(reopened.Open().ok());
+  // Ids are never reused, so stale frames of a withdrawn commit can
+  // never collide with a live transaction after restart.
+  EXPECT_GT(reopened.BeginTxn(), last);
+}
+
+TEST(WalTest, FreshDeviceScansEmpty) {
+  DiskDevice device(16);
+  WriteAheadLog wal(&device);
+  auto scan = wal.Open().MoveValue();
+  EXPECT_EQ(scan.committed_txns, 0u);
+  EXPECT_EQ(scan.total_records, 0u);
+  EXPECT_EQ(scan.valid_bytes, 0u);
+  EXPECT_FALSE(scan.torn_tail);
+}
+
+TEST(WalTest, LogFullSurfacesCleanly) {
+  DiskDevice device(1);  // a 4 KB log volume
+  WriteAheadLog wal(&device);
+  uint64_t txn = wal.BeginTxn();
+  Status status = Status::OK();
+  for (int i = 0; i < 64 && status.ok(); ++i) {
+    status = wal.Append(WalRecordType::kLfmSet, txn, Payload(256, 1));
+  }
+  EXPECT_TRUE(status.IsResourceExhausted());  // ran off the end of the device
+}
+
+}  // namespace
+}  // namespace qbism::storage

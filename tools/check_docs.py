@@ -30,6 +30,7 @@ DOC_FILES = [
     "PAPER.md",
     "docs/OBSERVABILITY.md",
     "docs/NETWORK.md",
+    "docs/DURABILITY.md",
 ]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
