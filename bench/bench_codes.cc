@@ -3,12 +3,23 @@
 // divisors), against the entropy bound. The paper picks gamma because
 // the delta distribution is a power law (EQ 1): codes tuned for
 // geometric tails (Golomb) pay heavily for the long tail.
+//
+// The second table measures the three gamma decode tiers (scalar
+// bit-at-a-time, branchless clz-over-peek-window, table-assisted batch)
+// on one contiguous stream of the corpus deltas, plus the lane-parallel
+// length-sum sizing kernel. The batch kernel is what DecodeRegion and
+// the encoded-domain set operators (E21) sit on.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/bitstream.h"
+#include "common/timer.h"
 #include "compress/codes.h"
 
 using qbism::bench::BuildRegionCorpus;
@@ -62,5 +73,105 @@ int main() {
   std::printf(
       "\npaper: the gamma-coded runs land ~1.17x the entropy bound; codes\n"
       "optimal for geometric distributions were ruled out a priori.\n");
+
+  // --- gamma decode-kernel throughput ---------------------------------
+  // Tile the corpus deltas into one gamma stream large enough for stable
+  // timing and decode it end to end with each tier; checksums must agree
+  // so a fast-but-wrong kernel cannot post a good number.
+  constexpr size_t kTargetSymbols = size_t{1} << 22;
+  std::vector<uint64_t> symbols;
+  symbols.reserve(kTargetSymbols + deltas.size());
+  while (symbols.size() < kTargetSymbols) {
+    symbols.insert(symbols.end(), deltas.begin(), deltas.end());
+  }
+  qbism::BitWriter writer;
+  for (uint64_t s : symbols) qbism::compress::EliasGammaEncode(s, &writer);
+  const std::vector<uint8_t> stream = writer.Finish();
+  const double stream_mb =
+      static_cast<double>(stream.size()) / (1024.0 * 1024.0);
+  const double nsyms = static_cast<double>(symbols.size());
+
+  auto best_of = [](auto&& fn) {
+    std::pair<double, uint64_t> best{1e100, 0};
+    for (int iter = 0; iter < 3; ++iter) {
+      qbism::WallTimer timer;
+      uint64_t checksum = fn();
+      best = std::min(best, std::make_pair(timer.Seconds(), checksum));
+    }
+    return best;
+  };
+  auto [scalar_s, scalar_sum] = best_of([&] {
+    qbism::BitReader reader(stream);
+    uint64_t sum = 0;
+    for (size_t i = 0; i < symbols.size(); ++i) {
+      sum += *qbism::compress::EliasGammaDecodeScalar(&reader);
+    }
+    return sum;
+  });
+  auto [branchless_s, branchless_sum] = best_of([&] {
+    qbism::BitReader reader(stream);
+    uint64_t sum = 0;
+    for (size_t i = 0; i < symbols.size(); ++i) {
+      sum += *qbism::compress::EliasGammaDecode(&reader);
+    }
+    return sum;
+  });
+  auto [batch_s, batch_sum] = best_of([&] {
+    qbism::BitReader reader(stream);
+    uint64_t buffer[4096];
+    uint64_t sum = 0;
+    size_t left = symbols.size();
+    while (left > 0) {
+      size_t n = std::min<size_t>(left, 4096);
+      if (!qbism::compress::EliasGammaDecodeBatch(&reader, buffer, n).ok()) {
+        return uint64_t{0};
+      }
+      for (size_t i = 0; i < n; ++i) sum += buffer[i];
+      left -= n;
+    }
+    return sum;
+  });
+
+  qbism::bench::PrintHeading("Gamma decode-kernel throughput");
+  std::printf("stream: %zu symbols, %.1f MiB\n", symbols.size(), stream_mb);
+  std::printf("%-26s %10s %10s %10s %10s\n", "kernel", "secs", "Msyms/s",
+              "MiB/s", "vs scalar");
+  auto kernel_row = [&](const char* name, double secs, uint64_t checksum) {
+    if (checksum != scalar_sum) {
+      std::printf("%-26s CHECKSUM MISMATCH (%llu != %llu)\n", name,
+                  static_cast<unsigned long long>(checksum),
+                  static_cast<unsigned long long>(scalar_sum));
+      return;
+    }
+    std::printf("%-26s %10.3f %10.1f %10.1f %9.2fx\n", name, secs,
+                nsyms / secs / 1e6, stream_mb / secs, scalar_s / secs);
+  };
+  kernel_row("scalar bit-at-a-time", scalar_s, scalar_sum);
+  kernel_row("branchless clz", branchless_s, branchless_sum);
+  kernel_row("batch table+word", batch_s, batch_sum);
+
+  // Encode-side sizing kernel: the lane-parallel floor-log2 sum against
+  // the scalar per-value length loop.
+  auto [len_scalar_s, len_scalar_sum] = best_of([&] {
+    uint64_t bits = 0;
+    for (uint64_t s : symbols) {
+      bits += static_cast<uint64_t>(qbism::compress::EliasGammaLength(s));
+    }
+    return bits;
+  });
+  auto [len_sum_s, len_sum_sum] = best_of([&] {
+    return qbism::compress::EliasGammaLengthSum(symbols.data(),
+                                                symbols.size());
+  });
+  std::printf("\nlength-sum sizing kernel (simd path %s):\n",
+              qbism::compress::HasSimdLengthKernel() ? "avx2" : "scalar");
+  std::printf("%-26s %10.3f %10.1f %21.2fx\n", "scalar length loop",
+              len_scalar_s, nsyms / len_scalar_s / 1e6, 1.0);
+  if (len_sum_sum == len_scalar_sum) {
+    std::printf("%-26s %10.3f %10.1f %21.2fx\n", "EliasGammaLengthSum",
+                len_sum_s, nsyms / len_sum_s / 1e6, len_scalar_s / len_sum_s);
+  } else {
+    std::printf("EliasGammaLengthSum BIT-COUNT MISMATCH\n");
+  }
   return 0;
 }

@@ -1,0 +1,346 @@
+// E21 — encoded-domain region set operations (DESIGN.md §13): the
+// streaming γ-stream operators against the decode-then-op pipeline on
+// corpus region pairs. Three execution paths per operator:
+//
+//   scalar    the pre-optimization reference: bit-at-a-time gamma decode
+//             of both payloads into run lists, run-list operator,
+//             re-encode the result;
+//   fast      the batch-kernel DecodeRegion, run-list operator,
+//             re-encode — isolates the decode-kernel speedup;
+//   encoded   EncodedSetOp / EncodedContains merging the two γ streams
+//             directly, no Region materialized.
+//
+// All three must produce byte-identical payloads (checked every pair).
+// A final section times the raw gamma decode tiers on the corpus's
+// concatenated delta stream so the kernel speedup lands in the JSON.
+//
+// `--smoke` shrinks the grid and corpus so `ctest -L perf` exercises
+// every path in seconds. Writes BENCH_regionops.json.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/bitstream.h"
+#include "common/macros.h"
+#include "common/timer.h"
+#include "compress/codes.h"
+#include "region/encoded_ops.h"
+#include "region/encoding.h"
+
+using qbism::BitReader;
+using qbism::Result;
+using qbism::WallTimer;
+using qbism::curve::CurveKind;
+using qbism::bench::BuildRegionCorpus;
+using qbism::bench::CorpusRegion;
+using qbism::region::EncodedContains;
+using qbism::region::EncodedSetOp;
+using qbism::region::GridSpec;
+using qbism::region::Region;
+using qbism::region::RegionEncoding;
+using qbism::region::Run;
+using qbism::region::SetOpKind;
+
+namespace {
+
+/// The pre-optimization elias decoder: the same stream layout as
+/// DecodeRegion (gamma(#runs+1), gamma(first_start+1), alternating
+/// length/gap) read one bit at a time through EliasGammaDecodeScalar.
+Result<Region> DecodeRegionScalar(const GridSpec& grid,
+                                  const std::vector<uint8_t>& bytes) {
+  BitReader reader(bytes);
+  auto decode = [&]() -> Result<uint64_t> {
+    return qbism::compress::EliasGammaDecodeScalar(&reader);
+  };
+  auto count = decode();
+  QBISM_RETURN_NOT_OK(count.status());
+  uint64_t runs_left = *count - 1;
+  auto first = decode();
+  QBISM_RETURN_NOT_OK(first.status());
+  uint64_t cursor = *first - 1;
+  std::vector<Run> runs;
+  runs.reserve(runs_left);
+  for (uint64_t i = 0; i < runs_left; ++i) {
+    auto length = decode();
+    QBISM_RETURN_NOT_OK(length.status());
+    runs.push_back(Run{cursor, cursor + *length - 1});
+    if (i + 1 < runs_left) {
+      auto gap = decode();
+      QBISM_RETURN_NOT_OK(gap.status());
+      cursor = runs.back().end + 1 + *gap;
+    }
+  }
+  return Region::FromCanonicalRuns(grid, CurveKind::kHilbert,
+                                   std::move(runs));
+}
+
+struct OpResult {
+  double scalar_s = 0;
+  double fast_s = 0;
+  double encoded_s = 0;
+  bool byte_identical = true;
+};
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  std::printf("QBISM reproduction E21: encoded-domain region set ops (%s)\n",
+              smoke ? "smoke" : "full");
+  qbism::bench::BenchJson json("regionops");
+  json.AddString("mode", smoke ? "smoke" : "full");
+
+  const GridSpec grid = smoke ? GridSpec{3, 5} : GridSpec{3, 7};
+  const int iters = smoke ? 1 : 3;
+  std::printf("Building corpus (structures + PET bands, %d^3)...\n",
+              1 << grid.bits);
+  std::vector<CorpusRegion> corpus =
+      BuildRegionCorpus(grid, 42, smoke ? 1 : 5, 0);
+
+  // Encode every corpus region once; pair each with its next few
+  // neighbors so the pair set mixes structure/structure, structure/band,
+  // and band/band overlap patterns.
+  std::vector<std::vector<uint8_t>> payloads;
+  payloads.reserve(corpus.size());
+  for (const CorpusRegion& c : corpus) {
+    payloads.push_back(
+        qbism::region::EncodeRegion(c.region, RegionEncoding::kEliasDeltas)
+            .MoveValue());
+  }
+  std::vector<std::pair<size_t, size_t>> pairs;
+  const size_t fanout = smoke ? 2 : 4;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    for (size_t j = i + 1; j < std::min(i + 1 + fanout, corpus.size()); ++j) {
+      pairs.push_back({i, j});
+    }
+  }
+  std::printf("%zu regions, %zu operand pairs, best of %d iters\n",
+              corpus.size(), pairs.size(), iters);
+  json.Add("pairs", static_cast<uint64_t>(pairs.size()));
+
+  struct OpSpec {
+    const char* name;
+    SetOpKind kind;
+  };
+  const OpSpec kOps[] = {{"intersection", SetOpKind::kIntersect},
+                         {"union", SetOpKind::kUnion},
+                         {"difference", SetOpKind::kDifference}};
+
+  qbism::bench::PrintHeading("Set operations: scalar / fast / encoded");
+  std::printf("%-14s %10s %10s %10s %12s %12s\n", "op", "scalar ms",
+              "fast ms", "encoded ms", "enc/scalar", "enc/fast");
+
+  bool all_identical = true;
+  for (const OpSpec& op : kOps) {
+    OpResult r;
+    r.scalar_s = r.fast_s = r.encoded_s = 1e100;
+    for (int iter = 0; iter < iters; ++iter) {
+      // scalar decode-then-op: the pre-PR execution path.
+      uint64_t scalar_hash = 0;
+      WallTimer timer;
+      for (const auto& [i, j] : pairs) {
+        Region a = DecodeRegionScalar(grid, payloads[i]).MoveValue();
+        Region b = DecodeRegionScalar(grid, payloads[j]).MoveValue();
+        Region out = (op.kind == SetOpKind::kIntersect
+                          ? a.IntersectWith(b)
+                          : op.kind == SetOpKind::kUnion ? a.UnionWith(b)
+                                                         : a.DifferenceWith(b))
+                         .MoveValue();
+        auto bytes =
+            qbism::region::EncodeRegion(out, RegionEncoding::kEliasDeltas)
+                .MoveValue();
+        for (uint8_t byte : bytes) scalar_hash = Mix(scalar_hash, byte);
+      }
+      r.scalar_s = std::min(r.scalar_s, timer.Seconds());
+
+      // fast decode-then-op: batch decode kernel, same materialization.
+      uint64_t fast_hash = 0;
+      timer.Reset();
+      for (const auto& [i, j] : pairs) {
+        Region a = qbism::region::DecodeRegion(grid, CurveKind::kHilbert,
+                                               RegionEncoding::kEliasDeltas,
+                                               payloads[i])
+                       .MoveValue();
+        Region b = qbism::region::DecodeRegion(grid, CurveKind::kHilbert,
+                                               RegionEncoding::kEliasDeltas,
+                                               payloads[j])
+                       .MoveValue();
+        Region out = (op.kind == SetOpKind::kIntersect
+                          ? a.IntersectWith(b)
+                          : op.kind == SetOpKind::kUnion ? a.UnionWith(b)
+                                                         : a.DifferenceWith(b))
+                         .MoveValue();
+        auto bytes =
+            qbism::region::EncodeRegion(out, RegionEncoding::kEliasDeltas)
+                .MoveValue();
+        for (uint8_t byte : bytes) fast_hash = Mix(fast_hash, byte);
+      }
+      r.fast_s = std::min(r.fast_s, timer.Seconds());
+
+      // encoded-domain: merge the γ streams directly.
+      uint64_t encoded_hash = 0;
+      timer.Reset();
+      for (const auto& [i, j] : pairs) {
+        auto bytes = EncodedSetOp(grid, op.kind, payloads[i], payloads[j])
+                         .MoveValue();
+        for (uint8_t byte : bytes) encoded_hash = Mix(encoded_hash, byte);
+      }
+      r.encoded_s = std::min(r.encoded_s, timer.Seconds());
+
+      if (scalar_hash != fast_hash || scalar_hash != encoded_hash) {
+        r.byte_identical = false;
+      }
+    }
+    all_identical = all_identical && r.byte_identical;
+    std::printf("%-14s %10.2f %10.2f %10.2f %11.2fx %11.2fx%s\n", op.name,
+                r.scalar_s * 1e3, r.fast_s * 1e3, r.encoded_s * 1e3,
+                r.scalar_s / r.encoded_s, r.fast_s / r.encoded_s,
+                r.byte_identical ? "" : "  OUTPUT MISMATCH");
+    std::string key(op.name);
+    json.Add(key + "_scalar_ms", r.scalar_s * 1e3);
+    json.Add(key + "_fast_ms", r.fast_s * 1e3);
+    json.Add(key + "_encoded_ms", r.encoded_s * 1e3);
+    json.Add(key + "_speedup_vs_scalar", r.scalar_s / r.encoded_s);
+  }
+
+  // CONTAINS: the early-exit operator. Both orientations per pair so the
+  // workload mixes immediate rejections with full-coverage scans.
+  {
+    double scalar_s = 1e100, fast_s = 1e100, encoded_s = 1e100;
+    bool agree = true;
+    for (int iter = 0; iter < iters; ++iter) {
+      uint64_t scalar_hash = 0;
+      WallTimer timer;
+      for (const auto& [i, j] : pairs) {
+        Region a = DecodeRegionScalar(grid, payloads[i]).MoveValue();
+        Region b = DecodeRegionScalar(grid, payloads[j]).MoveValue();
+        scalar_hash = Mix(scalar_hash, *a.Contains(b) ? 1 : 0);
+        scalar_hash = Mix(scalar_hash, *b.Contains(a) ? 1 : 0);
+      }
+      scalar_s = std::min(scalar_s, timer.Seconds());
+
+      uint64_t fast_hash = 0;
+      timer.Reset();
+      for (const auto& [i, j] : pairs) {
+        Region a = qbism::region::DecodeRegion(grid, CurveKind::kHilbert,
+                                               RegionEncoding::kEliasDeltas,
+                                               payloads[i])
+                       .MoveValue();
+        Region b = qbism::region::DecodeRegion(grid, CurveKind::kHilbert,
+                                               RegionEncoding::kEliasDeltas,
+                                               payloads[j])
+                       .MoveValue();
+        fast_hash = Mix(fast_hash, *a.Contains(b) ? 1 : 0);
+        fast_hash = Mix(fast_hash, *b.Contains(a) ? 1 : 0);
+      }
+      fast_s = std::min(fast_s, timer.Seconds());
+
+      uint64_t encoded_hash = 0;
+      timer.Reset();
+      for (const auto& [i, j] : pairs) {
+        encoded_hash =
+            Mix(encoded_hash, *EncodedContains(grid, payloads[i], payloads[j])
+                    ? 1 : 0);
+        encoded_hash =
+            Mix(encoded_hash, *EncodedContains(grid, payloads[j], payloads[i])
+                    ? 1 : 0);
+      }
+      encoded_s = std::min(encoded_s, timer.Seconds());
+      if (scalar_hash != fast_hash || scalar_hash != encoded_hash) {
+        agree = false;
+      }
+    }
+    all_identical = all_identical && agree;
+    std::printf("%-14s %10.2f %10.2f %10.2f %11.2fx %11.2fx%s\n", "contains",
+                scalar_s * 1e3, fast_s * 1e3, encoded_s * 1e3,
+                scalar_s / encoded_s, fast_s / encoded_s,
+                agree ? "" : "  VERDICT MISMATCH");
+    json.Add("contains_scalar_ms", scalar_s * 1e3);
+    json.Add("contains_fast_ms", fast_s * 1e3);
+    json.Add("contains_encoded_ms", encoded_s * 1e3);
+    json.Add("contains_speedup_vs_scalar", scalar_s / encoded_s);
+  }
+
+  // --- raw gamma decode tiers on the corpus delta stream ---------------
+  // The kernel-level number behind the fast/encoded columns: decode the
+  // concatenated delta symbols of every corpus region with the scalar
+  // and batch tiers (bench_codes has the full three-tier table).
+  {
+    std::vector<uint64_t> deltas;
+    for (const CorpusRegion& c : corpus) {
+      auto d = c.region.DeltaLengths();
+      deltas.insert(deltas.end(), d.begin(), d.end());
+    }
+    const size_t target = smoke ? (size_t{1} << 16) : (size_t{1} << 21);
+    std::vector<uint64_t> symbols;
+    symbols.reserve(target + deltas.size());
+    while (symbols.size() < target) {
+      symbols.insert(symbols.end(), deltas.begin(), deltas.end());
+    }
+    qbism::BitWriter writer;
+    for (uint64_t s : symbols) qbism::compress::EliasGammaEncode(s, &writer);
+    const std::vector<uint8_t> stream = writer.Finish();
+
+    double scalar_s = 1e100, batch_s = 1e100;
+    uint64_t scalar_sum = 0, batch_sum = 0;
+    for (int iter = 0; iter < std::max(iters, 2); ++iter) {
+      WallTimer timer;
+      BitReader reader(stream);
+      scalar_sum = 0;
+      for (size_t i = 0; i < symbols.size(); ++i) {
+        scalar_sum += *qbism::compress::EliasGammaDecodeScalar(&reader);
+      }
+      scalar_s = std::min(scalar_s, timer.Seconds());
+
+      timer.Reset();
+      BitReader batch_reader(stream);
+      uint64_t buffer[4096];
+      batch_sum = 0;
+      size_t left = symbols.size();
+      while (left > 0) {
+        size_t n = std::min<size_t>(left, 4096);
+        QBISM_CHECK(qbism::compress::EliasGammaDecodeBatch(&batch_reader,
+                                                           buffer, n)
+                        .ok());
+        for (size_t k = 0; k < n; ++k) batch_sum += buffer[k];
+        left -= n;
+      }
+      batch_s = std::min(batch_s, timer.Seconds());
+    }
+    all_identical = all_identical && (scalar_sum == batch_sum);
+    const double nsyms = static_cast<double>(symbols.size());
+    std::printf(
+        "\ngamma decode kernel: scalar %.1f Msyms/s, batch %.1f Msyms/s "
+        "(%.2fx)\n",
+        nsyms / scalar_s / 1e6, nsyms / batch_s / 1e6, scalar_s / batch_s);
+    json.Add("gamma_decode_scalar_msyms", nsyms / scalar_s / 1e6);
+    json.Add("gamma_decode_batch_msyms", nsyms / batch_s / 1e6);
+    json.Add("gamma_decode_speedup", scalar_s / batch_s);
+  }
+
+  json.AddString("outputs_byte_identical", all_identical ? "true" : "false");
+  const char* out = "BENCH_regionops.json";
+  if (json.WriteFile(out)) {
+    std::printf("\nWrote %s\n", out);
+  } else {
+    std::printf("\nWARNING: could not write %s\n", out);
+  }
+  if (!all_identical) {
+    std::printf("E21 FAILED: paths disagree\n");
+    return 1;
+  }
+  return 0;
+}

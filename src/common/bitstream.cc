@@ -1,8 +1,33 @@
 #include "common/bitstream.h"
 
+#include <cstring>
+
 #include "common/macros.h"
 
 namespace qbism {
+
+namespace {
+
+/// Big-endian 64-bit load: one 8-byte load plus a byte swap where the
+/// compiler provides one, a byte loop otherwise. This is the refill
+/// primitive under every word-at-a-time decode kernel.
+inline uint64_t LoadBe64(const uint8_t* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  uint64_t w;
+  std::memcpy(&w, p, sizeof w);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  return w;
+#else
+  return __builtin_bswap64(w);
+#endif
+#else
+  uint64_t w = 0;
+  for (int i = 0; i < 8; ++i) w = (w << 8) | p[i];
+  return w;
+#endif
+}
+
+}  // namespace
 
 void BitWriter::PutBit(int bit) {
   size_t byte_index = bit_count_ / 8;
@@ -13,17 +38,65 @@ void BitWriter::PutBit(int bit) {
 
 void BitWriter::PutBits(uint64_t value, int nbits) {
   QBISM_CHECK(nbits >= 0 && nbits <= 64);
-  for (int i = nbits - 1; i >= 0; --i) {
-    PutBit(static_cast<int>((value >> i) & 1u));
+  if (nbits == 0) return;
+  if (nbits < 64) value &= (uint64_t{1} << nbits) - 1;
+  bytes_.resize((bit_count_ + nbits + 7) / 8, 0);
+  size_t byte_index = bit_count_ / 8;
+  int bit_offset = static_cast<int>(bit_count_ % 8);
+  bit_count_ += static_cast<size_t>(nbits);
+  // Fill the partial head byte, then whole bytes MSB-first.
+  int remaining = nbits;
+  if (bit_offset != 0) {
+    int room = 8 - bit_offset;
+    int take = remaining < room ? remaining : room;
+    uint8_t chunk = static_cast<uint8_t>(
+        (value >> (remaining - take)) << (room - take));
+    bytes_[byte_index] |= chunk;
+    remaining -= take;
+    ++byte_index;
+  }
+  while (remaining >= 8) {
+    remaining -= 8;
+    bytes_[byte_index++] = static_cast<uint8_t>(value >> remaining);
+  }
+  if (remaining > 0) {
+    bytes_[byte_index] = static_cast<uint8_t>(value << (8 - remaining));
   }
 }
 
 void BitWriter::PutUnary(uint64_t count) {
-  for (uint64_t i = 0; i < count; ++i) PutBit(0);
-  PutBit(1);
+  // `count` zeros then a one: zeros are just a position advance (the
+  // buffer is zero-filled), so only the terminating one bit is written.
+  bytes_.resize((bit_count_ + count + 1 + 7) / 8, 0);
+  bit_count_ += count;
+  bytes_[bit_count_ / 8] |= static_cast<uint8_t>(0x80u >> (bit_count_ % 8));
+  ++bit_count_;
+}
+
+void BitWriter::AppendBits(const uint8_t* bytes, size_t nbits) {
+  // Byte-aligned destination: memcpy-style whole bytes.
+  if (bit_count_ % 8 == 0 && nbits >= 8) {
+    size_t whole = nbits / 8;
+    bytes_.resize(bit_count_ / 8);  // drop the zero padding, if any
+    bytes_.insert(bytes_.end(), bytes, bytes + whole);
+    bit_count_ += whole * 8;
+    bytes = bytes + whole;
+    nbits -= whole * 8;
+  }
+  // Unaligned (or trailing partial byte): shift 8 bits at a time.
+  size_t i = 0;
+  while (nbits >= 8) {
+    PutBits(bytes[i++], 8);
+    nbits -= 8;
+  }
+  if (nbits > 0) {
+    PutBits(static_cast<uint64_t>(bytes[i]) >> (8 - nbits),
+            static_cast<int>(nbits));
+  }
 }
 
 std::vector<uint8_t> BitWriter::Finish() {
+  bytes_.resize((bit_count_ + 7) / 8, 0);
   std::vector<uint8_t> out = std::move(bytes_);
   bytes_.clear();
   bit_count_ = 0;
@@ -43,21 +116,57 @@ Result<uint64_t> BitReader::GetBits(int nbits) {
   if (nbits < 0 || nbits > 64) {
     return Status::InvalidArgument("BitReader: nbits out of [0,64]");
   }
-  uint64_t value = 0;
-  for (int i = 0; i < nbits; ++i) {
-    QBISM_ASSIGN_OR_RETURN(int bit, GetBit());
-    value = (value << 1) | static_cast<uint64_t>(bit);
+  if (nbits == 0) return uint64_t{0};
+  if (pos_ + static_cast<size_t>(nbits) > size_bits_) {
+    return Status::OutOfRange("BitReader: read past end of stream");
   }
+  uint64_t value = Peek64() >> (64 - nbits);
+  pos_ += static_cast<size_t>(nbits);
   return value;
 }
 
 Result<uint64_t> BitReader::GetUnary() {
   uint64_t count = 0;
-  while (true) {
-    QBISM_ASSIGN_OR_RETURN(int bit, GetBit());
-    if (bit) return count;
-    ++count;
+  while (pos_ < size_bits_) {
+    uint64_t window = Peek64();
+    if (window != 0) {
+      int zeros = __builtin_clzll(window);
+      // The one bit might sit in zero padding past the end; a real one
+      // bit never can (padding is zeros), so check against the stream.
+      if (pos_ + static_cast<size_t>(zeros) >= size_bits_) break;
+      pos_ += static_cast<size_t>(zeros) + 1;
+      return count + static_cast<uint64_t>(zeros);
+    }
+    // All-zero window: consume whatever part of it is real stream.
+    size_t real = remaining_bits() < 64 ? remaining_bits() : 64;
+    count += real;
+    pos_ += real;
   }
+  pos_ = size_bits_;  // exhausted without a terminating one
+  return Status::OutOfRange("BitReader: read past end of stream");
+}
+
+uint64_t BitReader::Peek64() const {
+  size_t byte_index = pos_ / 8;
+  int bit_offset = static_cast<int>(pos_ % 8);
+  if (byte_index + 9 <= size_bytes_) {
+    // Fast path: 9 bytes available, assemble 64 bits at any offset.
+    uint64_t w = LoadBe64(data_ + byte_index);
+    if (bit_offset == 0) return w;
+    return (w << bit_offset) |
+           (static_cast<uint64_t>(data_[byte_index + 8]) >> (8 - bit_offset));
+  }
+  // Tail: assemble what exists, zero-pad the rest.
+  uint64_t w = 0;
+  int filled = 0;
+  for (size_t i = byte_index; i < size_bytes_ && filled < 72; ++i) {
+    w = (w << 8) | data_[i];
+    filled += 8;
+  }
+  if (filled == 0) return 0;
+  // Left-align bit `bit_offset` of the first loaded byte at bit 63.
+  w <<= 64 - filled + bit_offset;  // filled <= 64 here (at most 8 bytes)
+  return w;
 }
 
 }  // namespace qbism

@@ -27,6 +27,12 @@ class BitWriter {
   /// `count`), the primitive used by the Elias codes.
   void PutUnary(uint64_t count);
 
+  /// Appends the first `nbits` bits of another finished bit stream
+  /// (MSB-first bytes, as produced by Finish). Lets the encoded-domain
+  /// region operators assemble header + body streams without re-coding
+  /// the body symbol by symbol.
+  void AppendBits(const uint8_t* bytes, size_t nbits);
+
   /// Number of bits written so far.
   size_t bit_count() const { return bit_count_; }
 
@@ -41,10 +47,16 @@ class BitWriter {
 
 /// MSB-first bit reader over a byte span. Reads past the end fail with
 /// Status::OutOfRange rather than returning garbage.
+///
+/// Besides the checked Get* calls, the reader exposes the word-level
+/// primitives the branchless decode kernels are built on: Peek64 loads
+/// a zero-padded 64-bit window at the read position without advancing,
+/// and Skip advances by a count the caller has already validated
+/// against size_bits().
 class BitReader {
  public:
   BitReader(const uint8_t* data, size_t size_bytes)
-      : data_(data), size_bits_(size_bytes * 8) {}
+      : data_(data), size_bytes_(size_bytes), size_bits_(size_bytes * 8) {}
   explicit BitReader(const std::vector<uint8_t>& bytes)
       : BitReader(bytes.data(), bytes.size()) {}
 
@@ -58,12 +70,25 @@ class BitReader {
   /// one bit (the terminating one bit is consumed).
   Result<uint64_t> GetUnary();
 
+  /// The next 64 bits at the read position, MSB-first, zero-padded past
+  /// the end of the stream. Does not advance. A set bit in the window is
+  /// always a real stream bit; only trailing zeros can be padding.
+  uint64_t Peek64() const;
+
+  /// Advances by `nbits` without bounds checking; the caller must have
+  /// verified position() + nbits <= size_bits().
+  void Skip(size_t nbits) { pos_ += nbits; }
+
   size_t position() const { return pos_; }
   size_t size_bits() const { return size_bits_; }
+  size_t remaining_bits() const {
+    return pos_ >= size_bits_ ? 0 : size_bits_ - pos_;
+  }
   bool exhausted() const { return pos_ >= size_bits_; }
 
  private:
   const uint8_t* data_;
+  size_t size_bytes_;
   size_t size_bits_;
   size_t pos_ = 0;
 };

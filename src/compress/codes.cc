@@ -1,9 +1,15 @@
 #include "compress/codes.h"
 
+#include <array>
 #include <cmath>
 #include <unordered_map>
 
 #include "common/macros.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define QBISM_X86_SIMD_DISPATCH 1
+#include <immintrin.h>
+#endif
 
 namespace qbism::compress {
 
@@ -15,21 +21,202 @@ int FloorLog2(uint64_t x) {
   return 63 - __builtin_clzll(x);
 }
 
+// The short-code decode table lives in codes.h (detail::kGammaTable),
+// shared with the inline EliasGammaStreamDecoder.
+using detail::GammaEntry;
+using detail::kGammaTable;
+
+uint64_t EliasGammaLengthSumScalar(const uint64_t* values, size_t count) {
+  uint64_t bits = 0;
+  for (size_t i = 0; i < count; ++i) {
+    bits += static_cast<uint64_t>(2 * FloorLog2(values[i]) + 1);
+  }
+  return bits;
+}
+
+#ifdef QBISM_X86_SIMD_DISPATCH
+
+/// AVX2 lane-wise floor(log2): for x in [1, 2^52), OR-ing the exponent
+/// magic 0x433 << 52 and subtracting 2^52 yields double(x) exactly, so
+/// the biased exponent field is floor(log2 x) + 1023. Blocks holding a
+/// value >= 2^52 (never a delta length on any supported grid, but the
+/// kernel must not be wrong) fall back to scalar.
+__attribute__((target("avx2"))) uint64_t EliasGammaLengthSumAvx2(
+    const uint64_t* values, size_t count) {
+  const __m256i magic_i = _mm256_set1_epi64x(0x4330000000000000ll);
+  const __m256d magic_d = _mm256_castsi256_pd(magic_i);
+  const __m256i bias = _mm256_set1_epi64x(1023);
+  const __m256i limit = _mm256_set1_epi64x(int64_t{1} << 52);
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  uint64_t bits = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m256i x = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(values + i));
+    // Unsigned x >= 2^52 check via signed compare works because the
+    // magic OR below is only valid (and only claimed) below 2^52.
+    __m256i too_big = _mm256_or_si256(
+        _mm256_cmpgt_epi64(x, _mm256_sub_epi64(limit, _mm256_set1_epi64x(1))),
+        _mm256_cmpgt_epi64(_mm256_setzero_si256(), x));
+    if (!_mm256_testz_si256(too_big, too_big)) {
+      bits += EliasGammaLengthSumScalar(values + i, 4);
+      continue;
+    }
+    __m256d d = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(x, magic_i)), magic_d);
+    __m256i exp = _mm256_sub_epi64(
+        _mm256_srli_epi64(_mm256_castpd_si256(d), 52), bias);
+    // 2 * floorlog2 + 1 per lane.
+    acc = _mm256_add_epi64(
+        acc, _mm256_add_epi64(_mm256_slli_epi64(exp, 1),
+                              _mm256_set1_epi64x(1)));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  bits += lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  if (i < count) bits += EliasGammaLengthSumScalar(values + i, count - i);
+  return bits;
+}
+
+bool CpuHasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+
+#endif  // QBISM_X86_SIMD_DISPATCH
+
 }  // namespace
 
 void EliasGammaEncode(uint64_t x, BitWriter* writer) {
   QBISM_CHECK(x >= 1);
   int n = FloorLog2(x);
-  // n zeros, a one, then the n low-order bits of x.
-  writer->PutUnary(static_cast<uint64_t>(n));
-  writer->PutBits(x, n);  // drops the implicit leading 1 bit
+  // n zeros, then x's n+1 significant bits (the leading 1 doubles as
+  // the unary terminator) — one PutBits call instead of a unary loop
+  // plus a payload write.
+  if (n <= 31) {
+    writer->PutBits(x, 2 * n + 1);
+  } else {
+    writer->PutUnary(static_cast<uint64_t>(n));
+    writer->PutBits(x, n);  // drops the implicit leading 1 bit
+  }
 }
 
 Result<uint64_t> EliasGammaDecode(BitReader* reader) {
+  uint64_t w = reader->Peek64();
+  if (w >> 32) {
+    // A one bit in the top 32 window bits: n <= 31, so the whole code
+    // (2n+1 <= 63 bits) sits in the window. One clz, one shift.
+    int n = __builtin_clzll(w);
+    size_t len = static_cast<size_t>(2 * n + 1);
+    if (len > reader->remaining_bits()) {
+      return Status::OutOfRange("BitReader: read past end of stream");
+    }
+    reader->Skip(len);
+    return w >> (64 - len);
+  }
+  // Long code (value >= 2^32) or end of stream: checked primitives.
   QBISM_ASSIGN_OR_RETURN(uint64_t n, reader->GetUnary());
   if (n > 63) return Status::Corruption("EliasGamma: length prefix too large");
   QBISM_ASSIGN_OR_RETURN(uint64_t low, reader->GetBits(static_cast<int>(n)));
   return (uint64_t{1} << n) | low;
+}
+
+Result<uint64_t> EliasGammaDecodeScalar(BitReader* reader) {
+  uint64_t n = 0;
+  while (true) {
+    QBISM_ASSIGN_OR_RETURN(int bit, reader->GetBit());
+    if (bit) break;
+    ++n;
+  }
+  if (n > 63) return Status::Corruption("EliasGamma: length prefix too large");
+  uint64_t low = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    QBISM_ASSIGN_OR_RETURN(int bit, reader->GetBit());
+    low = (low << 1) | static_cast<uint64_t>(bit);
+  }
+  return (uint64_t{1} << n) | low;
+}
+
+Status EliasGammaDecodeBatch(BitReader* reader, uint64_t* out, size_t count) {
+  size_t i = 0;
+  while (i < count) {
+    const uint64_t w = reader->Peek64();
+    size_t avail = reader->remaining_bits();
+    if (avail > 64) avail = 64;
+    unsigned used = 0;
+    const size_t start = i;
+    // Drain the register-resident window: table for short codes, clz
+    // for the rest. Refill (outer loop) when fewer than 9 bits remain
+    // in the window, so the 8-bit table index is always fully real.
+    if (avail == 64) {
+      // Interior window: every bit is real, so no end-of-stream check
+      // per symbol — the only exits are a drained window or a code
+      // straddling it.
+      while (i < count) {
+        const unsigned room = 64 - used;
+        if (room < 9) break;
+        const uint64_t sub = w << used;
+        const GammaEntry e = kGammaTable[sub >> 56];
+        if (e.len != 0) {
+          out[i++] = e.value;
+          used += e.len;
+          continue;
+        }
+        if (sub >> 32) {
+          const unsigned len =
+              2 * static_cast<unsigned>(__builtin_clzll(sub)) + 1;
+          if (len > room) break;
+          out[i++] = sub >> (64 - len);
+          used += len;
+          continue;
+        }
+        break;  // long code straddles the window
+      }
+    } else {
+      // Final (partial) window: a code may extend into the zero
+      // padding, so check each against the real bit count.
+      while (i < count) {
+        const unsigned room = 64 - used;
+        if (room < 9) break;
+        const uint64_t sub = w << used;
+        const GammaEntry e = kGammaTable[sub >> 56];
+        unsigned len;
+        uint64_t value;
+        if (e.len != 0) {
+          len = e.len;
+          value = e.value;
+        } else if (sub >> 32) {
+          const int n = __builtin_clzll(sub);
+          len = static_cast<unsigned>(2 * n + 1);
+          if (len > room) break;
+          value = sub >> (64 - len);
+        } else {
+          break;  // long code straddles the window
+        }
+        if (used + len > avail) {
+          reader->Skip(avail);
+          return Status::OutOfRange("BitReader: read past end of stream");
+        }
+        out[i++] = value;
+        used += len;
+      }
+    }
+    reader->Skip(used);
+    if (i < count && i == start) {
+      // A fresh window could not resolve the next code: either a value
+      // >= 2^28-ish straddling the window or the end of the stream.
+      QBISM_ASSIGN_OR_RETURN(out[i], EliasGammaDecode(reader));
+      ++i;
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> EliasGammaStreamDecoder::NextSlow() {
+  Refill();  // commit the consumed window bits
+  QBISM_ASSIGN_OR_RETURN(uint64_t v, EliasGammaDecode(&reader_));
+  Refill();  // re-sync the window past the long code
+  return v;
 }
 
 void EliasDeltaEncode(uint64_t x, BitWriter* writer) {
@@ -44,6 +231,18 @@ Result<uint64_t> EliasDeltaDecode(BitReader* reader) {
   uint64_t n = np1 - 1;
   if (n > 63) return Status::Corruption("EliasDelta: length prefix too large");
   QBISM_ASSIGN_OR_RETURN(uint64_t low, reader->GetBits(static_cast<int>(n)));
+  return (uint64_t{1} << n) | low;
+}
+
+Result<uint64_t> EliasDeltaDecodeScalar(BitReader* reader) {
+  QBISM_ASSIGN_OR_RETURN(uint64_t np1, EliasGammaDecodeScalar(reader));
+  uint64_t n = np1 - 1;
+  if (n > 63) return Status::Corruption("EliasDelta: length prefix too large");
+  uint64_t low = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    QBISM_ASSIGN_OR_RETURN(int bit, reader->GetBit());
+    low = (low << 1) | static_cast<uint64_t>(bit);
+  }
   return (uint64_t{1} << n) | low;
 }
 
@@ -66,6 +265,8 @@ void GolombEncode(uint64_t x, uint64_t m, BitWriter* writer) {
 
 Result<uint64_t> GolombDecode(uint64_t m, BitReader* reader) {
   if (m < 1) return Status::InvalidArgument("Golomb: m must be >= 1");
+  // GetUnary and GetBits are themselves word-at-a-time now, so the fast
+  // Golomb path is the straight-line composition.
   QBISM_ASSIGN_OR_RETURN(uint64_t q, reader->GetUnary());
   int b = FloorLog2(m);
   uint64_t cutoff = (uint64_t{1} << (b + 1)) - m;
@@ -73,6 +274,28 @@ Result<uint64_t> GolombDecode(uint64_t m, BitReader* reader) {
   if (r >= cutoff) {
     QBISM_ASSIGN_OR_RETURN(uint64_t extra, reader->GetBits(1));
     r = (r << 1) + extra - cutoff;
+  }
+  return q * m + r + 1;
+}
+
+Result<uint64_t> GolombDecodeScalar(uint64_t m, BitReader* reader) {
+  if (m < 1) return Status::InvalidArgument("Golomb: m must be >= 1");
+  uint64_t q = 0;
+  while (true) {
+    QBISM_ASSIGN_OR_RETURN(int bit, reader->GetBit());
+    if (bit) break;
+    ++q;
+  }
+  int b = FloorLog2(m);
+  uint64_t cutoff = (uint64_t{1} << (b + 1)) - m;
+  uint64_t r = 0;
+  for (int i = 0; i < b; ++i) {
+    QBISM_ASSIGN_OR_RETURN(int bit, reader->GetBit());
+    r = (r << 1) | static_cast<uint64_t>(bit);
+  }
+  if (r >= cutoff) {
+    QBISM_ASSIGN_OR_RETURN(int extra, reader->GetBit());
+    r = (r << 1) + static_cast<uint64_t>(extra) - cutoff;
   }
   return q * m + r + 1;
 }
@@ -96,6 +319,21 @@ int64_t GolombLength(uint64_t x, uint64_t m) {
   int b = FloorLog2(m);
   uint64_t cutoff = (uint64_t{1} << (b + 1)) - m;
   return static_cast<int64_t>(q) + 1 + (r < cutoff ? b : b + 1);
+}
+
+uint64_t EliasGammaLengthSum(const uint64_t* values, size_t count) {
+#ifdef QBISM_X86_SIMD_DISPATCH
+  if (CpuHasAvx2()) return EliasGammaLengthSumAvx2(values, count);
+#endif
+  return EliasGammaLengthSumScalar(values, count);
+}
+
+bool HasSimdLengthKernel() {
+#ifdef QBISM_X86_SIMD_DISPATCH
+  return CpuHasAvx2();
+#else
+  return false;
+#endif
 }
 
 double EmpiricalEntropyBitsPerSymbol(const std::vector<uint64_t>& symbols) {

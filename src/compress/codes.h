@@ -1,6 +1,8 @@
 #ifndef QBISM_COMPRESS_CODES_H_
 #define QBISM_COMPRESS_CODES_H_
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -9,6 +11,38 @@
 
 namespace qbism::compress {
 
+namespace detail {
+
+/// Decode table for short gamma codes: indexed by the next 8 stream
+/// bits, resolves every code of length <= 7 (values 1..15 — the bulk of
+/// power-law-distributed deltas) without a clz or shift chain. len == 0
+/// marks "code longer than 7 bits, take the clz path". Lives in the
+/// header so the batch kernel and the inline stream decoder share it.
+struct GammaEntry {
+  uint8_t value;
+  uint8_t len;
+};
+
+constexpr std::array<GammaEntry, 256> BuildGammaTable() {
+  std::array<GammaEntry, 256> table{};
+  for (int byte = 0; byte < 256; ++byte) {
+    // Count leading zeros within the byte.
+    int n = 0;
+    while (n < 8 && ((byte >> (7 - n)) & 1) == 0) ++n;
+    if (n > 3) continue;  // code length 2n+1 > 8: stays {0, 0}
+    int len = 2 * n + 1;
+    // Value = the len top bits of the byte (leading zeros contribute 0,
+    // then the marker one doubles as gamma's implicit leading 1).
+    table[byte] = GammaEntry{static_cast<uint8_t>(byte >> (8 - len)),
+                             static_cast<uint8_t>(len)};
+  }
+  return table;
+}
+
+inline constexpr std::array<GammaEntry, 256> kGammaTable = BuildGammaTable();
+
+}  // namespace detail
+
 /// --- Universal integer codes ------------------------------------------
 ///
 /// The paper (§4.2) encodes REGION run/gap ("delta") lengths with the
@@ -16,27 +50,122 @@ namespace qbism::compress {
 /// (EQ 1), which rules out codes tailored to geometric distributions
 /// (Golomb, infinite Huffman). We implement gamma, delta, and Golomb so
 /// the choice can be benchmarked (bench_codes).
+///
+/// The decoders come in three tiers (bench_codes measures all three):
+///   - *Scalar: the original one-bit-at-a-time loops over BitReader,
+///     kept as the differential-testing reference and bench baseline;
+///   - the default names: branchless kernels that count leading zeros
+///     on a 64-bit peek window instead of reading per bit — any gamma
+///     code of a value < 2^32 decodes with one clz and one shift;
+///   - EliasGammaDecodeBatch: a word-at-a-time batch kernel that keeps
+///     the window in a register across symbols and resolves short codes
+///     (<= 7 bits, the common case for power-law deltas) through a
+///     256-entry table, refilling only when the window runs dry.
 
 /// Elias gamma code of x >= 1: floor(log2 x) zeros, then x in binary.
 void EliasGammaEncode(uint64_t x, BitWriter* writer);
 Result<uint64_t> EliasGammaDecode(BitReader* reader);
+Result<uint64_t> EliasGammaDecodeScalar(BitReader* reader);
+
+/// Decodes exactly `count` gamma values into `out` using the
+/// table-assisted word-at-a-time kernel. On error the reader's position
+/// is unspecified (mid-stream), like a failed Decode call.
+Status EliasGammaDecodeBatch(BitReader* reader, uint64_t* out, size_t count);
+
+/// Sequential gamma decoder for the streaming cursors (encoded-domain
+/// region ops, src/region/encoded_ops.h): semantically one
+/// EliasGammaDecode per Next() call, but the 64-bit peek window lives
+/// in the decoder across calls, so the per-symbol cost is one table
+/// probe (or one clz) instead of a fresh 9-byte window load. The window
+/// refills when fewer than 9 usable bits remain, keeping the 8-bit
+/// table index fully real. Decoded values, bit-consumption boundaries,
+/// and error statuses match EliasGammaDecode exactly; on error the
+/// position is unspecified, like a failed Decode call.
+class EliasGammaStreamDecoder {
+ public:
+  EliasGammaStreamDecoder() = default;
+  EliasGammaStreamDecoder(const uint8_t* data, size_t size_bytes)
+      : reader_(data, size_bytes) {
+    Refill();
+  }
+
+  /// Decodes the next gamma value.
+  Result<uint64_t> Next() {
+    if (64 - used_ < 9) Refill();
+    const uint64_t sub = window_ << used_;
+    const size_t room = avail_ - used_;  // real bits left in the window
+    const detail::GammaEntry e = detail::kGammaTable[sub >> 56];
+    if (e.len != 0) {
+      // A table hit's one bit is always real (padding is zeros), but
+      // its value bits may extend past the end of the stream.
+      if (e.len > room) {
+        return Status::OutOfRange("BitReader: read past end of stream");
+      }
+      used_ += e.len;
+      return uint64_t{e.value};
+    }
+    if (sub >> 32) {
+      const unsigned n = static_cast<unsigned>(__builtin_clzll(sub));
+      const unsigned len = 2 * n + 1;
+      if (len <= 64 - used_) {  // whole code inside the window
+        if (len > room) {
+          return Status::OutOfRange("BitReader: read past end of stream");
+        }
+        const uint64_t value = sub >> (64 - len);
+        used_ += len;
+        return value;
+      }
+    }
+    return NextSlow();
+  }
+
+ private:
+  /// Commits the consumed window bits and reloads at the new position.
+  void Refill() {
+    reader_.Skip(used_);
+    used_ = 0;
+    window_ = reader_.Peek64();
+    const size_t rem = reader_.remaining_bits();
+    avail_ = rem < 64 ? rem : 64;
+  }
+
+  /// Long code straddling the window, or end of stream: defers to the
+  /// checked single-symbol decoder at the committed position.
+  Result<uint64_t> NextSlow();
+
+  BitReader reader_{nullptr, 0};
+  uint64_t window_ = 0;
+  unsigned used_ = 0;
+  size_t avail_ = 0;  // real (non-padding) bits in the window
+};
 
 /// Elias delta code of x >= 1: gamma(1 + floor(log2 x)) then the
 /// floor(log2 x) low bits of x. Asymptotically shorter than gamma.
 void EliasDeltaEncode(uint64_t x, BitWriter* writer);
 Result<uint64_t> EliasDeltaDecode(BitReader* reader);
+Result<uint64_t> EliasDeltaDecodeScalar(BitReader* reader);
 
 /// Golomb code of x >= 1 with divisor m >= 1 (optimal for geometric
 /// distributions): quotient (x-1)/m in unary, remainder in truncated
 /// binary.
 void GolombEncode(uint64_t x, uint64_t m, BitWriter* writer);
 Result<uint64_t> GolombDecode(uint64_t m, BitReader* reader);
+Result<uint64_t> GolombDecodeScalar(uint64_t m, BitReader* reader);
 
 /// Number of bits each code spends on x (without encoding). Golomb's
 /// length is 64-bit because its unary quotient grows linearly in x/m.
 int EliasGammaLength(uint64_t x);
 int EliasDeltaLength(uint64_t x);
 int64_t GolombLength(uint64_t x, uint64_t m);
+
+/// Sum of EliasGammaLength over `count` values — the encode-side sizing
+/// kernel (EncodedSizeBytes and the benches). Data-parallel, so it
+/// dispatches to an AVX2 lane-wise floor-log2 when the CPU has it.
+uint64_t EliasGammaLengthSum(const uint64_t* values, size_t count);
+
+/// True when the AVX2 path of EliasGammaLengthSum is in use (bench
+/// reporting; the scalar fallback is used on CPUs without AVX2).
+bool HasSimdLengthKernel();
 
 /// --- Entropy ------------------------------------------------------------
 

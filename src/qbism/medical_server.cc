@@ -354,9 +354,11 @@ Result<MultiStudyResult> MedicalServer::ConsistentBandRegion(
     return Status::NotFound("no stored band " + std::to_string(lo) + "-" +
                             std::to_string(hi) + " for the given studies");
   }
-  QBISM_ASSIGN_OR_RETURN(
-      auto region,
-      result.rows.front().front().AsObject<Region>(sql::kRegionTypeName));
+  // The intersection chain may return a materialized REGION or (when
+  // the bands are stored elias-deltas) a still-encoded one; RegionArg
+  // coerces both.
+  QBISM_ASSIGN_OR_RETURN(auto region,
+                         ext_->RegionArg(result.rows.front().front()));
   out.region = *region;
   return out;
 }

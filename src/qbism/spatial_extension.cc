@@ -5,6 +5,7 @@
 
 namespace qbism {
 
+using region::EncodedRegion;
 using region::Region;
 using region::RegionEncoding;
 using sql::UdfContext;
@@ -40,10 +41,57 @@ Value DataRegionValue(DataRegion dr) {
                        std::string(sql::kDataRegionTypeName));
 }
 
+Value EncodedRegionValue(EncodedRegion r) {
+  return Value::Object(std::make_shared<EncodedRegion>(std::move(r)),
+                       std::string(sql::kEncodedRegionTypeName));
+}
+
 /// Chunk size for whole-volume streaming scans: 64 pages keeps the
 /// working set at 256 KB while leaving sequential transfers long enough
 /// that the per-chunk seek charge is noise.
 constexpr uint64_t kScanChunkBytes = 64 * storage::kPageSize;
+
+/// Shared body of intersection/regionunion/regiondifference: when both
+/// operands resolve encoded, merge the γ-coded streams and hand the
+/// result on still encoded; otherwise materialize and use the run-list
+/// operators.
+Result<Value> RegionSetOpUdf(UdfContext& ctx, const std::vector<Value>& args,
+                             std::string_view name, region::SetOpKind op) {
+  QBISM_RETURN_NOT_OK(CheckArity(args, 2, name));
+  SpatialExtension* ext = Ext(ctx);
+  QBISM_ASSIGN_OR_RETURN(auto o1, ext->RegionOperandArg(args[0]));
+  QBISM_ASSIGN_OR_RETURN(auto o2, ext->RegionOperandArg(args[1]));
+  if (o1.encoded && o2.encoded) {
+    Result<EncodedRegion> out = [&]() -> Result<EncodedRegion> {
+      switch (op) {
+        case region::SetOpKind::kIntersect:
+          return o1.encoded->IntersectWith(*o2.encoded);
+        case region::SetOpKind::kUnion:
+          return o1.encoded->UnionWith(*o2.encoded);
+        case region::SetOpKind::kDifference:
+          return o1.encoded->DifferenceWith(*o2.encoded);
+      }
+      return Status::InvalidArgument("unknown set operation");
+    }();
+    QBISM_RETURN_NOT_OK(out.status());
+    return EncodedRegionValue(std::move(*out));
+  }
+  QBISM_ASSIGN_OR_RETURN(auto r1, ext->MaterializeOperand(o1));
+  QBISM_ASSIGN_OR_RETURN(auto r2, ext->MaterializeOperand(o2));
+  Result<Region> out = [&]() -> Result<Region> {
+    switch (op) {
+      case region::SetOpKind::kIntersect:
+        return r1->IntersectWith(*r2);
+      case region::SetOpKind::kUnion:
+        return r1->UnionWith(*r2);
+      case region::SetOpKind::kDifference:
+        return r1->DifferenceWith(*r2);
+    }
+    return Status::InvalidArgument("unknown set operation");
+  }();
+  QBISM_RETURN_NOT_OK(out.status());
+  return RegionValue(std::move(*out));
+}
 
 }  // namespace
 
@@ -245,11 +293,74 @@ Result<double> SpatialExtension::MeanIntensityFromField(
 Result<std::shared_ptr<const Region>> SpatialExtension::RegionArg(
     const Value& value) const {
   if (value.kind() == Value::Kind::kObject) {
+    if (value.object_type() == sql::kEncodedRegionTypeName) {
+      QBISM_ASSIGN_OR_RETURN(
+          auto encoded,
+          value.AsObject<EncodedRegion>(sql::kEncodedRegionTypeName));
+      QBISM_ASSIGN_OR_RETURN(Region r, encoded->Decode());
+      return std::make_shared<const Region>(std::move(r));
+    }
     return value.AsObject<Region>(sql::kRegionTypeName);
   }
   QBISM_ASSIGN_OR_RETURN(LongFieldId id, value.AsLongField());
   QBISM_ASSIGN_OR_RETURN(Region r, LoadRegion(id));
   return std::make_shared<const Region>(std::move(r));
+}
+
+Result<SpatialExtension::RegionOperand> SpatialExtension::RegionOperandArg(
+    const Value& value) const {
+  RegionOperand out;
+  if (value.kind() == Value::Kind::kObject) {
+    if (value.object_type() == sql::kEncodedRegionTypeName) {
+      QBISM_ASSIGN_OR_RETURN(
+          out.encoded,
+          value.AsObject<EncodedRegion>(sql::kEncodedRegionTypeName));
+      return out;
+    }
+    QBISM_ASSIGN_OR_RETURN(out.decoded,
+                           value.AsObject<Region>(sql::kRegionTypeName));
+    return out;
+  }
+  QBISM_ASSIGN_OR_RETURN(LongFieldId id, value.AsLongField());
+  QBISM_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, db_->lfm()->Read(id));
+  if (bytes.empty()) {
+    return Status::Corruption("region long field is empty");
+  }
+  auto encoding = static_cast<RegionEncoding>(bytes[0]);
+  std::vector<uint8_t> payload(bytes.begin() + 1, bytes.end());
+  if (encoding == RegionEncoding::kEliasDeltas) {
+    // Stored in the streamable form: stay encoded, no decode at all.
+    out.encoded = std::make_shared<const EncodedRegion>(
+        EncodedRegion::FromBytes(config_.grid, config_.curve,
+                                 std::move(payload)));
+    return out;
+  }
+  obs::Span decode(obs::Stage::kDecode);
+  decode.AddBytes(bytes.size());
+  QBISM_ASSIGN_OR_RETURN(
+      Region r,
+      region::DecodeRegion(config_.grid, config_.curve, encoding, payload));
+  out.decoded = std::make_shared<const Region>(std::move(r));
+  return out;
+}
+
+Result<std::shared_ptr<const Region>> SpatialExtension::MaterializeOperand(
+    const RegionOperand& operand) const {
+  if (operand.decoded) return operand.decoded;
+  QBISM_CHECK(operand.encoded != nullptr);
+  obs::Span decode(obs::Stage::kDecode);
+  decode.AddBytes(operand.encoded->bytes().size());
+  QBISM_ASSIGN_OR_RETURN(Region r, operand.encoded->Decode());
+  return std::make_shared<const Region>(std::move(r));
+}
+
+Result<LongFieldId> SpatialExtension::StoreEncodedRegion(
+    const EncodedRegion& r) const {
+  std::vector<uint8_t> bytes;
+  bytes.reserve(r.bytes().size() + 1);
+  bytes.push_back(static_cast<uint8_t>(RegionEncoding::kEliasDeltas));
+  bytes.insert(bytes.end(), r.bytes().begin(), r.bytes().end());
+  return db_->lfm()->Create(bytes);
 }
 
 Status SpatialExtension::RegisterUdfs() {
@@ -258,39 +369,39 @@ Status SpatialExtension::RegisterUdfs() {
   QBISM_RETURN_NOT_OK(registry->Register(
       "intersection",
       [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
-        QBISM_RETURN_NOT_OK(CheckArity(args, 2, "intersection"));
-        QBISM_ASSIGN_OR_RETURN(auto r1, Ext(ctx)->RegionArg(args[0]));
-        QBISM_ASSIGN_OR_RETURN(auto r2, Ext(ctx)->RegionArg(args[1]));
-        QBISM_ASSIGN_OR_RETURN(Region out, r1->IntersectWith(*r2));
-        return RegionValue(std::move(out));
+        return RegionSetOpUdf(ctx, args, "intersection",
+                              region::SetOpKind::kIntersect);
       }));
 
   QBISM_RETURN_NOT_OK(registry->Register(
       "regionunion",
       [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
-        QBISM_RETURN_NOT_OK(CheckArity(args, 2, "regionunion"));
-        QBISM_ASSIGN_OR_RETURN(auto r1, Ext(ctx)->RegionArg(args[0]));
-        QBISM_ASSIGN_OR_RETURN(auto r2, Ext(ctx)->RegionArg(args[1]));
-        QBISM_ASSIGN_OR_RETURN(Region out, r1->UnionWith(*r2));
-        return RegionValue(std::move(out));
+        return RegionSetOpUdf(ctx, args, "regionunion",
+                              region::SetOpKind::kUnion);
       }));
 
   QBISM_RETURN_NOT_OK(registry->Register(
       "regiondifference",
       [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
-        QBISM_RETURN_NOT_OK(CheckArity(args, 2, "regiondifference"));
-        QBISM_ASSIGN_OR_RETURN(auto r1, Ext(ctx)->RegionArg(args[0]));
-        QBISM_ASSIGN_OR_RETURN(auto r2, Ext(ctx)->RegionArg(args[1]));
-        QBISM_ASSIGN_OR_RETURN(Region out, r1->DifferenceWith(*r2));
-        return RegionValue(std::move(out));
+        return RegionSetOpUdf(ctx, args, "regiondifference",
+                              region::SetOpKind::kDifference);
       }));
 
   QBISM_RETURN_NOT_OK(registry->Register(
       "contains",
       [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
         QBISM_RETURN_NOT_OK(CheckArity(args, 2, "contains"));
-        QBISM_ASSIGN_OR_RETURN(auto r1, Ext(ctx)->RegionArg(args[0]));
-        QBISM_ASSIGN_OR_RETURN(auto r2, Ext(ctx)->RegionArg(args[1]));
+        QBISM_ASSIGN_OR_RETURN(auto o1, Ext(ctx)->RegionOperandArg(args[0]));
+        QBISM_ASSIGN_OR_RETURN(auto o2, Ext(ctx)->RegionOperandArg(args[1]));
+        if (o1.encoded && o2.encoded) {
+          // Early-exit streaming CONTAINS: stops at the first b-run the
+          // a-stream does not cover.
+          QBISM_ASSIGN_OR_RETURN(bool contains,
+                                 o1.encoded->Contains(*o2.encoded));
+          return Value::Int(contains ? 1 : 0);
+        }
+        QBISM_ASSIGN_OR_RETURN(auto r1, Ext(ctx)->MaterializeOperand(o1));
+        QBISM_ASSIGN_OR_RETURN(auto r2, Ext(ctx)->MaterializeOperand(o2));
         QBISM_ASSIGN_OR_RETURN(bool contains, r1->Contains(*r2));
         return Value::Int(contains ? 1 : 0);
       }));
@@ -301,9 +412,14 @@ Status SpatialExtension::RegisterUdfs() {
         QBISM_RETURN_NOT_OK(CheckArity(args, 2, "extractvoxels"));
         QBISM_ASSIGN_OR_RETURN(LongFieldId volume_field,
                                args[0].AsLongField());
-        QBISM_ASSIGN_OR_RETURN(auto r, Ext(ctx)->RegionArg(args[1]));
+        // Extraction is the materialization boundary: the run list is
+        // needed to plan page reads. Keep the encoded payload on the
+        // DATA_REGION so shipping it re-uses the bytes.
+        QBISM_ASSIGN_OR_RETURN(auto o, Ext(ctx)->RegionOperandArg(args[1]));
+        QBISM_ASSIGN_OR_RETURN(auto r, Ext(ctx)->MaterializeOperand(o));
         QBISM_ASSIGN_OR_RETURN(
             DataRegion dr, Ext(ctx)->ExtractFromLongField(volume_field, *r));
+        if (o.encoded) dr.set_encoded_region(o.encoded->bytes());
         return DataRegionValue(std::move(dr));
       }));
 
@@ -343,16 +459,26 @@ Status SpatialExtension::RegisterUdfs() {
       "voxelcount",
       [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
         QBISM_RETURN_NOT_OK(CheckArity(args, 1, "voxelcount"));
-        QBISM_ASSIGN_OR_RETURN(auto r, Ext(ctx)->RegionArg(args[0]));
-        return Value::Int(static_cast<int64_t>(r->VoxelCount()));
+        QBISM_ASSIGN_OR_RETURN(auto o, Ext(ctx)->RegionOperandArg(args[0]));
+        if (o.encoded) {
+          // Sum of run lengths streamed off the γ-coded form.
+          QBISM_ASSIGN_OR_RETURN(uint64_t n, o.encoded->VoxelCount());
+          return Value::Int(static_cast<int64_t>(n));
+        }
+        return Value::Int(static_cast<int64_t>(o.decoded->VoxelCount()));
       }));
 
   QBISM_RETURN_NOT_OK(registry->Register(
       "runcount",
       [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
         QBISM_RETURN_NOT_OK(CheckArity(args, 1, "runcount"));
-        QBISM_ASSIGN_OR_RETURN(auto r, Ext(ctx)->RegionArg(args[0]));
-        return Value::Int(static_cast<int64_t>(r->RunCount()));
+        QBISM_ASSIGN_OR_RETURN(auto o, Ext(ctx)->RegionOperandArg(args[0]));
+        if (o.encoded) {
+          // O(1): the run count is the stream header.
+          QBISM_ASSIGN_OR_RETURN(uint64_t n, o.encoded->RunCount());
+          return Value::Int(static_cast<int64_t>(n));
+        }
+        return Value::Int(static_cast<int64_t>(o.decoded->RunCount()));
       }));
 
   QBISM_RETURN_NOT_OK(registry->Register(

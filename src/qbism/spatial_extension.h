@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "qbism/parallel_extractor.h"
+#include "region/encoded_ops.h"
 #include "region/encoding.h"
 #include "region/region.h"
 #include "sql/database.h"
@@ -55,6 +56,18 @@ struct SpatialConfig {
 /// REGION arguments accept either a long-field handle (decoded through
 /// the LFM, charging I/O) or a transient REGION object produced by a
 /// nested call; VOLUME arguments are long-field handles.
+///
+/// Encoded-domain execution: when every region operand of a set
+/// operator is available in elias-deltas form — stored that way on
+/// disk, or a transient ENCODED_REGION from a nested call — the
+/// operator runs on the γ-coded streams directly (region/encoded_ops.h)
+/// and returns an ENCODED_REGION, so a chain of set ops never
+/// materializes an intermediate run list. contains / voxelcount /
+/// runcount likewise stream the encoded form. Materialization happens
+/// only at extraction boundaries (extractvoxels decodes the final
+/// region to plan its page reads, and stamps the encoded payload on the
+/// DATA_REGION so the answer codec ships it without re-encoding) or
+/// when an operator needs a mix of encoded and decoded operands.
 class SpatialExtension {
  public:
   /// Registers the UDFs on `db` and installs this object as the
@@ -131,8 +144,32 @@ class SpatialExtension {
   ParallelExtractor* extractor() const { return extractor_.get(); }
 
   /// Coerces a SQL value (long field or transient object) to a REGION.
+  /// Transient ENCODED_REGION objects are decoded (this is a
+  /// materialization boundary).
   Result<std::shared_ptr<const region::Region>> RegionArg(
       const sql::Value& value) const;
+
+  /// A region operand as resolved from a SQL value: kept in its stored
+  /// elias-deltas form when possible (`encoded` set), otherwise
+  /// materialized (`decoded` set). Exactly one pointer is non-null.
+  struct RegionOperand {
+    std::shared_ptr<const region::EncodedRegion> encoded;
+    std::shared_ptr<const region::Region> decoded;
+  };
+
+  /// Resolves a SQL value to a region operand with a single LFM read,
+  /// preserving the encoded form when the field is stored elias-deltas
+  /// or the value is a transient ENCODED_REGION.
+  Result<RegionOperand> RegionOperandArg(const sql::Value& value) const;
+
+  /// Materializes an operand (decodes it if it was encoded).
+  Result<std::shared_ptr<const region::Region>> MaterializeOperand(
+      const RegionOperand& operand) const;
+
+  /// Stores an encoded region's payload verbatim (tag + bytes; no
+  /// decode/re-encode round trip).
+  Result<storage::LongFieldId> StoreEncodedRegion(
+      const region::EncodedRegion& r) const;
 
  private:
   SpatialExtension(sql::Database* db, SpatialConfig config)

@@ -1,0 +1,297 @@
+#include "region/encoded_ops.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+#include "compress/codes.h"
+
+namespace qbism::region {
+
+/// --- EliasRunCursor ------------------------------------------------------
+
+Status EliasRunCursor::Init(const GridSpec& grid, const uint8_t* bytes,
+                            size_t size_bytes) {
+  decoder_ = compress::EliasGammaStreamDecoder(bytes, size_bytes);
+  num_cells_ = grid.NumCells();
+  consumed_ = 0;
+  QBISM_ASSIGN_OR_RETURN(uint64_t count_p1, decoder_.Next());
+  count_ = count_p1 - 1;
+  // Same corrupt-count bound as DecodeRegion: a canonical region has at
+  // most one run per two cells, and each run costs at least one bit.
+  if (count_ > (num_cells_ + 1) / 2 || count_ > size_bytes * 8) {
+    return Status::Corruption("elias decode: implausible run count");
+  }
+  QBISM_ASSIGN_OR_RETURN(uint64_t gap_p1, decoder_.Next());
+  if (count_ == 0) return Status::OK();
+  return DecodeRunAt(gap_p1 - 1);
+}
+
+Status EliasRunCursor::DecodeRunAt(uint64_t start) {
+  QBISM_ASSIGN_OR_RETURN(uint64_t length, decoder_.Next());
+  if (start >= num_cells_ || length > num_cells_ - start) {
+    return Status::OutOfRange("elias decode: run exceeds grid");
+  }
+  run_ = Run{start, start + length - 1};
+  return Status::OK();
+}
+
+Status EliasRunCursor::Advance() {
+  ++consumed_;
+  if (done()) return Status::OK();
+  QBISM_ASSIGN_OR_RETURN(uint64_t gap, decoder_.Next());
+  // gap >= 1 keeps the stream canonical; the next run needs >= 1 cell.
+  if (gap == 0 || gap >= num_cells_ - run_.end) {
+    return Status::OutOfRange("elias decode: gap exceeds grid");
+  }
+  return DecodeRunAt(run_.end + 1 + gap);
+}
+
+/// --- EncodedRunEmitter ---------------------------------------------------
+
+void EncodedRunEmitter::Append(uint64_t start, uint64_t end) {
+  if (has_pending_ && start <= pending_end_ + 1) {
+    pending_end_ = std::max(pending_end_, end);
+    return;
+  }
+  Flush();
+  pending_start_ = start;
+  pending_end_ = end;
+  has_pending_ = true;
+}
+
+void EncodedRunEmitter::Flush() {
+  if (!has_pending_) return;
+  if (count_ == 0) {
+    first_start_ = pending_start_;
+  } else {
+    compress::EliasGammaEncode(pending_start_ - last_end_ - 1, &body_);
+  }
+  compress::EliasGammaEncode(pending_end_ - pending_start_ + 1, &body_);
+  last_end_ = pending_end_;
+  ++count_;
+  has_pending_ = false;
+}
+
+std::vector<uint8_t> EncodedRunEmitter::Finish() {
+  Flush();
+  BitWriter header;
+  compress::EliasGammaEncode(count_ + 1, &header);
+  compress::EliasGammaEncode((count_ == 0 ? 0 : first_start_) + 1, &header);
+  size_t body_bits = body_.bit_count();
+  std::vector<uint8_t> body_bytes = body_.Finish();
+  header.AppendBits(body_bytes.data(), body_bits);
+  count_ = 0;
+  first_start_ = 0;
+  last_end_ = 0;
+  return header.Finish();
+}
+
+/// --- Streaming set operations -------------------------------------------
+
+namespace {
+
+Status MergeIntersect(EliasRunCursor* a, EliasRunCursor* b,
+                      EncodedRunEmitter* out) {
+  while (!a->done() && !b->done()) {
+    uint64_t lo = std::max(a->run().start, b->run().start);
+    uint64_t hi = std::min(a->run().end, b->run().end);
+    if (lo <= hi) out->Append(lo, hi);
+    // Advance whichever run ends first; its remainder cannot intersect
+    // anything else.
+    if (a->run().end < b->run().end) {
+      QBISM_RETURN_NOT_OK(a->Advance());
+    } else if (b->run().end < a->run().end) {
+      QBISM_RETURN_NOT_OK(b->Advance());
+    } else {
+      QBISM_RETURN_NOT_OK(a->Advance());
+      QBISM_RETURN_NOT_OK(b->Advance());
+    }
+  }
+  return Status::OK();
+}
+
+Status MergeUnion(EliasRunCursor* a, EliasRunCursor* b,
+                  EncodedRunEmitter* out) {
+  // Emit runs in start order; the emitter coalesces overlap/adjacency.
+  while (!a->done() && !b->done()) {
+    if (a->run().start <= b->run().start) {
+      out->Append(a->run().start, a->run().end);
+      QBISM_RETURN_NOT_OK(a->Advance());
+    } else {
+      out->Append(b->run().start, b->run().end);
+      QBISM_RETURN_NOT_OK(b->Advance());
+    }
+  }
+  for (EliasRunCursor* rest : {a, b}) {
+    while (!rest->done()) {
+      out->Append(rest->run().start, rest->run().end);
+      QBISM_RETURN_NOT_OK(rest->Advance());
+    }
+  }
+  return Status::OK();
+}
+
+Status MergeDifference(EliasRunCursor* a, EliasRunCursor* b,
+                       EncodedRunEmitter* out) {
+  while (!a->done()) {
+    uint64_t start = a->run().start;
+    uint64_t end = a->run().end;
+    // Skip b-runs entirely before this a-run.
+    while (!b->done() && b->run().end < start) {
+      QBISM_RETURN_NOT_OK(b->Advance());
+    }
+    uint64_t cursor = start;
+    while (!b->done() && b->run().start <= end) {
+      if (b->run().start > cursor) out->Append(cursor, b->run().start - 1);
+      if (b->run().end >= end) {
+        // This b-run reaches past the a-run; keep it for the next one.
+        cursor = end + 1;
+        break;
+      }
+      cursor = b->run().end + 1;
+      QBISM_RETURN_NOT_OK(b->Advance());
+    }
+    if (cursor <= end) out->Append(cursor, end);
+    QBISM_RETURN_NOT_OK(a->Advance());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> EncodedSetOp(const GridSpec& grid, SetOpKind op,
+                                          const std::vector<uint8_t>& a,
+                                          const std::vector<uint8_t>& b) {
+  EliasRunCursor ca, cb;
+  QBISM_RETURN_NOT_OK(ca.Init(grid, a));
+  QBISM_RETURN_NOT_OK(cb.Init(grid, b));
+  EncodedRunEmitter out;
+  switch (op) {
+    case SetOpKind::kIntersect:
+      QBISM_RETURN_NOT_OK(MergeIntersect(&ca, &cb, &out));
+      break;
+    case SetOpKind::kUnion:
+      QBISM_RETURN_NOT_OK(MergeUnion(&ca, &cb, &out));
+      break;
+    case SetOpKind::kDifference:
+      QBISM_RETURN_NOT_OK(MergeDifference(&ca, &cb, &out));
+      break;
+  }
+  return out.Finish();
+}
+
+Result<bool> EncodedContains(const GridSpec& grid,
+                             const std::vector<uint8_t>& a,
+                             const std::vector<uint8_t>& b) {
+  EliasRunCursor ca, cb;
+  QBISM_RETURN_NOT_OK(ca.Init(grid, a));
+  QBISM_RETURN_NOT_OK(cb.Init(grid, b));
+  // Every b-run must sit inside a single a-run (a's runs are separated
+  // by gaps, so a contiguous b-run cannot straddle two). The first
+  // uncovered run answers false without reading the rest of either
+  // stream — the early exit the paper's CONTAINS chain relies on.
+  while (!cb.done()) {
+    while (!ca.done() && ca.run().end < cb.run().start) {
+      QBISM_RETURN_NOT_OK(ca.Advance());
+    }
+    if (ca.done() || ca.run().start > cb.run().start ||
+        ca.run().end < cb.run().end) {
+      return false;
+    }
+    QBISM_RETURN_NOT_OK(cb.Advance());
+  }
+  return true;
+}
+
+Result<uint64_t> EncodedVoxelCount(const GridSpec& grid,
+                                   const std::vector<uint8_t>& bytes) {
+  EliasRunCursor c;
+  QBISM_RETURN_NOT_OK(c.Init(grid, bytes));
+  uint64_t total = 0;
+  while (!c.done()) {
+    total += c.run().Length();
+    QBISM_RETURN_NOT_OK(c.Advance());
+  }
+  return total;
+}
+
+Result<uint64_t> EncodedRunCount(const GridSpec& grid,
+                                 const std::vector<uint8_t>& bytes) {
+  BitReader reader(bytes);
+  QBISM_ASSIGN_OR_RETURN(uint64_t count_p1,
+                         compress::EliasGammaDecode(&reader));
+  uint64_t count = count_p1 - 1;
+  if (count > (grid.NumCells() + 1) / 2 || count > bytes.size() * 8) {
+    return Status::Corruption("elias decode: implausible run count");
+  }
+  return count;
+}
+
+/// --- EncodedRegion -------------------------------------------------------
+
+Result<EncodedRegion> EncodedRegion::FromRegion(const Region& region) {
+  QBISM_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> bytes,
+      EncodeRegion(region, RegionEncoding::kEliasDeltas));
+  return EncodedRegion(region.grid(), region.curve_kind(), std::move(bytes));
+}
+
+EncodedRegion EncodedRegion::FromBytes(GridSpec grid, curve::CurveKind kind,
+                                       std::vector<uint8_t> bytes) {
+  return EncodedRegion(grid, kind, std::move(bytes));
+}
+
+Result<Region> EncodedRegion::Decode() const {
+  return DecodeRegion(grid_, kind_, RegionEncoding::kEliasDeltas, bytes_);
+}
+
+Status EncodedRegion::CheckCompatible(const EncodedRegion& other) const {
+  if (grid_ != other.grid_ || kind_ != other.kind_) {
+    return Status::InvalidArgument(
+        "encoded region operands differ in grid or curve");
+  }
+  return Status::OK();
+}
+
+Result<EncodedRegion> EncodedRegion::IntersectWith(
+    const EncodedRegion& other) const {
+  QBISM_RETURN_NOT_OK(CheckCompatible(other));
+  QBISM_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> bytes,
+      EncodedSetOp(grid_, SetOpKind::kIntersect, bytes_, other.bytes_));
+  return EncodedRegion(grid_, kind_, std::move(bytes));
+}
+
+Result<EncodedRegion> EncodedRegion::UnionWith(
+    const EncodedRegion& other) const {
+  QBISM_RETURN_NOT_OK(CheckCompatible(other));
+  QBISM_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> bytes,
+      EncodedSetOp(grid_, SetOpKind::kUnion, bytes_, other.bytes_));
+  return EncodedRegion(grid_, kind_, std::move(bytes));
+}
+
+Result<EncodedRegion> EncodedRegion::DifferenceWith(
+    const EncodedRegion& other) const {
+  QBISM_RETURN_NOT_OK(CheckCompatible(other));
+  QBISM_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> bytes,
+      EncodedSetOp(grid_, SetOpKind::kDifference, bytes_, other.bytes_));
+  return EncodedRegion(grid_, kind_, std::move(bytes));
+}
+
+Result<bool> EncodedRegion::Contains(const EncodedRegion& other) const {
+  QBISM_RETURN_NOT_OK(CheckCompatible(other));
+  return EncodedContains(grid_, bytes_, other.bytes_);
+}
+
+Result<uint64_t> EncodedRegion::VoxelCount() const {
+  return EncodedVoxelCount(grid_, bytes_);
+}
+
+Result<uint64_t> EncodedRegion::RunCount() const {
+  return EncodedRunCount(grid_, bytes_);
+}
+
+}  // namespace qbism::region

@@ -1,0 +1,167 @@
+#ifndef QBISM_REGION_ENCODED_OPS_H_
+#define QBISM_REGION_ENCODED_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitstream.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "compress/codes.h"
+#include "curve/curve.h"
+#include "region/encoding.h"
+#include "region/region.h"
+
+namespace qbism::region {
+
+/// --- Encoded-domain region operators ------------------------------------
+///
+/// The spatial operators (§3.2) are run-merge algorithms, and the
+/// elias-deltas stored form (§4.2) is exactly a run list in curve order —
+/// so INTERSECTION / UNION / DIFFERENCE / CONTAINS can merge two γ-coded
+/// delta streams directly on their implicit curve offsets, without
+/// materializing either operand as a Region. A cursor per stream tracks
+/// (offset, run) as it decodes alternating length/gap symbols; results
+/// are re-emitted as an encoded stream (byte-identical to encoding the
+/// decoded result), and CONTAINS stops at the first uncovered run.
+///
+/// Memory: O(1) per operand plus O(output bytes) for the ops that
+/// produce a region; a chain of set ops therefore never decodes its
+/// intermediates. Corrupt payloads fail with Corruption/OutOfRange,
+/// never crash — the cursor bounds-checks every decoded symbol against
+/// the grid exactly like DecodeRegion.
+
+/// Streaming cursor over a kEliasDeltas payload: decodes the header,
+/// then yields canonical runs one at a time in increasing-offset order.
+/// Symbols decode through compress::EliasGammaStreamDecoder, which
+/// keeps the peek window in a register across symbols, so per-run cost
+/// is two table probes rather than two full window loads.
+class EliasRunCursor {
+ public:
+  EliasRunCursor() = default;
+
+  /// Decodes the header (run count, leading gap) and positions the
+  /// cursor on the first run. Fails on corrupt or truncated payloads.
+  Status Init(const GridSpec& grid, const uint8_t* bytes, size_t size_bytes);
+  Status Init(const GridSpec& grid, const std::vector<uint8_t>& bytes) {
+    return Init(grid, bytes.data(), bytes.size());
+  }
+
+  /// Total runs in the stream (known from the header before streaming).
+  uint64_t run_count() const { return count_; }
+
+  /// True once every run has been consumed.
+  bool done() const { return consumed_ == count_; }
+
+  /// The current run; valid only while !done().
+  const Run& run() const { return run_; }
+
+  /// Moves to the next run (decoding one gap and one length symbol).
+  Status Advance();
+
+ private:
+  Status DecodeRunAt(uint64_t start);
+
+  compress::EliasGammaStreamDecoder decoder_;
+  uint64_t num_cells_ = 0;
+  uint64_t count_ = 0;
+  uint64_t consumed_ = 0;
+  Run run_;
+};
+
+/// Streams canonical runs into a fresh elias-deltas payload. The run
+/// count lands in the header *before* the body, so the emitter codes
+/// the body symbols into their own bit stream while counting, then
+/// Finish() assembles header + body with a bulk bit append — the bytes
+/// are identical to EncodeRegion of the same run list. Appends merge
+/// overlapping/adjacent runs, so union output stays canonical.
+class EncodedRunEmitter {
+ public:
+  /// Appends [start, end] (inclusive); starts must be non-decreasing.
+  void Append(uint64_t start, uint64_t end);
+
+  /// Assembles and returns the complete payload; the emitter resets.
+  std::vector<uint8_t> Finish();
+
+ private:
+  void Flush();
+
+  BitWriter body_;
+  uint64_t count_ = 0;
+  uint64_t first_start_ = 0;
+  uint64_t last_end_ = 0;
+  uint64_t pending_start_ = 0;
+  uint64_t pending_end_ = 0;
+  bool has_pending_ = false;
+};
+
+enum class SetOpKind { kIntersect, kUnion, kDifference };
+
+/// Merges two elias-deltas payloads over `grid` into the encoded result
+/// of the set operation, without materializing either operand.
+Result<std::vector<uint8_t>> EncodedSetOp(const GridSpec& grid, SetOpKind op,
+                                          const std::vector<uint8_t>& a,
+                                          const std::vector<uint8_t>& b);
+
+/// CONTAINS(a, b) on encoded payloads: returns false at the first b-run
+/// not covered by an a-run, typically after a small prefix of either
+/// stream has been decoded.
+Result<bool> EncodedContains(const GridSpec& grid,
+                             const std::vector<uint8_t>& a,
+                             const std::vector<uint8_t>& b);
+
+/// Voxel count by streaming the run lengths; no Region is built.
+Result<uint64_t> EncodedVoxelCount(const GridSpec& grid,
+                                   const std::vector<uint8_t>& bytes);
+
+/// Run count straight from the stream header — O(1) in the region size.
+Result<uint64_t> EncodedRunCount(const GridSpec& grid,
+                                 const std::vector<uint8_t>& bytes);
+
+/// A REGION kept in its elias-deltas stored form. Set-op chains stay in
+/// this type end to end; Decode() is the materialization boundary
+/// (extraction, point queries, conversion to other encodings).
+class EncodedRegion {
+ public:
+  EncodedRegion() = default;
+
+  /// Encodes a materialized region (always succeeds for canonical
+  /// regions; the payload is the kEliasDeltas EncodeRegion output).
+  static Result<EncodedRegion> FromRegion(const Region& region);
+
+  /// Adopts an existing kEliasDeltas payload (e.g. loaded from storage
+  /// or received from a peer). The payload is validated lazily, by the
+  /// first operation that streams it.
+  static EncodedRegion FromBytes(GridSpec grid, curve::CurveKind kind,
+                                 std::vector<uint8_t> bytes);
+
+  /// Materializes the region (the only full decode in a query chain).
+  Result<Region> Decode() const;
+
+  Result<EncodedRegion> IntersectWith(const EncodedRegion& other) const;
+  Result<EncodedRegion> UnionWith(const EncodedRegion& other) const;
+  Result<EncodedRegion> DifferenceWith(const EncodedRegion& other) const;
+  Result<bool> Contains(const EncodedRegion& other) const;
+
+  Result<uint64_t> VoxelCount() const;
+  Result<uint64_t> RunCount() const;
+
+  const GridSpec& grid() const { return grid_; }
+  curve::CurveKind curve_kind() const { return kind_; }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  EncodedRegion(GridSpec grid, curve::CurveKind kind,
+                std::vector<uint8_t> bytes)
+      : grid_(grid), kind_(kind), bytes_(std::move(bytes)) {}
+
+  Status CheckCompatible(const EncodedRegion& other) const;
+
+  GridSpec grid_;
+  curve::CurveKind kind_ = curve::CurveKind::kHilbert;
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace qbism::region
+
+#endif  // QBISM_REGION_ENCODED_OPS_H_

@@ -40,13 +40,65 @@ Status CheckOctantPackable(const Region& region) {
   return Status::OK();
 }
 
+/// --- Shared per-scheme layout helpers -----------------------------------
+///
+/// Each scheme has exactly one place that knows its layout; the encoder
+/// and EncodedSizeBytes are both derived from it, so the two can never
+/// drift (they used to be parallel hand-written walks).
+
+/// Bytes of a naive-runs payload with `run_count` runs.
+uint64_t NaiveRunsPayloadBytes(uint64_t run_count) {
+  return uint64_t{4} + 8 * run_count;
+}
+
+/// Bytes of an octant-list payload with `octant_count` octants.
+uint64_t OctantPayloadBytes(uint64_t octant_count) {
+  return uint64_t{4} + 4 * octant_count;
+}
+
+/// Enumerates the gamma symbols of the elias-deltas layout in stream
+/// order: gamma(#runs + 1), gamma(leading_gap + 1), then per run its
+/// length followed (except after the last run) by the gap to the next
+/// run. The trailing gap is implied by the grid.
+template <typename Fn>
+void ForEachEliasSymbol(const Region& region, Fn&& symbol) {
+  const auto& runs = region.runs();
+  symbol(static_cast<uint64_t>(runs.size()) + 1);
+  symbol((runs.empty() ? uint64_t{0} : runs.front().start) + 1);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    symbol(runs[i].Length());
+    if (i + 1 < runs.size()) {
+      // Canonical runs are separated by a gap of at least one id.
+      symbol(runs[i + 1].start - runs[i].end - 1);
+    }
+  }
+}
+
+/// Exact bit length of the elias-deltas stream, via the SIMD-dispatched
+/// gamma length-sum kernel over chunked symbol batches.
+uint64_t EliasStreamBits(const Region& region) {
+  constexpr size_t kChunk = 1024;
+  uint64_t symbols[kChunk];
+  size_t filled = 0;
+  uint64_t bits = 0;
+  ForEachEliasSymbol(region, [&](uint64_t x) {
+    symbols[filled++] = x;
+    if (filled == kChunk) {
+      bits += compress::EliasGammaLengthSum(symbols, filled);
+      filled = 0;
+    }
+  });
+  bits += compress::EliasGammaLengthSum(symbols, filled);
+  return bits;
+}
+
 Result<std::vector<uint8_t>> EncodeOctantList(const Region& region,
                                               bool oblong) {
   QBISM_RETURN_NOT_OK(CheckOctantPackable(region));
   std::vector<Octant> octants =
       oblong ? region.ToOblongOctants() : region.ToOctants();
   std::vector<uint8_t> out;
-  out.reserve(4 + 4 * octants.size());
+  out.reserve(OctantPayloadBytes(octants.size()));
   PutU32(&out, static_cast<uint32_t>(octants.size()));
   for (const Octant& o : octants) {
     uint32_t packed = (static_cast<uint32_t>(o.id) << kOctantRankBits) |
@@ -76,6 +128,61 @@ Result<Region> DecodeOctantList(const GridSpec& grid, curve::CurveKind kind,
   return Region::FromRuns(grid, kind, std::move(runs));
 }
 
+/// Fast elias decode: header, then the alternating length/gap symbols
+/// through the word-at-a-time batch gamma kernel, maintaining the curve
+/// offset cursor and bounds-checking against the grid as it goes. The
+/// output run list is canonical by construction (every decoded gap is
+/// >= 1), so FromCanonicalRuns validates it without a sort.
+Result<Region> DecodeEliasDeltas(const GridSpec& grid, curve::CurveKind kind,
+                                 const std::vector<uint8_t>& bytes) {
+  BitReader reader(bytes);
+  QBISM_ASSIGN_OR_RETURN(uint64_t count_p1,
+                         compress::EliasGammaDecode(&reader));
+  uint64_t count = count_p1 - 1;
+  // A canonical region cannot hold more runs than half the grid's
+  // cells (runs are separated by gaps), and each run costs at least
+  // one bit in the stream — both bound a corrupt count.
+  if (count > (grid.NumCells() + 1) / 2 || count > bytes.size() * 8) {
+    return Status::Corruption("elias decode: implausible run count");
+  }
+  QBISM_ASSIGN_OR_RETURN(uint64_t gap_p1, compress::EliasGammaDecode(&reader));
+  uint64_t cursor = gap_p1 - 1;
+  const uint64_t num_cells = grid.NumCells();
+  std::vector<Run> runs;
+  runs.reserve(count);
+  uint64_t symbols_left = count == 0 ? 0 : 2 * count - 1;
+  bool expect_length = true;
+  constexpr size_t kChunk = 2048;
+  uint64_t symbols[kChunk];
+  while (symbols_left > 0) {
+    size_t n = static_cast<size_t>(
+        symbols_left < kChunk ? symbols_left : kChunk);
+    QBISM_RETURN_NOT_OK(compress::EliasGammaDecodeBatch(&reader, symbols, n));
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t v = symbols[i];
+      if (expect_length) {
+        // Overflow-safe bound: the run [cursor, cursor + v - 1] must
+        // stay inside the grid.
+        if (cursor >= num_cells || v > num_cells - cursor) {
+          return Status::OutOfRange("elias decode: run exceeds grid");
+        }
+        runs.push_back(Run{cursor, cursor + v - 1});
+        cursor += v;
+      } else {
+        // A gap symbol is always followed by another run, which needs
+        // at least one cell.
+        if (v >= num_cells - cursor) {
+          return Status::OutOfRange("elias decode: gap exceeds grid");
+        }
+        cursor += v;
+      }
+      expect_length = !expect_length;
+    }
+    symbols_left -= n;
+  }
+  return Region::FromCanonicalRuns(grid, kind, std::move(runs));
+}
+
 }  // namespace
 
 std::string_view RegionEncodingToString(RegionEncoding encoding) {
@@ -100,7 +207,7 @@ Result<std::vector<uint8_t>> EncodeRegion(const Region& region,
         return Status::InvalidArgument("naive runs need ids to fit 4 bytes");
       }
       std::vector<uint8_t> out;
-      out.reserve(4 + 8 * region.RunCount());
+      out.reserve(NaiveRunsPayloadBytes(region.RunCount()));
       PutU32(&out, static_cast<uint32_t>(region.RunCount()));
       for (const Run& r : region.runs()) {
         PutU32(&out, static_cast<uint32_t>(r.start));
@@ -110,20 +217,9 @@ Result<std::vector<uint8_t>> EncodeRegion(const Region& region,
     }
     case RegionEncoding::kEliasDeltas: {
       BitWriter writer;
-      // Layout: gamma(#runs + 1), then gamma(leading_gap + 1), then for
-      // each run gamma(length) followed (except after the last run) by
-      // gamma(gap to the next run). Trailing gap is implied by the grid.
-      const auto& runs = region.runs();
-      compress::EliasGammaEncode(runs.size() + 1, &writer);
-      uint64_t leading_gap = runs.empty() ? 0 : runs.front().start;
-      compress::EliasGammaEncode(leading_gap + 1, &writer);
-      for (size_t i = 0; i < runs.size(); ++i) {
-        compress::EliasGammaEncode(runs[i].Length(), &writer);
-        if (i + 1 < runs.size()) {
-          uint64_t gap = runs[i + 1].start - runs[i].end - 1;
-          compress::EliasGammaEncode(gap, &writer);
-        }
-      }
+      ForEachEliasSymbol(region, [&](uint64_t x) {
+        compress::EliasGammaEncode(x, &writer);
+      });
       return writer.Finish();
     }
     case RegionEncoding::kOctants:
@@ -154,35 +250,8 @@ Result<Region> DecodeRegion(const GridSpec& grid, curve::CurveKind kind,
       }
       return Region::FromRuns(grid, kind, std::move(runs));
     }
-    case RegionEncoding::kEliasDeltas: {
-      BitReader reader(bytes);
-      QBISM_ASSIGN_OR_RETURN(uint64_t count_p1,
-                             compress::EliasGammaDecode(&reader));
-      uint64_t count = count_p1 - 1;
-      // A canonical region cannot hold more runs than half the grid's
-      // cells (runs are separated by gaps), and each run costs at least
-      // one bit in the stream — both bound a corrupt count.
-      if (count > (grid.NumCells() + 1) / 2 || count > bytes.size() * 8) {
-        return Status::Corruption("elias decode: implausible run count");
-      }
-      QBISM_ASSIGN_OR_RETURN(uint64_t gap_p1,
-                             compress::EliasGammaDecode(&reader));
-      uint64_t cursor = gap_p1 - 1;
-      std::vector<Run> runs;
-      runs.reserve(count);
-      for (uint64_t i = 0; i < count; ++i) {
-        QBISM_ASSIGN_OR_RETURN(uint64_t len,
-                               compress::EliasGammaDecode(&reader));
-        runs.push_back(Run{cursor, cursor + len - 1});
-        cursor += len;
-        if (i + 1 < count) {
-          QBISM_ASSIGN_OR_RETURN(uint64_t gap,
-                                 compress::EliasGammaDecode(&reader));
-          cursor += gap;
-        }
-      }
-      return Region::FromRuns(grid, kind, std::move(runs));
-    }
+    case RegionEncoding::kEliasDeltas:
+      return DecodeEliasDeltas(grid, kind, bytes);
     case RegionEncoding::kOctants:
     case RegionEncoding::kOblongOctants:
       return DecodeOctantList(grid, kind, bytes);
@@ -194,27 +263,15 @@ Result<uint64_t> EncodedSizeBytes(const Region& region,
                                   RegionEncoding encoding) {
   switch (encoding) {
     case RegionEncoding::kNaiveRuns:
-      return uint64_t{4} + 8 * region.RunCount();
-    case RegionEncoding::kEliasDeltas: {
-      const auto& runs = region.runs();
-      uint64_t bits = compress::EliasGammaLength(runs.size() + 1);
-      uint64_t leading_gap = runs.empty() ? 0 : runs.front().start;
-      bits += compress::EliasGammaLength(leading_gap + 1);
-      for (size_t i = 0; i < runs.size(); ++i) {
-        bits += compress::EliasGammaLength(runs[i].Length());
-        if (i + 1 < runs.size()) {
-          // Canonical runs are separated by a gap of at least one id.
-          bits += compress::EliasGammaLength(runs[i + 1].start - runs[i].end - 1);
-        }
-      }
-      return (bits + 7) / 8;
-    }
+      return NaiveRunsPayloadBytes(region.RunCount());
+    case RegionEncoding::kEliasDeltas:
+      return (EliasStreamBits(region) + 7) / 8;
     case RegionEncoding::kOctants:
       QBISM_RETURN_NOT_OK(CheckOctantPackable(region));
-      return uint64_t{4} + 4 * region.ToOctants().size();
+      return OctantPayloadBytes(region.ToOctants().size());
     case RegionEncoding::kOblongOctants:
       QBISM_RETURN_NOT_OK(CheckOctantPackable(region));
-      return uint64_t{4} + 4 * region.ToOblongOctants().size();
+      return OctantPayloadBytes(region.ToOblongOctants().size());
   }
   return Status::InvalidArgument("unknown region encoding");
 }

@@ -110,6 +110,29 @@ Result<Region> Region::FromRuns(GridSpec grid, curve::CurveKind kind,
   return region;
 }
 
+Result<Region> Region::FromCanonicalRuns(GridSpec grid, curve::CurveKind kind,
+                                         std::vector<Run> runs) {
+  uint64_t num_cells = grid.NumCells();
+  uint64_t next_min = 0;  // smallest admissible start for the next run
+  for (const Run& r : runs) {
+    if (r.start > r.end) {
+      return Status::InvalidArgument(
+          "Region::FromCanonicalRuns: run start > end");
+    }
+    if (r.start < next_min) {
+      return Status::InvalidArgument(
+          "Region::FromCanonicalRuns: runs not canonical");
+    }
+    if (r.end >= num_cells) {
+      return Status::OutOfRange("Region::FromCanonicalRuns: run exceeds grid");
+    }
+    next_min = r.end + 2;  // gap of >= 1 id before the next run
+  }
+  Region region(grid, kind);
+  region.runs_ = std::move(runs);
+  return region;
+}
+
 Result<Region> Region::FromIds(GridSpec grid, curve::CurveKind kind,
                                std::vector<uint64_t> ids) {
   std::sort(ids.begin(), ids.end());

@@ -72,6 +72,16 @@ class Region {
   static Result<Region> FromRuns(GridSpec grid, curve::CurveKind kind,
                                  std::vector<Run> runs);
 
+  /// Adopts a run list the caller guarantees is already canonical
+  /// (sorted, disjoint, non-adjacent). Validated in one O(runs) pass —
+  /// no sort, no merge — and rejected with InvalidArgument/OutOfRange
+  /// when the guarantee does not hold. This is the decode-side entry:
+  /// γ-coded delta streams decode in increasing-offset order, so the
+  /// canonicalizing sort in FromRuns would be pure overhead.
+  static Result<Region> FromCanonicalRuns(GridSpec grid,
+                                          curve::CurveKind kind,
+                                          std::vector<Run> runs);
+
   /// Builds from unsorted voxel ids (duplicates allowed).
   static Result<Region> FromIds(GridSpec grid, curve::CurveKind kind,
                                 std::vector<uint64_t> ids);

@@ -223,16 +223,22 @@ Result<ErrorReply> DecodeError(const std::vector<uint8_t>& payload) {
 }
 
 Result<std::vector<uint8_t>> EncodeAnswerPayload(
-    const volume::DataRegion& data) {
+    const volume::DataRegion& data, region::RegionEncoding encoding) {
   const region::Region& reg = data.region();
-  QBISM_ASSIGN_OR_RETURN(
-      std::vector<uint8_t> region_bytes,
-      region::EncodeRegion(reg, region::RegionEncoding::kEliasDeltas));
+  std::vector<uint8_t> region_bytes;
+  if (encoding == region::RegionEncoding::kEliasDeltas &&
+      !data.encoded_region().empty()) {
+    // The region already exists in elias form (an encoded-domain set-op
+    // chain ended here); ship those bytes instead of re-encoding.
+    region_bytes = data.encoded_region();
+  } else {
+    QBISM_ASSIGN_OR_RETURN(region_bytes, region::EncodeRegion(reg, encoding));
+  }
   WireWriter w;
   w.PutU8(static_cast<uint8_t>(reg.grid().dims));
   w.PutU8(static_cast<uint8_t>(reg.grid().bits));
   w.PutU8(static_cast<uint8_t>(reg.curve_kind()));
-  w.PutU8(0);  // reserved (future: alternate region encodings)
+  w.PutU8(static_cast<uint8_t>(encoding));  // region encoding tag
   w.PutU32(static_cast<uint32_t>(region_bytes.size()));
   w.PutBytes(region_bytes.data(), region_bytes.size());
   w.PutU64(data.values().size());
@@ -257,10 +263,12 @@ Result<volume::DataRegion> DecodeAnswerPayload(
     return Status::Corruption("unknown curve kind in answer");
   }
   curve::CurveKind kind = static_cast<curve::CurveKind>(kind_raw);
-  QBISM_ASSIGN_OR_RETURN(uint8_t reserved, r.GetU8());
-  if (reserved != 0) {
-    return Status::Corruption("reserved answer byte set");
+  QBISM_ASSIGN_OR_RETURN(uint8_t encoding_raw, r.GetU8());
+  if (encoding_raw >
+      static_cast<uint8_t>(region::RegionEncoding::kOblongOctants)) {
+    return Status::Corruption("unknown region encoding in answer");
   }
+  auto encoding = static_cast<region::RegionEncoding>(encoding_raw);
   QBISM_ASSIGN_OR_RETURN(uint32_t region_size, r.GetU32());
   if (region_size > kMaxRegionBytes || region_size > r.remaining()) {
     return Status::Corruption("answer region length exceeds payload");
@@ -269,8 +277,7 @@ Result<volume::DataRegion> DecodeAnswerPayload(
                          r.GetRaw(region_size));
   QBISM_ASSIGN_OR_RETURN(
       region::Region reg,
-      region::DecodeRegion(grid, kind, region::RegionEncoding::kEliasDeltas,
-                           region_bytes));
+      region::DecodeRegion(grid, kind, encoding, region_bytes));
   QBISM_ASSIGN_OR_RETURN(uint64_t value_count, r.GetU64());
   if (value_count != reg.VoxelCount()) {
     return Status::Corruption("answer value count does not match region");

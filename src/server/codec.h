@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "qbism/medical_server.h"
+#include "region/encoding.h"
 #include "server/protocol.h"
 #include "volume/volume.h"
 
@@ -88,13 +89,18 @@ Result<ResultEnd> DecodeResultEnd(const std::vector<uint8_t>& payload);
 std::vector<uint8_t> EncodeError(const ErrorReply& error);
 Result<ErrorReply> DecodeError(const std::vector<uint8_t>& payload);
 
-/// Serializes a DataRegion answer: grid + curve, the REGION in its
-/// compact Elias-gamma delta encoding (§4.2's most compact scheme, the
-/// same bytes the paper would ship), then the voxel intensities. This
-/// buffer is what gets sliced into kResultChunk frames; its size is the
-/// canonical "bytes shipped" for the query.
+/// Serializes a DataRegion answer: grid + curve, the REGION in the
+/// server's configured encoding (tagged in the payload; the default,
+/// Elias-gamma deltas, is §4.2's most compact scheme, the same bytes
+/// the paper would ship), then the voxel intensities. When the
+/// DataRegion carries a cached elias payload (an encoded-domain chain
+/// ending at extraction) and elias is the requested encoding, those
+/// bytes are shipped verbatim — no re-encode. This buffer is what gets
+/// sliced into kResultChunk frames; its size is the canonical "bytes
+/// shipped" for the query.
 Result<std::vector<uint8_t>> EncodeAnswerPayload(
-    const volume::DataRegion& data);
+    const volume::DataRegion& data,
+    region::RegionEncoding encoding = region::RegionEncoding::kEliasDeltas);
 
 /// Inverse of EncodeAnswerPayload over the reassembled chunk stream.
 Result<volume::DataRegion> DecodeAnswerPayload(

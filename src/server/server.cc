@@ -353,8 +353,10 @@ bool QbismServer::HandleQuery(Connection* conn, const Frame& frame,
     return SendError(conn, header.request_id, reason, reply.status());
   }
 
+  // Ship the region in the extension's configured encoding (the codec
+  // tags the payload so the client decodes whatever was configured).
   Result<std::vector<uint8_t>> payload =
-      EncodeAnswerPayload(reply->result.data);
+      EncodeAnswerPayload(reply->result.data, ext_->config().region_encoding);
   if (!payload.ok()) {
     queries_failed_.fetch_add(1, std::memory_order_relaxed);
     tstats->queries_failed.fetch_add(1, std::memory_order_relaxed);

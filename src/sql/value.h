@@ -91,6 +91,9 @@ class Value {
 /// Well-known object type tags used by the spatial extension.
 inline constexpr std::string_view kRegionTypeName = "REGION";
 inline constexpr std::string_view kDataRegionTypeName = "DATA_REGION";
+/// A REGION still in its elias-deltas stored form: set-op chains pass
+/// these between UDFs without ever materializing a run list.
+inline constexpr std::string_view kEncodedRegionTypeName = "ENCODED_REGION";
 
 }  // namespace qbism::sql
 

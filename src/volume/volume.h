@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -105,9 +106,21 @@ class DataRegion {
   /// Approximate serialized size in bytes: region (naive runs) + values.
   uint64_t ApproxSizeBytes() const;
 
+  /// Optional cache of the region's elias-deltas payload, attached when
+  /// the region arrived encoded (e.g. EXTRACT_DATA on an encoded
+  /// operand) so shipping the answer reuses the bytes instead of
+  /// re-encoding. Empty when absent.
+  void set_encoded_region(std::vector<uint8_t> payload) {
+    encoded_region_ = std::move(payload);
+  }
+  const std::vector<uint8_t>& encoded_region() const {
+    return encoded_region_;
+  }
+
  private:
   region::Region region_;
   std::vector<uint8_t> values_;
+  std::vector<uint8_t> encoded_region_;
 };
 
 /// Voxel-wise average of several studies restricted to a region (the

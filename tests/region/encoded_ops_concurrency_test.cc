@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "region/encoded_ops.h"
+#include "region/encoding.h"
+
+namespace qbism::region {
+namespace {
+
+using curve::CurveKind;
+
+const GridSpec kGrid{3, 4};
+
+Region Blob(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Run> runs;
+  uint64_t cursor = rng.NextBounded(50);
+  while (cursor < kGrid.NumCells()) {
+    uint64_t end = std::min(cursor + rng.NextBounded(40), kGrid.NumCells() - 1);
+    runs.push_back(Run{cursor, end});
+    cursor = end + 2 + rng.NextBounded(90);
+  }
+  return Region::FromRuns(kGrid, CurveKind::kHilbert, std::move(runs))
+      .MoveValue();
+}
+
+/// Encoded payloads are immutable byte vectors; every operator streams
+/// them through thread-local cursors. Many threads hammering the same
+/// two payloads must agree with the single-threaded reference and raise
+/// no races (this suite runs under the tsan preset via `concurrency`).
+TEST(EncodedOpsConcurrencyTest, SharedPayloadsAreSafeToStreamInParallel) {
+  Region a = Blob(1);
+  Region b = Blob(2);
+  const std::vector<uint8_t> ea =
+      EncodeRegion(a, RegionEncoding::kEliasDeltas).MoveValue();
+  const std::vector<uint8_t> eb =
+      EncodeRegion(b, RegionEncoding::kEliasDeltas).MoveValue();
+  const std::vector<uint8_t> expect_inter =
+      EncodeRegion(a.IntersectWith(b).MoveValue(),
+                   RegionEncoding::kEliasDeltas)
+          .MoveValue();
+  const std::vector<uint8_t> expect_union =
+      EncodeRegion(a.UnionWith(b).MoveValue(), RegionEncoding::kEliasDeltas)
+          .MoveValue();
+  const bool expect_contains = a.Contains(b).MoveValue();
+  const uint64_t expect_voxels = a.VoxelCount();
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 25;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        auto inter = EncodedSetOp(kGrid, SetOpKind::kIntersect, ea, eb);
+        if (!inter.ok() || *inter != expect_inter) ++failures[t];
+        auto uni = EncodedSetOp(kGrid, SetOpKind::kUnion, ea, eb);
+        if (!uni.ok() || *uni != expect_union) ++failures[t];
+        auto contains = EncodedContains(kGrid, ea, eb);
+        if (!contains.ok() || *contains != expect_contains) ++failures[t];
+        auto voxels = EncodedVoxelCount(kGrid, ea);
+        if (!voxels.ok() || *voxels != expect_voxels) ++failures[t];
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace qbism::region

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "region/encoded_ops.h"
+#include "region/encoding.h"
+
+namespace qbism::region {
+namespace {
+
+using curve::CurveKind;
+
+/// Differential fuzzing of the encoded-domain operators against the
+/// decode-then-op reference: for every random pair, every operator must
+/// produce byte-identical output (set ops) or an identical verdict
+/// (CONTAINS), and mutated payloads must fail exactly when DecodeRegion
+/// fails — never crash, never silently diverge.
+
+const GridSpec kGrid{3, 4};
+
+std::vector<uint8_t> Encode(const Region& r) {
+  return EncodeRegion(r, RegionEncoding::kEliasDeltas).MoveValue();
+}
+
+Result<Region> Decode(const std::vector<uint8_t>& bytes) {
+  return DecodeRegion(kGrid, CurveKind::kHilbert,
+                      RegionEncoding::kEliasDeltas, bytes);
+}
+
+/// Random canonical region with tunable density, biased to produce the
+/// edge shapes that trip merge logic: leading/trailing runs at the grid
+/// boundary, single-voxel runs, and single-id gaps.
+Region RandomRegion(Rng* rng) {
+  std::vector<Run> runs;
+  uint64_t cursor = rng->NextBounded(4) == 0 ? 0 : rng->NextBounded(80);
+  while (cursor < kGrid.NumCells()) {
+    uint64_t len = 1 + rng->NextBounded(rng->NextBounded(2) ? 4 : 60);
+    uint64_t end = std::min(cursor + len - 1, kGrid.NumCells() - 1);
+    runs.push_back(Run{cursor, end});
+    // Gap of exactly 1 a third of the time: adjacency boundaries.
+    uint64_t gap = rng->NextBounded(3) == 0 ? 1 : 1 + rng->NextBounded(120);
+    cursor = end + 1 + gap;
+  }
+  return Region::FromRuns(kGrid, CurveKind::kHilbert, std::move(runs))
+      .MoveValue();
+}
+
+TEST(EncodedOpsFuzzTest, RandomPairsMatchDecodeThenOpReference) {
+  Rng rng(20260808);
+  for (int iter = 0; iter < 300; ++iter) {
+    Region a = RandomRegion(&rng);
+    Region b = RandomRegion(&rng);
+    std::vector<uint8_t> ea = Encode(a);
+    std::vector<uint8_t> eb = Encode(b);
+
+    struct Case {
+      SetOpKind op;
+      Result<Region> reference;
+    };
+    Case cases[] = {
+        {SetOpKind::kIntersect, a.IntersectWith(b)},
+        {SetOpKind::kUnion, a.UnionWith(b)},
+        {SetOpKind::kDifference, a.DifferenceWith(b)},
+    };
+    for (auto& c : cases) {
+      ASSERT_TRUE(c.reference.ok());
+      auto got = EncodedSetOp(kGrid, c.op, ea, eb);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_EQ(*got, Encode(*c.reference)) << "iter " << iter;
+      // And the output must itself decode back to the reference.
+      auto round = Decode(*got);
+      ASSERT_TRUE(round.ok());
+      ASSERT_EQ(*round, *c.reference);
+    }
+
+    auto contains = EncodedContains(kGrid, ea, eb);
+    ASSERT_TRUE(contains.ok());
+    ASSERT_EQ(*contains, a.Contains(b).MoveValue());
+    ASSERT_TRUE(EncodedContains(kGrid, ea, ea).MoveValue());
+
+    ASSERT_EQ(EncodedVoxelCount(kGrid, ea).MoveValue(), a.VoxelCount());
+    ASSERT_EQ(EncodedRunCount(kGrid, eb).MoveValue(), b.RunCount());
+  }
+}
+
+TEST(EncodedOpsFuzzTest, EmptyFullAndAdjacentEdgePairs) {
+  Region empty(kGrid, CurveKind::kHilbert);
+  Region full = Region::Full(kGrid, CurveKind::kHilbert);
+  uint64_t last = kGrid.NumCells() - 1;
+  auto runs = [](std::vector<region::Run> rs) {
+    return Region::FromRuns(kGrid, CurveKind::kHilbert, std::move(rs))
+        .MoveValue();
+  };
+  std::vector<Region> edges = {
+      empty,
+      full,
+      runs({{0, 0}}),                      // single first voxel
+      runs({{last, last}}),                // single last voxel
+      runs({{0, last / 2}}),               // first half
+      runs({{last / 2 + 1, last}}),        // adjacent second half
+      runs({{0, 0}, {2, 2}, {4, 4}}),      // comb of unit runs
+      runs({{1, 1}, {3, 3}, {5, 5}}),      // interleaving comb
+  };
+  for (const Region& a : edges) {
+    for (const Region& b : edges) {
+      std::vector<uint8_t> ea = Encode(a);
+      std::vector<uint8_t> eb = Encode(b);
+      EXPECT_EQ(EncodedSetOp(kGrid, SetOpKind::kIntersect, ea, eb)
+                    .MoveValue(),
+                Encode(a.IntersectWith(b).MoveValue()));
+      EXPECT_EQ(EncodedSetOp(kGrid, SetOpKind::kUnion, ea, eb).MoveValue(),
+                Encode(a.UnionWith(b).MoveValue()));
+      EXPECT_EQ(
+          EncodedSetOp(kGrid, SetOpKind::kDifference, ea, eb).MoveValue(),
+          Encode(a.DifferenceWith(b).MoveValue()));
+      EXPECT_EQ(EncodedContains(kGrid, ea, eb).MoveValue(),
+                a.Contains(b).MoveValue());
+    }
+  }
+}
+
+/// Mutated payloads: flip bits / truncate / extend a valid payload. The
+/// encoded op must succeed exactly when both operands still DecodeRegion
+/// cleanly — and then match the reference — and fail cleanly otherwise.
+TEST(EncodedOpsFuzzTest, MutatedPayloadsFailExactlyWhenDecodeFails) {
+  Rng rng(987654321);
+  Region base = RandomRegion(&rng);
+  std::vector<uint8_t> good = Encode(RandomRegion(&rng));
+  ASSERT_TRUE(Decode(good).ok());
+  for (int iter = 0; iter < 400; ++iter) {
+    std::vector<uint8_t> mutated = Encode(base);
+    switch (rng.NextBounded(3)) {
+      case 0: {  // bit flips
+        int flips = 1 + static_cast<int>(rng.NextBounded(4));
+        for (int f = 0; f < flips && !mutated.empty(); ++f) {
+          size_t i = static_cast<size_t>(rng.NextBounded(mutated.size()));
+          mutated[i] ^= static_cast<uint8_t>(1u << rng.NextBounded(8));
+        }
+        break;
+      }
+      case 1:  // truncate
+        mutated.resize(rng.NextBounded(mutated.size() + 1));
+        break;
+      default:  // append junk
+        for (int e = 0; e < 3; ++e) {
+          mutated.push_back(static_cast<uint8_t>(rng.NextBounded(256)));
+        }
+        break;
+    }
+    auto decoded = Decode(mutated);
+    for (SetOpKind op : {SetOpKind::kIntersect, SetOpKind::kUnion,
+                         SetOpKind::kDifference}) {
+      auto got = EncodedSetOp(kGrid, op, mutated, good);
+      if (decoded.ok()) {
+        // Note: appended junk bytes change the payload without changing
+        // the decoded region; the streaming path reads the same symbols,
+        // so it must agree with the reference.
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        Region ref = [&]() {
+          const Region& m = *decoded;
+          const Region other = Decode(good).MoveValue();
+          switch (op) {
+            case SetOpKind::kIntersect:
+              return m.IntersectWith(other).MoveValue();
+            case SetOpKind::kUnion:
+              return m.UnionWith(other).MoveValue();
+            default:
+              return m.DifferenceWith(other).MoveValue();
+          }
+        }();
+        ASSERT_EQ(*got, Encode(ref)) << "iter " << iter;
+      } else {
+        ASSERT_FALSE(got.ok()) << "iter " << iter;
+      }
+    }
+    auto count = EncodedVoxelCount(kGrid, mutated);
+    ASSERT_EQ(count.ok(), decoded.ok()) << "iter " << iter;
+    if (count.ok()) ASSERT_EQ(*count, decoded->VoxelCount());
+  }
+}
+
+}  // namespace
+}  // namespace qbism::region

@@ -1,0 +1,262 @@
+#include "region/encoded_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bitstream.h"
+#include "common/rng.h"
+#include "compress/codes.h"
+#include "region/encoding.h"
+
+namespace qbism::region {
+namespace {
+
+using curve::CurveKind;
+
+const GridSpec kGrid{3, 4};
+
+Region Blob(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> ids;
+  uint64_t cursor = rng.NextBounded(64);
+  while (cursor < kGrid.NumCells()) {
+    uint64_t run = 1 + rng.NextBounded(30);
+    for (uint64_t i = 0; i < run && cursor + i < kGrid.NumCells(); ++i) {
+      ids.push_back(cursor + i);
+    }
+    cursor += run + 1 + rng.NextBounded(100);
+  }
+  return Region::FromIds(kGrid, CurveKind::kHilbert, std::move(ids))
+      .MoveValue();
+}
+
+std::vector<uint8_t> Encode(const Region& r) {
+  return EncodeRegion(r, RegionEncoding::kEliasDeltas).MoveValue();
+}
+
+Region RunsRegion(std::vector<Run> runs) {
+  return Region::FromRuns(kGrid, CurveKind::kHilbert, std::move(runs))
+      .MoveValue();
+}
+
+/// The core tentpole guarantee: merging the γ-coded streams yields the
+/// exact bytes that encoding the decode-then-op result would.
+TEST(EncodedSetOpTest, ByteIdenticalToDecodeThenOp) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Region a = Blob(seed);
+    Region b = Blob(seed + 100);
+    std::vector<uint8_t> ea = Encode(a);
+    std::vector<uint8_t> eb = Encode(b);
+    struct Case {
+      SetOpKind op;
+      Result<Region> reference;
+    };
+    Case cases[] = {
+        {SetOpKind::kIntersect, a.IntersectWith(b)},
+        {SetOpKind::kUnion, a.UnionWith(b)},
+        {SetOpKind::kDifference, a.DifferenceWith(b)},
+    };
+    for (auto& c : cases) {
+      ASSERT_TRUE(c.reference.ok());
+      auto encoded = EncodedSetOp(kGrid, c.op, ea, eb);
+      ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+      EXPECT_EQ(*encoded, Encode(*c.reference)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(EncodedSetOpTest, EmptyAndFullOperands) {
+  Region empty(kGrid, CurveKind::kHilbert);
+  Region full = Region::Full(kGrid, CurveKind::kHilbert);
+  Region blob = Blob(3);
+  const Region* regions[] = {&empty, &full, &blob};
+  for (const Region* a : regions) {
+    for (const Region* b : regions) {
+      std::vector<uint8_t> ea = Encode(*a);
+      std::vector<uint8_t> eb = Encode(*b);
+      auto inter = EncodedSetOp(kGrid, SetOpKind::kIntersect, ea, eb);
+      ASSERT_TRUE(inter.ok());
+      EXPECT_EQ(*inter, Encode(a->IntersectWith(*b).MoveValue()));
+      auto uni = EncodedSetOp(kGrid, SetOpKind::kUnion, ea, eb);
+      ASSERT_TRUE(uni.ok());
+      EXPECT_EQ(*uni, Encode(a->UnionWith(*b).MoveValue()));
+      auto diff = EncodedSetOp(kGrid, SetOpKind::kDifference, ea, eb);
+      ASSERT_TRUE(diff.ok());
+      EXPECT_EQ(*diff, Encode(a->DifferenceWith(*b).MoveValue()));
+    }
+  }
+}
+
+/// Adjacent-run edges: a union whose operands touch end-to-start must
+/// come out as one merged run (canonical non-adjacency), byte-identical
+/// to the materialized path.
+TEST(EncodedSetOpTest, UnionMergesAdjacentRuns) {
+  Region a = RunsRegion({{0, 9}, {20, 29}});
+  Region b = RunsRegion({{10, 19}, {30, 35}});
+  auto merged = EncodedSetOp(kGrid, SetOpKind::kUnion, Encode(a), Encode(b));
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*merged, Encode(RunsRegion({{0, 35}})));
+  auto back = DecodeRegion(kGrid, CurveKind::kHilbert,
+                           RegionEncoding::kEliasDeltas, *merged);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->RunCount(), 1u);
+}
+
+TEST(EncodedSetOpTest, DifferenceSplitsRuns) {
+  Region a = RunsRegion({{0, 29}});
+  Region b = RunsRegion({{5, 9}, {15, 15}});
+  auto diff = EncodedSetOp(kGrid, SetOpKind::kDifference, Encode(a),
+                           Encode(b));
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, Encode(RunsRegion({{0, 4}, {10, 14}, {16, 29}})));
+}
+
+TEST(EncodedContainsTest, MatchesReference) {
+  Region a = Blob(5);
+  Region sub =
+      a.IntersectWith(RunsRegion({{0, kGrid.NumCells() / 2}})).MoveValue();
+  auto yes = EncodedContains(kGrid, Encode(a), Encode(sub));
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(*yes);
+  Region other = Blob(6);
+  auto ref = a.Contains(other);
+  ASSERT_TRUE(ref.ok());
+  auto got = EncodedContains(kGrid, Encode(a), Encode(other));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, *ref);
+}
+
+/// Early exit: once a b-run is found uncovered, the rest of the stream
+/// is never read — garbage after the deciding run must not matter. The
+/// payload is hand-built: a valid header and first run, then junk bits
+/// that would fail decoding if reached.
+TEST(EncodedContainsTest, EarlyExitStopsReadingTheStream) {
+  Region a = RunsRegion({{50, 60}});
+  BitWriter w;
+  compress::EliasGammaEncode(3 + 1, &w);  // 3 runs claimed
+  compress::EliasGammaEncode(0 + 1, &w);  // first run starts at 0
+  compress::EliasGammaEncode(5, &w);      // run [0, 4] — not covered by a
+  // Gap symbol so large the next run would leave the grid: decoding
+  // past the first run would fail with OutOfRange.
+  compress::EliasGammaEncode(kGrid.NumCells() * 2, &w);
+  compress::EliasGammaEncode(1, &w);
+  compress::EliasGammaEncode(1, &w);
+  compress::EliasGammaEncode(1, &w);
+  auto contains = EncodedContains(kGrid, Encode(a), w.Finish());
+  ASSERT_TRUE(contains.ok()) << contains.status().ToString();
+  EXPECT_FALSE(*contains);
+}
+
+TEST(EncodedCountsTest, MatchReference) {
+  for (uint64_t seed : {1ull, 7ull, 9ull}) {
+    Region r = Blob(seed);
+    auto voxels = EncodedVoxelCount(kGrid, Encode(r));
+    ASSERT_TRUE(voxels.ok());
+    EXPECT_EQ(*voxels, r.VoxelCount());
+    auto runs = EncodedRunCount(kGrid, Encode(r));
+    ASSERT_TRUE(runs.ok());
+    EXPECT_EQ(*runs, r.RunCount());
+  }
+  Region empty(kGrid, CurveKind::kHilbert);
+  EXPECT_EQ(EncodedVoxelCount(kGrid, Encode(empty)).MoveValue(), 0u);
+  EXPECT_EQ(EncodedRunCount(kGrid, Encode(empty)).MoveValue(), 0u);
+}
+
+TEST(EncodedOpsCorruptionTest, TruncatedStreamsFailCleanly) {
+  std::vector<uint8_t> payload = Encode(Blob(4));
+  for (size_t n = 0; n < payload.size(); ++n) {
+    std::vector<uint8_t> cut(payload.begin(),
+                             payload.begin() + static_cast<ptrdiff_t>(n));
+    // Operand order should not matter for clean failure.
+    EXPECT_FALSE(EncodedSetOp(kGrid, SetOpKind::kUnion, cut, payload).ok());
+    EXPECT_FALSE(EncodedVoxelCount(kGrid, cut).ok());
+  }
+}
+
+TEST(EncodedOpsCorruptionTest, ImplausibleRunCountRejected) {
+  BitWriter w;
+  compress::EliasGammaEncode(kGrid.NumCells(), &w);  // far too many runs
+  compress::EliasGammaEncode(1, &w);
+  std::vector<uint8_t> bad = w.Finish();
+  auto count = EncodedRunCount(kGrid, bad);
+  EXPECT_FALSE(count.ok());
+  EXPECT_TRUE(count.status().IsCorruption());
+  EXPECT_FALSE(
+      EncodedSetOp(kGrid, SetOpKind::kIntersect, bad, Encode(Blob(1))).ok());
+}
+
+TEST(EncodedOpsCorruptionTest, RunBeyondGridRejected) {
+  BitWriter w;
+  compress::EliasGammaEncode(1 + 1, &w);                // one run
+  compress::EliasGammaEncode(1, &w);                    // starts at 0
+  compress::EliasGammaEncode(kGrid.NumCells() + 5, &w); // longer than grid
+  std::vector<uint8_t> bad = w.Finish();
+  auto count = EncodedVoxelCount(kGrid, bad);
+  EXPECT_FALSE(count.ok());
+}
+
+TEST(EncodedRegionTest, RoundTripAndOps) {
+  Region a = Blob(11);
+  Region b = Blob(12);
+  auto ea = EncodedRegion::FromRegion(a).MoveValue();
+  auto eb = EncodedRegion::FromRegion(b).MoveValue();
+  EXPECT_EQ(ea.Decode().MoveValue(), a);
+  auto inter = ea.IntersectWith(eb);
+  ASSERT_TRUE(inter.ok());
+  EXPECT_EQ(inter->Decode().MoveValue(), a.IntersectWith(b).MoveValue());
+  // Chains stay encoded: op output feeds the next op without a decode.
+  auto chain = inter->UnionWith(eb);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->Decode().MoveValue(),
+            a.IntersectWith(b).MoveValue().UnionWith(b).MoveValue());
+  EXPECT_EQ(ea.VoxelCount().MoveValue(), a.VoxelCount());
+  EXPECT_EQ(ea.RunCount().MoveValue(), a.RunCount());
+  EXPECT_EQ(ea.Contains(eb).MoveValue(), a.Contains(b).MoveValue());
+}
+
+TEST(EncodedRegionTest, MismatchedGridRejected) {
+  auto ea = EncodedRegion::FromRegion(Blob(1)).MoveValue();
+  Region other(GridSpec{3, 5}, CurveKind::kHilbert);
+  auto eb = EncodedRegion::FromRegion(other).MoveValue();
+  EXPECT_FALSE(ea.IntersectWith(eb).ok());
+  EXPECT_FALSE(ea.Contains(eb).ok());
+}
+
+TEST(FromCanonicalRunsTest, AcceptsCanonicalRejectsOthers) {
+  auto ok = Region::FromCanonicalRuns(kGrid, CurveKind::kHilbert,
+                                      {{0, 4}, {6, 9}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->RunCount(), 2u);
+  // Adjacent (gap 0), overlapping, unsorted, reversed, out-of-grid.
+  EXPECT_FALSE(
+      Region::FromCanonicalRuns(kGrid, CurveKind::kHilbert, {{0, 4}, {5, 9}})
+          .ok());
+  EXPECT_FALSE(
+      Region::FromCanonicalRuns(kGrid, CurveKind::kHilbert, {{0, 4}, {2, 9}})
+          .ok());
+  EXPECT_FALSE(
+      Region::FromCanonicalRuns(kGrid, CurveKind::kHilbert, {{6, 9}, {0, 4}})
+          .ok());
+  EXPECT_FALSE(
+      Region::FromCanonicalRuns(kGrid, CurveKind::kHilbert, {{4, 0}}).ok());
+  EXPECT_FALSE(Region::FromCanonicalRuns(kGrid, CurveKind::kHilbert,
+                                         {{0, kGrid.NumCells()}})
+                   .ok());
+}
+
+/// The emitter is the encode half of the streaming path; its output for
+/// a plain run sequence must match EncodeRegion exactly.
+TEST(EncodedRunEmitterTest, MatchesEncodeRegion) {
+  Region r = Blob(21);
+  EncodedRunEmitter emitter;
+  for (const auto& run : r.runs()) emitter.Append(run.start, run.end);
+  EXPECT_EQ(emitter.Finish(), Encode(r));
+  // Reset-after-Finish: reusing the emitter starts a fresh stream.
+  EncodedRunEmitter reused;
+  reused.Append(1, 2);
+  (void)reused.Finish();
+  Region empty(kGrid, CurveKind::kHilbert);
+  EXPECT_EQ(reused.Finish(), Encode(empty));
+}
+
+}  // namespace
+}  // namespace qbism::region

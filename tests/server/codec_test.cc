@@ -156,6 +156,47 @@ TEST(CodecTest, AnswerPayloadEmptyRegion) {
   EXPECT_EQ(back->VoxelCount(), 0u);
 }
 
+TEST(CodecTest, AnswerPayloadRoundTripsUnderEveryEncoding) {
+  volume::DataRegion data = MakeTestRegion(5);
+  for (region::RegionEncoding enc :
+       {region::RegionEncoding::kNaiveRuns,
+        region::RegionEncoding::kEliasDeltas,
+        region::RegionEncoding::kOctants,
+        region::RegionEncoding::kOblongOctants}) {
+    auto payload = EncodeAnswerPayload(data, enc);
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    auto back = DecodeAnswerPayload(*payload);
+    ASSERT_TRUE(back.ok()) << region::RegionEncodingToString(enc) << ": "
+                           << back.status().ToString();
+    EXPECT_EQ(back->region().runs(), data.region().runs());
+    EXPECT_EQ(back->values(), data.values());
+  }
+}
+
+TEST(CodecTest, AnswerPayloadRejectsUnknownEncodingTag) {
+  auto payload = EncodeAnswerPayload(MakeTestRegion(5));
+  ASSERT_TRUE(payload.ok());
+  (*payload)[3] = 0xEE;  // encoding tag byte
+  auto back = DecodeAnswerPayload(*payload);
+  ASSERT_FALSE(back.ok());
+  EXPECT_TRUE(back.status().IsCorruption());
+}
+
+TEST(CodecTest, AnswerPayloadShipsCachedEncodedRegionVerbatim) {
+  volume::DataRegion data = MakeTestRegion(6);
+  auto reference = EncodeAnswerPayload(data);
+  ASSERT_TRUE(reference.ok());
+  // Attach the elias payload (as an encoded-domain chain would) — the
+  // shipped bytes must be identical to the re-encoding path.
+  auto elias = region::EncodeRegion(data.region(),
+                                    region::RegionEncoding::kEliasDeltas);
+  ASSERT_TRUE(elias.ok());
+  data.set_encoded_region(*elias);
+  auto cached = EncodeAnswerPayload(data);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(*cached, *reference);
+}
+
 TEST(CodecTest, AnswerPayloadRejectsTrailingBytes) {
   auto payload = EncodeAnswerPayload(MakeTestRegion(9));
   ASSERT_TRUE(payload.ok());
