@@ -1,0 +1,99 @@
+#ifndef QBISM_COMMON_ARENA_H_
+#define QBISM_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace qbism {
+
+/// Bump-pointer arena for per-query scratch memory. The SQL batch VM
+/// allocates its selection vectors, mask stacks, and row-pointer
+/// buffers here: one block allocation amortizes thousands of per-batch
+/// requests, and Reset() recycles the memory between statements without
+/// returning it to the heap. Allocations are trivially destructible by
+/// contract — the arena never runs destructors.
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    size_t aligned = (pos_ + align - 1) & ~(align - 1);
+    if (current_ == nullptr || aligned + bytes > current_size_) {
+      NewBlock(bytes + align);
+      aligned = (pos_ + align - 1) & ~(align - 1);
+    }
+    pos_ = aligned + bytes;
+    ++allocations_;
+    return current_ + aligned;
+  }
+
+  /// Typed array of trivially-destructible Ts (uninitialized).
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to empty, keeping every block for reuse.
+  void Reset() {
+    pos_ = 0;
+    block_index_ = 0;
+    current_ = blocks_.empty() ? nullptr : blocks_[0].data.get();
+    current_size_ = blocks_.empty() ? 0 : blocks_[0].size;
+  }
+
+  size_t allocated_bytes() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+  uint64_t allocations() const { return allocations_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  void NewBlock(size_t min_bytes) {
+    // Reuse the next retained block when it fits; otherwise grow.
+    while (block_index_ + 1 < blocks_.size()) {
+      ++block_index_;
+      if (blocks_[block_index_].size >= min_bytes) {
+        current_ = blocks_[block_index_].data.get();
+        current_size_ = blocks_[block_index_].size;
+        pos_ = 0;
+        return;
+      }
+    }
+    size_t size = block_bytes_;
+    if (size < min_bytes) size = min_bytes;
+    blocks_.push_back(Block{std::make_unique<char[]>(size), size});
+    block_index_ = blocks_.size() - 1;
+    current_ = blocks_.back().data.get();
+    current_size_ = size;
+    pos_ = 0;
+  }
+
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  size_t block_index_ = 0;
+  char* current_ = nullptr;
+  size_t current_size_ = 0;
+  size_t pos_ = 0;
+  uint64_t allocations_ = 0;
+};
+
+}  // namespace qbism
+
+#endif  // QBISM_COMMON_ARENA_H_

@@ -65,6 +65,8 @@ const char* StageName(Stage stage) {
     case Stage::kIngest: return "ingest";
     case Stage::kWalSync: return "wal_sync";
     case Stage::kVacuum: return "vacuum";
+    case Stage::kOptimize: return "optimize";
+    case Stage::kCompile: return "compile";
   }
   return "unknown";
 }

@@ -44,8 +44,10 @@ enum class Stage : uint8_t {
   kIngest,      // one online study ingest (warp + band + store, logged)
   kWalSync,     // write-ahead-log page flush (the commit fsync)
   kVacuum,      // reclamation of dead long-field extents
+  kOptimize,    // SQL cost-based planning (statistics + join order)
+  kCompile,     // SQL plan -> batch-VM bytecode lowering
 };
-inline constexpr int kNumStages = 23;
+inline constexpr int kNumStages = 25;
 
 /// Stable lower-case stage name ("query", "queue", "io", ...).
 const char* StageName(Stage stage);

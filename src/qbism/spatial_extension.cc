@@ -1,7 +1,14 @@
 #include "qbism/spatial_extension.h"
 
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <optional>
+
 #include "common/macros.h"
 #include "obs/trace.h"
+#include "region/stats.h"
+#include "sql/schema.h"
 
 namespace qbism {
 
@@ -52,16 +59,17 @@ Value EncodedRegionValue(EncodedRegion r) {
 constexpr uint64_t kScanChunkBytes = 64 * storage::kPageSize;
 
 /// Shared body of intersection/regionunion/regiondifference: when both
-/// operands resolve encoded, merge the γ-coded streams and hand the
-/// result on still encoded; otherwise materialize and use the run-list
-/// operators.
+/// operands resolve encoded (and the plan has not asked for the
+/// decode-and-extract strategy via ctx.prefer_encoded_regions), merge
+/// the γ-coded streams and hand the result on still encoded; otherwise
+/// materialize and use the run-list operators.
 Result<Value> RegionSetOpUdf(UdfContext& ctx, const std::vector<Value>& args,
                              std::string_view name, region::SetOpKind op) {
   QBISM_RETURN_NOT_OK(CheckArity(args, 2, name));
   SpatialExtension* ext = Ext(ctx);
   QBISM_ASSIGN_OR_RETURN(auto o1, ext->RegionOperandArg(args[0]));
   QBISM_ASSIGN_OR_RETURN(auto o2, ext->RegionOperandArg(args[1]));
-  if (o1.encoded && o2.encoded) {
+  if (o1.encoded && o2.encoded && ctx.prefer_encoded_regions) {
     Result<EncodedRegion> out = [&]() -> Result<EncodedRegion> {
       switch (op) {
         case region::SetOpKind::kIntersect:
@@ -112,6 +120,7 @@ Result<std::unique_ptr<SpatialExtension>> SpatialExtension::Install(
   ext->extractor_ = std::make_unique<ParallelExtractor>(db->lfm());
   QBISM_RETURN_NOT_OK(ext->RegisterUdfs());
   db->set_extension_state(ext.get());
+  db->set_udf_cost_hook(CostHook());
   return ext;
 }
 
@@ -388,6 +397,41 @@ Status SpatialExtension::RegisterUdfs() {
       }));
 
   QBISM_RETURN_NOT_OK(registry->Register(
+      "intersection_n",
+      [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() < 2) {
+          return Status::InvalidArgument(
+              "intersection_n expects at least 2 arguments");
+        }
+        SpatialExtension* ext = Ext(ctx);
+        std::vector<SpatialExtension::RegionOperand> operands;
+        operands.reserve(args.size());
+        bool all_encoded = true;
+        for (const Value& arg : args) {
+          QBISM_ASSIGN_OR_RETURN(auto o, ext->RegionOperandArg(arg));
+          all_encoded = all_encoded && o.encoded != nullptr;
+          operands.push_back(std::move(o));
+        }
+        if (all_encoded && ctx.prefer_encoded_regions) {
+          // One streaming pass over all n γ-coded operands: no
+          // intermediate result is ever re-encoded or materialized.
+          std::vector<const EncodedRegion*> regions;
+          regions.reserve(operands.size());
+          for (const auto& o : operands) regions.push_back(o.encoded.get());
+          QBISM_ASSIGN_OR_RETURN(EncodedRegion out,
+                                 EncodedRegion::IntersectAll(regions));
+          return EncodedRegionValue(std::move(out));
+        }
+        QBISM_ASSIGN_OR_RETURN(auto acc, ext->MaterializeOperand(operands[0]));
+        Region result = *acc;
+        for (size_t i = 1; i < operands.size(); ++i) {
+          QBISM_ASSIGN_OR_RETURN(auto r, ext->MaterializeOperand(operands[i]));
+          QBISM_ASSIGN_OR_RETURN(result, result.IntersectWith(*r));
+        }
+        return RegionValue(std::move(result));
+      }));
+
+  QBISM_RETURN_NOT_OK(registry->Register(
       "contains",
       [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
         QBISM_RETURN_NOT_OK(CheckArity(args, 2, "contains"));
@@ -558,6 +602,378 @@ Status SpatialExtension::RegisterUdfs() {
         return Value::Double(dr->MeanIntensity());
       }));
 
+  return Status::OK();
+}
+
+/// --- Cost-based planner integration --------------------------------------
+
+namespace {
+
+namespace planner = sql::planner;
+
+/// Cost-model constants for the spatial operators, in the planner's
+/// units (1.0 ~ one value comparison). Streaming a γ-coded run through
+/// a cursor is about one comparison's worth of bit twiddling; decoding
+/// into a materialized run list costs the stream pass plus the list
+/// build; the header charge covers the LFM payload fetch per operand.
+constexpr double kRegionHeaderCost = 16.0;
+constexpr double kRunStreamCost = 1.0;
+constexpr double kRunMaterializeCost = 3.0;
+/// Runs assumed for a region operand with no statistics.
+constexpr double kDefaultRegionRuns = 512.0;
+/// The seed naive encoding spends 8 bytes per run (start, length).
+constexpr double kNaiveBytesPerRun = 8.0;
+
+std::string LowerName(const std::string& name) {
+  std::string out = name;
+  for (char& ch : out) {
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  return out;
+}
+
+bool IsSetOpUdfName(const std::string& lower) {
+  return lower == "intersection" || lower == "regionunion" ||
+         lower == "regiondifference" || lower == "intersection_n";
+}
+
+bool IsCountUdfName(const std::string& lower) {
+  return lower == "voxelcount" || lower == "runcount";
+}
+
+const planner::RegionColumnStats* RegionStatsOf(
+    const sql::Expr& arg, const planner::TableStats* stats) {
+  if (stats == nullptr || arg.kind != sql::Expr::Kind::kColumnRef) {
+    return nullptr;
+  }
+  auto it = stats->regions.find(arg.column);
+  return it != stats->regions.end() ? &it->second : nullptr;
+}
+
+/// Estimated runs streamed when evaluating a region-valued expression:
+/// column operands use their analyzed average, nested set ops are
+/// bounded by the sum of their operands' runs.
+double EstimatedRuns(const sql::Expr& arg, const planner::TableStats* stats) {
+  if (const planner::RegionColumnStats* rs = RegionStatsOf(arg, stats)) {
+    return std::max(1.0, rs->avg_runs());
+  }
+  if (arg.kind == sql::Expr::Kind::kFunctionCall &&
+      IsSetOpUdfName(LowerName(arg.function))) {
+    double total = 0.0;
+    for (const sql::ExprPtr& a : arg.args) {
+      total += EstimatedRuns(*a, stats);
+    }
+    return std::max(1.0, total);
+  }
+  return kDefaultRegionRuns;
+}
+
+/// Extraction-strategy vote for a spatial call: stay in the γ-coded
+/// domain when the analyzed payloads are smaller than their naive
+/// run-list form (the compression is paying for itself), or — lacking
+/// byte statistics — when the fitted §4.2 power law is short-run
+/// dominated (a > 1, where γ-coding of the many small deltas wins).
+/// With no statistics at all the encoded chain is the default.
+int PreferEncodedVote(const sql::Expr& call,
+                      const planner::TableStats* stats) {
+  double encoded_bytes = 0.0;
+  double naive_bytes = 0.0;
+  bool any = false;
+  bool fit_short_runs = false;
+  for (const sql::ExprPtr& arg : call.args) {
+    if (const planner::RegionColumnStats* rs = RegionStatsOf(*arg, stats)) {
+      any = true;
+      encoded_bytes += rs->avg_bytes();
+      naive_bytes += kNaiveBytesPerRun * rs->avg_runs();
+      if (rs->fit.valid() && rs->fit.a > 1.0) fit_short_runs = true;
+    }
+  }
+  if (!any) return 1;
+  if (naive_bytes > 0.0) return encoded_bytes <= naive_bytes ? 1 : 0;
+  return fit_short_runs ? 1 : 0;
+}
+
+bool IsComparisonOp(sql::Expr::BinOp op) {
+  switch (op) {
+    case sql::Expr::BinOp::kEq:
+    case sql::Expr::BinOp::kNe:
+    case sql::Expr::BinOp::kLt:
+    case sql::Expr::BinOp::kLe:
+    case sql::Expr::BinOp::kGt:
+    case sql::Expr::BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+sql::Expr::BinOp MirrorCmpOp(sql::Expr::BinOp op) {
+  switch (op) {
+    case sql::Expr::BinOp::kLt:
+      return sql::Expr::BinOp::kGt;
+    case sql::Expr::BinOp::kLe:
+      return sql::Expr::BinOp::kGe;
+    case sql::Expr::BinOp::kGt:
+      return sql::Expr::BinOp::kLt;
+    case sql::Expr::BinOp::kGe:
+      return sql::Expr::BinOp::kLe;
+    default:
+      return op;
+  }
+}
+
+/// Estimate for `voxelcount(col) cmp N` / `runcount(col) cmp N` with
+/// the call on the left (mirror before calling). Selectivity comes from
+/// the analyzed log2 histogram of per-row counts.
+std::optional<planner::ConjunctEstimate> EstimateCountComparison(
+    const sql::Expr& call, sql::Expr::BinOp op, const sql::Expr& literal,
+    const planner::TableStats* stats) {
+  if (call.args.size() != 1) return std::nullopt;
+  const sql::Value& v = literal.literal;
+  if (v.kind() != sql::Value::Kind::kInt &&
+      v.kind() != sql::Value::Kind::kDouble) {
+    return std::nullopt;
+  }
+  double threshold = v.AsDouble().value();
+  bool is_runs = LowerName(call.function) == "runcount";
+
+  planner::ConjunctEstimate out;
+  // runcount streams nothing (the count is the stream header);
+  // voxelcount streams every run to sum the lengths.
+  out.cost = kRegionHeaderCost + planner::CostParams::kCompare +
+             (is_runs ? 0.0
+                      : EstimatedRuns(*call.args[0], stats) * kRunStreamCost);
+  out.prefer_encoded = 1;
+  if (const planner::RegionColumnStats* rs =
+          RegionStatsOf(*call.args[0], stats)) {
+    double above = is_runs ? rs->RunCountSelectivityAbove(threshold)
+                           : rs->VoxelCountSelectivityAbove(threshold);
+    switch (op) {
+      case sql::Expr::BinOp::kGt:
+      case sql::Expr::BinOp::kGe:
+        out.selectivity = above;
+        break;
+      case sql::Expr::BinOp::kLt:
+      case sql::Expr::BinOp::kLe:
+        out.selectivity = 1.0 - above;
+        break;
+      case sql::Expr::BinOp::kEq:
+        out.selectivity =
+            rs->rows > 0 ? 1.0 / static_cast<double>(rs->rows)
+                         : planner::CostParams::kDefaultEqSel;
+        break;
+      case sql::Expr::BinOp::kNe:
+        out.selectivity =
+            1.0 - (rs->rows > 0 ? 1.0 / static_cast<double>(rs->rows)
+                                : planner::CostParams::kDefaultEqSel);
+        break;
+      default:
+        break;
+    }
+    out.selectivity = std::min(1.0, std::max(0.0, out.selectivity));
+  }
+  return out;
+}
+
+std::optional<planner::ConjunctEstimate> EstimateSpatialExpr(
+    const sql::Expr& expr, const planner::TableStats* stats) {
+  // Threshold predicates over the count operators.
+  if (expr.kind == sql::Expr::Kind::kBinary && IsComparisonOp(expr.bin_op)) {
+    const sql::Expr& lhs = *expr.lhs;
+    const sql::Expr& rhs = *expr.rhs;
+    if (lhs.kind == sql::Expr::Kind::kFunctionCall &&
+        IsCountUdfName(LowerName(lhs.function)) &&
+        rhs.kind == sql::Expr::Kind::kLiteral) {
+      return EstimateCountComparison(lhs, expr.bin_op, rhs, stats);
+    }
+    if (rhs.kind == sql::Expr::Kind::kFunctionCall &&
+        IsCountUdfName(LowerName(rhs.function)) &&
+        lhs.kind == sql::Expr::Kind::kLiteral) {
+      return EstimateCountComparison(rhs, MirrorCmpOp(expr.bin_op), lhs,
+                                     stats);
+    }
+    return std::nullopt;
+  }
+
+  if (expr.kind != sql::Expr::Kind::kFunctionCall) return std::nullopt;
+  std::string name = LowerName(expr.function);
+
+  if (name == "contains" && expr.args.size() == 2) {
+    planner::ConjunctEstimate out;
+    out.cost = 2.0 * kRegionHeaderCost +
+               (EstimatedRuns(*expr.args[0], stats) +
+                EstimatedRuns(*expr.args[1], stats)) *
+                   kRunStreamCost;
+    // Containment of one arbitrary structure in another is rare; the
+    // streaming check also exits at the first uncovered run.
+    out.selectivity = planner::CostParams::kDefaultEqSel;
+    out.prefer_encoded = PreferEncodedVote(expr, stats);
+    return out;
+  }
+
+  if (IsSetOpUdfName(name) && expr.args.size() >= 2) {
+    planner::ConjunctEstimate out;
+    out.prefer_encoded = PreferEncodedVote(expr, stats);
+    double runs = 0.0;
+    for (const sql::ExprPtr& arg : expr.args) {
+      runs += EstimatedRuns(*arg, stats);
+    }
+    double per_run = out.prefer_encoded == 1 ? kRunStreamCost
+                                             : kRunMaterializeCost;
+    out.cost = static_cast<double>(expr.args.size()) * kRegionHeaderCost +
+               runs * per_run;
+    return out;
+  }
+
+  if (IsCountUdfName(name) && expr.args.size() == 1) {
+    planner::ConjunctEstimate out;
+    bool is_runs = name == "runcount";
+    out.cost = kRegionHeaderCost +
+               (is_runs ? 0.0
+                        : EstimatedRuns(*expr.args[0], stats) *
+                              kRunStreamCost);
+    out.prefer_encoded = 1;
+    return out;
+  }
+
+  return std::nullopt;
+}
+
+/// Accumulates one region column's statistics during the heap scan.
+struct RegionAccum {
+  planner::RegionColumnStats stats;
+  std::vector<uint64_t> pooled_lengths;
+  std::map<int64_t, std::vector<uint64_t>> study_lengths;
+};
+
+planner::PowerLawFit ToPowerLawFit(const std::vector<uint64_t>& lengths) {
+  LinearFit lf = region::FitPowerLaw(lengths);
+  planner::PowerLawFit fit;
+  fit.a = -lf.slope;
+  fit.c = std::exp(lf.intercept);
+  fit.r = lf.r;
+  fit.samples = lengths.size();
+  return fit;
+}
+
+}  // namespace
+
+sql::planner::UdfCostHook SpatialExtension::CostHook() {
+  return [](const sql::Expr& expr, const planner::TableStats* stats)
+             -> std::optional<planner::ConjunctEstimate> {
+    return EstimateSpatialExpr(expr, stats);
+  };
+}
+
+Status SpatialExtension::RefreshPlannerStats() const {
+  sql::Catalog* catalog = db_->catalog();
+  planner::PlannerStats* stats = db_->planner_stats();
+  // Scalar columns and row counts first; region stats layer on top.
+  QBISM_RETURN_NOT_OK(stats->AnalyzeAll(catalog));
+
+  const uint64_t num_cells = config_.grid.NumCells();
+  for (const std::string& table : catalog->TableNames()) {
+    QBISM_ASSIGN_OR_RETURN(sql::TableInfo * info, catalog->GetTable(table));
+    const sql::TableSchema& schema = info->schema;
+    int study_col = -1;
+    {
+      auto idx = schema.ColumnIndex("studyId");
+      if (idx.ok() &&
+          schema.columns()[idx.value()].type == sql::ColumnType::kInt) {
+        study_col = static_cast<int>(idx.value());
+      }
+    }
+    for (size_t c = 0; c < schema.NumColumns(); ++c) {
+      if (schema.columns()[c].type != sql::ColumnType::kLongField) continue;
+      RegionAccum acc;
+      std::vector<char> needed(schema.NumColumns(), 0);
+      needed[c] = 1;
+      if (study_col >= 0) needed[static_cast<size_t>(study_col)] = 1;
+      sql::Row row;
+      QBISM_RETURN_NOT_OK(info->file->Scan(
+          [&](const storage::RecordId&,
+              const std::vector<uint8_t>& record) -> bool {
+            if (!sql::DeserializeRowProjected(schema, record, needed, &row)
+                     .ok()) {
+              return true;
+            }
+            if (row[c].kind() != Value::Kind::kLongField) return true;
+            auto bytes = db_->lfm()->Read(row[c].AsLongField().value());
+            if (!bytes.ok() || bytes.value().empty()) return true;
+            const std::vector<uint8_t>& payload = bytes.value();
+            // A stored VOLUME is exactly one byte per grid cell with no
+            // tag; don't try to parse intensities as a region.
+            if (payload.size() == num_cells) return true;
+
+            uint64_t runs = 0;
+            uint64_t voxels = 0;
+            std::vector<uint64_t> deltas;
+            auto encoding = static_cast<RegionEncoding>(payload[0]);
+            if (encoding == RegionEncoding::kEliasDeltas) {
+              // Stream the γ-coded form: runs, voxels, and the
+              // alternating run/gap (delta) lengths, no decode.
+              region::EliasRunCursor cursor;
+              if (!cursor.Init(config_.grid, payload.data() + 1,
+                               payload.size() - 1)
+                       .ok()) {
+                return true;
+              }
+              uint64_t prev_end = 0;
+              bool first = true;
+              while (!cursor.done()) {
+                const region::Run& run = cursor.run();
+                uint64_t gap = first ? run.start : run.start - prev_end - 1;
+                if (gap > 0) deltas.push_back(gap);
+                deltas.push_back(run.Length());
+                voxels += run.Length();
+                ++runs;
+                prev_end = run.end;
+                first = false;
+                if (!cursor.Advance().ok()) return true;
+              }
+              if (runs > 0 && prev_end + 1 < num_cells) {
+                deltas.push_back(num_cells - prev_end - 1);
+              }
+            } else {
+              std::vector<uint8_t> body(payload.begin() + 1, payload.end());
+              auto decoded = region::DecodeRegion(config_.grid, config_.curve,
+                                                  encoding, body);
+              if (!decoded.ok()) return true;  // not a region column value
+              runs = decoded.value().RunCount();
+              voxels = decoded.value().VoxelCount();
+              deltas = decoded.value().DeltaLengths();
+            }
+
+            acc.stats.rows += 1;
+            acc.stats.total_runs += runs;
+            acc.stats.total_voxels += voxels;
+            acc.stats.total_bytes += payload.size() - 1;
+            acc.stats.runs_log2[planner::RegionColumnStats::BucketOf(runs)] +=
+                1;
+            acc.stats
+                .voxels_log2[planner::RegionColumnStats::BucketOf(voxels)] +=
+                1;
+            acc.pooled_lengths.insert(acc.pooled_lengths.end(),
+                                      deltas.begin(), deltas.end());
+            if (study_col >= 0 &&
+                row[static_cast<size_t>(study_col)].kind() ==
+                    Value::Kind::kInt) {
+              auto& v = acc.study_lengths[row[static_cast<size_t>(study_col)]
+                                              .AsInt()
+                                              .value()];
+              v.insert(v.end(), deltas.begin(), deltas.end());
+            }
+            return true;
+          }));
+      if (acc.stats.rows == 0) continue;
+      acc.stats.fit = ToPowerLawFit(acc.pooled_lengths);
+      for (const auto& [study, lengths] : acc.study_lengths) {
+        acc.stats.per_study[study] = ToPowerLawFit(lengths);
+      }
+      stats->SetRegionStats(table, schema.columns()[c].name,
+                            std::move(acc.stats));
+    }
+  }
   return Status::OK();
 }
 

@@ -52,6 +52,7 @@ struct SpatialConfig {
 ///   minoctantregion(r, glog2)   -> REGION (§4.2 GxGxG approximation)
 ///   octantcount(r)              -> int (cubic octants)
 ///   oblongoctantcount(r)        -> int
+///   intersection_n(r1, ..., rn) -> REGION (one streaming n-way pass)
 ///
 /// REGION arguments accept either a long-field handle (decoded through
 /// the LFM, charging I/O) or a transient REGION object produced by a
@@ -170,6 +171,22 @@ class SpatialExtension {
   /// decode/re-encode round trip).
   Result<storage::LongFieldId> StoreEncodedRegion(
       const region::EncodedRegion& r) const;
+
+  /// --- Cost-based planner integration -----------------------------------
+
+  /// Recomputes optimizer statistics: scalar column stats for every
+  /// table (PlannerStats::AnalyzeAll) plus, for every REGION long-field
+  /// column, per-band run/voxel/size histograms and the §4.2 power-law
+  /// fit (count = c * length^(-a)), pooled and per studyId. Wired to
+  /// IngestManager commit listeners so stats track online ingest.
+  Status RefreshPlannerStats() const;
+
+  /// The planner cost hook for spatial conjuncts: selectivity of
+  /// voxelcount/runcount threshold predicates from the region
+  /// histograms, streaming costs for contains and set-op chains, and
+  /// the encoded-domain vs decode-and-extract preference. Stateless;
+  /// Install() registers it on the database.
+  static sql::planner::UdfCostHook CostHook();
 
  private:
   SpatialExtension(sql::Database* db, SpatialConfig config)

@@ -181,6 +181,41 @@ Result<std::vector<uint8_t>> EncodedSetOp(const GridSpec& grid, SetOpKind op,
   return out.Finish();
 }
 
+Result<std::vector<uint8_t>> EncodedIntersectN(
+    const GridSpec& grid,
+    const std::vector<const std::vector<uint8_t>*>& operands) {
+  if (operands.empty()) {
+    return Status::InvalidArgument("EncodedIntersectN: no operands");
+  }
+  std::vector<EliasRunCursor> cursors(operands.size());
+  bool any_empty = false;
+  for (size_t i = 0; i < operands.size(); ++i) {
+    QBISM_RETURN_NOT_OK(cursors[i].Init(grid, *operands[i]));
+    if (cursors[i].done()) any_empty = true;
+  }
+  EncodedRunEmitter out;
+  while (!any_empty) {
+    // The overlap of the current runs is [max(starts), min(ends)].
+    uint64_t lo = 0;
+    uint64_t hi = UINT64_MAX;
+    for (const EliasRunCursor& c : cursors) {
+      lo = std::max(lo, c.run().start);
+      hi = std::min(hi, c.run().end);
+    }
+    if (lo <= hi) out.Append(lo, hi);
+    // Every run ending at the minimum end is spent: nothing beyond hi
+    // can overlap it. Advancing all of them at once keeps the pass
+    // linear in the total input runs.
+    for (EliasRunCursor& c : cursors) {
+      if (c.run().end == hi) {
+        QBISM_RETURN_NOT_OK(c.Advance());
+        if (c.done()) any_empty = true;
+      }
+    }
+  }
+  return out.Finish();
+}
+
 Result<bool> EncodedContains(const GridSpec& grid,
                              const std::vector<uint8_t>& a,
                              const std::vector<uint8_t>& b) {
@@ -279,6 +314,23 @@ Result<EncodedRegion> EncodedRegion::DifferenceWith(
       std::vector<uint8_t> bytes,
       EncodedSetOp(grid_, SetOpKind::kDifference, bytes_, other.bytes_));
   return EncodedRegion(grid_, kind_, std::move(bytes));
+}
+
+Result<EncodedRegion> EncodedRegion::IntersectAll(
+    const std::vector<const EncodedRegion*>& regions) {
+  if (regions.empty()) {
+    return Status::InvalidArgument("IntersectAll: no operands");
+  }
+  const EncodedRegion& first = *regions[0];
+  std::vector<const std::vector<uint8_t>*> payloads;
+  payloads.reserve(regions.size());
+  for (const EncodedRegion* r : regions) {
+    QBISM_RETURN_NOT_OK(first.CheckCompatible(*r));
+    payloads.push_back(&r->bytes_);
+  }
+  QBISM_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                         EncodedIntersectN(first.grid_, payloads));
+  return EncodedRegion(first.grid_, first.kind_, std::move(bytes));
 }
 
 Result<bool> EncodedRegion::Contains(const EncodedRegion& other) const {

@@ -103,6 +103,17 @@ Result<std::vector<uint8_t>> EncodedSetOp(const GridSpec& grid, SetOpKind op,
                                           const std::vector<uint8_t>& a,
                                           const std::vector<uint8_t>& b);
 
+/// n-way INTERSECTION over encoded payloads in one streaming pass: one
+/// cursor per operand, emit [max(starts), min(ends)] whenever the runs
+/// overlap, advance every cursor whose run ends at the minimum end.
+/// O(total input runs) decode work and O(n) state, where a chain of
+/// n-1 pairwise EncodedSetOp calls would re-encode and re-stream every
+/// intermediate result. The output is byte-identical to folding the
+/// operands pairwise (both emit the canonical run list).
+Result<std::vector<uint8_t>> EncodedIntersectN(
+    const GridSpec& grid,
+    const std::vector<const std::vector<uint8_t>*>& operands);
+
 /// CONTAINS(a, b) on encoded payloads: returns false at the first b-run
 /// not covered by an a-run, typically after a small prefix of either
 /// stream has been decoded.
@@ -142,6 +153,11 @@ class EncodedRegion {
   Result<EncodedRegion> UnionWith(const EncodedRegion& other) const;
   Result<EncodedRegion> DifferenceWith(const EncodedRegion& other) const;
   Result<bool> Contains(const EncodedRegion& other) const;
+
+  /// Streaming n-way intersection (EncodedIntersectN) of all regions;
+  /// they must share grid and curve. `regions` must be non-empty.
+  static Result<EncodedRegion> IntersectAll(
+      const std::vector<const EncodedRegion*>& regions);
 
   Result<uint64_t> VoxelCount() const;
   Result<uint64_t> RunCount() const;

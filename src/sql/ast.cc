@@ -42,4 +42,85 @@ ExprPtr Expr::Unary(UnOp op, ExprPtr operand) {
   return e;
 }
 
+ExprPtr CloneExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return Expr::Literal(expr.literal);
+    case Expr::Kind::kColumnRef:
+      return Expr::ColumnRef(expr.table, expr.column);
+    case Expr::Kind::kFunctionCall: {
+      std::vector<ExprPtr> args;
+      args.reserve(expr.args.size());
+      for (const ExprPtr& arg : expr.args) args.push_back(CloneExpr(*arg));
+      return Expr::Call(expr.function, std::move(args));
+    }
+    case Expr::Kind::kBinary:
+      return Expr::Binary(expr.bin_op, CloneExpr(*expr.lhs),
+                          CloneExpr(*expr.rhs));
+    case Expr::Kind::kUnary:
+      return Expr::Unary(expr.un_op, CloneExpr(*expr.operand));
+  }
+  return Expr::Literal(Value::Null());
+}
+
+namespace {
+
+const char* BinOpText(Expr::BinOp op) {
+  switch (op) {
+    case Expr::BinOp::kEq:
+      return "=";
+    case Expr::BinOp::kNe:
+      return "<>";
+    case Expr::BinOp::kLt:
+      return "<";
+    case Expr::BinOp::kLe:
+      return "<=";
+    case Expr::BinOp::kGt:
+      return ">";
+    case Expr::BinOp::kGe:
+      return ">=";
+    case Expr::BinOp::kAnd:
+      return "and";
+    case Expr::BinOp::kOr:
+      return "or";
+    case Expr::BinOp::kAdd:
+      return "+";
+    case Expr::BinOp::kSub:
+      return "-";
+    case Expr::BinOp::kMul:
+      return "*";
+    case Expr::BinOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ExprToString(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal.ToString();
+    case Expr::Kind::kColumnRef:
+      return expr.table.empty() ? expr.column
+                                : expr.table + "." + expr.column;
+    case Expr::Kind::kFunctionCall: {
+      std::string out = expr.function + "(";
+      for (size_t i = 0; i < expr.args.size(); ++i) {
+        if (i) out += ", ";
+        out += ExprToString(*expr.args[i]);
+      }
+      return out + ")";
+    }
+    case Expr::Kind::kBinary:
+      return "(" + ExprToString(*expr.lhs) + " " + BinOpText(expr.bin_op) +
+             " " + ExprToString(*expr.rhs) + ")";
+    case Expr::Kind::kUnary:
+      return expr.un_op == Expr::UnOp::kNot
+                 ? "(not " + ExprToString(*expr.operand) + ")"
+                 : "(-" + ExprToString(*expr.operand) + ")";
+  }
+  return "?";
+}
+
 }  // namespace qbism::sql

@@ -74,6 +74,13 @@ struct Expr {
   static ExprPtr Unary(UnOp op, ExprPtr operand);
 };
 
+/// Deep copy of an expression tree (plans own folded copies of the
+/// statement's expressions).
+ExprPtr CloneExpr(const Expr& expr);
+
+/// Renders an expression back to SQL-ish text (EXPLAIN output).
+std::string ExprToString(const Expr& expr);
+
 /// One item of a SELECT list.
 struct SelectItem {
   ExprPtr expr;
@@ -133,8 +140,14 @@ struct UpdateStmt {
   ExprPtr where;  // null = update all rows
 };
 
+/// EXPLAIN SELECT ...: plans (and costs) the query without running it.
+struct ExplainStmt {
+  SelectStmt select;
+};
+
 using Statement = std::variant<SelectStmt, InsertStmt, CreateTableStmt,
-                               CreateIndexStmt, DeleteStmt, UpdateStmt>;
+                               CreateIndexStmt, DeleteStmt, UpdateStmt,
+                               ExplainStmt>;
 
 }  // namespace qbism::sql
 

@@ -20,6 +20,7 @@ Status Catalog::CreateTable(TableSchema schema) {
   info.schema = std::move(schema);
   info.file = std::make_unique<storage::HeapFile>(pool_, allocator_);
   tables_.emplace(name, std::move(info));
+  ++version_;
   return Status::OK();
 }
 
@@ -73,6 +74,7 @@ Status Catalog::CreateIndex(const std::string& table,
       }));
   QBISM_RETURN_NOT_OK(backfill);
   info->indexes[column] = std::move(index);
+  ++version_;
   return Status::OK();
 }
 

@@ -43,10 +43,18 @@ class Catalog {
   /// Serializes and inserts a row, maintaining every index.
   Result<storage::RecordId> InsertRow(TableInfo* table, const Row& row);
 
+  /// Bumped on every schema change (CREATE TABLE / CREATE INDEX). Plan
+  /// caches key on this: a compiled plan embeds resolved column indexes
+  /// and access-path choices, so any DDL invalidates it. Row-level DML
+  /// does not bump the version — plans re-resolve heap files and index
+  /// handles by name at run time.
+  uint64_t version() const { return version_; }
+
  private:
   storage::BufferPool* pool_;
   storage::PageAllocator* allocator_;
   std::map<std::string, TableInfo> tables_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace qbism::sql

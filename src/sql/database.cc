@@ -76,11 +76,24 @@ Database::Database(DatabaseOptions options)
       catalog_(&pool_, &page_allocator_) {}
 
 Result<ResultSet> Database::Execute(const std::string& sql) {
-  QBISM_ASSIGN_OR_RETURN(Statement statement, ParseStatement(sql));
   UdfContext context;
   context.lfm = &lfm_;
   context.extension_state = extension_state_;
   Executor executor(&catalog_, &udfs_, context);
+  ExecOptions options;
+  options.engine = engine_;
+  options.stats = &planner_stats_;
+  options.plan_cache = &plan_cache_;
+  options.cost_hook = udf_cost_hook_ ? &udf_cost_hook_ : nullptr;
+  options.sql = sql;
+  executor.set_options(std::move(options));
+  if (engine_ == ExecEngine::kVm) {
+    // Plan-cache fast path: a hit skips parse, plan, and compile.
+    std::shared_ptr<const CachedPlan> cached =
+        plan_cache_.Get(sql, catalog_.version(), planner_stats_.version());
+    if (cached != nullptr) return executor.ExecuteCompiled(*cached);
+  }
+  QBISM_ASSIGN_OR_RETURN(Statement statement, ParseStatement(sql));
   return executor.Execute(statement);
 }
 

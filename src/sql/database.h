@@ -8,6 +8,9 @@
 #include "common/result.h"
 #include "sql/catalog.h"
 #include "sql/executor.h"
+#include "sql/plan_cache.h"
+#include "sql/planner/cost.h"
+#include "sql/planner/stats.h"
 #include "sql/udf.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_device.h"
@@ -94,6 +97,29 @@ class Database {
   void set_extension_state(void* state) { extension_state_ = state; }
   void* extension_state() const { return extension_state_; }
 
+  /// --- Cost-based planning services --------------------------------------
+
+  /// Which engine Execute() uses for SELECT / UPDATE / DELETE. Defaults
+  /// to the batch VM; kTreeWalker re-enables the original interpreter
+  /// (the differential oracle).
+  void set_engine(ExecEngine engine) { engine_ = engine; }
+  ExecEngine engine() const { return engine_; }
+
+  /// Optimizer statistics. Populate with stats()->AnalyzeAll(catalog())
+  /// (scalar columns) and SpatialExtension::RefreshPlannerStats (region
+  /// columns); the planner falls back to defaults when empty.
+  planner::PlannerStats* planner_stats() { return &planner_stats_; }
+
+  /// Compiled-plan cache keyed by SQL text, invalidated by catalog DDL
+  /// or statistics refresh. Execute() probes it before parsing.
+  PlanCache* plan_cache() { return &plan_cache_; }
+
+  /// Extension cost hook consulted by the planner for UDF conjuncts
+  /// (the spatial extension installs one; see planner/cost.h).
+  void set_udf_cost_hook(planner::UdfCostHook hook) {
+    udf_cost_hook_ = std::move(hook);
+  }
+
   /// Combined I/O statistics across the relational and LFM devices.
   storage::IoStats TotalIoStats() const;
   void ResetIoStats();
@@ -115,6 +141,10 @@ class Database {
   Catalog catalog_;
   UdfRegistry udfs_;
   void* extension_state_ = nullptr;
+  ExecEngine engine_ = ExecEngine::kVm;
+  planner::PlannerStats planner_stats_;
+  PlanCache plan_cache_;
+  planner::UdfCostHook udf_cost_hook_;
 };
 
 }  // namespace qbism::sql

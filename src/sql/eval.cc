@@ -1,0 +1,452 @@
+#include "sql/eval.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace qbism::sql {
+
+Result<bool> ValueIsTrue(const Value& value) {
+  if (value.is_null()) return false;
+  if (value.kind() == Value::Kind::kInt) {
+    return value.AsInt().value() != 0;
+  }
+  if (value.kind() == Value::Kind::kDouble) {
+    return value.AsDouble().value() != 0.0;
+  }
+  return Status::InvalidArgument("predicate did not evaluate to a number");
+}
+
+Result<Value> EvalCompareOp(Expr::BinOp op, const Value& lhs,
+                            const Value& rhs) {
+  using BinOp = Expr::BinOp;
+  QBISM_ASSIGN_OR_RETURN(int cmp, lhs.Compare(rhs));
+  bool truth = false;
+  switch (op) {
+    case BinOp::kEq:
+      truth = cmp == 0;
+      break;
+    case BinOp::kNe:
+      truth = cmp != 0;
+      break;
+    case BinOp::kLt:
+      truth = cmp < 0;
+      break;
+    case BinOp::kLe:
+      truth = cmp <= 0;
+      break;
+    case BinOp::kGt:
+      truth = cmp > 0;
+      break;
+    case BinOp::kGe:
+      truth = cmp >= 0;
+      break;
+    default:
+      return Status::Internal("EvalCompareOp: not a comparison operator");
+  }
+  return Value::Int(truth ? 1 : 0);
+}
+
+Result<Value> EvalArithmeticOp(Expr::BinOp op, const Value& lhs,
+                               const Value& rhs) {
+  using BinOp = Expr::BinOp;
+  bool both_int =
+      lhs.kind() == Value::Kind::kInt && rhs.kind() == Value::Kind::kInt;
+  if (both_int) {
+    int64_t a = lhs.AsInt().value();
+    int64_t b = rhs.AsInt().value();
+    switch (op) {
+      case BinOp::kAdd:
+        return Value::Int(a + b);
+      case BinOp::kSub:
+        return Value::Int(a - b);
+      case BinOp::kMul:
+        return Value::Int(a * b);
+      case BinOp::kDiv:
+        if (b == 0) return Status::InvalidArgument("division by zero");
+        return Value::Int(a / b);
+      default:
+        return Status::Internal("EvalArithmeticOp: not arithmetic");
+    }
+  }
+  QBISM_ASSIGN_OR_RETURN(double a, lhs.AsDouble());
+  QBISM_ASSIGN_OR_RETURN(double b, rhs.AsDouble());
+  switch (op) {
+    case BinOp::kAdd:
+      return Value::Double(a + b);
+    case BinOp::kSub:
+      return Value::Double(a - b);
+    case BinOp::kMul:
+      return Value::Double(a * b);
+    case BinOp::kDiv:
+      if (b == 0.0) return Status::InvalidArgument("division by zero");
+      return Value::Double(a / b);
+    default:
+      return Status::Internal("EvalArithmeticOp: not arithmetic");
+  }
+}
+
+Result<Value> EvalBinaryOp(Expr::BinOp op, const Value& lhs,
+                           const Value& rhs) {
+  using BinOp = Expr::BinOp;
+  if (op == BinOp::kAnd || op == BinOp::kOr) {
+    QBISM_ASSIGN_OR_RETURN(bool left, ValueIsTrue(lhs));
+    if (op == BinOp::kAnd && !left) return Value::Int(0);
+    if (op == BinOp::kOr && left) return Value::Int(1);
+    QBISM_ASSIGN_OR_RETURN(bool right, ValueIsTrue(rhs));
+    return Value::Int(right ? 1 : 0);
+  }
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      return EvalCompareOp(op, lhs, rhs);
+    default:
+      return EvalArithmeticOp(op, lhs, rhs);
+  }
+}
+
+Result<Value> EvalNotOp(const Value& v) {
+  QBISM_ASSIGN_OR_RETURN(bool truth, ValueIsTrue(v));
+  return Value::Int(truth ? 0 : 1);
+}
+
+Result<Value> EvalNegateOp(const Value& v) {
+  if (v.kind() == Value::Kind::kInt) return Value::Int(-v.AsInt().value());
+  QBISM_ASSIGN_OR_RETURN(double d, v.AsDouble());
+  return Value::Double(-d);
+}
+
+void CollectConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
+  if (expr->kind == Expr::Kind::kBinary &&
+      expr->bin_op == Expr::BinOp::kAnd) {
+    CollectConjuncts(expr->lhs.get(), out);
+    CollectConjuncts(expr->rhs.get(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+namespace {
+
+int CombineTableScopes(int a, int b) {
+  if (a == kNoTable) return b;
+  if (b == kNoTable) return a;
+  return a == b ? a : kMultiTable;
+}
+
+}  // namespace
+
+int SingleTableScope(
+    const Expr& expr,
+    const std::vector<std::pair<std::string, const TableSchema*>>& tables) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return kNoTable;
+    case Expr::Kind::kColumnRef: {
+      int found = kNoTable;
+      for (size_t t = 0; t < tables.size(); ++t) {
+        if (!expr.table.empty() && tables[t].first != expr.table) continue;
+        if (tables[t].second->ColumnIndex(expr.column).ok()) {
+          if (found != kNoTable) return kMultiTable;  // ambiguous
+          found = static_cast<int>(t);
+        }
+      }
+      return found == kNoTable ? kMultiTable : found;  // unresolved: defer
+    }
+    case Expr::Kind::kFunctionCall: {
+      int scope = kNoTable;
+      for (const ExprPtr& arg : expr.args) {
+        scope = CombineTableScopes(scope, SingleTableScope(*arg, tables));
+      }
+      return scope;
+    }
+    case Expr::Kind::kBinary:
+      return CombineTableScopes(SingleTableScope(*expr.lhs, tables),
+                                SingleTableScope(*expr.rhs, tables));
+    case Expr::Kind::kUnary:
+      return SingleTableScope(*expr.operand, tables);
+  }
+  return kMultiTable;
+}
+
+bool IsAggregateCall(const Expr& expr) {
+  if (expr.kind != Expr::Kind::kFunctionCall) return false;
+  if (expr.function == "count") return expr.args.size() <= 1;
+  if (expr.function == "sum" || expr.function == "avg" ||
+      expr.function == "min" || expr.function == "max") {
+    return expr.args.size() == 1;
+  }
+  return false;
+}
+
+bool ContainsAggregateCall(const Expr& expr) {
+  if (IsAggregateCall(expr)) return true;
+  switch (expr.kind) {
+    case Expr::Kind::kFunctionCall:
+      for (const ExprPtr& arg : expr.args) {
+        if (ContainsAggregateCall(*arg)) return true;
+      }
+      return false;
+    case Expr::Kind::kBinary:
+      return ContainsAggregateCall(*expr.lhs) ||
+             ContainsAggregateCall(*expr.rhs);
+    case Expr::Kind::kUnary:
+      return ContainsAggregateCall(*expr.operand);
+    default:
+      return false;
+  }
+}
+
+Status AggState::Update(const std::string& function, const Value& argument,
+                        bool is_count_star) {
+  ++rows;
+  if (is_count_star) return Status::OK();
+  if (argument.is_null()) return Status::OK();
+  ++non_null;
+  if (function == "sum" || function == "avg") {
+    if (argument.kind() == Value::Kind::kInt) {
+      int_sum += argument.AsInt().value();
+      double_sum += static_cast<double>(argument.AsInt().value());
+    } else {
+      QBISM_ASSIGN_OR_RETURN(double d, argument.AsDouble());
+      double_sum += d;
+      saw_double = true;
+    }
+  } else if (function == "min" || function == "max") {
+    if (min_value.is_null()) {
+      min_value = argument;
+      max_value = argument;
+      return Status::OK();
+    }
+    QBISM_ASSIGN_OR_RETURN(int cmp_min, argument.Compare(min_value));
+    if (cmp_min < 0) min_value = argument;
+    QBISM_ASSIGN_OR_RETURN(int cmp_max, argument.Compare(max_value));
+    if (cmp_max > 0) max_value = argument;
+  }
+  return Status::OK();
+}
+
+Value AggState::Finalize(const std::string& function,
+                         bool is_count_star) const {
+  if (function == "count") {
+    // count(*) counts rows; count(expr) counts non-null values.
+    return Value::Int(static_cast<int64_t>(is_count_star ? rows : non_null));
+  }
+  if (non_null == 0) return Value::Null();  // SQL: aggregates of nothing
+  if (function == "sum") {
+    return saw_double ? Value::Double(double_sum) : Value::Int(int_sum);
+  }
+  if (function == "avg") {
+    return Value::Double(double_sum / static_cast<double>(non_null));
+  }
+  if (function == "min") return min_value;
+  return max_value;
+}
+
+namespace {
+
+bool IsLiteralNode(const Expr& e) { return e.kind == Expr::Kind::kLiteral; }
+
+}  // namespace
+
+ExprPtr FoldConstants(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+    case Expr::Kind::kColumnRef:
+      return CloneExpr(expr);
+    case Expr::Kind::kFunctionCall: {
+      // Calls are never folded (UDFs may read state; aggregates are
+      // stream accumulators), but their arguments are.
+      std::vector<ExprPtr> args;
+      args.reserve(expr.args.size());
+      for (const ExprPtr& arg : expr.args) {
+        args.push_back(FoldConstants(*arg));
+      }
+      return Expr::Call(expr.function, std::move(args));
+    }
+    case Expr::Kind::kBinary: {
+      ExprPtr lhs = FoldConstants(*expr.lhs);
+      ExprPtr rhs = FoldConstants(*expr.rhs);
+      bool logical = expr.bin_op == Expr::BinOp::kAnd ||
+                     expr.bin_op == Expr::BinOp::kOr;
+      if (logical && IsLiteralNode(*lhs)) {
+        // A deciding literal left side folds the node without looking
+        // at (or evaluating) the right side — lazy, like the runtime.
+        auto left = ValueIsTrue(lhs->literal);
+        if (left.ok()) {
+          if (expr.bin_op == Expr::BinOp::kAnd && !left.value()) {
+            return Expr::Literal(Value::Int(0));
+          }
+          if (expr.bin_op == Expr::BinOp::kOr && left.value()) {
+            return Expr::Literal(Value::Int(1));
+          }
+        }
+      }
+      if (IsLiteralNode(*lhs) && IsLiteralNode(*rhs)) {
+        auto v = EvalBinaryOp(expr.bin_op, lhs->literal, rhs->literal);
+        if (v.ok()) return Expr::Literal(std::move(v).MoveValue());
+        // Evaluation failed: keep the node so the error stays per-row.
+      }
+      return Expr::Binary(expr.bin_op, std::move(lhs), std::move(rhs));
+    }
+    case Expr::Kind::kUnary: {
+      ExprPtr operand = FoldConstants(*expr.operand);
+      if (IsLiteralNode(*operand)) {
+        auto v = expr.un_op == Expr::UnOp::kNot
+                     ? EvalNotOp(operand->literal)
+                     : EvalNegateOp(operand->literal);
+        if (v.ok()) return Expr::Literal(std::move(v).MoveValue());
+      }
+      return Expr::Unary(expr.un_op, std::move(operand));
+    }
+  }
+  return CloneExpr(expr);
+}
+
+std::optional<IndexProbeSpec> FindIndexProbeSpec(
+    const std::vector<const Expr*>& conjuncts, const std::string& alias,
+    const TableInfo& info) {
+  for (const Expr* conjunct : conjuncts) {
+    if (conjunct->kind != Expr::Kind::kBinary ||
+        conjunct->bin_op != Expr::BinOp::kEq) {
+      continue;
+    }
+    const Expr* column = nullptr;
+    const Expr* literal = nullptr;
+    for (auto [a, b] : {std::pair{conjunct->lhs.get(), conjunct->rhs.get()},
+                        std::pair{conjunct->rhs.get(), conjunct->lhs.get()}}) {
+      if (a->kind == Expr::Kind::kColumnRef &&
+          b->kind == Expr::Kind::kLiteral) {
+        column = a;
+        literal = b;
+        break;
+      }
+    }
+    if (!column || !literal) continue;
+    if (!column->table.empty() && column->table != alias) continue;
+    if (literal->literal.kind() != Value::Kind::kInt) continue;
+    if (info.indexes.find(column->column) == info.indexes.end()) continue;
+    return IndexProbeSpec{column->column, literal->literal.AsInt().value()};
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> BuildSelectColumns(
+    const SelectStmt& stmt,
+    const std::vector<std::pair<std::string, const TableSchema*>>& scopes) {
+  std::vector<std::string> columns;
+  if (stmt.star) {
+    for (const auto& [alias, schema] : scopes) {
+      for (const Column& c : schema->columns()) {
+        columns.push_back(alias + "." + c.name);
+      }
+    }
+    return columns;
+  }
+  for (const SelectItem& item : stmt.items) {
+    if (!item.alias.empty()) {
+      columns.push_back(item.alias);
+    } else if (item.expr->kind == Expr::Kind::kColumnRef) {
+      columns.push_back(item.expr->column);
+    } else if (item.expr->kind == Expr::Kind::kFunctionCall) {
+      columns.push_back(item.expr->function);
+    } else {
+      columns.push_back("expr");
+    }
+  }
+  return columns;
+}
+
+Result<bool> DetectAggregates(const SelectStmt& stmt) {
+  bool has_aggregates = !stmt.group_by.empty();
+  if (!stmt.star) {
+    for (const SelectItem& item : stmt.items) {
+      if (ContainsAggregateCall(*item.expr)) has_aggregates = true;
+    }
+  }
+  if (has_aggregates && stmt.star) {
+    return Status::InvalidArgument("SELECT * cannot be combined with "
+                                   "aggregation");
+  }
+  for (const SelectItem& item : stmt.items) {
+    if (has_aggregates && !IsAggregateCall(*item.expr) &&
+        ContainsAggregateCall(*item.expr)) {
+      return Status::Unimplemented(
+          "aggregates must be top-level select items in this dialect");
+    }
+  }
+  return has_aggregates;
+}
+
+Status ApplyOrderByAndLimit(const std::vector<OrderItem>& order_by,
+                            int64_t limit,
+                            const std::vector<std::string>& columns,
+                            std::vector<Row>* rows) {
+  if (!order_by.empty()) {
+    struct SortKey {
+      size_t column;
+      bool descending;
+    };
+    std::vector<SortKey> sort_keys;
+    for (const OrderItem& item : order_by) {
+      size_t column_index = columns.size();
+      if (item.position > 0) {
+        if (static_cast<size_t>(item.position) > columns.size()) {
+          return Status::InvalidArgument("ORDER BY position out of range");
+        }
+        column_index = static_cast<size_t>(item.position - 1);
+      } else {
+        for (size_t i = 0; i < columns.size(); ++i) {
+          if (columns[i] == item.column ||
+              // Allow matching the bare column name of "alias.column".
+              (columns[i].size() > item.column.size() &&
+               columns[i].ends_with("." + item.column))) {
+            column_index = i;
+            break;
+          }
+        }
+        if (column_index == columns.size()) {
+          return Status::NotFound("ORDER BY column '" + item.column +
+                                  "' is not in the select list");
+        }
+      }
+      sort_keys.push_back({column_index, item.descending});
+    }
+    Status sort_status = Status::OK();
+    std::stable_sort(rows->begin(), rows->end(),
+                     [&](const Row& a, const Row& b) {
+                       if (!sort_status.ok()) return false;
+                       for (const SortKey& sk : sort_keys) {
+                         const Value& va = a[sk.column];
+                         const Value& vb = b[sk.column];
+                         // NULLs sort first (before any value).
+                         if (va.is_null() || vb.is_null()) {
+                           if (va.is_null() == vb.is_null()) continue;
+                           return va.is_null() != sk.descending;
+                         }
+                         auto cmp = va.Compare(vb);
+                         if (!cmp.ok()) {
+                           sort_status = cmp.status();
+                           return false;
+                         }
+                         if (cmp.value() != 0) {
+                           return sk.descending ? cmp.value() > 0
+                                                : cmp.value() < 0;
+                         }
+                       }
+                       return false;
+                     });
+    QBISM_RETURN_NOT_OK(sort_status);
+  }
+
+  if (limit >= 0 && rows->size() > static_cast<size_t>(limit)) {
+    rows->resize(static_cast<size_t>(limit));
+  }
+  return Status::OK();
+}
+
+}  // namespace qbism::sql

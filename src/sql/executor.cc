@@ -2,24 +2,43 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/trace.h"
+#include "sql/eval.h"
+#include "sql/plan_cache.h"
+#include "sql/planner/planner.h"
+#include "sql/vm/compiler.h"
+#include "sql/vm/vm.h"
 
 namespace qbism::sql {
 
-Result<bool> ValueIsTrue(const Value& value) {
-  if (value.is_null()) return false;
-  if (value.kind() == Value::Kind::kInt) {
-    return value.AsInt().value() != 0;
+namespace {
+
+/// Clone of the statement with every expression constant-folded once.
+/// Both engines execute the folded form, so compile-time folding (e.g.
+/// `id = 2+3` becoming an index probe) applies to each identically.
+SelectStmt FoldSelect(const SelectStmt& stmt) {
+  SelectStmt out;
+  out.star = stmt.star;
+  for (const SelectItem& item : stmt.items) {
+    out.items.push_back(SelectItem{FoldConstants(*item.expr), item.alias});
   }
-  if (value.kind() == Value::Kind::kDouble) {
-    return value.AsDouble().value() != 0.0;
+  out.tables = stmt.tables;
+  if (stmt.where) out.where = FoldConstants(*stmt.where);
+  for (const ExprPtr& expr : stmt.group_by) {
+    out.group_by.push_back(FoldConstants(*expr));
   }
-  return Status::InvalidArgument("predicate did not evaluate to a number");
+  out.order_by = stmt.order_by;
+  out.limit = stmt.limit;
+  return out;
 }
+
+}  // namespace
 
 std::string ResultSet::ToString() const {
   std::ostringstream out;
@@ -38,7 +57,15 @@ std::string ResultSet::ToString() const {
 
 Result<ResultSet> Executor::Execute(const Statement& statement) {
   if (const auto* select = std::get_if<SelectStmt>(&statement)) {
+    if (options_.engine == ExecEngine::kVm) {
+      return ExecuteSelectVm(*select, /*explain=*/false);
+    }
     return ExecuteSelect(*select);
+  }
+  if (const auto* explain = std::get_if<ExplainStmt>(&statement)) {
+    // EXPLAIN always goes through the planner (there is nothing to
+    // explain about the oracle's fixed strategy).
+    return ExecuteSelectVm(explain->select, /*explain=*/true);
   }
   if (const auto* insert = std::get_if<InsertStmt>(&statement)) {
     return ExecuteInsert(*insert);
@@ -51,23 +78,120 @@ Result<ResultSet> Executor::Execute(const Statement& statement) {
     return ResultSet{};
   }
   if (const auto* del = std::get_if<DeleteStmt>(&statement)) {
+    if (options_.engine == ExecEngine::kVm) {
+      return ExecuteMutationVm(statement);
+    }
     return ExecuteDelete(*del);
   }
   if (const auto* update = std::get_if<UpdateStmt>(&statement)) {
+    if (options_.engine == ExecEngine::kVm) {
+      return ExecuteMutationVm(statement);
+    }
     return ExecuteUpdate(*update);
   }
   return Status::Internal("unknown statement variant");
 }
 
+Result<ResultSet> Executor::ExecuteSelectVm(const SelectStmt& stmt,
+                                            bool explain) {
+  const uint64_t catalog_version = catalog_->version();
+  const uint64_t stats_version =
+      options_.stats ? options_.stats->version() : 0;
+  std::shared_ptr<const CachedPlan> cached;
+  if (options_.plan_cache != nullptr && !options_.sql.empty()) {
+    cached = options_.plan_cache->Get(options_.sql, catalog_version,
+                                      stats_version);
+  }
+  if (cached == nullptr) {
+    SelectStmt folded = FoldSelect(stmt);
+    planner::SelectPlan plan;
+    {
+      obs::Span span(obs::Stage::kOptimize);
+      planner::Planner planner(catalog_, options_.stats, options_.cost_hook);
+      QBISM_ASSIGN_OR_RETURN(plan, planner.PlanSelect(folded));
+    }
+    auto entry = std::make_shared<CachedPlan>();
+    {
+      obs::Span span(obs::Stage::kCompile);
+      vm::Compiler compiler(catalog_, udfs_);
+      QBISM_ASSIGN_OR_RETURN(entry->compiled,
+                             compiler.CompileSelect(folded, std::move(plan)));
+    }
+    entry->catalog_version = catalog_version;
+    entry->stats_version = stats_version;
+    if (options_.plan_cache != nullptr && !options_.sql.empty()) {
+      options_.plan_cache->Put(options_.sql, entry);
+    }
+    cached = std::move(entry);
+  }
+  if (explain) {
+    for (const std::vector<vm::Program>* programs :
+         {&cached->compiled.scan_filters, &cached->compiled.residual_filters,
+          &cached->compiled.item_programs, &cached->compiled.group_programs}) {
+      for (const vm::Program& program : *programs) {
+        QBISM_RETURN_NOT_OK(vm::FirstDeferredError(program));
+      }
+    }
+    ResultSet result;
+    result.columns = {"plan"};
+    for (const std::string& line : cached->compiled.plan.ExplainLines()) {
+      result.rows.push_back(Row{Value::String(line)});
+    }
+    result.plan = cached->compiled.plan.PlanNotes();
+    return result;
+  }
+  vm::BatchVM machine(catalog_, context_);
+  return machine.RunSelect(cached->compiled);
+}
+
+Result<ResultSet> Executor::ExecuteCompiled(const CachedPlan& plan) {
+  vm::BatchVM machine(catalog_, context_);
+  return machine.RunSelect(plan.compiled);
+}
+
+Result<ResultSet> Executor::ExecuteMutationVm(const Statement& statement) {
+  vm::Compiler compiler(catalog_, udfs_);
+  if (const auto* update = std::get_if<UpdateStmt>(&statement)) {
+    UpdateStmt folded;
+    folded.table = update->table;
+    for (const auto& [column, expr] : update->assignments) {
+      folded.assignments.emplace_back(column, FoldConstants(*expr));
+    }
+    if (update->where) folded.where = FoldConstants(*update->where);
+    vm::CompiledMutation compiled;
+    {
+      obs::Span span(obs::Stage::kCompile);
+      QBISM_ASSIGN_OR_RETURN(compiled, compiler.CompileUpdate(folded));
+    }
+    vm::BatchVM machine(catalog_, context_);
+    return machine.RunMutation(compiled);
+  }
+  const auto* del = std::get_if<DeleteStmt>(&statement);
+  if (del == nullptr) return Status::Internal("not a mutation statement");
+  DeleteStmt folded;
+  folded.table = del->table;
+  if (del->where) folded.where = FoldConstants(*del->where);
+  vm::CompiledMutation compiled;
+  {
+    obs::Span span(obs::Stage::kCompile);
+    QBISM_ASSIGN_OR_RETURN(compiled, compiler.CompileDelete(folded));
+  }
+  vm::BatchVM machine(catalog_, context_);
+  return machine.RunMutation(compiled);
+}
+
 Result<ResultSet> Executor::ExecuteUpdate(const UpdateStmt& stmt) {
   QBISM_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(stmt.table));
-  // Resolve assignment targets up front.
+  // Resolve assignment targets up front; fold expressions once instead
+  // of re-walking constant subtrees per row.
   std::vector<size_t> target_columns;
+  std::vector<ExprPtr> folded_assignments;
   for (const auto& [column, expr] : stmt.assignments) {
-    (void)expr;
     QBISM_ASSIGN_OR_RETURN(size_t index, table->schema.ColumnIndex(column));
     target_columns.push_back(index);
+    folded_assignments.push_back(FoldConstants(*expr));
   }
+  ExprPtr folded_where = stmt.where ? FoldConstants(*stmt.where) : nullptr;
   // Phase 1: collect matching rows with their new images (assignment
   // expressions see the pre-update values).
   std::vector<BoundTable> env(1);
@@ -86,8 +210,8 @@ Result<ResultSet> Executor::ExecuteUpdate(const UpdateStmt& stmt) {
         }
         env[0].rows[0] = std::move(row).MoveValue();
         bool matches = true;
-        if (stmt.where) {
-          auto value = Eval(*stmt.where, env, cursor);
+        if (folded_where) {
+          auto value = Eval(*folded_where, env, cursor);
           if (value.ok()) {
             auto truth = ValueIsTrue(value.value());
             if (truth.ok()) {
@@ -102,8 +226,8 @@ Result<ResultSet> Executor::ExecuteUpdate(const UpdateStmt& stmt) {
         }
         if (!matches) return true;
         Row updated = env[0].rows[0];
-        for (size_t i = 0; i < stmt.assignments.size(); ++i) {
-          auto value = Eval(*stmt.assignments[i].second, env, cursor);
+        for (size_t i = 0; i < folded_assignments.size(); ++i) {
+          auto value = Eval(*folded_assignments[i], env, cursor);
           if (!value.ok()) {
             scan_status = value.status();
             return false;
@@ -147,6 +271,7 @@ Result<ResultSet> Executor::ExecuteDelete(const DeleteStmt& stmt) {
   // collect matching record ids, then tombstone them. Stale index
   // entries are tolerated: the index access path skips records whose
   // heap read reports NotFound.
+  ExprPtr folded_where = stmt.where ? FoldConstants(*stmt.where) : nullptr;
   std::vector<BoundTable> env(1);
   env[0].alias = stmt.table;
   env[0].schema = &table->schema;
@@ -163,8 +288,8 @@ Result<ResultSet> Executor::ExecuteDelete(const DeleteStmt& stmt) {
         }
         env[0].rows[0] = std::move(row).MoveValue();
         bool matches = true;
-        if (stmt.where) {
-          auto value = Eval(*stmt.where, env, cursor);
+        if (folded_where) {
+          auto value = Eval(*folded_where, env, cursor);
           if (!value.ok()) {
             scan_status = value.status();
             return false;
@@ -214,192 +339,6 @@ Result<ResultSet> Executor::ExecuteInsert(const InsertStmt& stmt) {
   return result;
 }
 
-namespace {
-
-/// Flattens the AND tree of a WHERE clause into conjuncts.
-void CollectConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
-  if (expr->kind == Expr::Kind::kBinary &&
-      expr->bin_op == Expr::BinOp::kAnd) {
-    CollectConjuncts(expr->lhs.get(), out);
-    CollectConjuncts(expr->rhs.get(), out);
-    return;
-  }
-  out->push_back(expr);
-}
-
-constexpr int kNoTable = -1;
-constexpr int kMultiTable = -2;
-
-/// True when `expr` is a call to one of the aggregate functions. These
-/// names are reserved for aggregation and never dispatch to the UDF
-/// registry.
-bool IsAggregateCall(const Expr& expr) {
-  if (expr.kind != Expr::Kind::kFunctionCall) return false;
-  if (expr.function == "count") return expr.args.size() <= 1;
-  if (expr.function == "sum" || expr.function == "avg" ||
-      expr.function == "min" || expr.function == "max") {
-    return expr.args.size() == 1;
-  }
-  return false;
-}
-
-bool ContainsAggregateCall(const Expr& expr) {
-  if (IsAggregateCall(expr)) return true;
-  switch (expr.kind) {
-    case Expr::Kind::kFunctionCall:
-      for (const ExprPtr& arg : expr.args) {
-        if (ContainsAggregateCall(*arg)) return true;
-      }
-      return false;
-    case Expr::Kind::kBinary:
-      return ContainsAggregateCall(*expr.lhs) ||
-             ContainsAggregateCall(*expr.rhs);
-    case Expr::Kind::kUnary:
-      return ContainsAggregateCall(*expr.operand);
-    default:
-      return false;
-  }
-}
-
-/// Accumulator for one aggregate select item within one group.
-struct AggState {
-  uint64_t rows = 0;      // all rows (count(*))
-  uint64_t non_null = 0;  // non-null arguments
-  int64_t int_sum = 0;
-  double double_sum = 0.0;
-  bool saw_double = false;
-  Value min_value;  // null until the first non-null argument
-  Value max_value;
-
-  Status Update(const std::string& function, const Value& argument,
-                bool is_count_star) {
-    ++rows;
-    if (is_count_star) return Status::OK();
-    if (argument.is_null()) return Status::OK();
-    ++non_null;
-    if (function == "sum" || function == "avg") {
-      if (argument.kind() == Value::Kind::kInt) {
-        int_sum += argument.AsInt().value();
-        double_sum += static_cast<double>(argument.AsInt().value());
-      } else {
-        QBISM_ASSIGN_OR_RETURN(double d, argument.AsDouble());
-        double_sum += d;
-        saw_double = true;
-      }
-    } else if (function == "min" || function == "max") {
-      if (min_value.is_null()) {
-        min_value = argument;
-        max_value = argument;
-        return Status::OK();
-      }
-      QBISM_ASSIGN_OR_RETURN(int cmp_min, argument.Compare(min_value));
-      if (cmp_min < 0) min_value = argument;
-      QBISM_ASSIGN_OR_RETURN(int cmp_max, argument.Compare(max_value));
-      if (cmp_max > 0) max_value = argument;
-    }
-    return Status::OK();
-  }
-
-  Value Finalize(const std::string& function,
-                 bool is_count_star = false) const {
-    if (function == "count") {
-      // count(*) counts rows; count(expr) counts non-null values.
-      return Value::Int(static_cast<int64_t>(is_count_star ? rows : non_null));
-    }
-    if (non_null == 0) return Value::Null();  // SQL: aggregates of nothing
-    if (function == "sum") {
-      return saw_double ? Value::Double(double_sum) : Value::Int(int_sum);
-    }
-    if (function == "avg") {
-      return Value::Double(double_sum / static_cast<double>(non_null));
-    }
-    if (function == "min") return min_value;
-    return max_value;
-  }
-};
-
-/// An index-equality access path: fetch rids with index->Find(key)
-/// instead of scanning the heap file.
-struct IndexProbe {
-  const storage::BPlusTree* index = nullptr;
-  int64_t key = 0;
-};
-
-/// Looks for a conjunct of the form `col = literal` (either side) over
-/// an indexed integer column of the given table.
-std::optional<IndexProbe> FindIndexProbe(
-    const std::vector<const Expr*>& conjuncts, const std::string& alias,
-    TableInfo* info) {
-  for (const Expr* conjunct : conjuncts) {
-    if (conjunct->kind != Expr::Kind::kBinary ||
-        conjunct->bin_op != Expr::BinOp::kEq) {
-      continue;
-    }
-    const Expr* column = nullptr;
-    const Expr* literal = nullptr;
-    for (auto [a, b] : {std::pair{conjunct->lhs.get(), conjunct->rhs.get()},
-                        std::pair{conjunct->rhs.get(), conjunct->lhs.get()}}) {
-      if (a->kind == Expr::Kind::kColumnRef &&
-          b->kind == Expr::Kind::kLiteral) {
-        column = a;
-        literal = b;
-        break;
-      }
-    }
-    if (!column || !literal) continue;
-    if (!column->table.empty() && column->table != alias) continue;
-    if (literal->literal.kind() != Value::Kind::kInt) continue;
-    auto it = info->indexes.find(column->column);
-    if (it == info->indexes.end()) continue;
-    return IndexProbe{it->second.get(), literal->literal.AsInt().value()};
-  }
-  return std::nullopt;
-}
-
-int CombineTableScopes(int a, int b) {
-  if (a == kNoTable) return b;
-  if (b == kNoTable) return a;
-  return a == b ? a : kMultiTable;
-}
-
-/// Which single FROM table an expression references, kNoTable when it
-/// references none, kMultiTable when several (or when a reference does
-/// not resolve — the join-time evaluation will report the real error).
-int SingleTableScope(
-    const Expr& expr,
-    const std::vector<std::pair<std::string, const TableSchema*>>& tables) {
-  switch (expr.kind) {
-    case Expr::Kind::kLiteral:
-      return kNoTable;
-    case Expr::Kind::kColumnRef: {
-      int found = kNoTable;
-      for (size_t t = 0; t < tables.size(); ++t) {
-        if (!expr.table.empty() && tables[t].first != expr.table) continue;
-        if (tables[t].second->ColumnIndex(expr.column).ok()) {
-          if (found != kNoTable) return kMultiTable;  // ambiguous
-          found = static_cast<int>(t);
-        }
-      }
-      return found == kNoTable ? kMultiTable : found;  // unresolved: defer
-    }
-    case Expr::Kind::kFunctionCall: {
-      int scope = kNoTable;
-      for (const ExprPtr& arg : expr.args) {
-        scope = CombineTableScopes(scope, SingleTableScope(*arg, tables));
-      }
-      return scope;
-    }
-    case Expr::Kind::kBinary:
-      return CombineTableScopes(SingleTableScope(*expr.lhs, tables),
-                                SingleTableScope(*expr.rhs, tables));
-    case Expr::Kind::kUnary:
-      return SingleTableScope(*expr.operand, tables);
-  }
-  return kMultiTable;
-}
-
-}  // namespace
-
 Result<ResultSet> Executor::ExecuteSelect(const SelectStmt& stmt) {
   // Bind the FROM tables (schemas first, so single-table predicates can
   // be pushed into the scans below).
@@ -420,9 +359,12 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectStmt& stmt) {
   }
 
   // Classify WHERE conjuncts: single-table ones filter during the scan
-  // (classic predicate pushdown); the rest run in the join loop.
+  // (classic predicate pushdown); the rest run in the join loop. The
+  // conjuncts are folded once up front, so `id = 2+3` both evaluates
+  // cheaply and is recognized by the index-probe matcher below.
+  ExprPtr folded_where = stmt.where ? FoldConstants(*stmt.where) : nullptr;
   std::vector<const Expr*> conjuncts;
-  if (stmt.where) CollectConjuncts(stmt.where.get(), &conjuncts);
+  if (folded_where) CollectConjuncts(folded_where.get(), &conjuncts);
   std::vector<std::vector<const Expr*>> pushed(stmt.tables.size());
   std::vector<const Expr*> join_conjuncts;
   for (const Expr* conjunct : conjuncts) {
@@ -459,8 +401,8 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectStmt& stmt) {
       return true;
     };
 
-    std::optional<IndexProbe> probe =
-        FindIndexProbe(pushed[t], bound.alias, infos[t]);
+    std::optional<IndexProbeSpec> probe =
+        FindIndexProbeSpec(pushed[t], bound.alias, *infos[t]);
     {
       std::ostringstream note;
       note << stmt.tables[t].table << " " << bound.alias << ": "
@@ -470,8 +412,10 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectStmt& stmt) {
     }
     if (probe.has_value()) {
       // Index access path: fetch only the matching rids.
+      const storage::BPlusTree* index =
+          infos[t]->indexes.find(probe->column)->second.get();
       QBISM_ASSIGN_OR_RETURN(std::vector<storage::RecordId> rids,
-                             probe->index->Find(probe->key));
+                             index->Find(probe->key));
       for (const storage::RecordId& rid : rids) {
         auto bytes = infos[t]->file->Read(rid);
         if (bytes.status().IsNotFound()) continue;  // deleted: stale entry
@@ -507,49 +451,14 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectStmt& stmt) {
                           " residual predicate(s), nested loop");
   }
 
-  // Column headers.
-  if (stmt.star) {
-    for (const BoundTable& t : tables) {
-      for (const Column& c : t.schema->columns()) {
-        result.columns.push_back(t.alias + "." + c.name);
-      }
-    }
-  } else {
-    for (const SelectItem& item : stmt.items) {
-      if (!item.alias.empty()) {
-        result.columns.push_back(item.alias);
-      } else if (item.expr->kind == Expr::Kind::kColumnRef) {
-        result.columns.push_back(item.expr->column);
-      } else if (item.expr->kind == Expr::Kind::kFunctionCall) {
-        result.columns.push_back(item.expr->function);
-      } else {
-        result.columns.push_back("expr");
-      }
-    }
-  }
+  result.columns = BuildSelectColumns(stmt, scopes);
 
   // Aggregation setup. Restricted but practical form: with GROUP BY or
   // any aggregate present, every select item must be either a top-level
   // aggregate call -- count(*)/count(e)/sum(e)/avg(e)/min(e)/max(e) --
   // or a plain (grouping) expression, whose value is taken from the
   // first row of each group.
-  bool has_aggregates = !stmt.group_by.empty();
-  if (!stmt.star) {
-    for (const SelectItem& item : stmt.items) {
-      if (ContainsAggregateCall(*item.expr)) has_aggregates = true;
-    }
-  }
-  if (has_aggregates && stmt.star) {
-    return Status::InvalidArgument("SELECT * cannot be combined with "
-                                   "aggregation");
-  }
-  for (const SelectItem& item : stmt.items) {
-    if (has_aggregates && !IsAggregateCall(*item.expr) &&
-        ContainsAggregateCall(*item.expr)) {
-      return Status::Unimplemented(
-          "aggregates must be top-level select items in this dialect");
-    }
-  }
+  QBISM_ASSIGN_OR_RETURN(bool has_aggregates, DetectAggregates(stmt));
 
   struct Group {
     Row first_values;               // non-aggregate item values, first row
@@ -667,68 +576,8 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectStmt& stmt) {
     }
   }
 
-  // ORDER BY over the output rows (by alias/column name or position).
-  if (!stmt.order_by.empty()) {
-    struct SortKey {
-      size_t column;
-      bool descending;
-    };
-    std::vector<SortKey> sort_keys;
-    for (const OrderItem& item : stmt.order_by) {
-      size_t column_index = result.columns.size();
-      if (item.position > 0) {
-        if (static_cast<size_t>(item.position) > result.columns.size()) {
-          return Status::InvalidArgument("ORDER BY position out of range");
-        }
-        column_index = static_cast<size_t>(item.position - 1);
-      } else {
-        for (size_t i = 0; i < result.columns.size(); ++i) {
-          if (result.columns[i] == item.column ||
-              // Allow matching the bare column name of "alias.column".
-              (result.columns[i].size() > item.column.size() &&
-               result.columns[i].ends_with("." + item.column))) {
-            column_index = i;
-            break;
-          }
-        }
-        if (column_index == result.columns.size()) {
-          return Status::NotFound("ORDER BY column '" + item.column +
-                                  "' is not in the select list");
-        }
-      }
-      sort_keys.push_back({column_index, item.descending});
-    }
-    Status sort_status = Status::OK();
-    std::stable_sort(result.rows.begin(), result.rows.end(),
-                     [&](const Row& a, const Row& b) {
-                       if (!sort_status.ok()) return false;
-                       for (const SortKey& sk : sort_keys) {
-                         const Value& va = a[sk.column];
-                         const Value& vb = b[sk.column];
-                         // NULLs sort first (before any value).
-                         if (va.is_null() || vb.is_null()) {
-                           if (va.is_null() == vb.is_null()) continue;
-                           return va.is_null() != sk.descending;
-                         }
-                         auto cmp = va.Compare(vb);
-                         if (!cmp.ok()) {
-                           sort_status = cmp.status();
-                           return false;
-                         }
-                         if (cmp.value() != 0) {
-                           return sk.descending ? cmp.value() > 0
-                                                : cmp.value() < 0;
-                         }
-                       }
-                       return false;
-                     });
-    QBISM_RETURN_NOT_OK(sort_status);
-  }
-
-  if (stmt.limit >= 0 &&
-      result.rows.size() > static_cast<size_t>(stmt.limit)) {
-    result.rows.resize(static_cast<size_t>(stmt.limit));
-  }
+  QBISM_RETURN_NOT_OK(ApplyOrderByAndLimit(stmt, result.columns,
+                                           &result.rows));
   return result;
 }
 
@@ -776,14 +625,8 @@ Result<Value> Executor::Eval(const Expr& expr,
       return EvalBinary(expr, tables, cursor);
     case Expr::Kind::kUnary: {
       QBISM_ASSIGN_OR_RETURN(Value v, Eval(*expr.operand, tables, cursor));
-      if (expr.un_op == Expr::UnOp::kNot) {
-        QBISM_ASSIGN_OR_RETURN(bool truth, ValueIsTrue(v));
-        return Value::Int(truth ? 0 : 1);
-      }
-      // Negation.
-      if (v.kind() == Value::Kind::kInt) return Value::Int(-v.AsInt().value());
-      QBISM_ASSIGN_OR_RETURN(double d, v.AsDouble());
-      return Value::Double(-d);
+      if (expr.un_op == Expr::UnOp::kNot) return EvalNotOp(v);
+      return EvalNegateOp(v);
     }
   }
   return Status::Internal("unknown expression kind");
@@ -806,73 +649,19 @@ Result<Value> Executor::EvalBinary(const Expr& expr,
 
   QBISM_ASSIGN_OR_RETURN(Value lhs, Eval(*expr.lhs, tables, cursor));
   QBISM_ASSIGN_OR_RETURN(Value rhs, Eval(*expr.rhs, tables, cursor));
-
   switch (expr.bin_op) {
     case BinOp::kEq:
     case BinOp::kNe:
     case BinOp::kLt:
     case BinOp::kLe:
     case BinOp::kGt:
-    case BinOp::kGe: {
-      QBISM_ASSIGN_OR_RETURN(int cmp, lhs.Compare(rhs));
-      bool truth = false;
-      switch (expr.bin_op) {
-        case BinOp::kEq:
-          truth = cmp == 0;
-          break;
-        case BinOp::kNe:
-          truth = cmp != 0;
-          break;
-        case BinOp::kLt:
-          truth = cmp < 0;
-          break;
-        case BinOp::kLe:
-          truth = cmp <= 0;
-          break;
-        case BinOp::kGt:
-          truth = cmp > 0;
-          break;
-        default:
-          truth = cmp >= 0;
-          break;
-      }
-      return Value::Int(truth ? 1 : 0);
-    }
+    case BinOp::kGe:
+      return EvalCompareOp(expr.bin_op, lhs, rhs);
     case BinOp::kAdd:
     case BinOp::kSub:
     case BinOp::kMul:
-    case BinOp::kDiv: {
-      bool both_int = lhs.kind() == Value::Kind::kInt &&
-                      rhs.kind() == Value::Kind::kInt;
-      if (both_int) {
-        int64_t a = lhs.AsInt().value();
-        int64_t b = rhs.AsInt().value();
-        switch (expr.bin_op) {
-          case BinOp::kAdd:
-            return Value::Int(a + b);
-          case BinOp::kSub:
-            return Value::Int(a - b);
-          case BinOp::kMul:
-            return Value::Int(a * b);
-          default:
-            if (b == 0) return Status::InvalidArgument("division by zero");
-            return Value::Int(a / b);
-        }
-      }
-      QBISM_ASSIGN_OR_RETURN(double a, lhs.AsDouble());
-      QBISM_ASSIGN_OR_RETURN(double b, rhs.AsDouble());
-      switch (expr.bin_op) {
-        case BinOp::kAdd:
-          return Value::Double(a + b);
-        case BinOp::kSub:
-          return Value::Double(a - b);
-        case BinOp::kMul:
-          return Value::Double(a * b);
-        default:
-          if (b == 0.0) return Status::InvalidArgument("division by zero");
-          return Value::Double(a / b);
-      }
-    }
+    case BinOp::kDiv:
+      return EvalArithmeticOp(expr.bin_op, lhs, rhs);
     default:
       return Status::Internal("unhandled binary operator");
   }

@@ -7,9 +7,14 @@
 #include "common/result.h"
 #include "sql/ast.h"
 #include "sql/catalog.h"
+#include "sql/planner/cost.h"
+#include "sql/planner/stats.h"
 #include "sql/udf.h"
 
 namespace qbism::sql {
+
+struct CachedPlan;
+class PlanCache;
 
 /// Result of a statement: column headers plus rows. DDL/DML statements
 /// produce an empty set (INSERT reports the row count via
@@ -28,10 +33,33 @@ struct ResultSet {
   std::string ToString() const;
 };
 
+/// Which engine runs SELECT / UPDATE / DELETE.
+enum class ExecEngine {
+  /// Cost-based plan compiled to bytecode, run by the batch VM (the
+  /// default).
+  kVm,
+  /// The original row-at-a-time tree-walking interpreter. Kept as the
+  /// differential oracle: it must produce identical results.
+  kTreeWalker,
+};
+
+/// Optional planner / caching services. All pointers are borrowed and
+/// nullable — a bare Executor with default options works exactly like
+/// the pre-planner executor (no statistics, no cache, no cost hook).
+struct ExecOptions {
+  ExecEngine engine = ExecEngine::kVm;
+  const planner::PlannerStats* stats = nullptr;
+  PlanCache* plan_cache = nullptr;
+  const planner::UdfCostHook* cost_hook = nullptr;
+  /// Raw SQL text of the statement being executed: the plan-cache key.
+  /// Empty disables caching for this statement.
+  std::string sql;
+};
+
 /// Statement executor: binds and runs parsed statements against the
-/// catalog. SELECT uses a nested-loop join over the FROM tables with the
-/// WHERE predicate evaluated on each combined row — the paper created no
-/// indexes (§6.1), so plain scans match its setup. User-defined
+/// catalog. SELECT flows through plan -> compile -> batch VM by
+/// default; the tree-walking interpreter remains available as the
+/// differential oracle (ExecEngine::kTreeWalker). User-defined
 /// functions are dispatched through the registry and may produce
 /// transient spatial objects.
 class Executor {
@@ -39,7 +67,14 @@ class Executor {
   Executor(Catalog* catalog, const UdfRegistry* udfs, UdfContext context)
       : catalog_(catalog), udfs_(udfs), context_(std::move(context)) {}
 
+  void set_options(ExecOptions options) { options_ = std::move(options); }
+  const ExecOptions& options() const { return options_; }
+
   Result<ResultSet> Execute(const Statement& statement);
+
+  /// Runs an already-compiled SELECT (plan-cache fast path: the caller
+  /// skipped parse, plan, and compile entirely).
+  Result<ResultSet> ExecuteCompiled(const CachedPlan& plan);
 
  private:
   struct BoundTable {
@@ -47,6 +82,10 @@ class Executor {
     const TableSchema* schema = nullptr;
     std::vector<Row> rows;
   };
+
+  /// Plan -> compile -> run (or render, for EXPLAIN) on the VM path.
+  Result<ResultSet> ExecuteSelectVm(const SelectStmt& stmt, bool explain);
+  Result<ResultSet> ExecuteMutationVm(const Statement& statement);
 
   Result<ResultSet> ExecuteSelect(const SelectStmt& stmt);
   Result<ResultSet> ExecuteInsert(const InsertStmt& stmt);
@@ -65,10 +104,8 @@ class Executor {
   Catalog* catalog_;
   const UdfRegistry* udfs_;
   UdfContext context_;
+  ExecOptions options_;
 };
-
-/// True when a WHERE result counts as satisfied (non-null, non-zero).
-Result<bool> ValueIsTrue(const Value& value);
 
 }  // namespace qbism::sql
 

@@ -22,6 +22,16 @@ class Parser {
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Result<Statement> ParseStatement() {
+    if (IsKeyword("explain")) {
+      Advance();
+      if (!IsKeyword("select")) {
+        return Error("EXPLAIN supports SELECT statements only");
+      }
+      ExplainStmt stmt;
+      QBISM_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+      QBISM_RETURN_NOT_OK(ExpectEnd());
+      return Statement(std::move(stmt));
+    }
     if (IsKeyword("select")) {
       QBISM_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect());
       QBISM_RETURN_NOT_OK(ExpectEnd());
@@ -47,7 +57,8 @@ class Parser {
       QBISM_RETURN_NOT_OK(ExpectEnd());
       return Statement(std::move(stmt));
     }
-    return Error("expected SELECT, INSERT, UPDATE, CREATE, or DELETE");
+    return Error("expected SELECT, INSERT, UPDATE, CREATE, DELETE, "
+                 "or EXPLAIN");
   }
 
   Result<ExprPtr> ParseLoneExpression() {

@@ -1,0 +1,63 @@
+#ifndef QBISM_SQL_PLAN_CACHE_H_
+#define QBISM_SQL_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sql/vm/compiler.h"
+
+namespace qbism::sql {
+
+/// A compiled SELECT plus the versions it was planned against. A plan
+/// embeds resolved column indexes, access-path choices, and the
+/// optimizer's cost decisions, so it is valid only while both versions
+/// hold: the catalog version (bumped by DDL only) and the statistics
+/// version (bumped by ANALYZE / ingest refresh). Row-level DML bumps
+/// neither — the VM re-resolves heap files and index handles by name
+/// per run, which is what makes cached plans survive updates.
+struct CachedPlan {
+  vm::CompiledSelect compiled;
+  uint64_t catalog_version = 0;
+  uint64_t stats_version = 0;
+};
+
+/// LRU cache of compiled plans keyed by raw SQL text. Amortizes the
+/// parse + optimize + compile pipeline for repeated statements (the
+/// hot path of the query service); thread-safe so sessions share it.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 128) : capacity_(capacity) {}
+
+  /// Returns the cached plan for `sql` when both versions still match;
+  /// stale entries are evicted on the spot and count as misses.
+  std::shared_ptr<const CachedPlan> Get(const std::string& sql,
+                                        uint64_t catalog_version,
+                                        uint64_t stats_version);
+
+  void Put(const std::string& sql, std::shared_ptr<const CachedPlan> plan);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CachedPlan> plan;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace qbism::sql
+
+#endif  // QBISM_SQL_PLAN_CACHE_H_

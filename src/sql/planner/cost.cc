@@ -1,0 +1,214 @@
+#include "sql/planner/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sql/eval.h"
+
+namespace qbism::sql::planner {
+
+namespace {
+
+const ColumnStats* FindColumn(const TableStats* stats,
+                              const std::string& column) {
+  if (!stats) return nullptr;
+  auto it = stats->columns.find(column);
+  return it != stats->columns.end() ? &it->second : nullptr;
+}
+
+/// `cmp(column, literal)` (either side) with the comparison mirrored so
+/// the column is on the left.
+struct ColConstCmp {
+  const Expr* column = nullptr;
+  const Expr* literal = nullptr;
+  Expr::BinOp op = Expr::BinOp::kEq;
+};
+
+Expr::BinOp MirrorCmp(Expr::BinOp op) {
+  switch (op) {
+    case Expr::BinOp::kLt:
+      return Expr::BinOp::kGt;
+    case Expr::BinOp::kLe:
+      return Expr::BinOp::kGe;
+    case Expr::BinOp::kGt:
+      return Expr::BinOp::kLt;
+    case Expr::BinOp::kGe:
+      return Expr::BinOp::kLe;
+    default:
+      return op;  // kEq / kNe are symmetric
+  }
+}
+
+bool IsComparison(Expr::BinOp op) {
+  switch (op) {
+    case Expr::BinOp::kEq:
+    case Expr::BinOp::kNe:
+    case Expr::BinOp::kLt:
+    case Expr::BinOp::kLe:
+    case Expr::BinOp::kGt:
+    case Expr::BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::optional<ColConstCmp> MatchColConstCmp(const Expr& expr) {
+  if (expr.kind != Expr::Kind::kBinary || !IsComparison(expr.bin_op)) {
+    return std::nullopt;
+  }
+  if (expr.lhs->kind == Expr::Kind::kColumnRef &&
+      expr.rhs->kind == Expr::Kind::kLiteral) {
+    return ColConstCmp{expr.lhs.get(), expr.rhs.get(), expr.bin_op};
+  }
+  if (expr.rhs->kind == Expr::Kind::kColumnRef &&
+      expr.lhs->kind == Expr::Kind::kLiteral) {
+    return ColConstCmp{expr.rhs.get(), expr.lhs.get(),
+                       MirrorCmp(expr.bin_op)};
+  }
+  return std::nullopt;
+}
+
+double ClampSel(double s) { return std::min(1.0, std::max(0.0, s)); }
+
+/// Range selectivity by linear interpolation over [min, max].
+double RangeSelectivity(const ColumnStats& col, Expr::BinOp op,
+                        double bound) {
+  if (!col.has_range || col.max <= col.min) return CostParams::kRangeSel;
+  double frac_below = (bound - col.min) / (col.max - col.min);
+  switch (op) {
+    case Expr::BinOp::kLt:
+    case Expr::BinOp::kLe:
+      return ClampSel(frac_below);
+    case Expr::BinOp::kGt:
+    case Expr::BinOp::kGe:
+      return ClampSel(1.0 - frac_below);
+    default:
+      return CostParams::kRangeSel;
+  }
+}
+
+}  // namespace
+
+double ExprCost(const Expr& expr, const TableStats* stats,
+                const UdfCostHook* hook) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return 0.0;
+    case Expr::Kind::kColumnRef:
+      return CostParams::kColumnLoad;
+    case Expr::Kind::kFunctionCall: {
+      double cost = CostParams::kUdfCall;
+      if (hook && *hook) {
+        if (auto est = (*hook)(expr, stats)) cost = est->cost;
+      }
+      for (const ExprPtr& arg : expr.args) {
+        cost += ExprCost(*arg, stats, hook);
+      }
+      return cost;
+    }
+    case Expr::Kind::kBinary:
+      return CostParams::kCompare + ExprCost(*expr.lhs, stats, hook) +
+             ExprCost(*expr.rhs, stats, hook);
+    case Expr::Kind::kUnary:
+      return CostParams::kCompare + ExprCost(*expr.operand, stats, hook);
+  }
+  return CostParams::kCompare;
+}
+
+ConjunctEstimate EstimateConjunct(const Expr& conjunct,
+                                  const TableStats* stats,
+                                  const UdfCostHook* hook) {
+  // The extension hook sees the whole conjunct first: it understands
+  // shapes like `voxel_count(region) > N` that the structural rules
+  // below would estimate blindly.
+  if (hook && *hook) {
+    if (auto est = (*hook)(conjunct, stats)) return *est;
+  }
+
+  ConjunctEstimate out;
+  out.cost = ExprCost(conjunct, stats, hook);
+
+  if (auto cmp = MatchColConstCmp(conjunct)) {
+    const ColumnStats* col = FindColumn(stats, cmp->column->column);
+    switch (cmp->op) {
+      case Expr::BinOp::kEq:
+        out.selectivity = col && col->distinct_est > 0
+                              ? 1.0 / static_cast<double>(col->distinct_est)
+                              : CostParams::kDefaultEqSel;
+        break;
+      case Expr::BinOp::kNe:
+        out.selectivity =
+            1.0 - (col && col->distinct_est > 0
+                       ? 1.0 / static_cast<double>(col->distinct_est)
+                       : CostParams::kDefaultEqSel);
+        break;
+      default: {
+        double bound = CostParams::kRangeSel;
+        const Value& v = cmp->literal->literal;
+        if (col && (v.kind() == Value::Kind::kInt ||
+                    v.kind() == Value::Kind::kDouble)) {
+          bound = RangeSelectivity(*col, cmp->op, v.AsDouble().value());
+        }
+        out.selectivity = col ? bound : CostParams::kRangeSel;
+        break;
+      }
+    }
+    return out;
+  }
+
+  switch (conjunct.kind) {
+    case Expr::Kind::kBinary:
+      if (conjunct.bin_op == Expr::BinOp::kAnd) {
+        ConjunctEstimate l = EstimateConjunct(*conjunct.lhs, stats, hook);
+        ConjunctEstimate r = EstimateConjunct(*conjunct.rhs, stats, hook);
+        out.selectivity = l.selectivity * r.selectivity;
+        out.prefer_encoded = std::max(l.prefer_encoded, r.prefer_encoded);
+      } else if (conjunct.bin_op == Expr::BinOp::kOr) {
+        ConjunctEstimate l = EstimateConjunct(*conjunct.lhs, stats, hook);
+        ConjunctEstimate r = EstimateConjunct(*conjunct.rhs, stats, hook);
+        out.selectivity = ClampSel(l.selectivity + r.selectivity -
+                                   l.selectivity * r.selectivity);
+        out.prefer_encoded = std::max(l.prefer_encoded, r.prefer_encoded);
+      }
+      break;
+    case Expr::Kind::kUnary:
+      if (conjunct.un_op == Expr::UnOp::kNot) {
+        out.selectivity =
+            1.0 - EstimateConjunct(*conjunct.operand, stats, hook).selectivity;
+      }
+      break;
+    case Expr::Kind::kLiteral: {
+      // A constant predicate keeps everything or nothing.
+      auto truth = ValueIsTrue(conjunct.literal);
+      if (truth.ok()) out.selectivity = truth.value() ? 1.0 : 0.0;
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+double EquiJoinSelectivity(const Expr& conjunct, const TableStats* left,
+                           const TableStats* right) {
+  if (conjunct.kind != Expr::Kind::kBinary ||
+      conjunct.bin_op != Expr::BinOp::kEq ||
+      conjunct.lhs->kind != Expr::Kind::kColumnRef ||
+      conjunct.rhs->kind != Expr::Kind::kColumnRef) {
+    return CostParams::kUnknownSel;
+  }
+  uint64_t d1 = 0;
+  uint64_t d2 = 0;
+  if (const ColumnStats* c = FindColumn(left, conjunct.lhs->column)) {
+    d1 = c->distinct_est;
+  }
+  if (const ColumnStats* c = FindColumn(right, conjunct.rhs->column)) {
+    d2 = c->distinct_est;
+  }
+  uint64_t d = std::max(d1, d2);
+  if (d == 0) return CostParams::kDefaultEqSel;
+  return 1.0 / static_cast<double>(d);
+}
+
+}  // namespace qbism::sql::planner

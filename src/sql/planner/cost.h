@@ -1,0 +1,68 @@
+#ifndef QBISM_SQL_PLANNER_COST_H_
+#define QBISM_SQL_PLANNER_COST_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "sql/ast.h"
+#include "sql/planner/stats.h"
+
+namespace qbism::sql::planner {
+
+/// Cost model unit: 1.0 ~ one in-memory value comparison.
+struct CostParams {
+  static constexpr double kCompare = 1.0;
+  static constexpr double kColumnLoad = 0.5;
+  static constexpr double kRowDecode = 4.0;      // deserialize one record
+  static constexpr double kIndexProbe = 32.0;    // one B+-tree descent
+  static constexpr double kUdfCall = 64.0;       // unknown UDF fallback
+  static constexpr double kDefaultRows = 1000.0; // unanalyzed table
+  static constexpr double kDefaultEqSel = 0.1;   // eq with no distinct info
+  static constexpr double kRangeSel = 1.0 / 3.0; // range with no histogram
+  static constexpr double kUnknownSel = 1.0 / 3.0;
+};
+
+/// Estimated behaviour of one predicate (or predicate subtree).
+struct ConjunctEstimate {
+  double selectivity = CostParams::kUnknownSel;
+  double cost = CostParams::kCompare;
+  /// Extraction-strategy preference reported by the UDF cost hook:
+  /// -1 = no opinion, 0 = decode-and-extract, 1 = encoded-domain chain.
+  int prefer_encoded = -1;
+};
+
+/// Extension hook costing UDF expressions the core planner cannot see
+/// through (spatial predicates over region columns). `expr` is a
+/// conjunct or a bare call; `stats` is the stats snapshot of the single
+/// table the expression is scoped to (null when unanalyzed or
+/// multi-table). Returns nullopt when the expression isn't recognized.
+using UdfCostHook = std::function<std::optional<ConjunctEstimate>(
+    const Expr& expr, const TableStats* stats)>;
+
+/// Per-evaluation cost of computing `expr` on one row.
+double ExprCost(const Expr& expr, const TableStats* stats,
+                const UdfCostHook* hook);
+
+/// Selectivity and cost of one WHERE conjunct against one table.
+/// The hook (when set) is consulted first on the whole conjunct, then
+/// on embedded calls during structural estimation.
+ConjunctEstimate EstimateConjunct(const Expr& conjunct,
+                                  const TableStats* stats,
+                                  const UdfCostHook* hook);
+
+/// Hellerstein/Stonebraker predicate rank: (selectivity - 1) / cost.
+/// Evaluating conjuncts in ascending rank order minimizes expected
+/// per-row filtering cost.
+inline double PredicateRank(double selectivity, double cost) {
+  return (selectivity - 1.0) / (cost > 0.0 ? cost : 1e-9);
+}
+
+/// Selectivity of an equi-join predicate: 1 / max(d1, d2) over the join
+/// columns' distinct counts (System R), with a fallback when unknown.
+double EquiJoinSelectivity(const Expr& conjunct, const TableStats* left,
+                           const TableStats* right);
+
+}  // namespace qbism::sql::planner
+
+#endif  // QBISM_SQL_PLANNER_COST_H_

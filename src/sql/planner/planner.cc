@@ -1,0 +1,380 @@
+#include "sql/planner/planner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "common/macros.h"
+#include "sql/eval.h"
+
+namespace qbism::sql::planner {
+
+namespace {
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+/// Collects the FROM-position set referenced by `expr`, resolving
+/// column refs the same way the evaluator does. A reference that does
+/// not resolve uniquely sets `unresolved` — the conjunct is then
+/// evaluated only on fully joined rows, where the evaluator reports the
+/// real error.
+void CollectRefTables(
+    const Expr& expr,
+    const std::vector<std::pair<std::string, const TableSchema*>>& scopes,
+    std::set<size_t>* out, bool* unresolved) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return;
+    case Expr::Kind::kColumnRef: {
+      int found = -1;
+      for (size_t t = 0; t < scopes.size(); ++t) {
+        if (!expr.table.empty() && scopes[t].first != expr.table) continue;
+        if (!scopes[t].second->ColumnIndex(expr.column).ok()) continue;
+        if (found >= 0) {
+          *unresolved = true;
+          return;
+        }
+        found = static_cast<int>(t);
+      }
+      if (found < 0) {
+        *unresolved = true;
+      } else {
+        out->insert(static_cast<size_t>(found));
+      }
+      return;
+    }
+    case Expr::Kind::kFunctionCall:
+      for (const ExprPtr& arg : expr.args) {
+        CollectRefTables(*arg, scopes, out, unresolved);
+      }
+      return;
+    case Expr::Kind::kBinary:
+      CollectRefTables(*expr.lhs, scopes, out, unresolved);
+      CollectRefTables(*expr.rhs, scopes, out, unresolved);
+      return;
+    case Expr::Kind::kUnary:
+      CollectRefTables(*expr.operand, scopes, out, unresolved);
+      return;
+  }
+}
+
+/// Walks an output expression for spatial calls and merges the hook's
+/// extraction-strategy preference. Recursion stops at a recognized
+/// call: the hook already costed the whole chain.
+void MergeStrategyFromExpr(
+    const Expr& expr, const UdfCostHook* hook,
+    const std::vector<std::pair<std::string, const TableSchema*>>& scopes,
+    const std::vector<std::shared_ptr<const TableStats>>& snaps,
+    int* prefer) {
+  if (expr.kind == Expr::Kind::kFunctionCall && hook && *hook) {
+    int scope = SingleTableScope(expr, scopes);
+    const TableStats* stats =
+        scope >= 0 ? snaps[static_cast<size_t>(scope)].get() : nullptr;
+    if (auto est = (*hook)(expr, stats)) {
+      if (est->prefer_encoded >= 0) {
+        *prefer = std::max(*prefer, est->prefer_encoded);
+        return;
+      }
+    }
+  }
+  switch (expr.kind) {
+    case Expr::Kind::kFunctionCall:
+      for (const ExprPtr& arg : expr.args) {
+        MergeStrategyFromExpr(*arg, hook, scopes, snaps, prefer);
+      }
+      return;
+    case Expr::Kind::kBinary:
+      MergeStrategyFromExpr(*expr.lhs, hook, scopes, snaps, prefer);
+      MergeStrategyFromExpr(*expr.rhs, hook, scopes, snaps, prefer);
+      return;
+    case Expr::Kind::kUnary:
+      MergeStrategyFromExpr(*expr.operand, hook, scopes, snaps, prefer);
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+Result<SelectPlan> Planner::PlanSelect(const SelectStmt& stmt) {
+  const size_t n = stmt.tables.size();
+  std::vector<TableInfo*> infos;
+  std::vector<std::pair<std::string, const TableSchema*>> scopes;
+  for (const TableRef& ref : stmt.tables) {
+    QBISM_ASSIGN_OR_RETURN(TableInfo * info, catalog_->GetTable(ref.table));
+    infos.push_back(info);
+    scopes.emplace_back(ref.alias, &info->schema);
+  }
+  for (size_t i = 0; i < scopes.size(); ++i) {
+    for (size_t j = i + 1; j < scopes.size(); ++j) {
+      if (scopes[i].first == scopes[j].first) {
+        return Status::InvalidArgument("duplicate table alias '" +
+                                       scopes[i].first + "'");
+      }
+    }
+  }
+
+  std::vector<std::shared_ptr<const TableStats>> snaps(n);
+  bool all_analyzed = true;
+  for (size_t t = 0; t < n; ++t) {
+    snaps[t] = stats_ ? stats_->Get(stmt.tables[t].table) : nullptr;
+    if (!snaps[t]) all_analyzed = false;
+  }
+
+  // Split WHERE conjuncts: single-table ones are pushed into the scan,
+  // the rest become join residuals (matching the interpreter's
+  // classification exactly, so the two engines agree on access paths).
+  std::vector<const Expr*> conjuncts;
+  if (stmt.where) CollectConjuncts(stmt.where.get(), &conjuncts);
+  std::vector<std::vector<const Expr*>> pushed(n);
+  std::vector<const Expr*> residual_exprs;
+  for (const Expr* conjunct : conjuncts) {
+    int scope = SingleTableScope(*conjunct, scopes);
+    if (scope >= 0) {
+      pushed[static_cast<size_t>(scope)].push_back(conjunct);
+    } else {
+      residual_exprs.push_back(conjunct);
+    }
+  }
+
+  SelectPlan plan;
+
+  // Per-table access plans, still in FROM order.
+  std::vector<TablePlan> fplans(n);
+  for (size_t t = 0; t < n; ++t) {
+    TablePlan& tp = fplans[t];
+    tp.table = stmt.tables[t].table;
+    tp.alias = stmt.tables[t].alias;
+    tp.from_index = t;
+    tp.analyzed = snaps[t] != nullptr;
+    tp.base_rows = snaps[t] ? static_cast<double>(snaps[t]->rows)
+                            : CostParams::kDefaultRows;
+    if (auto probe = FindIndexProbeSpec(pushed[t], tp.alias, *infos[t])) {
+      tp.use_probe = true;
+      tp.probe_column = probe->column;
+      tp.probe_key = probe->key;
+    }
+    double sel_product = 1.0;
+    for (const Expr* c : pushed[t]) {
+      ConjunctEstimate est = EstimateConjunct(*c, snaps[t].get(), hook_);
+      plan.extract_pref = std::max(plan.extract_pref, est.prefer_encoded);
+      sel_product *= est.selectivity;
+      tp.pushed.push_back(
+          PlannedConjunct{CloneExpr(*c), est.selectivity, est.cost});
+    }
+    // Cheapest expected filtering first: ascending predicate rank,
+    // stable so equal ranks keep the WHERE clause's textual order.
+    std::stable_sort(tp.pushed.begin(), tp.pushed.end(),
+                     [](const PlannedConjunct& a, const PlannedConjunct& b) {
+                       return a.rank() < b.rank();
+                     });
+    tp.est_rows = tp.base_rows * sel_product;
+    if (tp.est_rows < 0.0) tp.est_rows = 0.0;
+  }
+
+  // Classify residuals: referenced FROM set, equi-join selectivity.
+  struct ResidualInfo {
+    const Expr* expr;
+    std::set<size_t> refs;    // FROM positions
+    bool unresolved = false;  // evaluate on fully joined rows
+    double selectivity = CostParams::kUnknownSel;
+    double cost = CostParams::kCompare;
+  };
+  std::vector<ResidualInfo> rinfos;
+  for (const Expr* expr : residual_exprs) {
+    ResidualInfo info;
+    info.expr = expr;
+    CollectRefTables(*expr, scopes, &info.refs, &info.unresolved);
+    info.cost = ExprCost(*expr, nullptr, hook_);
+    if (expr->kind == Expr::Kind::kBinary &&
+        expr->bin_op == Expr::BinOp::kEq &&
+        expr->lhs->kind == Expr::Kind::kColumnRef &&
+        expr->rhs->kind == Expr::Kind::kColumnRef && info.refs.size() == 2 &&
+        !info.unresolved) {
+      std::set<size_t> lrefs;
+      bool lunres = false;
+      CollectRefTables(*expr->lhs, scopes, &lrefs, &lunres);
+      size_t lt = *lrefs.begin();
+      size_t rt = *info.refs.begin() == lt ? *info.refs.rbegin()
+                                           : *info.refs.begin();
+      info.selectivity = EquiJoinSelectivity(*expr, snaps[lt].get(),
+                                             snaps[rt].get());
+    } else {
+      ConjunctEstimate est = EstimateConjunct(*expr, nullptr, hook_);
+      plan.extract_pref = std::max(plan.extract_pref, est.prefer_encoded);
+      info.selectivity = est.selectivity;
+    }
+    rinfos.push_back(std::move(info));
+  }
+
+  // Extraction strategy also hinges on spatial calls in the output
+  // expressions, not just the predicates.
+  if (!stmt.star) {
+    for (const SelectItem& item : stmt.items) {
+      MergeStrategyFromExpr(*item.expr, hook_, scopes, snaps,
+                            &plan.extract_pref);
+    }
+  }
+  for (const ExprPtr& expr : stmt.group_by) {
+    MergeStrategyFromExpr(*expr, hook_, scopes, snaps, &plan.extract_pref);
+  }
+
+  // Join order: greedy smallest-intermediate-cardinality. Only engages
+  // when every table is analyzed — with no statistics the FROM order is
+  // kept (and so is the interpreter's emission order).
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  if (n > 1 && all_analyzed) {
+    std::vector<size_t> chosen;
+    std::vector<bool> used(n, false);
+    double card = 1.0;
+    while (chosen.size() < n) {
+      size_t best = n;
+      double best_card = 0.0;
+      for (size_t f = 0; f < n; ++f) {
+        if (used[f]) continue;
+        double sel = 1.0;
+        for (const ResidualInfo& r : rinfos) {
+          if (r.unresolved || r.refs.empty()) continue;
+          if (!r.refs.count(f)) continue;
+          bool bound = true;
+          for (size_t ref : r.refs) {
+            if (ref != f && !used[ref]) bound = false;
+          }
+          if (bound) sel *= r.selectivity;
+        }
+        double cand = card * fplans[f].est_rows * sel;
+        if (best == n || cand < best_card * 0.999) {
+          best = f;
+          best_card = cand;
+        }
+      }
+      used[best] = true;
+      chosen.push_back(best);
+      card = best_card < 1.0 ? 1.0 : best_card;
+    }
+    order = std::move(chosen);
+  }
+
+  plan.tables.reserve(n);
+  plan.from_to_plan.assign(n, 0);
+  for (size_t d = 0; d < n; ++d) {
+    plan.from_to_plan[order[d]] = d;
+    plan.tables.push_back(std::move(fplans[order[d]]));
+  }
+
+  // Residual depths in the chosen order, then (depth, rank) sort.
+  for (ResidualInfo& r : rinfos) {
+    size_t depth = 0;
+    if (r.unresolved || r.refs.empty()) {
+      depth = r.unresolved && n > 0 ? n - 1 : 0;
+    } else {
+      for (size_t ref : r.refs) {
+        depth = std::max(depth, plan.from_to_plan[ref]);
+      }
+    }
+    plan.residuals.push_back(
+        ResidualPlan{CloneExpr(*r.expr), r.selectivity, r.cost, depth});
+  }
+  std::stable_sort(plan.residuals.begin(), plan.residuals.end(),
+                   [](const ResidualPlan& a, const ResidualPlan& b) {
+                     if (a.depth != b.depth) return a.depth < b.depth;
+                     return PredicateRank(a.selectivity, a.cost) <
+                            PredicateRank(b.selectivity, b.cost);
+                   });
+
+  // Totals: scan cost per table, then nested-loop cost level by level.
+  double cost = 0.0;
+  for (const TablePlan& tp : plan.tables) {
+    double examined = tp.use_probe
+                          ? std::max(1.0, tp.est_rows) + CostParams::kIndexProbe
+                          : tp.base_rows;
+    cost += examined * CostParams::kRowDecode;
+    double remaining = examined;
+    for (const PlannedConjunct& pc : tp.pushed) {
+      cost += remaining * pc.cost;
+      remaining *= pc.selectivity;
+    }
+  }
+  double card = 1.0;
+  for (size_t d = 0; d < n; ++d) {
+    card *= plan.tables[d].est_rows;
+    for (const ResidualPlan& r : plan.residuals) {
+      if (r.depth == d) {
+        cost += std::max(card, 1.0) * r.cost;
+        card *= r.selectivity;
+      }
+    }
+  }
+  plan.est_rows = n == 0 ? 1.0 : card;
+  plan.est_cost = cost;
+  return plan;
+}
+
+std::vector<std::string> SelectPlan::PlanNotes() const {
+  std::vector<std::string> notes;
+  // FROM order, same wording as the tree-walking interpreter.
+  std::vector<const TablePlan*> by_from(tables.size());
+  for (const TablePlan& tp : tables) by_from[tp.from_index] = &tp;
+  for (const TablePlan* tp : by_from) {
+    std::ostringstream note;
+    note << tp->table << " " << tp->alias << ": "
+         << (tp->use_probe ? "index probe" : "scan") << ", "
+         << tp->pushed.size() << " pushed predicate(s)";
+    notes.push_back(note.str());
+  }
+  if (!residuals.empty()) {
+    notes.push_back("join: " + std::to_string(residuals.size()) +
+                    " residual predicate(s), nested loop");
+  }
+  return notes;
+}
+
+std::vector<std::string> SelectPlan::ExplainLines() const {
+  std::vector<std::string> lines;
+  lines.push_back("select: est_rows=" + Fmt(est_rows) +
+                  " est_cost=" + Fmt(est_cost));
+  for (const TablePlan& tp : tables) {
+    std::ostringstream line;
+    line << tp.table << " " << tp.alias << ": ";
+    if (tp.use_probe) {
+      line << "index probe on " << tp.probe_column << " = " << tp.probe_key;
+    } else {
+      line << "scan";
+    }
+    line << ", est " << Fmt(tp.est_rows) << " of " << Fmt(tp.base_rows)
+         << " row(s)" << (tp.analyzed ? "" : " (no statistics)");
+    lines.push_back(line.str());
+    for (const PlannedConjunct& pc : tp.pushed) {
+      lines.push_back("  filter " + ExprToString(*pc.expr) +
+                      " sel=" + Fmt(pc.selectivity) + " cost=" + Fmt(pc.cost) +
+                      " rank=" + Fmt(pc.rank()));
+    }
+  }
+  if (tables.size() > 1) {
+    std::string join = "join order:";
+    for (size_t d = 0; d < tables.size(); ++d) {
+      join += (d ? ", " : " ") + tables[d].alias;
+    }
+    lines.push_back(join);
+  }
+  for (const ResidualPlan& r : residuals) {
+    lines.push_back("residual " + ExprToString(*r.expr) +
+                    " depth=" + std::to_string(r.depth) +
+                    " sel=" + Fmt(r.selectivity) + " cost=" + Fmt(r.cost));
+  }
+  if (extract_pref >= 0) {
+    lines.push_back(std::string("extraction: ") +
+                    (extract_pref == 1 ? "encoded-domain chain"
+                                       : "decode-and-extract"));
+  }
+  return lines;
+}
+
+}  // namespace qbism::sql::planner

@@ -1,0 +1,99 @@
+#ifndef QBISM_SQL_PLANNER_PLANNER_H_
+#define QBISM_SQL_PLANNER_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+#include "sql/planner/cost.h"
+#include "sql/planner/stats.h"
+
+namespace qbism::sql::planner {
+
+/// One WHERE conjunct placed by the optimizer, with its estimates. The
+/// plan owns a folded clone of the expression.
+struct PlannedConjunct {
+  ExprPtr expr;
+  double selectivity = CostParams::kUnknownSel;
+  double cost = CostParams::kCompare;
+  double rank() const { return PredicateRank(selectivity, cost); }
+};
+
+/// Access plan for one FROM table.
+struct TablePlan {
+  std::string table;
+  std::string alias;
+  size_t from_index = 0;  // position in the FROM clause
+  bool analyzed = false;  // statistics were available
+  double base_rows = 0.0;
+  double est_rows = 0.0;  // after pushed predicates
+  bool use_probe = false;
+  std::string probe_column;
+  int64_t probe_key = 0;
+  /// Pushed single-table conjuncts in evaluation (ascending rank) order.
+  /// The probe equality conjunct stays in this list: stale index entries
+  /// make the re-check necessary.
+  std::vector<PlannedConjunct> pushed;
+};
+
+/// A conjunct that could not be pushed into a single scan. `depth` is
+/// the earliest join level (index into SelectPlan::tables) at which all
+/// referenced tables are bound.
+struct ResidualPlan {
+  ExprPtr expr;
+  double selectivity = CostParams::kUnknownSel;
+  double cost = CostParams::kCompare;
+  size_t depth = 0;
+};
+
+/// Cost-based plan for one SELECT. `tables` is the chosen join order;
+/// `from_to_plan[f]` maps FROM position f to its index in `tables`
+/// (star projection and plan notes stay in FROM order regardless of the
+/// join order).
+struct SelectPlan {
+  std::vector<TablePlan> tables;
+  std::vector<ResidualPlan> residuals;  // sorted by (depth, rank)
+  std::vector<size_t> from_to_plan;
+  double est_rows = 0.0;
+  double est_cost = 0.0;
+  /// Extraction strategy for spatial UDF chains: -1 = no spatial calls
+  /// seen, 0 = decode-and-extract, 1 = encoded-domain chain.
+  int extract_pref = -1;
+  bool encoded_chain() const { return extract_pref == 1; }
+
+  /// The legacy executor's plan-note lines (access path per FROM table
+  /// plus the join residual note), kept format-compatible.
+  std::vector<std::string> PlanNotes() const;
+  /// Full EXPLAIN rendering: estimates, conjunct order, join order,
+  /// extraction strategy.
+  std::vector<std::string> ExplainLines() const;
+};
+
+/// Cost-based SELECT planner. Orders filter conjuncts by predicate
+/// rank, chooses index probe vs scan, picks a greedy join order from
+/// estimated cardinalities, and selects the spatial extraction strategy
+/// from the UDF cost hook. Join reordering only engages when every FROM
+/// table has statistics — without them the FROM order is kept, which
+/// also preserves the interpreter's row emission order.
+class Planner {
+ public:
+  Planner(Catalog* catalog, const PlannerStats* stats,
+          const UdfCostHook* hook)
+      : catalog_(catalog), stats_(stats), hook_(hook) {}
+
+  /// Plans a SELECT whose expressions are already constant-folded. The
+  /// plan owns clones of the statement's predicates; `stmt` must stay
+  /// alive only for the duration of the call.
+  Result<SelectPlan> PlanSelect(const SelectStmt& stmt);
+
+ private:
+  Catalog* catalog_;
+  const PlannerStats* stats_;
+  const UdfCostHook* hook_;
+};
+
+}  // namespace qbism::sql::planner
+
+#endif  // QBISM_SQL_PLANNER_PLANNER_H_

@@ -1,0 +1,159 @@
+#include "sql/planner/stats.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "sql/schema.h"
+
+namespace qbism::sql::planner {
+
+namespace {
+
+// Distinct-value estimation keeps an exact hash set up to this many
+// entries; beyond it every new value is assumed distinct (fine for the
+// planner: past the cap selectivity estimates are already tiny).
+constexpr size_t kDistinctCap = 1 << 16;
+
+struct ColumnAccumulator {
+  uint64_t non_null = 0;
+  std::unordered_set<std::string> distinct;
+  bool overflowed = false;
+  bool has_range = false;
+  double min = 0.0;
+  double max = 0.0;
+
+  void Add(const Value& v) {
+    if (v.is_null()) return;
+    ++non_null;
+    if (!overflowed) {
+      distinct.insert(v.ToString());
+      if (distinct.size() > kDistinctCap) overflowed = true;
+    }
+    if (v.kind() == Value::Kind::kInt || v.kind() == Value::Kind::kDouble) {
+      double d = v.kind() == Value::Kind::kInt
+                     ? static_cast<double>(v.AsInt().value())
+                     : v.AsDouble().value();
+      if (!has_range) {
+        has_range = true;
+        min = max = d;
+      } else {
+        if (d < min) min = d;
+        if (d > max) max = d;
+      }
+    }
+  }
+
+  ColumnStats Finish() const {
+    ColumnStats stats;
+    stats.non_null = non_null;
+    stats.distinct_est = overflowed ? non_null : distinct.size();
+    stats.has_range = has_range;
+    stats.min = min;
+    stats.max = max;
+    return stats;
+  }
+};
+
+}  // namespace
+
+int RegionColumnStats::BucketOf(uint64_t v) {
+  int b = 0;
+  while (v > 1 && b < kLogBuckets - 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+double RegionColumnStats::HistogramSelectivityAbove(const uint32_t* buckets,
+                                                    uint64_t rows,
+                                                    double threshold) {
+  if (rows == 0) return 0.0;
+  if (threshold <= 0.0) return 1.0;
+  int cut = BucketOf(static_cast<uint64_t>(threshold));
+  uint64_t above = 0;
+  for (int i = cut + 1; i < kLogBuckets; ++i) above += buckets[i];
+  // The cut bucket spans [2^cut, 2^{cut+1}); split it linearly at the
+  // threshold.
+  double lo = std::exp2(cut);
+  double hi = std::exp2(cut + 1);
+  double frac = threshold >= hi ? 0.0 : (hi - threshold) / (hi - lo);
+  above += static_cast<uint64_t>(frac * buckets[cut]);
+  double sel = static_cast<double>(above) / static_cast<double>(rows);
+  return sel > 1.0 ? 1.0 : sel;
+}
+
+double RegionColumnStats::VoxelCountSelectivityAbove(double threshold) const {
+  return HistogramSelectivityAbove(voxels_log2, rows, threshold);
+}
+
+double RegionColumnStats::RunCountSelectivityAbove(double threshold) const {
+  return HistogramSelectivityAbove(runs_log2, rows, threshold);
+}
+
+Status PlannerStats::AnalyzeTable(Catalog* catalog, const std::string& table) {
+  QBISM_ASSIGN_OR_RETURN(TableInfo * info, catalog->GetTable(table));
+  const TableSchema& schema = info->schema;
+  std::vector<ColumnAccumulator> acc(schema.NumColumns());
+  uint64_t rows = 0;
+
+  Status scan_status = Status::OK();
+  QBISM_RETURN_NOT_OK(info->file->Scan(
+      [&](const storage::RecordId&, const std::vector<uint8_t>& bytes) {
+        Result<Row> row = DeserializeRow(schema, bytes);
+        if (!row.ok()) {
+          scan_status = row.status();
+          return false;
+        }
+        ++rows;
+        for (size_t i = 0; i < schema.NumColumns(); ++i) {
+          acc[i].Add(row.value()[i]);
+        }
+        return true;
+      }));
+  QBISM_RETURN_NOT_OK(scan_status);
+
+  auto stats = std::make_shared<TableStats>();
+  stats->rows = rows;
+  for (size_t i = 0; i < schema.NumColumns(); ++i) {
+    stats->columns[schema.columns()[i].name] = acc[i].Finish();
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it != tables_.end()) {
+    stats->regions = it->second->regions;  // keep extension-owned stats
+  }
+  tables_[table] = std::move(stats);
+  version_.fetch_add(1, std::memory_order_release);
+  return Status::OK();
+}
+
+Status PlannerStats::AnalyzeAll(Catalog* catalog) {
+  for (const std::string& name : catalog->TableNames()) {
+    QBISM_RETURN_NOT_OK(AnalyzeTable(catalog, name));
+  }
+  return Status::OK();
+}
+
+void PlannerStats::SetRegionStats(const std::string& table,
+                                  const std::string& column,
+                                  RegionColumnStats region_stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  auto stats = it != tables_.end() ? std::make_shared<TableStats>(*it->second)
+                                   : std::make_shared<TableStats>();
+  stats->regions[column] = std::move(region_stats);
+  tables_[table] = std::move(stats);
+  version_.fetch_add(1, std::memory_order_release);
+}
+
+std::shared_ptr<const TableStats> PlannerStats::Get(
+    const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  return it != tables_.end() ? it->second : nullptr;
+}
+
+}  // namespace qbism::sql::planner

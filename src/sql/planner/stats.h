@@ -1,0 +1,122 @@
+#ifndef QBISM_SQL_PLANNER_STATS_H_
+#define QBISM_SQL_PLANNER_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/catalog.h"
+
+namespace qbism::sql::planner {
+
+/// Per-scalar-column statistics gathered by ANALYZE.
+struct ColumnStats {
+  uint64_t non_null = 0;
+  uint64_t distinct_est = 0;  // exact up to a cap, then ~non_null
+  bool has_range = false;     // min/max valid (numeric column, >=1 value)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// The paper's §4.2 result fitted to one region population: delta
+/// lengths follow count = c * length^(-a) with a ~ 1.5-1.7. `c` and `a`
+/// are per-region averages, so cost predictions scale per predicate
+/// evaluation, and `r` is the log-log correlation (fit quality).
+struct PowerLawFit {
+  double c = 0.0;
+  double a = 0.0;
+  double r = 0.0;
+  uint64_t samples = 0;  // pooled delta lengths behind the fit
+  bool valid() const { return samples >= 8 && a > 0.0; }
+};
+
+/// Statistics for one REGION (long-field) column: per-band run-count /
+/// voxel-count / encoded-size histograms plus fitted power-law
+/// parameters, pooled and per study. The spatial cost hook turns these
+/// into predicted runs / bytes / selectivity for spatial conjuncts.
+struct RegionColumnStats {
+  static constexpr int kLogBuckets = 32;
+
+  uint64_t rows = 0;  // rows with a parseable region payload
+  uint64_t total_runs = 0;
+  uint64_t total_voxels = 0;
+  uint64_t total_bytes = 0;  // encoded payload bytes
+
+  // log2 histograms of per-row run counts and voxel counts: bucket i
+  // holds rows whose count is in [2^i, 2^{i+1}).
+  uint32_t runs_log2[kLogBuckets] = {};
+  uint32_t voxels_log2[kLogBuckets] = {};
+
+  PowerLawFit fit;                        // pooled over all rows
+  std::map<int64_t, PowerLawFit> per_study;  // keyed by studyId
+
+  double avg_runs() const {
+    return rows ? static_cast<double>(total_runs) / rows : 0.0;
+  }
+  double avg_voxels() const {
+    return rows ? static_cast<double>(total_voxels) / rows : 0.0;
+  }
+  double avg_bytes() const {
+    return rows ? static_cast<double>(total_bytes) / rows : 0.0;
+  }
+
+  /// Fraction of rows whose voxel count exceeds `threshold`, estimated
+  /// from the log2 histogram (linear interpolation inside the bucket).
+  double VoxelCountSelectivityAbove(double threshold) const;
+  double RunCountSelectivityAbove(double threshold) const;
+
+  static int BucketOf(uint64_t v);
+  static double HistogramSelectivityAbove(const uint32_t* buckets,
+                                          uint64_t rows, double threshold);
+};
+
+/// Everything known about one table.
+struct TableStats {
+  uint64_t rows = 0;
+  std::map<std::string, ColumnStats> columns;        // scalar columns
+  std::map<std::string, RegionColumnStats> regions;  // long-field columns
+};
+
+/// Thread-safe statistics store feeding the cost-based planner. Scalar
+/// analysis (row counts, distinct estimates, min/max) runs here; region
+/// analysis needs the extension's payload format and grid, so the
+/// spatial extension computes RegionColumnStats and installs them via
+/// SetRegionStats (SpatialExtension::RefreshPlannerStats, triggered by
+/// IngestManager commit listeners).
+///
+/// Readers take an immutable snapshot per table; `version()` changes on
+/// every update so plan caches can invalidate.
+class PlannerStats {
+ public:
+  /// Scans `table`'s heap file, replacing its scalar stats and row
+  /// count (existing region stats for the table are preserved).
+  Status AnalyzeTable(Catalog* catalog, const std::string& table);
+
+  /// AnalyzeTable over every table in the catalog.
+  Status AnalyzeAll(Catalog* catalog);
+
+  /// Installs region-column stats computed by the spatial extension.
+  void SetRegionStats(const std::string& table, const std::string& column,
+                      RegionColumnStats stats);
+
+  /// Immutable snapshot of one table's stats; null when never analyzed.
+  std::shared_ptr<const TableStats> Get(const std::string& table) const;
+
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const TableStats>> tables_;
+  std::atomic<uint64_t> version_{0};
+};
+
+}  // namespace qbism::sql::planner
+
+#endif  // QBISM_SQL_PLANNER_STATS_H_

@@ -92,4 +92,36 @@ Result<Row> DeserializeRow(const TableSchema& schema,
   return row;
 }
 
+Status DeserializeRowProjected(const TableSchema& schema,
+                               const std::vector<uint8_t>& bytes,
+                               const std::vector<char>& needed, Row* row) {
+  return DeserializeRowProjected(schema, bytes, 0, bytes.size(), needed,
+                                 row);
+}
+
+Status DeserializeRowProjected(const TableSchema& schema,
+                               const std::vector<uint8_t>& bytes,
+                               size_t offset, size_t length,
+                               const std::vector<char>& needed, Row* row) {
+  if (offset + length > bytes.size()) {
+    return Status::Corruption("record slice out of bounds in table " +
+                              schema.name());
+  }
+  row->clear();
+  row->resize(schema.NumColumns());
+  size_t pos = offset;
+  for (size_t i = 0; i < schema.NumColumns(); ++i) {
+    if (i < needed.size() && needed[i]) {
+      QBISM_ASSIGN_OR_RETURN((*row)[i], Value::DeserializeFrom(bytes, &pos));
+    } else {
+      QBISM_RETURN_NOT_OK(Value::SkipSerialized(bytes, &pos));
+    }
+  }
+  if (pos != offset + length) {
+    return Status::Corruption("trailing bytes in stored row of table " +
+                              schema.name());
+  }
+  return Status::OK();
+}
+
 }  // namespace qbism::sql

@@ -60,6 +60,23 @@ Result<std::vector<uint8_t>> SerializeRow(const TableSchema& schema,
 Result<Row> DeserializeRow(const TableSchema& schema,
                            const std::vector<uint8_t>& bytes);
 
+/// Late-materializing variant: only columns with `needed[i] != 0` are
+/// constructed; the rest are skipped in place (no string allocation)
+/// and left NULL in the output row. The caller guarantees skipped
+/// columns are never read — the batch VM derives `needed` from every
+/// expression in the statement. `row` is reused (cleared) across calls.
+Status DeserializeRowProjected(const TableSchema& schema,
+                               const std::vector<uint8_t>& bytes,
+                               const std::vector<char>& needed, Row* row);
+
+/// Same, over a slice of a batched-scan page buffer
+/// (HeapFile::ScanBatched): the record occupies
+/// bytes[offset, offset + length).
+Status DeserializeRowProjected(const TableSchema& schema,
+                               const std::vector<uint8_t>& bytes,
+                               size_t offset, size_t length,
+                               const std::vector<char>& needed, Row* row);
+
 }  // namespace qbism::sql
 
 #endif  // QBISM_SQL_SCHEMA_H_

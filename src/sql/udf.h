@@ -18,6 +18,12 @@ namespace qbism::sql {
 struct UdfContext {
   storage::LongFieldManager* lfm = nullptr;
   void* extension_state = nullptr;
+  /// Extraction strategy for spatial set-operation UDFs: when true
+  /// (the default) encoded operands are combined in their stored
+  /// (elias-deltas) form without materializing run lists between steps;
+  /// the batch VM clears it when the cost-based planner estimated the
+  /// decode-and-extract strategy cheaper for this query.
+  bool prefer_encoded_regions = true;
 };
 
 /// A user-defined SQL function: evaluated at query run time, embedded in

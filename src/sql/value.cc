@@ -218,4 +218,34 @@ Result<Value> Value::DeserializeFrom(const std::vector<uint8_t>& bytes,
   return Status::Corruption("Value: unknown kind tag");
 }
 
+Status Value::SkipSerialized(const std::vector<uint8_t>& bytes, size_t* pos) {
+  if (*pos >= bytes.size()) {
+    return Status::Corruption("Value: truncated kind tag");
+  }
+  Kind kind = static_cast<Kind>(bytes[(*pos)++]);
+  switch (kind) {
+    case Kind::kNull:
+      return Status::OK();
+    case Kind::kInt:
+    case Kind::kDouble:
+    case Kind::kLongField:
+      if (*pos + 8 > bytes.size()) {
+        return Status::Corruption("Value: truncated u64");
+      }
+      *pos += 8;
+      return Status::OK();
+    case Kind::kString: {
+      QBISM_ASSIGN_OR_RETURN(uint64_t len, GetU64(bytes, pos));
+      if (*pos + len > bytes.size()) {
+        return Status::Corruption("Value: truncated string");
+      }
+      *pos += len;
+      return Status::OK();
+    }
+    case Kind::kObject:
+      return Status::Corruption("Value: object kind in stored record");
+  }
+  return Status::Corruption("Value: unknown kind tag");
+}
+
 }  // namespace qbism::sql

@@ -78,6 +78,12 @@ class Value {
   static Result<Value> DeserializeFrom(const std::vector<uint8_t>& bytes,
                                        size_t* pos);
 
+  /// Advances `pos` past one serialized value without constructing it
+  /// (no string allocation). The batch VM's scan path uses this to skip
+  /// columns the query never references.
+  static Status SkipSerialized(const std::vector<uint8_t>& bytes,
+                               size_t* pos);
+
  private:
   Kind kind_;
   int64_t int_ = 0;

@@ -1,0 +1,103 @@
+#ifndef QBISM_SQL_VM_PROGRAM_H_
+#define QBISM_SQL_VM_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sql/udf.h"
+#include "sql/value.h"
+
+namespace qbism::sql::vm {
+
+/// Register bytecode executed by the batch VM. Each instruction runs
+/// vectorized over the active selection of a 1024-row batch; registers
+/// hold one value per lane (or a single value when the compiler proved
+/// the register loop-invariant — see Program::reg_uniform).
+enum class OpCode : uint8_t {
+  /// dst <- constants[a] (uniform).
+  kLoadConst,
+  /// dst <- column a of the current table's row, per lane.
+  kLoadColumn,
+  /// dst <- column a of the bound prefix row of plan table b (uniform:
+  /// outer join levels are fixed while a batch of the current level
+  /// runs).
+  kLoadPrefix,
+  /// dst <- arithmetic (u8 = Expr::BinOp kAdd..kDiv) of regs a, b.
+  kBinary,
+  /// dst <- comparison (u8 = Expr::BinOp kEq..kGe) of regs a, b -> 0/1.
+  kCompare,
+  /// dst <- NOT reg a (truthiness inverted to 0/1).
+  kNot,
+  /// dst <- -reg a.
+  kNeg,
+  /// dst <- functions[b](args from arg_lists[a]). Uniform-argument
+  /// calls execute once per batch (loop-invariant UDF hoisting).
+  kCall,
+  /// sel &= truthiness of reg a. Filter programs end each conjunct
+  /// with one of these.
+  kFilterTrue,
+  /// Fused filter: sel &= (column a  <u8: Expr::BinOp cmp>  constants[b])
+  /// with int/double fast paths. One instruction replaces
+  /// kLoadColumn + kLoadConst + kCompare + kFilterTrue.
+  kFilterCmpColConst,
+  /// Push the current selection and restrict it to lanes where
+  /// truthiness of reg a == u8. Implements short-circuit AND (u8=1) /
+  /// OR (u8=0): the right side only evaluates on undecided lanes, so
+  /// an error on a decided lane never surfaces — exactly like the
+  /// interpreter's lazy evaluation.
+  kMaskPush,
+  /// Pop the selection pushed by the matching kMaskPush. dst gets, per
+  /// restored lane: truthiness of reg a (0/1) when the lane was inside
+  /// the restricted subset, else the constant u8 (the decided value).
+  kMaskPop,
+  /// Raise the deferred resolution error constants[a] (u8 = the
+  /// qbism::StatusCode). Compilation never fails on unknown/ambiguous
+  /// columns or functions — the error is raised only if a row actually
+  /// reaches it, matching the interpreter, which reports nothing when
+  /// no row is evaluated.
+  kError,
+};
+
+struct Instr {
+  OpCode op = OpCode::kLoadConst;
+  uint8_t u8 = 0;
+  uint16_t dst = 0;
+  uint16_t a = 0;
+  uint16_t b = 0;
+};
+
+/// One compiled expression (or fused conjunct list). Immutable after
+/// compilation; all run state lives in the VM.
+struct Program {
+  std::vector<Instr> code;
+  std::vector<Value> constants;
+  std::vector<std::vector<uint16_t>> arg_lists;  // kCall argument regs
+  std::vector<const UdfFunction*> functions;
+  std::vector<std::string> function_names;
+  uint16_t num_regs = 0;
+  uint16_t result_reg = 0;
+  /// Registers whose value is identical across lanes (constants, prefix
+  /// columns, and pure functions thereof): computed once per batch.
+  std::vector<bool> reg_uniform;
+
+  bool empty() const { return code.empty(); }
+};
+
+/// The first deferred kError in the program, reconstructed as the
+/// Status the VM would raise — OK when there is none. Execution keeps
+/// the deferral (an error no row reaches must stay silent), but EXPLAIN
+/// reports it eagerly: a plan built on unresolvable names is not worth
+/// printing.
+inline Status FirstDeferredError(const Program& program) {
+  for (const Instr& in : program.code) {
+    if (in.op != OpCode::kError) continue;
+    return Status(static_cast<StatusCode>(in.u8),
+                  program.constants[in.a].AsString().value());
+  }
+  return Status::OK();
+}
+
+}  // namespace qbism::sql::vm
+
+#endif  // QBISM_SQL_VM_PROGRAM_H_

@@ -99,4 +99,39 @@ Status HeapFile::Scan(
   return Status::OK();
 }
 
+Status HeapFile::ScanBatched(
+    const std::function<bool(const std::vector<uint8_t>& bytes,
+                             const std::vector<RecordRef>& records)>& visit) {
+  std::vector<uint8_t> bytes;
+  bytes.reserve(kPageSize);
+  std::vector<RecordRef> records;
+  std::unique_lock<std::recursive_mutex> lock(pool_->latch());
+  uint64_t page_no = first_page_;
+  while (page_no != 0) {
+    QBISM_ASSIGN_OR_RETURN(uint8_t* page, pool_->GetPage(page_no));
+    uint16_t slots = SlottedPage::SlotCount(page);
+    uint64_t next = SlottedPage::NextPage(page);
+    bytes.clear();
+    records.clear();
+    // The frame stays valid for the whole copy loop: the latch is held
+    // and no pool call happens until the page is fully staged.
+    for (SlotId slot = 0; slot < slots; ++slot) {
+      if (!SlottedPage::IsLive(page, slot)) continue;
+      QBISM_ASSIGN_OR_RETURN(auto view, SlottedPage::ReadView(page, slot));
+      records.push_back(RecordRef{RecordId{page_no, slot},
+                                  static_cast<uint32_t>(bytes.size()),
+                                  view.second});
+      bytes.insert(bytes.end(), view.first, view.first + view.second);
+    }
+    // Latch-free callback, same contract as Scan(): predicates and UDFs
+    // may re-enter the pool.
+    lock.unlock();
+    bool keep_going = records.empty() ? true : visit(bytes, records);
+    lock.lock();
+    if (!keep_going) return Status::OK();
+    page_no = next;
+  }
+  return Status::OK();
+}
+
 }  // namespace qbism::storage

@@ -70,6 +70,24 @@ class HeapFile {
       const std::function<bool(const RecordId&, const std::vector<uint8_t>&)>&
           visit);
 
+  /// One live record inside a ScanBatched page buffer.
+  struct RecordRef {
+    RecordId rid;
+    uint32_t offset = 0;
+    uint32_t length = 0;
+  };
+
+  /// Page-at-a-time scan: every live record of a page is copied into
+  /// `bytes` under a single latch acquisition / page lookup, then the
+  /// callback runs latch-free over the whole page. The buffers are
+  /// reused across pages, so a full scan performs no per-record
+  /// allocation — this is the batch VM's scan path; Scan() remains the
+  /// row-at-a-time oracle. The callback returns false to stop early.
+  Status ScanBatched(
+      const std::function<bool(const std::vector<uint8_t>& bytes,
+                               const std::vector<RecordRef>& records)>&
+          visit);
+
   uint64_t page_count() const { return page_count_; }
 
  private:

@@ -89,6 +89,18 @@ Result<std::vector<uint8_t>> SlottedPage::Read(const uint8_t* page,
   return out;
 }
 
+Result<std::pair<const uint8_t*, uint16_t>> SlottedPage::ReadView(
+    const uint8_t* page, SlotId slot) {
+  if (slot >= GetU16(page)) {
+    return Status::NotFound("SlottedPage: bad slot id");
+  }
+  uint16_t length = SlotLength(page, slot);
+  if (length == kTombstone) {
+    return Status::NotFound("SlottedPage: record deleted");
+  }
+  return std::make_pair(page + SlotOffset(page, slot), length);
+}
+
 Status SlottedPage::Erase(uint8_t* page, SlotId slot) {
   if (slot >= GetU16(page)) {
     return Status::NotFound("SlottedPage: bad slot id");

@@ -47,6 +47,12 @@ class SlottedPage {
   /// Reads a record (copy). Fails on bad slot or tombstone.
   static Result<std::vector<uint8_t>> Read(const uint8_t* page, SlotId slot);
 
+  /// Zero-copy view of a live record's bytes. Fails on bad slot or
+  /// tombstone. The pointer is valid only while the page frame stays
+  /// resident (callers hold the pool latch across the access).
+  static Result<std::pair<const uint8_t*, uint16_t>> ReadView(
+      const uint8_t* page, SlotId slot);
+
   /// Tombstones a record. Space is not compacted (fine for this
   /// workload: the medical schema is append-mostly).
   static Status Erase(uint8_t* page, SlotId slot);

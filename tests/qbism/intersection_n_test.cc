@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "qbism/spatial_extension.h"
+#include "region/encoded_ops.h"
+
+namespace qbism {
+namespace {
+
+using curve::CurveKind;
+using region::EncodedRegion;
+using region::GridSpec;
+using region::Region;
+using region::RegionEncoding;
+using sql::Value;
+
+/// n-way intersection: the streaming encoded operator, the SQL UDF on
+/// both storage encodings, and equivalence with the pairwise fold.
+class IntersectionNTest : public ::testing::TestWithParam<RegionEncoding> {
+ protected:
+  IntersectionNTest() {
+    SpatialConfig config;
+    config.grid = GridSpec{3, 5};  // 32^3
+    config.region_encoding = GetParam();
+    auto ext = SpatialExtension::Install(&db_, config);
+    QBISM_CHECK(ext.ok());
+    ext_ = ext.MoveValue();
+  }
+
+  Region Box(int x0, int y0, int z0, int x1, int y1, int z1) {
+    return Region::FromBox(ext_->config().grid, CurveKind::kHilbert,
+                           {{x0, y0, z0}, {x1, y1, z1}});
+  }
+
+  void StoreThreeRegions(const Region& a, const Region& b, const Region& c) {
+    ASSERT_TRUE(db_.Execute("create table r (id int, reg longfield)").ok());
+    int id = 1;
+    for (const Region* reg : {&a, &b, &c}) {
+      ASSERT_TRUE(
+          db_.Insert("r",
+                     {Value::Int(id++),
+                      Value::LongField(ext_->StoreRegion(*reg).MoveValue())})
+              .ok());
+    }
+  }
+
+  sql::Database db_;
+  std::unique_ptr<SpatialExtension> ext_;
+};
+
+TEST_P(IntersectionNTest, UdfMatchesPairwiseFold) {
+  Region a = Box(0, 0, 0, 20, 20, 20);
+  Region b = Box(6, 2, 4, 28, 24, 26);
+  Region c = Box(3, 8, 1, 22, 30, 18);
+  StoreThreeRegions(a, b, c);
+  Region expected = a.IntersectWith(b).MoveValue();
+  expected = expected.IntersectWith(c).MoveValue();
+
+  auto result = db_.Execute(
+      "select voxelcount(intersection_n(x.reg, y.reg, z.reg)) "
+      "from r x, r y, r z where x.id = 1 and y.id = 2 and z.id = 3");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].AsInt().MoveValue(),
+            static_cast<int64_t>(expected.VoxelCount()));
+
+  // And it must agree with the nested pairwise UDF chain.
+  auto pairwise = db_.Execute(
+      "select voxelcount(intersection(intersection(x.reg, y.reg), z.reg)) "
+      "from r x, r y, r z where x.id = 1 and y.id = 2 and z.id = 3");
+  ASSERT_TRUE(pairwise.ok()) << pairwise.status().ToString();
+  EXPECT_EQ(pairwise->rows[0][0].ToString(), result->rows[0][0].ToString());
+}
+
+TEST_P(IntersectionNTest, EmptyIntersectionIsEmpty) {
+  Region a = Box(0, 0, 0, 10, 10, 10);
+  Region b = Box(12, 12, 12, 30, 30, 30);  // disjoint from a
+  Region c = Box(0, 0, 0, 30, 30, 30);
+  StoreThreeRegions(a, b, c);
+  auto result = db_.Execute(
+      "select voxelcount(intersection_n(x.reg, y.reg, z.reg)) "
+      "from r x, r y, r z where x.id = 1 and y.id = 2 and z.id = 3");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows[0][0].AsInt().MoveValue(), 0);
+}
+
+TEST_P(IntersectionNTest, RejectsFewerThanTwoArguments) {
+  Region a = Box(0, 0, 0, 10, 10, 10);
+  StoreThreeRegions(a, a, a);
+  auto result = db_.Execute("select intersection_n(reg) from r");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("at least 2"), std::string::npos)
+      << result.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Encodings, IntersectionNTest,
+                         ::testing::Values(RegionEncoding::kNaiveRuns,
+                                           RegionEncoding::kEliasDeltas));
+
+TEST(EncodedIntersectAllTest, StreamingNWayIsByteIdenticalToPairwise) {
+  GridSpec grid{3, 5};
+  Region a = Region::FromBox(grid, CurveKind::kHilbert,
+                             {{0, 0, 0}, {25, 19, 27}});
+  Region b = Region::FromBox(grid, CurveKind::kHilbert,
+                             {{4, 2, 6}, {31, 29, 31}});
+  Region c = Region::FromBox(grid, CurveKind::kHilbert,
+                             {{1, 7, 3}, {23, 25, 21}});
+  Region d = Region::FromBox(grid, CurveKind::kHilbert,
+                             {{0, 0, 0}, {31, 31, 31}});
+
+  EncodedRegion ea = EncodedRegion::FromRegion(a).MoveValue();
+  EncodedRegion eb = EncodedRegion::FromRegion(b).MoveValue();
+  EncodedRegion ec = EncodedRegion::FromRegion(c).MoveValue();
+  EncodedRegion ed = EncodedRegion::FromRegion(d).MoveValue();
+
+  std::vector<const EncodedRegion*> all = {&ea, &eb, &ec, &ed};
+  EncodedRegion streamed = EncodedRegion::IntersectAll(all).MoveValue();
+
+  EncodedRegion folded = ea.IntersectWith(eb).MoveValue();
+  folded = folded.IntersectWith(ec).MoveValue();
+  folded = folded.IntersectWith(ed).MoveValue();
+
+  EXPECT_EQ(streamed.bytes(), folded.bytes());
+
+  Region expected = a.IntersectWith(b).MoveValue();
+  expected = expected.IntersectWith(c).MoveValue();
+  expected = expected.IntersectWith(d).MoveValue();
+  EXPECT_EQ(streamed.Decode().MoveValue(), expected);
+}
+
+}  // namespace
+}  // namespace qbism

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "sql/database.h"
+#include "sql/eval.h"
 
 namespace qbism::sql {
 namespace {
