@@ -1,0 +1,510 @@
+#include "index/manager.h"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+#include "common/macros.h"
+#include "geometry/vec3.h"
+#include "obs/trace.h"
+#include "storage/epoch.h"
+
+namespace qbism::index {
+
+namespace {
+
+bool LowerEq(const std::string& a, const char* b) {
+  size_t i = 0;
+  for (; i < a.size() && b[i] != '\0'; ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return i == a.size() && b[i] == '\0';
+}
+
+/// `e` as an int literal, when it is one.
+std::optional<int64_t> AsIntLiteral(const sql::Expr& e) {
+  if (e.kind != sql::Expr::Kind::kLiteral) return std::nullopt;
+  if (e.literal.kind() != sql::Value::Kind::kInt) return std::nullopt;
+  auto v = e.literal.AsInt();
+  if (!v.ok()) return std::nullopt;
+  return *v;
+}
+
+bool IsColumnRef(const sql::Expr& e, const std::string& alias,
+                 const std::string& column) {
+  return e.kind == sql::Expr::Kind::kColumnRef && e.column == column &&
+         (e.table.empty() || e.table == alias);
+}
+
+const sql::Expr* AsIntersectsCall(const sql::Expr& e) {
+  if (e.kind == sql::Expr::Kind::kFunctionCall &&
+      LowerEq(e.function, "intersects") && e.args.size() == 2) {
+    return &e;
+  }
+  return nullptr;
+}
+
+/// A conjunct that *requires* intersects(...) to be true: the bare call
+/// (truthy), or a comparison against an int literal that can only hold
+/// when the call returns non-zero. Anything else — including negated
+/// forms — yields null and the hook stays out of the query's way.
+const sql::Expr* ExtractRequiredIntersects(const sql::Expr& c) {
+  if (const sql::Expr* f = AsIntersectsCall(c)) return f;
+  if (c.kind != sql::Expr::Kind::kBinary || !c.lhs || !c.rhs) return nullptr;
+  const sql::Expr* call = AsIntersectsCall(*c.lhs);
+  const sql::Expr* lit_side = c.rhs.get();
+  bool call_left = true;
+  if (!call) {
+    call = AsIntersectsCall(*c.rhs);
+    lit_side = c.lhs.get();
+    call_left = false;
+  }
+  if (!call) return nullptr;
+  std::optional<int64_t> v = AsIntLiteral(*lit_side);
+  if (!v) return nullptr;
+  using BinOp = sql::Expr::BinOp;
+  BinOp op = c.bin_op;
+  if (!call_left) {
+    // Mirror so the call is conceptually on the left.
+    switch (op) {
+      case BinOp::kLt: op = BinOp::kGt; break;
+      case BinOp::kLe: op = BinOp::kGe; break;
+      case BinOp::kGt: op = BinOp::kLt; break;
+      case BinOp::kGe: op = BinOp::kLe; break;
+      default: break;
+    }
+  }
+  switch (op) {
+    case BinOp::kEq: return *v != 0 ? call : nullptr;   // call = 1
+    case BinOp::kNe: return *v == 0 ? call : nullptr;   // call <> 0
+    case BinOp::kGt: return *v >= 0 ? call : nullptr;   // call > 0
+    case BinOp::kGe: return *v >= 1 ? call : nullptr;   // call >= 1
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+SpatialIndexManager::SpatialIndexManager(SpatialExtension* ext,
+                                         IndexConfig config)
+    : ext_(ext), config_(std::move(config)) {}
+
+uint64_t SpatialIndexManager::CurrentEpoch() const {
+  storage::EpochManager* epochs = ext_->db()->epochs();
+  return epochs ? epochs->current() : 0;
+}
+
+void SpatialIndexManager::BumpPlanVersion() {
+  ext_->db()->BumpIndexVersion();
+}
+
+Status SpatialIndexManager::BuildFromCatalog() {
+  obs::Span span(obs::Stage::kIndexBuild);
+  span.SetLabel("catalog");
+  std::string sql = "select " + config_.study_column + ", " +
+                    config_.atlas_column + ", " + config_.lo_column + ", " +
+                    config_.hi_column + ", " + config_.region_column +
+                    " from " + config_.table;
+  QBISM_ASSIGN_OR_RETURN(sql::ResultSet rs, ext_->db()->Execute(sql));
+  std::map<int64_t, StudySummary> summaries;
+  for (const sql::Row& row : rs.rows) {
+    if (row.size() != 5) {
+      return Status::Internal("index build: unexpected row shape");
+    }
+    QBISM_ASSIGN_OR_RETURN(int64_t study_id, row[0].AsInt());
+    QBISM_ASSIGN_OR_RETURN(int64_t atlas_id, row[1].AsInt());
+    QBISM_ASSIGN_OR_RETURN(int64_t lo, row[2].AsInt());
+    QBISM_ASSIGN_OR_RETURN(int64_t hi, row[3].AsInt());
+    if (lo < 0 || hi > 255 || lo > hi) {
+      return Status::Corruption("index build: bad band interval");
+    }
+    if (row[4].is_null()) continue;
+    QBISM_ASSIGN_OR_RETURN(storage::LongFieldId field, row[4].AsLongField());
+    QBISM_ASSIGN_OR_RETURN(region::Region r, ext_->LoadRegion(field));
+    StudySummary& s = summaries[study_id];
+    s.study_id = study_id;
+    s.atlas_id = atlas_id;
+    BandSummary band =
+        SummarizeBandRegion(uint8_t(lo), uint8_t(hi), r);
+    if (band.voxels > 0) s.bitmap.SetRange(band.lo, band.hi);
+    s.bands.push_back(band);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  versions_.clear();
+  delta_.clear();
+  for (auto& [id, summary] : summaries) {
+    versions_[id].push_back(
+        Version{std::make_shared<const StudySummary>(std::move(summary)), 0});
+  }
+  QBISM_RETURN_NOT_OK(RebuildPackedLocked());
+  authoritative_ = true;
+  BumpPlanVersion();
+  return Status::OK();
+}
+
+Status SpatialIndexManager::RebuildPacked() {
+  std::lock_guard<std::mutex> lock(mu_);
+  QBISM_RETURN_NOT_OK(RebuildPackedLocked());
+  BumpPlanVersion();
+  return Status::OK();
+}
+
+Status SpatialIndexManager::RebuildPackedLocked() {
+  obs::Span span(obs::Stage::kIndexBuild);
+  span.SetLabel("pack");
+  std::vector<HilbertRTree::Entry> entries;
+  for (const auto& [id, vers] : versions_) {
+    for (const Version& v : vers) {
+      for (const BandSummary& b : v.summary->bands) {
+        if (b.voxels == 0) continue;  // empty bands can't intersect
+        HilbertRTree::Entry e;
+        e.study_id = id;
+        e.lo = b.lo;
+        e.hi = b.hi;
+        e.signature = b.signature;
+        e.box = b.box;
+        entries.push_back(e);
+      }
+    }
+  }
+  sql::Database* db = ext_->db();
+  QBISM_ASSIGN_OR_RETURN(
+      HilbertRTree tree,
+      HilbertRTree::BulkLoad(db->buffer_pool(), db->page_allocator(),
+                             ext_->config().grid, ext_->config().curve,
+                             std::move(entries)));
+  span.AddPages(tree.page_count());
+  tree_ = std::make_shared<const HilbertRTree>(std::move(tree));
+  delta_.clear();
+  ++stats_.rebuilds;
+  stats_.tree_entries = tree_->leaf_entries();
+  stats_.tree_pages = tree_->page_count();
+  stats_.tree_height = tree_->height();
+  return Status::OK();
+}
+
+Status SpatialIndexManager::ApplyRecovered(
+    const std::vector<storage::WalRecord>& records) {
+  obs::Span span(obs::Stage::kIndexBuild);
+  span.SetLabel("recover");
+  std::lock_guard<std::mutex> lock(mu_);
+  versions_.clear();
+  delta_.clear();
+  for (const storage::WalRecord& rec : records) {
+    if (rec.type == storage::WalRecordType::kIndexUpsert) {
+      QBISM_ASSIGN_OR_RETURN(
+          StudySummary s,
+          StudySummary::Deserialize(rec.payload.data(), rec.payload.size()));
+      // Last-wins: a later record for the same study replaces earlier
+      // state entirely (ingest logs the full summary, not a delta).
+      versions_[s.study_id].clear();
+      versions_[s.study_id].push_back(
+          Version{std::make_shared<const StudySummary>(std::move(s)), 0});
+    } else if (rec.type == storage::WalRecordType::kIndexRemove) {
+      if (rec.payload.size() != 8) {
+        return Status::Corruption("kIndexRemove: bad payload");
+      }
+      uint64_t id = 0;
+      for (int b = 0; b < 8; ++b) id |= uint64_t(rec.payload[b]) << (8 * b);
+      versions_.erase(int64_t(id));
+    }
+  }
+  QBISM_RETURN_NOT_OK(RebuildPackedLocked());
+  authoritative_ = true;
+  BumpPlanVersion();
+  return Status::OK();
+}
+
+Status SpatialIndexManager::StageUpsert(StudySummary summary) {
+  std::vector<uint8_t> payload;
+  summary.Serialize(&payload);
+  QBISM_RETURN_NOT_OK(ext_->db()->LogExtensionRecord(
+      storage::WalRecordType::kIndexUpsert, payload));
+  std::lock_guard<std::mutex> lock(mu_);
+  staged_upserts_.push_back(std::move(summary));
+  return Status::OK();
+}
+
+Status SpatialIndexManager::StageRemove(int64_t study_id) {
+  std::vector<uint8_t> payload(8);
+  for (int b = 0; b < 8; ++b) payload[b] = uint8_t(uint64_t(study_id) >> (8 * b));
+  QBISM_RETURN_NOT_OK(ext_->db()->LogExtensionRecord(
+      storage::WalRecordType::kIndexRemove, payload));
+  std::lock_guard<std::mutex> lock(mu_);
+  staged_removes_.push_back(study_id);
+  return Status::OK();
+}
+
+void SpatialIndexManager::PublishStaged() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int64_t id : staged_removes_) RemoveLocked(id);
+  for (StudySummary& s : staged_upserts_) {
+    UpsertLocked(std::make_shared<const StudySummary>(std::move(s)));
+  }
+  staged_upserts_.clear();
+  staged_removes_.clear();
+  ++stats_.publishes;
+  BumpPlanVersion();
+}
+
+void SpatialIndexManager::DropStaged() {
+  std::lock_guard<std::mutex> lock(mu_);
+  staged_upserts_.clear();
+  staged_removes_.clear();
+}
+
+void SpatialIndexManager::UpsertLocked(
+    std::shared_ptr<const StudySummary> summary) {
+  int64_t id = summary->study_id;
+  std::vector<Version>& vers = versions_[id];
+  uint64_t epoch = CurrentEpoch();
+  if (epoch == 0) {
+    vers.clear();  // no epoch machinery: no pinned readers to protect
+  } else {
+    for (Version& v : vers) {
+      if (v.died == 0) v.died = epoch;
+    }
+  }
+  vers.push_back(Version{std::move(summary), 0});
+  delta_.insert(id);
+}
+
+void SpatialIndexManager::RemoveLocked(int64_t study_id) {
+  auto it = versions_.find(study_id);
+  if (it == versions_.end()) return;
+  uint64_t epoch = CurrentEpoch();
+  if (epoch == 0) {
+    versions_.erase(it);
+    delta_.erase(study_id);
+    return;
+  }
+  for (Version& v : it->second) {
+    if (v.died == 0) v.died = epoch;
+  }
+  delta_.insert(study_id);  // keep the study probe-visible until vacuum
+}
+
+void SpatialIndexManager::Vacuum() {
+  storage::EpochManager* epochs = ext_->db()->epochs();
+  uint64_t horizon = epochs ? epochs->MinActiveReader() : ~uint64_t{0};
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = versions_.begin(); it != versions_.end();) {
+    std::vector<Version>& vers = it->second;
+    size_t before = vers.size();
+    vers.erase(std::remove_if(vers.begin(), vers.end(),
+                              [&](const Version& v) {
+                                return v.died != 0 && v.died <= horizon;
+                              }),
+               vers.end());
+    stats_.vacuumed_versions += before - vers.size();
+    if (vers.empty()) {
+      delta_.erase(it->first);
+      it = versions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool SpatialIndexManager::StudyMatchesLocked(int64_t study_id,
+                                             const BoundingBox& box,
+                                             uint64_t sig, uint8_t band_lo,
+                                             uint8_t band_hi) const {
+  auto it = versions_.find(study_id);
+  if (it == versions_.end()) return false;
+  for (const Version& v : it->second) {
+    // Hierarchical bitmap first: no intensity in the asked range means
+    // every in-range band of this version is empty.
+    if (!v.summary->bitmap.AnyInRange(band_lo, band_hi)) continue;
+    for (const BandSummary& b : v.summary->bands) {
+      if (b.voxels == 0) continue;
+      if (b.lo < band_lo || b.hi > band_hi) continue;
+      if ((b.signature & sig) == 0) continue;
+      if (!b.box.Intersects(box)) continue;
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::vector<int64_t>> SpatialIndexManager::ProbeIntersect(
+    const region::Region& probe, uint8_t band_lo, uint8_t band_hi) const {
+  obs::Span span(obs::Stage::kIndexProbe);
+  std::vector<int64_t> out;
+  if (probe.Empty() || band_lo > band_hi) return out;
+  BoundingBox box = RegionBounds(probe);
+  uint64_t sig = RegionSignature(probe);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.probes;
+  std::set<int64_t> candidates;
+  uint64_t pages_before = probe_counters_.pages_visited;
+  if (tree_ && !tree_->empty()) {
+    QBISM_RETURN_NOT_OK(tree_->Probe(
+        box, sig, band_lo, band_hi,
+        [&](int64_t id) { candidates.insert(id); }, &probe_counters_));
+  }
+  for (int64_t id : delta_) candidates.insert(id);
+  for (int64_t id : candidates) {
+    if (StudyMatchesLocked(id, box, sig, band_lo, band_hi)) {
+      out.push_back(id);
+    }
+  }
+  span.AddPages(probe_counters_.pages_visited - pages_before);
+  return out;
+}
+
+bool SpatialIndexManager::authoritative() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return authoritative_;
+}
+
+sql::planner::CandidateIndexHook SpatialIndexManager::MakeHook() {
+  return [this](const std::string& table, const std::string& alias,
+                const std::vector<const sql::Expr*>& conjuncts)
+             -> std::optional<sql::planner::CandidateSet> {
+    if (table != config_.table || !authoritative()) return std::nullopt;
+
+    // One conjunct must *require* an intersects() against the region
+    // column with a constant region operand. Without it there is no
+    // sound pruning: rows with empty regions still satisfy plain
+    // intensity-range predicates.
+    const region::GridSpec& grid = ext_->config().grid;
+    curve::CurveKind kind = ext_->config().curve;
+    std::optional<region::Region> probe;
+    for (const sql::Expr* c : conjuncts) {
+      const sql::Expr* call = ExtractRequiredIntersects(*c);
+      if (!call) continue;
+      const sql::Expr* col = call->args[0].get();
+      const sql::Expr* arg = call->args[1].get();
+      if (!IsColumnRef(*col, alias, config_.region_column)) {
+        std::swap(col, arg);  // intersects is symmetric
+      }
+      if (!IsColumnRef(*col, alias, config_.region_column)) continue;
+      // The other operand must be a constant region expression the
+      // hook can evaluate without touching storage.
+      if (arg->kind != sql::Expr::Kind::kFunctionCall) continue;
+      if (LowerEq(arg->function, "fullregion") && arg->args.empty()) {
+        probe = region::Region::Full(grid, kind);
+        break;
+      }
+      if (LowerEq(arg->function, "boxregion") && arg->args.size() == 6) {
+        int64_t v[6];
+        bool all_int = true;
+        for (int i = 0; i < 6; ++i) {
+          std::optional<int64_t> lit = AsIntLiteral(*arg->args[i]);
+          if (!lit) {
+            all_int = false;
+            break;
+          }
+          v[i] = *lit;
+        }
+        if (!all_int) continue;
+        geometry::Box3i b{{int(v[0]), int(v[1]), int(v[2])},
+                          {int(v[3]), int(v[4]), int(v[5])}};
+        probe = region::Region::FromBox(grid, kind, b);
+        break;
+      }
+    }
+    if (!probe) return std::nullopt;
+
+    // Band-interval bounds from the remaining conjuncts: only
+    // necessary-condition tightenings (lo >= L, hi <= U and their
+    // equality/strict forms); anything else leaves the full interval.
+    int64_t lo_bound = 0, hi_bound = 255;
+    using BinOp = sql::Expr::BinOp;
+    for (const sql::Expr* c : conjuncts) {
+      if (c->kind != sql::Expr::Kind::kBinary || !c->lhs || !c->rhs) continue;
+      const sql::Expr* col = c->lhs.get();
+      const sql::Expr* lit = c->rhs.get();
+      BinOp op = c->bin_op;
+      if (col->kind != sql::Expr::Kind::kColumnRef) {
+        std::swap(col, lit);
+        switch (op) {  // mirror so the column is on the left
+          case BinOp::kLt: op = BinOp::kGt; break;
+          case BinOp::kLe: op = BinOp::kGe; break;
+          case BinOp::kGt: op = BinOp::kLt; break;
+          case BinOp::kGe: op = BinOp::kLe; break;
+          default: break;
+        }
+      }
+      std::optional<int64_t> v = AsIntLiteral(*lit);
+      if (!v) continue;
+      if (IsColumnRef(*col, alias, config_.lo_column)) {
+        if (op == BinOp::kGe || op == BinOp::kEq) {
+          lo_bound = std::max(lo_bound, *v);
+        } else if (op == BinOp::kGt) {
+          lo_bound = std::max(lo_bound, *v + 1);
+        }
+      } else if (IsColumnRef(*col, alias, config_.hi_column)) {
+        if (op == BinOp::kLe || op == BinOp::kEq) {
+          hi_bound = std::min(hi_bound, *v);
+        } else if (op == BinOp::kLt) {
+          hi_bound = std::min(hi_bound, *v - 1);
+        }
+      }
+    }
+    uint8_t blo = uint8_t(std::clamp<int64_t>(lo_bound, 0, 255));
+    uint8_t bhi = uint8_t(std::clamp<int64_t>(hi_bound, 0, 255));
+    if (lo_bound > 255 || hi_bound < 0 || blo > bhi) {
+      // Contradictory bounds: no band can qualify.
+      return sql::planner::CandidateSet{config_.study_column, {},
+                                        double(stats().live_studies),
+                                        "rtree+bitmap"};
+    }
+
+    auto keys = ProbeIntersect(*probe, blo, bhi);
+    if (!keys.ok()) return std::nullopt;
+    sql::planner::CandidateSet set;
+    set.column = config_.study_column;
+    set.keys = std::move(*keys);
+    set.source = "rtree+bitmap";
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      uint64_t live = 0;
+      for (const auto& [id, vers] : versions_) {
+        for (const Version& v : vers) {
+          if (v.died == 0) {
+            ++live;
+            break;
+          }
+        }
+      }
+      set.population = double(live);
+    }
+    return set;
+  };
+}
+
+IndexStats SpatialIndexManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  IndexStats s = stats_;
+  s.live_studies = 0;
+  s.live_bands = 0;
+  s.dead_versions = 0;
+  for (const auto& [id, vers] : versions_) {
+    bool live = false;
+    for (const Version& v : vers) {
+      if (v.died == 0) {
+        live = true;
+        s.live_bands += v.summary->bands.size();
+      } else {
+        ++s.dead_versions;
+      }
+    }
+    if (live) ++s.live_studies;
+  }
+  s.delta_studies = delta_.size();
+  return s;
+}
+
+ProbeCounters SpatialIndexManager::probe_counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return probe_counters_;
+}
+
+}  // namespace qbism::index

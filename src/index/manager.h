@@ -1,0 +1,183 @@
+#ifndef QBISM_INDEX_MANAGER_H_
+#define QBISM_INDEX_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "index/rtree.h"
+#include "index/summary.h"
+#include "qbism/spatial_extension.h"
+#include "sql/planner/cost.h"
+#include "storage/wal.h"
+
+namespace qbism::index {
+
+/// Which table the index covers and what its columns are called. The
+/// defaults match the paper schema's banding table (med/schema.h):
+/// intensityBand(studyId, atlasId, lo, hi, region).
+struct IndexConfig {
+  std::string table = "intensityBand";
+  std::string study_column = "studyId";
+  std::string atlas_column = "atlasId";
+  std::string lo_column = "lo";
+  std::string hi_column = "hi";
+  std::string region_column = "region";
+};
+
+/// Index-wide counters (see also ProbeCounters for traversal detail).
+struct IndexStats {
+  uint64_t live_studies = 0;    // studies with a live summary
+  uint64_t live_bands = 0;      // bands across live summaries
+  uint64_t dead_versions = 0;   // replaced summaries awaiting vacuum
+  uint64_t delta_studies = 0;   // studies not yet in the packed tree
+  uint64_t tree_entries = 0;    // leaf entries in the packed tree
+  uint64_t tree_pages = 0;
+  int tree_height = 0;
+  uint64_t probes = 0;
+  uint64_t rebuilds = 0;
+  uint64_t publishes = 0;
+  uint64_t vacuumed_versions = 0;
+};
+
+/// The cross-study spatial index (ROADMAP item 3, docs/INDEXING.md):
+/// per-study summaries (hierarchical intensity bitmap + per-band
+/// bounding box / run signature), a disk-resident Hilbert-packed R-tree
+/// over the band entries for spatial pruning, and a planner hook that
+/// turns "intersects(region, <constant region>)" predicates into
+/// candidate study-id sets so multi-study SQL touches only studies that
+/// can qualify.
+///
+/// Consistency model. The packed tree is immutable; studies ingested or
+/// replaced after the last pack live in a delta overlay (`delta_`) that
+/// probes check linearly. Every candidate the tree or overlay emits is
+/// re-verified against the current summary versions, and the SQL-level
+/// predicate re-checks every surviving row, so a probe result is always
+/// a superset of the truth and the query result is byte-identical to a
+/// full scan. Replaced summaries are retired with the epoch at which
+/// they died (never removed in place) so probes stay a superset for
+/// pinned readers of older epochs; Vacuum() drops versions no active
+/// reader can see, mirroring the LFM's epoch vacuum.
+///
+/// Durability. StageUpsert serializes the study's summary as a
+/// kIndexUpsert redo record into the ingest transaction, so the index
+/// maintenance commits (and recovers) atomically with the study's rows
+/// and long fields: Database::Recover hands the committed records back
+/// and ApplyRecovered replays them last-wins. BuildFromCatalog is the
+/// from-scratch fallback (and the path for databases ingested before
+/// the index existed); both produce the same candidate sets.
+///
+/// Thread safety: all public methods are safe to call concurrently; a
+/// single mutex serializes probes, publishes, and rebuilds (probe work
+/// per query is microseconds against 10^4 studies, so the serialization
+/// is not a bottleneck — revisit with a shared_mutex if it becomes one).
+class SpatialIndexManager {
+ public:
+  /// `ext` must outlive this manager.
+  explicit SpatialIndexManager(SpatialExtension* ext, IndexConfig config = {});
+
+  /// --- Build paths ------------------------------------------------------
+
+  /// Scans the banding table through SQL, decodes every band region,
+  /// summarizes, and packs the tree. Marks the manager authoritative.
+  Status BuildFromCatalog();
+
+  /// Repacks the R-tree from every unvacuumed summary version and
+  /// clears the delta overlay. Pages for the old tree are not freed
+  /// (the shared PageAllocator never frees); see docs/INDEXING.md.
+  Status RebuildPacked();
+
+  /// Replays committed kIndexUpsert/kIndexRemove records (last-wins per
+  /// study), then packs the tree. Marks the manager authoritative.
+  Status ApplyRecovered(const std::vector<storage::WalRecord>& records);
+
+  /// --- Transactional maintenance (ingest path) --------------------------
+
+  /// Stages a study summary inside the current ingest transaction and
+  /// logs it as a kIndexUpsert redo record (joining the LFM's open
+  /// transaction). Visible to probes only after PublishStaged.
+  Status StageUpsert(StudySummary summary);
+
+  /// Stages a study removal (kIndexRemove record).
+  Status StageRemove(int64_t study_id);
+
+  /// Applies the staged operations after the transaction committed:
+  /// old versions retire at the current epoch, new summaries go live in
+  /// the delta overlay. Bumps the database's index version so cached
+  /// plans embedding candidate sets are invalidated.
+  void PublishStaged();
+
+  /// Discards staged operations after an abort.
+  void DropStaged();
+
+  /// Drops retired versions no active reader can see (the epoch
+  /// manager's MinActiveReader horizon).
+  void Vacuum();
+
+  /// --- Probing ----------------------------------------------------------
+
+  /// Sorted ids of every study that may contain a band region
+  /// intersecting `probe` within band interval [band_lo, band_hi]:
+  /// R-tree descent (box + run-signature pruning) unioned with the
+  /// delta overlay, then re-verified against current summaries
+  /// (hierarchical bitmap range test + exact band summary test).
+  Result<std::vector<int64_t>> ProbeIntersect(const region::Region& probe,
+                                              uint8_t band_lo,
+                                              uint8_t band_hi) const;
+
+  /// True once BuildFromCatalog or ApplyRecovered succeeded: only then
+  /// do probes authoritatively cover the table and may the planner
+  /// prune scans by candidate sets.
+  bool authoritative() const;
+
+  /// The planner hook: recognizes `intersects(<region column>,
+  /// <constant region expression>)` conjuncts on the configured table
+  /// (plus lo/hi bounds narrowing the band interval) and answers with
+  /// the candidate study-id set. Register on the database with
+  /// Database::set_candidate_index_hook. The returned callable
+  /// captures `this`.
+  sql::planner::CandidateIndexHook MakeHook();
+
+  IndexStats stats() const;
+  ProbeCounters probe_counters() const;
+  const IndexConfig& config() const { return config_; }
+
+ private:
+  struct Version {
+    std::shared_ptr<const StudySummary> summary;
+    uint64_t died = 0;  // epoch at retirement; 0 = live
+  };
+
+  /// Exact test of one study against a probe, under mu_.
+  bool StudyMatchesLocked(int64_t study_id, const BoundingBox& box,
+                          uint64_t sig, uint8_t band_lo,
+                          uint8_t band_hi) const;
+  Status RebuildPackedLocked();
+  void UpsertLocked(std::shared_ptr<const StudySummary> summary);
+  void RemoveLocked(int64_t study_id);
+  uint64_t CurrentEpoch() const;
+  void BumpPlanVersion();
+
+  SpatialExtension* ext_;
+  IndexConfig config_;
+
+  mutable std::mutex mu_;
+  bool authoritative_ = false;
+  std::map<int64_t, std::vector<Version>> versions_;
+  std::set<int64_t> delta_;  // studies changed since the last pack
+  std::shared_ptr<const HilbertRTree> tree_;
+  std::vector<StudySummary> staged_upserts_;
+  std::vector<int64_t> staged_removes_;
+  mutable ProbeCounters probe_counters_;
+  mutable IndexStats stats_;
+};
+
+}  // namespace qbism::index
+
+#endif  // QBISM_INDEX_MANAGER_H_

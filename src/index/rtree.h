@@ -1,0 +1,122 @@
+#ifndef QBISM_INDEX_RTREE_H_
+#define QBISM_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "curve/curve.h"
+#include "index/summary.h"
+#include "region/region.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace qbism::index {
+
+/// Probe-side counters: what the traversal touched and what each prune
+/// level rejected. Exposed through
+/// SpatialIndexManager::probe_counters()
+/// and the kIndexProbe trace spans.
+struct ProbeCounters {
+  uint64_t pages_visited = 0;
+  uint64_t entries_tested = 0;
+  uint64_t pruned_box = 0;    // bounding-box disjoint
+  uint64_t pruned_sig = 0;    // run-signature AND == 0
+  uint64_t pruned_band = 0;   // leaf band interval outside the ask
+  uint64_t emitted = 0;
+};
+
+/// Disk-resident Hilbert-packed R-tree over per-band index entries,
+/// bulk-loaded bottom-up (Kamel/Faloutsos packing): leaf entries are
+/// sorted by the Hilbert index of their bounding-box centroid, packed
+/// into full 4 KB pages in that order, and each internal level stores
+/// the child page id plus the union bounding box and OR of run
+/// signatures of everything below. Hilbert packing keeps spatially
+/// close bands in the same leaf, so a selective probe descends into a
+/// handful of pages instead of strips across the whole population
+/// (PAPERS.md "Hyperorthogonal well-folded Hilbert curves").
+///
+/// Page layout (little-endian, 4096 bytes):
+///   header   [0]  u8  level (0 = leaf)
+///            [1]  u8  reserved
+///            [2]  u16 entry count
+///            [4]  u32 reserved
+///   leaf     entries of 32 bytes:
+///            u64 study_id | u64 signature | 6 x u16 box | u8 lo | u8 hi
+///            | 2 pad  -> fanout (4096-8)/32 = 127
+///   internal entries of 28 bytes:
+///            u64 child page | u64 signature | 6 x u16 box
+///            -> fanout (4096-8)/28 = 146
+///
+/// The tree is immutable once built: ingest deltas overlay it in memory
+/// (SpatialIndexManager) and a rebuild repacks from scratch. Pages come
+/// from the shared PageAllocator, which never frees — a rebuild leaks
+/// its predecessor's pages until the device is re-created. That is the
+/// same accept-and-document trade the heap files make; see
+/// docs/INDEXING.md "Space reclamation".
+class HilbertRTree {
+ public:
+  /// One leaf record: a (study, band) pair's pruning state.
+  struct Entry {
+    int64_t study_id = 0;
+    uint8_t lo = 0;
+    uint8_t hi = 0;
+    uint64_t signature = 0;
+    BoundingBox box;
+  };
+
+  HilbertRTree() = default;
+
+  /// Bulk-loads `entries` through `pool` with pages from `alloc`.
+  /// `grid`/`kind` define the Hilbert order used for centroid packing
+  /// (the atlas grid, so packing order matches the stored curve order).
+  /// Empty input produces a valid empty tree (no pages).
+  static Result<HilbertRTree> BulkLoad(storage::BufferPool* pool,
+                                       storage::PageAllocator* alloc,
+                                       const region::GridSpec& grid,
+                                       curve::CurveKind kind,
+                                       std::vector<Entry> entries);
+
+  /// DFS probe: emits the study_id of every leaf entry whose box
+  /// intersects `box`, whose signature ANDs non-zero with `sig`, and
+  /// whose band interval satisfies lo >= band_lo && hi <= band_hi.
+  /// Pass sig = ~0 to disable the signature test and the full grid box
+  /// to disable the box test. Duplicate study ids are emitted once per
+  /// qualifying band; callers dedup. Counters accumulate (callers zero
+  /// them when they want a per-probe reading).
+  Status Probe(const BoundingBox& box, uint64_t sig, uint8_t band_lo,
+               uint8_t band_hi, const std::function<void(int64_t)>& emit,
+               ProbeCounters* counters) const;
+
+  bool empty() const { return height_ == 0; }
+  uint64_t root_page() const { return root_page_; }
+  int height() const { return height_; }
+  uint64_t leaf_entries() const { return leaf_entries_; }
+  uint64_t page_count() const { return page_count_; }
+
+  static constexpr size_t kHeaderSize = 8;
+  static constexpr size_t kLeafEntrySize = 32;
+  static constexpr size_t kInternalEntrySize = 28;
+  static constexpr size_t kLeafFanout =
+      (storage::kPageSize - kHeaderSize) / kLeafEntrySize;  // 127
+  static constexpr size_t kInternalFanout =
+      (storage::kPageSize - kHeaderSize) / kInternalEntrySize;  // 146
+
+ private:
+  Status ProbePage(uint64_t page_no, const BoundingBox& box, uint64_t sig,
+                   uint8_t band_lo, uint8_t band_hi,
+                   const std::function<void(int64_t)>& emit,
+                   ProbeCounters* counters) const;
+
+  storage::BufferPool* pool_ = nullptr;
+  uint64_t root_page_ = 0;
+  int height_ = 0;  // 0 = empty, 1 = root is a leaf
+  uint64_t leaf_entries_ = 0;
+  uint64_t page_count_ = 0;
+};
+
+}  // namespace qbism::index
+
+#endif  // QBISM_INDEX_RTREE_H_

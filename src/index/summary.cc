@@ -1,0 +1,180 @@
+#include "index/summary.h"
+
+#include <cstring>
+
+#include "curve/engine.h"
+
+namespace qbism::index {
+
+namespace {
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(uint8_t(v));
+  out->push_back(uint8_t(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int b = 0; b < 4; ++b) out->push_back(uint8_t(v >> (8 * b)));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int b = 0; b < 8; ++b) out->push_back(uint8_t(v >> (8 * b)));
+}
+
+struct Cursor {
+  const uint8_t* p;
+  size_t left;
+
+  bool Take(size_t n) {
+    if (left < n) return false;
+    p += n;
+    left -= n;
+    return true;
+  }
+  uint8_t U8() {
+    uint8_t v = p[0];
+    Take(1);
+    return v;
+  }
+  uint16_t U16() {
+    uint16_t v = uint16_t(p[0]) | uint16_t(p[1]) << 8;
+    Take(2);
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    for (int b = 0; b < 4; ++b) v |= uint32_t(p[b]) << (8 * b);
+    Take(4);
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) v |= uint64_t(p[b]) << (8 * b);
+    Take(8);
+    return v;
+  }
+};
+
+constexpr size_t kBandBytes = 1 + 1 + 8 + 4 + 8 + 6 * 2;  // 34
+constexpr size_t kHeaderBytes =
+    8 + 8 + IntensityBitmap::kSerializedSize + 4;  // ids + bitmap + count
+
+}  // namespace
+
+void StudySummary::Serialize(std::vector<uint8_t>* out) const {
+  PutU64(out, uint64_t(study_id));
+  PutU64(out, uint64_t(atlas_id));
+  bitmap.Serialize(out);
+  PutU32(out, uint32_t(bands.size()));
+  for (const BandSummary& b : bands) {
+    PutU8(out, b.lo);
+    PutU8(out, b.hi);
+    PutU64(out, b.voxels);
+    PutU32(out, b.runs);
+    PutU64(out, b.signature);
+    for (int d = 0; d < 3; ++d) PutU16(out, b.box.min[d]);
+    for (int d = 0; d < 3; ++d) PutU16(out, b.box.max[d]);
+  }
+}
+
+Result<StudySummary> StudySummary::Deserialize(const uint8_t* data,
+                                               size_t size) {
+  if (size < kHeaderBytes) {
+    return Status::Corruption("StudySummary: payload shorter than header");
+  }
+  Cursor c{data, size};
+  StudySummary s;
+  s.study_id = int64_t(c.U64());
+  s.atlas_id = int64_t(c.U64());
+  s.bitmap.Deserialize(c.p);
+  c.Take(IntensityBitmap::kSerializedSize);
+  uint32_t count = c.U32();
+  if (c.left != size_t(count) * kBandBytes) {
+    return Status::Corruption("StudySummary: band payload size mismatch");
+  }
+  s.bands.resize(count);
+  for (BandSummary& b : s.bands) {
+    b.lo = c.U8();
+    b.hi = c.U8();
+    b.voxels = c.U64();
+    b.runs = c.U32();
+    b.signature = c.U64();
+    for (int d = 0; d < 3; ++d) b.box.min[d] = c.U16();
+    for (int d = 0; d < 3; ++d) b.box.max[d] = c.U16();
+  }
+  return s;
+}
+
+uint64_t RegionSignature(const region::Region& r) {
+  int id_bits = r.grid().dims * r.grid().bits;
+  uint64_t sig = 0;
+  if (id_bits <= 6) {
+    // Tiny grids: every id lands in a distinct chunk slot.
+    for (const region::Run& run : r.runs()) {
+      for (uint64_t id = run.start; id <= run.end; ++id) {
+        sig |= uint64_t{1} << id;
+      }
+    }
+    return sig;
+  }
+  int shift = id_bits - 6;
+  for (const region::Run& run : r.runs()) {
+    uint64_t a = run.start >> shift;
+    uint64_t b = run.end >> shift;
+    if (b - a >= 63) return ~uint64_t{0};
+    uint64_t mask = (b - a == 63) ? ~uint64_t{0}
+                                  : (((uint64_t{1} << (b - a + 1)) - 1) << a);
+    sig |= mask;
+  }
+  return sig;
+}
+
+BoundingBox RegionBounds(const region::Region& r) {
+  BoundingBox box;
+  if (r.Empty()) return box;
+  const int dims = r.grid().dims;
+  const int bits = r.grid().bits;
+  std::vector<region::Octant> octs = r.ToOctants();
+  // Decode one id per octant (its minimum curve id); the octant is a
+  // cube of side g aligned to multiples of g, so rounding the decoded
+  // point down to g gives the min corner without decoding more ids.
+  std::vector<uint64_t> ids(octs.size());
+  for (size_t i = 0; i < octs.size(); ++i) ids[i] = octs[i].id;
+  std::vector<uint32_t> axes(octs.size() * size_t(dims));
+  curve::CurveAxesBatch(r.curve_kind(), ids.data(), ids.size(), dims, bits,
+                        axes.data());
+  bool first = true;
+  for (size_t i = 0; i < octs.size(); ++i) {
+    uint32_t g = uint32_t{1} << (octs[i].rank / dims);
+    BoundingBox ob;
+    for (int d = 0; d < 3; ++d) {
+      uint32_t c = d < dims ? axes[i * size_t(dims) + size_t(d)] : 0;
+      uint32_t lo = d < dims ? (c / g) * g : 0;
+      ob.min[d] = uint16_t(lo);
+      ob.max[d] = uint16_t(d < dims ? lo + g - 1 : 0);
+    }
+    if (first) {
+      box = ob;
+      first = false;
+    } else {
+      box.ExpandTo(ob);
+    }
+  }
+  return box;
+}
+
+BandSummary SummarizeBandRegion(uint8_t lo, uint8_t hi,
+                                const region::Region& r) {
+  BandSummary b;
+  b.lo = lo;
+  b.hi = hi;
+  b.voxels = r.VoxelCount();
+  b.runs = uint32_t(r.RunCount());
+  b.signature = RegionSignature(r);
+  b.box = RegionBounds(r);
+  return b;
+}
+
+}  // namespace qbism::index

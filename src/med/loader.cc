@@ -16,7 +16,8 @@ using sql::Value;
 using storage::LongFieldId;
 using volume::Volume;
 
-Status StoreStudyRecord(SpatialExtension* ext, const StudyRecord& record) {
+Status StoreStudyRecord(SpatialExtension* ext, const StudyRecord& record,
+                        index::StudySummary* summary) {
   sql::Database* db = ext->db();
   const warp::RawVolume& raw = record.raw;
 
@@ -49,6 +50,11 @@ Status StoreStudyRecord(SpatialExtension* ext, const StudyRecord& record) {
           Value::Double(t.y), Value::Double(t.z)}));
 
   // Redundant intensity-band index (§3.3).
+  if (summary != nullptr) {
+    *summary = index::StudySummary{};
+    summary->study_id = record.study_id;
+    summary->atlas_id = record.atlas_id;
+  }
   std::vector<Region> bands = warped.UniformBands(record.band_width);
   int lo = 0;
   for (const Region& band : bands) {
@@ -58,6 +64,15 @@ Status StoreStudyRecord(SpatialExtension* ext, const StudyRecord& record) {
         "intensityBand",
         Row{Value::Int(record.study_id), Value::Int(record.atlas_id),
             Value::Int(lo), Value::Int(hi), Value::LongField(band_field)}));
+    if (summary != nullptr) {
+      // Must match SpatialIndexManager::BuildFromCatalog band for band:
+      // the crash-recovery path replays this summary from the WAL while
+      // a cold start re-derives it from the rows just inserted.
+      index::BandSummary bs = index::SummarizeBandRegion(
+          static_cast<uint8_t>(lo), static_cast<uint8_t>(hi), band);
+      if (bs.voxels > 0) summary->bitmap.SetRange(bs.lo, bs.hi);
+      summary->bands.push_back(bs);
+    }
     lo += record.band_width;
   }
   return Status::OK();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "index/summary.h"
 #include "qbism/spatial_extension.h"
 #include "warp/warp.h"
 
@@ -52,7 +53,18 @@ struct StudyRecord {
 
 /// Stores one study end to end: raw long field + rawVolume row, warp to
 /// atlas space, warped VOLUME, and the intensity-band index (§3.3).
-Status StoreStudyRecord(SpatialExtension* ext, const StudyRecord& record);
+/// When `summary` is non-null it is filled with the study's spatial
+/// index summary (src/index), built from the same band regions the
+/// intensityBand rows store — byte-identical to what
+/// SpatialIndexManager::BuildFromCatalog would derive by re-reading
+/// them, which is what keeps the WAL-maintained index and the
+/// from-catalog rebuild interchangeable.
+Status StoreStudyRecord(SpatialExtension* ext, const StudyRecord& record,
+                        index::StudySummary* summary);
+inline Status StoreStudyRecord(SpatialExtension* ext,
+                               const StudyRecord& record) {
+  return StoreStudyRecord(ext, record, nullptr);
+}
 
 /// Populates the schema (BootstrapSchema must have been called) with the
 /// synthetic corpus: atlas row, neural systems/structures, rasterized

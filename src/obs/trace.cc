@@ -67,6 +67,8 @@ const char* StageName(Stage stage) {
     case Stage::kVacuum: return "vacuum";
     case Stage::kOptimize: return "optimize";
     case Stage::kCompile: return "compile";
+    case Stage::kIndexBuild: return "index_build";
+    case Stage::kIndexProbe: return "index_probe";
   }
   return "unknown";
 }

@@ -46,8 +46,10 @@ enum class Stage : uint8_t {
   kVacuum,      // reclamation of dead long-field extents
   kOptimize,    // SQL cost-based planning (statistics + join order)
   kCompile,     // SQL plan -> batch-VM bytecode lowering
+  kIndexBuild,  // cross-study spatial index pack/rebuild (src/index)
+  kIndexProbe,  // one R-tree + bitmap candidate probe
 };
-inline constexpr int kNumStages = 25;
+inline constexpr int kNumStages = 27;
 
 /// Stable lower-case stage name ("query", "queue", "io", ...).
 const char* StageName(Stage stage);

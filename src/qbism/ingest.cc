@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "index/manager.h"
 #include "obs/trace.h"
 
 namespace qbism {
@@ -96,14 +97,26 @@ Status IngestManager::RunLocked(const med::StudyRecord& record, bool replace) {
           QBISM_RETURN_NOT_OK(lfm->Delete(field));
         }
       }
-      return med::StoreStudyRecord(ext_, record);
+      index::StudySummary summary;
+      QBISM_RETURN_NOT_OK(med::StoreStudyRecord(
+          ext_, record, index_ != nullptr ? &summary : nullptr));
+      if (index_ != nullptr) {
+        // Logged into this transaction (kIndexUpsert) and staged in
+        // memory; published only after the commit below succeeds.
+        QBISM_RETURN_NOT_OK(index_->StageUpsert(std::move(summary)));
+      }
+      return Status::OK();
     }();
     if (!body.ok()) {
       QBISM_RETURN_NOT_OK(lfm->AbortTxn());
       return body;
     }
-    return lfm->CommitTxn();
+    QBISM_RETURN_NOT_OK(lfm->CommitTxn());
+    if (index_ != nullptr) index_->PublishStaged();
+    return Status::OK();
   }();
+
+  if (!status.ok() && index_ != nullptr) index_->DropStaged();
 
   if (!status.ok()) {
     // The transaction never committed: staged extents are already freed

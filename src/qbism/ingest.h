@@ -12,6 +12,10 @@
 #include "qbism/spatial_extension.h"
 #include "storage/long_field.h"
 
+namespace qbism::index {
+class SpatialIndexManager;
+}  // namespace qbism::index
+
 namespace qbism {
 
 /// Online study ingest over a WAL-enabled database (docs/DURABILITY.md):
@@ -77,6 +81,15 @@ class IngestManager {
   uint64_t AddCommitListener(CommitListener listener);
   void RemoveCommitListener(uint64_t token);
 
+  /// Attaches the cross-study spatial index (docs/INDEXING.md): each
+  /// ingest transaction then logs a kIndexUpsert record with the
+  /// study's summary and publishes it to the in-memory index only
+  /// after the transaction commits (staged/dropped with the txn, so
+  /// the index is never ahead of the durable state). Null detaches.
+  void set_index_manager(index::SpatialIndexManager* manager) {
+    index_ = manager;
+  }
+
   Stats stats() const;
 
  private:
@@ -87,6 +100,9 @@ class IngestManager {
   void NotifyCommitted(int study_id);
 
   SpatialExtension* ext_;
+  /// Spatial index maintained transactionally with each ingest; only
+  /// touched under the writer lock. Null when no index is attached.
+  index::SpatialIndexManager* index_ = nullptr;
   /// Serializes ingest transactions end to end. Readers never take it.
   std::mutex writer_mu_;
   mutable std::mutex state_mu_;  // guards everything below

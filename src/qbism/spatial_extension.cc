@@ -451,6 +451,41 @@ Status SpatialExtension::RegisterUdfs() {
       }));
 
   QBISM_RETURN_NOT_OK(registry->Register(
+      "intersects",
+      [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
+        QBISM_RETURN_NOT_OK(CheckArity(args, 2, "intersects"));
+        QBISM_ASSIGN_OR_RETURN(auto o1, Ext(ctx)->RegionOperandArg(args[0]));
+        QBISM_ASSIGN_OR_RETURN(auto o2, Ext(ctx)->RegionOperandArg(args[1]));
+        QBISM_ASSIGN_OR_RETURN(auto r1, Ext(ctx)->MaterializeOperand(o1));
+        QBISM_ASSIGN_OR_RETURN(auto r2, Ext(ctx)->MaterializeOperand(o2));
+        if (r1->grid() != r2->grid() ||
+            r1->curve_kind() != r2->curve_kind()) {
+          return Status::InvalidArgument(
+              "intersects: operands on different grids or curves");
+        }
+        // Two-pointer run merge with early exit at the first overlap —
+        // no intersection region is ever materialized. This is also the
+        // exact re-check behind the cross-study spatial index's
+        // candidate pruning (src/index), so its semantics must match
+        // `voxelcount(intersection(r1, r2)) > 0` precisely.
+        const auto& a = r1->runs();
+        const auto& b = r2->runs();
+        size_t i = 0, j = 0;
+        bool overlap = false;
+        while (i < a.size() && j < b.size()) {
+          if (a[i].end < b[j].start) {
+            ++i;
+          } else if (b[j].end < a[i].start) {
+            ++j;
+          } else {
+            overlap = true;
+            break;
+          }
+        }
+        return Value::Int(overlap ? 1 : 0);
+      }));
+
+  QBISM_RETURN_NOT_OK(registry->Register(
       "extractvoxels",
       [](UdfContext& ctx, const std::vector<Value>& args) -> Result<Value> {
         QBISM_RETURN_NOT_OK(CheckArity(args, 2, "extractvoxels"));
@@ -807,6 +842,18 @@ std::optional<planner::ConjunctEstimate> EstimateSpatialExpr(
     // Containment of one arbitrary structure in another is rare; the
     // streaming check also exits at the first uncovered run.
     out.selectivity = planner::CostParams::kDefaultEqSel;
+    out.prefer_encoded = PreferEncodedVote(expr, stats);
+    return out;
+  }
+
+  if (name == "intersects" && expr.args.size() == 2) {
+    planner::ConjunctEstimate out;
+    // Early-exit run merge: bounded by streaming both run lists once.
+    out.cost = 2.0 * kRegionHeaderCost +
+               (EstimatedRuns(*expr.args[0], stats) +
+                EstimatedRuns(*expr.args[1], stats)) *
+                   kRunStreamCost;
+    out.selectivity = planner::CostParams::kUnknownSel;
     out.prefer_encoded = PreferEncodedVote(expr, stats);
     return out;
   }

@@ -40,6 +40,8 @@ struct SpatialConfig {
 ///   regionunion(r1, r2)         -> REGION
 ///   regiondifference(r1, r2)    -> REGION
 ///   contains(r1, r2)            -> int (0/1)     (§3.2)
+///   intersects(r1, r2)          -> int (0/1) (early-exit run merge; the
+///                                  cross-study index's re-check predicate)
 ///   extractvoxels(volume, r)    -> DATA_REGION   (§3.2 EXTRACT_DATA)
 ///   bandregion(volume, lo, hi)  -> REGION        (ad-hoc banding)
 ///   volumemean(volume)          -> double (streaming whole-volume mean)

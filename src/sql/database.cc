@@ -85,12 +85,15 @@ Result<ResultSet> Database::Execute(const std::string& sql) {
   options.stats = &planner_stats_;
   options.plan_cache = &plan_cache_;
   options.cost_hook = udf_cost_hook_ ? &udf_cost_hook_ : nullptr;
+  options.candidate_hook =
+      candidate_index_hook_ ? &candidate_index_hook_ : nullptr;
+  options.index_version = index_version();
   options.sql = sql;
   executor.set_options(std::move(options));
   if (engine_ == ExecEngine::kVm) {
     // Plan-cache fast path: a hit skips parse, plan, and compile.
-    std::shared_ptr<const CachedPlan> cached =
-        plan_cache_.Get(sql, catalog_.version(), planner_stats_.version());
+    std::shared_ptr<const CachedPlan> cached = plan_cache_.Get(
+        sql, catalog_.version(), planner_stats_.version(), index_version());
     if (cached != nullptr) return executor.ExecuteCompiled(*cached);
   }
   QBISM_ASSIGN_OR_RETURN(Statement statement, ParseStatement(sql));
@@ -148,6 +151,7 @@ Result<RecoveryStats> Database::Recover() {
   }
   QBISM_ASSIGN_OR_RETURN(storage::WriteAheadLog::ScanResult scan, wal_->Open());
   RecoveryStats out;
+  recovered_index_records_.clear();
   out.committed_txns = scan.committed_txns;
   out.torn_tail = scan.torn_tail;
   // Content verification applies only to each field's FINAL committed
@@ -208,6 +212,16 @@ Result<RecoveryStats> Database::Recover() {
                     std::to_string(static_cast<int64_t>(value)))
                 .status());
         ++out.delete_statements;
+        break;
+      }
+      case storage::WalRecordType::kIndexUpsert:
+      case storage::WalRecordType::kIndexRemove: {
+        // Derived state: collected, not replayed here. The spatial
+        // index manager (if any) applies them via
+        // TakeRecoveredIndexRecords; otherwise BuildFromCatalog
+        // reconstructs the index from the recovered rows.
+        recovered_index_records_.push_back(rec);
+        ++out.index_records;
         break;
       }
       case storage::WalRecordType::kCommit:

@@ -1,9 +1,11 @@
 #ifndef QBISM_SQL_DATABASE_H_
 #define QBISM_SQL_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "sql/catalog.h"
@@ -45,6 +47,7 @@ struct RecoveryStats {
   uint64_t lfm_drops = 0;
   uint64_t rows_inserted = 0;
   uint64_t delete_statements = 0;
+  uint64_t index_records = 0;  // collected for TakeRecoveredIndexRecords
   bool torn_tail = false;  // the log ended in a torn (mid-sync) record
 };
 
@@ -86,6 +89,9 @@ class Database {
   storage::DiskDevice* relational_device() { return &relational_device_; }
   storage::DiskDevice* long_field_device() { return &long_field_device_; }
   storage::BufferPool* buffer_pool() { return &pool_; }
+  /// The relational device's page allocator (heap files, B+-trees, and
+  /// the spatial index's packed R-tree all draw from it).
+  storage::PageAllocator* page_allocator() { return &page_allocator_; }
 
   /// Durability subsystem; all null when `enable_wal` is off.
   storage::WriteAheadLog* wal() { return wal_.get(); }
@@ -120,6 +126,41 @@ class Database {
     udf_cost_hook_ = std::move(hook);
   }
 
+  /// Candidate-index hook: an extension index (the cross-study spatial
+  /// index) that can turn a table's pushed conjuncts into a candidate
+  /// key set for the planner. Installing (or clearing) it invalidates
+  /// cached plans via the index version.
+  void set_candidate_index_hook(planner::CandidateIndexHook hook) {
+    candidate_index_hook_ = std::move(hook);
+    BumpIndexVersion();
+  }
+
+  /// Version of the candidate-index state. Compiled plans embed the
+  /// candidate key sets the hook answered at plan time, so every index
+  /// publish/rebuild must bump this to invalidate them (the plan cache
+  /// keys on it alongside the catalog and statistics versions).
+  uint64_t index_version() const {
+    return index_version_.load(std::memory_order_acquire);
+  }
+  void BumpIndexVersion() {
+    index_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Appends one extension redo record (kIndexUpsert/kIndexRemove),
+  /// joining the LFM's open transaction or auto-committing — the same
+  /// transactional envelope catalog records use. No-op without a WAL.
+  Status LogExtensionRecord(storage::WalRecordType type,
+                            const std::vector<uint8_t>& payload) {
+    return LogCatalogRecord(type, payload);
+  }
+
+  /// Index-maintenance records collected by the last Recover() call
+  /// (committed kIndexUpsert/kIndexRemove, in log order), moved out for
+  /// SpatialIndexManager::ApplyRecovered. Second call returns empty.
+  std::vector<storage::WalRecord> TakeRecoveredIndexRecords() {
+    return std::move(recovered_index_records_);
+  }
+
   /// Combined I/O statistics across the relational and LFM devices.
   storage::IoStats TotalIoStats() const;
   void ResetIoStats();
@@ -145,6 +186,9 @@ class Database {
   planner::PlannerStats planner_stats_;
   PlanCache plan_cache_;
   planner::UdfCostHook udf_cost_hook_;
+  planner::CandidateIndexHook candidate_index_hook_;
+  std::atomic<uint64_t> index_version_{0};
+  std::vector<storage::WalRecord> recovered_index_records_;
 };
 
 }  // namespace qbism::sql

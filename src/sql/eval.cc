@@ -1,6 +1,7 @@
 #include "sql/eval.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/macros.h"
 
@@ -332,6 +333,78 @@ std::optional<IndexProbeSpec> FindIndexProbeSpec(
     if (info.indexes.find(column->column) == info.indexes.end()) continue;
     return IndexProbeSpec{column->column, literal->literal.AsInt().value()};
   }
+  return std::nullopt;
+}
+
+std::optional<IndexRangeSpec> FindIndexRangeSpec(
+    const std::vector<const Expr*>& conjuncts, const std::string& alias,
+    const TableInfo& info) {
+  std::vector<IndexRangeSpec> specs;  // first-bounded order
+  auto spec_for = [&](const std::string& column) -> IndexRangeSpec* {
+    for (IndexRangeSpec& s : specs) {
+      if (s.column == column) return &s;
+    }
+    specs.push_back(IndexRangeSpec{column});
+    return &specs.back();
+  };
+  for (const Expr* conjunct : conjuncts) {
+    if (conjunct->kind != Expr::Kind::kBinary) continue;
+    Expr::BinOp op = conjunct->bin_op;
+    if (op != Expr::BinOp::kLt && op != Expr::BinOp::kLe &&
+        op != Expr::BinOp::kGt && op != Expr::BinOp::kGe) {
+      continue;
+    }
+    const Expr* column = conjunct->lhs.get();
+    const Expr* literal = conjunct->rhs.get();
+    if (column->kind != Expr::Kind::kColumnRef ||
+        literal->kind != Expr::Kind::kLiteral) {
+      // Mirrored form (`lit < col`): swap and flip the comparison.
+      column = conjunct->rhs.get();
+      literal = conjunct->lhs.get();
+      if (column->kind != Expr::Kind::kColumnRef ||
+          literal->kind != Expr::Kind::kLiteral) {
+        continue;
+      }
+      switch (op) {
+        case Expr::BinOp::kLt: op = Expr::BinOp::kGt; break;
+        case Expr::BinOp::kLe: op = Expr::BinOp::kGe; break;
+        case Expr::BinOp::kGt: op = Expr::BinOp::kLt; break;
+        case Expr::BinOp::kGe: op = Expr::BinOp::kLe; break;
+        default: break;
+      }
+    }
+    if (!column->table.empty() && column->table != alias) continue;
+    if (literal->literal.kind() != Value::Kind::kInt) continue;
+    if (info.indexes.find(column->column) == info.indexes.end()) continue;
+    int64_t v = literal->literal.AsInt().value();
+    // Strict bounds tighten by one; the saturation guard keeps
+    // `col > INT64_MAX` from wrapping (it stays an always-false filter).
+    IndexRangeSpec* s = spec_for(column->column);
+    switch (op) {
+      case Expr::BinOp::kGt:
+        if (v == INT64_MAX) continue;
+        v += 1;
+        [[fallthrough]];
+      case Expr::BinOp::kGe:
+        if (!s->has_lo || v > s->lo) s->lo = v;
+        s->has_lo = true;
+        break;
+      case Expr::BinOp::kLt:
+        if (v == INT64_MIN) continue;
+        v -= 1;
+        [[fallthrough]];
+      case Expr::BinOp::kLe:
+        if (!s->has_hi || v < s->hi) s->hi = v;
+        s->has_hi = true;
+        break;
+      default:
+        break;
+    }
+  }
+  for (const IndexRangeSpec& s : specs) {
+    if (s.has_lo && s.has_hi) return s;
+  }
+  if (!specs.empty()) return specs.front();
   return std::nullopt;
 }
 

@@ -106,6 +106,27 @@ std::optional<IndexProbeSpec> FindIndexProbeSpec(
     const std::vector<const Expr*>& conjuncts, const std::string& alias,
     const TableInfo& info);
 
+/// An index-range access path: one B+-tree descent on `column`, then a
+/// leaf walk over keys in [lo, hi]. Either bound may be open.
+struct IndexRangeSpec {
+  std::string column;
+  int64_t lo = 0;
+  int64_t hi = 0;
+  bool has_lo = false;
+  bool has_hi = false;
+};
+
+/// Looks for range conjuncts (`col < lit`, `col >= lit`, mirrored forms
+/// too) over an indexed integer column, combining the tightest bounds
+/// per column. Strict bounds tighten by one (`col > 5` -> lo 6). When
+/// several indexed columns are bounded, a column with both bounds wins
+/// over one with a single bound; ties keep first-bounded order. Whether
+/// the range walk actually beats a scan is the planner's cost decision,
+/// not this function's.
+std::optional<IndexRangeSpec> FindIndexRangeSpec(
+    const std::vector<const Expr*>& conjuncts, const std::string& alias,
+    const TableInfo& info);
+
 /// --- Shared SELECT output shaping ---------------------------------------
 
 /// The output column headers of a SELECT (aliases, derived names, or

@@ -100,14 +100,15 @@ Result<ResultSet> Executor::ExecuteSelectVm(const SelectStmt& stmt,
   std::shared_ptr<const CachedPlan> cached;
   if (options_.plan_cache != nullptr && !options_.sql.empty()) {
     cached = options_.plan_cache->Get(options_.sql, catalog_version,
-                                      stats_version);
+                                      stats_version, options_.index_version);
   }
   if (cached == nullptr) {
     SelectStmt folded = FoldSelect(stmt);
     planner::SelectPlan plan;
     {
       obs::Span span(obs::Stage::kOptimize);
-      planner::Planner planner(catalog_, options_.stats, options_.cost_hook);
+      planner::Planner planner(catalog_, options_.stats, options_.cost_hook,
+                               options_.candidate_hook);
       QBISM_ASSIGN_OR_RETURN(plan, planner.PlanSelect(folded));
     }
     auto entry = std::make_shared<CachedPlan>();
@@ -119,6 +120,7 @@ Result<ResultSet> Executor::ExecuteSelectVm(const SelectStmt& stmt,
     }
     entry->catalog_version = catalog_version;
     entry->stats_version = stats_version;
+    entry->index_version = options_.index_version;
     if (options_.plan_cache != nullptr && !options_.sql.empty()) {
       options_.plan_cache->Put(options_.sql, entry);
     }

@@ -51,6 +51,12 @@ struct ExecOptions {
   const planner::PlannerStats* stats = nullptr;
   PlanCache* plan_cache = nullptr;
   const planner::UdfCostHook* cost_hook = nullptr;
+  /// Candidate-index hook (the cross-study spatial index); consulted by
+  /// the planner per FROM table.
+  const planner::CandidateIndexHook* candidate_hook = nullptr;
+  /// Index version the candidate hook answered under (plan-cache key
+  /// component; see PlanCache).
+  uint64_t index_version = 0;
   /// Raw SQL text of the statement being executed: the plan-cache key.
   /// Empty disables caching for this statement.
   std::string sql;

@@ -6,7 +6,8 @@ namespace qbism::sql {
 
 std::shared_ptr<const CachedPlan> PlanCache::Get(const std::string& sql,
                                                  uint64_t catalog_version,
-                                                 uint64_t stats_version) {
+                                                 uint64_t stats_version,
+                                                 uint64_t index_version) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(sql);
   if (it == entries_.end()) {
@@ -14,7 +15,8 @@ std::shared_ptr<const CachedPlan> PlanCache::Get(const std::string& sql,
     return nullptr;
   }
   if (it->second.plan->catalog_version != catalog_version ||
-      it->second.plan->stats_version != stats_version) {
+      it->second.plan->stats_version != stats_version ||
+      it->second.plan->index_version != index_version) {
     lru_.erase(it->second.lru_pos);
     entries_.erase(it);
     ++misses_;

@@ -14,15 +14,19 @@ namespace qbism::sql {
 
 /// A compiled SELECT plus the versions it was planned against. A plan
 /// embeds resolved column indexes, access-path choices, and the
-/// optimizer's cost decisions, so it is valid only while both versions
-/// hold: the catalog version (bumped by DDL only) and the statistics
-/// version (bumped by ANALYZE / ingest refresh). Row-level DML bumps
-/// neither — the VM re-resolves heap files and index handles by name
-/// per run, which is what makes cached plans survive updates.
+/// optimizer's cost decisions, so it is valid only while all three
+/// versions hold: the catalog version (bumped by DDL only), the
+/// statistics version (bumped by ANALYZE / ingest refresh), and the
+/// spatial-index version (bumped whenever the cross-study index
+/// publishes — plans embed candidate study-id sets, so a stale plan
+/// could silently miss a freshly ingested study). Row-level DML bumps
+/// none of them — the VM re-resolves heap files and index handles by
+/// name per run, which is what makes cached plans survive updates.
 struct CachedPlan {
   vm::CompiledSelect compiled;
   uint64_t catalog_version = 0;
   uint64_t stats_version = 0;
+  uint64_t index_version = 0;
 };
 
 /// LRU cache of compiled plans keyed by raw SQL text. Amortizes the
@@ -32,11 +36,12 @@ class PlanCache {
  public:
   explicit PlanCache(size_t capacity = 128) : capacity_(capacity) {}
 
-  /// Returns the cached plan for `sql` when both versions still match;
+  /// Returns the cached plan for `sql` when all versions still match;
   /// stale entries are evicted on the spot and count as misses.
   std::shared_ptr<const CachedPlan> Get(const std::string& sql,
                                         uint64_t catalog_version,
-                                        uint64_t stats_version);
+                                        uint64_t stats_version,
+                                        uint64_t index_version = 0);
 
   void Put(const std::string& sql, std::shared_ptr<const CachedPlan> plan);
 

@@ -4,6 +4,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sql/ast.h"
 #include "sql/planner/stats.h"
@@ -39,6 +40,27 @@ struct ConjunctEstimate {
 /// multi-table). Returns nullopt when the expression isn't recognized.
 using UdfCostHook = std::function<std::optional<ConjunctEstimate>(
     const Expr& expr, const TableStats* stats)>;
+
+/// A candidate key set produced by an extension index (the cross-study
+/// spatial index): the table's qualifying rows all have `column` equal
+/// to one of `keys`. The set is a *superset* guarantee — every row that
+/// could satisfy the conjuncts the hook was shown carries one of the
+/// keys, so restricting the scan to them never loses a result; the
+/// conjuncts themselves stay in the filter list as the exact re-check.
+struct CandidateSet {
+  std::string column;
+  std::vector<int64_t> keys;  // sorted ascending, deduplicated
+  double population = 0.0;    // key universe size (for selectivity)
+  std::string source;         // EXPLAIN tag, e.g. "rtree+bitmap"
+};
+
+/// Extension hook consulted once per FROM table: given the table, its
+/// alias, and the single-table conjuncts pushed onto it, an index that
+/// can authoritatively prune may return a CandidateSet. Returning
+/// nullopt means "no opinion" (full scan / other access paths apply).
+using CandidateIndexHook = std::function<std::optional<CandidateSet>(
+    const std::string& table, const std::string& alias,
+    const std::vector<const Expr*>& conjuncts)>;
 
 /// Per-evaluation cost of computing `expr` on one row.
 double ExprCost(const Expr& expr, const TableStats* stats,

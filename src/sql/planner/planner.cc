@@ -18,6 +18,30 @@ std::string Fmt(double v) {
   return buf;
 }
 
+/// Fraction of a column's rows inside the spec's [lo, hi], from ANALYZE
+/// min/max under a uniformity assumption. Without statistics each bound
+/// contributes the textbook kRangeSel third.
+double RangeSelectivity(const IndexRangeSpec& spec, const TableStats* stats) {
+  const ColumnStats* cs = nullptr;
+  if (stats) {
+    auto it = stats->columns.find(spec.column);
+    if (it != stats->columns.end() && it->second.has_range) cs = &it->second;
+  }
+  if (cs == nullptr) {
+    double sel = 1.0;
+    if (spec.has_lo) sel *= CostParams::kRangeSel;
+    if (spec.has_hi) sel *= CostParams::kRangeSel;
+    return sel;
+  }
+  double lo = spec.has_lo ? static_cast<double>(spec.lo) : cs->min;
+  double hi = spec.has_hi ? static_cast<double>(spec.hi) : cs->max;
+  lo = std::max(lo, cs->min);
+  hi = std::min(hi, cs->max);
+  if (hi < lo) return 0.0;
+  double width = cs->max - cs->min + 1.0;
+  return std::min(1.0, (hi - lo + 1.0) / width);
+}
+
 /// Collects the FROM-position set referenced by `expr`, resolving
 /// column refs the same way the evaluator does. A reference that does
 /// not resolve uniquely sets `unresolved` — the conjunct is then
@@ -159,6 +183,39 @@ Result<SelectPlan> Planner::PlanSelect(const SelectStmt& stmt) {
       tp.use_probe = true;
       tp.probe_column = probe->column;
       tp.probe_key = probe->key;
+    } else if (candidate_hook_ != nullptr && *candidate_hook_) {
+      // Extension index (the cross-study spatial index): a candidate
+      // key set restricts the scan; the pushed conjuncts below remain
+      // the exact re-check, so this never loses rows.
+      if (auto cand = (*candidate_hook_)(tp.table, tp.alias, pushed[t])) {
+        double population = std::max(cand->population, 1.0);
+        double keys = static_cast<double>(cand->keys.size());
+        if (keys < population) {
+          tp.use_candidates = true;
+          tp.candidate_column = cand->column;
+          tp.candidate_keys = std::move(cand->keys);
+          tp.candidate_population = cand->population;
+          tp.candidate_rows = tp.base_rows * std::min(1.0, keys / population);
+          tp.candidate_source = std::move(cand->source);
+        }
+      }
+    }
+    if (!tp.use_probe && !tp.use_candidates) {
+      if (auto range = FindIndexRangeSpec(pushed[t], tp.alias, *infos[t])) {
+        double touched = tp.base_rows * RangeSelectivity(*range, snaps[t].get());
+        // One descent plus a partial leaf walk vs decoding every row:
+        // narrow (or unanalyzed) ranges probe, wide ranges scan.
+        if (CostParams::kIndexProbe + touched * CostParams::kRowDecode <
+            tp.base_rows * CostParams::kRowDecode) {
+          tp.use_range = true;
+          tp.range_column = range->column;
+          tp.range_lo = range->lo;
+          tp.range_hi = range->hi;
+          tp.range_has_lo = range->has_lo;
+          tp.range_has_hi = range->has_hi;
+          tp.range_rows = touched;
+        }
+      }
     }
     double sel_product = 1.0;
     for (const Expr* c : pushed[t]) {
@@ -176,6 +233,10 @@ Result<SelectPlan> Planner::PlanSelect(const SelectStmt& stmt) {
                      });
     tp.est_rows = tp.base_rows * sel_product;
     if (tp.est_rows < 0.0) tp.est_rows = 0.0;
+    // The candidate set bounds the qualifying rows from above (its
+    // conjuncts are already in sel_product, so take the min rather
+    // than multiplying the restriction in twice).
+    if (tp.use_candidates) tp.est_rows = std::min(tp.est_rows, tp.candidate_rows);
   }
 
   // Classify residuals: referenced FROM set, equi-join selectivity.
@@ -292,9 +353,21 @@ Result<SelectPlan> Planner::PlanSelect(const SelectStmt& stmt) {
   // Totals: scan cost per table, then nested-loop cost level by level.
   double cost = 0.0;
   for (const TablePlan& tp : plan.tables) {
-    double examined = tp.use_probe
-                          ? std::max(1.0, tp.est_rows) + CostParams::kIndexProbe
-                          : tp.base_rows;
+    double examined;
+    if (tp.use_probe) {
+      examined = std::max(1.0, tp.est_rows) + CostParams::kIndexProbe;
+    } else if (tp.use_range) {
+      examined = std::max(1.0, tp.range_rows) + CostParams::kIndexProbe;
+    } else if (tp.use_candidates) {
+      // One B+-tree descent per candidate key (or a filtered scan when
+      // no key index exists — same order of magnitude either way).
+      examined = std::max(1.0, tp.candidate_rows) +
+                 CostParams::kIndexProbe *
+                     std::max<double>(1.0, static_cast<double>(
+                                               tp.candidate_keys.size()));
+    } else {
+      examined = tp.base_rows;
+    }
     cost += examined * CostParams::kRowDecode;
     double remaining = examined;
     for (const PlannedConjunct& pc : tp.pushed) {
@@ -324,8 +397,11 @@ std::vector<std::string> SelectPlan::PlanNotes() const {
   for (const TablePlan& tp : tables) by_from[tp.from_index] = &tp;
   for (const TablePlan* tp : by_from) {
     std::ostringstream note;
-    note << tp->table << " " << tp->alias << ": "
-         << (tp->use_probe ? "index probe" : "scan") << ", "
+    const char* path = tp->use_probe        ? "index probe"
+                       : tp->use_range      ? "index range probe"
+                       : tp->use_candidates ? "candidate probe"
+                                            : "scan";
+    note << tp->table << " " << tp->alias << ": " << path << ", "
          << tp->pushed.size() << " pushed predicate(s)";
     notes.push_back(note.str());
   }
@@ -345,6 +421,16 @@ std::vector<std::string> SelectPlan::ExplainLines() const {
     line << tp.table << " " << tp.alias << ": ";
     if (tp.use_probe) {
       line << "index probe on " << tp.probe_column << " = " << tp.probe_key;
+    } else if (tp.use_range) {
+      line << "index range probe on " << tp.range_column << " in [";
+      if (tp.range_has_lo) line << tp.range_lo;
+      line << "..";
+      if (tp.range_has_hi) line << tp.range_hi;
+      line << "], est " << Fmt(tp.range_rows) << " touched";
+    } else if (tp.use_candidates) {
+      line << "candidate probe on " << tp.candidate_column << " in "
+           << tp.candidate_keys.size() << " of " << Fmt(tp.candidate_population)
+           << " key(s) via " << tp.candidate_source;
     } else {
       line << "scan";
     }

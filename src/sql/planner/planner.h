@@ -32,6 +32,27 @@ struct TablePlan {
   bool use_probe = false;
   std::string probe_column;
   int64_t probe_key = 0;
+  /// Range probe: one B+-tree descent on `range_column`, then a leaf
+  /// walk over [range_lo, range_hi]. Chosen cost-based — only when the
+  /// estimated touched fraction beats decoding the whole heap file.
+  bool use_range = false;
+  std::string range_column;
+  int64_t range_lo = 0;
+  int64_t range_hi = 0;
+  bool range_has_lo = false;
+  bool range_has_hi = false;
+  double range_rows = 0.0;  // estimated rows the leaf walk touches
+  /// Candidate restriction from the extension index hook (the
+  /// cross-study spatial index): only rows whose `candidate_column`
+  /// value appears in `candidate_keys` can satisfy the pushed
+  /// conjuncts. A superset guarantee, so the conjuncts below remain the
+  /// exact re-check.
+  bool use_candidates = false;
+  std::string candidate_column;
+  std::vector<int64_t> candidate_keys;  // sorted ascending, deduplicated
+  double candidate_population = 0.0;
+  double candidate_rows = 0.0;  // estimated rows carrying a candidate key
+  std::string candidate_source;  // EXPLAIN tag, e.g. "rtree+bitmap"
   /// Pushed single-table conjuncts in evaluation (ascending rank) order.
   /// The probe equality conjunct stays in this list: stale index entries
   /// make the re-check necessary.
@@ -80,8 +101,12 @@ struct SelectPlan {
 class Planner {
  public:
   Planner(Catalog* catalog, const PlannerStats* stats,
-          const UdfCostHook* hook)
-      : catalog_(catalog), stats_(stats), hook_(hook) {}
+          const UdfCostHook* hook,
+          const CandidateIndexHook* candidate_hook = nullptr)
+      : catalog_(catalog),
+        stats_(stats),
+        hook_(hook),
+        candidate_hook_(candidate_hook) {}
 
   /// Plans a SELECT whose expressions are already constant-folded. The
   /// plan owns clones of the statement's predicates; `stmt` must stay
@@ -92,6 +117,7 @@ class Planner {
   Catalog* catalog_;
   const PlannerStats* stats_;
   const UdfCostHook* hook_;
+  const CandidateIndexHook* candidate_hook_;
 };
 
 }  // namespace qbism::sql::planner

@@ -434,6 +434,14 @@ Result<CompiledSelect> Compiler::CompileSelect(const SelectStmt& stmt,
     for (const planner::ResidualPlan& r : plan.residuals) {
       MarkNeededColumns(*r.expr, scopes, &cs.needed_columns);
     }
+    // The candidate membership pre-filter reads the key column even when
+    // no compiled predicate references it directly.
+    for (size_t d = 0; d < cs.num_tables; ++d) {
+      const planner::TablePlan& tp = plan.tables[d];
+      if (!tp.use_candidates) continue;
+      auto idx = scopes[d].schema->ColumnIndex(tp.candidate_column);
+      if (idx.ok()) cs.needed_columns[d][idx.value()] = 1;
+    }
   }
 
   cs.plan = std::move(plan);

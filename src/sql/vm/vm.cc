@@ -266,14 +266,19 @@ Status BatchVM::ScanLevel(const CompiledSelect& cs, size_t depth,
     return Status::OK();
   };
 
-  if (tp.use_probe) {
-    auto it = info->indexes.find(tp.probe_column);
-    if (it == info->indexes.end()) {
-      return Status::Internal("plan references missing index on '" +
-                              tp.probe_column + "'");
+  auto read_rids = [&](std::vector<storage::RecordId> rids,
+                       bool heap_order) -> Status {
+    if (heap_order) {
+      // Heap (page, slot) order: the emitted rows are byte-identical to
+      // a filtered full scan, so index pruning never perturbs row
+      // order. The eq probe keeps leaf order instead — that is what
+      // the tree-walking interpreter emits for the same query.
+      std::sort(rids.begin(), rids.end(),
+                [](const storage::RecordId& a, const storage::RecordId& b) {
+                  return a.page_no != b.page_no ? a.page_no < b.page_no
+                                                : a.slot < b.slot;
+                });
     }
-    QBISM_ASSIGN_OR_RETURN(std::vector<storage::RecordId> rids,
-                           it->second->Find(tp.probe_key));
     for (const storage::RecordId& rid : rids) {
       auto bytes = info->file->Read(rid);
       if (bytes.status().IsNotFound()) continue;  // deleted: stale entry
@@ -283,6 +288,83 @@ Status BatchVM::ScanLevel(const CompiledSelect& cs, size_t depth,
                                                   &scratch[filled]));
       if (++filled == kBatchRows) QBISM_RETURN_NOT_OK(flush());
     }
+    return flush();
+  };
+
+  if (tp.use_probe) {
+    auto it = info->indexes.find(tp.probe_column);
+    if (it == info->indexes.end()) {
+      return Status::Internal("plan references missing index on '" +
+                              tp.probe_column + "'");
+    }
+    QBISM_ASSIGN_OR_RETURN(std::vector<storage::RecordId> rids,
+                           it->second->Find(tp.probe_key));
+    return read_rids(std::move(rids), /*heap_order=*/false);
+  }
+
+  if (tp.use_range) {
+    auto it = info->indexes.find(tp.range_column);
+    if (it == info->indexes.end()) {
+      return Status::Internal("plan references missing index on '" +
+                              tp.range_column + "'");
+    }
+    int64_t lo = tp.range_has_lo ? tp.range_lo : INT64_MIN;
+    int64_t hi = tp.range_has_hi ? tp.range_hi : INT64_MAX;
+    if (lo > hi) return Status::OK();  // contradictory bounds: no rows
+    QBISM_ASSIGN_OR_RETURN(std::vector<storage::RecordId> rids,
+                           it->second->FindRange(lo, hi));
+    return read_rids(std::move(rids), /*heap_order=*/true);
+  }
+
+  if (tp.use_candidates) {
+    auto it = info->indexes.find(tp.candidate_column);
+    if (it != info->indexes.end()) {
+      // A B+-tree on the key column turns the candidate set into
+      // per-key probes (the common case: studyId is indexed).
+      std::vector<storage::RecordId> rids;
+      for (int64_t key : tp.candidate_keys) {
+        QBISM_ASSIGN_OR_RETURN(std::vector<storage::RecordId> found,
+                               it->second->Find(key));
+        rids.insert(rids.end(), found.begin(), found.end());
+      }
+      return read_rids(std::move(rids), /*heap_order=*/true);
+    }
+    // No index on the key column: scan, but drop rows whose key value
+    // is provably outside the candidate set before running the filter
+    // program. Null / non-integer values are kept — the compiled
+    // conjuncts remain the exact check for them.
+    QBISM_ASSIGN_OR_RETURN(size_t key_col,
+                           level->schema->ColumnIndex(tp.candidate_column));
+    Status scan_status = Status::OK();
+    QBISM_RETURN_NOT_OK(info->file->ScanBatched(
+        [&](const std::vector<uint8_t>& bytes,
+            const std::vector<storage::HeapFile::RecordRef>& records) {
+          for (const storage::HeapFile::RecordRef& rec : records) {
+            Status st = DeserializeRowProjected(*level->schema, bytes,
+                                                rec.offset, rec.length,
+                                                needed, &scratch[filled]);
+            if (!st.ok()) {
+              scan_status = st;
+              return false;
+            }
+            const Value& key = scratch[filled][key_col];
+            if (key.kind() == Value::Kind::kInt &&
+                !std::binary_search(tp.candidate_keys.begin(),
+                                    tp.candidate_keys.end(),
+                                    key.AsInt().value())) {
+              continue;
+            }
+            if (++filled == kBatchRows) {
+              st = flush();
+              if (!st.ok()) {
+                scan_status = st;
+                return false;
+              }
+            }
+          }
+          return true;
+        }));
+    QBISM_RETURN_NOT_OK(scan_status);
     return flush();
   }
 

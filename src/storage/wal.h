@@ -32,6 +32,15 @@ enum class WalRecordType : uint8_t {
   /// Advisory abort marker. Replay ignores uncommitted transactions
   /// whether or not an abort record made it to disk.
   kAbort = 6,
+  /// Cross-study spatial index maintenance (src/index): a study's
+  /// serialized StudySummary upserted with its ingest transaction.
+  /// Recovery collects these for SpatialIndexManager::ApplyRecovered
+  /// (last-wins per study) instead of replaying them itself — the index
+  /// is derived state, and the from-catalog rebuild remains the
+  /// fallback when no manager is attached.
+  kIndexUpsert = 7,
+  /// A study's index entry removed: {int64 study id}.
+  kIndexRemove = 8,
 };
 
 /// One parsed log record.

@@ -1,0 +1,230 @@
+// Unit coverage for the cross-study index's summary layer
+// (docs/INDEXING.md): the hierarchical intensity bitmap, per-band
+// bounding boxes and run signatures, and the StudySummary wire format
+// that rides in kIndexUpsert WAL records.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/bitmap.h"
+#include "index/summary.h"
+#include "region/region.h"
+
+namespace qbism::index {
+namespace {
+
+using curve::CurveKind;
+using region::GridSpec;
+using region::Region;
+
+constexpr GridSpec kGrid{3, 5};  // 32^3
+
+Region Box(int x0, int y0, int z0, int x1, int y1, int z1) {
+  return Region::FromBox(kGrid, CurveKind::kHilbert,
+                         {{x0, y0, z0}, {x1, y1, z1}});
+}
+
+// --- IntensityBitmap ----------------------------------------------------
+
+TEST(IntensityBitmapTest, SetAndTestSingleValues) {
+  IntensityBitmap bm;
+  EXPECT_TRUE(bm.Empty());
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);  // word boundary
+  bm.Set(255);
+  EXPECT_FALSE(bm.Empty());
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(255));
+  EXPECT_FALSE(bm.Test(1));
+  EXPECT_FALSE(bm.Test(128));
+}
+
+TEST(IntensityBitmapTest, SetRangeMatchesPerValueSets) {
+  // Ranges crossing word and group boundaries must equal value-by-value
+  // construction bit for bit.
+  const std::pair<int, int> kRanges[] = {
+      {0, 0},  {0, 255},  {31, 32},  {63, 64},   {60, 70},
+      {5, 58}, {127, 129}, {200, 255}, {32, 95},
+  };
+  for (auto [lo, hi] : kRanges) {
+    IntensityBitmap ranged;
+    ranged.SetRange(uint8_t(lo), uint8_t(hi));
+    IntensityBitmap scalar;
+    for (int v = lo; v <= hi; ++v) scalar.Set(uint8_t(v));
+    EXPECT_EQ(ranged, scalar) << "range [" << lo << ", " << hi << "]";
+  }
+}
+
+TEST(IntensityBitmapTest, AnyInRangeAgainstNaiveReference) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    IntensityBitmap bm;
+    std::vector<bool> present(256, false);
+    for (int i = 0; i < 8; ++i) {
+      auto v = uint8_t(rng.Next() & 0xff);
+      bm.Set(v);
+      present[v] = true;
+    }
+    auto a = uint8_t(rng.Next() & 0xff);
+    auto b = uint8_t(rng.Next() & 0xff);
+    uint8_t lo = std::min(a, b), hi = std::max(a, b);
+    bool naive = false;
+    for (int v = lo; v <= hi; ++v) naive = naive || present[size_t(v)];
+    EXPECT_EQ(bm.AnyInRange(lo, hi), naive)
+        << "trial " << trial << " [" << int(lo) << ", " << int(hi) << "]";
+  }
+}
+
+TEST(IntensityBitmapTest, AnyInRangeEdges) {
+  IntensityBitmap bm;
+  bm.SetRange(100, 120);
+  EXPECT_FALSE(bm.AnyInRange(120, 100));  // inverted interval
+  EXPECT_FALSE(bm.AnyInRange(0, 99));
+  EXPECT_FALSE(bm.AnyInRange(121, 255));
+  EXPECT_TRUE(bm.AnyInRange(120, 120));
+  EXPECT_TRUE(bm.AnyInRange(0, 100));
+  EXPECT_TRUE(bm.AnyInRange(0, 255));
+}
+
+TEST(IntensityBitmapTest, UnionWithCombinesBothSides) {
+  IntensityBitmap a, b;
+  a.SetRange(0, 10);
+  b.SetRange(200, 210);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.AnyInRange(5, 5));
+  EXPECT_TRUE(a.AnyInRange(205, 205));
+  EXPECT_FALSE(a.AnyInRange(50, 150));
+}
+
+TEST(IntensityBitmapTest, SerializeRoundTrips) {
+  IntensityBitmap bm;
+  bm.SetRange(17, 91);
+  bm.Set(250);
+  std::vector<uint8_t> bytes;
+  bm.Serialize(&bytes);
+  ASSERT_EQ(bytes.size(), IntensityBitmap::kSerializedSize);
+  IntensityBitmap back;
+  back.Deserialize(bytes.data());
+  EXPECT_EQ(back, bm);
+}
+
+// --- BoundingBox --------------------------------------------------------
+
+TEST(BoundingBoxTest, IntersectsAndExpand) {
+  BoundingBox a{{0, 0, 0}, {10, 10, 10}};
+  BoundingBox b{{10, 10, 10}, {20, 20, 20}};  // touching corner counts
+  BoundingBox c{{11, 0, 0}, {20, 10, 10}};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  a.ExpandTo(c);
+  EXPECT_EQ(a.min[0], 0);
+  EXPECT_EQ(a.max[0], 20);
+  uint32_t mid[3];
+  a.Centroid2(mid);
+  EXPECT_EQ(mid[0], 20u);  // min + max
+}
+
+// --- Region-derived summaries -------------------------------------------
+
+TEST(SummaryTest, RegionBoundsOfBoxIsExact) {
+  Region r = Box(3, 5, 7, 12, 9, 20);
+  BoundingBox box = RegionBounds(r);
+  EXPECT_EQ(box.min[0], 3);
+  EXPECT_EQ(box.min[1], 5);
+  EXPECT_EQ(box.min[2], 7);
+  EXPECT_EQ(box.max[0], 12);
+  EXPECT_EQ(box.max[1], 9);
+  EXPECT_EQ(box.max[2], 20);
+}
+
+TEST(SummaryTest, RegionBoundsOfEmptyIsDegenerate) {
+  Region empty(kGrid, CurveKind::kHilbert);
+  BoundingBox box = RegionBounds(empty);
+  EXPECT_EQ(box, (BoundingBox{{0, 0, 0}, {0, 0, 0}}));
+}
+
+TEST(SummaryTest, SignatureSeparatesDistantRegions) {
+  // Opposite corners of the grid land in different 1/64th chunks of the
+  // curve id space, so their signatures must be AND-disjoint; a region
+  // always ANDs non-zero with itself (unless empty).
+  Region a = Box(0, 0, 0, 3, 3, 3);
+  Region b = Box(28, 28, 28, 31, 31, 31);
+  uint64_t sa = RegionSignature(a);
+  uint64_t sb = RegionSignature(b);
+  EXPECT_NE(sa, 0u);
+  EXPECT_NE(sb, 0u);
+  EXPECT_EQ(sa & sb, 0u);
+  EXPECT_NE(sa & RegionSignature(a), 0u);
+  EXPECT_EQ(RegionSignature(Region(kGrid, CurveKind::kHilbert)), 0u);
+}
+
+TEST(SummaryTest, SignatureOfFullGridSetsEveryChunk) {
+  EXPECT_EQ(RegionSignature(Region::Full(kGrid, CurveKind::kHilbert)),
+            ~uint64_t{0});
+}
+
+TEST(SummaryTest, SummarizeBandRegionFillsEveryField) {
+  Region r = Box(2, 2, 2, 9, 9, 9);
+  BandSummary bs = SummarizeBandRegion(32, 63, r);
+  EXPECT_EQ(bs.lo, 32);
+  EXPECT_EQ(bs.hi, 63);
+  EXPECT_EQ(bs.voxels, r.VoxelCount());
+  EXPECT_EQ(bs.runs, uint32_t(r.RunCount()));
+  EXPECT_EQ(bs.signature, RegionSignature(r));
+  EXPECT_EQ(bs.box, RegionBounds(r));
+}
+
+// --- StudySummary wire format -------------------------------------------
+
+StudySummary MakeSummary() {
+  StudySummary s;
+  s.study_id = 53;
+  s.atlas_id = 1;
+  s.bitmap.SetRange(0, 31);
+  s.bitmap.SetRange(96, 127);
+  s.bands.push_back(SummarizeBandRegion(0, 31, Box(0, 0, 0, 7, 7, 7)));
+  s.bands.push_back(SummarizeBandRegion(96, 127, Box(20, 20, 20, 31, 31, 31)));
+  return s;
+}
+
+TEST(StudySummaryTest, SerializeRoundTrips) {
+  StudySummary s = MakeSummary();
+  std::vector<uint8_t> bytes;
+  s.Serialize(&bytes);
+  auto back = StudySummary::Deserialize(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, s);
+}
+
+TEST(StudySummaryTest, RoundTripsWithNoBands) {
+  StudySummary s;
+  s.study_id = -9;  // ids are signed on the wire
+  s.atlas_id = 2;
+  std::vector<uint8_t> bytes;
+  s.Serialize(&bytes);
+  auto back = StudySummary::Deserialize(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, s);
+}
+
+TEST(StudySummaryTest, DeserializeRejectsTruncation) {
+  StudySummary s = MakeSummary();
+  std::vector<uint8_t> bytes;
+  s.Serialize(&bytes);
+  for (size_t cut : {size_t{0}, size_t{4}, bytes.size() - 1}) {
+    EXPECT_FALSE(StudySummary::Deserialize(bytes.data(), cut).ok())
+        << "accepted a summary truncated to " << cut << " bytes";
+  }
+}
+
+}  // namespace
+}  // namespace qbism::index

@@ -11,6 +11,11 @@ directory). Verifies, over every tracked markdown file:
 3. Every experiment id `E<N>` mentioned anywhere has a row in
    DESIGN.md's experiment index table and a `## E<N>` section in
    EXPERIMENTS.md.
+4. Every file under docs/ is listed in DOC_FILES (a new reference doc
+   cannot silently escape the checks or the README index).
+5. Every `ctest -L <label>` recipe quoted in the docs names a label
+   actually attached to a test in tests/CMakeLists.txt or
+   bench/CMakeLists.txt.
 
 Exits non-zero with one line per problem.
 """
@@ -31,7 +36,11 @@ DOC_FILES = [
     "docs/OBSERVABILITY.md",
     "docs/NETWORK.md",
     "docs/DURABILITY.md",
+    "docs/INDEXING.md",
 ]
+
+CMAKE_FILES = ["tests/CMakeLists.txt", "bench/CMakeLists.txt",
+               "CMakeLists.txt"]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 DESIGN_SECTION_REF_RE = re.compile(r"DESIGN\.md\s*§+\s*(\d+)")
@@ -39,6 +48,11 @@ DESIGN_SECTION_DEF_RE = re.compile(r"^##\s+(\d+)\.", re.MULTILINE)
 EXPERIMENT_REF_RE = re.compile(r"\bE(\d+)\b")
 EXPERIMENT_INDEX_ROW_RE = re.compile(r"^\|\s*E(\d+)\s*\|", re.MULTILINE)
 EXPERIMENT_SECTION_RE = re.compile(r"^##\s+E(\d+)\b", re.MULTILINE)
+CTEST_LABEL_RE = re.compile(r"ctest\s+(?:--test-dir\s+\S+\s+)?-L\s+`?([\w-]+)")
+# LABELS in qbism_add_test(... LABELS a b), set_tests_properties(...
+# LABELS "a;b"), and the free-form preset notes don't define labels —
+# only the first two forms do.
+CMAKE_LABELS_RE = re.compile(r"LABELS\s+((?:\"[^\"]*\"|[\w-]+)(?:\s+[\w-]+)*)")
 
 
 def main() -> int:
@@ -50,6 +64,21 @@ def main() -> int:
             problems.append(f"{rel}: listed in check_docs.py but missing")
             continue
         texts[rel] = path.read_text(encoding="utf-8")
+
+    # 4. docs/ holds no file the list (and so the checks) doesn't cover.
+    for path in sorted((ROOT / "docs").glob("*.md")):
+        rel = f"docs/{path.name}"
+        if rel not in DOC_FILES:
+            problems.append(f"{rel}: exists but is not listed in check_docs.py")
+
+    # Labels defined in the build: qbism_add_test(... LABELS a b) and
+    # set_tests_properties(... LABELS "a;b").
+    defined_labels = set()
+    for rel in CMAKE_FILES:
+        cmake = (ROOT / rel).read_text(encoding="utf-8")
+        for group in CMAKE_LABELS_RE.findall(cmake):
+            for token in group.replace('"', " ").replace(";", " ").split():
+                defined_labels.add(token)
 
     design = texts.get("DESIGN.md", "")
     experiments = texts.get("EXPERIMENTS.md", "")
@@ -78,6 +107,14 @@ def main() -> int:
                     f"has no '## {num}.' section"
                 )
 
+        # 5. Quoted `ctest -L <label>` recipes name real labels.
+        for label in CTEST_LABEL_RE.findall(text):
+            if label not in defined_labels:
+                problems.append(
+                    f"{rel}: `ctest -L {label}`, but no test in the build "
+                    f"carries the label '{label}'"
+                )
+
         # 3. Experiment ids resolve in both the index and EXPERIMENTS.md.
         for num in set(EXPERIMENT_REF_RE.findall(text)):
             if num not in index_rows:
@@ -100,7 +137,8 @@ def main() -> int:
     print(
         f"docs_check: OK ({len(texts)} files, {n_links} links, "
         f"{len(design_sections)} DESIGN sections, "
-        f"{len(experiment_sections)} experiments)"
+        f"{len(experiment_sections)} experiments, "
+        f"{len(defined_labels)} ctest labels)"
     )
     return 0
 
